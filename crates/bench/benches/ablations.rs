@@ -1,0 +1,74 @@
+//! Bench: the ablation experiments (A1–A5). Each bench runs one reduced
+//! configuration per iteration; the full sweeps print once at the end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use harness::ablations;
+
+fn bench_discovery_tech(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tech");
+    group.sample_size(10);
+    let mut seed = 0u64;
+    group.bench_function("one_round_all_techs", |b| {
+        b.iter(|| {
+            seed += 1;
+            ablations::discovery_by_technology(1, seed)
+        })
+    });
+    group.finish();
+}
+
+fn bench_semantics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_semantics");
+    let mut seed = 0u64;
+    group.bench_function("members40_families5_spellings4", |b| {
+        b.iter(|| {
+            seed += 1;
+            ablations::semantics(40, 5, 4, seed)
+        })
+    });
+    group.finish();
+}
+
+fn bench_handover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_handover");
+    group.sample_size(10);
+    let mut seed = 0u64;
+    group.bench_function("one_trial_on_off", |b| {
+        b.iter(|| {
+            seed += 1;
+            ablations::handover(1, seed)
+        })
+    });
+    group.finish();
+}
+
+fn print_sweeps(_c: &mut Criterion) {
+    println!(
+        "\n{}",
+        ablations::render_discovery_by_technology(&ablations::discovery_by_technology(5, 2008))
+    );
+    println!(
+        "{}",
+        ablations::render_scaling(&ablations::scaling(&[1, 2, 4], 2, 2008))
+    );
+    let rows: Vec<_> = [1usize, 2, 4]
+        .into_iter()
+        .map(|sp| ablations::semantics(40, 5, sp, 2008))
+        .collect();
+    println!("{}", ablations::render_semantics(&rows));
+    println!("{}", ablations::render_handover(&ablations::handover(4, 2008)));
+    println!(
+        "{}",
+        ablations::render_churn(&[ablations::churn(6, 5, 2008)])
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_discovery_tech,
+    bench_semantics,
+    bench_handover,
+    print_sweeps
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Bench: the dynamic group discovery algorithm (Figure 6) as pure
+//! computation — matching cost vs neighborhood size and interest count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use community::discovery::discover_groups;
+use community::semantics::MatchPolicy;
+use community::Interest;
+
+fn make_neighbors(n: usize, interests_each: usize) -> Vec<(String, Vec<Interest>)> {
+    (0..n)
+        .map(|i| {
+            let interests = (0..interests_each)
+                .map(|j| Interest::new(format!("interest-{}", (i + j) % (interests_each * 2))))
+                .collect();
+            (format!("member{i}"), interests)
+        })
+        .collect()
+}
+
+fn bench_neighbor_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_neighbors");
+    let own: Vec<Interest> = (0..8).map(|j| Interest::new(format!("interest-{j}"))).collect();
+    for n in [4usize, 16, 64, 256] {
+        let neighbors = make_neighbors(n, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &neighbors, |b, nb| {
+            b.iter(|| discover_groups("me", &own, nb, &MatchPolicy::Exact))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interest_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_interests");
+    for k in [2usize, 8, 32] {
+        let own: Vec<Interest> = (0..k).map(|j| Interest::new(format!("interest-{j}"))).collect();
+        let neighbors = make_neighbors(32, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &neighbors, |b, nb| {
+            b.iter(|| discover_groups("me", &own, nb, &MatchPolicy::Exact))
+        });
+    }
+    group.finish();
+}
+
+fn bench_semantic_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_policy");
+    let own: Vec<Interest> = (0..8).map(|j| Interest::new(format!("interest-{j}"))).collect();
+    let neighbors = make_neighbors(64, 8);
+    group.bench_function("exact", |b| {
+        b.iter(|| discover_groups("me", &own, &neighbors, &MatchPolicy::Exact))
+    });
+    let mut taught = MatchPolicy::Exact;
+    for j in 0..8 {
+        taught.teach(
+            &Interest::new(format!("interest-{j}")),
+            &Interest::new(format!("synonym-{j}")),
+        );
+    }
+    group.bench_function("semantic", |b| {
+        b.iter(|| discover_groups("me", &own, &neighbors, &taught))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_neighbor_scaling,
+    bench_interest_scaling,
+    bench_semantic_vs_exact
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench: the MSC figures (7, 11–17) — each figure's full scenario run,
+//! from cluster boot to completed operation. Regenerates the charts once
+//! at the end of the run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use harness::msc::{self, MscOp};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msc_figures");
+    group.sample_size(10);
+    for op in MscOp::ALL {
+        let mut seed = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("fig{}", op.figure())),
+            &op,
+            |b, &op| {
+                b.iter(|| {
+                    seed += 1;
+                    let run = msc::run(op, seed);
+                    assert!(run.conforms, "figure {} must conform", op.figure());
+                    run.trace.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn print_figures(_c: &mut Criterion) {
+    for op in MscOp::ALL {
+        println!("\n{}", msc::run(op, 2008).render());
+    }
+}
+
+criterion_group!(benches, bench_figures, print_figures);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Bench: the PeerHood Community wire codec (Table 6 messages).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use community::{ProfileView, Request, Response};
+
+fn sample_profile() -> ProfileView {
+    ProfileView {
+        member: "bob".into(),
+        display_name: "Bob the Builder".into(),
+        fields: [("city", "Lappeenranta"), ("dept", "IT")]
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v.to_owned()))
+            .collect(),
+        interests: (0..12).map(|i| format!("interest number {i}")).collect(),
+        trusted: (0..8).map(|i| format!("friend{i}")).collect(),
+        comments: (0..20)
+            .map(|i| format!("member{i}: this is profile comment number {i}"))
+            .collect(),
+    }
+}
+
+fn bench_requests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_request");
+    let req = Request::GetProfile {
+        member: "bob".into(),
+        requester: "alice".into(),
+    };
+    let frame = req.encode();
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode_get_profile", |b| b.iter(|| req.encode()));
+    group.bench_function("decode_get_profile", |b| {
+        b.iter(|| Request::decode(&frame).expect("valid frame"))
+    });
+    group.finish();
+}
+
+fn bench_responses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_response");
+    let resp = Response::Profile(sample_profile());
+    let frame = resp.encode();
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode_profile", |b| b.iter(|| resp.encode()));
+    group.bench_function("decode_profile", |b| {
+        b.iter(|| Response::decode(&frame).expect("valid frame"))
+    });
+
+    let content = Response::Content {
+        name: "song.mp3".into(),
+        data: vec![0xAB; 64 * 1024],
+    };
+    let frame = content.encode();
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode_content_64k", |b| b.iter(|| content.encode()));
+    group.bench_function("decode_content_64k", |b| {
+        b.iter(|| Response::decode(&frame).expect("valid frame"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_requests, bench_responses);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Bench: Table 8 — one complete task sequence per arm.
+//!
+//! Each iteration runs a full Table 8 trial for one arm (all four tasks)
+//! and returns its simulated total, so `cargo bench` both exercises the
+//! pipeline end-to-end and regenerates the table's rows (printed once at
+//! the end).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use netsim::SimRng;
+use sns::{AccessDevice, CentralServer, SiteProfile, SnsSession};
+
+fn seeded_site() -> CentralServer {
+    let mut server = CentralServer::new();
+    server.register("user1");
+    server.register("member1");
+    server.create_group("England Football");
+    server.create_group("Chess Club");
+    server.join_group("member1", "England Football");
+    server
+}
+
+fn sns_trial(site: SiteProfile, device: AccessDevice, seed: u64) -> std::time::Duration {
+    let mut server = seeded_site();
+    let mut session = SnsSession::new(site, device, SimRng::from_seed(seed));
+    let group = session
+        .search_group(&mut server, "england football")
+        .expect("group exists");
+    session.join_group(&mut server, "user1", &group);
+    session.view_member_list(&mut server, &group);
+    session.view_member_profile(&mut server, "member1");
+    session.elapsed()
+}
+
+fn bench_sns_arms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table8_sns");
+    group.sample_size(30);
+    for (label, site, device) in [
+        ("facebook_n810", SiteProfile::facebook(), AccessDevice::nokia_n810()),
+        ("facebook_n95", SiteProfile::facebook(), AccessDevice::nokia_n95()),
+        ("hi5_n810", SiteProfile::hi5(), AccessDevice::nokia_n810()),
+        ("hi5_n95", SiteProfile::hi5(), AccessDevice::nokia_n95()),
+    ] {
+        let mut seed = 0u64;
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    (site.clone(), device.clone(), seed)
+                },
+                |(s, d, seed)| sns_trial(s, d, seed),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_peerhood_arm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table8_peerhood");
+    group.sample_size(10);
+    let mut seed = 0u64;
+    group.bench_function("full_trial", |b| {
+        b.iter(|| {
+            seed += 1;
+            // One PeerHood trial: group search + member list, the two
+            // network-dominated tasks.
+            let mut s = harness::lab(&harness::LabConfig {
+                seed,
+                peer_count: 3,
+                ..harness::LabConfig::default()
+            });
+            let observer = s.observer;
+            s.cluster
+                .run_until_condition(netsim::SimTime::from_secs(120), |c| {
+                    c.app(observer).first_group_at().is_some()
+                })
+                .expect("group forms");
+            let op = s
+                .cluster
+                .with_app(observer, |app, ctx| app.get_member_list(ctx));
+            let deadline = s.cluster.now() + std::time::Duration::from_secs(90);
+            s.cluster
+                .run_until_condition(deadline, |c| c.app(observer).outcome(op).is_some())
+                .expect("op completes");
+            s.cluster.app(observer).outcome(op).unwrap().duration()
+        })
+    });
+    group.finish();
+}
+
+fn print_table(_c: &mut Criterion) {
+    // Regenerate and print the actual table once per bench run.
+    let report = harness::table8::run(10, 2008);
+    println!("\n{}", report.render());
+}
+
+criterion_group!(benches, bench_sns_arms, bench_peerhood_arm, print_table);
+criterion_main!(benches);

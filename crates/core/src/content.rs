@@ -1,0 +1,128 @@
+//! Shared content: the trusted-only file sharing feature.
+//!
+//! "As an example of trusted-only applications, file sharing and discovering
+//! shared lists of others has been implemented" (§5.2.4). A member shares
+//! named items; only members on their trusted-friends list may list
+//! (Figure 16) or fetch them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Metadata of one shared item, as sent in `PS_GETSHAREDCONTENT` replies.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentInfo {
+    /// File name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Free-form kind ("photo", "music", …).
+    pub kind: String,
+}
+
+impl fmt::Display for ContentInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} bytes, {})", self.name, self.size, self.kind)
+    }
+}
+
+/// The set of items one member shares, with their bytes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentStore {
+    items: BTreeMap<String, SharedItem>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct SharedItem {
+    kind: String,
+    data: Vec<u8>,
+}
+
+impl ContentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ContentStore::default()
+    }
+
+    /// Shares (or replaces) an item.
+    pub fn share(&mut self, name: impl Into<String>, kind: impl Into<String>, data: Vec<u8>) {
+        self.items.insert(
+            name.into(),
+            SharedItem {
+                kind: kind.into(),
+                data,
+            },
+        );
+    }
+
+    /// Stops sharing an item; returns whether it was shared.
+    pub fn unshare(&mut self, name: &str) -> bool {
+        self.items.remove(name).is_some()
+    }
+
+    /// The shareable listing (metadata only).
+    pub fn listing(&self) -> Vec<ContentInfo> {
+        self.items
+            .iter()
+            .map(|(name, item)| ContentInfo {
+                name: name.clone(),
+                size: item.data.len() as u64,
+                kind: item.kind.clone(),
+            })
+            .collect()
+    }
+
+    /// The bytes of one item, if shared.
+    pub fn fetch(&self, name: &str) -> Option<&[u8]> {
+        self.items.get(name).map(|i| i.data.as_slice())
+    }
+
+    /// Number of shared items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is shared.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_list_fetch_unshare() {
+        let mut s = ContentStore::new();
+        s.share("song.mp3", "music", vec![1, 2, 3]);
+        s.share("pic.jpg", "photo", vec![4; 10]);
+        let listing = s.listing();
+        assert_eq!(listing.len(), 2);
+        assert_eq!(listing[0].name, "pic.jpg"); // name order
+        assert_eq!(listing[1].size, 3);
+        assert_eq!(s.fetch("song.mp3"), Some(&[1u8, 2, 3][..]));
+        assert!(s.unshare("song.mp3"));
+        assert!(!s.unshare("song.mp3"));
+        assert_eq!(s.fetch("song.mp3"), None);
+    }
+
+    #[test]
+    fn sharing_same_name_replaces() {
+        let mut s = ContentStore::new();
+        s.share("a", "x", vec![1]);
+        s.share("a", "y", vec![1, 2]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.listing()[0].kind, "y");
+    }
+
+    #[test]
+    fn display_of_content_info() {
+        let c = ContentInfo {
+            name: "a.txt".into(),
+            size: 5,
+            kind: "text".into(),
+        };
+        assert_eq!(c.to_string(), "a.txt (5 bytes, text)");
+    }
+}

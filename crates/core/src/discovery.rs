@@ -1,0 +1,199 @@
+//! Dynamic group discovery — the thesis's core algorithm (Figure 6).
+//!
+//! > "Initially when the user starts the social networking application, the
+//! > application collects the list of active user's personal interests and
+//! > gets the list of all the nearby devices. A personal interest of the
+//! > active user is compared to personal interests of other nearby users. If
+//! > the interest between active user and remote user matches than both ...
+//! > are listed in same interest group. Similarly, each interest is compared
+//! > with the personal interests of all the found nearby members ..."
+//!
+//! [`discover_groups`] is that algorithm as a pure function; the
+//! [`crate::node::CommunityApp`] re-runs it whenever the neighborhood or an
+//! interest list changes, which is what makes the groups *dynamic*.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::interest::Interest;
+use crate::semantics::MatchPolicy;
+
+/// One dynamically formed interest group.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// The group key under the active matching policy (normalized interest
+    /// or synonym-class representative).
+    pub key: String,
+    /// A human-readable label (the first display form seen).
+    pub label: String,
+    /// Member names, always including the local user, in name order.
+    pub members: Vec<String>,
+}
+
+impl Group {
+    /// Whether `member` is in the group.
+    pub fn contains(&self, member: &str) -> bool {
+        self.members.iter().any(|m| m == member)
+    }
+}
+
+/// The result of one run of the Figure 6 algorithm: groups keyed by
+/// canonical interest.
+pub type GroupSet = BTreeMap<String, Group>;
+
+/// Runs dynamic group discovery for `me` (with interests `own`) against the
+/// currently known `neighbors` (`(member name, their interests)` pairs).
+///
+/// A group forms for each of the user's own interests that at least one
+/// neighbor shares (under `policy`); the group contains the local user plus
+/// every matching neighbor. This is exactly the per-interest loop of
+/// Figure 6 — neighbors' interests the local user does *not* hold form no
+/// group (the user can still join such groups manually at the
+/// [`crate::groups::GroupRegistry`] level).
+pub fn discover_groups(
+    me: &str,
+    own: &[Interest],
+    neighbors: &[(String, Vec<Interest>)],
+    policy: &MatchPolicy,
+) -> GroupSet {
+    let mut groups = GroupSet::new();
+    for interest in own {
+        let key = policy.group_key(interest);
+        for (name, their) in neighbors {
+            let matches = their.iter().any(|t| policy.matches(interest, t));
+            if matches {
+                let group = groups.entry(key.clone()).or_insert_with(|| Group {
+                    key: key.clone(),
+                    label: interest.display().to_owned(),
+                    members: vec![me.to_owned()],
+                });
+                if !group.contains(name) {
+                    group.members.push(name.clone());
+                }
+            }
+        }
+    }
+    for group in groups.values_mut() {
+        group.members.sort();
+        group.members.dedup();
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interests(items: &[&str]) -> Vec<Interest> {
+        items.iter().map(|s| Interest::new(*s)).collect()
+    }
+
+    fn neighbors(items: &[(&str, &[&str])]) -> Vec<(String, Vec<Interest>)> {
+        items
+            .iter()
+            .map(|(n, is)| ((*n).to_owned(), interests(is)))
+            .collect()
+    }
+
+    #[test]
+    fn no_neighbors_no_groups() {
+        let g = discover_groups(
+            "me",
+            &interests(&["football"]),
+            &[],
+            &MatchPolicy::Exact,
+        );
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn matching_interest_forms_group_with_both_members() {
+        let g = discover_groups(
+            "me",
+            &interests(&["Football"]),
+            &neighbors(&[("bob", &["football", "chess"])]),
+            &MatchPolicy::Exact,
+        );
+        assert_eq!(g.len(), 1);
+        let group = &g["football"];
+        assert_eq!(group.members, vec!["bob", "me"]);
+        assert_eq!(group.label, "Football");
+    }
+
+    #[test]
+    fn unshared_neighbor_interests_form_no_group() {
+        // Bob's chess interest doesn't concern me: per Figure 6, groups are
+        // driven by the *active user's* interests.
+        let g = discover_groups(
+            "me",
+            &interests(&["football"]),
+            &neighbors(&[("bob", &["chess"])]),
+            &MatchPolicy::Exact,
+        );
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn each_own_interest_gets_its_own_group() {
+        let g = discover_groups(
+            "me",
+            &interests(&["football", "chess", "sauna"]),
+            &neighbors(&[
+                ("bob", &["football", "sauna"]),
+                ("carol", &["chess"]),
+                ("dave", &["football"]),
+            ]),
+            &MatchPolicy::Exact,
+        );
+        assert_eq!(g.len(), 3);
+        assert_eq!(g["football"].members, vec!["bob", "dave", "me"]);
+        assert_eq!(g["chess"].members, vec!["carol", "me"]);
+        assert_eq!(g["sauna"].members, vec!["bob", "me"]);
+    }
+
+    #[test]
+    fn exact_policy_fragments_synonyms_like_the_thesis_describes() {
+        // The §5.2.6 limitation: biking and cycling end up apart.
+        let g = discover_groups(
+            "me",
+            &interests(&["biking"]),
+            &neighbors(&[("bob", &["cycling"])]),
+            &MatchPolicy::Exact,
+        );
+        assert!(g.is_empty(), "exact matching must not merge synonyms");
+    }
+
+    #[test]
+    fn semantic_policy_merges_taught_synonyms() {
+        let mut policy = MatchPolicy::Exact;
+        policy.teach(&Interest::new("biking"), &Interest::new("cycling"));
+        let g = discover_groups(
+            "me",
+            &interests(&["biking"]),
+            &neighbors(&[("bob", &["cycling"]), ("carol", &["Biking"])]),
+            &policy,
+        );
+        assert_eq!(g.len(), 1);
+        let group = &g["biking"];
+        assert_eq!(group.members, vec!["bob", "carol", "me"]);
+    }
+
+    #[test]
+    fn duplicate_neighbor_interests_do_not_duplicate_members() {
+        let g = discover_groups(
+            "me",
+            &interests(&["a"]),
+            &neighbors(&[("bob", &["a", "A", " a "])]),
+            &MatchPolicy::Exact,
+        );
+        assert_eq!(g["a"].members, vec!["bob", "me"]);
+    }
+
+    #[test]
+    fn algorithm_is_deterministic_in_member_order() {
+        let n = neighbors(&[("zed", &["x"]), ("ann", &["x"])]);
+        let g = discover_groups("me", &interests(&["x"]), &n, &MatchPolicy::Exact);
+        assert_eq!(g["x"].members, vec!["ann", "me", "zed"]);
+    }
+}

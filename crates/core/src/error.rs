@@ -1,0 +1,67 @@
+//! Error types for the PeerHood Community middleware.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors reported by the PeerHood Community layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CommunityError {
+    /// Login failed: unknown username or wrong password.
+    InvalidCredentials,
+    /// The operation requires a logged-in user.
+    NotLoggedIn,
+    /// An account with this username already exists.
+    AccountExists(String),
+    /// No account with this username exists.
+    NoSuchAccount(String),
+    /// The referenced profile index does not exist.
+    NoSuchProfile(usize),
+    /// A wire message could not be decoded.
+    Codec(String),
+    /// The referenced member is not currently reachable in the
+    /// neighborhood.
+    MemberNotConnected(String),
+    /// An operation was attempted with no connected members at all.
+    NoConnectedMembers,
+}
+
+impl fmt::Display for CommunityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommunityError::InvalidCredentials => write!(f, "invalid username or password"),
+            CommunityError::NotLoggedIn => write!(f, "no user is logged in"),
+            CommunityError::AccountExists(u) => write!(f, "account {u:?} already exists"),
+            CommunityError::NoSuchAccount(u) => write!(f, "no account named {u:?}"),
+            CommunityError::NoSuchProfile(i) => write!(f, "no profile at index {i}"),
+            CommunityError::Codec(m) => write!(f, "malformed wire message: {m}"),
+            CommunityError::MemberNotConnected(m) => {
+                write!(f, "member {m:?} is not connected")
+            }
+            CommunityError::NoConnectedMembers => write!(f, "no members are connected"),
+        }
+    }
+}
+
+impl StdError for CommunityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CommunityError::AccountExists("bob".into())
+            .to_string()
+            .contains("bob"));
+        assert!(CommunityError::Codec("truncated".into())
+            .to_string()
+            .contains("truncated"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes(_: &dyn StdError) {}
+        takes(&CommunityError::NotLoggedIn);
+    }
+}

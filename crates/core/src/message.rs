@@ -1,0 +1,113 @@
+//! Member-to-member mail messages (Figure 17, `PS_MSG`).
+//!
+//! The reference application lets users "send and receive messages from
+//! friends, and posses a friendly interface to read incoming messages,
+//! compose new message and view sent messages" (§5.2.6). Messages are
+//! written straight into the receiving device's inbox file by its server.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use netsim::SimTime;
+
+/// One mail message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MailMessage {
+    /// Sender member name.
+    pub from: String,
+    /// Receiver member name.
+    pub to: String,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+    /// When it was written into the mailbox.
+    pub at: SimTime,
+}
+
+impl fmt::Display for MailMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} -> {}] {}: {}", self.from, self.to, self.subject, self.body)
+    }
+}
+
+/// A member's inbox and sent-messages folder.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mailbox {
+    inbox: Vec<MailMessage>,
+    sent: Vec<MailMessage>,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Writes a received message into the inbox (the server side of
+    /// `PS_MSG`).
+    pub fn deliver(&mut self, message: MailMessage) {
+        self.inbox.push(message);
+    }
+
+    /// Records a message this member sent.
+    pub fn record_sent(&mut self, message: MailMessage) {
+        self.sent.push(message);
+    }
+
+    /// Received messages, oldest first.
+    pub fn inbox(&self) -> &[MailMessage] {
+        &self.inbox
+    }
+
+    /// Sent messages, oldest first.
+    pub fn sent(&self) -> &[MailMessage] {
+        &self.sent
+    }
+
+    /// Number of received messages.
+    pub fn unread_count(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(from: &str, to: &str) -> MailMessage {
+        MailMessage {
+            from: from.into(),
+            to: to.into(),
+            subject: "s".into(),
+            body: "b".into(),
+            at: SimTime::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn deliver_and_sent_are_separate_folders() {
+        let mut mb = Mailbox::new();
+        mb.deliver(msg("alice", "me"));
+        mb.record_sent(msg("me", "bob"));
+        assert_eq!(mb.inbox().len(), 1);
+        assert_eq!(mb.sent().len(), 1);
+        assert_eq!(mb.inbox()[0].from, "alice");
+        assert_eq!(mb.sent()[0].to, "bob");
+        assert_eq!(mb.unread_count(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = msg("a", "b");
+        assert_eq!(m.to_string(), "[a -> b] s: b");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut mb = Mailbox::new();
+        mb.deliver(msg("a", "b"));
+        let json = serde_json::to_string(&mb).unwrap();
+        assert_eq!(serde_json::from_str::<Mailbox>(&json).unwrap(), mb);
+    }
+}

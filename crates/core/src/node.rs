@@ -1,0 +1,1504 @@
+//! The PeerHood Community application node: client + server in one PTD.
+//!
+//! "The test application is a client server application and every device
+//! must have both the client and server" (§5.2.3). [`CommunityApp`]
+//! implements [`peerhood::Application`]:
+//!
+//! * as a **server** it registers the `"PeerHoodCommunity"` service
+//!   (Figure 8) and answers every Table 6 request from its
+//!   [`MemberStore`];
+//! * as a **client** it reacts to PeerHood discovery events, learns
+//!   neighbors' member names and interest lists, and runs the **dynamic
+//!   group discovery** algorithm (Figure 6) whenever the neighborhood
+//!   changes;
+//! * **user operations** — the features of Table 7 and the message
+//!   sequences of Figures 11–17 — are exposed as methods that start
+//!   asynchronous [`OpId`]-tracked operations whose [`OpOutcome`]s can be
+//!   polled.
+//!
+//! ## Connection modes
+//!
+//! The thesis's reference client (Figure 9) *connects to every nearby
+//! server anew for each operation*, sequentially — which is why its
+//! measured member-list and profile times (Table 8) are dominated by
+//! Bluetooth connection setup. [`OpMode::PerOperation`] reproduces that
+//! behaviour faithfully; [`OpMode::Persistent`] is the obvious
+//! optimization (keep one connection per peer alive), used as an ablation
+//! in the evaluation harness.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use netsim::SimTime;
+use peerhood::api::AppEvent;
+use peerhood::app::{AppCtx, Application};
+use peerhood::service::ServiceInfo;
+use peerhood::types::{ConnId, DeviceId};
+
+use crate::content::ContentInfo;
+use crate::discovery::discover_groups;
+use crate::error::CommunityError;
+use crate::groups::{GroupEvent, GroupRegistry};
+use crate::interest::Interest;
+use crate::profile::ProfileView;
+use crate::protocol::{Request, Response};
+use crate::semantics::MatchPolicy;
+use crate::server::handle_request;
+use crate::store::MemberStore;
+
+/// The PeerHood service name of the community application (Figure 8).
+pub const SERVICE_NAME: &str = "PeerHoodCommunity";
+
+/// Timer token for the periodic peer refresh.
+const REFRESH_TIMER: u64 = 1;
+
+/// Timer-token base for deferred operation starts (fresh-inquiry mode);
+/// the operation id is added to it.
+const OP_START_TIMER_BASE: u64 = 1_000;
+
+/// How the client reaches neighbor servers for operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum OpMode {
+    /// Keep one connection per community peer alive and reuse it (the
+    /// optimized mode; our default).
+    #[default]
+    Persistent,
+    /// Open fresh connections, one neighbor at a time, for every operation
+    /// and close them afterwards — exactly what the thesis's reference
+    /// client does (Figure 9), and the configuration used to regenerate
+    /// Table 8.
+    PerOperation,
+}
+
+/// Identifier of one asynchronous user operation.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(u64);
+
+impl OpId {
+    /// The raw value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Result data of a completed operation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum OpResult {
+    /// `get_member_list`: online member names across the neighborhood
+    /// (Figure 11).
+    Members(Vec<String>),
+    /// `get_interest_list`: deduplicated interests across the neighborhood
+    /// (Figure 12).
+    Interests(Vec<String>),
+    /// `get_interested_members`: members holding one interest.
+    InterestedMembers(Vec<String>),
+    /// `view_profile`: the profile, or `None` if no device hosted the
+    /// member (all answered `NO_MEMBERS_YET`; Figure 13).
+    Profile(Option<ProfileView>),
+    /// `put_comment`: whether any device accepted the comment (Figure 14).
+    CommentResult {
+        /// `true` when a server wrote the comment.
+        written: bool,
+    },
+    /// `view_trusted_friends`: the list, or `None` if the member was not
+    /// found (Figure 15).
+    TrustedFriends(Option<Vec<String>>),
+    /// `view_shared_content` (Figure 16).
+    SharedContent(SharedOutcome),
+    /// `send_message`: whether the receiver wrote it (Figure 17's
+    /// `SUCCESSFULLY_WRITTEN` / `UNSUCCESSFULL`).
+    MessageResult {
+        /// `true` on `SUCCESSFULLY_WRITTEN`.
+        written: bool,
+    },
+    /// `fetch_content`: the item bytes, or `None` when refused/missing.
+    Content(Option<(String, Vec<u8>)>),
+    /// The operation failed before any network exchange.
+    Failed(CommunityError),
+}
+
+/// Outcome of `view_shared_content`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SharedOutcome {
+    /// The owner has not accepted us as a trusted friend
+    /// (`NOT_TRUSTED_YET`).
+    NotTrusted,
+    /// The shared-content listing.
+    Listing(Vec<ContentInfo>),
+    /// No reachable device hosts the member.
+    NoMember,
+}
+
+/// A completed operation with its timing (the raw material of Table 8).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpOutcome {
+    /// The operation this outcome belongs to.
+    pub id: OpId,
+    /// When the user started it.
+    pub started: SimTime,
+    /// When the last response arrived.
+    pub finished: SimTime,
+    /// The result data.
+    pub result: OpResult,
+}
+
+impl OpOutcome {
+    /// Wall-clock duration of the operation.
+    pub fn duration(&self) -> Duration {
+        self.finished.saturating_since(self.started)
+    }
+}
+
+/// What a response on a client connection is expected to answer.
+#[derive(Clone, Debug, PartialEq)]
+enum Pending {
+    /// Automatic member-name probe (persistent mode).
+    AutoMemberName,
+    /// Automatic interest fetch (persistent mode).
+    AutoInterests,
+    /// Part of an operation.
+    Op(OpId),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum ConnState {
+    Disconnected,
+    Connecting,
+    Ready(ConnId),
+}
+
+#[derive(Debug)]
+struct Peer {
+    device_name: String,
+    has_service: bool,
+    /// The persistent connection (unused in [`OpMode::PerOperation`]).
+    conn: ConnState,
+    member: Option<String>,
+    interests: Vec<Interest>,
+}
+
+impl Peer {
+    fn new(device_name: String) -> Self {
+        Peer {
+            device_name,
+            has_service: false,
+            conn: ConnState::Disconnected,
+            member: None,
+            interests: Vec::new(),
+        }
+    }
+
+    fn ready_conn(&self) -> Option<ConnId> {
+        match self.conn {
+            ConnState::Ready(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum OpKind {
+    /// Background neighbor probe (per-operation mode): fetch member name +
+    /// interests from every community device, then recompute groups.
+    Probe,
+    MemberList,
+    InterestList,
+    InterestedMembers,
+    ViewProfile,
+    PutComment,
+    TrustedFriends,
+    /// Two-phase (Figure 16): trust check, then the listing.
+    SharedContent {
+        member: String,
+    },
+    SendMessage,
+    FetchContent,
+}
+
+#[derive(Debug, Default)]
+struct OpAcc {
+    names: BTreeSet<String>,
+    profile: Option<ProfileView>,
+    trusted: Option<Vec<String>>,
+    listing: Option<Vec<ContentInfo>>,
+    content: Option<(String, Vec<u8>)>,
+    written: bool,
+    not_trusted: bool,
+}
+
+/// Per-operation connection plan: visit each device in turn with fresh
+/// connections (the Figure 9 client loop).
+#[derive(Debug)]
+struct OpPlan {
+    requests: Vec<Request>,
+    remaining: VecDeque<DeviceId>,
+    current: Option<(DeviceId, Option<ConnId>)>,
+}
+
+#[derive(Debug)]
+struct ActiveOp {
+    kind: OpKind,
+    started: SimTime,
+    /// Responses still expected, per connection.
+    outstanding: BTreeMap<ConnId, u32>,
+    acc: OpAcc,
+    plan: Option<OpPlan>,
+}
+
+impl ActiveOp {
+    fn expect(&mut self, conn: ConnId) {
+        *self.outstanding.entry(conn).or_insert(0) += 1;
+    }
+
+    fn outstanding_total(&self) -> u32 {
+        self.outstanding.values().sum()
+    }
+}
+
+/// The social-networking application running on one device.
+///
+/// Constructed around a [`MemberStore`]; [`CommunityApp::login`] before (or
+/// after) the cluster starts, then drive user operations through
+/// [`Cluster::with_app`](peerhood::sim::Cluster::with_app). See the crate
+/// docs for a complete example.
+#[derive(Debug)]
+pub struct CommunityApp {
+    store: MemberStore,
+    policy: MatchPolicy,
+    registry: GroupRegistry,
+    peers: BTreeMap<DeviceId, Peer>,
+    conn_to_peer: BTreeMap<ConnId, DeviceId>,
+    /// Pending responses expected on each of our client connections.
+    conn_pending: BTreeMap<ConnId, VecDeque<Pending>>,
+    /// Incoming (server-side) connections with the client device's name.
+    server_conns: BTreeMap<ConnId, String>,
+    /// Operations awaiting a connection to a device, in request order.
+    op_connects: BTreeMap<DeviceId, VecDeque<OpId>>,
+    ops: BTreeMap<OpId, ActiveOp>,
+    completed: Vec<OpOutcome>,
+    next_op: u64,
+    active_probe: Option<OpId>,
+    group_events: Vec<(SimTime, GroupEvent)>,
+    started_at: Option<SimTime>,
+    first_group_at: Option<SimTime>,
+    refresh_interval: Duration,
+    op_mode: OpMode,
+    fresh_inquiry_per_op: bool,
+    deferred_ops: BTreeMap<u64, OpId>,
+}
+
+impl CommunityApp {
+    /// Creates an application around a member store (create accounts on
+    /// the store first via [`MemberStore::create_account`]).
+    pub fn new(store: MemberStore) -> Self {
+        CommunityApp {
+            store,
+            policy: MatchPolicy::Exact,
+            registry: GroupRegistry::new(""),
+            peers: BTreeMap::new(),
+            conn_to_peer: BTreeMap::new(),
+            conn_pending: BTreeMap::new(),
+            server_conns: BTreeMap::new(),
+            op_connects: BTreeMap::new(),
+            ops: BTreeMap::new(),
+            completed: Vec::new(),
+            next_op: 0,
+            active_probe: None,
+            group_events: Vec::new(),
+            started_at: None,
+            first_group_at: None,
+            refresh_interval: Duration::from_secs(20),
+            op_mode: OpMode::Persistent,
+            fresh_inquiry_per_op: false,
+            deferred_ops: BTreeMap::new(),
+        }
+    }
+
+    /// Convenience: a store with one account, already logged in.
+    pub fn with_member(username: &str, password: &str, profile: crate::profile::Profile) -> Self {
+        let mut store = MemberStore::new();
+        store
+            .create_account(username, password, profile)
+            .expect("fresh store");
+        let mut app = CommunityApp::new(store);
+        app.login(username, password).expect("just created");
+        app
+    }
+
+    /// Overrides the periodic refresh interval (builder style).
+    pub fn with_refresh_interval(mut self, interval: Duration) -> Self {
+        self.refresh_interval = interval;
+        self
+    }
+
+    /// Selects the connection mode (builder style). See [`OpMode`].
+    pub fn with_op_mode(mut self, mode: OpMode) -> Self {
+        self.op_mode = mode;
+        self
+    }
+
+    /// In [`OpMode::PerOperation`], make every user operation begin with a
+    /// blocking device refresh — one full Bluetooth inquiry window — before
+    /// connecting (builder style). This mirrors the thesis client's "gets
+    /// the list of all nearby PeerHood capable devices" step (Figure 9) and
+    /// is the configuration used to regenerate Table 8's PeerHood column.
+    pub fn with_fresh_inquiry_per_op(mut self, on: bool) -> Self {
+        self.fresh_inquiry_per_op = on;
+        self
+    }
+
+    /// The active connection mode.
+    pub fn op_mode(&self) -> OpMode {
+        self.op_mode
+    }
+
+    // ------------------------------------------------------------------
+    // Local user management
+    // ------------------------------------------------------------------
+
+    /// Logs a user in (Table 7's login with valid username and password).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CommunityError::InvalidCredentials`].
+    pub fn login(&mut self, username: &str, password: &str) -> Result<(), CommunityError> {
+        self.store.login(username, password)?;
+        self.registry = GroupRegistry::new(username);
+        Ok(())
+    }
+
+    /// Logs the current user out.
+    pub fn logout(&mut self) {
+        self.store.logout();
+        self.registry = GroupRegistry::new("");
+    }
+
+    /// The logged-in member name.
+    pub fn member(&self) -> Option<&str> {
+        self.store.active_member()
+    }
+
+    /// Read access to the local member store.
+    pub fn store(&self) -> &MemberStore {
+        &self.store
+    }
+
+    /// Mutable access to the local member store (profile editing, trusted
+    /// friends, shared content — all local features of Table 7).
+    pub fn store_mut(&mut self) -> &mut MemberStore {
+        &mut self.store
+    }
+
+    /// Adds an interest to the active profile and re-runs group discovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::NotLoggedIn`] without a session.
+    pub fn add_interest(
+        &mut self,
+        interest: impl Into<Interest>,
+        ctx: &mut AppCtx<'_>,
+    ) -> Result<(), CommunityError> {
+        self.store
+            .require_active()?
+            .profile_mut()
+            .interests
+            .add(interest);
+        self.recompute_groups(ctx);
+        Ok(())
+    }
+
+    /// Removes an interest from the active profile and re-runs group
+    /// discovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::NotLoggedIn`] without a session.
+    pub fn remove_interest(
+        &mut self,
+        interest: impl Into<Interest>,
+        ctx: &mut AppCtx<'_>,
+    ) -> Result<(), CommunityError> {
+        self.store
+            .require_active()?
+            .profile_mut()
+            .interests
+            .remove(interest);
+        self.recompute_groups(ctx);
+        Ok(())
+    }
+
+    /// Teaches the environment that two interest terms mean the same issue
+    /// (§5.1 "users may teach the semantics to the environment") and
+    /// re-runs group discovery.
+    pub fn teach_synonym(
+        &mut self,
+        a: impl Into<Interest>,
+        b: impl Into<Interest>,
+        ctx: &mut AppCtx<'_>,
+    ) {
+        self.policy.teach(&a.into(), &b.into());
+        self.recompute_groups(ctx);
+    }
+
+    /// Adds a member to the trusted-friends list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::NotLoggedIn`] without a session.
+    pub fn add_trusted(&mut self, member: impl Into<String>) -> Result<(), CommunityError> {
+        self.store.require_active()?.trusted.insert(member.into());
+        Ok(())
+    }
+
+    /// Removes a member from the trusted-friends list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::NotLoggedIn`] without a session.
+    pub fn remove_trusted(&mut self, member: &str) -> Result<(), CommunityError> {
+        self.store.require_active()?.trusted.remove(member);
+        Ok(())
+    }
+
+    /// Who has viewed the active profile (Table 7: *View Own Viewers and
+    /// Comments*).
+    pub fn my_visitors(&self) -> Vec<crate::profile::Visit> {
+        self.store
+            .active_account()
+            .map(|a| a.profile().visitors.clone())
+            .unwrap_or_default()
+    }
+
+    /// Comments other members left on the active profile.
+    pub fn my_comments(&self) -> Vec<crate::profile::Comment> {
+        self.store
+            .active_account()
+            .map(|a| a.profile().comments.clone())
+            .unwrap_or_default()
+    }
+
+    /// Received messages, oldest first (Table 7: *Send/Receive Messages*).
+    pub fn inbox(&self) -> Vec<crate::message::MailMessage> {
+        self.store
+            .active_account()
+            .map(|a| a.mailbox.inbox().to_vec())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Group access
+    // ------------------------------------------------------------------
+
+    /// The current effective groups (dynamic + manual adjustments).
+    pub fn groups(&self) -> Vec<crate::discovery::Group> {
+        self.registry.groups()
+    }
+
+    /// Groups the local user belongs to.
+    pub fn my_groups(&self) -> Vec<crate::discovery::Group> {
+        self.registry.my_groups()
+    }
+
+    /// Manually joins a visible group (Table 7).
+    pub fn join_group(&mut self, key: &str) -> bool {
+        self.registry.join(key)
+    }
+
+    /// Manually leaves a group (Table 7).
+    pub fn leave_group(&mut self, key: &str) -> bool {
+        self.registry.leave(key)
+    }
+
+    /// Every group membership change observed so far, with its time.
+    pub fn group_events(&self) -> &[(SimTime, GroupEvent)] {
+        &self.group_events
+    }
+
+    /// When the application started (the reference point for group-search
+    /// timing).
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+
+    /// When the local user's first group formed — `started_at` to
+    /// `first_group_at` is Table 8's "group search time".
+    pub fn first_group_at(&self) -> Option<SimTime> {
+        self.first_group_at
+    }
+
+    /// Names of members currently known in the neighborhood.
+    pub fn known_members(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .peers
+            .values()
+            .filter_map(|p| p.member.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    // ------------------------------------------------------------------
+    // Completed-operation access
+    // ------------------------------------------------------------------
+
+    /// All completed operations so far.
+    pub fn completed_ops(&self) -> &[OpOutcome] {
+        &self.completed
+    }
+
+    /// The outcome of one operation, if it has completed.
+    pub fn outcome(&self, id: OpId) -> Option<&OpOutcome> {
+        self.completed.iter().find(|o| o.id == id)
+    }
+
+    // ------------------------------------------------------------------
+    // User operations (Figures 11–17)
+    // ------------------------------------------------------------------
+
+    /// Figure 11: asks every nearby community server for its online member
+    /// and displays the list.
+    pub fn get_member_list(&mut self, ctx: &mut AppCtx<'_>) -> OpId {
+        self.fan_out(ctx, OpKind::MemberList, Request::GetOnlineMemberList)
+    }
+
+    /// Figure 12: collects and deduplicates the interests available in the
+    /// neighborhood.
+    pub fn get_interest_list(&mut self, ctx: &mut AppCtx<'_>) -> OpId {
+        self.fan_out(ctx, OpKind::InterestList, Request::GetInterestList)
+    }
+
+    /// Asks every nearby community server which of its members hold
+    /// `interest`.
+    pub fn get_interested_members(&mut self, interest: &str, ctx: &mut AppCtx<'_>) -> OpId {
+        self.fan_out(
+            ctx,
+            OpKind::InterestedMembers,
+            Request::GetInterestedMemberList {
+                interest: interest.to_owned(),
+            },
+        )
+    }
+
+    /// Figure 13: requests `member`'s profile from every nearby server;
+    /// the host answers with the profile (and logs the visit), all others
+    /// with `NO_MEMBERS_YET`.
+    pub fn view_profile(&mut self, member: &str, ctx: &mut AppCtx<'_>) -> OpId {
+        let requester = self.member().unwrap_or_default().to_owned();
+        self.fan_out(
+            ctx,
+            OpKind::ViewProfile,
+            Request::GetProfile {
+                member: member.to_owned(),
+                requester,
+            },
+        )
+    }
+
+    /// Figure 14: sends a profile comment to every nearby server; only the
+    /// member's host writes it.
+    pub fn put_comment(&mut self, member: &str, comment: &str, ctx: &mut AppCtx<'_>) -> OpId {
+        let author = self.member().unwrap_or_default().to_owned();
+        self.fan_out(
+            ctx,
+            OpKind::PutComment,
+            Request::AddProfileComment {
+                member: member.to_owned(),
+                author,
+                comment: comment.to_owned(),
+            },
+        )
+    }
+
+    /// Figure 15: requests `member`'s trusted-friends list from every
+    /// nearby server.
+    pub fn view_trusted_friends(&mut self, member: &str, ctx: &mut AppCtx<'_>) -> OpId {
+        self.fan_out(
+            ctx,
+            OpKind::TrustedFriends,
+            Request::GetTrustedFriends {
+                member: member.to_owned(),
+            },
+        )
+    }
+
+    /// Figure 16: checks trust with `member`'s device, then (if trusted)
+    /// fetches their shared-content listing.
+    pub fn view_shared_content(&mut self, member: &str, ctx: &mut AppCtx<'_>) -> OpId {
+        let requester = self.member().unwrap_or_default().to_owned();
+        let req = Request::CheckTrusted {
+            member: member.to_owned(),
+            requester,
+        };
+        self.direct_op(
+            ctx,
+            OpKind::SharedContent {
+                member: member.to_owned(),
+            },
+            member,
+            req,
+        )
+    }
+
+    /// Figure 17: sends a mail message straight to the device hosting
+    /// `to`.
+    pub fn send_message(
+        &mut self,
+        to: &str,
+        subject: &str,
+        body: &str,
+        ctx: &mut AppCtx<'_>,
+    ) -> OpId {
+        let from = self.member().unwrap_or_default().to_owned();
+        let req = Request::Message {
+            to: to.to_owned(),
+            from,
+            subject: subject.to_owned(),
+            body: body.to_owned(),
+        };
+        self.direct_op(ctx, OpKind::SendMessage, to, req)
+    }
+
+    /// Fetches the bytes of one shared item from `member` (trusted-only
+    /// file transfer).
+    pub fn fetch_content(&mut self, member: &str, name: &str, ctx: &mut AppCtx<'_>) -> OpId {
+        let requester = self.member().unwrap_or_default().to_owned();
+        let req = Request::FetchContent {
+            member: member.to_owned(),
+            requester,
+            name: name.to_owned(),
+        };
+        self.direct_op(ctx, OpKind::FetchContent, member, req)
+    }
+
+    // ------------------------------------------------------------------
+    // Operation machinery
+    // ------------------------------------------------------------------
+
+    fn alloc_op(&mut self, kind: OpKind, now: SimTime) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.ops.insert(
+            id,
+            ActiveOp {
+                kind,
+                started: now,
+                outstanding: BTreeMap::new(),
+                acc: OpAcc::default(),
+                plan: None,
+            },
+        );
+        id
+    }
+
+    fn fail_op(&mut self, id: OpId, err: CommunityError, ctx: &mut AppCtx<'_>) {
+        if let Some(op) = self.ops.remove(&id) {
+            self.completed.push(OpOutcome {
+                id,
+                started: op.started,
+                finished: ctx.now(),
+                result: OpResult::Failed(err),
+            });
+        }
+    }
+
+    /// Starts a fan-out operation over all community devices.
+    fn fan_out(&mut self, ctx: &mut AppCtx<'_>, kind: OpKind, req: Request) -> OpId {
+        let id = self.alloc_op(kind, ctx.now());
+        match self.op_mode {
+            OpMode::Persistent => {
+                let targets: Vec<(DeviceId, ConnId)> = self
+                    .peers
+                    .iter()
+                    .filter_map(|(device, peer)| peer.ready_conn().map(|c| (*device, c)))
+                    .collect();
+                for (device, conn) in &targets {
+                    self.send_on(ctx, *device, *conn, &req, Pending::Op(id));
+                    self.ops.get_mut(&id).expect("just created").expect(*conn);
+                }
+                if targets.is_empty() {
+                    self.finalize_if_done(id, ctx);
+                }
+            }
+            OpMode::PerOperation => {
+                let devices: VecDeque<DeviceId> = self
+                    .peers
+                    .iter()
+                    .filter(|(_, p)| p.has_service)
+                    .map(|(d, _)| *d)
+                    .collect();
+                self.ops.get_mut(&id).expect("just created").plan = Some(OpPlan {
+                    requests: vec![req],
+                    remaining: devices,
+                    current: None,
+                });
+                self.begin_plan(id, ctx);
+            }
+        }
+        id
+    }
+
+    /// Starts an operation against the single device hosting `member`.
+    fn direct_op(
+        &mut self,
+        ctx: &mut AppCtx<'_>,
+        kind: OpKind,
+        member: &str,
+        req: Request,
+    ) -> OpId {
+        let id = self.alloc_op(kind, ctx.now());
+        let Some(device) = self.device_of_member(member) else {
+            self.fail_op(id, CommunityError::MemberNotConnected(member.to_owned()), ctx);
+            return id;
+        };
+        match self.op_mode {
+            OpMode::Persistent => {
+                match self.peers.get(&device).and_then(Peer::ready_conn) {
+                    Some(conn) => {
+                        self.send_on(ctx, device, conn, &req, Pending::Op(id));
+                        self.ops.get_mut(&id).expect("just created").expect(conn);
+                    }
+                    None => {
+                        self.fail_op(
+                            id,
+                            CommunityError::MemberNotConnected(member.to_owned()),
+                            ctx,
+                        );
+                    }
+                }
+            }
+            OpMode::PerOperation => {
+                self.ops.get_mut(&id).expect("just created").plan = Some(OpPlan {
+                    requests: vec![req],
+                    remaining: VecDeque::from([device]),
+                    current: None,
+                });
+                self.begin_plan(id, ctx);
+            }
+        }
+        id
+    }
+
+    /// Starts an operation plan, optionally after the thesis client's
+    /// blocking device refresh (one Bluetooth inquiry window).
+    fn begin_plan(&mut self, id: OpId, ctx: &mut AppCtx<'_>) {
+        if self.fresh_inquiry_per_op {
+            let token = OP_START_TIMER_BASE + id.raw();
+            self.deferred_ops.insert(token, id);
+            ctx.set_timer(
+                netsim::Technology::Bluetooth.profile().inquiry_duration,
+                token,
+            );
+        } else {
+            self.advance_plan(id, ctx);
+        }
+    }
+
+    /// Per-operation mode: close the current connection (if any) and move
+    /// on to the next device, or finalize.
+    fn advance_plan(&mut self, id: OpId, ctx: &mut AppCtx<'_>) {
+        let Some(op) = self.ops.get_mut(&id) else {
+            return;
+        };
+        let Some(plan) = op.plan.as_mut() else {
+            return;
+        };
+        if let Some((_, Some(conn))) = plan.current.take() {
+            ctx.peerhood().close(conn);
+            self.conn_to_peer.remove(&conn);
+            self.conn_pending.remove(&conn);
+        }
+        let op = self.ops.get_mut(&id).expect("still present");
+        let plan = op.plan.as_mut().expect("still present");
+        match plan.remaining.pop_front() {
+            Some(device) => {
+                plan.current = Some((device, None));
+                self.op_connects.entry(device).or_default().push_back(id);
+                ctx.peerhood().connect(device, SERVICE_NAME);
+            }
+            None => {
+                plan.current = None;
+                self.finalize_if_done(id, ctx);
+            }
+        }
+    }
+
+    fn send_on(
+        &mut self,
+        ctx: &mut AppCtx<'_>,
+        device: DeviceId,
+        conn: ConnId,
+        req: &Request,
+        pending: Pending,
+    ) {
+        let peer_name = self
+            .peers
+            .get(&device)
+            .map(|p| p.device_name.clone())
+            .unwrap_or_else(|| device.to_string());
+        ctx.trace(&peer_name, req.label());
+        ctx.peerhood().send(conn, Bytes::from(req.encode()));
+        self.conn_pending.entry(conn).or_default().push_back(pending);
+    }
+
+    fn device_of_member(&self, member: &str) -> Option<DeviceId> {
+        self.peers.iter().find_map(|(device, peer)| {
+            (peer.member.as_deref() == Some(member)).then_some(*device)
+        })
+    }
+
+    fn recompute_groups(&mut self, ctx: &mut AppCtx<'_>) {
+        let Some(me) = self.store.active_member().map(str::to_owned) else {
+            return;
+        };
+        let own: Vec<Interest> = self
+            .store
+            .active_account()
+            .map(|a| a.profile().interests.to_vec())
+            .unwrap_or_default();
+        let neighbors: Vec<(String, Vec<Interest>)> = self
+            .peers
+            .values()
+            .filter_map(|p| p.member.clone().map(|m| (m, p.interests.clone())))
+            .collect();
+        let fresh = discover_groups(&me, &own, &neighbors, &self.policy);
+        let events = self.registry.update(fresh);
+        let now = ctx.now();
+        for ev in events {
+            if let GroupEvent::GroupFormed { key, .. } = &ev {
+                ctx.trace_local(&format!("GROUP_FORMED {key}"));
+            }
+            self.group_events.push((now, ev));
+        }
+        if self.first_group_at.is_none() && !self.registry.my_groups().is_empty() {
+            self.first_group_at = Some(now);
+        }
+    }
+
+    /// Per-operation mode: probe all community devices for member names and
+    /// interests with short-lived connections (feeds group discovery).
+    fn start_probe(&mut self, ctx: &mut AppCtx<'_>) {
+        if self.active_probe.is_some() {
+            return;
+        }
+        let devices: VecDeque<DeviceId> = self
+            .peers
+            .iter()
+            .filter(|(_, p)| p.has_service)
+            .map(|(d, _)| *d)
+            .collect();
+        if devices.is_empty() {
+            return;
+        }
+        let id = self.alloc_op(OpKind::Probe, ctx.now());
+        self.active_probe = Some(id);
+        self.ops.get_mut(&id).expect("just created").plan = Some(OpPlan {
+            requests: vec![Request::GetOnlineMemberList, Request::GetInterestList],
+            remaining: devices,
+            current: None,
+        });
+        // The probe is also a "get the list of all nearby devices"
+        // operation (Figure 6 step 1): under the thesis-faithful
+        // configuration it waits for a full inquiry round first.
+        self.begin_plan(id, ctx);
+    }
+
+    /// Persistent mode: open the standing connection to a discovered
+    /// community device if none exists yet.
+    fn connect_if_needed(&mut self, device: DeviceId, ctx: &mut AppCtx<'_>) {
+        if self.op_mode != OpMode::Persistent {
+            return;
+        }
+        let Some(peer) = self.peers.get_mut(&device) else {
+            return;
+        };
+        if peer.has_service && peer.conn == ConnState::Disconnected {
+            peer.conn = ConnState::Connecting;
+            ctx.peerhood().connect(device, SERVICE_NAME);
+        }
+    }
+
+    /// Routes a response frame arriving on one of our client connections.
+    fn on_client_response(&mut self, conn: ConnId, payload: &[u8], ctx: &mut AppCtx<'_>) {
+        let Some(&device) = self.conn_to_peer.get(&conn) else {
+            return;
+        };
+        let Ok(resp) = Response::decode(payload) else {
+            return; // tolerate garbage from a confused peer
+        };
+        let pending = self
+            .conn_pending
+            .get_mut(&conn)
+            .and_then(VecDeque::pop_front);
+        let peer_name = self
+            .peers
+            .get(&device)
+            .map(|p| p.device_name.clone())
+            .unwrap_or_else(|| device.to_string());
+        ctx.trace(&peer_name, &format!("(recv) {}", resp.label()));
+        match pending {
+            Some(Pending::AutoMemberName) => {
+                let changed = {
+                    let Some(peer) = self.peers.get_mut(&device) else {
+                        return;
+                    };
+                    let before = peer.member.clone();
+                    peer.member = match &resp {
+                        Response::MemberList(names) => names.first().cloned(),
+                        _ => None,
+                    };
+                    before != peer.member
+                };
+                if changed {
+                    self.recompute_groups(ctx);
+                }
+            }
+            Some(Pending::AutoInterests) => {
+                if let Response::InterestList(items) = &resp {
+                    if let Some(peer) = self.peers.get_mut(&device) {
+                        peer.interests = items.iter().map(Interest::new).collect();
+                    }
+                    self.recompute_groups(ctx);
+                }
+            }
+            Some(Pending::Op(id)) => {
+                self.on_op_response(id, conn, device, resp, ctx);
+            }
+            None => {}
+        }
+    }
+
+    fn on_op_response(
+        &mut self,
+        id: OpId,
+        conn: ConnId,
+        device: DeviceId,
+        resp: Response,
+        ctx: &mut AppCtx<'_>,
+    ) {
+        let Some(op) = self.ops.get_mut(&id) else {
+            return;
+        };
+        if let Some(count) = op.outstanding.get_mut(&conn) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                op.outstanding.remove(&conn);
+            }
+        }
+        let mut follow_up: Option<Request> = None;
+        let mut probe_update: Option<ProbeUpdate> = None;
+        match (&op.kind, resp) {
+            (OpKind::Probe, Response::MemberList(names)) => {
+                probe_update = Some(ProbeUpdate::Member(names.first().cloned()));
+            }
+            (OpKind::Probe, Response::InterestList(items)) => {
+                probe_update = Some(ProbeUpdate::Interests(
+                    items.iter().map(Interest::new).collect(),
+                ));
+            }
+            (OpKind::Probe, Response::NoMembersYet) => {
+                probe_update = Some(ProbeUpdate::Member(None));
+            }
+            (OpKind::MemberList, Response::MemberList(names)) => {
+                op.acc.names.extend(names);
+            }
+            (OpKind::InterestList, Response::InterestList(items)) => {
+                // Figure 12: merge into the stored list, adding only new
+                // entries — the dedup happens in the accumulating set.
+                op.acc.names.extend(items);
+            }
+            (OpKind::InterestedMembers, Response::InterestedMembers(names)) => {
+                op.acc.names.extend(names);
+            }
+            (OpKind::ViewProfile, Response::Profile(view)) => {
+                op.acc.profile = Some(view);
+            }
+            (OpKind::PutComment, Response::CommentWritten) => {
+                op.acc.written = true;
+            }
+            (OpKind::TrustedFriends, Response::TrustedFriends(list)) => {
+                op.acc.trusted = Some(list);
+            }
+            (OpKind::SharedContent { member }, Response::Trusted) => {
+                // Phase 2 of Figure 16.
+                let requester = self.store.active_member().unwrap_or_default().to_owned();
+                follow_up = Some(Request::GetSharedContent {
+                    member: member.clone(),
+                    requester,
+                });
+            }
+            (OpKind::SharedContent { .. }, Response::NotTrustedYet) => {
+                op.acc.not_trusted = true;
+            }
+            (OpKind::SharedContent { .. }, Response::SharedContent(items)) => {
+                op.acc.listing = Some(items);
+            }
+            (OpKind::SendMessage, Response::MessageWritten) => {
+                op.acc.written = true;
+            }
+            (OpKind::SendMessage, Response::MessageFailed) => {
+                op.acc.written = false;
+            }
+            (OpKind::FetchContent, Response::Content { name, data }) => {
+                op.acc.content = Some((name, data));
+            }
+            (OpKind::FetchContent, Response::NotTrustedYet) => {
+                op.acc.not_trusted = true;
+            }
+            // NO_MEMBERS_YET and anything else: contributes nothing.
+            _ => {}
+        }
+        if let Some(update) = probe_update {
+            let changed = match (self.peers.get_mut(&device), update) {
+                (Some(peer), ProbeUpdate::Member(m)) => {
+                    let changed = peer.member != m;
+                    peer.member = m;
+                    changed
+                }
+                (Some(peer), ProbeUpdate::Interests(items)) => {
+                    let changed = peer.interests != items;
+                    peer.interests = items;
+                    changed
+                }
+                (None, _) => false,
+            };
+            if changed {
+                self.recompute_groups(ctx);
+            }
+        }
+        if let Some(req) = follow_up {
+            self.send_on(ctx, device, conn, &req, Pending::Op(id));
+            if let Some(op) = self.ops.get_mut(&id) {
+                op.expect(conn);
+            }
+        }
+        // Plan bookkeeping: once this device's connection has no expected
+        // responses left, close it and visit the next device.
+        let advance = self.ops.get(&id).is_some_and(|op| {
+            op.plan
+                .as_ref()
+                .is_some_and(|plan| plan.current == Some((device, Some(conn))))
+                && !op.outstanding.contains_key(&conn)
+        });
+        if advance {
+            self.advance_plan(id, ctx);
+        } else {
+            self.finalize_if_done(id, ctx);
+        }
+    }
+
+    fn finalize_if_done(&mut self, id: OpId, ctx: &mut AppCtx<'_>) {
+        let done = self.ops.get(&id).is_some_and(|op| {
+            op.outstanding_total() == 0
+                && op
+                    .plan
+                    .as_ref()
+                    .is_none_or(|p| p.remaining.is_empty() && p.current.is_none())
+        });
+        if !done {
+            return;
+        }
+        let op = self.ops.remove(&id).expect("checked");
+        if self.active_probe == Some(id) {
+            self.active_probe = None;
+            return; // probes complete silently
+        }
+        let result = match op.kind {
+            OpKind::Probe => return, // unreachable in practice
+            OpKind::MemberList => {
+                ctx.trace_local("DISPLAY MEMBER LIST");
+                OpResult::Members(op.acc.names.into_iter().collect())
+            }
+            OpKind::InterestList => {
+                ctx.trace_local("DISPLAY INTEREST LIST");
+                OpResult::Interests(op.acc.names.into_iter().collect())
+            }
+            OpKind::InterestedMembers => {
+                OpResult::InterestedMembers(op.acc.names.into_iter().collect())
+            }
+            OpKind::ViewProfile => {
+                ctx.trace_local("DISPLAY PROFILE");
+                OpResult::Profile(op.acc.profile)
+            }
+            OpKind::PutComment => OpResult::CommentResult {
+                written: op.acc.written,
+            },
+            OpKind::TrustedFriends => {
+                ctx.trace_local("DISPLAY TRUSTED FRIENDS");
+                OpResult::TrustedFriends(op.acc.trusted)
+            }
+            OpKind::SharedContent { .. } => {
+                let outcome = if let Some(items) = op.acc.listing {
+                    ctx.trace_local("DISPLAY SHARED CONTENT");
+                    SharedOutcome::Listing(items)
+                } else if op.acc.not_trusted {
+                    SharedOutcome::NotTrusted
+                } else {
+                    SharedOutcome::NoMember
+                };
+                OpResult::SharedContent(outcome)
+            }
+            OpKind::SendMessage => OpResult::MessageResult {
+                written: op.acc.written,
+            },
+            OpKind::FetchContent => OpResult::Content(op.acc.content),
+        };
+        self.completed.push(OpOutcome {
+            id,
+            started: op.started,
+            finished: ctx.now(),
+            result,
+        });
+    }
+
+    /// A connection we depended on vanished; clean up ops and peer state.
+    fn on_conn_gone(&mut self, conn: ConnId, ctx: &mut AppCtx<'_>) {
+        self.server_conns.remove(&conn);
+        self.conn_pending.remove(&conn);
+        if let Some(device) = self.conn_to_peer.remove(&conn) {
+            if let Some(peer) = self.peers.get_mut(&device) {
+                // Only a lost *persistent* connection invalidates what we
+                // know about the peer; per-operation connections come and
+                // go by design.
+                if peer.ready_conn() == Some(conn) {
+                    peer.conn = ConnState::Disconnected;
+                    peer.member = None;
+                    peer.interests.clear();
+                    self.recompute_groups(ctx);
+                }
+            }
+        }
+        let ids: Vec<OpId> = self.ops.keys().copied().collect();
+        for id in ids {
+            let mut advance = false;
+            if let Some(op) = self.ops.get_mut(&id) {
+                op.outstanding.remove(&conn);
+                if let Some(plan) = op.plan.as_mut() {
+                    if let Some((device, Some(c))) = plan.current {
+                        if c == conn {
+                            plan.current = Some((device, None));
+                            advance = true;
+                        }
+                    }
+                }
+            }
+            if advance {
+                // The device died mid-visit: skip to the next one.
+                if let Some(op) = self.ops.get_mut(&id) {
+                    if let Some(plan) = op.plan.as_mut() {
+                        plan.current = None;
+                    }
+                }
+                self.advance_plan(id, ctx);
+            } else {
+                self.finalize_if_done(id, ctx);
+            }
+        }
+    }
+
+    /// A connection attempt made on behalf of an operation plan resolved.
+    fn on_op_connect_resolved(
+        &mut self,
+        device: DeviceId,
+        conn: Option<ConnId>,
+        ctx: &mut AppCtx<'_>,
+    ) -> bool {
+        let Some(queue) = self.op_connects.get_mut(&device) else {
+            return false;
+        };
+        let Some(id) = queue.pop_front() else {
+            return false;
+        };
+        if queue.is_empty() {
+            self.op_connects.remove(&device);
+        }
+        match conn {
+            Some(conn) => {
+                self.conn_to_peer.insert(conn, device);
+                let requests: Vec<Request> = self
+                    .ops
+                    .get(&id)
+                    .and_then(|op| op.plan.as_ref())
+                    .map(|p| p.requests.clone())
+                    .unwrap_or_default();
+                if requests.is_empty() {
+                    // The op finished or vanished meanwhile: just close.
+                    ctx.peerhood().close(conn);
+                    return true;
+                }
+                if let Some(op) = self.ops.get_mut(&id) {
+                    if let Some(plan) = op.plan.as_mut() {
+                        plan.current = Some((device, Some(conn)));
+                    }
+                }
+                for req in &requests {
+                    self.send_on(ctx, device, conn, req, Pending::Op(id));
+                    if let Some(op) = self.ops.get_mut(&id) {
+                        op.expect(conn);
+                    }
+                }
+            }
+            None => {
+                // Connect failed: skip this device.
+                if let Some(op) = self.ops.get_mut(&id) {
+                    if let Some(plan) = op.plan.as_mut() {
+                        plan.current = None;
+                    }
+                }
+                self.advance_plan(id, ctx);
+            }
+        }
+        true
+    }
+}
+
+#[derive(Debug)]
+enum ProbeUpdate {
+    Member(Option<String>),
+    Interests(Vec<Interest>),
+}
+
+impl Application for CommunityApp {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.started_at = Some(ctx.now());
+        // Figure 8: the server registers the PeerHoodCommunity service in
+        // the PeerHood Daemon.
+        ctx.peerhood()
+            .register_service(ServiceInfo::new(SERVICE_NAME).with_attribute("version", "0.2"));
+        ctx.set_timer(self.refresh_interval, REFRESH_TIMER);
+    }
+
+    fn on_event(&mut self, event: AppEvent, ctx: &mut AppCtx<'_>) {
+        match event {
+            AppEvent::DeviceAppeared(info) => {
+                ctx.peerhood().monitor(info.id);
+                self.peers
+                    .entry(info.id)
+                    .or_insert_with(|| Peer::new(info.name.clone()));
+                ctx.peerhood().request_service_list(info.id);
+            }
+            AppEvent::ServiceList { device, services } => {
+                let has = services.iter().any(|s| s.name() == SERVICE_NAME);
+                if let Some(peer) = self.peers.get_mut(&device) {
+                    peer.has_service = has;
+                }
+                if has {
+                    match self.op_mode {
+                        OpMode::Persistent => self.connect_if_needed(device, ctx),
+                        OpMode::PerOperation => self.start_probe(ctx),
+                    }
+                }
+            }
+            AppEvent::Connected {
+                conn,
+                device,
+                service,
+                ..
+            } => {
+                if service != SERVICE_NAME {
+                    return;
+                }
+                // Operation-plan connections take precedence.
+                if self.on_op_connect_resolved(device, Some(conn), ctx) {
+                    return;
+                }
+                if let Some(peer) = self.peers.get_mut(&device) {
+                    peer.conn = ConnState::Ready(conn);
+                    self.conn_to_peer.insert(conn, device);
+                    // Automatic probes on the standing connection: who is
+                    // logged in there, and what do they like?
+                    self.send_on(
+                        ctx,
+                        device,
+                        conn,
+                        &Request::GetOnlineMemberList,
+                        Pending::AutoMemberName,
+                    );
+                    self.send_on(
+                        ctx,
+                        device,
+                        conn,
+                        &Request::GetInterestList,
+                        Pending::AutoInterests,
+                    );
+                }
+            }
+            AppEvent::ConnectFailed { device, .. } => {
+                if self.on_op_connect_resolved(device, None, ctx) {
+                    return;
+                }
+                if let Some(peer) = self.peers.get_mut(&device) {
+                    if peer.conn == ConnState::Connecting {
+                        peer.conn = ConnState::Disconnected;
+                    }
+                }
+            }
+            AppEvent::Incoming {
+                conn,
+                device,
+                service,
+                ..
+            }
+                if service == SERVICE_NAME => {
+                    let name = self
+                        .peers
+                        .get(&device)
+                        .map(|p| p.device_name.clone())
+                        .unwrap_or_else(|| device.to_string());
+                    self.server_conns.insert(conn, name);
+                }
+            AppEvent::Data { conn, payload } => {
+                if let Some(client_name) = self.server_conns.get(&conn).cloned() {
+                    // Server side: decode a request, dispatch, respond.
+                    let Ok(req) = Request::decode(&payload) else {
+                        return;
+                    };
+                    let resp = handle_request(&mut self.store, &self.policy, &req, ctx.now());
+                    ctx.trace(&client_name, resp.label());
+                    ctx.peerhood().send(conn, Bytes::from(resp.encode()));
+                } else {
+                    self.on_client_response(conn, &payload, ctx);
+                }
+            }
+            AppEvent::Closed { conn, .. } => {
+                self.on_conn_gone(conn, ctx);
+            }
+            AppEvent::DeviceDisappeared(info) => {
+                // "If any remote device is unreachable, that remote device
+                // is considered as disconnected and removed from all
+                // associated interest groups" (§5.1).
+                if let Some(peer) = self.peers.remove(&info.id) {
+                    if let ConnState::Ready(conn) = peer.conn {
+                        self.conn_to_peer.remove(&conn);
+                        self.conn_pending.remove(&conn);
+                        ctx.peerhood().close(conn);
+                    }
+                }
+                self.recompute_groups(ctx);
+            }
+            AppEvent::Handover { .. }
+            | AppEvent::MonitorAlert { .. }
+            | AppEvent::DeviceList(_)
+            | AppEvent::ServiceRegistration { .. } => {}
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut AppCtx<'_>) {
+        if let Some(id) = self.deferred_ops.remove(&token) {
+            self.advance_plan(id, ctx);
+            return;
+        }
+        if token != REFRESH_TIMER {
+            return;
+        }
+        match self.op_mode {
+            OpMode::Persistent => {
+                // Reconnect dropped community peers and refresh
+                // member/interest state of connected ones (picks up
+                // interest edits on other devices).
+                let devices: Vec<DeviceId> = self.peers.keys().copied().collect();
+                for device in devices {
+                    let (ready, has_service) = match self.peers.get(&device) {
+                        Some(p) => (p.ready_conn(), p.has_service),
+                        None => continue,
+                    };
+                    match ready {
+                        Some(conn) => {
+                            self.send_on(
+                                ctx,
+                                device,
+                                conn,
+                                &Request::GetOnlineMemberList,
+                                Pending::AutoMemberName,
+                            );
+                            self.send_on(
+                                ctx,
+                                device,
+                                conn,
+                                &Request::GetInterestList,
+                                Pending::AutoInterests,
+                            );
+                        }
+                        None if has_service => self.connect_if_needed(device, ctx),
+                        None => {
+                            // Service list may have been missed; ask again.
+                            ctx.peerhood().request_service_list(device);
+                        }
+                    }
+                }
+            }
+            OpMode::PerOperation => {
+                self.start_probe(ctx);
+            }
+        }
+        ctx.set_timer(self.refresh_interval, REFRESH_TIMER);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+
+    fn app(name: &str, interests: &[&str]) -> CommunityApp {
+        CommunityApp::with_member(
+            name,
+            "pw",
+            Profile::new(name).with_interests(interests.iter().copied()),
+        )
+    }
+
+    #[test]
+    fn with_member_logs_in() {
+        let a = app("alice", &["chess"]);
+        assert_eq!(a.member(), Some("alice"));
+        assert!(a.groups().is_empty());
+        assert_eq!(a.op_mode(), OpMode::Persistent);
+    }
+
+    #[test]
+    fn login_failure_propagates() {
+        let mut store = MemberStore::new();
+        store
+            .create_account("bob", "right", Profile::new("Bob"))
+            .unwrap();
+        let mut a = CommunityApp::new(store);
+        assert_eq!(
+            a.login("bob", "wrong"),
+            Err(CommunityError::InvalidCredentials)
+        );
+        assert_eq!(a.member(), None);
+        a.login("bob", "right").unwrap();
+        assert_eq!(a.member(), Some("bob"));
+        a.logout();
+        assert_eq!(a.member(), None);
+    }
+
+    #[test]
+    fn trusted_management_requires_login() {
+        let mut a = CommunityApp::new(MemberStore::new());
+        assert_eq!(a.add_trusted("x"), Err(CommunityError::NotLoggedIn));
+        let mut b = app("bob", &[]);
+        b.add_trusted("alice").unwrap();
+        assert!(b.store().active_account().unwrap().trusted.contains("alice"));
+        b.remove_trusted("alice").unwrap();
+        assert!(!b.store().active_account().unwrap().trusted.contains("alice"));
+    }
+
+    #[test]
+    fn op_mode_builder() {
+        let a = app("alice", &[]).with_op_mode(OpMode::PerOperation);
+        assert_eq!(a.op_mode(), OpMode::PerOperation);
+    }
+
+    #[test]
+    fn outcome_lookup_finds_completed_ops() {
+        let a = app("alice", &[]);
+        assert!(a.completed_ops().is_empty());
+        assert!(a.outcome(OpId(0)).is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Member profiles: the data a user creates on their own PTD.
+//!
+//! In social networking on top of PeerHood there is no central database —
+//! "users creates their profile on their PTD" (§5.1). A [`Profile`] carries
+//! free-form descriptive fields, the interest list that drives dynamic group
+//! discovery, comments left by other members (Figure 14) and the visitor log
+//! the server appends to when a profile is viewed (Figure 13).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use netsim::SimTime;
+
+use crate::interest::{Interest, InterestSet};
+
+/// A comment another member left on a profile.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Comment {
+    /// The commenting member's name.
+    pub author: String,
+    /// The comment text.
+    pub text: String,
+    /// When it was written (server clock).
+    pub at: SimTime,
+}
+
+impl fmt::Display for Comment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.author, self.text)
+    }
+}
+
+/// A record of someone viewing this profile.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Visit {
+    /// The visiting member's name.
+    pub visitor: String,
+    /// When they viewed the profile.
+    pub at: SimTime,
+}
+
+/// One profile of a member (the application supports multiple profiles per
+/// account — Table 7: *Support for Multiple Profiles*).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Display name shown to other members.
+    pub display_name: String,
+    /// Free-form descriptive fields ("city" → "Lappeenranta", …), in key
+    /// order.
+    pub fields: BTreeMap<String, String>,
+    /// The interests used for dynamic group discovery.
+    pub interests: InterestSet,
+    /// Comments left by other members, oldest first.
+    pub comments: Vec<Comment>,
+    /// Who has viewed this profile, oldest first.
+    pub visitors: Vec<Visit>,
+}
+
+impl Profile {
+    /// Creates a profile with a display name and no other data.
+    pub fn new(display_name: impl Into<String>) -> Self {
+        Profile {
+            display_name: display_name.into(),
+            ..Profile::default()
+        }
+    }
+
+    /// Sets a descriptive field (builder style).
+    pub fn with_field(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.fields.insert(key.into(), value.into());
+        self
+    }
+
+    /// Adds interests (builder style).
+    pub fn with_interests<I>(mut self, interests: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<Interest>,
+    {
+        for i in interests {
+            self.interests.add(i.into());
+        }
+        self
+    }
+
+    /// Appends a comment (called by the server for
+    /// `PS_ADDPROFILECOMMENT`).
+    pub fn add_comment(&mut self, author: impl Into<String>, text: impl Into<String>, at: SimTime) {
+        self.comments.push(Comment {
+            author: author.into(),
+            text: text.into(),
+            at,
+        });
+    }
+
+    /// Records a profile view (called by the server for `PS_GETPROFILE`;
+    /// Figure 13's "write profile visitor" step).
+    pub fn record_visit(&mut self, visitor: impl Into<String>, at: SimTime) {
+        self.visitors.push(Visit {
+            visitor: visitor.into(),
+            at,
+        });
+    }
+}
+
+/// The profile data sent over the wire in answer to `PS_GETPROFILE`
+/// (Figure 13: profile information, interest list, trusted friends and
+/// profile comments travel together).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileView {
+    /// The member's login name (their unique id in the neighborhood).
+    pub member: String,
+    /// Their display name.
+    pub display_name: String,
+    /// Descriptive fields.
+    pub fields: BTreeMap<String, String>,
+    /// Interests (display forms).
+    pub interests: Vec<String>,
+    /// Trusted friends' member names.
+    pub trusted: Vec<String>,
+    /// Comments as `"author: text"` lines.
+    pub comments: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_profile() {
+        let p = Profile::new("Bishal")
+            .with_field("city", "Lappeenranta")
+            .with_interests(["Football", "Mobile P2P"]);
+        assert_eq!(p.display_name, "Bishal");
+        assert_eq!(p.fields["city"], "Lappeenranta");
+        assert_eq!(p.interests.len(), 2);
+    }
+
+    #[test]
+    fn comments_accumulate_in_order() {
+        let mut p = Profile::new("x");
+        p.add_comment("alice", "hi", SimTime::from_secs(1));
+        p.add_comment("bob", "yo", SimTime::from_secs(2));
+        assert_eq!(p.comments.len(), 2);
+        assert_eq!(p.comments[0].to_string(), "alice: hi");
+        assert!(p.comments[0].at < p.comments[1].at);
+    }
+
+    #[test]
+    fn visits_are_recorded() {
+        let mut p = Profile::new("x");
+        p.record_visit("carol", SimTime::from_secs(5));
+        assert_eq!(p.visitors[0].visitor, "carol");
+    }
+
+    #[test]
+    fn profile_serde_round_trip() {
+        let mut p = Profile::new("n").with_interests(["chess"]);
+        p.add_comment("a", "b", SimTime::from_secs(1));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Profile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

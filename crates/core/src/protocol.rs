@@ -1,0 +1,774 @@
+//! The PeerHood Community wire protocol.
+//!
+//! Table 6 of the thesis lists the client requests (`PS_*` operations) and
+//! the server functions answering them; the MSC figures (11–17) add the
+//! response vocabulary (`NO_MEMBERS_YET`, `NOT_TRUSTED_YET`,
+//! `SUCCESSFULLY_WRITTEN`, `UNSUCCESSFULL`). This module defines those
+//! messages as [`Request`] / [`Response`] enums with a compact hand-rolled
+//! binary encoding — one encoded message per PeerHood frame, so the
+//! simulator charges realistic transfer time for exactly the bytes sent.
+
+use crate::content::ContentInfo;
+use crate::error::CommunityError;
+use crate::profile::ProfileView;
+
+/// A client request (one `PS_*` operation of Table 6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Request {
+    /// `PS_GETONLINEMEMBERLIST` — who is logged in on this device?
+    GetOnlineMemberList,
+    /// `PS_GETINTERESTLIST` — the device user's interests.
+    GetInterestList,
+    /// `PS_GETINTERESTEDMEMBERLIST` — members on this device interested in
+    /// `interest`.
+    GetInterestedMemberList {
+        /// The interest asked about (normalized key or display form).
+        interest: String,
+    },
+    /// `PS_GETPROFILE` — the full profile of `member`, announcing the
+    /// `requester` so the server can log the visit (Figure 13).
+    GetProfile {
+        /// Whose profile is wanted.
+        member: String,
+        /// Who is asking (written to the visitor log).
+        requester: String,
+    },
+    /// `PS_ADDPROFILECOMMENT` — append `comment` to `member`'s profile
+    /// (Figure 14).
+    AddProfileComment {
+        /// Whose profile to comment on.
+        member: String,
+        /// The commenting member.
+        author: String,
+        /// The comment text.
+        comment: String,
+    },
+    /// `PS_CHECKMEMBERID` — does `member` live on this device?
+    CheckMemberId {
+        /// The member id to check.
+        member: String,
+    },
+    /// `PS_MSG` — deliver a mail message (Figure 17).
+    Message {
+        /// Receiving member.
+        to: String,
+        /// Sending member.
+        from: String,
+        /// Subject line.
+        subject: String,
+        /// Body text.
+        body: String,
+    },
+    /// `PS_GETSHAREDCONTENT` / `PS_SHAREDCONTENT` — list `member`'s shared
+    /// content; trusted requesters only (Figure 16).
+    GetSharedContent {
+        /// Whose content.
+        member: String,
+        /// Who is asking (trust is checked against this name).
+        requester: String,
+    },
+    /// `PS_GETTRUSTEDFRIEND` — `member`'s trusted-friends list (Figure 15).
+    GetTrustedFriends {
+        /// Whose trusted list.
+        member: String,
+    },
+    /// `PS_CHECKTRUSTED` — is `requester` on `member`'s trusted list
+    /// (Figure 16, first phase)?
+    CheckTrusted {
+        /// Whose trust list to consult.
+        member: String,
+        /// The member asking for trust.
+        requester: String,
+    },
+    /// `PS_FETCHCONTENT` — fetch the bytes of one shared item (trusted
+    /// requesters only; the transfer half of the file-sharing feature).
+    FetchContent {
+        /// Whose content.
+        member: String,
+        /// Who is asking.
+        requester: String,
+        /// Item name from a previous listing.
+        name: String,
+    },
+}
+
+impl Request {
+    /// The thesis's protocol label for this request (MSC arrow text).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::GetOnlineMemberList => "PS_GETONLINEMEMBERLIST",
+            Request::GetInterestList => "PS_GETINTERESTLIST",
+            Request::GetInterestedMemberList { .. } => "PS_GETINTERESTEDMEMBERLIST",
+            Request::GetProfile { .. } => "PS_GETPROFILE",
+            Request::AddProfileComment { .. } => "PS_ADDPROFILECOMMENT",
+            Request::CheckMemberId { .. } => "PS_CHECKMEMBERID",
+            Request::Message { .. } => "PS_MSG",
+            Request::GetSharedContent { .. } => "PS_GETSHAREDCONTENT",
+            Request::GetTrustedFriends { .. } => "PS_GETTRUSTEDFRIEND",
+            Request::CheckTrusted { .. } => "PS_CHECKTRUSTED",
+            Request::FetchContent { .. } => "PS_FETCHCONTENT",
+        }
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Response {
+    /// The member(s) logged in on the answering device.
+    MemberList(Vec<String>),
+    /// The answering device user's interests (display forms).
+    InterestList(Vec<String>),
+    /// Members on the answering device with the asked interest.
+    InterestedMembers(Vec<String>),
+    /// The requested profile (Figure 13's bundle: info, interests, trusted
+    /// friends, comments).
+    Profile(ProfileView),
+    /// `NO_MEMBERS_YET` — the asked member does not live on this device (or
+    /// nobody is logged in).
+    NoMembersYet,
+    /// The profile comment was written.
+    CommentWritten,
+    /// Answer to `PS_CHECKMEMBERID`.
+    CheckMemberResult(bool),
+    /// `SUCCESSFULLY_WRITTEN` — the mail message reached the inbox.
+    MessageWritten,
+    /// `UNSUCCESSFULL` — the mail message could not be written.
+    MessageFailed,
+    /// The shared-content listing.
+    SharedContent(Vec<ContentInfo>),
+    /// `NOT_TRUSTED_YET` — the requester is not on the trusted list.
+    NotTrustedYet,
+    /// The trusted-friends list.
+    TrustedFriends(Vec<String>),
+    /// `PS_CHECKTRUSTED` succeeded: the requester is trusted.
+    Trusted,
+    /// The bytes of one shared item.
+    Content {
+        /// Item name.
+        name: String,
+        /// Item bytes.
+        data: Vec<u8>,
+    },
+    /// A server-side error description.
+    Error(String),
+}
+
+impl Response {
+    /// The thesis's protocol label for this response (MSC arrow text).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Response::MemberList(_) => "ONLINE_MEMBERS",
+            Response::InterestList(_) => "INTEREST_LIST",
+            Response::InterestedMembers(_) => "INTERESTED_MEMBERS",
+            Response::Profile(_) => "PROFILE_INFO",
+            Response::NoMembersYet => "NO_MEMBERS_YET",
+            Response::CommentWritten => "COMMENT_WRITTEN",
+            Response::CheckMemberResult(_) => "CHECKMEMBERID_RESULT",
+            Response::MessageWritten => "SUCCESSFULLY_WRITTEN",
+            Response::MessageFailed => "UNSUCCESSFULL",
+            Response::SharedContent(_) => "SHARED_CONTENT",
+            Response::NotTrustedYet => "NOT_TRUSTED_YET",
+            Response::TrustedFriends(_) => "TRUSTED_FRIENDS",
+            Response::Trusted => "TRUSTED_OK",
+            Response::Content { .. } => "CONTENT",
+            Response::Error(_) => "ERROR",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------
+
+/// Opcode constants (requests < 0x80, responses >= 0x80).
+mod op {
+    pub const GET_ONLINE_MEMBER_LIST: u8 = 0x01;
+    pub const GET_INTEREST_LIST: u8 = 0x02;
+    pub const GET_INTERESTED_MEMBER_LIST: u8 = 0x03;
+    pub const GET_PROFILE: u8 = 0x04;
+    pub const ADD_PROFILE_COMMENT: u8 = 0x05;
+    pub const CHECK_MEMBER_ID: u8 = 0x06;
+    pub const MESSAGE: u8 = 0x07;
+    pub const GET_SHARED_CONTENT: u8 = 0x08;
+    pub const GET_TRUSTED_FRIENDS: u8 = 0x09;
+    pub const CHECK_TRUSTED: u8 = 0x0A;
+    pub const FETCH_CONTENT: u8 = 0x0B;
+
+    pub const MEMBER_LIST: u8 = 0x81;
+    pub const INTEREST_LIST: u8 = 0x82;
+    pub const INTERESTED_MEMBERS: u8 = 0x83;
+    pub const PROFILE: u8 = 0x84;
+    pub const NO_MEMBERS_YET: u8 = 0x85;
+    pub const COMMENT_WRITTEN: u8 = 0x86;
+    pub const CHECK_MEMBER_RESULT: u8 = 0x87;
+    pub const MESSAGE_WRITTEN: u8 = 0x88;
+    pub const MESSAGE_FAILED: u8 = 0x89;
+    pub const SHARED_CONTENT: u8 = 0x8A;
+    pub const NOT_TRUSTED_YET: u8 = 0x8B;
+    pub const TRUSTED_FRIENDS: u8 = 0x8C;
+    pub const TRUSTED: u8 = 0x8D;
+    pub const CONTENT: u8 = 0x8E;
+    pub const ERROR: u8 = 0x8F;
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(opcode: u8) -> Self {
+        Writer { buf: vec![opcode] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    fn str_list(&mut self, items: &[String]) {
+        self.u32(items.len() as u32);
+        for s in items {
+            self.str(s);
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn err(msg: &str) -> CommunityError {
+        CommunityError::Codec(msg.to_owned())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CommunityError> {
+        if self.pos + n > self.buf.len() {
+            return Err(Self::err("truncated message"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, CommunityError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CommunityError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CommunityError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<String, CommunityError> {
+        let len = self.u32()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| Self::err("invalid utf-8"))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CommunityError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn str_list(&mut self) -> Result<Vec<String>, CommunityError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() {
+            // A list cannot have more elements than the message has bytes:
+            // reject absurd lengths before allocating.
+            return Err(Self::err("list length exceeds message size"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.str()?);
+        }
+        Ok(out)
+    }
+
+    fn expect_end(&self) -> Result<(), CommunityError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Self::err("trailing bytes"))
+        }
+    }
+}
+
+impl Request {
+    /// Encodes the request as one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::GetOnlineMemberList => Writer::new(op::GET_ONLINE_MEMBER_LIST).finish(),
+            Request::GetInterestList => Writer::new(op::GET_INTEREST_LIST).finish(),
+            Request::GetInterestedMemberList { interest } => {
+                let mut w = Writer::new(op::GET_INTERESTED_MEMBER_LIST);
+                w.str(interest);
+                w.finish()
+            }
+            Request::GetProfile { member, requester } => {
+                let mut w = Writer::new(op::GET_PROFILE);
+                w.str(member);
+                w.str(requester);
+                w.finish()
+            }
+            Request::AddProfileComment {
+                member,
+                author,
+                comment,
+            } => {
+                let mut w = Writer::new(op::ADD_PROFILE_COMMENT);
+                w.str(member);
+                w.str(author);
+                w.str(comment);
+                w.finish()
+            }
+            Request::CheckMemberId { member } => {
+                let mut w = Writer::new(op::CHECK_MEMBER_ID);
+                w.str(member);
+                w.finish()
+            }
+            Request::Message {
+                to,
+                from,
+                subject,
+                body,
+            } => {
+                let mut w = Writer::new(op::MESSAGE);
+                w.str(to);
+                w.str(from);
+                w.str(subject);
+                w.str(body);
+                w.finish()
+            }
+            Request::GetSharedContent { member, requester } => {
+                let mut w = Writer::new(op::GET_SHARED_CONTENT);
+                w.str(member);
+                w.str(requester);
+                w.finish()
+            }
+            Request::GetTrustedFriends { member } => {
+                let mut w = Writer::new(op::GET_TRUSTED_FRIENDS);
+                w.str(member);
+                w.finish()
+            }
+            Request::CheckTrusted { member, requester } => {
+                let mut w = Writer::new(op::CHECK_TRUSTED);
+                w.str(member);
+                w.str(requester);
+                w.finish()
+            }
+            Request::FetchContent {
+                member,
+                requester,
+                name,
+            } => {
+                let mut w = Writer::new(op::FETCH_CONTENT);
+                w.str(member);
+                w.str(requester);
+                w.str(name);
+                w.finish()
+            }
+        }
+    }
+
+    /// Decodes a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::Codec`] on truncation, unknown opcodes,
+    /// invalid UTF-8 or trailing bytes.
+    pub fn decode(frame: &[u8]) -> Result<Request, CommunityError> {
+        let mut r = Reader::new(frame);
+        let opcode = r.u8()?;
+        let req = match opcode {
+            op::GET_ONLINE_MEMBER_LIST => Request::GetOnlineMemberList,
+            op::GET_INTEREST_LIST => Request::GetInterestList,
+            op::GET_INTERESTED_MEMBER_LIST => Request::GetInterestedMemberList {
+                interest: r.str()?,
+            },
+            op::GET_PROFILE => Request::GetProfile {
+                member: r.str()?,
+                requester: r.str()?,
+            },
+            op::ADD_PROFILE_COMMENT => Request::AddProfileComment {
+                member: r.str()?,
+                author: r.str()?,
+                comment: r.str()?,
+            },
+            op::CHECK_MEMBER_ID => Request::CheckMemberId { member: r.str()? },
+            op::MESSAGE => Request::Message {
+                to: r.str()?,
+                from: r.str()?,
+                subject: r.str()?,
+                body: r.str()?,
+            },
+            op::GET_SHARED_CONTENT => Request::GetSharedContent {
+                member: r.str()?,
+                requester: r.str()?,
+            },
+            op::GET_TRUSTED_FRIENDS => Request::GetTrustedFriends { member: r.str()? },
+            op::CHECK_TRUSTED => Request::CheckTrusted {
+                member: r.str()?,
+                requester: r.str()?,
+            },
+            op::FETCH_CONTENT => Request::FetchContent {
+                member: r.str()?,
+                requester: r.str()?,
+                name: r.str()?,
+            },
+            other => return Err(Reader::err(&format!("unknown request opcode {other:#x}"))),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+fn encode_profile_view(w: &mut Writer, v: &ProfileView) {
+    w.str(&v.member);
+    w.str(&v.display_name);
+    w.u32(v.fields.len() as u32);
+    for (k, val) in &v.fields {
+        w.str(k);
+        w.str(val);
+    }
+    w.str_list(&v.interests);
+    w.str_list(&v.trusted);
+    w.str_list(&v.comments);
+}
+
+fn decode_profile_view(r: &mut Reader<'_>) -> Result<ProfileView, CommunityError> {
+    let member = r.str()?;
+    let display_name = r.str()?;
+    let n = r.u32()? as usize;
+    let mut fields = std::collections::BTreeMap::new();
+    for _ in 0..n {
+        let k = r.str()?;
+        let v = r.str()?;
+        fields.insert(k, v);
+    }
+    Ok(ProfileView {
+        member,
+        display_name,
+        fields,
+        interests: r.str_list()?,
+        trusted: r.str_list()?,
+        comments: r.str_list()?,
+    })
+}
+
+impl Response {
+    /// Encodes the response as one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::MemberList(v) => {
+                let mut w = Writer::new(op::MEMBER_LIST);
+                w.str_list(v);
+                w.finish()
+            }
+            Response::InterestList(v) => {
+                let mut w = Writer::new(op::INTEREST_LIST);
+                w.str_list(v);
+                w.finish()
+            }
+            Response::InterestedMembers(v) => {
+                let mut w = Writer::new(op::INTERESTED_MEMBERS);
+                w.str_list(v);
+                w.finish()
+            }
+            Response::Profile(v) => {
+                let mut w = Writer::new(op::PROFILE);
+                encode_profile_view(&mut w, v);
+                w.finish()
+            }
+            Response::NoMembersYet => Writer::new(op::NO_MEMBERS_YET).finish(),
+            Response::CommentWritten => Writer::new(op::COMMENT_WRITTEN).finish(),
+            Response::CheckMemberResult(b) => {
+                let mut w = Writer::new(op::CHECK_MEMBER_RESULT);
+                w.u8(u8::from(*b));
+                w.finish()
+            }
+            Response::MessageWritten => Writer::new(op::MESSAGE_WRITTEN).finish(),
+            Response::MessageFailed => Writer::new(op::MESSAGE_FAILED).finish(),
+            Response::SharedContent(items) => {
+                let mut w = Writer::new(op::SHARED_CONTENT);
+                w.u32(items.len() as u32);
+                for c in items {
+                    w.str(&c.name);
+                    w.u64(c.size);
+                    w.str(&c.kind);
+                }
+                w.finish()
+            }
+            Response::NotTrustedYet => Writer::new(op::NOT_TRUSTED_YET).finish(),
+            Response::TrustedFriends(v) => {
+                let mut w = Writer::new(op::TRUSTED_FRIENDS);
+                w.str_list(v);
+                w.finish()
+            }
+            Response::Trusted => Writer::new(op::TRUSTED).finish(),
+            Response::Content { name, data } => {
+                let mut w = Writer::new(op::CONTENT);
+                w.str(name);
+                w.bytes(data);
+                w.finish()
+            }
+            Response::Error(msg) => {
+                let mut w = Writer::new(op::ERROR);
+                w.str(msg);
+                w.finish()
+            }
+        }
+    }
+
+    /// Decodes a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::Codec`] on truncation, unknown opcodes,
+    /// invalid UTF-8 or trailing bytes.
+    pub fn decode(frame: &[u8]) -> Result<Response, CommunityError> {
+        let mut r = Reader::new(frame);
+        let opcode = r.u8()?;
+        let resp = match opcode {
+            op::MEMBER_LIST => Response::MemberList(r.str_list()?),
+            op::INTEREST_LIST => Response::InterestList(r.str_list()?),
+            op::INTERESTED_MEMBERS => Response::InterestedMembers(r.str_list()?),
+            op::PROFILE => Response::Profile(decode_profile_view(&mut r)?),
+            op::NO_MEMBERS_YET => Response::NoMembersYet,
+            op::COMMENT_WRITTEN => Response::CommentWritten,
+            op::CHECK_MEMBER_RESULT => Response::CheckMemberResult(r.u8()? != 0),
+            op::MESSAGE_WRITTEN => Response::MessageWritten,
+            op::MESSAGE_FAILED => Response::MessageFailed,
+            op::SHARED_CONTENT => {
+                let n = r.u32()? as usize;
+                if n > frame.len() {
+                    return Err(Reader::err("list length exceeds message size"));
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(ContentInfo {
+                        name: r.str()?,
+                        size: r.u64()?,
+                        kind: r.str()?,
+                    });
+                }
+                Response::SharedContent(items)
+            }
+            op::NOT_TRUSTED_YET => Response::NotTrustedYet,
+            op::TRUSTED_FRIENDS => Response::TrustedFriends(r.str_list()?),
+            op::TRUSTED => Response::Trusted,
+            op::CONTENT => Response::Content {
+                name: r.str()?,
+                data: r.bytes()?,
+            },
+            op::ERROR => Response::Error(r.str()?),
+            other => return Err(Reader::err(&format!("unknown response opcode {other:#x}"))),
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::GetOnlineMemberList,
+            Request::GetInterestList,
+            Request::GetInterestedMemberList {
+                interest: "football".into(),
+            },
+            Request::GetProfile {
+                member: "bob".into(),
+                requester: "alice".into(),
+            },
+            Request::AddProfileComment {
+                member: "bob".into(),
+                author: "alice".into(),
+                comment: "hello from the bus".into(),
+            },
+            Request::CheckMemberId {
+                member: "bob".into(),
+            },
+            Request::Message {
+                to: "bob".into(),
+                from: "alice".into(),
+                subject: "hi".into(),
+                body: "are you at the pub?".into(),
+            },
+            Request::GetSharedContent {
+                member: "bob".into(),
+                requester: "alice".into(),
+            },
+            Request::GetTrustedFriends {
+                member: "bob".into(),
+            },
+            Request::CheckTrusted {
+                member: "bob".into(),
+                requester: "alice".into(),
+            },
+            Request::FetchContent {
+                member: "bob".into(),
+                requester: "alice".into(),
+                name: "song.mp3".into(),
+            },
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        let mut fields = BTreeMap::new();
+        fields.insert("city".to_owned(), "Lappeenranta".to_owned());
+        vec![
+            Response::MemberList(vec!["bob".into()]),
+            Response::InterestList(vec!["Football".into(), "Ice Hockey".into()]),
+            Response::InterestedMembers(vec!["bob".into()]),
+            Response::Profile(ProfileView {
+                member: "bob".into(),
+                display_name: "Bob".into(),
+                fields,
+                interests: vec!["Football".into()],
+                trusted: vec!["alice".into()],
+                comments: vec!["alice: hi".into()],
+            }),
+            Response::NoMembersYet,
+            Response::CommentWritten,
+            Response::CheckMemberResult(true),
+            Response::CheckMemberResult(false),
+            Response::MessageWritten,
+            Response::MessageFailed,
+            Response::SharedContent(vec![ContentInfo {
+                name: "song.mp3".into(),
+                size: 4_200_000,
+                kind: "music".into(),
+            }]),
+            Response::NotTrustedYet,
+            Response::TrustedFriends(vec!["alice".into(), "carol".into()]),
+            Response::Trusted,
+            Response::Content {
+                name: "song.mp3".into(),
+                data: vec![0, 1, 2, 255],
+            },
+            Response::Error("boom".into()),
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for req in all_requests() {
+            let frame = req.encode();
+            assert_eq!(Request::decode(&frame).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        for resp in all_responses() {
+            let frame = resp.encode();
+            assert_eq!(Response::decode(&frame).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn labels_match_the_thesis_vocabulary() {
+        assert_eq!(
+            Request::GetOnlineMemberList.label(),
+            "PS_GETONLINEMEMBERLIST"
+        );
+        assert_eq!(Response::NoMembersYet.label(), "NO_MEMBERS_YET");
+        assert_eq!(Response::MessageWritten.label(), "SUCCESSFULLY_WRITTEN");
+        assert_eq!(Response::MessageFailed.label(), "UNSUCCESSFULL");
+        assert_eq!(Response::NotTrustedYet.label(), "NOT_TRUSTED_YET");
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        for req in all_requests() {
+            let mut frame = req.encode();
+            if frame.len() > 1 {
+                frame.truncate(frame.len() - 1);
+                assert!(Request::decode(&frame).is_err(), "{req:?}");
+            }
+        }
+        assert!(Request::decode(&[]).is_err());
+        assert!(Response::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = Request::GetInterestList.encode();
+        frame.push(0xAA);
+        assert!(Request::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn unknown_opcodes_rejected() {
+        assert!(Request::decode(&[0x7F]).is_err());
+        assert!(Response::decode(&[0xFE]).is_err());
+        // A response opcode is not a request and vice versa.
+        assert!(Request::decode(&Response::NoMembersYet.encode()).is_err());
+        assert!(Response::decode(&Request::GetInterestList.encode()).is_err());
+    }
+
+    #[test]
+    fn absurd_list_length_rejected_without_allocation() {
+        // opcode MEMBER_LIST + length u32::MAX.
+        let frame = [op::MEMBER_LIST, 0xFF, 0xFF, 0xFF, 0xFF];
+        assert!(Response::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // CheckMemberId with a 2-byte string of invalid UTF-8.
+        let frame = [op::CHECK_MEMBER_ID, 0, 0, 0, 2, 0xC3, 0x28];
+        assert!(Request::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn encoded_size_reflects_payload() {
+        let small = Response::Content {
+            name: "a".into(),
+            data: vec![0; 10],
+        };
+        let big = Response::Content {
+            name: "a".into(),
+            data: vec![0; 10_000],
+        };
+        assert!(big.encode().len() > small.encode().len() + 9_000);
+    }
+}

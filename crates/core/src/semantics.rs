@@ -1,0 +1,214 @@
+//! Teaching semantics to the environment: synonym-aware interest matching.
+//!
+//! The thesis's analysis (§5.2.6) names the reference implementation's main
+//! weakness: "users interested in riding bicycle can put *biking* or
+//! *cycling* as their interest. Even though both have same meaning, the
+//! application ... creates two different dynamic groups rather than one
+//! single group. Teaching the semantics to the environment is missing." Its
+//! conclusion lists exactly this as future work.
+//!
+//! This module implements that future work. A [`SynonymTable`] is a
+//! union-find over normalized interest keys: users *teach* equivalences
+//! ("combining terms meaning the same issue", §5.1), and
+//! [`MatchPolicy::Semantic`] matching folds each interest to its synonym
+//! class before comparison. The semantics ablation experiment (A3 in
+//! `DESIGN.md`) measures how much group fragmentation this removes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::interest::Interest;
+
+/// A user-taught table of interest synonyms (a union-find over normalized
+/// interest keys).
+///
+/// The canonical representative of a class is its lexicographically smallest
+/// member, so canonicalization is stable regardless of teaching order.
+///
+/// # Example
+///
+/// ```rust
+/// use ph_community::semantics::SynonymTable;
+/// use ph_community::interest::Interest;
+///
+/// let mut syn = SynonymTable::new();
+/// syn.teach(&Interest::new("biking"), &Interest::new("cycling"));
+/// assert_eq!(syn.canonical_key("Cycling"), "biking");
+/// assert_eq!(syn.canonical_key("chess"), "chess");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynonymTable {
+    /// Maps each known key to its parent; roots are absent.
+    parent: BTreeMap<String, String>,
+}
+
+impl SynonymTable {
+    /// Creates an empty table (every interest is its own class).
+    pub fn new() -> Self {
+        SynonymTable::default()
+    }
+
+    /// Finds the root of `key`'s class.
+    fn root<'a>(&'a self, key: &'a str) -> &'a str {
+        let mut cur = key;
+        while let Some(p) = self.parent.get(cur) {
+            cur = p;
+        }
+        cur
+    }
+
+    /// Declares two interests to mean the same thing.
+    ///
+    /// Classes merge transitively: teaching `(a, b)` then `(b, c)` puts all
+    /// three in one class.
+    pub fn teach(&mut self, a: &Interest, b: &Interest) {
+        let ra = self.root(a.key()).to_owned();
+        let rb = self.root(b.key()).to_owned();
+        if ra == rb {
+            return;
+        }
+        // Attach the larger root under the smaller one so the canonical
+        // representative is the lexicographic minimum of the class.
+        let (small, large) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(large, small);
+    }
+
+    /// The canonical key of an interest given everything taught so far.
+    pub fn canonical_key(&self, key_or_text: &str) -> String {
+        let normalized = Interest::new(key_or_text);
+        self.root(normalized.key()).to_owned()
+    }
+
+    /// Whether two interests currently mean the same thing.
+    pub fn same(&self, a: &Interest, b: &Interest) -> bool {
+        self.root(a.key()) == self.root(b.key())
+    }
+
+    /// Number of taught links (not classes).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether nothing has been taught.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+/// How interests are compared during dynamic group discovery.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchPolicy {
+    /// Normalized string equality only — the behaviour of the thesis's
+    /// reference implementation (its §5.2.6 limitation included).
+    #[default]
+    Exact,
+    /// Normalized equality after folding through a [`SynonymTable`] — the
+    /// thesis's "semantics teaching" future work.
+    Semantic(SynonymTable),
+}
+
+impl MatchPolicy {
+    /// The group key an interest belongs to under this policy.
+    pub fn group_key(&self, interest: &Interest) -> String {
+        match self {
+            MatchPolicy::Exact => interest.key().to_owned(),
+            MatchPolicy::Semantic(table) => table.canonical_key(interest.key()),
+        }
+    }
+
+    /// Whether two interests match under this policy.
+    pub fn matches(&self, a: &Interest, b: &Interest) -> bool {
+        match self {
+            MatchPolicy::Exact => a == b,
+            MatchPolicy::Semantic(table) => table.same(a, b),
+        }
+    }
+
+    /// Teaches a synonym, upgrading an [`MatchPolicy::Exact`] policy to
+    /// semantic matching on first use.
+    pub fn teach(&mut self, a: &Interest, b: &Interest) {
+        match self {
+            MatchPolicy::Semantic(table) => table.teach(a, b),
+            MatchPolicy::Exact => {
+                let mut table = SynonymTable::new();
+                table.teach(a, b);
+                *self = MatchPolicy::Semantic(table);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(s: &str) -> Interest {
+        Interest::new(s)
+    }
+
+    #[test]
+    fn untaught_interests_are_distinct() {
+        let t = SynonymTable::new();
+        assert!(!t.same(&i("biking"), &i("cycling")));
+        assert!(t.same(&i("biking"), &i("BIKING")));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn teaching_merges_classes_transitively() {
+        let mut t = SynonymTable::new();
+        t.teach(&i("biking"), &i("cycling"));
+        t.teach(&i("cycling"), &i("bicycle riding"));
+        assert!(t.same(&i("biking"), &i("bicycle riding")));
+        assert_eq!(t.canonical_key("bicycle riding"), "bicycle riding".to_owned().min("biking".into()));
+    }
+
+    #[test]
+    fn canonical_is_lexicographic_minimum_regardless_of_order() {
+        let mut a = SynonymTable::new();
+        a.teach(&i("zumba"), &i("aerobics"));
+        a.teach(&i("aerobics"), &i("fitness dance"));
+        let mut b = SynonymTable::new();
+        b.teach(&i("fitness dance"), &i("zumba"));
+        b.teach(&i("zumba"), &i("aerobics"));
+        for key in ["zumba", "aerobics", "fitness dance"] {
+            assert_eq!(a.canonical_key(key), "aerobics");
+            assert_eq!(b.canonical_key(key), "aerobics");
+        }
+    }
+
+    #[test]
+    fn teaching_same_pair_twice_is_idempotent() {
+        let mut t = SynonymTable::new();
+        t.teach(&i("a"), &i("b"));
+        let before = t.clone();
+        t.teach(&i("b"), &i("a"));
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn exact_policy_is_plain_equality() {
+        let p = MatchPolicy::Exact;
+        assert!(p.matches(&i("chess"), &i("Chess")));
+        assert!(!p.matches(&i("biking"), &i("cycling")));
+        assert_eq!(p.group_key(&i("Chess")), "chess");
+    }
+
+    #[test]
+    fn semantic_policy_folds_synonyms() {
+        let mut p = MatchPolicy::Exact;
+        p.teach(&i("biking"), &i("cycling"));
+        assert!(p.matches(&i("Biking"), &i("CYCLING")));
+        assert_eq!(p.group_key(&i("cycling")), "biking");
+        assert_eq!(p.group_key(&i("chess")), "chess");
+    }
+
+    #[test]
+    fn policy_serde_round_trip() {
+        let mut p = MatchPolicy::Exact;
+        p.teach(&i("a"), &i("b"));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: MatchPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

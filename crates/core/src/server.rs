@@ -1,0 +1,432 @@
+//! The PeerHood Community server: Table 6's request dispatch.
+//!
+//! "Every PTD must contain the application server and server must run
+//! continuously" (§5.2.3.1). The server is a pure function from
+//! `(store, request, time)` to `(store', response)`: it owns no I/O, so the
+//! same dispatch runs under the simulator and the live TCP driver, and unit
+//! tests can drive every row of Table 6 directly.
+
+use netsim::SimTime;
+
+use crate::interest::Interest;
+use crate::protocol::{Request, Response};
+use crate::semantics::MatchPolicy;
+use crate::store::MemberStore;
+
+/// Handles one client request against the local member store.
+///
+/// `policy` is the interest-matching policy used for
+/// `PS_GETINTERESTEDMEMBERLIST` (so a semantically taught device answers for
+/// synonym interests too).
+pub fn handle_request(
+    store: &mut MemberStore,
+    policy: &MatchPolicy,
+    request: &Request,
+    now: SimTime,
+) -> Response {
+    // Every operation needs a logged-in member; without one the device
+    // answers as the thesis's servers do for foreign member ids.
+    let Some(active) = store.active_member().map(str::to_owned) else {
+        return Response::NoMembersYet;
+    };
+
+    match request {
+        Request::GetOnlineMemberList => Response::MemberList(vec![active]),
+        Request::GetInterestList => {
+            let account = store.active_account().expect("active checked");
+            Response::InterestList(
+                account
+                    .profile()
+                    .interests
+                    .iter()
+                    .map(|i| i.display().to_owned())
+                    .collect(),
+            )
+        }
+        Request::GetInterestedMemberList { interest } => {
+            let account = store.active_account().expect("active checked");
+            let asked = Interest::new(interest);
+            let has = account
+                .profile()
+                .interests
+                .iter()
+                .any(|i| policy.matches(i, &asked));
+            if has {
+                Response::InterestedMembers(vec![active])
+            } else {
+                Response::InterestedMembers(Vec::new())
+            }
+        }
+        Request::GetProfile { member, requester } => {
+            if *member != active {
+                return Response::NoMembersYet;
+            }
+            let account = store.active_account_mut().expect("active checked");
+            account.profile_mut().record_visit(requester.clone(), now);
+            Response::Profile(account.profile_view())
+        }
+        Request::AddProfileComment {
+            member,
+            author,
+            comment,
+        } => {
+            if *member != active {
+                return Response::NoMembersYet;
+            }
+            let account = store.active_account_mut().expect("active checked");
+            account
+                .profile_mut()
+                .add_comment(author.clone(), comment.clone(), now);
+            Response::CommentWritten
+        }
+        Request::CheckMemberId { member } => Response::CheckMemberResult(*member == active),
+        Request::Message {
+            to,
+            from,
+            subject,
+            body,
+        } => {
+            if *to != active {
+                return Response::MessageFailed;
+            }
+            let account = store.active_account_mut().expect("active checked");
+            account.mailbox.deliver(crate::message::MailMessage {
+                from: from.clone(),
+                to: to.clone(),
+                subject: subject.clone(),
+                body: body.clone(),
+                at: now,
+            });
+            Response::MessageWritten
+        }
+        Request::GetSharedContent { member, requester } => {
+            if *member != active {
+                return Response::NoMembersYet;
+            }
+            let account = store.active_account().expect("active checked");
+            if !account.trusted.contains(requester) {
+                return Response::NotTrustedYet;
+            }
+            Response::SharedContent(account.shared.listing())
+        }
+        Request::GetTrustedFriends { member } => {
+            if *member != active {
+                return Response::NoMembersYet;
+            }
+            let account = store.active_account().expect("active checked");
+            Response::TrustedFriends(account.trusted.iter().cloned().collect())
+        }
+        Request::CheckTrusted { member, requester } => {
+            if *member != active {
+                return Response::NoMembersYet;
+            }
+            let account = store.active_account().expect("active checked");
+            if account.trusted.contains(requester) {
+                Response::Trusted
+            } else {
+                Response::NotTrustedYet
+            }
+        }
+        Request::FetchContent {
+            member,
+            requester,
+            name,
+        } => {
+            if *member != active {
+                return Response::NoMembersYet;
+            }
+            let account = store.active_account().expect("active checked");
+            if !account.trusted.contains(requester) {
+                return Response::NotTrustedYet;
+            }
+            match account.shared.fetch(name) {
+                Some(data) => Response::Content {
+                    name: name.clone(),
+                    data: data.to_vec(),
+                },
+                None => Response::Error(format!("no shared item named {name:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+
+    fn logged_in_store() -> MemberStore {
+        let mut s = MemberStore::new();
+        s.create_account(
+            "bob",
+            "pw",
+            Profile::new("Bob").with_interests(["Football", "Biking"]),
+        )
+        .unwrap();
+        s.login("bob", "pw").unwrap();
+        s
+    }
+
+    fn ask(store: &mut MemberStore, req: Request) -> Response {
+        handle_request(store, &MatchPolicy::Exact, &req, SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn logged_out_device_answers_no_members_yet() {
+        let mut s = MemberStore::new();
+        assert_eq!(
+            ask(&mut s, Request::GetOnlineMemberList),
+            Response::NoMembersYet
+        );
+    }
+
+    #[test]
+    fn online_member_list_returns_active_user() {
+        let mut s = logged_in_store();
+        assert_eq!(
+            ask(&mut s, Request::GetOnlineMemberList),
+            Response::MemberList(vec!["bob".into()])
+        );
+    }
+
+    #[test]
+    fn interest_list_returns_display_forms() {
+        let mut s = logged_in_store();
+        assert_eq!(
+            ask(&mut s, Request::GetInterestList),
+            Response::InterestList(vec!["Biking".into(), "Football".into()])
+        );
+    }
+
+    #[test]
+    fn interested_member_list_honours_matching_policy() {
+        let mut s = logged_in_store();
+        assert_eq!(
+            ask(
+                &mut s,
+                Request::GetInterestedMemberList {
+                    interest: "FOOTBALL".into()
+                }
+            ),
+            Response::InterestedMembers(vec!["bob".into()])
+        );
+        assert_eq!(
+            ask(
+                &mut s,
+                Request::GetInterestedMemberList {
+                    interest: "cycling".into()
+                }
+            ),
+            Response::InterestedMembers(vec![])
+        );
+        // With taught semantics, cycling matches biking.
+        let mut policy = MatchPolicy::Exact;
+        policy.teach(&Interest::new("biking"), &Interest::new("cycling"));
+        let resp = handle_request(
+            &mut s,
+            &policy,
+            &Request::GetInterestedMemberList {
+                interest: "cycling".into(),
+            },
+            SimTime::from_secs(2),
+        );
+        assert_eq!(resp, Response::InterestedMembers(vec!["bob".into()]));
+    }
+
+    #[test]
+    fn get_profile_records_visitor_and_serves_only_local_member() {
+        let mut s = logged_in_store();
+        let resp = ask(
+            &mut s,
+            Request::GetProfile {
+                member: "bob".into(),
+                requester: "alice".into(),
+            },
+        );
+        match resp {
+            Response::Profile(view) => {
+                assert_eq!(view.member, "bob");
+                assert_eq!(view.interests.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            s.active_account().unwrap().profile().visitors[0].visitor,
+            "alice"
+        );
+        // Foreign member id: NO_MEMBERS_YET, no visit recorded.
+        assert_eq!(
+            ask(
+                &mut s,
+                Request::GetProfile {
+                    member: "carol".into(),
+                    requester: "alice".into()
+                }
+            ),
+            Response::NoMembersYet
+        );
+        assert_eq!(s.active_account().unwrap().profile().visitors.len(), 1);
+    }
+
+    #[test]
+    fn comments_are_written_to_local_profile_only() {
+        let mut s = logged_in_store();
+        assert_eq!(
+            ask(
+                &mut s,
+                Request::AddProfileComment {
+                    member: "bob".into(),
+                    author: "alice".into(),
+                    comment: "great taste".into()
+                }
+            ),
+            Response::CommentWritten
+        );
+        assert_eq!(
+            ask(
+                &mut s,
+                Request::AddProfileComment {
+                    member: "zed".into(),
+                    author: "alice".into(),
+                    comment: "x".into()
+                }
+            ),
+            Response::NoMembersYet
+        );
+        let comments = &s.active_account().unwrap().profile().comments;
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].author, "alice");
+    }
+
+    #[test]
+    fn check_member_id_compares_against_active() {
+        let mut s = logged_in_store();
+        assert_eq!(
+            ask(&mut s, Request::CheckMemberId { member: "bob".into() }),
+            Response::CheckMemberResult(true)
+        );
+        assert_eq!(
+            ask(&mut s, Request::CheckMemberId { member: "eve".into() }),
+            Response::CheckMemberResult(false)
+        );
+    }
+
+    #[test]
+    fn message_delivery_and_misdelivery() {
+        let mut s = logged_in_store();
+        let msg = Request::Message {
+            to: "bob".into(),
+            from: "alice".into(),
+            subject: "hi".into(),
+            body: "pub at 8?".into(),
+        };
+        assert_eq!(ask(&mut s, msg), Response::MessageWritten);
+        assert_eq!(s.active_account().unwrap().mailbox.inbox().len(), 1);
+        let wrong = Request::Message {
+            to: "someone-else".into(),
+            from: "alice".into(),
+            subject: "hi".into(),
+            body: "x".into(),
+        };
+        assert_eq!(ask(&mut s, wrong), Response::MessageFailed);
+    }
+
+    #[test]
+    fn shared_content_requires_trust() {
+        let mut s = logged_in_store();
+        s.require_active()
+            .unwrap()
+            .shared
+            .share("song.mp3", "music", vec![1, 2, 3]);
+        let req = Request::GetSharedContent {
+            member: "bob".into(),
+            requester: "alice".into(),
+        };
+        assert_eq!(ask(&mut s, req.clone()), Response::NotTrustedYet);
+        s.require_active().unwrap().trusted.insert("alice".into());
+        match ask(&mut s, req) {
+            Response::SharedContent(items) => assert_eq!(items[0].name, "song.mp3"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_trusted_phases_match_msc16() {
+        let mut s = logged_in_store();
+        let check = Request::CheckTrusted {
+            member: "bob".into(),
+            requester: "alice".into(),
+        };
+        assert_eq!(ask(&mut s, check.clone()), Response::NotTrustedYet);
+        s.require_active().unwrap().trusted.insert("alice".into());
+        assert_eq!(ask(&mut s, check), Response::Trusted);
+        // Foreign member id.
+        assert_eq!(
+            ask(
+                &mut s,
+                Request::CheckTrusted {
+                    member: "zed".into(),
+                    requester: "alice".into()
+                }
+            ),
+            Response::NoMembersYet
+        );
+    }
+
+    #[test]
+    fn trusted_friends_listing() {
+        let mut s = logged_in_store();
+        s.require_active().unwrap().trusted.insert("carol".into());
+        s.require_active().unwrap().trusted.insert("alice".into());
+        assert_eq!(
+            ask(&mut s, Request::GetTrustedFriends { member: "bob".into() }),
+            Response::TrustedFriends(vec!["alice".into(), "carol".into()])
+        );
+    }
+
+    #[test]
+    fn fetch_content_transfers_bytes_to_trusted() {
+        let mut s = logged_in_store();
+        s.require_active().unwrap().shared.share("a.txt", "text", vec![9, 9]);
+        s.require_active().unwrap().trusted.insert("alice".into());
+        let resp = ask(
+            &mut s,
+            Request::FetchContent {
+                member: "bob".into(),
+                requester: "alice".into(),
+                name: "a.txt".into(),
+            },
+        );
+        assert_eq!(
+            resp,
+            Response::Content {
+                name: "a.txt".into(),
+                data: vec![9, 9]
+            }
+        );
+        // Missing item -> error.
+        assert!(matches!(
+            ask(
+                &mut s,
+                Request::FetchContent {
+                    member: "bob".into(),
+                    requester: "alice".into(),
+                    name: "missing".into()
+                }
+            ),
+            Response::Error(_)
+        ));
+        // Untrusted requester -> NOT_TRUSTED_YET.
+        assert_eq!(
+            ask(
+                &mut s,
+                Request::FetchContent {
+                    member: "bob".into(),
+                    requester: "eve".into(),
+                    name: "a.txt".into()
+                }
+            ),
+            Response::NotTrustedYet
+        );
+    }
+}

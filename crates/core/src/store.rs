@@ -1,0 +1,349 @@
+//! The per-device member store: accounts, login, and all local user data.
+//!
+//! Everything a PeerHood Community device knows lives on the device itself —
+//! there is no central database. A [`MemberStore`] holds local accounts
+//! (username + password), and per account: one or more [`Profile`]s, the
+//! mailbox, the trusted-friends list and the shared content. The server
+//! serves the *logged-in* account's data; when nobody is logged in it
+//! answers `NO_MEMBERS_YET`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::content::ContentStore;
+use crate::error::CommunityError;
+use crate::message::Mailbox;
+use crate::profile::{Profile, ProfileView};
+
+/// One local account.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Account {
+    username: String,
+    /// Deliberately simple credential check: this reproduces a 2008 research
+    /// prototype, not a hardened auth system.
+    password: String,
+    profiles: Vec<Profile>,
+    active_profile: usize,
+    /// Trusted friends by member name.
+    pub trusted: BTreeSet<String>,
+    /// The account's mailbox.
+    pub mailbox: Mailbox,
+    /// The account's shared content.
+    pub shared: ContentStore,
+}
+
+impl Account {
+    /// The login name (the member's unique id in the neighborhood).
+    pub fn username(&self) -> &str {
+        &self.username
+    }
+
+    /// The currently selected profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profiles[self.active_profile]
+    }
+
+    /// Mutable access to the currently selected profile.
+    pub fn profile_mut(&mut self) -> &mut Profile {
+        &mut self.profiles[self.active_profile]
+    }
+
+    /// All profiles (Table 7: *Support for Multiple Profiles*).
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// Adds another profile and returns its index.
+    pub fn add_profile(&mut self, profile: Profile) -> usize {
+        self.profiles.push(profile);
+        self.profiles.len() - 1
+    }
+
+    /// Switches the active profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::NoSuchProfile`] for an out-of-range index.
+    pub fn select_profile(&mut self, index: usize) -> Result<(), CommunityError> {
+        if index >= self.profiles.len() {
+            return Err(CommunityError::NoSuchProfile(index));
+        }
+        self.active_profile = index;
+        Ok(())
+    }
+
+    /// Index of the active profile.
+    pub fn active_profile_index(&self) -> usize {
+        self.active_profile
+    }
+
+    /// The wire view of this account's public data (what `PS_GETPROFILE`
+    /// returns).
+    pub fn profile_view(&self) -> ProfileView {
+        let p = self.profile();
+        ProfileView {
+            member: self.username.clone(),
+            display_name: p.display_name.clone(),
+            fields: p.fields.clone(),
+            interests: p.interests.iter().map(|i| i.display().to_owned()).collect(),
+            trusted: self.trusted.iter().cloned().collect(),
+            comments: p.comments.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+}
+
+/// All accounts on one device, plus the login session.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemberStore {
+    accounts: BTreeMap<String, Account>,
+    active: Option<String>,
+}
+
+impl MemberStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemberStore::default()
+    }
+
+    /// Creates an account with an initial profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::AccountExists`] for a duplicate username.
+    pub fn create_account(
+        &mut self,
+        username: impl Into<String>,
+        password: impl Into<String>,
+        profile: Profile,
+    ) -> Result<(), CommunityError> {
+        let username = username.into();
+        if self.accounts.contains_key(&username) {
+            return Err(CommunityError::AccountExists(username));
+        }
+        self.accounts.insert(
+            username.clone(),
+            Account {
+                username,
+                password: password.into(),
+                profiles: vec![profile],
+                active_profile: 0,
+                trusted: BTreeSet::new(),
+                mailbox: Mailbox::new(),
+                shared: ContentStore::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Logs a user in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::InvalidCredentials`] when the username is
+    /// unknown or the password does not match.
+    pub fn login(&mut self, username: &str, password: &str) -> Result<(), CommunityError> {
+        match self.accounts.get(username) {
+            Some(acc) if acc.password == password => {
+                self.active = Some(username.to_owned());
+                Ok(())
+            }
+            _ => Err(CommunityError::InvalidCredentials),
+        }
+    }
+
+    /// Logs the current user out.
+    pub fn logout(&mut self) {
+        self.active = None;
+    }
+
+    /// The logged-in username, if any.
+    pub fn active_member(&self) -> Option<&str> {
+        self.active.as_deref()
+    }
+
+    /// The logged-in account.
+    pub fn active_account(&self) -> Option<&Account> {
+        self.active.as_deref().and_then(|u| self.accounts.get(u))
+    }
+
+    /// Mutable access to the logged-in account.
+    pub fn active_account_mut(&mut self) -> Option<&mut Account> {
+        let user = self.active.clone()?;
+        self.accounts.get_mut(&user)
+    }
+
+    /// Mutable access to the logged-in account, as an error-typed result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::NotLoggedIn`] when nobody is logged in.
+    pub fn require_active(&mut self) -> Result<&mut Account, CommunityError> {
+        self.active_account_mut().ok_or(CommunityError::NotLoggedIn)
+    }
+
+    /// Looks up an account by username (local administration).
+    pub fn account(&self, username: &str) -> Option<&Account> {
+        self.accounts.get(username)
+    }
+
+    /// Number of accounts on this device.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Serializes the whole store to JSON (profile/message persistence).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("MemberStore is always serializable")
+    }
+
+    /// Restores a store from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::Codec`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, CommunityError> {
+        serde_json::from_str(json).map_err(|e| CommunityError::Codec(e.to_string()))
+    }
+
+    /// Persists the store to a file — "user's registration and all other
+    /// essential information" live on the PTD itself, surviving restarts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Restores a store from a file written by [`MemberStore::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::Codec`] when the file is unreadable or
+    /// malformed.
+    pub fn load_from(path: impl AsRef<std::path::Path>) -> Result<Self, CommunityError> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CommunityError::Codec(format!("cannot read store file: {e}")))?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_bob() -> MemberStore {
+        let mut s = MemberStore::new();
+        s.create_account(
+            "bob",
+            "pw",
+            Profile::new("Bob").with_interests(["football"]),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn create_login_logout() {
+        let mut s = store_with_bob();
+        assert_eq!(s.active_member(), None);
+        assert_eq!(
+            s.login("bob", "wrong"),
+            Err(CommunityError::InvalidCredentials)
+        );
+        assert_eq!(
+            s.login("nobody", "pw"),
+            Err(CommunityError::InvalidCredentials)
+        );
+        s.login("bob", "pw").unwrap();
+        assert_eq!(s.active_member(), Some("bob"));
+        s.logout();
+        assert_eq!(s.active_member(), None);
+        assert_eq!(s.require_active().unwrap_err(), CommunityError::NotLoggedIn);
+    }
+
+    #[test]
+    fn duplicate_account_rejected() {
+        let mut s = store_with_bob();
+        assert_eq!(
+            s.create_account("bob", "x", Profile::new("B2")),
+            Err(CommunityError::AccountExists("bob".into()))
+        );
+        assert_eq!(s.account_count(), 1);
+    }
+
+    #[test]
+    fn multiple_profiles_switch() {
+        let mut s = store_with_bob();
+        s.login("bob", "pw").unwrap();
+        let acc = s.require_active().unwrap();
+        assert_eq!(acc.profile().display_name, "Bob");
+        let idx = acc.add_profile(Profile::new("Work Bob").with_interests(["databases"]));
+        acc.select_profile(idx).unwrap();
+        assert_eq!(acc.profile().display_name, "Work Bob");
+        assert_eq!(acc.active_profile_index(), 1);
+        assert_eq!(acc.profiles().len(), 2);
+        assert_eq!(
+            acc.select_profile(9),
+            Err(CommunityError::NoSuchProfile(9))
+        );
+    }
+
+    #[test]
+    fn profile_view_reflects_account() {
+        let mut s = store_with_bob();
+        s.login("bob", "pw").unwrap();
+        let acc = s.require_active().unwrap();
+        acc.trusted.insert("alice".into());
+        acc.profile_mut()
+            .add_comment("carol", "nice profile", netsim::SimTime::from_secs(1));
+        let view = s.active_account().unwrap().profile_view();
+        assert_eq!(view.member, "bob");
+        assert_eq!(view.interests, vec!["football"]);
+        assert_eq!(view.trusted, vec!["alice"]);
+        assert_eq!(view.comments, vec!["carol: nice profile"]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut s = store_with_bob();
+        s.login("bob", "pw").unwrap();
+        s.require_active().unwrap().shared.share("f", "file", vec![1]);
+        let json = s.to_json();
+        let back = MemberStore::from_json(&json).unwrap();
+        assert_eq!(s, back);
+        assert!(MemberStore::from_json("{bad").is_err());
+    }
+
+    #[test]
+    fn file_persistence_round_trip() {
+        let mut s = store_with_bob();
+        s.login("bob", "pw").unwrap();
+        s.require_active()
+            .unwrap()
+            .mailbox
+            .deliver(crate::message::MailMessage {
+                from: "alice".into(),
+                to: "bob".into(),
+                subject: "s".into(),
+                body: "b".into(),
+                at: netsim::SimTime::from_secs(1),
+            });
+        let path = std::env::temp_dir().join("ph-community-store-test.json");
+        s.save_to(&path).unwrap();
+        let back = MemberStore::load_from(&path).unwrap();
+        assert_eq!(s, back);
+        std::fs::remove_file(&path).ok();
+        assert!(MemberStore::load_from("/definitely/not/a/path").is_err());
+    }
+
+    #[test]
+    fn two_accounts_one_device() {
+        let mut s = store_with_bob();
+        s.create_account("ann", "pw2", Profile::new("Ann")).unwrap();
+        s.login("ann", "pw2").unwrap();
+        assert_eq!(s.active_member(), Some("ann"));
+        s.login("bob", "pw").unwrap();
+        assert_eq!(s.active_member(), Some("bob"));
+    }
+}

@@ -1,0 +1,459 @@
+//! End-to-end tests: PeerHood Community nodes living in a simulated mobile
+//! environment, exercising every feature of Table 7 over the full stack
+//! (radio models → PeerHood daemon → community protocol).
+
+use std::time::Duration;
+
+use netsim::geometry::Point2;
+use netsim::mobility::ScriptedPath;
+use netsim::world::{NodeBuilder, NodeId};
+use netsim::{SimTime, Technology};
+
+use peerhood::sim::Cluster;
+use ph_community::node::{CommunityApp, OpMode};
+use ph_community::profile::Profile;
+use ph_community::{GroupEvent, OpResult, SharedOutcome};
+
+fn member_app(name: &str, interests: &[&str]) -> CommunityApp {
+    CommunityApp::with_member(
+        name,
+        "pw",
+        Profile::new(name).with_interests(interests.iter().copied()),
+    )
+}
+
+/// The thesis's lab setup: a few stationary PCs within Bluetooth range.
+fn lab_cluster(seed: u64, members: &[(&str, &[&str])], mode: OpMode) -> (Cluster<CommunityApp>, Vec<NodeId>) {
+    let mut cluster = Cluster::new(seed);
+    let mut nodes = Vec::new();
+    for (i, (name, interests)) in members.iter().enumerate() {
+        let angle = i as f64 / members.len() as f64 * std::f64::consts::TAU;
+        let pos = Point2::new(3.0 * angle.cos(), 3.0 * angle.sin());
+        let app = member_app(name, interests).with_op_mode(mode);
+        nodes.push(cluster.add_node(
+            NodeBuilder::new(format!("{name}-pc")).at(pos),
+            app,
+        ));
+    }
+    cluster.start();
+    (cluster, nodes)
+}
+
+#[test]
+fn groups_form_dynamically_within_seconds_of_startup() {
+    let (mut c, n) = lab_cluster(
+        1,
+        &[
+            ("bishal", &["Football", "Mobile P2P"]),
+            ("arto", &["football", "sauna"]),
+            ("jari", &["Sauna", "Mobile P2P"]),
+        ],
+        OpMode::Persistent,
+    );
+    c.run_until(SimTime::from_secs(40));
+    // bishal: football group with arto, mobile p2p with jari.
+    let groups = c.app(n[0]).groups();
+    assert_eq!(groups.len(), 2, "{groups:?}");
+    let football = groups.iter().find(|g| g.key == "football").unwrap();
+    assert_eq!(football.members, vec!["arto", "bishal"]);
+    let p2p = groups.iter().find(|g| g.key == "mobile p2p").unwrap();
+    assert_eq!(p2p.members, vec!["bishal", "jari"]);
+    // arto sees his own view: football with bishal, sauna with jari.
+    let arto_groups = c.app(n[1]).groups();
+    assert_eq!(arto_groups.len(), 2);
+    // Group search time (Table 8): around one Bluetooth inquiry.
+    let app = c.app(n[0]);
+    let search = app.first_group_at().unwrap() - app.started_at().unwrap();
+    assert!(
+        search >= Duration::from_secs(1) && search <= Duration::from_secs(20),
+        "search took {search:?}"
+    );
+}
+
+#[test]
+fn member_list_interest_list_and_dedup() {
+    let (mut c, n) = lab_cluster(
+        2,
+        &[
+            ("alice", &["chess"]),
+            ("bob", &["chess", "poker"]),
+            ("carol", &["poker"]),
+        ],
+        OpMode::Persistent,
+    );
+    c.run_until(SimTime::from_secs(40));
+
+    let op = c.with_app(n[0], |app, ctx| app.get_member_list(ctx));
+    c.run_until(SimTime::from_secs(45));
+    match &c.app(n[0]).outcome(op).expect("completed").result {
+        OpResult::Members(names) => assert_eq!(names, &["bob", "carol"]),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Figure 12: interests are deduplicated across devices.
+    let op = c.with_app(n[0], |app, ctx| app.get_interest_list(ctx));
+    c.run_until(SimTime::from_secs(50));
+    match &c.app(n[0]).outcome(op).expect("completed").result {
+        OpResult::Interests(items) => assert_eq!(items, &["chess", "poker"]),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    let op = c.with_app(n[0], |app, ctx| app.get_interested_members("poker", ctx));
+    c.run_until(SimTime::from_secs(55));
+    match &c.app(n[0]).outcome(op).expect("completed").result {
+        OpResult::InterestedMembers(names) => assert_eq!(names, &["bob", "carol"]),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn profile_view_logs_visitor_and_comment_is_written() {
+    let (mut c, n) = lab_cluster(
+        3,
+        &[("alice", &["x"]), ("bob", &["x"]), ("carol", &["x"])],
+        OpMode::Persistent,
+    );
+    c.run_until(SimTime::from_secs(40));
+
+    // Figure 13: alice views bob's profile.
+    let op = c.with_app(n[0], |app, ctx| app.view_profile("bob", ctx));
+    c.run_until(SimTime::from_secs(45));
+    match &c.app(n[0]).outcome(op).expect("completed").result {
+        OpResult::Profile(Some(view)) => {
+            assert_eq!(view.member, "bob");
+            assert_eq!(view.display_name, "bob");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The server logged the visit.
+    let visitors = &c.app(n[1]).store().active_account().unwrap().profile().visitors;
+    assert_eq!(visitors[0].visitor, "alice");
+
+    // Figure 14: alice comments on bob's profile.
+    let op = c.with_app(n[0], |app, ctx| app.put_comment("bob", "hi bob!", ctx));
+    c.run_until(SimTime::from_secs(50));
+    assert_eq!(
+        c.app(n[0]).outcome(op).unwrap().result,
+        OpResult::CommentResult { written: true }
+    );
+    let comments = &c.app(n[1]).store().active_account().unwrap().profile().comments;
+    assert_eq!(comments.len(), 1);
+    assert_eq!(comments[0].author, "alice");
+    assert_eq!(comments[0].text, "hi bob!");
+
+    // Viewing a nonexistent member: everyone answers NO_MEMBERS_YET.
+    let op = c.with_app(n[0], |app, ctx| app.view_profile("nobody", ctx));
+    c.run_until(SimTime::from_secs(55));
+    assert_eq!(
+        c.app(n[0]).outcome(op).unwrap().result,
+        OpResult::Profile(None)
+    );
+}
+
+#[test]
+fn trusted_friends_and_shared_content_flow() {
+    let (mut c, n) = lab_cluster(4, &[("alice", &["x"]), ("bob", &["x"])], OpMode::Persistent);
+    c.run_until(SimTime::from_secs(40));
+
+    // Bob shares a file and trusts carol (not alice yet).
+    c.with_app(n[1], |app, _| {
+        app.store_mut()
+            .require_active()
+            .unwrap()
+            .shared
+            .share("song.mp3", "music", vec![7; 2048]);
+        app.add_trusted("carol").unwrap();
+    });
+
+    // Figure 15: alice views bob's trusted friends.
+    let op = c.with_app(n[0], |app, ctx| app.view_trusted_friends("bob", ctx));
+    c.run_until(SimTime::from_secs(45));
+    assert_eq!(
+        c.app(n[0]).outcome(op).unwrap().result,
+        OpResult::TrustedFriends(Some(vec!["carol".into()]))
+    );
+
+    // Figure 16, untrusted phase: NOT_TRUSTED_YET.
+    let op = c.with_app(n[0], |app, ctx| app.view_shared_content("bob", ctx));
+    c.run_until(SimTime::from_secs(50));
+    assert_eq!(
+        c.app(n[0]).outcome(op).unwrap().result,
+        OpResult::SharedContent(SharedOutcome::NotTrusted)
+    );
+
+    // Bob accepts alice; now the listing and the bytes flow.
+    c.with_app(n[1], |app, _| app.add_trusted("alice").unwrap());
+    let op = c.with_app(n[0], |app, ctx| app.view_shared_content("bob", ctx));
+    c.run_until(SimTime::from_secs(55));
+    match &c.app(n[0]).outcome(op).unwrap().result {
+        OpResult::SharedContent(SharedOutcome::Listing(items)) => {
+            assert_eq!(items.len(), 1);
+            assert_eq!(items[0].name, "song.mp3");
+            assert_eq!(items[0].size, 2048);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let op = c.with_app(n[0], |app, ctx| app.fetch_content("bob", "song.mp3", ctx));
+    c.run_until(SimTime::from_secs(60));
+    match &c.app(n[0]).outcome(op).unwrap().result {
+        OpResult::Content(Some((name, data))) => {
+            assert_eq!(name, "song.mp3");
+            assert_eq!(data.len(), 2048);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn messages_reach_the_inbox() {
+    let (mut c, n) = lab_cluster(5, &[("alice", &["x"]), ("bob", &["x"])], OpMode::Persistent);
+    c.run_until(SimTime::from_secs(40));
+
+    let op = c.with_app(n[0], |app, ctx| {
+        app.send_message("bob", "pub tonight?", "see you at 8", ctx)
+    });
+    c.run_until(SimTime::from_secs(45));
+    assert_eq!(
+        c.app(n[0]).outcome(op).unwrap().result,
+        OpResult::MessageResult { written: true }
+    );
+    let inbox = c.app(n[1]).store().active_account().unwrap().mailbox.inbox().to_vec();
+    assert_eq!(inbox.len(), 1);
+    assert_eq!(inbox[0].from, "alice");
+    assert_eq!(inbox[0].subject, "pub tonight?");
+
+    // Messaging an unknown member fails fast.
+    let op = c.with_app(n[0], |app, ctx| app.send_message("ghost", "s", "b", ctx));
+    c.run_until(SimTime::from_secs(50));
+    assert!(matches!(
+        c.app(n[0]).outcome(op).unwrap().result,
+        OpResult::Failed(_)
+    ));
+}
+
+#[test]
+fn departure_removes_member_from_groups() {
+    let mut c = Cluster::new(6);
+    let a = c.add_node(
+        NodeBuilder::new("alice-pc").at(Point2::new(0.0, 0.0)),
+        member_app("alice", &["chess"]),
+    );
+    // Bob is Bluetooth-only and walks away at t=60.
+    let _b = c.add_node(
+        NodeBuilder::new("bob-n810")
+            .moving(ScriptedPath::new(vec![
+                (SimTime::from_secs(0), Point2::new(4.0, 0.0)),
+                (SimTime::from_secs(60), Point2::new(4.0, 0.0)),
+                (SimTime::from_secs(90), Point2::new(900.0, 0.0)),
+            ]))
+            .with_technologies([Technology::Bluetooth]),
+        member_app("bob", &["chess"]),
+    );
+    c.start();
+    c.run_until(SimTime::from_secs(40));
+    assert_eq!(c.app(a).groups().len(), 1, "group should have formed");
+
+    c.run_until(SimTime::from_secs(240));
+    assert!(
+        c.app(a).groups().is_empty(),
+        "bob left; the chess group must dissolve: {:?}",
+        c.app(a).groups()
+    );
+    let dissolved = c
+        .app(a)
+        .group_events()
+        .iter()
+        .any(|(_, e)| matches!(e, GroupEvent::GroupDissolved { key } if key == "chess"));
+    assert!(dissolved, "{:?}", c.app(a).group_events());
+}
+
+#[test]
+fn semantics_teaching_merges_fragmented_groups() {
+    let (mut c, n) = lab_cluster(
+        7,
+        &[("alice", &["biking"]), ("bob", &["cycling"])],
+        OpMode::Persistent,
+    );
+    c.run_until(SimTime::from_secs(40));
+    // The §5.2.6 limitation: no group forms under exact matching.
+    assert!(c.app(n[0]).groups().is_empty());
+
+    // Alice teaches the synonym; the group forms immediately.
+    c.with_app(n[0], |app, ctx| app.teach_synonym("biking", "cycling", ctx));
+    let groups = c.app(n[0]).groups();
+    assert_eq!(groups.len(), 1, "{groups:?}");
+    assert_eq!(groups[0].members, vec!["alice", "bob"]);
+}
+
+#[test]
+fn manual_join_and_leave() {
+    let (mut c, n) = lab_cluster(
+        8,
+        &[
+            ("alice", &["chess", "poker"]),
+            ("bob", &["chess", "poker"]),
+        ],
+        OpMode::Persistent,
+    );
+    c.run_until(SimTime::from_secs(40));
+    assert_eq!(c.app(n[0]).my_groups().len(), 2);
+    c.with_app(n[0], |app, _| assert!(app.leave_group("poker")));
+    assert_eq!(c.app(n[0]).my_groups().len(), 1);
+    c.with_app(n[0], |app, _| assert!(app.join_group("poker")));
+    assert_eq!(c.app(n[0]).my_groups().len(), 2);
+    c.with_app(n[0], |app, _| assert!(!app.join_group("no-such-group")));
+}
+
+#[test]
+fn interest_edits_propagate_via_refresh() {
+    let (mut c, n) = lab_cluster(
+        9,
+        &[("alice", &["chess"]), ("bob", &["poker"])],
+        OpMode::Persistent,
+    );
+    c.run_until(SimTime::from_secs(40));
+    assert!(c.app(n[0]).groups().is_empty());
+
+    // Bob picks up chess; alice learns it on her next periodic refresh.
+    c.with_app(n[1], |app, ctx| app.add_interest("chess", ctx).unwrap());
+    c.run_until(SimTime::from_secs(120));
+    let groups = c.app(n[0]).groups();
+    assert_eq!(groups.len(), 1, "{groups:?}");
+    assert_eq!(groups[0].key, "chess");
+}
+
+#[test]
+fn per_operation_mode_forms_groups_and_serves_ops() {
+    let (mut c, n) = lab_cluster(
+        10,
+        &[
+            ("bishal", &["Football"]),
+            ("arto", &["football"]),
+            ("jari", &["football"]),
+        ],
+        OpMode::PerOperation,
+    );
+    c.run_until(SimTime::from_secs(60));
+    let groups = c.app(n[0]).groups();
+    assert_eq!(groups.len(), 1, "{groups:?}");
+    assert_eq!(groups[0].members, vec!["arto", "bishal", "jari"]);
+
+    // A member-list operation opens fresh sequential connections — it
+    // works, and costs Bluetooth connection setup per peer.
+    let op = c.with_app(n[0], |app, ctx| app.get_member_list(ctx));
+    c.run_until(SimTime::from_secs(90));
+    let outcome = c.app(n[0]).outcome(op).expect("completed").clone();
+    match &outcome.result {
+        OpResult::Members(names) => assert_eq!(names, &["arto", "jari"]),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(
+        outcome.duration() >= Duration::from_millis(1_000),
+        "two sequential Bluetooth connects must cost seconds, took {:?}",
+        outcome.duration()
+    );
+
+    // Profile view in per-operation mode.
+    let op = c.with_app(n[0], |app, ctx| app.view_profile("arto", ctx));
+    c.run_until(SimTime::from_secs(120));
+    match &c.app(n[0]).outcome(op).expect("completed").result {
+        OpResult::Profile(Some(view)) => assert_eq!(view.member, "arto"),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Direct op (message) in per-operation mode.
+    let op = c.with_app(n[0], |app, ctx| app.send_message("jari", "hei", "moi", ctx));
+    c.run_until(SimTime::from_secs(150));
+    assert_eq!(
+        c.app(n[0]).outcome(op).unwrap().result,
+        OpResult::MessageResult { written: true }
+    );
+}
+
+#[test]
+fn scenario_runs_are_deterministic() {
+    fn run() -> (Vec<String>, usize, u64) {
+        let (mut c, n) = lab_cluster(
+            42,
+            &[
+                ("a", &["x", "y"]),
+                ("b", &["x"]),
+                ("c", &["y"]),
+                ("d", &["x", "y"]),
+            ],
+            OpMode::Persistent,
+        );
+        c.run_until(SimTime::from_secs(60));
+        let op = c.with_app(n[0], |app, ctx| app.get_member_list(ctx));
+        c.run_until(SimTime::from_secs(70));
+        let names = match &c.app(n[0]).outcome(op).unwrap().result {
+            OpResult::Members(m) => m.clone(),
+            _ => vec![],
+        };
+        let first_group = c.app(n[0]).first_group_at().unwrap().as_micros();
+        (names, c.app(n[0]).groups().len(), first_group)
+    }
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn trace_records_msc_vocabulary() {
+    let (mut c, n) = lab_cluster(11, &[("alice", &["x"]), ("bob", &["x"])], OpMode::Persistent);
+    c.run_until(SimTime::from_secs(40));
+    c.clear_trace();
+    let _op = c.with_app(n[0], |app, ctx| app.view_profile("bob", ctx));
+    c.run_until(SimTime::from_secs(45));
+    let trace = c.trace();
+    assert!(trace.contains_subsequence(&["PS_GETPROFILE", "PROFILE_INFO", "DISPLAY PROFILE"]),
+        "labels: {:?}", trace.labels());
+}
+
+#[test]
+fn convenience_accessors_reflect_session_state() {
+    let (mut c, n) = lab_cluster(12, &[("alice", &["x"]), ("bob", &["x"])], OpMode::Persistent);
+    c.run_until(SimTime::from_secs(40));
+    assert!(c.app(n[1]).my_visitors().is_empty());
+    assert!(c.app(n[1]).inbox().is_empty());
+
+    c.with_app(n[0], |app, ctx| {
+        app.view_profile("bob", ctx);
+        app.put_comment("bob", "moi", ctx);
+        app.send_message("bob", "subj", "body", ctx);
+    });
+    c.run_until(SimTime::from_secs(50));
+    let bob = c.app(n[1]);
+    assert_eq!(bob.my_visitors()[0].visitor, "alice");
+    assert_eq!(bob.my_comments()[0].text, "moi");
+    assert_eq!(bob.inbox()[0].subject, "subj");
+}
+
+#[test]
+fn community_works_over_every_single_technology() {
+    // The middleware promise: the application is agnostic to which of the
+    // three technologies carries it.
+    for tech in Technology::ALL {
+        let mut c = Cluster::new(13 ^ tech as u64);
+        let a = c.add_node(
+            NodeBuilder::new("a")
+                .at(Point2::ORIGIN)
+                .with_technologies([tech]),
+            member_app("alice", &["x"]),
+        );
+        let _b = c.add_node(
+            NodeBuilder::new("b")
+                .at(Point2::new(2.0, 0.0))
+                .with_technologies([tech]),
+            member_app("bob", &["x"]),
+        );
+        c.start();
+        c.run_until(SimTime::from_secs(60));
+        assert_eq!(c.app(a).groups().len(), 1, "group over {tech}");
+        let op = c.with_app(a, |app, ctx| app.send_message("bob", "s", "b", ctx));
+        c.run_until(SimTime::from_secs(90));
+        assert_eq!(
+            c.app(a).outcome(op).unwrap_or_else(|| panic!("op over {tech}")).result,
+            OpResult::MessageResult { written: true },
+            "message over {tech}"
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Edge-case integration tests: operations racing mobility, partial
+//! results, profile switching, and other unhappy paths.
+
+use std::time::Duration;
+
+use netsim::geometry::Point2;
+use netsim::mobility::ScriptedPath;
+use netsim::world::NodeBuilder;
+use netsim::{SimTime, Technology};
+
+use peerhood::sim::Cluster;
+use ph_community::node::{CommunityApp, OpMode};
+use ph_community::profile::Profile;
+use ph_community::{OpResult, SharedOutcome};
+
+fn member(name: &str, interests: &[&str]) -> CommunityApp {
+    CommunityApp::with_member(
+        name,
+        "pw",
+        Profile::new(name).with_interests(interests.iter().copied()),
+    )
+}
+
+#[test]
+fn fan_out_completes_with_partial_results_when_a_peer_departs() {
+    // Observer + two peers; one peer walks away right as the member-list
+    // operation runs. The operation must still complete with the survivor.
+    let mut c = Cluster::new(101);
+    let a = c.add_node(
+        NodeBuilder::new("a-pc")
+            .at(Point2::ORIGIN)
+            .with_technologies([Technology::Bluetooth]),
+        member("alice", &["x"]),
+    );
+    let _stay = c.add_node(
+        NodeBuilder::new("stay-pc")
+            .at(Point2::new(3.0, 0.0))
+            .with_technologies([Technology::Bluetooth]),
+        member("stayer", &["x"]),
+    );
+    let _leave = c.add_node(
+        NodeBuilder::new("leave-pc")
+            .moving(ScriptedPath::new(vec![
+                (SimTime::from_secs(0), Point2::new(0.0, 3.0)),
+                (SimTime::from_secs(59), Point2::new(0.0, 3.0)),
+                (SimTime::from_secs(62), Point2::new(0.0, 500.0)),
+            ]))
+            .with_technologies([Technology::Bluetooth]),
+        member("leaver", &["x"]),
+    );
+    c.start();
+    c.run_until(SimTime::from_secs(58));
+    assert_eq!(c.app(a).known_members().len(), 2, "both known before the walk");
+
+    // Start the op moments before the leaver vanishes.
+    let op = c.with_app(a, |app, ctx| app.get_member_list(ctx));
+    c.run_until(SimTime::from_secs(240));
+    let outcome = c.app(a).outcome(op).expect("must complete, not hang");
+    match &outcome.result {
+        OpResult::Members(names) => {
+            assert!(
+                names.contains(&"stayer".to_owned()),
+                "survivor always answers: {names:?}"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn per_operation_plan_skips_unreachable_devices() {
+    // In per-operation mode, a device that left between discovery and the
+    // operation is skipped (connect fails), and the op completes.
+    let mut c = Cluster::new(102);
+    let a = c.add_node(
+        NodeBuilder::new("a-pc")
+            .at(Point2::ORIGIN)
+            .with_technologies([Technology::Bluetooth]),
+        member("alice", &["x"]).with_op_mode(OpMode::PerOperation),
+    );
+    let _stay = c.add_node(
+        NodeBuilder::new("stay-pc")
+            .at(Point2::new(3.0, 0.0))
+            .with_technologies([Technology::Bluetooth]),
+        member("stayer", &["x"]).with_op_mode(OpMode::PerOperation),
+    );
+    let _leave = c.add_node(
+        NodeBuilder::new("leave-pc")
+            .moving(ScriptedPath::new(vec![
+                (SimTime::from_secs(0), Point2::new(0.0, 3.0)),
+                (SimTime::from_secs(40), Point2::new(0.0, 3.0)),
+                (SimTime::from_secs(43), Point2::new(0.0, 500.0)),
+            ]))
+            .with_technologies([Technology::Bluetooth]),
+        member("leaver", &["x"]).with_op_mode(OpMode::PerOperation),
+    );
+    c.start();
+    c.run_until(SimTime::from_secs(41));
+
+    let op = c.with_app(a, |app, ctx| app.get_member_list(ctx));
+    c.run_until(SimTime::from_secs(200));
+    let outcome = c.app(a).outcome(op).expect("plan must not hang on the leaver");
+    match &outcome.result {
+        OpResult::Members(names) => assert!(names.contains(&"stayer".to_owned())),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn switching_profiles_changes_served_interests_and_groups() {
+    let mut c = Cluster::new(103);
+    let a = c.add_node(
+        NodeBuilder::new("a-pc").at(Point2::ORIGIN),
+        member("alice", &["chess"]),
+    );
+    let b = c.add_node(
+        NodeBuilder::new("b-pc").at(Point2::new(3.0, 0.0)),
+        member("bob", &["chess", "databases"]),
+    );
+    c.start();
+    c.run_until(SimTime::from_secs(40));
+    assert_eq!(c.app(a).groups().len(), 1, "chess group from the hobby profile");
+
+    // Bob switches to his work profile (databases only). Alice's refresh
+    // re-fetches his interests; the chess group dissolves for her.
+    c.with_app(b, |app, _| {
+        let account = app.store_mut().require_active().expect("logged in");
+        let idx = account.add_profile(Profile::new("Work Bob").with_interests(["databases"]));
+        account.select_profile(idx).expect("fresh profile");
+    });
+    c.run_until(SimTime::from_secs(140));
+    assert!(
+        c.app(a).groups().is_empty(),
+        "work profile shares no interests: {:?}",
+        c.app(a).groups()
+    );
+}
+
+#[test]
+fn trust_revocation_takes_effect_immediately() {
+    let mut c = Cluster::new(104);
+    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
+    let b = c.add_node(NodeBuilder::new("b").at(Point2::new(3.0, 0.0)), member("bob", &["x"]));
+    c.start();
+    c.run_until(SimTime::from_secs(40));
+
+    c.with_app(b, |app, _| {
+        app.add_trusted("alice").expect("logged in");
+        app.store_mut()
+            .require_active()
+            .expect("logged in")
+            .shared
+            .share("f.txt", "text", vec![1]);
+    });
+    let op = c.with_app(a, |app, ctx| app.view_shared_content("bob", ctx));
+    c.run_for(Duration::from_secs(10));
+    assert!(matches!(
+        &c.app(a).outcome(op).expect("done").result,
+        OpResult::SharedContent(SharedOutcome::Listing(_))
+    ));
+
+    c.with_app(b, |app, _| app.remove_trusted("alice").expect("logged in"));
+    let op = c.with_app(a, |app, ctx| app.view_shared_content("bob", ctx));
+    c.run_for(Duration::from_secs(10));
+    assert_eq!(
+        c.app(a).outcome(op).expect("done").result,
+        OpResult::SharedContent(SharedOutcome::NotTrusted)
+    );
+}
+
+#[test]
+fn duplicate_member_names_on_two_devices_do_not_crash() {
+    // Two devices both logged in as "bob" (the thesis has no global
+    // account authority). Operations must stay well-defined: fan-outs
+    // dedup by name, direct ops pick one host.
+    let mut c = Cluster::new(105);
+    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
+    let _b1 = c.add_node(NodeBuilder::new("b1").at(Point2::new(3.0, 0.0)), member("bob", &["x"]));
+    let _b2 = c.add_node(NodeBuilder::new("b2").at(Point2::new(0.0, 3.0)), member("bob", &["x"]));
+    c.start();
+    c.run_until(SimTime::from_secs(40));
+
+    let op = c.with_app(a, |app, ctx| app.get_member_list(ctx));
+    c.run_for(Duration::from_secs(10));
+    match &c.app(a).outcome(op).expect("done").result {
+        OpResult::Members(names) => assert_eq!(names, &["bob"], "dedup by name"),
+        other => panic!("unexpected {other:?}"),
+    }
+    // The group contains "bob" once.
+    let groups = c.app(a).groups();
+    assert_eq!(groups[0].members, vec!["alice", "bob"]);
+    // Messaging "bob" reaches exactly one of the two devices.
+    let op = c.with_app(a, |app, ctx| app.send_message("bob", "s", "b", ctx));
+    c.run_for(Duration::from_secs(10));
+    assert!(matches!(
+        c.app(a).outcome(op).expect("done").result,
+        OpResult::MessageResult { written: true }
+    ));
+}
+
+#[test]
+fn empty_interest_profiles_form_no_groups_but_everything_else_works() {
+    let mut c = Cluster::new(106);
+    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &[]));
+    let _b = c.add_node(NodeBuilder::new("b").at(Point2::new(3.0, 0.0)), member("bob", &[]));
+    c.start();
+    c.run_until(SimTime::from_secs(40));
+    assert!(c.app(a).groups().is_empty());
+    assert_eq!(c.app(a).known_members(), vec!["bob"]);
+
+    let op = c.with_app(a, |app, ctx| app.view_profile("bob", ctx));
+    c.run_for(Duration::from_secs(10));
+    match &c.app(a).outcome(op).expect("done").result {
+        OpResult::Profile(Some(view)) => assert!(view.interests.is_empty()),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn comment_on_logged_out_device_reports_not_written() {
+    let mut store = ph_community::MemberStore::new();
+    store
+        .create_account("ghost", "pw", Profile::new("Ghost"))
+        .expect("fresh");
+    let mut c = Cluster::new(107);
+    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
+    let _g = c.add_node(
+        NodeBuilder::new("g").at(Point2::new(3.0, 0.0)),
+        CommunityApp::new(store),
+    );
+    c.start();
+    c.run_until(SimTime::from_secs(40));
+
+    let op = c.with_app(a, |app, ctx| app.put_comment("ghost", "hello?", ctx));
+    c.run_for(Duration::from_secs(10));
+    assert_eq!(
+        c.app(a).outcome(op).expect("done").result,
+        OpResult::CommentResult { written: false },
+        "logged-out devices answer NO_MEMBERS_YET"
+    );
+}
+
+#[test]
+fn reappearing_member_rejoins_groups() {
+    let mut c = Cluster::new(108);
+    let ttl_fast = |cfg: peerhood::DaemonConfig| cfg.with_neighbor_ttl(Duration::from_secs(30));
+    let a = c.add_node_with(
+        NodeBuilder::new("a")
+            .at(Point2::ORIGIN)
+            .with_technologies([Technology::Bluetooth]),
+        ttl_fast,
+        member("alice", &["x"]),
+    );
+    // Bob leaves for two minutes and comes back.
+    let _b = c.add_node_with(
+        NodeBuilder::new("b")
+            .moving(ScriptedPath::new(vec![
+                (SimTime::from_secs(0), Point2::new(3.0, 0.0)),
+                (SimTime::from_secs(60), Point2::new(3.0, 0.0)),
+                (SimTime::from_secs(65), Point2::new(500.0, 0.0)),
+                (SimTime::from_secs(180), Point2::new(500.0, 0.0)),
+                (SimTime::from_secs(185), Point2::new(3.0, 0.0)),
+            ]))
+            .with_technologies([Technology::Bluetooth]),
+        ttl_fast,
+        member("bob", &["x"]),
+    );
+    c.start();
+    c.run_until(SimTime::from_secs(50));
+    assert_eq!(c.app(a).groups().len(), 1, "group while together");
+    c.run_until(SimTime::from_secs(170));
+    assert!(c.app(a).groups().is_empty(), "group gone while apart");
+    c.run_until(SimTime::from_secs(300));
+    assert_eq!(
+        c.app(a).groups().len(),
+        1,
+        "group re-forms on return: {:?}",
+        c.app(a).groups()
+    );
+}

@@ -1,0 +1,68 @@
+//! The community application over the live TCP driver: same state
+//! machines, real sockets, wall-clock time.
+
+use std::time::Duration;
+
+use peerhood::live::LiveNet;
+use ph_community::node::CommunityApp;
+use ph_community::profile::Profile;
+use ph_community::OpResult;
+
+fn member(name: &str, interests: &[&str]) -> CommunityApp {
+    CommunityApp::with_member(
+        name,
+        "pw",
+        Profile::new(name).with_interests(interests.iter().copied()),
+    )
+    // Live runs in wall-clock time: refresh fast so the test finishes
+    // quickly.
+    .with_refresh_interval(Duration::from_millis(400))
+}
+
+#[test]
+fn three_member_community_over_real_sockets() {
+    let mut net = LiveNet::new();
+    let alice = net
+        .add_node("alice-host", member("alice", &["rust", "sauna"]))
+        .expect("bind");
+    let _bob = net
+        .add_node("bob-host", member("bob", &["Rust", "chess"]))
+        .expect("bind");
+    let _carol = net
+        .add_node("carol-host", member("carol", &["rust", "sauna"]))
+        .expect("bind");
+    net.start();
+
+    // Dynamic groups form across real TCP connections.
+    assert!(
+        net.run_until(Duration::from_secs(15), |n| {
+            let groups = n.app(alice).groups();
+            groups.iter().any(|g| g.key == "rust" && g.members.len() == 3)
+                && groups.iter().any(|g| g.key == "sauna" && g.members.len() == 2)
+        }),
+        "groups: {:?}",
+        net.app(alice).groups()
+    );
+
+    // A fan-out operation over the sockets.
+    let op = net.with_app(alice, |app, ctx| app.get_member_list(ctx));
+    assert!(net.run_until(Duration::from_secs(10), |n| n
+        .app(alice)
+        .outcome(op)
+        .is_some()));
+    match &net.app(alice).outcome(op).expect("completed").result {
+        OpResult::Members(names) => assert_eq!(names, &["bob", "carol"]),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A direct message.
+    let op = net.with_app(alice, |app, ctx| app.send_message("carol", "hi", "tcp!", ctx));
+    assert!(net.run_until(Duration::from_secs(10), |n| n
+        .app(alice)
+        .outcome(op)
+        .is_some()));
+    assert_eq!(
+        net.app(alice).outcome(op).expect("completed").result,
+        OpResult::MessageResult { written: true }
+    );
+}

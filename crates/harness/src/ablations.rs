@@ -1,0 +1,630 @@
+//! Ablation and extension experiments (DESIGN.md A1–A5).
+//!
+//! These go beyond the thesis's published evaluation, in the directions its
+//! own analysis and future-work sections point:
+//!
+//! * **A1** — discovery latency per technology (the thesis only tested
+//!   Bluetooth);
+//! * **A2** — dynamic-group-discovery scaling with neighborhood size, and
+//!   the per-operation vs persistent connection-mode cost (the named
+//!   future work: "performance testing during the dynamic group
+//!   discovery");
+//! * **A3** — group fragmentation with and without semantics teaching (the
+//!   §5.2.6 biking/cycling problem);
+//! * **A4** — seamless connectivity under mobility (connection survival
+//!   with handover on/off);
+//! * **A5** — group-view accuracy under churn.
+
+use std::time::Duration;
+
+use netsim::geometry::Point2;
+use netsim::mobility::{RandomWaypoint, ScriptedPath};
+use netsim::stats::Summary;
+use netsim::world::NodeBuilder;
+use netsim::{SimRng, SimTime, Technology};
+
+use peerhood::api::AppEvent;
+use peerhood::app::{AppCtx, Application};
+use peerhood::service::ServiceInfo;
+use peerhood::sim::Cluster;
+use peerhood::types::{CloseReason, ConnId};
+
+use community::discovery::discover_groups;
+use community::node::{CommunityApp, OpMode};
+use community::profile::Profile;
+use community::semantics::MatchPolicy;
+use community::{Interest, OpResult};
+
+use crate::report::TextTable;
+use crate::scenario::{lab, LabConfig};
+
+// ---------------------------------------------------------------------
+// A1 — discovery latency per technology
+// ---------------------------------------------------------------------
+
+/// Measures how long after startup a peer is discovered, per technology.
+pub fn discovery_by_technology(trials: usize, base_seed: u64) -> Vec<(Technology, Summary)> {
+    #[derive(Default)]
+    struct Waiter {
+        found_at: Option<SimTime>,
+    }
+    impl Application for Waiter {
+        fn on_event(&mut self, event: AppEvent, ctx: &mut AppCtx<'_>) {
+            if matches!(event, AppEvent::DeviceAppeared(_)) && self.found_at.is_none() {
+                self.found_at = Some(ctx.now());
+            }
+        }
+    }
+
+    Technology::ALL
+        .into_iter()
+        .map(|tech| {
+            let samples: Vec<Duration> = (0..trials)
+                .map(|t| {
+                    let mut c: Cluster<Waiter> = Cluster::new(base_seed ^ (t as u64) << 8 ^ tech as u64);
+                    let a = c.add_node(
+                        NodeBuilder::new("a")
+                            .at(Point2::ORIGIN)
+                            .with_technologies([tech]),
+                        Waiter::default(),
+                    );
+                    let _b = c.add_node(
+                        NodeBuilder::new("b")
+                            .at(Point2::new(2.0, 0.0))
+                            .with_technologies([tech]),
+                        Waiter::default(),
+                    );
+                    c.start();
+                    c.run_until(SimTime::from_secs(120));
+                    c.app(a)
+                        .found_at
+                        .expect("in-range peer must be discovered within 2 minutes")
+                        .saturating_since(SimTime::ZERO)
+                })
+                .collect();
+            (tech, Summary::from_durations(&samples).expect("trials > 0"))
+        })
+        .collect()
+}
+
+/// Renders A1.
+pub fn render_discovery_by_technology(rows: &[(Technology, Summary)]) -> String {
+    let mut t = TextTable::new(["Technology", "Discovery latency (mean)", "p90", "max"]);
+    for (tech, s) in rows {
+        t.add_row([
+            tech.name().to_owned(),
+            format!("{:.2} s", s.mean),
+            format!("{:.2} s", s.p90),
+            format!("{:.2} s", s.max),
+        ]);
+    }
+    format!("A1 — time to discover an in-range peer, per technology\n{}", t.render())
+}
+
+// ---------------------------------------------------------------------
+// A2 — scaling with neighborhood size + connection-mode ablation
+// ---------------------------------------------------------------------
+
+/// One A2 measurement point.
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// Number of peer devices.
+    pub peers: usize,
+    /// Connection mode measured.
+    pub mode: OpMode,
+    /// Group-search time (start → first group).
+    pub search: Summary,
+    /// Member-list operation time.
+    pub member_list: Summary,
+}
+
+/// Sweeps neighborhood size for both connection modes.
+///
+/// # Panics
+///
+/// Panics if any trial fails to form groups or complete operations.
+pub fn scaling(peer_counts: &[usize], trials: usize, base_seed: u64) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for &peers in peer_counts {
+        for mode in [OpMode::PerOperation, OpMode::Persistent] {
+            let mut search = Vec::new();
+            let mut list = Vec::new();
+            for t in 0..trials {
+                let seed = base_seed ^ ((peers as u64) << 32) ^ ((t as u64) << 1) ^ (mode as u64);
+                let mut s = lab(&LabConfig {
+                    seed,
+                    peer_count: peers,
+                    op_mode: mode,
+                    fresh_inquiry_per_op: mode == OpMode::PerOperation,
+                    ..LabConfig::default()
+                });
+                let observer = s.observer;
+                let formed = s
+                    .cluster
+                    .run_until_condition(SimTime::from_secs(600), |c| {
+                        c.app(observer).first_group_at().is_some()
+                    })
+                    .expect("group must form");
+                let started = s.cluster.app(observer).started_at().expect("started");
+                search.push(formed.saturating_since(started));
+
+                // Let the neighborhood settle before the operation.
+                s.cluster.run_for(Duration::from_secs(60));
+                let op = s.cluster.with_app(observer, |app, ctx| app.get_member_list(ctx));
+                let deadline = s.cluster.now() + Duration::from_secs(600);
+                s.cluster
+                    .run_until_condition(deadline, |c| c.app(observer).outcome(op).is_some())
+                    .expect("member list must complete");
+                let outcome = s.cluster.app(observer).outcome(op).expect("completed");
+                assert!(
+                    matches!(&outcome.result, OpResult::Members(names) if !names.is_empty()),
+                    "member list empty for {peers} peers"
+                );
+                list.push(outcome.duration());
+            }
+            out.push(ScalingPoint {
+                peers,
+                mode,
+                search: Summary::from_durations(&search).expect("trials > 0"),
+                member_list: Summary::from_durations(&list).expect("trials > 0"),
+            });
+        }
+    }
+    out
+}
+
+/// Renders A2.
+pub fn render_scaling(points: &[ScalingPoint]) -> String {
+    let mut t = TextTable::new([
+        "Peers",
+        "Mode",
+        "Group search (mean)",
+        "Member list (mean)",
+    ]);
+    for p in points {
+        t.add_row([
+            p.peers.to_string(),
+            format!("{:?}", p.mode),
+            format!("{:.1} s", p.search.mean),
+            format!("{:.1} s", p.member_list.mean),
+        ]);
+    }
+    format!(
+        "A2 — dynamic group discovery and operation cost vs neighborhood size\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// A3 — semantics teaching vs group fragmentation
+// ---------------------------------------------------------------------
+
+/// Result of the semantics ablation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SemanticsResult {
+    /// Members in the synthetic neighborhood.
+    pub members: usize,
+    /// Synonym families in the vocabulary.
+    pub families: usize,
+    /// Spellings per family.
+    pub spellings: usize,
+    /// Groups formed under exact matching.
+    pub exact_groups: usize,
+    /// Groups formed after teaching all synonyms.
+    pub semantic_groups: usize,
+    /// Fraction of interest-sharing members my exact-matched groups
+    /// actually capture (group count is bounded by my own interests, so
+    /// fragmentation shows up as members *missing* from groups).
+    pub exact_coverage: f64,
+    /// The same fraction once all synonyms are taught (always 1.0).
+    pub semantic_coverage: f64,
+}
+
+/// Runs the biking/cycling experiment at scale: members draw one random
+/// spelling from each synonym family; exact matching fragments every family
+/// into up-to-`spellings` groups, taught matching folds them back.
+pub fn semantics(members: usize, families: usize, spellings: usize, seed: u64) -> SemanticsResult {
+    let mut rng = SimRng::from_seed(seed);
+    let spelling = |f: usize, s: usize| format!("family{f}-spelling{s}");
+
+    // The observer holds one spelling per family.
+    let own: Vec<Interest> = (0..families)
+        .map(|f| Interest::new(spelling(f, rng.range_usize(0..spellings))))
+        .collect();
+    let neighbors: Vec<(String, Vec<Interest>)> = (0..members)
+        .map(|m| {
+            let interests = (0..families)
+                .map(|f| Interest::new(spelling(f, rng.range_usize(0..spellings))))
+                .collect();
+            (format!("member{m}"), interests)
+        })
+        .collect();
+
+    let exact = discover_groups("me", &own, &neighbors, &MatchPolicy::Exact);
+
+    let mut taught = MatchPolicy::Exact;
+    for f in 0..families {
+        for s in 1..spellings {
+            taught.teach(
+                &Interest::new(spelling(f, 0)),
+                &Interest::new(spelling(f, s)),
+            );
+        }
+    }
+    let semantic = discover_groups("me", &own, &neighbors, &taught);
+
+    // Every member holds one spelling of every family, so under taught
+    // matching each family group captures all `members`; under exact
+    // matching only the same-spelling subset makes it in.
+    let coverage = |groups: &community::GroupSet| -> f64 {
+        if families == 0 || members == 0 {
+            return 1.0;
+        }
+        let captured: usize = groups.values().map(|g| g.members.len() - 1).sum();
+        captured as f64 / (families * members) as f64
+    };
+
+    SemanticsResult {
+        members,
+        families,
+        spellings,
+        exact_groups: exact.len(),
+        semantic_groups: semantic.len(),
+        exact_coverage: coverage(&exact),
+        semantic_coverage: coverage(&semantic),
+    }
+}
+
+/// Renders A3 for a sweep of spelling counts.
+pub fn render_semantics(rows: &[SemanticsResult]) -> String {
+    let mut t = TextTable::new([
+        "Members",
+        "Families",
+        "Spellings/family",
+        "Groups (exact)",
+        "Groups (taught)",
+        "Member coverage (exact)",
+        "Member coverage (taught)",
+    ]);
+    for r in rows {
+        t.add_row([
+            r.members.to_string(),
+            r.families.to_string(),
+            r.spellings.to_string(),
+            r.exact_groups.to_string(),
+            r.semantic_groups.to_string(),
+            format!("{:.0} %", r.exact_coverage * 100.0),
+            format!("{:.0} %", r.semantic_coverage * 100.0),
+        ]);
+    }
+    format!(
+        "A3 — semantics teaching removes group fragmentation (§5.2.6)\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// A4 — seamless connectivity under mobility
+// ---------------------------------------------------------------------
+
+/// Result of the handover ablation.
+#[derive(Clone, Debug)]
+pub struct HandoverResult {
+    /// Whether seamless connectivity was enabled.
+    pub seamless: bool,
+    /// Fraction of trials whose connection survived the walk.
+    pub survival_rate: f64,
+    /// Mean fraction of the 30 chunks delivered.
+    pub delivery_rate: f64,
+}
+
+/// A chunked transfer while the receiver walks out of Bluetooth range
+/// (WLAN still covers it), with seamless connectivity on or off.
+pub fn handover(trials: usize, base_seed: u64) -> Vec<HandoverResult> {
+    #[derive(Default)]
+    struct Mover {
+        serve: bool,
+        conn: Option<ConnId>,
+        delivered: usize,
+        lost: bool,
+    }
+    impl Application for Mover {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            if self.serve {
+                ctx.peerhood().register_service(ServiceInfo::new("stream"));
+            }
+        }
+        fn on_event(&mut self, event: AppEvent, _ctx: &mut AppCtx<'_>) {
+            match event {
+                AppEvent::Connected { conn, .. } => self.conn = Some(conn),
+                AppEvent::Data { .. } => self.delivered += 1,
+                AppEvent::Closed { reason, .. }
+                    if reason != CloseReason::LocalClose => {
+                        self.lost = true;
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    [true, false]
+        .into_iter()
+        .map(|seamless| {
+            let mut survived = 0usize;
+            let mut delivered_total = 0usize;
+            const CHUNKS: usize = 30;
+            for t in 0..trials {
+                let mut c: Cluster<Mover> = Cluster::new(base_seed ^ (t as u64) << 4 ^ seamless as u64);
+                let a = c.add_node_with(
+                    NodeBuilder::new("sender")
+                        .at(Point2::ORIGIN)
+                        .with_technologies([Technology::Bluetooth, Technology::Wlan]),
+                    |cfg| cfg.with_seamless_connectivity(seamless),
+                    Mover::default(),
+                );
+                let b = c.add_node_with(
+                    NodeBuilder::new("walker")
+                        .moving(ScriptedPath::new(vec![
+                            (SimTime::from_secs(0), Point2::new(4.0, 0.0)),
+                            (SimTime::from_secs(30), Point2::new(4.0, 0.0)),
+                            (SimTime::from_secs(50), Point2::new(50.0, 0.0)),
+                        ]))
+                        .with_technologies([Technology::Bluetooth, Technology::Wlan]),
+                    |cfg| cfg.with_seamless_connectivity(seamless),
+                    Mover {
+                        serve: true,
+                        ..Mover::default()
+                    },
+                );
+                c.start();
+                c.run_until(SimTime::from_secs(20));
+                let b_dev = c.device_id(b);
+                c.with_app(a, |_, ctx| ctx.peerhood().connect(b_dev, "stream"));
+                c.run_until(SimTime::from_secs(24));
+                if let Some(conn) = c.app(a).conn {
+                    for i in 0..CHUNKS {
+                        c.run_until(SimTime::from_secs(25 + 2 * i as u64));
+                        c.with_app(a, |_, ctx| {
+                            ctx.peerhood().send(conn, bytes::Bytes::from_static(&[0u8; 512]))
+                        });
+                    }
+                }
+                c.run_until(SimTime::from_secs(120));
+                if !c.app(a).lost && !c.app(b).lost {
+                    survived += 1;
+                }
+                delivered_total += c.app(b).delivered.min(CHUNKS);
+            }
+            HandoverResult {
+                seamless,
+                survival_rate: survived as f64 / trials as f64,
+                delivery_rate: delivered_total as f64 / (trials * CHUNKS) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders A4.
+pub fn render_handover(rows: &[HandoverResult]) -> String {
+    let mut t = TextTable::new(["Seamless connectivity", "Connection survival", "Chunks delivered"]);
+    for r in rows {
+        t.add_row([
+            if r.seamless { "on" } else { "off" }.to_owned(),
+            format!("{:.0} %", r.survival_rate * 100.0),
+            format!("{:.0} %", r.delivery_rate * 100.0),
+        ]);
+    }
+    format!(
+        "A4 — a Bluetooth connection walks out of range (WLAN still covers)\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// A5 — group-view accuracy under churn
+// ---------------------------------------------------------------------
+
+/// Result of the churn experiment.
+#[derive(Clone, Debug)]
+pub struct ChurnResult {
+    /// Number of wandering members.
+    pub members: usize,
+    /// Mean Jaccard similarity between the observer's group view and the
+    /// ground-truth in-range membership, sampled every 10 s.
+    pub accuracy: f64,
+    /// Group membership change events observed.
+    pub events: usize,
+}
+
+/// Wandering members drift in and out of the observer's Bluetooth range;
+/// the observer's football-group view is compared against ground truth.
+pub fn churn(members: usize, minutes: u64, seed: u64) -> ChurnResult {
+    let area = 60.0;
+    // Fast-tracking configuration: a mobile neighborhood needs quicker
+    // inquiries and a shorter TTL than the lab defaults, or the view lags
+    // departures by more than a minute.
+    let tune = |cfg: peerhood::DaemonConfig| {
+        cfg.with_inquiry_interval(Technology::Bluetooth, Duration::from_secs(11))
+            .with_neighbor_ttl(Duration::from_secs(25))
+    };
+    let mut c: Cluster<CommunityApp> = Cluster::new(seed);
+    let observer = c.add_node_with(
+        NodeBuilder::new("observer")
+            .at(Point2::new(area / 2.0, area / 2.0))
+            .with_technologies([Technology::Bluetooth]),
+        tune,
+        CommunityApp::with_member(
+            "observer",
+            "pw",
+            Profile::new("Observer").with_interests(["football"]),
+        )
+        .with_refresh_interval(Duration::from_secs(10)),
+    );
+    let mut wanderers = Vec::new();
+    let mut rng = SimRng::from_seed(seed ^ 0xD1CE);
+    for i in 0..members {
+        let start = Point2::new(
+            rng.range_f64(5.0..area - 5.0),
+            rng.range_f64(5.0..area - 5.0),
+        );
+        let mobility = RandomWaypoint::new(
+            netsim::geometry::Rect::sized(area, area),
+            start,
+            (0.5, 1.2),
+            (Duration::from_secs(15), Duration::from_secs(60)),
+            rng.fork(i as u64),
+        );
+        wanderers.push(c.add_node_with(
+            NodeBuilder::new(format!("wanderer{i}"))
+                .moving(mobility)
+                .with_technologies([Technology::Bluetooth]),
+            tune,
+            CommunityApp::with_member(
+                &format!("wanderer{i}"),
+                "pw",
+                Profile::new(format!("W{i}")).with_interests(["football"]),
+            )
+            .with_refresh_interval(Duration::from_secs(10)),
+        ));
+    }
+    c.start();
+
+    let mut similarity = Vec::new();
+    let end = SimTime::from_secs(minutes * 60);
+    let mut t = SimTime::from_secs(60); // warm-up before sampling
+    while t <= end {
+        c.run_until(t);
+        let now = c.now();
+        // Ground truth: wanderers currently within Bluetooth range.
+        let truth: std::collections::BTreeSet<String> = wanderers
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| {
+                c.world_mut()
+                    .reachable(observer_node(observer), w, Technology::Bluetooth, now)
+            })
+            .map(|(i, _)| format!("wanderer{i}"))
+            .collect();
+        let view: std::collections::BTreeSet<String> = c
+            .app(observer)
+            .groups()
+            .iter()
+            .find(|g| g.key == "football")
+            .map(|g| {
+                g.members
+                    .iter()
+                    .filter(|m| *m != "observer")
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        let union = truth.union(&view).count();
+        let inter = truth.intersection(&view).count();
+        similarity.push(if union == 0 { 1.0 } else { inter as f64 / union as f64 });
+        t += Duration::from_secs(10);
+    }
+
+    ChurnResult {
+        members,
+        accuracy: similarity.iter().sum::<f64>() / similarity.len() as f64,
+        events: c.app(observer).group_events().len(),
+    }
+}
+
+fn observer_node(n: netsim::world::NodeId) -> netsim::world::NodeId {
+    n
+}
+
+/// Renders A5.
+pub fn render_churn(rows: &[ChurnResult]) -> String {
+    let mut t = TextTable::new(["Wanderers", "Mean view accuracy (Jaccard)", "Group events"]);
+    for r in rows {
+        t.add_row([
+            r.members.to_string(),
+            format!("{:.2}", r.accuracy),
+            r.events.to_string(),
+        ]);
+    }
+    format!(
+        "A5 — group-view accuracy while members wander in and out of range\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_orders_technologies_by_discovery_speed() {
+        let rows = discovery_by_technology(5, 11);
+        let get = |tech: Technology| {
+            rows.iter()
+                .find(|(t, _)| *t == tech)
+                .map(|(_, s)| s.mean)
+                .expect("present")
+        };
+        // WLAN scans beat Bluetooth inquiries.
+        assert!(get(Technology::Wlan) < get(Technology::Bluetooth));
+        let text = render_discovery_by_technology(&rows);
+        assert!(text.contains("Bluetooth"));
+    }
+
+    #[test]
+    fn a2_member_list_grows_with_peers_in_per_operation_mode() {
+        let points = scaling(&[1, 4], 2, 13);
+        let get = |peers, mode| {
+            points
+                .iter()
+                .find(|p| p.peers == peers && p.mode == mode)
+                .expect("present")
+        };
+        let small = get(1, OpMode::PerOperation).member_list.mean;
+        let big = get(4, OpMode::PerOperation).member_list.mean;
+        assert!(big > small + 1.0, "sequential connects must add up: {small} -> {big}");
+        // Persistent mode barely grows.
+        let p_small = get(1, OpMode::Persistent).member_list.mean;
+        let p_big = get(4, OpMode::Persistent).member_list.mean;
+        assert!(p_big - p_small < (big - small) / 2.0);
+        assert!(!render_scaling(&points).is_empty());
+    }
+
+    #[test]
+    fn a3_teaching_removes_fragmentation() {
+        let r = semantics(40, 5, 4, 17);
+        assert_eq!(r.semantic_groups, 5, "one group per family once taught");
+        assert!((r.semantic_coverage - 1.0).abs() < 1e-9, "taught matching captures everyone");
+        assert!(
+            r.exact_coverage < 0.5,
+            "4 spellings must fragment away >half the members, got {}",
+            r.exact_coverage
+        );
+        // One spelling: no fragmentation at all.
+        let r1 = semantics(40, 5, 1, 17);
+        assert!((r1.exact_coverage - 1.0).abs() < 1e-9);
+        assert!(render_semantics(&[r]).contains("taught"));
+    }
+
+    #[test]
+    fn a4_seamless_saves_the_connection() {
+        let rows = handover(4, 19);
+        let on = rows.iter().find(|r| r.seamless).expect("present");
+        let off = rows.iter().find(|r| !r.seamless).expect("present");
+        assert!(on.survival_rate > 0.9, "seamless survival {}", on.survival_rate);
+        assert!(off.survival_rate < 0.5, "without handover {}", off.survival_rate);
+        assert!(on.delivery_rate > off.delivery_rate);
+        assert!(!render_handover(&rows).is_empty());
+    }
+
+    #[test]
+    fn a5_churn_view_tracks_truth_reasonably() {
+        let r = churn(6, 5, 23);
+        assert!(
+            r.accuracy > 0.55,
+            "group view should track ground truth, got {}",
+            r.accuracy
+        );
+        assert!(r.events > 0, "churn must cause membership events");
+        assert!(!render_churn(&[r]).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Standard experiment scenarios.
+//!
+//! The thesis evaluated in ComLab room 6604: a handful of stationary PCs
+//! and laptops within one Bluetooth cell ([`lab`]). The concept chapter also
+//! motivates mobile communities — a bus ride, a campus walk — which the
+//! examples and ablations build from the same pieces.
+
+use netsim::geometry::Point2;
+use netsim::world::{NodeBuilder, NodeId};
+use peerhood::sim::Cluster;
+
+use community::node::{CommunityApp, OpMode};
+use community::profile::Profile;
+
+/// A built lab scenario: one observer device plus peer devices, all within
+/// Bluetooth range.
+pub struct LabScenario {
+    /// The running cluster.
+    pub cluster: Cluster<CommunityApp>,
+    /// The device whose user drives the measured tasks.
+    pub observer: NodeId,
+    /// The other devices, in creation order (members `member1`,
+    /// `member2`, …).
+    pub peers: Vec<NodeId>,
+}
+
+/// Configuration for [`lab`].
+#[derive(Clone, Debug)]
+pub struct LabConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Number of peer devices besides the observer.
+    pub peer_count: usize,
+    /// Connection mode for every app.
+    pub op_mode: OpMode,
+    /// Whether user operations block on a fresh inquiry first (the thesis
+    /// client behaviour; see
+    /// [`CommunityApp::with_fresh_inquiry_per_op`]).
+    pub fresh_inquiry_per_op: bool,
+    /// The interest every peer shares with the observer.
+    pub shared_interest: String,
+    /// Extra distinct interests given to each peer (`extra-1`, …).
+    pub extra_interests_per_peer: usize,
+    /// Number of interests on the observer (the shared one plus
+    /// `own-1`, …).
+    pub observer_interests: usize,
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig {
+            seed: 1,
+            peer_count: 3,
+            op_mode: OpMode::PerOperation,
+            fresh_inquiry_per_op: true,
+            shared_interest: "Football".to_owned(),
+            extra_interests_per_peer: 2,
+            observer_interests: 1,
+        }
+    }
+}
+
+/// Builds and starts the ComLab-room scenario: `peer_count + 1` stationary
+/// devices in a circle of radius 3 m (all within one Bluetooth cell), each
+/// logged in as its member, every peer sharing `shared_interest` with the
+/// observer (`user1`).
+pub fn lab(config: &LabConfig) -> LabScenario {
+    let mut cluster = Cluster::new(config.seed);
+
+    let mut observer_profile =
+        Profile::new("User One").with_interests([config.shared_interest.as_str()]);
+    for i in 1..config.observer_interests {
+        observer_profile.interests.add(format!("own-{i}"));
+    }
+    let observer_app = CommunityApp::with_member("user1", "pw", observer_profile)
+        .with_op_mode(config.op_mode)
+        .with_fresh_inquiry_per_op(config.fresh_inquiry_per_op);
+    let observer = cluster.add_node(
+        NodeBuilder::new("user1-laptop").at(Point2::ORIGIN),
+        observer_app,
+    );
+
+    let mut peers = Vec::new();
+    for i in 1..=config.peer_count {
+        let angle = i as f64 / config.peer_count as f64 * std::f64::consts::TAU;
+        let pos = Point2::new(3.0 * angle.cos(), 3.0 * angle.sin());
+        let name = format!("member{i}");
+        let mut profile = Profile::new(format!("Member {i}"))
+            .with_interests([config.shared_interest.as_str()]);
+        for j in 1..=config.extra_interests_per_peer {
+            profile.interests.add(format!("extra-{i}-{j}"));
+        }
+        let app = CommunityApp::with_member(&name, "pw", profile)
+            .with_op_mode(config.op_mode)
+            .with_fresh_inquiry_per_op(config.fresh_inquiry_per_op);
+        peers.push(cluster.add_node(NodeBuilder::new(format!("{name}-pc")).at(pos), app));
+    }
+
+    cluster.start();
+    LabScenario {
+        cluster,
+        observer,
+        peers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimTime;
+
+    #[test]
+    fn lab_scenario_forms_the_shared_group() {
+        let mut s = lab(&LabConfig {
+            seed: 3,
+            peer_count: 2,
+            ..LabConfig::default()
+        });
+        s.cluster.run_until(SimTime::from_secs(60));
+        let groups = s.cluster.app(s.observer).groups();
+        assert_eq!(groups.len(), 1, "{groups:?}");
+        assert_eq!(groups[0].key, "football");
+        assert_eq!(groups[0].members.len(), 3);
+    }
+
+    #[test]
+    fn lab_scenario_respects_persistent_mode() {
+        let mut s = lab(&LabConfig {
+            seed: 4,
+            peer_count: 2,
+            op_mode: OpMode::Persistent,
+            fresh_inquiry_per_op: false,
+            ..LabConfig::default()
+        });
+        s.cluster.run_until(SimTime::from_secs(60));
+        assert_eq!(s.cluster.app(s.observer).op_mode(), OpMode::Persistent);
+        assert_eq!(s.cluster.app(s.observer).groups().len(), 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Table 8: time records for searching an interest group, joining, and
+//! viewing the member list and one member's profile — SNS baselines vs the
+//! PeerHood Community reference application.
+//!
+//! Five arms, exactly as in the thesis: Facebook and Hi5 accessed from the
+//! Nokia N810 and N95 over their respective data links, and PeerHood
+//! Community on laptops/PCs over Bluetooth. Every arm runs the same four
+//! tasks end-to-end under scripted users; paper values ride along in the
+//! report for side-by-side comparison.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+use netsim::stats::Summary;
+use netsim::{SimRng, SimTime};
+
+use sns::central::CentralServer;
+use sns::device::AccessDevice;
+use sns::session::SnsSession;
+use sns::site::SiteProfile;
+
+use community::OpResult;
+
+use crate::report::TextTable;
+use crate::scenario::{lab, LabConfig};
+use crate::user::VirtualUser;
+
+/// Number of peer devices around the observer in the PeerHood arm (the
+/// thesis used 2 desktop PCs + laptops in room 6604).
+const PEERHOOD_PEERS: usize = 3;
+
+/// The four timed tasks of Table 8 (plus the total row).
+pub const TASKS: [&str; 5] = [
+    "Average group search time",
+    "Average group join time",
+    "Viewing member list",
+    "Viewing one member profile",
+    "Total time taken",
+];
+
+/// The thesis's published averages (seconds) for one arm.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct PaperColumn {
+    /// Group search.
+    pub search: f64,
+    /// Group join.
+    pub join: f64,
+    /// Member list.
+    pub list: f64,
+    /// One member profile.
+    pub profile: f64,
+    /// Total.
+    pub total: f64,
+}
+
+/// Measured results of one arm.
+#[derive(Clone, Debug, Serialize)]
+pub struct ArmResult {
+    /// Arm label (e.g. `"SNS (Facebook) / Nokia N810"`).
+    pub arm: String,
+    /// Per-task summaries, in [`TASKS`] order.
+    pub summaries: [Summary; 5],
+    /// The thesis's numbers for this arm.
+    pub paper: PaperColumn,
+}
+
+/// The full Table 8 reproduction.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table8Report {
+    /// Trials per arm.
+    pub trials: usize,
+    /// All five arms, SNS first, PeerHood last.
+    pub arms: Vec<ArmResult>,
+}
+
+impl Table8Report {
+    /// Renders the report as a text table with paper values inline.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["Task".to_owned()];
+        headers.extend(self.arms.iter().map(|a| a.arm.clone()));
+        let mut table = TextTable::new(headers);
+        for (row, task) in TASKS.iter().enumerate() {
+            let mut cells = vec![(*task).to_owned()];
+            for arm in &self.arms {
+                let paper = [
+                    arm.paper.search,
+                    arm.paper.join,
+                    arm.paper.list,
+                    arm.paper.profile,
+                    arm.paper.total,
+                ][row];
+                cells.push(format!(
+                    "{:>5.1} s (paper {:>3.0})",
+                    arm.summaries[row].mean, paper
+                ));
+            }
+            table.add_row(cells);
+        }
+        format!(
+            "Table 8 — task times, {} trials per arm (measured vs paper)\n{}",
+            self.trials,
+            table.render()
+        )
+    }
+
+    /// The PeerHood arm (last).
+    pub fn peerhood(&self) -> &ArmResult {
+        self.arms.last().expect("report always has five arms")
+    }
+
+    /// Machine-readable form of the report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is always serializable")
+    }
+}
+
+/// Runs the complete Table 8 experiment.
+///
+/// # Panics
+///
+/// Panics if any PeerHood trial fails to form a group or complete an
+/// operation within its deadline — that would mean the middleware is
+/// broken, not slow.
+pub fn run(trials: usize, base_seed: u64) -> Table8Report {
+    let mut arms = Vec::new();
+    let sns_arms: [(SiteProfile, AccessDevice, PaperColumn); 4] = [
+        (
+            SiteProfile::facebook(),
+            AccessDevice::nokia_n810(),
+            PaperColumn { search: 58.0, join: 17.0, list: 8.0, profile: 11.0, total: 94.0 },
+        ),
+        (
+            SiteProfile::facebook(),
+            AccessDevice::nokia_n95(),
+            PaperColumn { search: 75.0, join: 24.0, list: 31.0, profile: 27.0, total: 157.0 },
+        ),
+        (
+            SiteProfile::hi5(),
+            AccessDevice::nokia_n810(),
+            PaperColumn { search: 50.0, join: 25.0, list: 18.0, profile: 27.0, total: 120.0 },
+        ),
+        (
+            SiteProfile::hi5(),
+            AccessDevice::nokia_n95(),
+            PaperColumn { search: 69.0, join: 40.0, list: 32.0, profile: 40.0, total: 181.0 },
+        ),
+    ];
+    for (site, device, paper) in sns_arms {
+        arms.push(run_sns_arm(site, device, paper, trials, base_seed));
+    }
+    arms.push(run_peerhood_arm(trials, base_seed));
+    Table8Report { trials, arms }
+}
+
+/// Populates the central SNS database the tasks run against.
+fn seeded_site() -> CentralServer {
+    let mut server = CentralServer::new();
+    server.register("user1");
+    for i in 1..=PEERHOOD_PEERS {
+        server.register(format!("member{i}"));
+    }
+    // The target group plus enough distractors that search is meaningful.
+    server.create_group("England Football");
+    for name in [
+        "Finnish Football",
+        "Champions League Fans",
+        "Chess Club",
+        "Sauna Society",
+        "Mobile P2P Research",
+    ] {
+        server.create_group(name);
+    }
+    for i in 1..=PEERHOOD_PEERS {
+        server.join_group(&format!("member{i}"), "England Football");
+    }
+    server
+}
+
+fn run_sns_arm(
+    site: SiteProfile,
+    device: AccessDevice,
+    paper: PaperColumn,
+    trials: usize,
+    base_seed: u64,
+) -> ArmResult {
+    let arm = format!("SNS ({}) / {}", site.name, device.name);
+    let mut per_task: [Vec<Duration>; 5] = Default::default();
+    for t in 0..trials {
+        let mut server = seeded_site();
+        let rng = SimRng::from_seed(base_seed ^ (0xC0FFEE + t as u64));
+        let mut session = SnsSession::new(site.clone(), device.clone(), rng);
+
+        let group = session
+            .search_group(&mut server, "england football")
+            .expect("seeded group must be found");
+        per_task[0].push(session.elapsed());
+        session.reset_stopwatch();
+
+        assert!(session.join_group(&mut server, "user1", &group));
+        per_task[1].push(session.elapsed());
+        session.reset_stopwatch();
+
+        let members = session
+            .view_member_list(&mut server, &group)
+            .expect("group exists");
+        per_task[2].push(session.elapsed());
+        session.reset_stopwatch();
+
+        let first = members
+            .iter()
+            .find(|m| m.as_str() != "user1")
+            .expect("peers joined the group");
+        assert!(session.view_member_profile(&mut server, first));
+        per_task[3].push(session.elapsed());
+
+        let total: Duration = per_task[..4].iter().map(|v| *v.last().unwrap()).sum();
+        per_task[4].push(total);
+    }
+    ArmResult {
+        arm,
+        summaries: summarize(per_task),
+        paper,
+    }
+}
+
+fn run_peerhood_arm(trials: usize, base_seed: u64) -> ArmResult {
+    let mut per_task: [Vec<Duration>; 5] = Default::default();
+    for t in 0..trials {
+        let seed = base_seed ^ (0xBEEF + t as u64);
+        let mut user = VirtualUser::at_laptop(SimRng::from_seed(seed ^ 0xA11CE));
+        let mut s = lab(&LabConfig {
+            seed,
+            peer_count: PEERHOOD_PEERS,
+            ..LabConfig::default()
+        });
+
+        // Task 1 — group search: application start until the first group
+        // containing the user has formed (dynamic group discovery).
+        let deadline = SimTime::from_secs(120);
+        let observer = s.observer;
+        let found = s
+            .cluster
+            .run_until_condition(deadline, |c| c.app(observer).first_group_at().is_some());
+        let formed_at = found.expect("group must form within two minutes");
+        let started = s.cluster.app(observer).started_at().expect("started");
+        per_task[0].push(formed_at.saturating_since(started));
+
+        // Task 2 — group join: the user is *already in* the group the
+        // instant it forms; joining costs nothing.
+        assert!(
+            !s.cluster.app(observer).my_groups().is_empty(),
+            "observer must be a member of the discovered group"
+        );
+        per_task[1].push(Duration::ZERO);
+
+        // Task 3 — viewing the member list: menu selection plus the
+        // Figure 11 operation (fresh inquiry + sequential connections, as
+        // the reference client did).
+        let menu = user.menu();
+        s.cluster.run_for(menu);
+        let op = s.cluster.with_app(observer, |app, ctx| app.get_member_list(ctx));
+        let op_deadline = s.cluster.now() + Duration::from_secs(90);
+        s.cluster
+            .run_until_condition(op_deadline, |c| c.app(observer).outcome(op).is_some())
+            .expect("member list must complete");
+        let outcome = s.cluster.app(observer).outcome(op).unwrap().clone();
+        match &outcome.result {
+            OpResult::Members(names) => {
+                assert_eq!(names.len(), PEERHOOD_PEERS, "all peers must answer")
+            }
+            other => panic!("unexpected member-list result {other:?}"),
+        }
+        per_task[2].push(menu + outcome.duration());
+
+        // Task 4 — viewing one member profile: menu + typing the member id
+        // plus the Figure 13 operation.
+        let input = user.menu() + user.type_text("member1");
+        s.cluster.run_for(input);
+        let op = s
+            .cluster
+            .with_app(observer, |app, ctx| app.view_profile("member1", ctx));
+        let op_deadline = s.cluster.now() + Duration::from_secs(90);
+        s.cluster
+            .run_until_condition(op_deadline, |c| c.app(observer).outcome(op).is_some())
+            .expect("profile view must complete");
+        let outcome = s.cluster.app(observer).outcome(op).unwrap().clone();
+        assert!(
+            matches!(&outcome.result, OpResult::Profile(Some(v)) if v.member == "member1"),
+            "profile must be served: {:?}",
+            outcome.result
+        );
+        per_task[3].push(input + outcome.duration());
+
+        let total: Duration = per_task[..4].iter().map(|v| *v.last().unwrap()).sum();
+        per_task[4].push(total);
+    }
+    ArmResult {
+        arm: "PeerHood Community / Bluetooth".to_owned(),
+        summaries: summarize(per_task),
+        paper: PaperColumn {
+            search: 11.0,
+            join: 0.0,
+            list: 15.0,
+            profile: 19.0,
+            total: 45.0,
+        },
+    }
+}
+
+fn summarize(per_task: [Vec<Duration>; 5]) -> [Summary; 5] {
+    per_task.map(|v| Summary::from_durations(&v).expect("at least one trial"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table8_shape_holds() {
+        let report = run(3, 7);
+        assert_eq!(report.arms.len(), 5);
+        let ph = report.peerhood();
+        // PeerHood joins instantly.
+        assert_eq!(ph.summaries[1].mean, 0.0);
+        // PeerHood total beats every SNS arm's total — the headline claim.
+        for sns_arm in &report.arms[..4] {
+            assert!(
+                ph.summaries[4].mean < sns_arm.summaries[4].mean,
+                "PeerHood {:.1}s not faster than {} {:.1}s",
+                ph.summaries[4].mean,
+                sns_arm.arm,
+                sns_arm.summaries[4].mean
+            );
+        }
+        // The N95 is slower than the N810 on the same site.
+        assert!(report.arms[1].summaries[4].mean > report.arms[0].summaries[4].mean);
+        assert!(report.arms[3].summaries[4].mean > report.arms[2].summaries[4].mean);
+        // The render mentions every arm.
+        let text = report.render();
+        for arm in &report.arms {
+            assert!(text.contains(&arm.arm));
+        }
+    }
+}

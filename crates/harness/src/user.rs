@@ -1,0 +1,66 @@
+//! The scripted user driving the PeerHood Community terminal UI.
+//!
+//! Table 8 was measured with a stopwatch on humans. The SNS sessions
+//! already model their user's typing/clicking/scanning; this virtual user
+//! supplies the equivalent interaction times for the PeerHood arm's
+//! terminal interface (menu selections and typed member ids on a laptop
+//! keyboard — Figure 10's menu UI).
+
+use std::time::Duration;
+
+use netsim::SimRng;
+
+/// Interaction-time model of the laptop-terminal user.
+#[derive(Debug)]
+pub struct VirtualUser {
+    rng: SimRng,
+    menu_select: Duration,
+    per_char: Duration,
+    jitter: Duration,
+}
+
+impl VirtualUser {
+    /// A user at the thesis's test laptop (hardware keyboard, text menu).
+    pub fn at_laptop(rng: SimRng) -> Self {
+        VirtualUser {
+            rng,
+            menu_select: Duration::from_millis(1_500),
+            per_char: Duration::from_millis(220),
+            jitter: Duration::from_millis(400),
+        }
+    }
+
+    /// Samples the time to pick one entry from the main menu (Figure 10).
+    pub fn menu(&mut self) -> Duration {
+        let d = self.menu_select;
+        self.rng.jittered(d, self.jitter)
+    }
+
+    /// Samples the time to type `text` (e.g. a member id).
+    pub fn type_text(&mut self, text: &str) -> Duration {
+        let d = self.per_char * text.chars().count() as u32;
+        self.rng.jittered(d, self.jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn menu_times_are_seconds_scale() {
+        let mut u = VirtualUser::at_laptop(SimRng::from_seed(1));
+        for _ in 0..20 {
+            let d = u.menu();
+            assert!(d >= Duration::from_millis(1_100) && d <= Duration::from_millis(1_900));
+        }
+    }
+
+    #[test]
+    fn typing_scales_with_length() {
+        let mut u = VirtualUser::at_laptop(SimRng::from_seed(2));
+        let short = u.type_text("ab");
+        let long = u.type_text("a-much-longer-member-name");
+        assert!(long > short);
+    }
+}

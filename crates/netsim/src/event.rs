@@ -1,0 +1,257 @@
+//! Deterministic event queue for discrete-event simulation.
+//!
+//! Events are ordered by their scheduled [`SimTime`]; ties are broken by
+//! insertion order (a monotonically increasing sequence number), so two runs
+//! that schedule the same events in the same order always execute them in the
+//! same order — the foundation of reproducible experiments.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+use crate::time::SimTime;
+
+/// A time-ordered queue of simulation events.
+///
+/// The queue owns the virtual clock: popping an event advances
+/// [`EventQueue::now`] to that event's timestamp. Scheduling an event in the
+/// past is a logic error and panics, because it would mean the simulation is
+/// not causally consistent.
+///
+/// # Example
+///
+/// ```rust
+/// use ph_netsim::{EventQueue, SimTime};
+/// use std::time::Duration;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_after(Duration::from_secs(2), "beta");
+/// q.schedule_after(Duration::from_secs(1), "alpha");
+/// let (t1, e1) = q.pop().unwrap();
+/// assert_eq!((t1, e1), (SimTime::from_secs(1), "alpha"));
+/// let (t2, e2) = q.pop().unwrap();
+/// assert_eq!((t2, e2), (SimTime::from_secs(2), "beta"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Manual Ord: a max-heap made into a min-heap by reversing the comparison.
+// Only `(at, seq)` participate, so `E` needs no bounds.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the most recently popped
+    /// event (or [`SimTime::ZERO`] before any pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`EventQueue::now`].
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: Duration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty (the clock is left
+    /// where it was).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events without touching the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Advances the clock to `t` without popping anything.
+    ///
+    /// Useful after draining all events up to a deadline, so subsequent
+    /// scheduling is relative to the deadline. Moving backwards is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event earlier than `t` is still pending (advancing past
+    /// it would break causality).
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t <= self.now {
+            return;
+        }
+        if let Some(first) = self.peek_time() {
+            assert!(
+                first >= t,
+                "cannot advance past pending event at {first:?} to {t:?}"
+            );
+        }
+        self.now = t;
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 'c');
+        q.schedule(SimTime::from_secs(1), 'a');
+        q.schedule(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_advances_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "first");
+        q.pop();
+        q.schedule_after(Duration::from_secs(5), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn advance_to_moves_clock_forward_only() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_secs(5));
+        assert_eq!(q.now(), SimTime::from_secs(5));
+        q.advance_to(SimTime::from_secs(1)); // no-op backwards
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance past pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), ());
+        q.advance_to(SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(7), ());
+        q.schedule(SimTime::from_secs(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+    }
+}

@@ -1,0 +1,218 @@
+//! Plane geometry for node positions and movement areas.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in the 2-D simulation plane, in metres.
+#[derive(Copy, Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// East–west coordinate in metres.
+    pub x: f64,
+    /// North–south coordinate in metres.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`, in metres.
+    ///
+    /// # Example
+    ///
+    /// ```rust
+    /// use ph_netsim::geometry::Point2;
+    /// let d = Point2::new(0.0, 0.0).distance(Point2::new(3.0, 4.0));
+    /// assert_eq!(d, 5.0);
+    /// ```
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).length()
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    /// `t` outside `[0, 1]` extrapolates.
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        self + (other - self) * t
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// A displacement between two [`Point2`] values, in metres.
+#[derive(Copy, Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// X component in metres.
+    pub x: f64,
+    /// Y component in metres.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector `(x, y)`.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length in metres.
+    pub fn length(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Unit vector in the same direction, or [`Vec2::ZERO`] for the zero
+    /// vector.
+    pub fn normalized(self) -> Vec2 {
+        let len = self.length();
+        if len == 0.0 {
+            Vec2::ZERO
+        } else {
+            Vec2::new(self.x / len, self.y / len)
+        }
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    fn add(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Point2> for Point2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Point2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+/// An axis-aligned rectangular area, used to bound mobility models.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum corner (south-west).
+    pub min: Point2,
+    /// Maximum corner (north-east).
+    pub max: Point2,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is not component-wise `<= max`.
+    pub fn new(min: Point2, max: Point2) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "Rect requires min <= max, got {min} / {max}"
+        );
+        Rect { min, max }
+    }
+
+    /// A `w × h` metre rectangle with its south-west corner at the origin.
+    pub fn sized(w: f64, h: f64) -> Self {
+        Rect::new(Point2::ORIGIN, Point2::new(w, h))
+    }
+
+    /// Width in metres.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in metres.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// The centre point.
+    pub fn center(&self) -> Point2 {
+        Point2::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+
+    /// Whether `p` lies inside (or on the border of) the rectangle.
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps `p` to the nearest point inside the rectangle.
+    pub fn clamp(&self, p: Point2) -> Point2 {
+        Point2::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(4.0, 6.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(b), 5.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point2::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn vector_normalization() {
+        let v = Vec2::new(3.0, 4.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn rect_contains_and_clamp() {
+        let r = Rect::sized(10.0, 5.0);
+        assert!(r.contains(Point2::new(5.0, 2.0)));
+        assert!(r.contains(Point2::new(0.0, 0.0)));
+        assert!(!r.contains(Point2::new(-0.1, 2.0)));
+        assert_eq!(r.clamp(Point2::new(20.0, -3.0)), Point2::new(10.0, 0.0));
+        assert_eq!(r.center(), Point2::new(5.0, 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn invalid_rect_panics() {
+        let _ = Rect::new(Point2::new(1.0, 1.0), Point2::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn rect_dimensions() {
+        let r = Rect::new(Point2::new(2.0, 3.0), Point2::new(7.0, 9.0));
+        assert_eq!(r.width(), 5.0);
+        assert_eq!(r.height(), 6.0);
+    }
+}

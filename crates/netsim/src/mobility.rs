@@ -1,0 +1,638 @@
+//! Node mobility models.
+//!
+//! A mobility model answers "where is this node at virtual time *t*?". Models
+//! that involve randomness (random waypoint, random walk) extend their
+//! trajectory lazily from a private [`SimRng`], so positions are a pure
+//! function of `(seed, t)` and any query order yields the same answers.
+//!
+//! Provided models:
+//!
+//! * [`Stationary`] — a fixed position (the thesis's lab desktop PCs);
+//! * [`ScriptedPath`] — piecewise-linear waypoints with explicit times
+//!   (a pedestrian walking through a corridor, a bus route);
+//! * [`RandomWaypoint`] — the classic ad-hoc-networking model: pick a random
+//!   destination in an area, move at a random speed, pause, repeat;
+//! * [`RandomWalk`] — fixed-length random steps, reflecting at area borders;
+//! * [`Offset`] — a fixed displacement from another model (passengers seated
+//!   in a moving bus).
+
+use std::fmt::Debug;
+use std::time::Duration;
+
+use crate::geometry::{Point2, Rect, Vec2};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Position as a function of virtual time.
+///
+/// Implementations take `&mut self` so that stochastic models can lazily
+/// extend an internal trajectory; re-querying any earlier time must return
+/// the same answer (trajectories are append-only).
+pub trait Mobility: Debug + Send {
+    /// The node's position at time `t`.
+    fn position(&mut self, t: SimTime) -> Point2;
+}
+
+/// A node that never moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stationary {
+    at: Point2,
+}
+
+impl Stationary {
+    /// Creates a stationary node at `at`.
+    pub fn new(at: Point2) -> Self {
+        Stationary { at }
+    }
+}
+
+impl Mobility for Stationary {
+    fn position(&mut self, _t: SimTime) -> Point2 {
+        self.at
+    }
+}
+
+/// Piecewise-linear movement through explicit `(time, point)` waypoints.
+///
+/// Before the first waypoint the node sits at the first point; after the last
+/// waypoint it sits at the last point.
+///
+/// # Example
+///
+/// ```rust
+/// use ph_netsim::mobility::{Mobility, ScriptedPath};
+/// use ph_netsim::geometry::Point2;
+/// use ph_netsim::SimTime;
+///
+/// let mut path = ScriptedPath::new(vec![
+///     (SimTime::from_secs(0), Point2::new(0.0, 0.0)),
+///     (SimTime::from_secs(10), Point2::new(100.0, 0.0)),
+/// ]);
+/// assert_eq!(path.position(SimTime::from_secs(5)), Point2::new(50.0, 0.0));
+/// assert_eq!(path.position(SimTime::from_secs(99)), Point2::new(100.0, 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptedPath {
+    waypoints: Vec<(SimTime, Point2)>,
+}
+
+impl ScriptedPath {
+    /// Creates a path from waypoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waypoints` is empty or its times are not strictly
+    /// increasing.
+    pub fn new(waypoints: Vec<(SimTime, Point2)>) -> Self {
+        assert!(!waypoints.is_empty(), "ScriptedPath needs >= 1 waypoint");
+        for pair in waypoints.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "ScriptedPath waypoint times must be strictly increasing"
+            );
+        }
+        ScriptedPath { waypoints }
+    }
+
+    /// Convenience: a walk from `from` to `to` starting at `start`, at
+    /// `speed_mps` metres per second, then standing still.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_mps` is not positive.
+    pub fn walk(start: SimTime, from: Point2, to: Point2, speed_mps: f64) -> Self {
+        assert!(speed_mps > 0.0, "walking speed must be positive");
+        let dist = from.distance(to);
+        let travel = Duration::from_secs_f64(dist / speed_mps);
+        if travel.is_zero() {
+            ScriptedPath::new(vec![(start, from)])
+        } else {
+            ScriptedPath::new(vec![(start, from), (start + travel, to)])
+        }
+    }
+}
+
+impl Mobility for ScriptedPath {
+    fn position(&mut self, t: SimTime) -> Point2 {
+        let wps = &self.waypoints;
+        if t <= wps[0].0 {
+            return wps[0].1;
+        }
+        if t >= wps[wps.len() - 1].0 {
+            return wps[wps.len() - 1].1;
+        }
+        // Find the segment containing t.
+        let idx = wps.partition_point(|(wt, _)| *wt <= t);
+        let (t0, p0) = wps[idx - 1];
+        let (t1, p1) = wps[idx];
+        let frac = (t - t0).as_secs_f64() / (t1 - t0).as_secs_f64();
+        p0.lerp(p1, frac)
+    }
+}
+
+/// One leg of a lazily generated stochastic trajectory.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: SimTime,
+    end: SimTime,
+    from: Point2,
+    to: Point2,
+}
+
+impl Segment {
+    fn position(&self, t: SimTime) -> Point2 {
+        if self.end <= self.start {
+            return self.to;
+        }
+        let frac = t.saturating_since(self.start).as_secs_f64()
+            / (self.end - self.start).as_secs_f64();
+        self.from.lerp(self.to, frac.clamp(0.0, 1.0))
+    }
+}
+
+fn position_from_segments(
+    segments: &mut Vec<Segment>,
+    t: SimTime,
+    mut extend: impl FnMut(&Segment) -> Segment,
+) -> Point2 {
+    while segments.last().is_none_or(|s| s.end < t) {
+        let next = match segments.last() {
+            Some(last) => extend(last),
+            None => unreachable!("stochastic models seed an initial segment"),
+        };
+        segments.push(next);
+    }
+    let idx = segments.partition_point(|s| s.end < t);
+    segments[idx].position(t)
+}
+
+/// The random waypoint model.
+///
+/// The node repeatedly picks a uniform destination inside `area`, travels
+/// there at a uniform speed from `speed_mps`, pauses for a uniform time from
+/// `pause`, and repeats. This is the standard mobility model of the ad-hoc
+/// networking literature the thesis cites for dynamic group discovery.
+#[derive(Debug)]
+pub struct RandomWaypoint {
+    area: Rect,
+    speed_mps: (f64, f64),
+    pause: (Duration, Duration),
+    rng: SimRng,
+    segments: Vec<Segment>,
+    pausing: bool,
+}
+
+impl RandomWaypoint {
+    /// Creates a random-waypoint mover starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speed range is not positive or `start` lies outside
+    /// `area`.
+    pub fn new(
+        area: Rect,
+        start: Point2,
+        speed_mps: (f64, f64),
+        pause: (Duration, Duration),
+        rng: SimRng,
+    ) -> Self {
+        assert!(
+            speed_mps.0 > 0.0 && speed_mps.1 >= speed_mps.0,
+            "speed range must be positive and ordered"
+        );
+        assert!(pause.0 <= pause.1, "pause range must be ordered");
+        assert!(area.contains(start), "start must lie inside the area");
+        RandomWaypoint {
+            area,
+            speed_mps,
+            pause,
+            rng,
+            segments: vec![Segment {
+                start: SimTime::ZERO,
+                end: SimTime::ZERO,
+                from: start,
+                to: start,
+            }],
+            pausing: false,
+        }
+    }
+}
+
+impl Mobility for RandomWaypoint {
+    fn position(&mut self, t: SimTime) -> Point2 {
+        let area = self.area;
+        let (lo, hi) = self.speed_mps;
+        let pause = self.pause;
+        let rng = &mut self.rng;
+        let pausing = &mut self.pausing;
+        position_from_segments(&mut self.segments, t, |last| {
+            if *pausing {
+                // Travel leg to a fresh destination.
+                *pausing = false;
+                let dest = Point2::new(
+                    rng.range_f64(area.min.x..area.max.x.max(area.min.x + f64::EPSILON)),
+                    rng.range_f64(area.min.y..area.max.y.max(area.min.y + f64::EPSILON)),
+                );
+                let speed = if hi > lo { rng.range_f64(lo..hi) } else { lo };
+                let travel = Duration::from_secs_f64(last.to.distance(dest) / speed)
+                    .max(Duration::from_micros(1));
+                Segment {
+                    start: last.end,
+                    end: last.end + travel,
+                    from: last.to,
+                    to: dest,
+                }
+            } else {
+                // Pause leg.
+                *pausing = true;
+                let d = rng
+                    .duration_between(pause.0, pause.1)
+                    .max(Duration::from_micros(1));
+                Segment {
+                    start: last.end,
+                    end: last.end + d,
+                    from: last.to,
+                    to: last.to,
+                }
+            }
+        })
+    }
+}
+
+/// A random walk with fixed-duration steps, reflecting off area borders.
+#[derive(Debug)]
+pub struct RandomWalk {
+    area: Rect,
+    speed_mps: f64,
+    step: Duration,
+    rng: SimRng,
+    segments: Vec<Segment>,
+}
+
+impl RandomWalk {
+    /// Creates a random walker starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_mps` is not positive, `step` is zero, or `start`
+    /// lies outside `area`.
+    pub fn new(area: Rect, start: Point2, speed_mps: f64, step: Duration, rng: SimRng) -> Self {
+        assert!(speed_mps > 0.0, "speed must be positive");
+        assert!(!step.is_zero(), "step duration must be non-zero");
+        assert!(area.contains(start), "start must lie inside the area");
+        RandomWalk {
+            area,
+            speed_mps,
+            step,
+            rng,
+            segments: vec![Segment {
+                start: SimTime::ZERO,
+                end: SimTime::ZERO,
+                from: start,
+                to: start,
+            }],
+        }
+    }
+}
+
+impl Mobility for RandomWalk {
+    fn position(&mut self, t: SimTime) -> Point2 {
+        let area = self.area;
+        let speed = self.speed_mps;
+        let step = self.step;
+        let rng = &mut self.rng;
+        position_from_segments(&mut self.segments, t, |last| {
+            let angle = rng.range_f64(0.0..std::f64::consts::TAU);
+            let dist = speed * step.as_secs_f64();
+            let raw = last.to + Vec2::new(angle.cos(), angle.sin()) * dist;
+            let dest = area.clamp(raw);
+            Segment {
+                start: last.end,
+                end: last.end + step,
+                from: last.to,
+                to: dest,
+            }
+        })
+    }
+}
+
+/// Movement constrained to a city-block grid (the Manhattan mobility model
+/// of the ad-hoc networking literature).
+///
+/// The node travels along grid lines spaced `block_m` apart inside `area`;
+/// at each intersection it continues straight with probability 1/2 or turns
+/// left/right with probability 1/4 each (reversing only at the area edge).
+/// Useful for urban scenarios where Bluetooth contacts happen at street
+/// corners.
+#[derive(Debug)]
+pub struct ManhattanGrid {
+    area: Rect,
+    block_m: f64,
+    speed_mps: f64,
+    rng: SimRng,
+    segments: Vec<Segment>,
+    /// Current heading as a unit grid direction.
+    heading: Vec2,
+}
+
+impl ManhattanGrid {
+    /// Creates a grid mover starting at the intersection nearest `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_m` or `speed_mps` is not positive, or if `area` is
+    /// smaller than one block in either dimension.
+    pub fn new(area: Rect, start: Point2, block_m: f64, speed_mps: f64, mut rng: SimRng) -> Self {
+        assert!(block_m > 0.0, "block size must be positive");
+        assert!(speed_mps > 0.0, "speed must be positive");
+        assert!(
+            area.width() >= block_m && area.height() >= block_m,
+            "area must hold at least one block"
+        );
+        let snap = |v: f64, lo: f64, hi: f64| -> f64 {
+            ((v - lo) / block_m).round().mul_add(block_m, lo).clamp(lo, hi)
+        };
+        let origin = Point2::new(
+            snap(start.x, area.min.x, area.max.x),
+            snap(start.y, area.min.y, area.max.y),
+        );
+        let heading = *rng
+            .pick(&[
+                Vec2::new(1.0, 0.0),
+                Vec2::new(-1.0, 0.0),
+                Vec2::new(0.0, 1.0),
+                Vec2::new(0.0, -1.0),
+            ])
+            .expect("non-empty");
+        ManhattanGrid {
+            area,
+            block_m,
+            speed_mps,
+            rng,
+            segments: vec![Segment {
+                start: SimTime::ZERO,
+                end: SimTime::ZERO,
+                from: origin,
+                to: origin,
+            }],
+            heading,
+        }
+    }
+}
+
+impl Mobility for ManhattanGrid {
+    fn position(&mut self, t: SimTime) -> Point2 {
+        let block = self.block_m;
+        let speed = self.speed_mps;
+        let travel = Duration::from_secs_f64(block / speed).max(Duration::from_micros(1));
+        // Split borrows for the extend closure.
+        let area = self.area;
+        let rng = &mut self.rng;
+        let heading = &mut self.heading;
+        position_from_segments(&mut self.segments, t, |last| {
+            let at = last.to;
+            // Keep going straight with p=1/2 when possible; otherwise pick
+            // uniformly among the legal turns.
+            let options: Vec<Vec2> = {
+                let dirs = [
+                    Vec2::new(1.0, 0.0),
+                    Vec2::new(-1.0, 0.0),
+                    Vec2::new(0.0, 1.0),
+                    Vec2::new(0.0, -1.0),
+                ];
+                dirs.into_iter()
+                    .filter(|d| area.contains(at + *d * block))
+                    .collect()
+            };
+            let straight_ok = options.iter().any(|d| *d == *heading);
+            let dir = if straight_ok && rng.chance(0.5) {
+                *heading
+            } else {
+                *rng.pick(&options).expect("a grid point always has a legal move")
+            };
+            *heading = dir;
+            Segment {
+                start: last.end,
+                end: last.end + travel,
+                from: at,
+                to: at + dir * block,
+            }
+        })
+    }
+}
+
+/// A fixed displacement from a base trajectory.
+///
+/// Used for group mobility: the bus follows a [`ScriptedPath`] and each
+/// passenger is an `Offset` of it, so all passengers stay within Bluetooth
+/// range of each other for the whole ride.
+#[derive(Debug, Clone)]
+pub struct Offset<M> {
+    base: M,
+    offset: Vec2,
+}
+
+impl<M: Mobility> Offset<M> {
+    /// Creates a trajectory displaced from `base` by `offset`.
+    pub fn new(base: M, offset: Vec2) -> Self {
+        Offset { base, offset }
+    }
+}
+
+impl<M: Mobility> Mobility for Offset<M> {
+    fn position(&mut self, t: SimTime) -> Point2 {
+        self.base.position(t) + self.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_never_moves() {
+        let p = Point2::new(3.0, 4.0);
+        let mut m = Stationary::new(p);
+        assert_eq!(m.position(SimTime::ZERO), p);
+        assert_eq!(m.position(SimTime::from_secs(1000)), p);
+    }
+
+    #[test]
+    fn scripted_path_interpolates() {
+        let mut m = ScriptedPath::new(vec![
+            (SimTime::from_secs(10), Point2::new(0.0, 0.0)),
+            (SimTime::from_secs(20), Point2::new(10.0, 0.0)),
+            (SimTime::from_secs(30), Point2::new(10.0, 10.0)),
+        ]);
+        assert_eq!(m.position(SimTime::ZERO), Point2::new(0.0, 0.0));
+        assert_eq!(m.position(SimTime::from_secs(15)), Point2::new(5.0, 0.0));
+        assert_eq!(m.position(SimTime::from_secs(25)), Point2::new(10.0, 5.0));
+        assert_eq!(m.position(SimTime::from_secs(99)), Point2::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn scripted_walk_speed() {
+        let mut m = ScriptedPath::walk(
+            SimTime::ZERO,
+            Point2::ORIGIN,
+            Point2::new(10.0, 0.0),
+            1.0,
+        );
+        assert_eq!(m.position(SimTime::from_secs(5)), Point2::new(5.0, 0.0));
+        assert_eq!(m.position(SimTime::from_secs(10)), Point2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn scripted_walk_zero_distance() {
+        let mut m = ScriptedPath::walk(SimTime::ZERO, Point2::ORIGIN, Point2::ORIGIN, 1.0);
+        assert_eq!(m.position(SimTime::from_secs(3)), Point2::ORIGIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn scripted_path_rejects_unsorted() {
+        let _ = ScriptedPath::new(vec![
+            (SimTime::from_secs(5), Point2::ORIGIN),
+            (SimTime::from_secs(5), Point2::new(1.0, 1.0)),
+        ]);
+    }
+
+    #[test]
+    fn random_waypoint_stays_in_area_and_is_deterministic() {
+        let area = Rect::sized(100.0, 100.0);
+        let start = Point2::new(50.0, 50.0);
+        let mk = || {
+            RandomWaypoint::new(
+                area,
+                start,
+                (0.5, 2.0),
+                (Duration::ZERO, Duration::from_secs(5)),
+                SimRng::from_seed(11),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for s in 0..600 {
+            let t = SimTime::from_secs(s);
+            let pa = a.position(t);
+            assert!(area.contains(pa), "escaped area at {t}: {pa}");
+            assert_eq!(pa, b.position(t), "nondeterministic at {t}");
+        }
+    }
+
+    #[test]
+    fn random_waypoint_revisits_past_consistently() {
+        let area = Rect::sized(50.0, 50.0);
+        let mut m = RandomWaypoint::new(
+            area,
+            Point2::new(10.0, 10.0),
+            (1.0, 1.0),
+            (Duration::from_secs(1), Duration::from_secs(1)),
+            SimRng::from_seed(3),
+        );
+        let late = m.position(SimTime::from_secs(300));
+        let early = m.position(SimTime::from_secs(10));
+        // Re-query both: trajectory is append-only, answers stable.
+        assert_eq!(m.position(SimTime::from_secs(10)), early);
+        assert_eq!(m.position(SimTime::from_secs(300)), late);
+    }
+
+    #[test]
+    fn random_walk_stays_in_area() {
+        let area = Rect::sized(20.0, 20.0);
+        let mut m = RandomWalk::new(
+            area,
+            Point2::new(10.0, 10.0),
+            1.4,
+            Duration::from_secs(2),
+            SimRng::from_seed(4),
+        );
+        for s in 0..500 {
+            let p = m.position(SimTime::from_secs(s));
+            assert!(area.contains(p));
+        }
+    }
+
+    #[test]
+    fn random_walk_actually_moves() {
+        let area = Rect::sized(1000.0, 1000.0);
+        let start = Point2::new(500.0, 500.0);
+        let mut m = RandomWalk::new(area, start, 1.0, Duration::from_secs(1), SimRng::from_seed(5));
+        let moved = (0..100)
+            .map(|s| m.position(SimTime::from_secs(s)))
+            .any(|p| p.distance(start) > 1.0);
+        assert!(moved);
+    }
+
+    #[test]
+    fn manhattan_grid_stays_on_grid_and_in_area() {
+        let area = Rect::sized(100.0, 100.0);
+        let mut m = ManhattanGrid::new(
+            area,
+            Point2::new(48.0, 52.0),
+            10.0,
+            2.0,
+            SimRng::from_seed(9),
+        );
+        for s in 0..1000 {
+            let p = m.position(SimTime::from_secs(s));
+            assert!(area.contains(p), "escaped at {s}s: {p}");
+            // At least one coordinate is always on a grid line.
+            let on_x = (p.x / 10.0 - (p.x / 10.0).round()).abs() < 1e-9;
+            let on_y = (p.y / 10.0 - (p.y / 10.0).round()).abs() < 1e-9;
+            assert!(on_x || on_y, "off-grid at {s}s: {p}");
+        }
+    }
+
+    #[test]
+    fn manhattan_grid_is_deterministic_and_moves() {
+        let area = Rect::sized(60.0, 60.0);
+        let mk = || ManhattanGrid::new(area, Point2::new(30.0, 30.0), 15.0, 1.5, SimRng::from_seed(4));
+        let mut a = mk();
+        let mut b = mk();
+        let mut moved = false;
+        for s in 0..400 {
+            let t = SimTime::from_secs(s);
+            let pa = a.position(t);
+            assert_eq!(pa, b.position(t));
+            if pa.distance(Point2::new(30.0, 30.0)) > 14.0 {
+                moved = true;
+            }
+        }
+        assert!(moved, "walker never left its starting block");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn manhattan_grid_rejects_tiny_areas() {
+        let _ = ManhattanGrid::new(
+            Rect::sized(5.0, 5.0),
+            Point2::new(1.0, 1.0),
+            10.0,
+            1.0,
+            SimRng::from_seed(1),
+        );
+    }
+
+    #[test]
+    fn offset_tracks_base() {
+        let base = ScriptedPath::walk(SimTime::ZERO, Point2::ORIGIN, Point2::new(100.0, 0.0), 10.0);
+        let mut passenger = Offset::new(base, Vec2::new(0.0, 2.0));
+        assert_eq!(
+            passenger.position(SimTime::from_secs(5)),
+            Point2::new(50.0, 2.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the area")]
+    fn waypoint_start_outside_area_panics() {
+        let _ = RandomWaypoint::new(
+            Rect::sized(10.0, 10.0),
+            Point2::new(50.0, 50.0),
+            (1.0, 2.0),
+            (Duration::ZERO, Duration::ZERO),
+            SimRng::from_seed(1),
+        );
+    }
+}

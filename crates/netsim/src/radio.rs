@@ -1,0 +1,266 @@
+//! Wireless technology models: Bluetooth, WLAN (ad-hoc), and GPRS.
+//!
+//! The thesis's PeerHood middleware abstracts over exactly these three
+//! technologies (its BTPlugin, WLANPlugin and GPRSPlugin). Each technology is
+//! described here by a [`TechnologyProfile`] holding the parameters that
+//! dominate the timing behaviour the evaluation measures:
+//!
+//! * how long a discovery round takes and how quickly devices answer it
+//!   (Bluetooth inquiry is the famous 10.24 s window of the 1.x
+//!   specification — the single largest contributor to the 11 s "group
+//!   search" figure of Table 8);
+//! * how long connection establishment takes;
+//! * effective application-level throughput and per-message latency.
+//!
+//! Values are calibrated to 2008-era hardware as documented in
+//! `DESIGN.md` §6; they are deliberately exposed as data so experiments can
+//! run ablations with modified profiles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+use crate::rng::SimRng;
+
+/// One of the wireless technologies PeerHood can communicate over.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Technology {
+    /// Short-range PAN radio (L2CAP transport in PeerHood's BTPlugin).
+    Bluetooth,
+    /// IEEE 802.11 ad-hoc mode (IP broadcast discovery in the WLANPlugin).
+    Wlan,
+    /// Cellular packet data via an operator proxy (the GPRSPlugin).
+    Gprs,
+}
+
+impl Technology {
+    /// All technologies, in the priority order PeerHood prefers them
+    /// (cheapest/fastest first — matches the thesis's cost argument for
+    /// preferring Bluetooth and WLAN over GPRS).
+    pub const ALL: [Technology; 3] = [Technology::Bluetooth, Technology::Wlan, Technology::Gprs];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Technology::Bluetooth => "Bluetooth",
+            Technology::Wlan => "WLAN",
+            Technology::Gprs => "GPRS",
+        }
+    }
+
+    /// The default 2008-calibrated timing/throughput profile.
+    pub fn profile(self) -> &'static TechnologyProfile {
+        match self {
+            Technology::Bluetooth => &BLUETOOTH,
+            Technology::Wlan => &WLAN,
+            Technology::Gprs => &GPRS,
+        }
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Timing and capacity parameters of one wireless technology.
+///
+/// A profile is plain data: experiments may clone and tweak it (e.g. the
+/// technology-ablation benchmark sweeps `inquiry_duration`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyProfile {
+    /// Radio range in metres. `f64::INFINITY` means coverage-independent
+    /// (cellular).
+    pub range_m: f64,
+    /// Length of one full discovery round (Bluetooth inquiry window, WLAN
+    /// scan, GPRS proxy lookup).
+    pub inquiry_duration: Duration,
+    /// Devices answer a discovery round uniformly within this window from
+    /// its start.
+    pub response_window: Duration,
+    /// Probability that an in-range device is missed by one discovery round
+    /// (Bluetooth inquiry is probabilistic; IP broadcast effectively is not).
+    pub discovery_miss_prob: f64,
+    /// Mean time to establish a connection to a discovered device (paging +
+    /// transport setup).
+    pub connect_setup: Duration,
+    /// Symmetric uniform jitter applied to `connect_setup`.
+    pub connect_jitter: Duration,
+    /// Effective application-level throughput in bits per second.
+    pub throughput_bps: f64,
+    /// Mean one-way latency of a message independent of its size.
+    pub latency: Duration,
+    /// Symmetric uniform jitter applied to `latency`.
+    pub latency_jitter: Duration,
+}
+
+/// Bluetooth 1.2-class radio, as used in the thesis experiments
+/// (3COM USB dongles / ThinkPad T40 built-in).
+pub static BLUETOOTH: TechnologyProfile = TechnologyProfile {
+    range_m: 10.0,
+    // The standard inquiry length of the era: 4 × 2.56 s trains.
+    inquiry_duration: Duration::from_millis(10_240),
+    response_window: Duration::from_millis(10_240),
+    discovery_miss_prob: 0.05,
+    connect_setup: Duration::from_millis(950),
+    connect_jitter: Duration::from_millis(350),
+    // ~60 % of the 1 Mbit/s air rate survives L2CAP overheads.
+    throughput_bps: 600_000.0,
+    latency: Duration::from_millis(35),
+    latency_jitter: Duration::from_millis(15),
+};
+
+/// IEEE 802.11b/g ad-hoc mode.
+pub static WLAN: TechnologyProfile = TechnologyProfile {
+    range_m: 80.0,
+    inquiry_duration: Duration::from_millis(2_200),
+    response_window: Duration::from_millis(2_000),
+    discovery_miss_prob: 0.01,
+    connect_setup: Duration::from_millis(180),
+    connect_jitter: Duration::from_millis(60),
+    throughput_bps: 8_000_000.0,
+    latency: Duration::from_millis(6),
+    latency_jitter: Duration::from_millis(3),
+};
+
+/// GPRS class-10 cellular data through the operator's proxy.
+pub static GPRS: TechnologyProfile = TechnologyProfile {
+    range_m: f64::INFINITY,
+    inquiry_duration: Duration::from_millis(2_500),
+    response_window: Duration::from_millis(2_000),
+    discovery_miss_prob: 0.0,
+    connect_setup: Duration::from_millis(1_400),
+    connect_jitter: Duration::from_millis(500),
+    throughput_bps: 40_000.0,
+    latency: Duration::from_millis(600),
+    latency_jitter: Duration::from_millis(200),
+};
+
+impl TechnologyProfile {
+    /// Samples the time to push `bytes` application bytes over one
+    /// established connection: latency (with jitter) plus serialization time
+    /// at the effective throughput.
+    pub fn transfer_time(&self, bytes: usize, rng: &mut SimRng) -> Duration {
+        let serialize = Duration::from_secs_f64(bytes as f64 * 8.0 / self.throughput_bps);
+        rng.jittered(self.latency, self.latency_jitter) + serialize
+    }
+
+    /// Samples connection-establishment time.
+    pub fn connect_time(&self, rng: &mut SimRng) -> Duration {
+        rng.jittered(self.connect_setup, self.connect_jitter)
+    }
+
+    /// Samples the offset within a discovery round at which a responding
+    /// device is found.
+    pub fn response_offset(&self, rng: &mut SimRng) -> Duration {
+        rng.duration_up_to(self.response_window)
+    }
+
+    /// Whether a single discovery round misses an in-range device.
+    pub fn discovery_misses(&self, rng: &mut SimRng) -> bool {
+        rng.chance(self.discovery_miss_prob)
+    }
+
+    /// Whether two nodes separated by `distance_m` metres are within radio
+    /// range.
+    pub fn in_range(&self, distance_m: f64) -> bool {
+        distance_m <= self.range_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Technology::Bluetooth.name(), "Bluetooth");
+        assert_eq!(Technology::Wlan.to_string(), "WLAN");
+        assert_eq!(Technology::Gprs.name(), "GPRS");
+    }
+
+    #[test]
+    fn all_lists_each_once() {
+        let mut v = Technology::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn bluetooth_inquiry_is_spec_value() {
+        assert_eq!(
+            Technology::Bluetooth.profile().inquiry_duration,
+            Duration::from_millis(10_240)
+        );
+    }
+
+    #[test]
+    fn gprs_is_range_independent() {
+        let p = Technology::Gprs.profile();
+        assert!(p.in_range(0.0));
+        assert!(p.in_range(1.0e9));
+    }
+
+    #[test]
+    fn bluetooth_range_cutoff() {
+        let p = Technology::Bluetooth.profile();
+        assert!(p.in_range(9.99));
+        assert!(!p.in_range(10.01));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let p = Technology::Bluetooth.profile();
+        let mut rng = SimRng::from_seed(1);
+        // 75 kB at 600 kbit/s is 1 s of serialization; latency adds < 0.1 s.
+        let t = p.transfer_time(75_000, &mut rng);
+        assert!(t >= Duration::from_secs(1), "{t:?}");
+        assert!(t < Duration::from_millis(1_200), "{t:?}");
+    }
+
+    #[test]
+    fn wlan_is_much_faster_than_gprs() {
+        let mut rng = SimRng::from_seed(2);
+        let big = 100_000;
+        let wlan = WLAN.transfer_time(big, &mut rng);
+        let gprs = GPRS.transfer_time(big, &mut rng);
+        assert!(gprs > wlan * 10);
+    }
+
+    #[test]
+    fn response_offset_within_window() {
+        let mut rng = SimRng::from_seed(3);
+        for _ in 0..100 {
+            let off = BLUETOOTH.response_offset(&mut rng);
+            assert!(off <= BLUETOOTH.response_window);
+        }
+    }
+
+    #[test]
+    fn connect_time_near_setup() {
+        let mut rng = SimRng::from_seed(4);
+        for _ in 0..100 {
+            let t = BLUETOOTH.connect_time(&mut rng);
+            assert!(t >= Duration::from_millis(600) && t <= Duration::from_millis(1300));
+        }
+    }
+
+    #[test]
+    fn profiles_serde_round_trip() {
+        let p = Technology::Bluetooth.profile();
+        let json = serde_json::to_string(p).unwrap();
+        let back: TechnologyProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(*p, back);
+    }
+
+    #[test]
+    fn technology_serde_round_trip() {
+        for tech in Technology::ALL {
+            let json = serde_json::to_string(&tech).unwrap();
+            let back: Technology = serde_json::from_str(&json).unwrap();
+            assert_eq!(tech, back);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Seeded, forkable randomness for reproducible simulation.
+//!
+//! Every source of randomness in a simulation run descends from a single
+//! `u64` seed. Components fork their own child generators with
+//! [`SimRng::fork`], so adding randomness to one component never perturbs the
+//! random stream of another — runs stay comparable across code changes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A deterministic random source for one simulation component.
+///
+/// Wraps a [`StdRng`] and adds simulation-flavoured helpers (durations with
+/// jitter, exponential inter-arrival times, Bernoulli trials).
+///
+/// # Example
+///
+/// ```rust
+/// use ph_netsim::SimRng;
+///
+/// let mut a = SimRng::from_seed(42);
+/// let mut b = SimRng::from_seed(42);
+/// assert_eq!(a.range_u64(0..100), b.range_u64(0..100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator labelled by `label`.
+    ///
+    /// The child stream depends on both the parent's state and the label, so
+    /// distinct labels yield distinct streams while the derivation itself is
+    /// deterministic.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let mixed = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::from_seed(mixed)
+    }
+
+    /// Uniform `u64` in `range` (half-open).
+    pub fn range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `usize` in `range` (half-open).
+    pub fn range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `f64` in `range` (half-open).
+    pub fn range_f64(&mut self, range: std::ops::Range<f64>) -> f64 {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial: returns `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Uniform duration in `[0, max]`.
+    pub fn duration_up_to(&mut self, max: Duration) -> Duration {
+        if max.is_zero() {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.inner.gen_range(0..=max.as_micros() as u64))
+    }
+
+    /// Uniform duration in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn duration_between(&mut self, lo: Duration, hi: Duration) -> Duration {
+        assert!(lo <= hi, "duration_between requires lo <= hi");
+        lo + self.duration_up_to(hi - lo)
+    }
+
+    /// `base` plus a symmetric uniform jitter in `[-jitter, +jitter]`,
+    /// floored at zero.
+    pub fn jittered(&mut self, base: Duration, jitter: Duration) -> Duration {
+        if jitter.is_zero() {
+            return base;
+        }
+        let j = jitter.as_micros() as i64;
+        let offset = self.inner.gen_range(-j..=j);
+        let micros = base.as_micros() as i64 + offset;
+        Duration::from_micros(micros.max(0) as u64)
+    }
+
+    /// Exponentially distributed duration with the given mean (inter-arrival
+    /// times of a Poisson process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is zero.
+    pub fn exponential(&mut self, mean: Duration) -> Duration {
+        assert!(!mean.is_zero(), "exponential mean must be non-zero");
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        Duration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if it is empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let i = self.inner.gen_range(0..slice.len());
+            Some(&slice[i])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0..1_000_000), b.range_u64(0..1_000_000));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_per_label() {
+        let mut parent1 = SimRng::from_seed(7);
+        let mut parent2 = SimRng::from_seed(7);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        assert_eq!(c1.range_u64(0..u64::MAX), c2.range_u64(0..u64::MAX));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::from_seed(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn duration_between_bounds() {
+        let mut rng = SimRng::from_seed(3);
+        let lo = Duration::from_millis(10);
+        let hi = Duration::from_millis(20);
+        for _ in 0..200 {
+            let d = rng.duration_between(lo, hi);
+            assert!(d >= lo && d <= hi, "{d:?} out of bounds");
+        }
+    }
+
+    #[test]
+    fn jittered_never_negative() {
+        let mut rng = SimRng::from_seed(4);
+        for _ in 0..200 {
+            let d = rng.jittered(Duration::from_millis(1), Duration::from_millis(10));
+            assert!(d <= Duration::from_millis(11));
+        }
+    }
+
+    #[test]
+    fn jittered_zero_jitter_is_identity() {
+        let mut rng = SimRng::from_seed(4);
+        assert_eq!(
+            rng.jittered(Duration::from_millis(5), Duration::ZERO),
+            Duration::from_millis(5)
+        );
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = SimRng::from_seed(5);
+        let mean = Duration::from_secs(2);
+        let n = 4000;
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_secs_f64()).sum();
+        let observed = total / n as f64;
+        assert!(
+            (observed - 2.0).abs() < 0.2,
+            "observed mean {observed} too far from 2.0"
+        );
+    }
+
+    #[test]
+    fn pick_and_shuffle() {
+        let mut rng = SimRng::from_seed(6);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.pick(&empty), None);
+        let items = [1, 2, 3];
+        assert!(items.contains(rng.pick(&items).unwrap()));
+
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duration_up_to_zero() {
+        let mut rng = SimRng::from_seed(9);
+        assert_eq!(rng.duration_up_to(Duration::ZERO), Duration::ZERO);
+    }
+}

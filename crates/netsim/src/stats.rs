@@ -1,0 +1,157 @@
+//! Small statistics helpers for experiment reporting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Summary statistics over a set of samples.
+///
+/// # Example
+///
+/// ```rust
+/// use ph_netsim::stats::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for a single sample).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub p50: f64,
+    /// 90th percentile (linear interpolation).
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Computes a summary, or `None` for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile(&sorted, 0.50),
+            p90: percentile(&sorted, 0.90),
+        })
+    }
+
+    /// Computes a summary over durations, expressed in seconds.
+    pub fn from_durations(samples: &[Duration]) -> Option<Summary> {
+        let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+        Summary::from_samples(&secs)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} p50={:.2} p90={:.2} max={:.2}",
+            self.n, self.mean, self.std_dev, self.min, self.p50, self.p90, self.max
+        )
+    }
+}
+
+/// Linear-interpolation percentile over a pre-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_gives_none() {
+        assert!(Summary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[7.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p90, 7.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic example is ~2.138.
+        assert!((s.std_dev - 2.138).abs() < 0.01, "{}", s.std_dev);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn median_interpolates() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.p50, 2.5);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::from_samples(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.p50, 5.0);
+    }
+
+    #[test]
+    fn durations_in_seconds() {
+        let s = Summary::from_durations(&[
+            Duration::from_millis(500),
+            Duration::from_millis(1500),
+        ])
+        .unwrap();
+        assert_eq!(s.mean, 1.0);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = Summary::from_samples(&[1.0, 2.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=1.50"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Message-sequence tracing.
+//!
+//! The thesis documents its reference implementation with message sequence
+//! charts (Figures 11–17). To *reproduce a figure* we record every protocol
+//! message exchanged during a simulated operation into a [`Trace`], assert
+//! the recorded sequence in tests, and render it as an ASCII MSC from the
+//! `repro msc` harness command.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One traced protocol event: a labelled message from one actor to another.
+///
+/// Actors are free-form strings (device names); a self-directed event
+/// (`from == to`) represents a local action such as "display list".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time at which the event occurred.
+    pub at: SimTime,
+    /// Originating actor.
+    pub from: String,
+    /// Receiving actor.
+    pub to: String,
+    /// Message label, e.g. `PS_GETPROFILE` or `NO_MEMBERS_YET`.
+    pub label: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.from == self.to {
+            write!(f, "[{}] {}: {}", self.at, self.from, self.label)
+        } else {
+            write!(f, "[{}] {} -> {}: {}", self.at, self.from, self.to, self.label)
+        }
+    }
+}
+
+// SimTime needs serde for TraceEvent; implement via micros.
+impl Serialize for SimTime {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(self.as_micros())
+    }
+}
+
+impl<'de> Deserialize<'de> for SimTime {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        u64::deserialize(d).map(SimTime::from_micros)
+    }
+}
+
+/// An append-only log of [`TraceEvent`]s for one simulation run.
+///
+/// # Example
+///
+/// ```rust
+/// use ph_netsim::{Trace, SimTime};
+///
+/// let mut trace = Trace::new();
+/// trace.record(SimTime::from_secs(1), "client", "server", "PS_GETPROFILE");
+/// trace.record(SimTime::from_secs(2), "server", "client", "PROFILE");
+/// assert_eq!(trace.labels(), vec!["PS_GETPROFILE", "PROFILE"]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        label: impl Into<String>,
+    ) {
+        self.events.push(TraceEvent {
+            at,
+            from: from.into(),
+            to: to.into(),
+            label: label.into(),
+        });
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The sequence of labels, in recording order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.events.iter().map(|e| e.label.as_str()).collect()
+    }
+
+    /// Events exchanged between two specific actors (either direction).
+    pub fn between<'a>(&'a self, a: &str, b: &str) -> Vec<&'a TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| {
+                (e.from == a && e.to == b) || (e.from == b && e.to == a)
+            })
+            .collect()
+    }
+
+    /// Labels of messages sent by `actor`.
+    pub fn sent_by<'a>(&'a self, actor: &str) -> Vec<&'a str> {
+        self.events
+            .iter()
+            .filter(|e| e.from == actor && e.to != actor)
+            .map(|e| e.label.as_str())
+            .collect()
+    }
+
+    /// Whether `needle` labels occur in order (not necessarily contiguously).
+    pub fn contains_subsequence(&self, needle: &[&str]) -> bool {
+        let mut it = needle.iter();
+        let mut want = match it.next() {
+            Some(w) => *w,
+            None => return true,
+        };
+        for e in &self.events {
+            if e.label == want {
+                match it.next() {
+                    Some(w) => want = *w,
+                    None => return true,
+                }
+            }
+        }
+        false
+    }
+
+    /// Renders the trace as an ASCII message sequence chart with one column
+    /// per actor (in order of first appearance), mirroring the thesis's MSC
+    /// figures.
+    pub fn render_msc(&self) -> String {
+        let mut actors: Vec<&str> = Vec::new();
+        for e in &self.events {
+            for actor in [e.from.as_str(), e.to.as_str()] {
+                if !actors.contains(&actor) {
+                    actors.push(actor);
+                }
+            }
+        }
+        if actors.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let col_width = actors
+            .iter()
+            .map(|a| a.len())
+            .max()
+            .unwrap_or(0)
+            .max(12)
+            + 4;
+        let column = |actor: &str| actors.iter().position(|a| *a == actor).unwrap();
+        let center = |i: usize| 10 + i * col_width + col_width / 2;
+
+        let mut out = String::new();
+        // Header row.
+        out.push_str(&" ".repeat(10));
+        for a in &actors {
+            let pad = col_width - a.len();
+            let left = pad / 2;
+            out.push_str(&" ".repeat(left));
+            out.push_str(a);
+            out.push_str(&" ".repeat(pad - left));
+        }
+        out.push('\n');
+        for e in &self.events {
+            let (ci, cj) = (column(&e.from), column(&e.to));
+            let time = format!("{:>8} ", e.at);
+            let mut line: Vec<char> =
+                format!("{}{}", time, " ".repeat(actors.len() * col_width)).chars().collect();
+            for (i, _) in actors.iter().enumerate() {
+                line[center(i)] = '|';
+            }
+            if ci == cj {
+                // Local action: annotate beside the actor's lifeline.
+                let start = center(ci) + 2;
+                for (k, ch) in format!("* {}", e.label).chars().enumerate() {
+                    if start + k < line.len() {
+                        line[start + k] = ch;
+                    }
+                }
+            } else {
+                let (lo, hi) = if ci < cj {
+                    (center(ci), center(cj))
+                } else {
+                    (center(cj), center(ci))
+                };
+                for cell in line.iter_mut().take(hi).skip(lo + 1) {
+                    *cell = '-';
+                }
+                if ci < cj {
+                    line[hi - 1] = '>';
+                } else {
+                    line[lo + 1] = '<';
+                }
+                // Overlay the label mid-arrow.
+                let label: Vec<char> = e.label.chars().collect();
+                let mid = (lo + hi) / 2;
+                let start = mid.saturating_sub(label.len() / 2).max(lo + 2);
+                for (k, ch) in label.iter().enumerate() {
+                    let pos = start + k;
+                    if pos < hi - 1 {
+                        line[pos] = *ch;
+                    }
+                }
+            }
+            out.push_str(line.iter().collect::<String>().trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.record(SimTime::from_secs(1), "client", "server1", "PS_GETPROFILE");
+        t.record(SimTime::from_secs(2), "server1", "client", "PROFILE_INFO");
+        t.record(SimTime::from_secs(3), "client", "client", "DISPLAY");
+        t
+    }
+
+    #[test]
+    fn labels_in_order() {
+        assert_eq!(
+            sample().labels(),
+            vec!["PS_GETPROFILE", "PROFILE_INFO", "DISPLAY"]
+        );
+    }
+
+    #[test]
+    fn between_filters_pairs() {
+        let t = sample();
+        assert_eq!(t.between("client", "server1").len(), 2);
+        assert_eq!(t.between("client", "nobody").len(), 0);
+    }
+
+    #[test]
+    fn sent_by_excludes_local_actions() {
+        let t = sample();
+        assert_eq!(t.sent_by("client"), vec!["PS_GETPROFILE"]);
+    }
+
+    #[test]
+    fn subsequence_matching() {
+        let t = sample();
+        assert!(t.contains_subsequence(&["PS_GETPROFILE", "DISPLAY"]));
+        assert!(t.contains_subsequence(&[]));
+        assert!(!t.contains_subsequence(&["DISPLAY", "PS_GETPROFILE"]));
+        assert!(!t.contains_subsequence(&["MISSING"]));
+    }
+
+    #[test]
+    fn msc_renders_all_actors_and_labels() {
+        let msc = sample().render_msc();
+        assert!(msc.contains("client"));
+        assert!(msc.contains("server1"));
+        assert!(msc.contains("PS_GETPROFILE"));
+        assert!(msc.contains("* DISPLAY"));
+    }
+
+    #[test]
+    fn msc_empty_trace() {
+        assert_eq!(Trace::new().render_msc(), "(empty trace)\n");
+    }
+
+    #[test]
+    fn event_display_forms() {
+        let t = sample();
+        let arrow = t.events()[0].to_string();
+        assert!(arrow.contains("client -> server1"));
+        let local = t.events()[2].to_string();
+        assert!(local.contains("client: DISPLAY"));
+    }
+
+    #[test]
+    fn trace_serde_round_trip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

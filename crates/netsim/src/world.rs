@@ -1,0 +1,382 @@
+//! The simulated world: nodes, their radios, and range queries.
+//!
+//! [`World`] is the authoritative map from [`NodeId`] to position (via each
+//! node's mobility model) and radio equipment. It answers the questions a
+//! middleware driver needs: *who is in range of whom, over which technology,
+//! at what time, and how long would this frame take to deliver?*
+//!
+//! The world itself has no event loop; drivers combine it with an
+//! [`EventQueue`](crate::EventQueue).
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::geometry::Point2;
+use crate::mobility::{Mobility, Stationary};
+use crate::radio::Technology;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Identifier of a node in a [`World`]. Dense and copyable; assigned in
+/// insertion order starting from zero.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs from a raw index (for deserialization and tests).
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Configuration for one node, consumed by [`World::add_node`].
+///
+/// # Example
+///
+/// ```rust
+/// use ph_netsim::{World, NodeBuilder, Technology};
+/// use ph_netsim::geometry::Point2;
+///
+/// let mut world = World::new();
+/// let id = world.add_node(
+///     NodeBuilder::new("alice")
+///         .at(Point2::new(1.0, 2.0))
+///         .with_technologies([Technology::Bluetooth, Technology::Wlan]),
+/// );
+/// assert_eq!(world.name(id), "alice");
+/// ```
+#[derive(Debug)]
+pub struct NodeBuilder {
+    name: String,
+    mobility: Box<dyn Mobility>,
+    technologies: Vec<Technology>,
+}
+
+impl NodeBuilder {
+    /// Starts building a node named `name`, stationary at the origin, with
+    /// all three technologies enabled.
+    pub fn new(name: impl Into<String>) -> Self {
+        NodeBuilder {
+            name: name.into(),
+            mobility: Box::new(Stationary::new(Point2::ORIGIN)),
+            technologies: Technology::ALL.to_vec(),
+        }
+    }
+
+    /// Places the node stationary at `p`.
+    pub fn at(mut self, p: Point2) -> Self {
+        self.mobility = Box::new(Stationary::new(p));
+        self
+    }
+
+    /// Uses a custom mobility model.
+    pub fn moving(mut self, mobility: impl Mobility + 'static) -> Self {
+        self.mobility = Box::new(mobility);
+        self
+    }
+
+    /// Restricts the node's radios to `technologies`.
+    pub fn with_technologies(mut self, technologies: impl IntoIterator<Item = Technology>) -> Self {
+        self.technologies = technologies.into_iter().collect();
+        self.technologies.sort();
+        self.technologies.dedup();
+        self
+    }
+}
+
+#[derive(Debug)]
+struct WorldNode {
+    name: String,
+    mobility: Box<dyn Mobility>,
+    technologies: Vec<Technology>,
+}
+
+/// The collection of simulated devices and the physics between them.
+#[derive(Debug, Default)]
+pub struct World {
+    nodes: Vec<WorldNode>,
+}
+
+impl World {
+    /// Creates an empty world.
+    pub fn new() -> Self {
+        World::default()
+    }
+
+    /// Adds a node, returning its identifier.
+    pub fn add_node(&mut self, builder: NodeBuilder) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(WorldNode {
+            name: builder.name,
+            mobility: builder.mobility,
+            technologies: builder.technologies,
+        });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the world has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The node's configured name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this world.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// The technologies the node is equipped with.
+    pub fn technologies(&self, id: NodeId) -> &[Technology] {
+        &self.nodes[id.index()].technologies
+    }
+
+    /// Whether the node carries a radio for `tech`.
+    pub fn has_technology(&self, id: NodeId, tech: Technology) -> bool {
+        self.nodes[id.index()].technologies.contains(&tech)
+    }
+
+    /// The node's position at time `t`.
+    pub fn position(&mut self, id: NodeId, t: SimTime) -> Point2 {
+        self.nodes[id.index()].mobility.position(t)
+    }
+
+    /// Euclidean distance between two nodes at time `t`, in metres.
+    pub fn distance(&mut self, a: NodeId, b: NodeId, t: SimTime) -> f64 {
+        let pa = self.position(a, t);
+        let pb = self.position(b, t);
+        pa.distance(pb)
+    }
+
+    /// Whether `a` can reach `b` over `tech` at time `t`: both carry the
+    /// radio and are within the technology's range (GPRS is
+    /// range-independent — any two GPRS nodes reach each other through the
+    /// operator proxy, matching the thesis's GPRSPlugin).
+    pub fn reachable(&mut self, a: NodeId, b: NodeId, tech: Technology, t: SimTime) -> bool {
+        if a == b {
+            return false;
+        }
+        if !self.has_technology(a, tech) || !self.has_technology(b, tech) {
+            return false;
+        }
+        let profile = tech.profile();
+        if profile.range_m.is_infinite() {
+            return true;
+        }
+        profile.in_range(self.distance(a, b, t))
+    }
+
+    /// All nodes reachable from `id` over `tech` at time `t`.
+    pub fn neighbors(&mut self, id: NodeId, tech: Technology, t: SimTime) -> Vec<NodeId> {
+        let ids: Vec<NodeId> = self.node_ids().collect();
+        ids.into_iter()
+            .filter(|&other| other != id && self.reachable(id, other, tech, t))
+            .collect()
+    }
+
+    /// All nodes reachable from `id` over *any* shared technology at `t`,
+    /// with the cheapest such technology (in [`Technology::ALL`] priority
+    /// order) reported for each.
+    pub fn neighbors_any(&mut self, id: NodeId, t: SimTime) -> Vec<(NodeId, Technology)> {
+        let ids: Vec<NodeId> = self.node_ids().collect();
+        ids.into_iter()
+            .filter(|&other| other != id)
+            .filter_map(|other| {
+                Technology::ALL
+                    .into_iter()
+                    .find(|&tech| self.reachable(id, other, tech, t))
+                    .map(|tech| (other, tech))
+            })
+            .collect()
+    }
+
+    /// Samples the one-way delivery time of a `bytes`-sized frame between two
+    /// reachable nodes, or `None` if they are not reachable over `tech` at
+    /// `t`.
+    pub fn frame_delay(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        tech: Technology,
+        bytes: usize,
+        t: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<Duration> {
+        if !self.reachable(from, to, tech, t) {
+            return None;
+        }
+        Some(tech.profile().transfer_time(bytes, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::ScriptedPath;
+
+    fn two_node_world(dist: f64) -> (World, NodeId, NodeId) {
+        let mut w = World::new();
+        let a = w.add_node(NodeBuilder::new("a").at(Point2::ORIGIN));
+        let b = w.add_node(NodeBuilder::new("b").at(Point2::new(dist, 0.0)));
+        (w, a, b)
+    }
+
+    #[test]
+    fn ids_are_dense_and_named() {
+        let (w, a, b) = two_node_world(1.0);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(w.name(a), "a");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.node_ids().count(), 2);
+    }
+
+    #[test]
+    fn bluetooth_range_respected() {
+        let (mut w, a, b) = two_node_world(5.0);
+        assert!(w.reachable(a, b, Technology::Bluetooth, SimTime::ZERO));
+        let (mut w2, a2, b2) = two_node_world(15.0);
+        assert!(!w2.reachable(a2, b2, Technology::Bluetooth, SimTime::ZERO));
+        // ...but WLAN still covers 15 m.
+        assert!(w2.reachable(a2, b2, Technology::Wlan, SimTime::ZERO));
+    }
+
+    #[test]
+    fn gprs_reaches_any_distance() {
+        let (mut w, a, b) = two_node_world(100_000.0);
+        assert!(w.reachable(a, b, Technology::Gprs, SimTime::ZERO));
+    }
+
+    #[test]
+    fn node_is_not_its_own_neighbor() {
+        let (mut w, a, _) = two_node_world(1.0);
+        assert!(!w.reachable(a, a, Technology::Bluetooth, SimTime::ZERO));
+        assert!(!w.neighbors(a, Technology::Bluetooth, SimTime::ZERO).contains(&a));
+    }
+
+    #[test]
+    fn missing_radio_blocks_reachability() {
+        let mut w = World::new();
+        let a = w.add_node(
+            NodeBuilder::new("bt-only")
+                .at(Point2::ORIGIN)
+                .with_technologies([Technology::Bluetooth]),
+        );
+        let b = w.add_node(
+            NodeBuilder::new("wlan-only")
+                .at(Point2::new(1.0, 0.0))
+                .with_technologies([Technology::Wlan]),
+        );
+        for tech in Technology::ALL {
+            assert!(!w.reachable(a, b, tech, SimTime::ZERO), "{tech}");
+        }
+        assert!(w.neighbors_any(a, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn neighbors_lists_in_range_nodes() {
+        let mut w = World::new();
+        let center = w.add_node(NodeBuilder::new("c").at(Point2::ORIGIN));
+        let near = w.add_node(NodeBuilder::new("near").at(Point2::new(3.0, 0.0)));
+        let far = w.add_node(NodeBuilder::new("far").at(Point2::new(50.0, 0.0)));
+        let bt = w.neighbors(center, Technology::Bluetooth, SimTime::ZERO);
+        assert_eq!(bt, vec![near]);
+        let wlan = w.neighbors(center, Technology::Wlan, SimTime::ZERO);
+        assert_eq!(wlan, vec![near, far]);
+    }
+
+    #[test]
+    fn neighbors_any_prefers_cheapest_technology() {
+        let mut w = World::new();
+        let a = w.add_node(NodeBuilder::new("a").at(Point2::ORIGIN));
+        let close = w.add_node(NodeBuilder::new("close").at(Point2::new(2.0, 0.0)));
+        let mid = w.add_node(NodeBuilder::new("mid").at(Point2::new(40.0, 0.0)));
+        let far = w.add_node(NodeBuilder::new("far").at(Point2::new(4_000.0, 0.0)));
+        let got = w.neighbors_any(a, SimTime::ZERO);
+        assert_eq!(
+            got,
+            vec![
+                (close, Technology::Bluetooth),
+                (mid, Technology::Wlan),
+                (far, Technology::Gprs)
+            ]
+        );
+    }
+
+    #[test]
+    fn mobility_changes_reachability_over_time() {
+        let mut w = World::new();
+        let fixed = w.add_node(NodeBuilder::new("fixed").at(Point2::ORIGIN));
+        // Walks from in-range to out-of-range over 20 s.
+        let walker = w.add_node(NodeBuilder::new("walker").moving(ScriptedPath::walk(
+            SimTime::ZERO,
+            Point2::new(5.0, 0.0),
+            Point2::new(45.0, 0.0),
+            2.0,
+        )));
+        assert!(w.reachable(fixed, walker, Technology::Bluetooth, SimTime::ZERO));
+        assert!(!w.reachable(
+            fixed,
+            walker,
+            Technology::Bluetooth,
+            SimTime::from_secs(20)
+        ));
+        // WLAN still holds at 45 m.
+        assert!(w.reachable(fixed, walker, Technology::Wlan, SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn frame_delay_requires_reachability() {
+        let (mut w, a, b) = two_node_world(500.0);
+        let mut rng = SimRng::from_seed(1);
+        assert!(w
+            .frame_delay(a, b, Technology::Bluetooth, 100, SimTime::ZERO, &mut rng)
+            .is_none());
+        assert!(w
+            .frame_delay(a, b, Technology::Gprs, 100, SimTime::ZERO, &mut rng)
+            .is_some());
+    }
+
+    #[test]
+    fn builder_dedups_technologies() {
+        let mut w = World::new();
+        let a = w.add_node(NodeBuilder::new("a").with_technologies([
+            Technology::Wlan,
+            Technology::Wlan,
+            Technology::Bluetooth,
+        ]));
+        assert_eq!(
+            w.technologies(a),
+            &[Technology::Bluetooth, Technology::Wlan]
+        );
+    }
+}

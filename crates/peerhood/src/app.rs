@@ -1,0 +1,151 @@
+//! The application trait that PeerHood-enabled applications implement.
+//!
+//! An [`Application`] is a callback-driven state machine living on one
+//! device. Drivers hand it daemon events together with an [`AppCtx`], through
+//! which it reaches its PeerHood [`Library`], schedules private timers and
+//! records message-sequence trace events.
+
+use std::time::Duration;
+
+use netsim::{SimTime, Trace};
+
+use crate::api::AppEvent;
+use crate::library::Library;
+
+/// Execution context passed into every [`Application`] callback.
+pub struct AppCtx<'a> {
+    now: SimTime,
+    actor: &'a str,
+    lib: &'a mut Library,
+    timers: &'a mut Vec<(SimTime, u64)>,
+    trace: Option<&'a mut Trace>,
+}
+
+impl<'a> AppCtx<'a> {
+    /// Builds a context (called by drivers).
+    pub fn new(
+        now: SimTime,
+        actor: &'a str,
+        lib: &'a mut Library,
+        timers: &'a mut Vec<(SimTime, u64)>,
+        trace: Option<&'a mut Trace>,
+    ) -> Self {
+        AppCtx {
+            now,
+            actor,
+            lib,
+            timers,
+            trace,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The local device's name (used as the MSC actor label).
+    pub fn actor(&self) -> &str {
+        self.actor
+    }
+
+    /// The PeerHood Library: enqueue daemon requests here.
+    pub fn peerhood(&mut self) -> &mut Library {
+        self.lib
+    }
+
+    /// Schedules a private timer `after` from now; the application's
+    /// [`Application::on_timer`] fires with `token`.
+    pub fn set_timer(&mut self, after: Duration, token: u64) {
+        self.timers.push((self.now + after, token));
+    }
+
+    /// Records a protocol message from this application to `to` in the run's
+    /// message-sequence trace (no-op when the driver attached none).
+    pub fn trace(&mut self, to: &str, label: &str) {
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.record(self.now, self.actor, to, label);
+        }
+    }
+
+    /// Records a local action (self-directed trace event), e.g. the MSC
+    /// figures' "display list" steps.
+    pub fn trace_local(&mut self, label: &str) {
+        if let Some(trace) = self.trace.as_deref_mut() {
+            trace.record(self.now, self.actor, self.actor, label);
+        }
+    }
+}
+
+/// A PeerHood-enabled application.
+///
+/// Implementations must be deterministic functions of their inputs: any
+/// randomness should come from state seeded at construction, so simulation
+/// runs stay reproducible.
+pub trait Application {
+    /// Called once when the device boots, before any event. Register
+    /// services and kick off initial requests here.
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for every daemon event addressed to this application.
+    fn on_event(&mut self, event: AppEvent, ctx: &mut AppCtx<'_>);
+
+    /// Called when a timer set via [`AppCtx::set_timer`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut AppCtx<'_>) {
+        let _ = (token, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_exposes_time_actor_and_library() {
+        let mut lib = Library::new();
+        let mut timers = Vec::new();
+        let mut trace = Trace::new();
+        let mut ctx = AppCtx::new(
+            SimTime::from_secs(3),
+            "alice",
+            &mut lib,
+            &mut timers,
+            Some(&mut trace),
+        );
+        assert_eq!(ctx.now(), SimTime::from_secs(3));
+        assert_eq!(ctx.actor(), "alice");
+        ctx.peerhood().request_device_list();
+        ctx.set_timer(Duration::from_secs(2), 9);
+        ctx.trace("bob", "PING");
+        ctx.trace_local("DISPLAY");
+        let _ = ctx;
+        assert_eq!(lib.len(), 1);
+        assert_eq!(timers, vec![(SimTime::from_secs(5), 9)]);
+        assert_eq!(trace.labels(), vec!["PING", "DISPLAY"]);
+        assert_eq!(trace.events()[1].to, "alice");
+    }
+
+    #[test]
+    fn trace_is_noop_without_sink() {
+        let mut lib = Library::new();
+        let mut timers = Vec::new();
+        let mut ctx = AppCtx::new(SimTime::ZERO, "a", &mut lib, &mut timers, None);
+        ctx.trace("b", "X"); // must not panic
+    }
+
+    #[test]
+    fn default_trait_methods_are_callable() {
+        struct Nop;
+        impl Application for Nop {
+            fn on_event(&mut self, _event: AppEvent, _ctx: &mut AppCtx<'_>) {}
+        }
+        let mut app = Nop;
+        let mut lib = Library::new();
+        let mut timers = Vec::new();
+        let mut ctx = AppCtx::new(SimTime::ZERO, "a", &mut lib, &mut timers, None);
+        app.on_start(&mut ctx);
+        app.on_timer(1, &mut ctx);
+    }
+}

@@ -1,0 +1,140 @@
+//! Daemon configuration.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use netsim::Technology;
+
+use crate::types::DeviceInfo;
+
+/// Configuration of one PeerHood daemon instance.
+///
+/// # Example
+///
+/// ```rust
+/// use ph_peerhood::config::DaemonConfig;
+/// use ph_peerhood::types::{DeviceId, DeviceInfo};
+/// use netsim::Technology;
+/// use std::time::Duration;
+///
+/// let cfg = DaemonConfig::new(DeviceInfo::new(DeviceId::new(1), "alice", Technology::ALL))
+///     .with_inquiry_interval(Technology::Bluetooth, Duration::from_secs(15))
+///     .with_seamless_connectivity(true);
+/// assert!(cfg.seamless_connectivity);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DaemonConfig {
+    /// Identity of the local device.
+    pub device: DeviceInfo,
+    /// How often to start a discovery round, per technology. A new round is
+    /// started this long after the *start* of the previous one (and never
+    /// while one is still running).
+    pub inquiry_interval: BTreeMap<Technology, Duration>,
+    /// How long a neighbor stays in the table without answering discovery
+    /// before it is declared gone.
+    pub neighbor_ttl: Duration,
+    /// Automatically query the service list of newly appeared devices, so
+    /// applications see a populated service cache (the thesis's PHD "keeps
+    /// track of other wireless device discovery and service discovery in
+    /// those devices").
+    pub auto_service_discovery: bool,
+    /// Attempt to migrate live connections to another shared technology
+    /// when their link drops (Table 3: *Seamless Connectivity*).
+    pub seamless_connectivity: bool,
+}
+
+impl DaemonConfig {
+    /// Creates a configuration with era-appropriate defaults: Bluetooth
+    /// inquiry every 15 s, WLAN scan every 5 s, GPRS lookup every 30 s,
+    /// neighbor TTL 2.5 × the slowest interval, auto service discovery and
+    /// seamless connectivity on.
+    pub fn new(device: DeviceInfo) -> Self {
+        let mut inquiry_interval = BTreeMap::new();
+        inquiry_interval.insert(Technology::Bluetooth, Duration::from_secs(15));
+        inquiry_interval.insert(Technology::Wlan, Duration::from_secs(5));
+        inquiry_interval.insert(Technology::Gprs, Duration::from_secs(30));
+        DaemonConfig {
+            device,
+            inquiry_interval,
+            neighbor_ttl: Duration::from_secs(75),
+            auto_service_discovery: true,
+            seamless_connectivity: true,
+        }
+    }
+
+    /// Overrides one technology's inquiry interval (builder style).
+    pub fn with_inquiry_interval(mut self, tech: Technology, interval: Duration) -> Self {
+        self.inquiry_interval.insert(tech, interval);
+        self
+    }
+
+    /// Overrides the neighbor TTL (builder style).
+    pub fn with_neighbor_ttl(mut self, ttl: Duration) -> Self {
+        self.neighbor_ttl = ttl;
+        self
+    }
+
+    /// Enables or disables automatic remote service discovery (builder
+    /// style).
+    pub fn with_auto_service_discovery(mut self, on: bool) -> Self {
+        self.auto_service_discovery = on;
+        self
+    }
+
+    /// Enables or disables seamless connectivity (builder style).
+    pub fn with_seamless_connectivity(mut self, on: bool) -> Self {
+        self.seamless_connectivity = on;
+        self
+    }
+
+    /// The inquiry interval for `tech`, if the local device has that radio
+    /// and an interval is configured.
+    pub fn interval_for(&self, tech: Technology) -> Option<Duration> {
+        if !self.device.technologies.contains(&tech) {
+            return None;
+        }
+        self.inquiry_interval.get(&tech).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DeviceId;
+
+    fn device() -> DeviceInfo {
+        DeviceInfo::new(DeviceId::new(1), "test", [Technology::Bluetooth])
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = DaemonConfig::new(device());
+        assert!(cfg.auto_service_discovery);
+        assert!(cfg.seamless_connectivity);
+        assert!(cfg.neighbor_ttl > Duration::from_secs(30));
+    }
+
+    #[test]
+    fn interval_respects_equipment() {
+        let cfg = DaemonConfig::new(device());
+        assert!(cfg.interval_for(Technology::Bluetooth).is_some());
+        // Device has no WLAN radio, so no interval even though configured.
+        assert_eq!(cfg.interval_for(Technology::Wlan), None);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = DaemonConfig::new(device())
+            .with_inquiry_interval(Technology::Bluetooth, Duration::from_secs(99))
+            .with_neighbor_ttl(Duration::from_secs(7))
+            .with_auto_service_discovery(false)
+            .with_seamless_connectivity(false);
+        assert_eq!(
+            cfg.interval_for(Technology::Bluetooth),
+            Some(Duration::from_secs(99))
+        );
+        assert_eq!(cfg.neighbor_ttl, Duration::from_secs(7));
+        assert!(!cfg.auto_service_discovery);
+        assert!(!cfg.seamless_connectivity);
+    }
+}

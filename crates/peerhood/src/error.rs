@@ -1,0 +1,86 @@
+//! Error types for the PeerHood middleware.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::types::{ConnId, DeviceId};
+
+/// Errors reported by the PeerHood daemon and library.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PeerHoodError {
+    /// The referenced device is not present in the neighborhood.
+    UnknownDevice(DeviceId),
+    /// The referenced connection does not exist (or is already closed).
+    UnknownConnection(ConnId),
+    /// The requested remote service is not registered on the target device.
+    ServiceNotFound {
+        /// The device that was asked.
+        device: DeviceId,
+        /// The service name that was requested.
+        service: String,
+    },
+    /// A service with this name is already registered locally.
+    ServiceAlreadyRegistered(String),
+    /// No service with this name is registered locally.
+    ServiceNotRegistered(String),
+    /// No shared technology currently reaches the device.
+    Unreachable(DeviceId),
+    /// Connection establishment failed on every candidate technology.
+    ConnectFailed {
+        /// The device we tried to reach.
+        device: DeviceId,
+        /// Human-readable reason from the last attempt.
+        reason: String,
+    },
+    /// The connection was lost and (if enabled) seamless handover also
+    /// failed.
+    ConnectionLost(ConnId),
+}
+
+impl fmt::Display for PeerHoodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeerHoodError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            PeerHoodError::UnknownConnection(c) => write!(f, "unknown connection {c}"),
+            PeerHoodError::ServiceNotFound { device, service } => {
+                write!(f, "service {service:?} not found on device {device}")
+            }
+            PeerHoodError::ServiceAlreadyRegistered(name) => {
+                write!(f, "service {name:?} is already registered")
+            }
+            PeerHoodError::ServiceNotRegistered(name) => {
+                write!(f, "service {name:?} is not registered")
+            }
+            PeerHoodError::Unreachable(d) => write!(f, "device {d} is unreachable"),
+            PeerHoodError::ConnectFailed { device, reason } => {
+                write!(f, "connecting to device {device} failed: {reason}")
+            }
+            PeerHoodError::ConnectionLost(c) => write!(f, "connection {c} was lost"),
+        }
+    }
+}
+
+impl StdError for PeerHoodError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = PeerHoodError::ServiceNotFound {
+            device: DeviceId::new(3),
+            service: "PeerHoodCommunity".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("PeerHoodCommunity"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_: &dyn StdError) {}
+        takes_err(&PeerHoodError::UnknownDevice(DeviceId::new(1)));
+    }
+}

@@ -1,0 +1,75 @@
+//! # ph-peerhood — the PeerHood network-management middleware, reimplemented
+//!
+//! PeerHood ("peer-to-peer neighborhood") is the middleware substrate of the
+//! thesis *Social Networking on Mobile Environment on top of PeerHood*
+//! (LUT, 2008). It lets applications on personal trusted devices discover
+//! nearby peers, discover and register services, establish connections over
+//! Bluetooth / WLAN / GPRS through one uniform interface, transfer data,
+//! actively monitor devices, and keep connections alive across technology
+//! handovers.
+//!
+//! This crate reimplements the documented architecture:
+//!
+//! * [`daemon::Daemon`] — the PeerHood Daemon (PHD), a sans-IO state machine
+//!   covering every row of the thesis's functionality table (Table 3);
+//! * [`library::Library`] — the PeerHood Library facade applications use;
+//! * the plugin boundary ([`plugin`]) — the seam where the thesis's
+//!   BTPlugin / WLANPlugin / GPRSPlugin sat; here it is executed by a driver;
+//! * [`sim::Cluster`] — a deterministic driver that runs many daemons and
+//!   their applications inside the [`netsim`] world;
+//! * [`live`] — a real-TCP loopback driver proving the state machines are
+//!   not simulator-bound.
+//!
+//! ## Example: two devices discover each other
+//!
+//! ```rust
+//! use ph_peerhood::sim::Cluster;
+//! use ph_peerhood::app::{AppCtx, Application};
+//! use ph_peerhood::api::AppEvent;
+//! use netsim::world::NodeBuilder;
+//! use netsim::geometry::Point2;
+//! use netsim::SimTime;
+//!
+//! #[derive(Default)]
+//! struct Watcher { seen: Vec<String> }
+//! impl Application for Watcher {
+//!     fn on_event(&mut self, event: AppEvent, _ctx: &mut AppCtx<'_>) {
+//!         if let AppEvent::DeviceAppeared(info) = event {
+//!             self.seen.push(info.name);
+//!         }
+//!     }
+//! }
+//!
+//! let mut cluster = Cluster::new(42);
+//! let a = cluster.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), Watcher::default());
+//! let b = cluster.add_node(NodeBuilder::new("bob").at(Point2::new(3.0, 0.0)), Watcher::default());
+//! cluster.start();
+//! cluster.run_until(SimTime::from_secs(30));
+//! assert_eq!(cluster.app(a).seen, vec!["bob".to_string()]);
+//! assert_eq!(cluster.app(b).seen, vec!["alice".to_string()]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod app;
+pub mod config;
+pub mod daemon;
+pub mod error;
+pub mod library;
+pub mod live;
+pub mod neighbor;
+pub mod plugin;
+pub mod service;
+pub mod sim;
+pub mod types;
+
+pub use api::{AppEvent, AppRequest};
+pub use app::{AppCtx, Application};
+pub use config::DaemonConfig;
+pub use daemon::{Daemon, DaemonInput, DaemonOutput};
+pub use error::PeerHoodError;
+pub use library::Library;
+pub use service::{ServiceInfo, ServiceRegistry};
+pub use types::{CloseReason, ConnId, DeviceId, DeviceInfo};

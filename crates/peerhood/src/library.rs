@@ -1,0 +1,141 @@
+//! The PeerHood Library: the typed facade applications program against.
+//!
+//! The thesis's PeerHood Library is "dynamically loaded into
+//! PeerHood-enabled applications and ... provides the functionality interface
+//! to those applications" (§4.2.2). Here it is a request builder: each method
+//! enqueues one [`AppRequest`], and the driver flushes the queue to the local
+//! daemon after every application callback — the moral equivalent of the
+//! library's local socket to the PHD.
+
+use bytes::Bytes;
+
+use crate::api::AppRequest;
+use crate::service::ServiceInfo;
+use crate::types::{ConnId, DeviceId};
+
+/// A queue of daemon requests built by application code.
+///
+/// # Example
+///
+/// ```rust
+/// use ph_peerhood::library::Library;
+/// use ph_peerhood::service::ServiceInfo;
+///
+/// let mut lib = Library::new();
+/// lib.register_service(ServiceInfo::new("PeerHoodCommunity"));
+/// lib.request_device_list();
+/// assert_eq!(lib.drain().len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Library {
+    queue: Vec<AppRequest>,
+}
+
+impl Library {
+    /// Creates an empty request queue.
+    pub fn new() -> Self {
+        Library::default()
+    }
+
+    /// Registers a local service with the daemon (thesis Figure 8).
+    pub fn register_service(&mut self, service: ServiceInfo) {
+        self.queue.push(AppRequest::RegisterService(service));
+    }
+
+    /// Removes a previously registered local service.
+    pub fn unregister_service(&mut self, name: impl Into<String>) {
+        self.queue.push(AppRequest::UnregisterService(name.into()));
+    }
+
+    /// Requests the current neighborhood device list; answered with
+    /// [`AppEvent::DeviceList`](crate::api::AppEvent::DeviceList).
+    pub fn request_device_list(&mut self) {
+        self.queue.push(AppRequest::GetDeviceList);
+    }
+
+    /// Requests the services registered on a remote device; answered with
+    /// [`AppEvent::ServiceList`](crate::api::AppEvent::ServiceList).
+    pub fn request_service_list(&mut self, device: DeviceId) {
+        self.queue.push(AppRequest::GetServiceList { device });
+    }
+
+    /// Connects to a named service on a remote device (thesis Figure 9);
+    /// answered with `Connected` or `ConnectFailed`.
+    pub fn connect(&mut self, device: DeviceId, service: impl Into<String>) {
+        self.queue.push(AppRequest::Connect {
+            device,
+            service: service.into(),
+        });
+    }
+
+    /// Sends data on an established connection.
+    pub fn send(&mut self, conn: ConnId, payload: impl Into<Bytes>) {
+        self.queue.push(AppRequest::Send {
+            conn,
+            payload: payload.into(),
+        });
+    }
+
+    /// Closes an established connection.
+    pub fn close(&mut self, conn: ConnId) {
+        self.queue.push(AppRequest::Close { conn });
+    }
+
+    /// Starts active monitoring of a device.
+    pub fn monitor(&mut self, device: DeviceId) {
+        self.queue.push(AppRequest::Monitor { device });
+    }
+
+    /// Stops active monitoring of a device.
+    pub fn unmonitor(&mut self, device: DeviceId) {
+        self.queue.push(AppRequest::Unmonitor { device });
+    }
+
+    /// Takes all queued requests, leaving the queue empty. Drivers call
+    /// this after every application callback.
+    pub fn drain(&mut self) -> Vec<AppRequest> {
+        std::mem::take(&mut self.queue)
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_enqueue_matching_requests() {
+        let mut lib = Library::new();
+        lib.connect(DeviceId::new(1), "svc");
+        lib.send(ConnId::new(2), Bytes::from_static(b"x"));
+        lib.close(ConnId::new(2));
+        lib.monitor(DeviceId::new(1));
+        lib.unmonitor(DeviceId::new(1));
+        lib.unregister_service("svc");
+        lib.request_service_list(DeviceId::new(1));
+        let reqs = lib.drain();
+        assert_eq!(reqs.len(), 7);
+        assert!(matches!(reqs[0], AppRequest::Connect { .. }));
+        assert!(matches!(reqs[1], AppRequest::Send { .. }));
+        assert!(matches!(reqs[2], AppRequest::Close { .. }));
+        assert!(lib.is_empty());
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let mut lib = Library::new();
+        lib.request_device_list();
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.drain().len(), 1);
+        assert_eq!(lib.drain().len(), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Live driver: the same daemon state machine over real loopback TCP.
+//!
+//! The simulator ([`crate::sim`]) executes [`Daemon`](crate::daemon::Daemon)
+//! inside a virtual world; this module executes the *identical* state
+//! machine against real sockets, proving the sans-IO design is not
+//! simulator-bound. Data connections and frames travel over genuine
+//! `TcpStream`s on 127.0.0.1; discovery and service queries are routed
+//! in-process (modelling the WLAN plugin's UDP broadcast, which loopback TCP
+//! cannot express).
+//!
+//! See `examples/live_tcp_demo.rs` for an end-to-end run with two devices
+//! exchanging PeerHood Community traffic over the loopback interface.
+
+mod net;
+
+pub use net::LiveNet;

@@ -1,0 +1,764 @@
+//! In-process network of daemons exchanging data over real loopback TCP.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use netsim::{SimTime, Technology, Trace};
+
+use crate::app::{AppCtx, Application};
+use crate::config::DaemonConfig;
+use crate::daemon::{Daemon, DaemonInput, DaemonOutput};
+use crate::library::Library;
+use crate::plugin::{PluginCommand, PluginEvent};
+use crate::types::{AttemptId, ConnId, DeviceId, DeviceInfo, LinkId, ResumeToken};
+
+/// A socket together with its receive buffer.
+#[derive(Debug)]
+struct Sock {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Sock {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Sock {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Reads all currently available bytes; returns `true` on orderly EOF.
+    fn pump(&mut self) -> io::Result<bool> {
+        let mut tmp = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Ok(true),
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pops one complete length-prefixed frame from the buffer, if present.
+    fn pop_frame(&mut self) -> Option<Vec<u8>> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if self.buf.len() < 4 + len {
+            return None;
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Some(frame)
+    }
+
+    /// Writes one length-prefixed frame, spinning briefly on `WouldBlock`
+    /// (loopback drains within microseconds).
+    fn write_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut msg = Vec::with_capacity(4 + payload.len());
+        msg.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        msg.extend_from_slice(payload);
+        let mut off = 0;
+        while off < msg.len() {
+            match self.stream.write(&msg[off..]) {
+                Ok(n) => off += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::yield_now(),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Handshake sent as the first frame of every data connection.
+#[derive(Debug, PartialEq)]
+struct Handshake {
+    from: DeviceId,
+    service: String,
+    resume: Option<ResumeToken>,
+}
+
+impl Handshake {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.from.raw().to_be_bytes());
+        match self.resume {
+            Some(tok) => {
+                out.push(1);
+                out.extend_from_slice(&tok.initiator.raw().to_be_bytes());
+                out.extend_from_slice(&tok.conn.raw().to_be_bytes());
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&[0u8; 16]);
+            }
+        }
+        out.extend_from_slice(self.service.as_bytes());
+        out
+    }
+
+    fn decode(frame: &[u8]) -> Option<Handshake> {
+        if frame.len() < 25 {
+            return None;
+        }
+        let from = DeviceId::new(u64::from_be_bytes(frame[0..8].try_into().ok()?));
+        let resume = if frame[8] == 1 {
+            Some(ResumeToken {
+                initiator: DeviceId::new(u64::from_be_bytes(frame[9..17].try_into().ok()?)),
+                conn: ConnId::new(u64::from_be_bytes(frame[17..25].try_into().ok()?)),
+            })
+        } else {
+            None
+        };
+        let service = String::from_utf8(frame[25..].to_vec()).ok()?;
+        Some(Handshake {
+            from,
+            service,
+            resume,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct OutPending {
+    sock: Sock,
+    attempt: AttemptId,
+}
+
+struct LiveNode<A> {
+    name: String,
+    daemon: Daemon,
+    app: A,
+    lib: Library,
+    listener: TcpListener,
+    addr: SocketAddr,
+    /// Accepted sockets whose handshake frame has not fully arrived yet.
+    greeting: Vec<Sock>,
+    /// Incoming links announced to the daemon, awaiting accept/reject.
+    pending_in: HashMap<LinkId, Sock>,
+    /// Outgoing links awaiting the responder's verdict frame.
+    pending_out: HashMap<LinkId, OutPending>,
+    /// Established links.
+    links: HashMap<LinkId, Sock>,
+    next_link: u64,
+    wake_at: Option<SimTime>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl<A> LiveNode<A> {
+    fn alloc_link(&mut self) -> LinkId {
+        let id = LinkId::new(self.next_link);
+        self.next_link += 1;
+        id
+    }
+}
+
+/// An in-process neighborhood of PeerHood devices whose data connections run
+/// over real loopback TCP.
+///
+/// Discovery and SDP queries are routed in-process (they model the WLAN
+/// plugin's broadcast machinery); connection establishment, frames and
+/// close/loss signalling all travel through genuine `TcpStream`s. Virtual
+/// time is wall time since construction.
+///
+/// # Example
+///
+/// See `examples/live_tcp_demo.rs`; the crate test
+/// `live_round_trip_over_real_tcp` is a minimal end-to-end run.
+pub struct LiveNet<A> {
+    nodes: Vec<LiveNode<A>>,
+    start: Instant,
+    trace: Trace,
+    started: bool,
+}
+
+impl<A: Application> LiveNet<A> {
+    /// Creates an empty live network.
+    ///
+    /// # Errors
+    ///
+    /// This constructor itself cannot fail; adding nodes can.
+    pub fn new() -> Self {
+        LiveNet {
+            nodes: Vec::new(),
+            start: Instant::now(),
+            trace: Trace::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a device named `name` listening on an ephemeral loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener.
+    pub fn add_node(&mut self, name: impl Into<String>, app: A) -> io::Result<DeviceId> {
+        let name = name.into();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let id = DeviceId::new(self.nodes.len() as u64);
+        let info = DeviceInfo::new(id, name.clone(), [Technology::Wlan]);
+        // Tight intervals: live demos run in wall-clock time.
+        let config = DaemonConfig::new(info)
+            .with_inquiry_interval(Technology::Wlan, Duration::from_millis(200))
+            .with_neighbor_ttl(Duration::from_secs(5));
+        self.nodes.push(LiveNode {
+            name,
+            daemon: Daemon::new(config),
+            app,
+            lib: Library::new(),
+            listener,
+            addr,
+            greeting: Vec::new(),
+            pending_in: HashMap::new(),
+            pending_out: HashMap::new(),
+            links: HashMap::new(),
+            next_link: 0,
+            wake_at: Some(SimTime::ZERO),
+            timers: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Wall-clock virtual time since construction.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Read access to a node's application.
+    pub fn app(&self, device: DeviceId) -> &A {
+        &self.nodes[device.raw() as usize].app
+    }
+
+    /// The device's human-readable name.
+    pub fn name(&self, device: DeviceId) -> &str {
+        &self.nodes[device.raw() as usize].name
+    }
+
+    /// The message-sequence trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Boots all nodes (calls their `on_start`).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let mut work = VecDeque::new();
+        for i in 0..self.nodes.len() {
+            self.app_callback(i, &mut work, |app, ctx| app.on_start(ctx));
+        }
+        self.drain(&mut work);
+    }
+
+    /// Runs `f` against a node's application (scripting a user action).
+    pub fn with_app<R>(
+        &mut self,
+        device: DeviceId,
+        f: impl FnOnce(&mut A, &mut AppCtx<'_>) -> R,
+    ) -> R {
+        let mut work = VecDeque::new();
+        let r = self.app_callback(device.raw() as usize, &mut work, f);
+        self.drain(&mut work);
+        r
+    }
+
+    /// Polls sockets and timers repeatedly for `wall` of real time.
+    pub fn run_for(&mut self, wall: Duration) {
+        let deadline = Instant::now() + wall;
+        while Instant::now() < deadline {
+            self.poll_once();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Polls until `stop` returns true or `wall` elapses; returns whether
+    /// `stop` held.
+    pub fn run_until(&mut self, wall: Duration, mut stop: impl FnMut(&Self) -> bool) -> bool {
+        let deadline = Instant::now() + wall;
+        while Instant::now() < deadline {
+            self.poll_once();
+            if stop(self) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop(self)
+    }
+
+    /// One poll round: accepts, reads, timers, daemon wakes.
+    fn poll_once(&mut self) {
+        let now = self.now();
+        let mut work: VecDeque<(usize, DaemonInput)> = VecDeque::new();
+
+        for i in 0..self.nodes.len() {
+            // Accept fresh sockets.
+            loop {
+                match self.nodes[i].listener.accept() {
+                    Ok((stream, _)) => {
+                        if let Ok(sock) = Sock::new(stream) {
+                            self.nodes[i].greeting.push(sock);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+
+            // Progress handshakes.
+            let mut greeting = std::mem::take(&mut self.nodes[i].greeting);
+            let mut still_greeting = Vec::new();
+            for mut sock in greeting.drain(..) {
+                if let Ok(eof) = sock.pump() {
+                    if let Some(frame) = sock.pop_frame() {
+                        if let Some(hs) = Handshake::decode(&frame) {
+                            let link = self.nodes[i].alloc_link();
+                            let device = DeviceInfo::new(
+                                hs.from,
+                                self.nodes
+                                    .get(hs.from.raw() as usize)
+                                    .map(|n| n.name.clone())
+                                    .unwrap_or_else(|| hs.from.to_string()),
+                                [Technology::Wlan],
+                            );
+                            self.nodes[i].pending_in.insert(link, sock);
+                            work.push_back((
+                                i,
+                                DaemonInput::Plugin(PluginEvent::IncomingConnection {
+                                    link,
+                                    device,
+                                    service: hs.service,
+                                    technology: Technology::Wlan,
+                                    resume: hs.resume,
+                                }),
+                            ));
+                        }
+                    } else if !eof {
+                        still_greeting.push(sock);
+                    }
+                }
+            }
+            self.nodes[i].greeting = still_greeting;
+
+            // Progress outgoing verdicts.
+            let pending: Vec<LinkId> = self.nodes[i].pending_out.keys().copied().collect();
+            for link in pending {
+                let Some(p) = self.nodes[i].pending_out.get_mut(&link) else {
+                    continue;
+                };
+                match p.sock.pump() {
+                    Ok(eof) => {
+                        if let Some(frame) = p.sock.pop_frame() {
+                            let p = self.nodes[i].pending_out.remove(&link).expect("present");
+                            if frame.first() == Some(&1) {
+                                self.nodes[i].links.insert(link, p.sock);
+                                work.push_back((
+                                    i,
+                                    DaemonInput::Plugin(PluginEvent::ConnectResult {
+                                        attempt: p.attempt,
+                                        result: Ok(link),
+                                    }),
+                                ));
+                            } else {
+                                let reason = String::from_utf8_lossy(&frame[1.min(frame.len())..])
+                                    .into_owned();
+                                work.push_back((
+                                    i,
+                                    DaemonInput::Plugin(PluginEvent::ConnectResult {
+                                        attempt: p.attempt,
+                                        result: Err(reason),
+                                    }),
+                                ));
+                            }
+                        } else if eof {
+                            let p = self.nodes[i].pending_out.remove(&link).expect("present");
+                            work.push_back((
+                                i,
+                                DaemonInput::Plugin(PluginEvent::ConnectResult {
+                                    attempt: p.attempt,
+                                    result: Err("connection closed during setup".into()),
+                                }),
+                            ));
+                        }
+                    }
+                    Err(_) => {
+                        let p = self.nodes[i].pending_out.remove(&link).expect("present");
+                        work.push_back((
+                            i,
+                            DaemonInput::Plugin(PluginEvent::ConnectResult {
+                                attempt: p.attempt,
+                                result: Err("socket error during setup".into()),
+                            }),
+                        ));
+                    }
+                }
+            }
+
+            // Progress established links.
+            let link_ids: Vec<LinkId> = self.nodes[i].links.keys().copied().collect();
+            for link in link_ids {
+                let Some(sock) = self.nodes[i].links.get_mut(&link) else {
+                    continue;
+                };
+                match sock.pump() {
+                    Ok(eof) => {
+                        while let Some(frame) = sock.pop_frame() {
+                            work.push_back((
+                                i,
+                                DaemonInput::Plugin(PluginEvent::Frame {
+                                    link,
+                                    payload: Bytes::from(frame),
+                                }),
+                            ));
+                        }
+                        if eof {
+                            self.nodes[i].links.remove(&link);
+                            work.push_back((
+                                i,
+                                DaemonInput::Plugin(PluginEvent::PeerClosed { link }),
+                            ));
+                        }
+                    }
+                    Err(_) => {
+                        self.nodes[i].links.remove(&link);
+                        work.push_back((i, DaemonInput::Plugin(PluginEvent::LinkDown { link })));
+                    }
+                }
+            }
+
+            // Daemon wake due?
+            if self.nodes[i].wake_at.is_some_and(|t| now >= t) {
+                self.nodes[i].wake_at = None;
+                work.push_back((i, DaemonInput::Tick));
+            }
+        }
+
+        self.drain(&mut work);
+
+        // Application timers (drained after daemon work so freshly set
+        // timers with zero delay run next round).
+        let mut timer_work = VecDeque::new();
+        for i in 0..self.nodes.len() {
+            let due: Vec<u64> = {
+                let node = &mut self.nodes[i];
+                let (fire, keep): (Vec<_>, Vec<_>) =
+                    node.timers.drain(..).partition(|(at, _)| now >= *at);
+                node.timers = keep;
+                fire.into_iter().map(|(_, tok)| tok).collect()
+            };
+            for token in due {
+                self.app_callback(i, &mut timer_work, |app, ctx| app.on_timer(token, ctx));
+            }
+        }
+        self.drain(&mut timer_work);
+    }
+
+    /// Processes daemon inputs until quiescent.
+    fn drain(&mut self, work: &mut VecDeque<(usize, DaemonInput)>) {
+        while let Some((i, input)) = work.pop_front() {
+            let now = self.now();
+            let mut outs = Vec::new();
+            self.nodes[i].daemon.handle(now, input, &mut outs);
+            for out in outs {
+                match out {
+                    DaemonOutput::Plugin(cmd) => self.exec(i, cmd, work),
+                    DaemonOutput::App(ev) => {
+                        self.app_callback(i, work, |app, ctx| app.on_event(ev, ctx));
+                    }
+                    DaemonOutput::WakeAt(t) => {
+                        let node = &mut self.nodes[i];
+                        node.wake_at = Some(node.wake_at.map_or(t, |w| w.min(t)));
+                    }
+                }
+            }
+        }
+    }
+
+    fn app_callback<R>(
+        &mut self,
+        i: usize,
+        work: &mut VecDeque<(usize, DaemonInput)>,
+        f: impl FnOnce(&mut A, &mut AppCtx<'_>) -> R,
+    ) -> R {
+        let now = self.now();
+        let mut timers = Vec::new();
+        let r = {
+            let node = &mut self.nodes[i];
+            let mut ctx = AppCtx::new(now, &node.name, &mut node.lib, &mut timers, Some(&mut self.trace));
+            f(&mut node.app, &mut ctx)
+        };
+        self.nodes[i].timers.extend(timers);
+        for req in self.nodes[i].lib.drain() {
+            work.push_back((i, DaemonInput::App(req)));
+        }
+        r
+    }
+
+    fn exec(&mut self, i: usize, cmd: PluginCommand, work: &mut VecDeque<(usize, DaemonInput)>) {
+        match cmd {
+            PluginCommand::StartInquiry { technology } => {
+                // Everyone on loopback is "in range": answer instantly.
+                for j in 0..self.nodes.len() {
+                    if j == i {
+                        continue;
+                    }
+                    let device = DeviceInfo::new(
+                        DeviceId::new(j as u64),
+                        self.nodes[j].name.clone(),
+                        [Technology::Wlan],
+                    );
+                    work.push_back((
+                        i,
+                        DaemonInput::Plugin(PluginEvent::InquiryResponse { technology, device }),
+                    ));
+                }
+                work.push_back((
+                    i,
+                    DaemonInput::Plugin(PluginEvent::InquiryComplete { technology }),
+                ));
+            }
+            PluginCommand::QueryServices { device, .. } => {
+                let j = device.raw() as usize;
+                if j < self.nodes.len() {
+                    work.push_back((
+                        j,
+                        DaemonInput::Plugin(PluginEvent::ServiceQuery {
+                            device: DeviceId::new(i as u64),
+                        }),
+                    ));
+                }
+            }
+            PluginCommand::ServiceQueryReply { device, services } => {
+                let j = device.raw() as usize;
+                if j < self.nodes.len() {
+                    work.push_back((
+                        j,
+                        DaemonInput::Plugin(PluginEvent::ServiceReply {
+                            device: DeviceId::new(i as u64),
+                            services,
+                        }),
+                    ));
+                }
+            }
+            PluginCommand::OpenConnection {
+                attempt,
+                device,
+                service,
+                resume,
+                ..
+            } => {
+                let j = device.raw() as usize;
+                let fail = |reason: String, work: &mut VecDeque<(usize, DaemonInput)>| {
+                    work.push_back((
+                        i,
+                        DaemonInput::Plugin(PluginEvent::ConnectResult {
+                            attempt,
+                            result: Err(reason),
+                        }),
+                    ));
+                };
+                if j >= self.nodes.len() {
+                    fail("unknown device".into(), work);
+                    return;
+                }
+                let addr = self.nodes[j].addr;
+                match TcpStream::connect(addr).and_then(Sock::new) {
+                    Ok(mut sock) => {
+                        let hs = Handshake {
+                            from: DeviceId::new(i as u64),
+                            service,
+                            resume,
+                        };
+                        if sock.write_frame(&hs.encode()).is_err() {
+                            fail("handshake write failed".into(), work);
+                            return;
+                        }
+                        let link = self.nodes[i].alloc_link();
+                        self.nodes[i]
+                            .pending_out
+                            .insert(link, OutPending { sock, attempt });
+                    }
+                    Err(e) => fail(format!("tcp connect failed: {e}"), work),
+                }
+            }
+            PluginCommand::AcceptConnection { link } => {
+                if let Some(mut sock) = self.nodes[i].pending_in.remove(&link) {
+                    if sock.write_frame(&[1]).is_ok() {
+                        self.nodes[i].links.insert(link, sock);
+                    } else {
+                        work.push_back((i, DaemonInput::Plugin(PluginEvent::LinkDown { link })));
+                    }
+                }
+            }
+            PluginCommand::RejectConnection { link, reason } => {
+                if let Some(mut sock) = self.nodes[i].pending_in.remove(&link) {
+                    let mut frame = vec![0u8];
+                    frame.extend_from_slice(reason.as_bytes());
+                    let _ = sock.write_frame(&frame);
+                }
+            }
+            PluginCommand::SendFrame { link, payload } => {
+                let failed = match self.nodes[i].links.get_mut(&link) {
+                    Some(sock) => sock.write_frame(&payload).is_err(),
+                    None => false,
+                };
+                if failed {
+                    self.nodes[i].links.remove(&link);
+                    work.push_back((i, DaemonInput::Plugin(PluginEvent::LinkDown { link })));
+                }
+            }
+            PluginCommand::CloseLink { link } => {
+                if let Some(sock) = self.nodes[i].links.remove(&link) {
+                    let _ = sock.stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+    }
+}
+
+impl<A: Application> Default for LiveNet<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::AppEvent;
+    use crate::service::ServiceInfo;
+
+    #[derive(Default)]
+    struct Echo {
+        serve: bool,
+        peers: Vec<DeviceId>,
+        conn: Option<ConnId>,
+        received: Vec<Bytes>,
+        closed: usize,
+    }
+
+    impl Application for Echo {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            if self.serve {
+                ctx.peerhood().register_service(ServiceInfo::new("echo"));
+            }
+        }
+
+        fn on_event(&mut self, event: AppEvent, ctx: &mut AppCtx<'_>) {
+            match event {
+                AppEvent::DeviceAppeared(info) => self.peers.push(info.id),
+                AppEvent::Connected { conn, .. } => self.conn = Some(conn),
+                AppEvent::Data { conn, payload } => {
+                    self.received.push(payload.clone());
+                    if self.serve {
+                        // Echo it back.
+                        ctx.peerhood().send(conn, payload);
+                    }
+                }
+                AppEvent::Closed { .. } => self.closed += 1,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_encoding_round_trips() {
+        for resume in [
+            None,
+            Some(ResumeToken {
+                initiator: DeviceId::new(3),
+                conn: ConnId::new(9),
+            }),
+        ] {
+            let hs = Handshake {
+                from: DeviceId::new(7),
+                service: "PeerHoodCommunity".into(),
+                resume,
+            };
+            assert_eq!(Handshake::decode(&hs.encode()), Some(hs));
+        }
+    }
+
+    #[test]
+    fn handshake_decode_rejects_garbage() {
+        assert_eq!(Handshake::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn live_round_trip_over_real_tcp() {
+        let mut net = LiveNet::new();
+        let client = net.add_node("client", Echo::default()).unwrap();
+        let server = net
+            .add_node(
+                "server",
+                Echo {
+                    serve: true,
+                    ..Echo::default()
+                },
+            )
+            .unwrap();
+        net.start();
+
+        // Discovery happens within the 200 ms inquiry cadence.
+        assert!(
+            net.run_until(Duration::from_secs(5), |n| {
+                n.app(client).peers.contains(&server)
+            }),
+            "server never discovered"
+        );
+
+        net.with_app(client, |_, ctx| ctx.peerhood().connect(server, "echo"));
+        assert!(
+            net.run_until(Duration::from_secs(5), |n| n.app(client).conn.is_some()),
+            "connect never completed"
+        );
+        let conn = net.app(client).conn.unwrap();
+        net.with_app(client, |_, ctx| {
+            ctx.peerhood().send(conn, Bytes::from_static(b"over real tcp"))
+        });
+        assert!(
+            net.run_until(Duration::from_secs(5), |n| !n
+                .app(client)
+                .received
+                .is_empty()),
+            "echo never arrived"
+        );
+        assert_eq!(
+            net.app(client).received[0],
+            Bytes::from_static(b"over real tcp")
+        );
+        // Orderly close propagates.
+        net.with_app(client, |_, ctx| ctx.peerhood().close(conn));
+        assert!(
+            net.run_until(Duration::from_secs(5), |n| n.app(server).closed > 0),
+            "server never saw the close"
+        );
+    }
+
+    #[test]
+    fn connect_to_unknown_service_is_rejected_over_tcp() {
+        let mut net = LiveNet::new();
+        let client = net.add_node("client", Echo::default()).unwrap();
+        let server = net.add_node("server", Echo::default()).unwrap();
+        net.start();
+        assert!(net.run_until(Duration::from_secs(5), |n| {
+            n.app(client).peers.contains(&server)
+        }));
+        net.with_app(client, |_, ctx| ctx.peerhood().connect(server, "nope"));
+        net.run_for(Duration::from_millis(300));
+        assert!(net.app(client).conn.is_none());
+    }
+}

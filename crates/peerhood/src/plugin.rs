@@ -1,0 +1,192 @@
+//! The plugin boundary between the daemon and a transport driver.
+//!
+//! The thesis's PeerHood plugins (BTPlugin, WLANPlugin, GPRSPlugin) wrap the
+//! technology-specific discovery and transport mechanics behind a uniform
+//! interface loaded by the daemon. Here that interface is a pair of message
+//! enums: the daemon emits [`PluginCommand`]s and consumes [`PluginEvent`]s.
+//! Which concrete transport executes them is the driver's business — the
+//! deterministic simulator ([`crate::sim`]) or the live TCP runtime
+//! ([`crate::live`]).
+
+use bytes::Bytes;
+
+use crate::service::ServiceInfo;
+use crate::types::{AttemptId, DeviceId, DeviceInfo, LinkId, ResumeToken};
+use netsim::Technology;
+
+/// A command from the daemon to the transport driver.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum PluginCommand {
+    /// Begin one discovery round over `technology` (a Bluetooth inquiry, a
+    /// WLAN broadcast scan, a GPRS proxy lookup). The driver answers with
+    /// zero or more [`PluginEvent::InquiryResponse`]s followed by one
+    /// [`PluginEvent::InquiryComplete`].
+    StartInquiry {
+        /// The technology to scan on.
+        technology: Technology,
+    },
+    /// Ask a remote device for its registered services (SDP-style). The
+    /// remote daemon receives [`PluginEvent::ServiceQuery`] and answers via
+    /// [`PluginCommand::ServiceQueryReply`]; the driver routes the reply
+    /// back as [`PluginEvent::ServiceReply`].
+    QueryServices {
+        /// Target device.
+        device: DeviceId,
+        /// Technology to carry the query over.
+        technology: Technology,
+    },
+    /// Reply to a [`PluginEvent::ServiceQuery`] from `device`.
+    ServiceQueryReply {
+        /// The device that asked.
+        device: DeviceId,
+        /// Our registered services.
+        services: Vec<ServiceInfo>,
+    },
+    /// Open a transport connection to `service` on `device` over
+    /// `technology`. Answered with [`PluginEvent::ConnectResult`] carrying
+    /// the same `attempt`.
+    OpenConnection {
+        /// Correlation id for the result event.
+        attempt: AttemptId,
+        /// Target device.
+        device: DeviceId,
+        /// Target service name.
+        service: String,
+        /// Technology to connect over.
+        technology: Technology,
+        /// When resuming a logical connection after link loss (seamless
+        /// connectivity), the token identifying it at the responder.
+        resume: Option<ResumeToken>,
+    },
+    /// Accept an incoming connection announced by
+    /// [`PluginEvent::IncomingConnection`].
+    AcceptConnection {
+        /// The link being accepted.
+        link: LinkId,
+    },
+    /// Reject an incoming connection (e.g. unknown service).
+    RejectConnection {
+        /// The link being rejected.
+        link: LinkId,
+        /// Human-readable reason, reported to the initiator.
+        reason: String,
+    },
+    /// Transmit a frame on an open link.
+    SendFrame {
+        /// The link to send on.
+        link: LinkId,
+        /// Payload bytes.
+        payload: Bytes,
+    },
+    /// Close an open link.
+    CloseLink {
+        /// The link to close.
+        link: LinkId,
+    },
+}
+
+/// An event from the transport driver to the daemon.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum PluginEvent {
+    /// A device answered the current discovery round.
+    InquiryResponse {
+        /// Technology the response arrived on.
+        technology: Technology,
+        /// The responding device.
+        device: DeviceInfo,
+    },
+    /// The discovery round over `technology` finished.
+    InquiryComplete {
+        /// The technology whose round finished.
+        technology: Technology,
+    },
+    /// A remote device asks for our registered services.
+    ServiceQuery {
+        /// The asking device.
+        device: DeviceId,
+    },
+    /// A remote device answered our service query.
+    ServiceReply {
+        /// The answering device.
+        device: DeviceId,
+        /// Its registered services.
+        services: Vec<ServiceInfo>,
+    },
+    /// Outcome of an [`PluginCommand::OpenConnection`].
+    ConnectResult {
+        /// The attempt this result belongs to.
+        attempt: AttemptId,
+        /// The established link, or a failure reason.
+        result: Result<LinkId, String>,
+    },
+    /// A remote device opened a connection to one of our services. The
+    /// daemon must answer with [`PluginCommand::AcceptConnection`] or
+    /// [`PluginCommand::RejectConnection`].
+    IncomingConnection {
+        /// The new link (pending accept/reject).
+        link: LinkId,
+        /// The initiating device.
+        device: DeviceInfo,
+        /// The local service it targets.
+        service: String,
+        /// Technology the link runs over.
+        technology: Technology,
+        /// Resume token when this is a seamless-connectivity
+        /// re-establishment of an existing logical connection.
+        resume: Option<ResumeToken>,
+    },
+    /// A frame arrived on an open link.
+    Frame {
+        /// The link it arrived on.
+        link: LinkId,
+        /// Payload bytes.
+        payload: Bytes,
+    },
+    /// The remote peer closed the link in an orderly way.
+    PeerClosed {
+        /// The closed link.
+        link: LinkId,
+    },
+    /// The link was lost (out of range, transport failure).
+    LinkDown {
+        /// The lost link.
+        link: LinkId,
+    },
+    /// The link still works but its radio quality is deteriorating (the
+    /// peer is near the edge of range). Table 3: PeerHood reacts to "the
+    /// breaking or *weakening* of the established connection" — this is
+    /// the weakening signal, enabling make-before-break handover.
+    LinkDegraded {
+        /// The weakening link.
+        link: LinkId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_compare() {
+        let a = PluginCommand::StartInquiry {
+            technology: Technology::Bluetooth,
+        };
+        assert_eq!(a.clone(), a);
+    }
+
+    #[test]
+    fn connect_result_carries_error_text() {
+        let e = PluginEvent::ConnectResult {
+            attempt: AttemptId::new(1),
+            result: Err("service not found".into()),
+        };
+        match e {
+            PluginEvent::ConnectResult { result, .. } => {
+                assert_eq!(result.unwrap_err(), "service not found");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

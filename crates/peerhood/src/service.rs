@@ -1,0 +1,209 @@
+//! Service descriptions and the local service registry.
+//!
+//! PeerHood-enabled applications register named services with the PeerHood
+//! Daemon (Figure 8 of the thesis shows the reference server registering the
+//! `"PeerHoodCommunity"` service); the daemon answers remote service-discovery
+//! queries from this registry and validates incoming connections against it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::PeerHoodError;
+
+/// A service offered by a device, with free-form descriptive attributes.
+///
+/// # Example
+///
+/// ```rust
+/// use ph_peerhood::service::ServiceInfo;
+///
+/// let svc = ServiceInfo::new("PeerHoodCommunity")
+///     .with_attribute("version", "0.2")
+///     .with_attribute("kind", "social");
+/// assert_eq!(svc.attribute("version"), Some("0.2"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceInfo {
+    name: String,
+    attributes: BTreeMap<String, String>,
+}
+
+impl ServiceInfo {
+    /// Creates a service description with no attributes.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServiceInfo {
+            name: name.into(),
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// Adds one attribute (builder style).
+    pub fn with_attribute(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.insert(key.into(), value.into());
+        self
+    }
+
+    /// The service name applications connect to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Looks up one attribute.
+    pub fn attribute(&self, key: &str) -> Option<&str> {
+        self.attributes.get(key).map(String::as_str)
+    }
+
+    /// All attributes in key order.
+    pub fn attributes(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attributes.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl fmt::Display for ServiceInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.attributes.is_empty() {
+            let attrs: Vec<String> = self
+                .attributes
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            write!(f, " [{}]", attrs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// The daemon's registry of locally offered services.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceRegistry {
+    services: BTreeMap<String, ServiceInfo>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ServiceRegistry::default()
+    }
+
+    /// Registers a service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeerHoodError::ServiceAlreadyRegistered`] if a service with
+    /// the same name exists.
+    pub fn register(&mut self, service: ServiceInfo) -> Result<(), PeerHoodError> {
+        if self.services.contains_key(service.name()) {
+            return Err(PeerHoodError::ServiceAlreadyRegistered(
+                service.name().to_owned(),
+            ));
+        }
+        self.services.insert(service.name().to_owned(), service);
+        Ok(())
+    }
+
+    /// Removes a service by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeerHoodError::ServiceNotRegistered`] if absent.
+    pub fn unregister(&mut self, name: &str) -> Result<ServiceInfo, PeerHoodError> {
+        self.services
+            .remove(name)
+            .ok_or_else(|| PeerHoodError::ServiceNotRegistered(name.to_owned()))
+    }
+
+    /// Looks up a service by name.
+    pub fn get(&self, name: &str) -> Option<&ServiceInfo> {
+        self.services.get(name)
+    }
+
+    /// Whether a service with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.services.contains_key(name)
+    }
+
+    /// All registered services in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ServiceInfo> {
+        self.services.values()
+    }
+
+    /// Snapshot of all registered services.
+    pub fn to_vec(&self) -> Vec<ServiceInfo> {
+        self.services.values().cloned().collect()
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = ServiceRegistry::new();
+        reg.register(ServiceInfo::new("PeerHoodCommunity")).unwrap();
+        assert!(reg.contains("PeerHoodCommunity"));
+        assert_eq!(reg.get("PeerHoodCommunity").unwrap().name(), "PeerHoodCommunity");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut reg = ServiceRegistry::new();
+        reg.register(ServiceInfo::new("svc")).unwrap();
+        assert_eq!(
+            reg.register(ServiceInfo::new("svc")),
+            Err(PeerHoodError::ServiceAlreadyRegistered("svc".into()))
+        );
+    }
+
+    #[test]
+    fn unregister_round_trip() {
+        let mut reg = ServiceRegistry::new();
+        reg.register(ServiceInfo::new("svc")).unwrap();
+        let svc = reg.unregister("svc").unwrap();
+        assert_eq!(svc.name(), "svc");
+        assert!(reg.is_empty());
+        assert_eq!(
+            reg.unregister("svc"),
+            Err(PeerHoodError::ServiceNotRegistered("svc".into()))
+        );
+    }
+
+    #[test]
+    fn attributes_accessible_and_sorted() {
+        let svc = ServiceInfo::new("s")
+            .with_attribute("b", "2")
+            .with_attribute("a", "1");
+        let attrs: Vec<(&str, &str)> = svc.attributes().collect();
+        assert_eq!(attrs, vec![("a", "1"), ("b", "2")]);
+        assert_eq!(svc.attribute("missing"), None);
+    }
+
+    #[test]
+    fn display_includes_attributes() {
+        let svc = ServiceInfo::new("s").with_attribute("k", "v");
+        assert_eq!(svc.to_string(), "s [k=v]");
+        assert_eq!(ServiceInfo::new("bare").to_string(), "bare");
+    }
+
+    #[test]
+    fn iter_in_name_order() {
+        let mut reg = ServiceRegistry::new();
+        reg.register(ServiceInfo::new("zeta")).unwrap();
+        reg.register(ServiceInfo::new("alpha")).unwrap();
+        let names: Vec<&str> = reg.iter().map(ServiceInfo::name).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

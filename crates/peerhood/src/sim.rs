@@ -1,0 +1,1098 @@
+//! Deterministic simulator driver: many daemons + applications in one
+//! [`netsim`] world.
+//!
+//! [`Cluster`] is the executable mobile environment. It owns the world map,
+//! the event queue, and one `(Daemon, Application)` pair per device, and it
+//! *is* the plugin layer: every [`PluginCommand`] a daemon emits is turned
+//! into world queries and timed events using the technology profiles of
+//! [`netsim::radio`] — inquiry windows, response offsets, connection setup
+//! times, per-frame transfer times, and range checks at both send and
+//! delivery time.
+//!
+//! Everything is driven from a single seeded RNG, so a run is a pure
+//! function of `(scenario, seed)`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use netsim::world::{NodeBuilder, NodeId};
+use netsim::{EventQueue, SimRng, SimTime, Technology, Trace, World};
+
+use crate::api::AppEvent;
+use crate::app::{AppCtx, Application};
+use crate::config::DaemonConfig;
+use crate::daemon::{Daemon, DaemonInput, DaemonOutput};
+use crate::library::Library;
+use crate::plugin::{PluginCommand, PluginEvent};
+use crate::service::ServiceInfo;
+use crate::types::{AttemptId, DeviceId, DeviceInfo, LinkId, ResumeToken};
+
+/// Approximate wire size of a service-discovery query.
+const SDP_QUERY_BYTES: usize = 48;
+/// Approximate wire size of one service record in a discovery reply.
+const SDP_RECORD_BYTES: usize = 72;
+/// Approximate wire size of connection-control frames (accept, close).
+const CTRL_BYTES: usize = 24;
+/// How long after the radios lose each other the transport notices.
+const LINK_DOWN_DETECT: Duration = Duration::from_millis(400);
+/// How long an unanswered service query takes to give up.
+const SDP_TIMEOUT: Duration = Duration::from_millis(1_000);
+
+#[derive(Debug)]
+enum Ev {
+    Start(NodeId),
+    DaemonWake(NodeId),
+    AppTimer(NodeId, u64),
+    InquiryFound {
+        seeker: NodeId,
+        tech: Technology,
+        found: NodeId,
+    },
+    InquiryDone {
+        node: NodeId,
+        tech: Technology,
+    },
+    ServiceQueryArrive {
+        to: NodeId,
+        from: NodeId,
+    },
+    ServiceReplyArrive {
+        to: NodeId,
+        from: NodeId,
+        services: Vec<ServiceInfo>,
+    },
+    ConnectSetupDone {
+        initiator: NodeId,
+        attempt: AttemptId,
+        target: NodeId,
+        service: String,
+        tech: Technology,
+        resume: Option<ResumeToken>,
+    },
+    ConnectResultArrive {
+        to: NodeId,
+        attempt: AttemptId,
+        result: Result<LinkId, String>,
+    },
+    FrameArrive {
+        to: NodeId,
+        link: LinkId,
+        payload: Bytes,
+    },
+    PeerClosedArrive {
+        to: NodeId,
+        link: LinkId,
+    },
+    LinkDownArrive {
+        to: NodeId,
+        link: LinkId,
+    },
+}
+
+#[derive(Debug)]
+struct Link {
+    a: NodeId,
+    b: NodeId,
+    tech: Technology,
+    /// While the responder has not yet accepted/rejected: the initiator
+    /// waiting for the result.
+    pending: Option<(NodeId, AttemptId)>,
+    /// Latest scheduled arrival toward `a` / toward `b`. The thesis's
+    /// BTPlugin "offers ordered and reliable data delivery" (L2CAP), so
+    /// frames on one link must not overtake each other even though their
+    /// individual transfer times are sampled independently.
+    last_arrival_to_a: SimTime,
+    last_arrival_to_b: SimTime,
+    /// Whether the degradation warning (peer near the edge of range) has
+    /// already been raised for this link.
+    degraded_notified: bool,
+}
+
+impl Link {
+    fn other(&self, node: NodeId) -> NodeId {
+        if node == self.a {
+            self.b
+        } else {
+            self.a
+        }
+    }
+
+    /// Returns the FIFO-corrected arrival time of a message toward `to`
+    /// whose raw transfer would land at `raw`, and records it.
+    fn fifo_arrival(&mut self, to: NodeId, raw: SimTime) -> SimTime {
+        let last = if to == self.a {
+            &mut self.last_arrival_to_a
+        } else {
+            &mut self.last_arrival_to_b
+        };
+        let at = raw.max(*last + Duration::from_micros(1));
+        *last = at;
+        at
+    }
+}
+
+struct NodeRt<A> {
+    name: String,
+    daemon: Daemon,
+    app: A,
+    lib: Library,
+    scheduled_wakes: BTreeSet<SimTime>,
+}
+
+/// A deterministic simulation of many PeerHood devices and their
+/// applications.
+///
+/// See the [crate-level example](crate) for basic use. The typical
+/// experiment loop is: build nodes, [`Cluster::start`], then alternate
+/// [`Cluster::run_until`] / [`Cluster::with_app`] to script user actions and
+/// observe application state.
+pub struct Cluster<A> {
+    world: World,
+    queue: EventQueue<Ev>,
+    nodes: Vec<NodeRt<A>>,
+    links: BTreeMap<LinkId, Link>,
+    next_link: u64,
+    rng: SimRng,
+    trace: Trace,
+    started: bool,
+}
+
+impl<A: Application> Cluster<A> {
+    /// Creates an empty cluster; all randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Cluster {
+            world: World::new(),
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            links: BTreeMap::new(),
+            next_link: 0,
+            rng: SimRng::from_seed(seed),
+            trace: Trace::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a device with a default [`DaemonConfig`] and the given
+    /// application. When the cluster is already running, the device boots at
+    /// the current virtual time (churn arrivals).
+    pub fn add_node(&mut self, builder: NodeBuilder, app: A) -> NodeId {
+        self.add_node_with(builder, |c| c, app)
+    }
+
+    /// Adds a device, letting `configure` adjust its daemon configuration.
+    pub fn add_node_with(
+        &mut self,
+        builder: NodeBuilder,
+        configure: impl FnOnce(DaemonConfig) -> DaemonConfig,
+        app: A,
+    ) -> NodeId {
+        let id = self.world.add_node(builder);
+        let info = DeviceInfo::new(
+            DeviceId::new(id.index() as u64),
+            self.world.name(id),
+            self.world.technologies(id).iter().copied(),
+        );
+        let config = configure(DaemonConfig::new(info));
+        self.nodes.push(NodeRt {
+            name: self.world.name(id).to_owned(),
+            daemon: Daemon::new(config),
+            app,
+            lib: Library::new(),
+            scheduled_wakes: BTreeSet::new(),
+        });
+        if self.started {
+            self.queue.schedule(self.queue.now(), Ev::Start(id));
+        }
+        id
+    }
+
+    /// Boots every device (schedules their start at the current time).
+    /// Call once after adding the initial nodes.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let now = self.queue.now();
+        for id in 0..self.nodes.len() {
+            self.queue.schedule(now, Ev::Start(NodeId::from_index(id)));
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The world map (positions, mobility, range queries).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The device name of a node.
+    pub fn name(&self, node: NodeId) -> &str {
+        &self.nodes[node.index()].name
+    }
+
+    /// The [`DeviceId`] of a node (stable mapping from the world index).
+    pub fn device_id(&self, node: NodeId) -> DeviceId {
+        DeviceId::new(node.index() as u64)
+    }
+
+    /// The node hosting a [`DeviceId`].
+    pub fn node_of(&self, device: DeviceId) -> NodeId {
+        NodeId::from_index(device.raw() as usize)
+    }
+
+    /// Read access to a node's application.
+    pub fn app(&self, node: NodeId) -> &A {
+        &self.nodes[node.index()].app
+    }
+
+    /// Read access to a node's daemon (neighbor table, registry — for tests
+    /// and diagnostics).
+    pub fn daemon(&self, node: NodeId) -> &Daemon {
+        &self.nodes[node.index()].daemon
+    }
+
+    /// The message-sequence trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Clears the message-sequence trace (e.g. between measured operations).
+    pub fn clear_trace(&mut self) {
+        self.trace = Trace::new();
+    }
+
+    /// Processes events until the queue is exhausted or the next event is
+    /// after `deadline`; the clock then stands at `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while self
+            .queue
+            .peek_time()
+            .is_some_and(|t| t <= deadline)
+        {
+            let (_, ev) = self.queue.pop().expect("peeked");
+            self.dispatch(ev);
+        }
+        self.queue.advance_to(deadline);
+    }
+
+    /// Runs for `d` of virtual time from the current instant.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Processes events until `stop` returns `true` (checked after each
+    /// event) or `deadline` passes. Returns the time at which `stop` first
+    /// held, if it did.
+    pub fn run_until_condition(
+        &mut self,
+        deadline: SimTime,
+        mut stop: impl FnMut(&Self) -> bool,
+    ) -> Option<SimTime> {
+        if stop(self) {
+            return Some(self.now());
+        }
+        while self
+            .queue
+            .peek_time()
+            .is_some_and(|t| t <= deadline)
+        {
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.dispatch(ev);
+            if stop(self) {
+                return Some(t);
+            }
+        }
+        self.queue.advance_to(deadline);
+        None
+    }
+
+    /// Runs `f` against a node's application at the current virtual time —
+    /// the hook through which scenarios script "user" actions. Any PeerHood
+    /// requests or timers the application issues are processed immediately.
+    pub fn with_app<R>(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut AppCtx<'_>) -> R) -> R {
+        let now = self.queue.now();
+        let mut timers = Vec::new();
+        let result = {
+            let rt = &mut self.nodes[node.index()];
+            let mut ctx = AppCtx::new(now, &rt.name, &mut rt.lib, &mut timers, Some(&mut self.trace));
+            f(&mut rt.app, &mut ctx)
+        };
+        self.after_app_callback(node, timers);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Start(node) => {
+                let now = self.queue.now();
+                let mut timers = Vec::new();
+                {
+                    let rt = &mut self.nodes[node.index()];
+                    let mut ctx =
+                        AppCtx::new(now, &rt.name, &mut rt.lib, &mut timers, Some(&mut self.trace));
+                    rt.app.on_start(&mut ctx);
+                }
+                self.after_app_callback(node, timers);
+                self.feed_daemon(node, DaemonInput::Tick);
+            }
+            Ev::DaemonWake(node) => {
+                let now = self.queue.now();
+                self.nodes[node.index()].scheduled_wakes.remove(&now);
+                self.feed_daemon(node, DaemonInput::Tick);
+            }
+            Ev::AppTimer(node, token) => {
+                let now = self.queue.now();
+                let mut timers = Vec::new();
+                {
+                    let rt = &mut self.nodes[node.index()];
+                    let mut ctx =
+                        AppCtx::new(now, &rt.name, &mut rt.lib, &mut timers, Some(&mut self.trace));
+                    rt.app.on_timer(token, &mut ctx);
+                }
+                self.after_app_callback(node, timers);
+            }
+            Ev::InquiryFound {
+                seeker,
+                tech,
+                found,
+            } => {
+                let now = self.queue.now();
+                // The responder must still be in range when its answer lands.
+                if self.world.reachable(seeker, found, tech, now) {
+                    let device = self.device_info(found);
+                    self.feed_daemon(
+                        seeker,
+                        DaemonInput::Plugin(PluginEvent::InquiryResponse {
+                            technology: tech,
+                            device,
+                        }),
+                    );
+                }
+            }
+            Ev::InquiryDone { node, tech } => {
+                self.feed_daemon(
+                    node,
+                    DaemonInput::Plugin(PluginEvent::InquiryComplete { technology: tech }),
+                );
+            }
+            Ev::ServiceQueryArrive { to, from } => {
+                let device = self.device_id_of(from);
+                self.feed_daemon(to, DaemonInput::Plugin(PluginEvent::ServiceQuery { device }));
+            }
+            Ev::ServiceReplyArrive { to, from, services } => {
+                let device = self.device_id_of(from);
+                self.feed_daemon(
+                    to,
+                    DaemonInput::Plugin(PluginEvent::ServiceReply { device, services }),
+                );
+            }
+            Ev::ConnectSetupDone {
+                initiator,
+                attempt,
+                target,
+                service,
+                tech,
+                resume,
+            } => {
+                let now = self.queue.now();
+                if !self.world.reachable(initiator, target, tech, now) {
+                    self.feed_daemon(
+                        initiator,
+                        DaemonInput::Plugin(PluginEvent::ConnectResult {
+                            attempt,
+                            result: Err(format!("{tech} peer out of range during setup")),
+                        }),
+                    );
+                    return;
+                }
+                let link = LinkId::new(self.next_link);
+                self.next_link += 1;
+                self.links.insert(
+                    link,
+                    Link {
+                        a: initiator,
+                        b: target,
+                        tech,
+                        pending: Some((initiator, attempt)),
+                        last_arrival_to_a: now,
+                        last_arrival_to_b: now,
+                        degraded_notified: false,
+                    },
+                );
+                let device = self.device_info(initiator);
+                self.feed_daemon(
+                    target,
+                    DaemonInput::Plugin(PluginEvent::IncomingConnection {
+                        link,
+                        device,
+                        service,
+                        technology: tech,
+                        resume,
+                    }),
+                );
+            }
+            Ev::ConnectResultArrive { to, attempt, result } => {
+                self.feed_daemon(
+                    to,
+                    DaemonInput::Plugin(PluginEvent::ConnectResult { attempt, result }),
+                );
+            }
+            Ev::FrameArrive { to, link, payload } => {
+                let now = self.queue.now();
+                let Some(l) = self.links.get(&link) else {
+                    return; // link torn down while the frame was in flight
+                };
+                if self.world.reachable(l.a, l.b, l.tech, now) {
+                    self.feed_daemon(to, DaemonInput::Plugin(PluginEvent::Frame { link, payload }));
+                } else {
+                    self.tear_down_link(link);
+                }
+            }
+            Ev::PeerClosedArrive { to, link } => {
+                self.feed_daemon(to, DaemonInput::Plugin(PluginEvent::PeerClosed { link }));
+            }
+            Ev::LinkDownArrive { to, link } => {
+                self.feed_daemon(to, DaemonInput::Plugin(PluginEvent::LinkDown { link }));
+            }
+        }
+    }
+
+    /// Schedules timers produced by an app callback and routes its queued
+    /// PeerHood requests into the daemon.
+    fn after_app_callback(&mut self, node: NodeId, timers: Vec<(SimTime, u64)>) {
+        for (at, token) in timers {
+            self.queue.schedule(at, Ev::AppTimer(node, token));
+        }
+        let requests = self.nodes[node.index()].lib.drain();
+        for req in requests {
+            self.feed_daemon(node, DaemonInput::App(req));
+        }
+    }
+
+    /// Runs the daemon input loop: daemon outputs may produce app events,
+    /// whose handlers may queue further daemon requests, and so on until
+    /// quiescent.
+    fn feed_daemon(&mut self, node: NodeId, input: DaemonInput) {
+        let mut work: VecDeque<(NodeId, DaemonInput)> = VecDeque::new();
+        work.push_back((node, input));
+        while let Some((n, input)) = work.pop_front() {
+            let now = self.queue.now();
+            let mut outs = Vec::new();
+            self.nodes[n.index()].daemon.handle(now, input, &mut outs);
+            for out in outs {
+                match out {
+                    DaemonOutput::Plugin(cmd) => self.exec_command(n, cmd),
+                    DaemonOutput::App(ev) => self.deliver_app_event(n, ev, &mut work),
+                    DaemonOutput::WakeAt(t) => self.schedule_wake(n, t),
+                }
+            }
+        }
+    }
+
+    fn deliver_app_event(
+        &mut self,
+        node: NodeId,
+        event: AppEvent,
+        work: &mut VecDeque<(NodeId, DaemonInput)>,
+    ) {
+        let now = self.queue.now();
+        let mut timers = Vec::new();
+        {
+            let rt = &mut self.nodes[node.index()];
+            let mut ctx = AppCtx::new(now, &rt.name, &mut rt.lib, &mut timers, Some(&mut self.trace));
+            rt.app.on_event(event, &mut ctx);
+        }
+        for (at, token) in timers {
+            self.queue.schedule(at, Ev::AppTimer(node, token));
+        }
+        for req in self.nodes[node.index()].lib.drain() {
+            work.push_back((node, DaemonInput::App(req)));
+        }
+    }
+
+    fn schedule_wake(&mut self, node: NodeId, at: SimTime) {
+        let at = at.max(self.queue.now());
+        if self.nodes[node.index()].scheduled_wakes.insert(at) {
+            self.queue.schedule(at, Ev::DaemonWake(node));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plugin command execution (the simulated BT/WLAN/GPRS plugins)
+    // ------------------------------------------------------------------
+
+    fn exec_command(&mut self, node: NodeId, cmd: PluginCommand) {
+        let now = self.queue.now();
+        match cmd {
+            PluginCommand::StartInquiry { technology } => {
+                let profile = technology.profile();
+                let neighbors = self.world.neighbors(node, technology, now);
+                for nb in neighbors {
+                    if profile.discovery_misses(&mut self.rng) {
+                        continue;
+                    }
+                    let offset = profile.response_offset(&mut self.rng);
+                    self.queue.schedule(
+                        now + offset,
+                        Ev::InquiryFound {
+                            seeker: node,
+                            tech: technology,
+                            found: nb,
+                        },
+                    );
+                }
+                self.queue.schedule(
+                    now + profile.inquiry_duration,
+                    Ev::InquiryDone {
+                        node,
+                        tech: technology,
+                    },
+                );
+            }
+            PluginCommand::QueryServices { device, technology } => {
+                let target = self.node_of(device);
+                if self.world.reachable(node, target, technology, now) {
+                    let delay = technology
+                        .profile()
+                        .transfer_time(SDP_QUERY_BYTES, &mut self.rng);
+                    self.queue.schedule(
+                        now + delay,
+                        Ev::ServiceQueryArrive {
+                            to: target,
+                            from: node,
+                        },
+                    );
+                } else {
+                    // Unanswerable: deliver an empty reply after a timeout so
+                    // pending application requests resolve.
+                    self.queue.schedule(
+                        now + SDP_TIMEOUT,
+                        Ev::ServiceReplyArrive {
+                            to: node,
+                            from: target,
+                            services: Vec::new(),
+                        },
+                    );
+                }
+            }
+            PluginCommand::ServiceQueryReply { device, services } => {
+                let target = self.node_of(device);
+                // Route the reply back over the cheapest shared technology.
+                let tech = Technology::ALL
+                    .into_iter()
+                    .find(|&t| self.world.reachable(node, target, t, now));
+                if let Some(tech) = tech {
+                    let bytes = SDP_QUERY_BYTES + SDP_RECORD_BYTES * services.len();
+                    let delay = tech.profile().transfer_time(bytes, &mut self.rng);
+                    self.queue.schedule(
+                        now + delay,
+                        Ev::ServiceReplyArrive {
+                            to: target,
+                            from: node,
+                            services,
+                        },
+                    );
+                }
+            }
+            PluginCommand::OpenConnection {
+                attempt,
+                device,
+                service,
+                technology,
+                resume,
+            } => {
+                let target = self.node_of(device);
+                let delay = technology.profile().connect_time(&mut self.rng);
+                if self.world.reachable(node, target, technology, now) {
+                    self.queue.schedule(
+                        now + delay,
+                        Ev::ConnectSetupDone {
+                            initiator: node,
+                            attempt,
+                            target,
+                            service,
+                            tech: technology,
+                            resume,
+                        },
+                    );
+                } else {
+                    // A failed paging attempt costs about the setup time.
+                    self.queue.schedule(
+                        now + delay,
+                        Ev::ConnectResultArrive {
+                            to: node,
+                            attempt,
+                            result: Err(format!("{technology} peer out of range")),
+                        },
+                    );
+                }
+            }
+            PluginCommand::AcceptConnection { link } => {
+                if let Some(l) = self.links.get_mut(&link) {
+                    if let Some((initiator, attempt)) = l.pending.take() {
+                        let delay = l.tech.profile().transfer_time(CTRL_BYTES, &mut self.rng);
+                        self.queue.schedule(
+                            now + delay,
+                            Ev::ConnectResultArrive {
+                                to: initiator,
+                                attempt,
+                                result: Ok(link),
+                            },
+                        );
+                    }
+                }
+            }
+            PluginCommand::RejectConnection { link, reason } => {
+                if let Some(l) = self.links.remove(&link) {
+                    if let Some((initiator, attempt)) = l.pending {
+                        let delay = l.tech.profile().transfer_time(CTRL_BYTES, &mut self.rng);
+                        self.queue.schedule(
+                            now + delay,
+                            Ev::ConnectResultArrive {
+                                to: initiator,
+                                attempt,
+                                result: Err(reason),
+                            },
+                        );
+                    }
+                }
+            }
+            PluginCommand::SendFrame { link, payload } => {
+                let Some(l) = self.links.get_mut(&link) else {
+                    return;
+                };
+                let (a, b, tech) = (l.a, l.b, l.tech);
+                let peer = l.other(node);
+                let delay = tech.profile().transfer_time(payload.len(), &mut self.rng);
+                let at = l.fifo_arrival(peer, now + delay);
+                if self.world.reachable(a, b, tech, now) {
+                    self.queue.schedule(
+                        at,
+                        Ev::FrameArrive {
+                            to: peer,
+                            link,
+                            payload,
+                        },
+                    );
+                    // Edge-of-range warning: past 90 % of the radio range
+                    // the plugin reports a weakening link (once), letting
+                    // the daemon hand over make-before-break.
+                    let range = tech.profile().range_m;
+                    if range.is_finite() {
+                        let distance = self.world.distance(a, b, now);
+                        let l = self.links.get_mut(&link).expect("checked above");
+                        if distance > 0.9 * range {
+                            if !l.degraded_notified {
+                                l.degraded_notified = true;
+                                self.feed_daemon(
+                                    node,
+                                    DaemonInput::Plugin(PluginEvent::LinkDegraded { link }),
+                                );
+                            }
+                        } else {
+                            l.degraded_notified = false;
+                        }
+                    }
+                } else {
+                    self.tear_down_link(link);
+                }
+            }
+            PluginCommand::CloseLink { link } => {
+                if let Some(mut l) = self.links.remove(&link) {
+                    let peer = l.other(node);
+                    let delay = l.tech.profile().transfer_time(CTRL_BYTES, &mut self.rng);
+                    // The orderly close must not overtake in-flight frames.
+                    let at = l.fifo_arrival(peer, now + delay);
+                    self.queue
+                        .schedule(at, Ev::PeerClosedArrive { to: peer, link });
+                }
+            }
+        }
+    }
+
+    /// Reports a lost radio link to both endpoints after the transport's
+    /// detection delay and forgets it.
+    fn tear_down_link(&mut self, link: LinkId) {
+        if let Some(l) = self.links.remove(&link) {
+            let at = self.queue.now() + LINK_DOWN_DETECT;
+            self.queue.schedule(at, Ev::LinkDownArrive { to: l.a, link });
+            self.queue.schedule(at, Ev::LinkDownArrive { to: l.b, link });
+        }
+    }
+
+    fn device_info(&self, node: NodeId) -> DeviceInfo {
+        DeviceInfo::new(
+            self.device_id(node),
+            self.nodes[node.index()].name.clone(),
+            self.world.technologies(node).iter().copied(),
+        )
+    }
+
+    fn device_id_of(&self, node: NodeId) -> DeviceId {
+        self.device_id(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::geometry::Point2;
+    use netsim::mobility::ScriptedPath;
+
+    /// Records everything that happens to it; scripts nothing.
+    #[derive(Default)]
+    struct Recorder {
+        appeared: Vec<String>,
+        disappeared: Vec<String>,
+        service_lists: Vec<(DeviceId, Vec<String>)>,
+        connected: Vec<crate::types::ConnId>,
+        incoming: Vec<crate::types::ConnId>,
+        data: Vec<Bytes>,
+        closed: Vec<crate::types::CloseReason>,
+        handover: Vec<(Technology, Technology)>,
+        register_community: bool,
+    }
+
+    impl Application for Recorder {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            if self.register_community {
+                ctx.peerhood()
+                    .register_service(ServiceInfo::new("PeerHoodCommunity"));
+            }
+        }
+
+        fn on_event(&mut self, event: AppEvent, _ctx: &mut AppCtx<'_>) {
+            match event {
+                AppEvent::DeviceAppeared(i) => self.appeared.push(i.name),
+                AppEvent::DeviceDisappeared(i) => self.disappeared.push(i.name),
+                AppEvent::ServiceList { device, services } => self.service_lists.push((
+                    device,
+                    services.iter().map(|s| s.name().to_owned()).collect(),
+                )),
+                AppEvent::Connected { conn, .. } => self.connected.push(conn),
+                AppEvent::Incoming { conn, .. } => self.incoming.push(conn),
+                AppEvent::Data { payload, .. } => self.data.push(payload),
+                AppEvent::Closed { reason, .. } => self.closed.push(reason),
+                AppEvent::Handover { from, to, .. } => self.handover.push((from, to)),
+                _ => {}
+            }
+        }
+    }
+
+    fn recorder(register: bool) -> Recorder {
+        Recorder {
+            register_community: register,
+            ..Recorder::default()
+        }
+    }
+
+    #[test]
+    fn discovery_within_one_bluetooth_inquiry() {
+        let mut c = Cluster::new(1);
+        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
+        let b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(false));
+        c.start();
+        c.run_until(SimTime::from_secs(12));
+        assert!(c.app(a).appeared.contains(&"bob".to_owned()));
+        assert!(c.app(b).appeared.contains(&"alice".to_owned()));
+        assert!(c.daemon(a).neighbors().contains(c.device_id(b)));
+    }
+
+    #[test]
+    fn out_of_range_devices_are_not_discovered_over_bluetooth() {
+        let mut c = Cluster::new(1);
+        let a = c.add_node(
+            NodeBuilder::new("alice")
+                .at(Point2::new(0.0, 0.0))
+                .with_technologies([Technology::Bluetooth]),
+            recorder(false),
+        );
+        let _b = c.add_node(
+            NodeBuilder::new("bob")
+                .at(Point2::new(500.0, 0.0))
+                .with_technologies([Technology::Bluetooth]),
+            recorder(false),
+        );
+        c.start();
+        c.run_until(SimTime::from_secs(60));
+        assert!(c.app(a).appeared.is_empty());
+    }
+
+    #[test]
+    fn auto_service_discovery_populates_cache() {
+        let mut c = Cluster::new(2);
+        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
+        let b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(true));
+        c.start();
+        c.run_until(SimTime::from_secs(15));
+        let entry = c.daemon(a).neighbors().get(c.device_id(b)).expect("bob known");
+        let (_, services) = entry.services.as_ref().expect("services cached");
+        assert_eq!(services[0].name(), "PeerHoodCommunity");
+    }
+
+    #[test]
+    fn connect_send_receive_close_round_trip() {
+        let mut c = Cluster::new(3);
+        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
+        let b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(true));
+        c.start();
+        c.run_until(SimTime::from_secs(15));
+
+        let bob = c.device_id(b);
+        c.with_app(a, |_, ctx| ctx.peerhood().connect(bob, "PeerHoodCommunity"));
+        c.run_until(SimTime::from_secs(20));
+        assert_eq!(c.app(a).connected.len(), 1, "connect should succeed");
+        assert_eq!(c.app(b).incoming.len(), 1);
+
+        let conn = c.app(a).connected[0];
+        c.with_app(a, |_, ctx| ctx.peerhood().send(conn, Bytes::from_static(b"ping")));
+        c.run_until(SimTime::from_secs(21));
+        assert_eq!(c.app(b).data, vec![Bytes::from_static(b"ping")]);
+
+        c.with_app(a, |_, ctx| ctx.peerhood().close(conn));
+        c.run_until(SimTime::from_secs(22));
+        assert!(c
+            .app(b)
+            .closed.contains(&crate::types::CloseReason::PeerClose));
+    }
+
+    #[test]
+    fn connect_to_unregistered_service_fails() {
+        let mut c = Cluster::new(4);
+        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
+        let b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(false));
+        c.start();
+        c.run_until(SimTime::from_secs(15));
+        let bob = c.device_id(b);
+        c.with_app(a, |_, ctx| ctx.peerhood().connect(bob, "Nothing"));
+        c.run_until(SimTime::from_secs(25));
+        assert!(c.app(a).connected.is_empty());
+    }
+
+    #[test]
+    fn departure_is_noticed_after_ttl() {
+        let mut c = Cluster::new(5);
+        let ttl = Duration::from_secs(30);
+        let a = c.add_node_with(
+            NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+            |cfg| cfg.with_neighbor_ttl(ttl),
+            recorder(false),
+        );
+        // Bob walks away after 40 s (Bluetooth-only so he truly vanishes).
+        let _b = c.add_node(
+            NodeBuilder::new("bob")
+                .moving(ScriptedPath::new(vec![
+                    (SimTime::from_secs(0), Point2::new(4.0, 0.0)),
+                    (SimTime::from_secs(40), Point2::new(4.0, 0.0)),
+                    (SimTime::from_secs(60), Point2::new(800.0, 0.0)),
+                ]))
+                .with_technologies([Technology::Bluetooth]),
+            recorder(false),
+        );
+        c.start();
+        c.run_until(SimTime::from_secs(40));
+        assert!(c.app(a).appeared.contains(&"bob".to_owned()));
+        c.run_until(SimTime::from_secs(120));
+        assert!(
+            c.app(a).disappeared.contains(&"bob".to_owned()),
+            "disappearance must be reported after TTL"
+        );
+    }
+
+    #[test]
+    fn seamless_handover_from_bluetooth_to_wlan() {
+        let mut c = Cluster::new(6);
+        let a = c.add_node(
+            NodeBuilder::new("alice")
+                .at(Point2::new(0.0, 0.0))
+                .with_technologies([Technology::Bluetooth, Technology::Wlan]),
+            recorder(false),
+        );
+        // Bob starts 4 m away (BT range) and at t=30 s walks to 40 m
+        // (outside BT, inside WLAN).
+        let b = c.add_node(
+            NodeBuilder::new("bob")
+                .moving(ScriptedPath::new(vec![
+                    (SimTime::from_secs(0), Point2::new(4.0, 0.0)),
+                    (SimTime::from_secs(30), Point2::new(4.0, 0.0)),
+                    (SimTime::from_secs(45), Point2::new(40.0, 0.0)),
+                ]))
+                .with_technologies([Technology::Bluetooth, Technology::Wlan]),
+            recorder(true),
+        );
+        c.start();
+        c.run_until(SimTime::from_secs(20));
+        let bob = c.device_id(b);
+        c.with_app(a, |_, ctx| ctx.peerhood().connect(bob, "PeerHoodCommunity"));
+        c.run_until(SimTime::from_secs(25));
+        assert_eq!(c.app(a).connected.len(), 1, "initial BT connect");
+        let conn = c.app(a).connected[0];
+
+        // Keep the connection chatty so the link loss is noticed: send a
+        // frame every 2 s from t=26 on.
+        for t in (26..70).step_by(2) {
+            c.run_until(SimTime::from_secs(t));
+            c.with_app(a, |_, ctx| {
+                ctx.peerhood().send(conn, Bytes::from_static(b"chunk"))
+            });
+        }
+        c.run_until(SimTime::from_secs(80));
+        assert!(
+            c.app(a)
+                .handover
+                .contains(&(Technology::Bluetooth, Technology::Wlan)),
+            "initiator should hand over: {:?}",
+            c.app(a).handover
+        );
+        assert!(
+            c.app(b)
+                .handover
+                .contains(&(Technology::Bluetooth, Technology::Wlan)),
+            "responder should rebind: {:?}",
+            c.app(b).handover
+        );
+        assert!(c.app(a).closed.is_empty(), "connection must survive");
+        // Frames kept flowing after the handover.
+        assert!(c.app(b).data.len() >= 20, "got {}", c.app(b).data.len());
+    }
+
+    #[test]
+    fn proactive_handover_fires_before_the_link_breaks() {
+        // Bob walks slowly from 4 m to 14 m: the link degrades past 9 m
+        // (90 % of Bluetooth range) well before it breaks at 10 m, so the
+        // connection migrates to WLAN with zero frame loss and no
+        // LinkDown-induced closure.
+        let mut c = Cluster::new(33);
+        let a = c.add_node(
+            NodeBuilder::new("alice")
+                .at(Point2::new(0.0, 0.0))
+                .with_technologies([Technology::Bluetooth, Technology::Wlan]),
+            recorder(false),
+        );
+        let b = c.add_node(
+            NodeBuilder::new("bob")
+                .moving(ScriptedPath::new(vec![
+                    (SimTime::from_secs(0), Point2::new(4.0, 0.0)),
+                    (SimTime::from_secs(30), Point2::new(4.0, 0.0)),
+                    (SimTime::from_secs(130), Point2::new(14.0, 0.0)),
+                ]))
+                .with_technologies([Technology::Bluetooth, Technology::Wlan]),
+            recorder(true),
+        );
+        c.start();
+        c.run_until(SimTime::from_secs(20));
+        let bob = c.device_id(b);
+        c.with_app(a, |_, ctx| ctx.peerhood().connect(bob, "PeerHoodCommunity"));
+        c.run_until(SimTime::from_secs(25));
+        assert_eq!(c.app(a).connected.len(), 1);
+        let conn = c.app(a).connected[0];
+
+        const CHUNKS: usize = 50;
+        for i in 0..CHUNKS {
+            c.run_until(SimTime::from_secs(26 + 2 * i as u64));
+            c.with_app(a, |_, ctx| {
+                ctx.peerhood().send(conn, Bytes::from_static(b"chunk"))
+            });
+        }
+        c.run_until(SimTime::from_secs(140));
+        assert!(
+            c.app(a)
+                .handover
+                .contains(&(Technology::Bluetooth, Technology::Wlan)),
+            "handover should have happened: {:?}",
+            c.app(a).handover
+        );
+        assert!(c.app(a).closed.is_empty(), "connection never closed");
+        assert_eq!(
+            c.app(b).data.len(),
+            CHUNKS,
+            "make-before-break loses no frames"
+        );
+    }
+
+    #[test]
+    fn connections_prefer_bluetooth_over_wlan_over_gprs() {
+        // Both peers carry all three radios and sit 3 m apart: the daemon
+        // must pick Bluetooth (the cheapest) for the connection.
+        let mut c = Cluster::new(21);
+        let a = c.add_node(NodeBuilder::new("a").at(Point2::new(0.0, 0.0)), recorder(false));
+        let b = c.add_node(NodeBuilder::new("b").at(Point2::new(3.0, 0.0)), recorder(true));
+        c.start();
+        c.run_until(SimTime::from_secs(15));
+        let bob = c.device_id(b);
+        c.with_app(a, |_, ctx| ctx.peerhood().connect(bob, "PeerHoodCommunity"));
+        c.run_until(SimTime::from_secs(20));
+        assert_eq!(c.app(a).connected.len(), 1);
+        // The neighbor entry confirms Bluetooth visibility was preferred.
+        let entry = c.daemon(a).neighbors().get(bob).expect("known");
+        assert_eq!(entry.preferred_technology(), Some(Technology::Bluetooth));
+    }
+
+    #[test]
+    fn distant_peers_connect_over_gprs_only() {
+        // 5 km apart: Bluetooth and WLAN are out; GPRS still carries the
+        // connection through the operator proxy.
+        let mut c = Cluster::new(22);
+        let a = c.add_node(NodeBuilder::new("a").at(Point2::new(0.0, 0.0)), recorder(false));
+        let b = c.add_node(
+            NodeBuilder::new("b").at(Point2::new(5_000.0, 0.0)),
+            recorder(true),
+        );
+        c.start();
+        c.run_until(SimTime::from_secs(40));
+        let bob = c.device_id(b);
+        let entry = c.daemon(a).neighbors().get(bob).expect("GPRS-visible");
+        assert_eq!(entry.visible_technologies(), vec![Technology::Gprs]);
+        c.with_app(a, |_, ctx| ctx.peerhood().connect(bob, "PeerHoodCommunity"));
+        c.run_until(SimTime::from_secs(50));
+        assert_eq!(c.app(a).connected.len(), 1, "GPRS connection established");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        fn run() -> (Vec<String>, usize) {
+            let mut c = Cluster::new(77);
+            let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
+            let _b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(true));
+            let _d = c.add_node(NodeBuilder::new("carol").at(Point2::new(0.0, 5.0)), recorder(true));
+            c.start();
+            c.run_until(SimTime::from_secs(30));
+            (c.app(a).appeared.clone(), c.trace().len())
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn late_node_boots_when_added_after_start() {
+        let mut c = Cluster::new(8);
+        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
+        c.start();
+        c.run_until(SimTime::from_secs(30));
+        assert!(c.app(a).appeared.is_empty());
+        let _late = c.add_node(NodeBuilder::new("late").at(Point2::new(3.0, 0.0)), recorder(false));
+        c.run_until(SimTime::from_secs(60));
+        assert!(c.app(a).appeared.contains(&"late".to_owned()));
+    }
+
+    #[test]
+    fn run_until_condition_reports_first_hit() {
+        let mut c = Cluster::new(9);
+        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
+        let _b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(false));
+        c.start();
+        let hit = c.run_until_condition(SimTime::from_secs(60), |c| !c.app(a).appeared.is_empty());
+        let t = hit.expect("bob should appear within a minute");
+        assert!(t <= SimTime::from_millis(10_240 + 500), "found at {t}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Core identifier and device types shared across the middleware.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use netsim::Technology;
+
+/// Globally unique identifier of a personal trusted device (PTD).
+///
+/// In the simulator this is derived from the world node index; in the live
+/// TCP driver it is assigned from configuration. It plays the role of the
+/// Bluetooth device address / IP identity that PeerHood's plugins expose.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(u64);
+
+impl DeviceId {
+    /// Creates a device identifier from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        DeviceId(raw)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DeviceId({})", self.0)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Descriptive information about a device, as learned through discovery.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceInfo {
+    /// Unique identifier.
+    pub id: DeviceId,
+    /// Human-readable device name (the PTD owner's device name).
+    pub name: String,
+    /// Technologies the device is equipped with.
+    pub technologies: Vec<Technology>,
+}
+
+impl DeviceInfo {
+    /// Creates device info.
+    pub fn new(
+        id: DeviceId,
+        name: impl Into<String>,
+        technologies: impl IntoIterator<Item = Technology>,
+    ) -> Self {
+        let mut technologies: Vec<Technology> = technologies.into_iter().collect();
+        technologies.sort();
+        technologies.dedup();
+        DeviceInfo {
+            id,
+            name: name.into(),
+            technologies,
+        }
+    }
+}
+
+/// Application-facing identifier of one PeerHood connection endpoint.
+///
+/// Allocated by the local daemon; the same underlying link has a different
+/// `ConnId` at each end.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConnId(u64);
+
+impl ConnId {
+    /// Creates a connection identifier from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        ConnId(raw)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConnId({})", self.0)
+    }
+}
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// Driver-scoped identifier of a transport link between two daemons.
+///
+/// Allocated by whichever driver hosts the daemons (the simulator cluster or
+/// the live TCP runtime); opaque to the daemon, which merely echoes it in
+/// plugin commands.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(u64);
+
+impl LinkId {
+    /// Creates a link identifier from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        LinkId(raw)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LinkId({})", self.0)
+    }
+}
+
+/// Identifier of one outgoing connection attempt, used to correlate
+/// [`PluginCommand::OpenConnection`](crate::plugin::PluginCommand) with its
+/// [`PluginEvent::ConnectResult`](crate::plugin::PluginEvent).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttemptId(u64);
+
+impl AttemptId {
+    /// Creates an attempt identifier from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        AttemptId(raw)
+    }
+
+    /// The raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for AttemptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AttemptId({})", self.0)
+    }
+}
+
+/// A token identifying a logical connection across a seamless handover.
+///
+/// Minted by the connection initiator as `(initiator device, initiator conn
+/// id)`; presented again when re-establishing the connection over an
+/// alternative technology so the responder can splice the new link into the
+/// existing logical connection instead of announcing a fresh one.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResumeToken {
+    /// The device that originally initiated the connection.
+    pub initiator: DeviceId,
+    /// The initiator-side connection id.
+    pub conn: ConnId,
+}
+
+/// Why a connection ended.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CloseReason {
+    /// The local application closed it.
+    LocalClose,
+    /// The remote peer closed it.
+    PeerClose,
+    /// The radio link was lost and could not be recovered.
+    LinkLost,
+    /// The link was lost and seamless handover to another technology also
+    /// failed.
+    HandoverFailed,
+}
+
+impl fmt::Display for CloseReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CloseReason::LocalClose => "closed locally",
+            CloseReason::PeerClose => "closed by peer",
+            CloseReason::LinkLost => "link lost",
+            CloseReason::HandoverFailed => "handover failed",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_raw() {
+        assert_eq!(DeviceId::new(5).raw(), 5);
+        assert_eq!(ConnId::new(6).raw(), 6);
+        assert_eq!(LinkId::new(7).raw(), 7);
+        assert_eq!(AttemptId::new(8).raw(), 8);
+    }
+
+    #[test]
+    fn device_info_normalizes_technologies() {
+        let info = DeviceInfo::new(
+            DeviceId::new(1),
+            "phone",
+            [Technology::Wlan, Technology::Bluetooth, Technology::Wlan],
+        );
+        assert_eq!(
+            info.technologies,
+            vec![Technology::Bluetooth, Technology::Wlan]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DeviceId::new(2).to_string(), "dev2");
+        assert_eq!(ConnId::new(3).to_string(), "conn3");
+        assert_eq!(CloseReason::LinkLost.to_string(), "link lost");
+    }
+
+    #[test]
+    fn device_id_serde() {
+        let id = DeviceId::new(42);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(serde_json::from_str::<DeviceId>(&json).unwrap(), id);
+    }
+}

@@ -1,0 +1,137 @@
+//! Static literature tables from the thesis, reproduced as data.
+//!
+//! Tables 1 and 2 of the thesis carry no measurable system behaviour (they
+//! survey WLAN standards and SNS user counts as of 2008); they are kept
+//! here as documented constants so `repro tables-static` can reprint them
+//! and so the numbers the text cites stay source-controlled.
+
+/// One row of Table 1 (WLAN standards).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WlanStandard {
+    /// Standard name.
+    pub standard: &'static str,
+    /// Claimed data rate.
+    pub data_rate: &'static str,
+    /// Security mechanisms listed by the thesis.
+    pub security: &'static str,
+}
+
+/// Table 1: WLAN standards (source: the thesis, after WLANA).
+pub const WLAN_STANDARDS: &[WlanStandard] = &[
+    WlanStandard {
+        standard: "IEEE 802.11",
+        data_rate: "up to 2 Mbps in the 2.4 GHz band",
+        security: "WEP, WPA",
+    },
+    WlanStandard {
+        standard: "IEEE 802.11a (Wi-Fi)",
+        data_rate: "up to 54 Mbps in the 5 GHz band",
+        security: "WEP and WPA",
+    },
+    WlanStandard {
+        standard: "IEEE 802.11b (Wi-Fi)",
+        data_rate: "up to 11 Mbps in the 2.4 GHz band",
+        security: "WEP and WPA",
+    },
+    WlanStandard {
+        standard: "IEEE 802.11g (Wi-Fi)",
+        data_rate: "up to 54 Mbps in the 2.4 GHz band",
+        security: "WEP and WPA",
+    },
+    WlanStandard {
+        standard: "IEEE 802.16/a (WiMAX)",
+        data_rate: "10 to 66 GHz range",
+        security: "DES3 and AES",
+    },
+];
+
+/// One row of Table 2 (social networking sites and registered users,
+/// 2008).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnsCatalogEntry {
+    /// Site name.
+    pub name: &'static str,
+    /// Site URL.
+    pub url: &'static str,
+    /// The thesis's description of its focus.
+    pub focus: &'static str,
+    /// Registered users as reported in 2008.
+    pub registered_users: u64,
+}
+
+/// Table 2: social networking sites and their registered users (2008).
+pub const SNS_CATALOG: &[SnsCatalogEntry] = &[
+    SnsCatalogEntry {
+        name: "MySpace",
+        url: "myspace.com",
+        focus: "Videos, movies, IM, news, blogs, chat",
+        registered_users: 217_000_000,
+    },
+    SnsCatalogEntry {
+        name: "Facebook",
+        url: "facebook.com",
+        focus: "Upload photos, post videos, get news, tag friends",
+        registered_users: 58_000_000,
+    },
+    SnsCatalogEntry {
+        name: "Friendster",
+        url: "friendster.com",
+        focus: "Search for and connect with friends and classmates",
+        registered_users: 50_000_000,
+    },
+    SnsCatalogEntry {
+        name: "Classmates",
+        url: "classmates.com",
+        focus: "School, college, work and military groups",
+        registered_users: 40_000_000,
+    },
+    SnsCatalogEntry {
+        name: "Windows Live Spaces",
+        url: "spaces.live.com",
+        focus: "Blogging",
+        registered_users: 40_000_000,
+    },
+    SnsCatalogEntry {
+        name: "Broadcaster",
+        url: "broadcaster.com",
+        focus: "Video sharing and webcam chat",
+        registered_users: 26_000_000,
+    },
+    SnsCatalogEntry {
+        name: "Fotolog",
+        url: "fotolog.com",
+        focus: "338 million photos around the world",
+        registered_users: 12_695_007,
+    },
+    SnsCatalogEntry {
+        name: "Flickr",
+        url: "flickr.com",
+        focus: "Photo sharing",
+        registered_users: 4_000_000,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_is_sorted_by_user_count_like_the_thesis() {
+        let users: Vec<u64> = SNS_CATALOG.iter().map(|e| e.registered_users).collect();
+        let mut sorted = users.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(users, sorted);
+    }
+
+    #[test]
+    fn myspace_tops_the_2008_list() {
+        assert_eq!(SNS_CATALOG[0].name, "MySpace");
+        assert_eq!(SNS_CATALOG[0].registered_users, 217_000_000);
+    }
+
+    #[test]
+    fn table1_has_five_standards() {
+        assert_eq!(WLAN_STANDARDS.len(), 5);
+        assert!(WLAN_STANDARDS.iter().any(|w| w.standard.contains("WiMAX")));
+    }
+}

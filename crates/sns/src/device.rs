@@ -1,0 +1,145 @@
+//! Access-device profiles: the two Nokia devices of Table 8.
+//!
+//! The same SNS task takes visibly longer on the N95 than on the N810 in
+//! the thesis's measurements (e.g. viewing the member list: 8 s vs 31 s on
+//! Facebook). The N810 internet tablet had a larger screen, a hardware
+//! keyboard and a desktop-class browser; the N95's S60 browser rendered the
+//! same pages much more slowly and text entry on its keypad was slower.
+//! These profiles capture that as render and input multipliers.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+use netsim::SimRng;
+
+/// Browser/input characteristics of one access device, including the data
+/// link it reaches the internet over (the N810 had no cellular modem — it
+/// browsed over WLAN/operator hotspots — while the N95 used the 3G/EDGE
+/// network; a large part of Table 8's device gap is this link difference).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AccessDevice {
+    /// Device name as it appears in Table 8.
+    pub name: String,
+    /// The data link this device browses over.
+    pub link: crate::network::CellularLink,
+    /// Base time to lay out and render an average page.
+    pub render_base: Duration,
+    /// Multiplier on page complexity (heavier pages scale with this).
+    pub render_factor: f64,
+    /// Base time the user spends scanning a rendered page before acting
+    /// (small screens take longer to read).
+    pub scan_base: Duration,
+    /// Time to type one character of user input.
+    pub per_char_input: Duration,
+    /// Time to locate and activate a link/button on the rendered page.
+    pub click_time: Duration,
+    /// Jitter applied to interaction times.
+    pub jitter: Duration,
+}
+
+impl AccessDevice {
+    /// The Nokia N810 internet tablet (Maemo, hardware keyboard,
+    /// desktop-class browser, WLAN connectivity).
+    pub fn nokia_n810() -> Self {
+        AccessDevice {
+            name: "Nokia N810".to_owned(),
+            link: crate::network::CellularLink {
+                rtt: Duration::from_millis(180),
+                rtt_jitter: Duration::from_millis(60),
+                bandwidth_bps: 900_000.0,
+            },
+            render_base: Duration::from_millis(1_600),
+            render_factor: 1.0,
+            scan_base: Duration::from_millis(3_200),
+            per_char_input: Duration::from_millis(350),
+            click_time: Duration::from_millis(1_500),
+            jitter: Duration::from_millis(400),
+        }
+    }
+
+    /// The Nokia N95 smartphone (S60 browser, numeric keypad text entry,
+    /// 3G/EDGE cellular data).
+    pub fn nokia_n95() -> Self {
+        AccessDevice {
+            name: "Nokia N95".to_owned(),
+            link: crate::network::CellularLink {
+                rtt: Duration::from_millis(650),
+                rtt_jitter: Duration::from_millis(200),
+                bandwidth_bps: 150_000.0,
+            },
+            render_base: Duration::from_millis(3_400),
+            render_factor: 1.0,
+            scan_base: Duration::from_millis(3_600),
+            per_char_input: Duration::from_millis(750),
+            click_time: Duration::from_millis(2_800),
+            jitter: Duration::from_millis(800),
+        }
+    }
+
+    /// Samples the time to render a page of the given relative
+    /// `complexity` (1.0 = average page).
+    pub fn render_time(&self, complexity: f64, rng: &mut SimRng) -> Duration {
+        let base = self.render_base.as_secs_f64() * complexity.max(0.1) * self.render_factor;
+        rng.jittered(Duration::from_secs_f64(base), self.jitter)
+    }
+
+    /// Samples the time the user spends scanning a page of the given
+    /// complexity before their next action.
+    pub fn scan_time(&self, complexity: f64, rng: &mut SimRng) -> Duration {
+        let base = self.scan_base.as_secs_f64() * complexity.max(0.2);
+        rng.jittered(Duration::from_secs_f64(base), self.jitter)
+    }
+
+    /// Samples the time to type `chars` characters.
+    pub fn typing_time(&self, chars: usize, rng: &mut SimRng) -> Duration {
+        rng.jittered(self.per_char_input * chars as u32, self.jitter)
+    }
+
+    /// Samples the time to find and click one control.
+    pub fn click(&self, rng: &mut SimRng) -> Duration {
+        rng.jittered(self.click_time, self.jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n95_is_slower_than_n810_at_everything() {
+        let mut rng = SimRng::from_seed(1);
+        let n810 = AccessDevice::nokia_n810();
+        let n95 = AccessDevice::nokia_n95();
+        let avg = |f: &mut dyn FnMut(&mut SimRng) -> Duration, rng: &mut SimRng| -> f64 {
+            (0..50).map(|_| f(rng).as_secs_f64()).sum::<f64>() / 50.0
+        };
+        let r810 = avg(&mut |r| n810.render_time(1.0, r), &mut rng);
+        let r95 = avg(&mut |r| n95.render_time(1.0, r), &mut rng);
+        assert!(r95 > 2.0 * r810, "render {r95} vs {r810}");
+        let t810 = avg(&mut |r| n810.typing_time(10, r), &mut rng);
+        let t95 = avg(&mut |r| n95.typing_time(10, r), &mut rng);
+        assert!(t95 > 1.5 * t810, "typing {t95} vs {t810}");
+    }
+
+    #[test]
+    fn render_time_scales_with_complexity() {
+        let mut rng = SimRng::from_seed(2);
+        let dev = AccessDevice::nokia_n810();
+        let light: f64 = (0..50)
+            .map(|_| dev.render_time(0.5, &mut rng).as_secs_f64())
+            .sum();
+        let heavy: f64 = (0..50)
+            .map(|_| dev.render_time(2.0, &mut rng).as_secs_f64())
+            .sum();
+        assert!(heavy > light * 2.0);
+    }
+
+    #[test]
+    fn typing_time_is_roughly_linear() {
+        let mut rng = SimRng::from_seed(3);
+        let dev = AccessDevice::nokia_n95();
+        let short = dev.typing_time(2, &mut rng);
+        let long = dev.typing_time(30, &mut rng);
+        assert!(long > short * 5);
+    }
+}

@@ -1,0 +1,57 @@
+//! # ph-sns — the centralized social-networking-site baseline
+//!
+//! Table 8 of the thesis compares PeerHood Community against *accessing a
+//! traditional SNS (Facebook, Hi5) from a mobile device* (Nokia N810 / N95)
+//! over the cellular network. This crate is that baseline, rebuilt as a
+//! simulator:
+//!
+//! * [`central::CentralServer`] — an actual centralized SNS backend with
+//!   users, interest groups, search, join, member listings and profiles
+//!   (the centralized infrastructure the thesis says SNSs need and
+//!   PeerHood does not);
+//! * [`network::CellularLink`] — a 2008 cellular data link (RTT, bandwidth);
+//! * [`device::AccessDevice`] — browser/input characteristics of the two
+//!   Nokia devices used in the thesis experiments;
+//! * [`site::SiteProfile`] — page weights and flow lengths of a Facebook- or
+//!   Hi5-class mobile site of 2008;
+//! * [`session::SnsSession`] — scripted user sessions executing the four
+//!   Table 8 tasks against the central server while accumulating virtual
+//!   time.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use ph_sns::central::CentralServer;
+//! use ph_sns::device::AccessDevice;
+//! use ph_sns::session::SnsSession;
+//! use ph_sns::site::SiteProfile;
+//! use netsim::SimRng;
+//!
+//! let mut server = CentralServer::new();
+//! server.register("user1");
+//! server.create_group("England Football");
+//! let mut session = SnsSession::new(
+//!     SiteProfile::facebook(),
+//!     AccessDevice::nokia_n810(),
+//!     SimRng::from_seed(1),
+//! );
+//! let found = session.search_group(&mut server, "england football").expect("group exists");
+//! session.join_group(&mut server, "user1", &found);
+//! assert!(session.elapsed().as_secs() > 10, "2008 mobile SNS use is slow");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod central;
+pub mod device;
+pub mod network;
+pub mod session;
+pub mod site;
+
+pub use central::CentralServer;
+pub use device::AccessDevice;
+pub use network::CellularLink;
+pub use session::SnsSession;
+pub use site::SiteProfile;

@@ -1,0 +1,75 @@
+//! The cellular data link between a 2008 phone and the SNS.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+use netsim::SimRng;
+
+/// A cellular (GPRS/3G-era) data link model.
+///
+/// A page load issues several HTTP requests; each pays round-trip latency,
+/// and the total payload is serialized at the link's effective bandwidth.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellularLink {
+    /// Mean round-trip time per HTTP request.
+    pub rtt: Duration,
+    /// Symmetric uniform jitter on the RTT.
+    pub rtt_jitter: Duration,
+    /// Effective downlink bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+}
+
+impl CellularLink {
+    /// The operator data service used in the thesis's 2008 experiments:
+    /// a loaded 3G/EDGE mix with ~600 ms RTTs and ~140 kbit/s effective
+    /// throughput.
+    pub fn operator_2008() -> Self {
+        CellularLink {
+            rtt: Duration::from_millis(600),
+            rtt_jitter: Duration::from_millis(200),
+            bandwidth_bps: 140_000.0,
+        }
+    }
+
+    /// Samples the network time to fetch `bytes` over `requests` HTTP
+    /// round trips.
+    pub fn fetch_time(&self, requests: u32, bytes: usize, rng: &mut SimRng) -> Duration {
+        let mut total = Duration::ZERO;
+        for _ in 0..requests {
+            total += rng.jittered(self.rtt, self.rtt_jitter);
+        }
+        total + Duration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+}
+
+impl Default for CellularLink {
+    fn default() -> Self {
+        CellularLink::operator_2008()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_time_scales_with_requests_and_bytes() {
+        let link = CellularLink::operator_2008();
+        let mut rng = SimRng::from_seed(1);
+        let small = link.fetch_time(1, 10_000, &mut rng);
+        let many_requests = link.fetch_time(8, 10_000, &mut rng);
+        let big_payload = link.fetch_time(1, 200_000, &mut rng);
+        assert!(many_requests > small * 3);
+        assert!(big_payload > small * 3);
+    }
+
+    #[test]
+    fn a_2008_page_takes_seconds() {
+        let link = CellularLink::operator_2008();
+        let mut rng = SimRng::from_seed(2);
+        // 6 requests, 90 kB — a typical mobile page of the era.
+        let t = link.fetch_time(6, 90_000, &mut rng);
+        assert!(t > Duration::from_secs(5), "{t:?}");
+        assert!(t < Duration::from_secs(20), "{t:?}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Site profiles: the page weights and flow lengths of 2008 mobile SNSs.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of page a task step loads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageKind {
+    /// The search form.
+    SearchForm,
+    /// A search-results listing.
+    SearchResults,
+    /// A group's landing page.
+    GroupPage,
+    /// The confirmation page after joining a group.
+    JoinConfirmation,
+    /// A group's member listing.
+    MemberList,
+    /// A member's profile page (the heaviest page of the era: photos,
+    /// wall, widgets).
+    ProfilePage,
+}
+
+/// Weight of one page kind on a given site.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PageWeight {
+    /// HTTP requests needed (HTML + scripts + images).
+    pub requests: u32,
+    /// Total bytes transferred.
+    pub bytes: usize,
+    /// Rendering complexity relative to an average page.
+    pub complexity: f64,
+    /// How long the user scans this page relative to the device's scan
+    /// base (reading a search-result listing takes far longer than
+    /// glancing at a confirmation page).
+    pub scan: f64,
+}
+
+/// A 2008 mobile-SNS site profile.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SiteProfile {
+    /// Site name as it appears in Table 8.
+    pub name: String,
+    /// Whether joining a group needs an extra confirmation page (Hi5's
+    /// flow did; Facebook joined in one step).
+    pub join_needs_confirmation: bool,
+    /// Per-kind page weights.
+    weights: Vec<(PageKind, PageWeight)>,
+}
+
+impl SiteProfile {
+    /// A Facebook-class site: heavier pages, tighter flows.
+    pub fn facebook() -> Self {
+        SiteProfile {
+            name: "Facebook".to_owned(),
+            join_needs_confirmation: false,
+            weights: vec![
+                (PageKind::SearchForm, PageWeight { requests: 4, bytes: 45_000, complexity: 0.6, scan: 1.5 }),
+                (PageKind::SearchResults, PageWeight { requests: 6, bytes: 85_000, complexity: 1.0, scan: 5.5 }),
+                (PageKind::GroupPage, PageWeight { requests: 7, bytes: 110_000, complexity: 1.2, scan: 3.5 }),
+                (PageKind::JoinConfirmation, PageWeight { requests: 3, bytes: 40_000, complexity: 0.5, scan: 1.0 }),
+                (PageKind::MemberList, PageWeight { requests: 4, bytes: 60_000, complexity: 0.7, scan: 1.0 }),
+                (PageKind::ProfilePage, PageWeight { requests: 8, bytes: 130_000, complexity: 1.4, scan: 1.5 }),
+            ],
+        }
+    }
+
+    /// A Hi5-class site: lighter pages, but longer flows (an extra join
+    /// confirmation, busier listing pages).
+    pub fn hi5() -> Self {
+        SiteProfile {
+            name: "Hi5".to_owned(),
+            join_needs_confirmation: true,
+            weights: vec![
+                (PageKind::SearchForm, PageWeight { requests: 3, bytes: 40_000, complexity: 0.6, scan: 1.3 }),
+                (PageKind::SearchResults, PageWeight { requests: 5, bytes: 70_000, complexity: 0.9, scan: 4.8 }),
+                (PageKind::GroupPage, PageWeight { requests: 6, bytes: 95_000, complexity: 1.1, scan: 3.0 }),
+                (PageKind::JoinConfirmation, PageWeight { requests: 4, bytes: 55_000, complexity: 0.7, scan: 1.0 }),
+                (PageKind::MemberList, PageWeight { requests: 5, bytes: 80_000, complexity: 1.0, scan: 3.2 }),
+                (PageKind::ProfilePage, PageWeight { requests: 9, bytes: 150_000, complexity: 1.6, scan: 4.5 }),
+            ],
+        }
+    }
+
+    /// The weight of one page kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is missing the kind (all constructors define
+    /// every kind).
+    pub fn weight(&self, kind: PageKind) -> &PageWeight {
+        self.weights
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, w)| w)
+            .expect("site profiles define every page kind")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_define_every_page_kind() {
+        for site in [SiteProfile::facebook(), SiteProfile::hi5()] {
+            for kind in [
+                PageKind::SearchForm,
+                PageKind::SearchResults,
+                PageKind::GroupPage,
+                PageKind::JoinConfirmation,
+                PageKind::MemberList,
+                PageKind::ProfilePage,
+            ] {
+                let w = site.weight(kind);
+                assert!(w.requests > 0 && w.bytes > 0, "{} {kind:?}", site.name);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_pages_are_the_heaviest() {
+        for site in [SiteProfile::facebook(), SiteProfile::hi5()] {
+            assert!(
+                site.weight(PageKind::ProfilePage).bytes
+                    > site.weight(PageKind::SearchForm).bytes
+            );
+        }
+    }
+
+    #[test]
+    fn hi5_join_flow_is_longer() {
+        assert!(SiteProfile::hi5().join_needs_confirmation);
+        assert!(!SiteProfile::facebook().join_needs_confirmation);
+    }
+}

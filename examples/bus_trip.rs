@@ -1,0 +1,111 @@
+//! Bus trip: an instantaneous social network forms among passengers and
+//! dissolves when one gets off — the thesis's "mobile community like in
+//! bus or airplane while travelling" (§5.1), including its noted
+//! disadvantage: "some long distance traveling members could never be
+//! together again".
+//!
+//! Run with `cargo run --example bus_trip`.
+
+use std::time::Duration;
+
+use community::node::CommunityApp;
+use community::profile::Profile;
+use community::{OpResult, SharedOutcome};
+use netsim::geometry::Vec2;
+use netsim::geometry::Point2;
+use netsim::mobility::{Offset, ScriptedPath};
+use netsim::world::NodeBuilder;
+use netsim::{SimTime, Technology};
+use peerhood::sim::Cluster;
+
+fn main() {
+    let mut cluster = Cluster::new(11);
+
+    // The bus drives 2 km in 5 minutes; passengers share its trajectory
+    // with small seat offsets, so they stay in mutual Bluetooth range for
+    // the whole ride.
+    let route = ScriptedPath::new(vec![
+        (SimTime::from_secs(0), Point2::new(0.0, 0.0)),
+        (SimTime::from_secs(300), Point2::new(2_000.0, 0.0)),
+    ]);
+    let seats = [
+        ("matti", Vec2::new(0.0, 0.0)),
+        ("liisa", Vec2::new(1.0, 1.0)),
+    ];
+    let mut nodes = Vec::new();
+    for (name, seat) in seats {
+        nodes.push(cluster.add_node(
+            NodeBuilder::new(format!("{name}-phone"))
+                .moving(Offset::new(route.clone(), seat))
+                .with_technologies([Technology::Bluetooth]),
+            CommunityApp::with_member(
+                name,
+                "pw",
+                Profile::new(name).with_interests(["travel", "Music"]),
+            ),
+        ));
+    }
+    // Pekka gets off halfway and stays at the stop.
+    let pekka_route = ScriptedPath::new(vec![
+        (SimTime::from_secs(0), Point2::new(2.0, 0.5)),
+        (SimTime::from_secs(150), Point2::new(1_000.0, 0.5)),
+        (SimTime::from_secs(151), Point2::new(1_000.0, 20.0)),
+    ]);
+    let matti = nodes[0];
+    let liisa = nodes[1];
+    let pekka = cluster.add_node(
+        NodeBuilder::new("pekka-phone")
+            .moving(pekka_route)
+            .with_technologies([Technology::Bluetooth]),
+        CommunityApp::with_member(
+            "pekka",
+            "pw",
+            Profile::new("Pekka").with_interests(["travel"]),
+        ),
+    );
+    let _ = pekka;
+
+    cluster.start();
+    cluster.run_until(SimTime::from_secs(60));
+
+    println!("== one minute into the ride ==");
+    for g in cluster.app(matti).groups() {
+        println!("matti's group {:?}: {:?}", g.label, g.members);
+    }
+
+    // Liisa shares her playlist with trusted friends; matti asks for it.
+    cluster.with_app(liisa, |app, _| {
+        app.add_trusted("matti").expect("logged in");
+        app.store_mut()
+            .require_active()
+            .expect("logged in")
+            .shared
+            .share("roadtrip.m3u", "playlist", b"track one\ntrack two".to_vec());
+    });
+    let op = cluster.with_app(matti, |app, ctx| app.view_shared_content("liisa", ctx));
+    cluster.run_for(Duration::from_secs(10));
+    match &cluster.app(matti).outcome(op).expect("completed").result {
+        OpResult::SharedContent(SharedOutcome::Listing(items)) => {
+            println!("\nliisa shares with matti: {items:?}");
+        }
+        other => println!("\nsharing failed: {other:?}"),
+    }
+
+    // Ride on past Pekka's stop.
+    cluster.run_until(SimTime::from_secs(300));
+    println!("\n== end of the ride (pekka got off at 1 km) ==");
+    for g in cluster.app(matti).groups() {
+        println!("matti's group {:?}: {:?}", g.label, g.members);
+    }
+    let travel = cluster
+        .app(matti)
+        .groups()
+        .into_iter()
+        .find(|g| g.key == "travel")
+        .expect("travel group persists on the bus");
+    assert!(
+        !travel.members.contains(&"pekka".to_owned()),
+        "pekka left the instantaneous social network"
+    );
+    println!("\n(pekka dropped out of the group when the bus left his stop behind)");
+}

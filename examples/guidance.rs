@@ -1,0 +1,135 @@
+//! Guidance system on top of PeerHood — the §4.4 companion application.
+//!
+//! "The guidance system offers guidance to travelers in some strange
+//! environment into some selected destinations", using fixed Bluetooth
+//! guidance points. A traveler walks a city-block grid; whenever they come
+//! within Bluetooth range of a guidance point, their PTD connects to its
+//! `Guidance` service, announces the destination, and receives the next
+//! direction hint.
+//!
+//! Run with `cargo run --example guidance`.
+
+use bytes::Bytes;
+use netsim::geometry::{Point2, Rect};
+use netsim::mobility::ManhattanGrid;
+use netsim::world::NodeBuilder;
+use netsim::{SimRng, SimTime, Technology};
+use peerhood::api::AppEvent;
+use peerhood::app::{AppCtx, Application};
+use peerhood::service::ServiceInfo;
+use peerhood::sim::Cluster;
+
+const SERVICE: &str = "Guidance";
+
+/// A fixed guidance point that knows which way the railway station is.
+struct GuidancePoint {
+    hint: &'static str,
+}
+
+/// The traveler's PTD: asks every guidance point it meets.
+#[derive(Default)]
+struct Traveler {
+    asked: usize,
+    hints: Vec<String>,
+}
+
+enum Node {
+    Point(GuidancePoint),
+    Traveler(Traveler),
+}
+
+impl Application for Node {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        if let Node::Point(_) = self {
+            ctx.peerhood()
+                .register_service(ServiceInfo::new(SERVICE).with_attribute("kind", "city"));
+        }
+    }
+
+    fn on_event(&mut self, event: AppEvent, ctx: &mut AppCtx<'_>) {
+        match self {
+            Node::Point(p) => {
+                if let AppEvent::Data { conn, payload } = event {
+                    // The traveler announces a destination; answer with the
+                    // local direction hint.
+                    let dest = String::from_utf8_lossy(&payload).into_owned();
+                    let reply = format!("to {dest}: {hint}", hint = p.hint);
+                    ctx.peerhood().send(conn, Bytes::from(reply.into_bytes()));
+                }
+            }
+            Node::Traveler(t) => match event {
+                AppEvent::DeviceAppeared(info) => {
+                    ctx.peerhood().request_service_list(info.id);
+                }
+                AppEvent::ServiceList { device, services } => {
+                    if services.iter().any(|s| s.name() == SERVICE) {
+                        ctx.peerhood().connect(device, SERVICE);
+                    }
+                }
+                AppEvent::Connected { conn, .. } => {
+                    t.asked += 1;
+                    ctx.peerhood().send(conn, Bytes::from_static(b"railway station"));
+                }
+                AppEvent::Data { conn, payload } => {
+                    t.hints.push(String::from_utf8_lossy(&payload).into_owned());
+                    ctx.peerhood().close(conn);
+                }
+                _ => {}
+            },
+        }
+    }
+}
+
+fn main() {
+    let mut cluster = Cluster::new(2008);
+
+    // Four guidance points at street corners of a 200 m × 200 m district.
+    let corners = [
+        (Point2::new(50.0, 50.0), "head east along Kauppakatu"),
+        (Point2::new(150.0, 50.0), "turn north at the market"),
+        (Point2::new(50.0, 150.0), "the station is south-east of here"),
+        (Point2::new(150.0, 150.0), "two blocks north, you are close"),
+    ];
+    for (i, (pos, hint)) in corners.iter().enumerate() {
+        cluster.add_node(
+            NodeBuilder::new(format!("guide{i}"))
+                .at(*pos)
+                .with_technologies([Technology::Bluetooth]),
+            Node::Point(GuidancePoint { hint }),
+        );
+    }
+
+    // The traveler wanders the block grid for fifteen minutes.
+    let traveler = cluster.add_node(
+        NodeBuilder::new("traveler-ptd")
+            .moving(ManhattanGrid::new(
+                Rect::sized(200.0, 200.0),
+                Point2::new(100.0, 100.0),
+                50.0,
+                1.4,
+                SimRng::from_seed(5),
+            ))
+            .with_technologies([Technology::Bluetooth]),
+        Node::Traveler(Traveler::default()),
+    );
+
+    cluster.start();
+    cluster.run_until(SimTime::from_secs(15 * 60));
+
+    let t = match cluster.app(traveler) {
+        Node::Traveler(t) => t,
+        Node::Point(_) => unreachable!("traveler node"),
+    };
+    println!(
+        "traveler consulted {} guidance point encounters and heard:",
+        t.asked
+    );
+    for hint in &t.hints {
+        println!("  {hint}");
+    }
+    assert!(
+        !t.hints.is_empty(),
+        "a fifteen-minute grid walk must pass at least one corner"
+    );
+    println!("\n(location-aware guidance over PeerHood, exactly as §4.4 sketches)");
+}

@@ -1,0 +1,83 @@
+//! Quickstart: two strangers' phones meet, a group forms, a message flows.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::time::Duration;
+
+use community::node::CommunityApp;
+use community::profile::Profile;
+use community::OpResult;
+use netsim::geometry::Point2;
+use netsim::world::NodeBuilder;
+use netsim::SimTime;
+use peerhood::sim::Cluster;
+
+fn main() {
+    // A deterministic world: same seed, same run.
+    let mut cluster = Cluster::new(42);
+
+    // Alice and Bob sit a few metres apart — within Bluetooth range.
+    let alice = cluster.add_node(
+        NodeBuilder::new("alice-n810").at(Point2::new(0.0, 0.0)),
+        CommunityApp::with_member(
+            "alice",
+            "secret",
+            Profile::new("Alice")
+                .with_field("city", "Lappeenranta")
+                .with_interests(["Football", "Photography"]),
+        ),
+    );
+    let bob = cluster.add_node(
+        NodeBuilder::new("bob-laptop").at(Point2::new(4.0, 0.0)),
+        CommunityApp::with_member(
+            "bob",
+            "hunter2",
+            Profile::new("Bob").with_interests(["football", "Chess"]),
+        ),
+    );
+
+    cluster.start();
+
+    // Let the PeerHood daemons inquire, discover each other, connect, and
+    // let dynamic group discovery do its thing.
+    cluster.run_until(SimTime::from_secs(30));
+
+    println!("== after 30 simulated seconds ==");
+    for (who, node) in [("alice", alice), ("bob", bob)] {
+        let app = cluster.app(node);
+        println!("{who} knows members: {:?}", app.known_members());
+        for group in app.groups() {
+            println!(
+                "{who} sees group {:?} with members {:?}",
+                group.label, group.members
+            );
+        }
+        if let (Some(start), Some(formed)) = (app.started_at(), app.first_group_at()) {
+            println!(
+                "{who}'s first group formed {:.1} s after startup (no search, no join click)",
+                formed.saturating_since(start).as_secs_f64()
+            );
+        }
+    }
+
+    // Alice messages Bob through the neighborhood.
+    let op = cluster.with_app(alice, |app, ctx| {
+        app.send_message("bob", "match tonight", "Kisapuisto at seven?", ctx)
+    });
+    cluster.run_for(Duration::from_secs(5));
+    match &cluster.app(alice).outcome(op).expect("completed").result {
+        OpResult::MessageResult { written: true } => println!("\nalice -> bob: delivered"),
+        other => println!("\nmessage failed: {other:?}"),
+    }
+    let inbox = cluster
+        .app(bob)
+        .store()
+        .active_account()
+        .expect("logged in")
+        .mailbox
+        .inbox()
+        .to_vec();
+    for mail in inbox {
+        println!("bob's inbox: {mail}");
+    }
+}

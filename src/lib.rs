@@ -1,0 +1,20 @@
+//! # peerhood-social — workspace root
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The functionality lives in
+//! the member crates:
+//!
+//! * [`netsim`] — deterministic mobile-environment simulator;
+//! * [`peerhood`] — the PeerHood middleware (daemon, library, drivers);
+//! * [`community`] — PeerHood Community, the social-networking middleware
+//!   with dynamic group discovery (the paper's contribution);
+//! * [`sns`] — the centralized SNS baseline of Table 8;
+//! * [`harness`] — the experiment harness and the `repro` binary.
+
+#![forbid(unsafe_code)]
+
+pub use community;
+pub use harness;
+pub use netsim;
+pub use peerhood;
+pub use sns;

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the full evaluation pipeline.
+//!
+//! These assert the *scientific claims* of the reproduction — every table
+//! row executes, every figure conforms, and Table 8's shape (who wins, by
+//! roughly what factor, where the crossovers fall) holds.
+
+use harness::{ablations, functionality, msc, table8};
+
+#[test]
+fn table3_every_peerhood_functionality_verified() {
+    for check in functionality::table3(424_242) {
+        assert!(check.passed, "Table 3 row {:?}: {}", check.name, check.note);
+    }
+}
+
+#[test]
+fn table6_every_opcode_maps_to_its_server_function() {
+    let checks = functionality::table6();
+    assert_eq!(checks.len(), 11);
+    for check in checks {
+        assert!(check.passed, "Table 6 row {:?}: {}", check.name, check.note);
+    }
+}
+
+#[test]
+fn table7_every_feature_exercised() {
+    let checks = functionality::table7(424_242);
+    assert!(checks.len() >= 13, "Table 7 has at least 13 features");
+    for check in checks {
+        assert!(check.passed, "Table 7 row {:?}: {}", check.name, check.note);
+    }
+}
+
+#[test]
+fn table8_reproduces_the_paper_shape() {
+    let report = table8::run(8, 77);
+    let ph = report.peerhood();
+
+    // Claim 1: PeerHood joins cost nothing (dynamic discovery pre-joined).
+    assert_eq!(ph.summaries[1].mean, 0.0);
+
+    // Claim 2: PeerHood's group search is dominated by one Bluetooth
+    // inquiry (~10.24 s), far below any SNS arm's search.
+    assert!(ph.summaries[0].mean > 9.0 && ph.summaries[0].mean < 16.0,
+        "search {}", ph.summaries[0].mean);
+    for sns_arm in &report.arms[..4] {
+        assert!(sns_arm.summaries[0].mean > 2.0 * ph.summaries[0].mean,
+            "{} search {} vs ph {}", sns_arm.arm, sns_arm.summaries[0].mean, ph.summaries[0].mean);
+    }
+
+    // Claim 3: overall, PeerHood beats every SNS arm by at least ~2x.
+    for sns_arm in &report.arms[..4] {
+        assert!(
+            sns_arm.summaries[4].mean > 1.8 * ph.summaries[4].mean,
+            "{} total {} vs ph {}",
+            sns_arm.arm,
+            sns_arm.summaries[4].mean,
+            ph.summaries[4].mean
+        );
+    }
+
+    // Claim 4: the crossover the paper shows — PeerHood's member-list /
+    // profile tasks are *slower* than the best SNS arm's (FB on N810) but
+    // still win on the total.
+    let fb_n810 = &report.arms[0];
+    assert!(ph.summaries[2].mean > fb_n810.summaries[2].mean,
+        "member list: ph {} vs fb-n810 {}", ph.summaries[2].mean, fb_n810.summaries[2].mean);
+
+    // Claim 5: device ordering — N95 slower than N810 on both sites.
+    assert!(report.arms[1].summaries[4].mean > report.arms[0].summaries[4].mean);
+    assert!(report.arms[3].summaries[4].mean > report.arms[2].summaries[4].mean);
+
+    // Every measured mean is within a factor of 2.2 of the paper value
+    // (most land far closer; the worst cell is the FB/N95 member list,
+    // which is internally inconsistent in the paper itself — see
+    // EXPERIMENTS.md).
+    for arm in &report.arms {
+        let paper = [
+            arm.paper.search,
+            arm.paper.join,
+            arm.paper.list,
+            arm.paper.profile,
+            arm.paper.total,
+        ];
+        for (i, &p) in paper.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let m = arm.summaries[i].mean;
+            let ratio = if m > p { m / p } else { p / m };
+            assert!(
+                ratio < 2.2,
+                "{} row {} measured {:.1} vs paper {:.0} (x{:.2})",
+                arm.arm,
+                table8::TASKS[i],
+                m,
+                p,
+                ratio
+            );
+        }
+    }
+}
+
+#[test]
+fn every_msc_figure_conforms() {
+    for op in msc::MscOp::ALL {
+        let run = msc::run(op, 31_337);
+        assert!(
+            run.conforms,
+            "figure {} does not conform; labels: {:?}",
+            op.figure(),
+            run.trace.labels()
+        );
+        assert!(!run.trace.is_empty());
+    }
+}
+
+#[test]
+fn table8_is_deterministic_per_seed() {
+    let a = table8::run(3, 99);
+    let b = table8::run(3, 99);
+    for (x, y) in a.arms.iter().zip(b.arms.iter()) {
+        for i in 0..5 {
+            assert_eq!(x.summaries[i].mean, y.summaries[i].mean, "{} row {i}", x.arm);
+        }
+    }
+}
+
+#[test]
+fn semantics_ablation_monotone_in_spellings() {
+    let mut last_coverage = 1.1f64;
+    for spellings in [1usize, 2, 4] {
+        let r = ablations::semantics(60, 4, spellings, 5);
+        assert_eq!(
+            r.semantic_groups, 4,
+            "teaching always folds every family back to one group"
+        );
+        assert!(
+            (r.semantic_coverage - 1.0).abs() < 1e-9,
+            "taught matching always captures every member"
+        );
+        assert!(
+            r.exact_coverage < last_coverage,
+            "more spellings must fragment away more members: {} then {}",
+            last_coverage,
+            r.exact_coverage
+        );
+        last_coverage = r.exact_coverage;
+    }
+}

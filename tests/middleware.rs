@@ -1,0 +1,208 @@
+//! Cross-crate integration tests: middleware behaviour under larger and
+//! nastier conditions than the paper's four-device lab.
+
+use std::time::Duration;
+
+use community::node::{CommunityApp, OpMode};
+use community::profile::Profile;
+use community::OpResult;
+use netsim::geometry::Point2;
+use netsim::mobility::ScriptedPath;
+use netsim::world::NodeBuilder;
+use netsim::{SimTime, Technology};
+use peerhood::sim::Cluster;
+
+fn member(name: &str, interests: &[&str]) -> CommunityApp {
+    CommunityApp::with_member(
+        name,
+        "pw",
+        Profile::new(name).with_interests(interests.iter().copied()),
+    )
+}
+
+#[test]
+fn ten_device_neighborhood_converges() {
+    let mut c = Cluster::new(1234);
+    let mut nodes = Vec::new();
+    for i in 0..10 {
+        let angle = i as f64 / 10.0 * std::f64::consts::TAU;
+        let pos = Point2::new(4.0 * angle.cos(), 4.0 * angle.sin());
+        let interests: Vec<String> = vec![
+            "common".to_owned(),
+            format!("special-{}", i % 3),
+        ];
+        let interests_ref: Vec<&str> = interests.iter().map(String::as_str).collect();
+        nodes.push(c.add_node(
+            NodeBuilder::new(format!("dev{i}")).at(pos),
+            member(&format!("m{i}"), &interests_ref),
+        ));
+    }
+    c.start();
+    c.run_until(SimTime::from_secs(90));
+
+    // Everyone ends in the 10-member "common" group.
+    for (i, &n) in nodes.iter().enumerate() {
+        let groups = c.app(n).groups();
+        let common = groups
+            .iter()
+            .find(|g| g.key == "common")
+            .unwrap_or_else(|| panic!("node {i} missing the common group: {groups:?}"));
+        assert_eq!(common.members.len(), 10, "node {i}: {:?}", common.members);
+        // And the special-k groups hold ceil-ish thirds.
+        let special = groups
+            .iter()
+            .find(|g| g.key == format!("special-{}", i % 3))
+            .unwrap_or_else(|| panic!("node {i} missing its special group"));
+        assert!(special.members.len() >= 3, "{:?}", special.members);
+    }
+}
+
+#[test]
+fn community_operation_survives_technology_handover() {
+    // Alice and Bob hold a community connection over Bluetooth; Bob walks
+    // to WLAN-only distance mid-session; the next operation still works.
+    let mut c = Cluster::new(5678);
+    let a = c.add_node(
+        NodeBuilder::new("alice-pc")
+            .at(Point2::ORIGIN)
+            .with_technologies([Technology::Bluetooth, Technology::Wlan]),
+        member("alice", &["x"]),
+    );
+    let _b = c.add_node(
+        NodeBuilder::new("bob-laptop")
+            .moving(ScriptedPath::new(vec![
+                (SimTime::from_secs(0), Point2::new(4.0, 0.0)),
+                (SimTime::from_secs(60), Point2::new(4.0, 0.0)),
+                (SimTime::from_secs(75), Point2::new(45.0, 0.0)),
+            ]))
+            .with_technologies([Technology::Bluetooth, Technology::Wlan]),
+        member("bob", &["x"]),
+    );
+    c.start();
+    c.run_until(SimTime::from_secs(40));
+    assert_eq!(c.app(a).groups().len(), 1, "group before the walk");
+
+    // After the walk: Bob is at 45 m (WLAN only). The persistent
+    // connection hands over; operations keep working.
+    c.run_until(SimTime::from_secs(120));
+    let op = c.with_app(a, |app, ctx| app.view_profile("bob", ctx));
+    c.run_for(Duration::from_secs(20));
+    match &c.app(a).outcome(op).expect("completed").result {
+        OpResult::Profile(Some(view)) => assert_eq!(view.member, "bob"),
+        other => panic!("profile after handover failed: {other:?}"),
+    }
+    assert_eq!(c.app(a).groups().len(), 1, "group survives the walk via WLAN");
+}
+
+#[test]
+fn per_operation_mode_matches_persistent_mode_results() {
+    // The two connection modes must return identical *data* — they differ
+    // only in cost.
+    fn run(mode: OpMode) -> (Vec<String>, Vec<String>) {
+        let mut c = Cluster::new(9999);
+        let a = c.add_node(
+            NodeBuilder::new("a-pc").at(Point2::ORIGIN),
+            member("alice", &["x", "y"]).with_op_mode(mode),
+        );
+        for (i, (name, ints)) in [("bob", ["x", "z"]), ("carol", ["y", "z"])]
+            .iter()
+            .enumerate()
+        {
+            let ints_ref: Vec<&str> = ints.to_vec();
+            c.add_node(
+                NodeBuilder::new(format!("{name}-pc")).at(Point2::new(3.0, i as f64 * 2.0)),
+                member(name, &ints_ref).with_op_mode(mode),
+            );
+        }
+        c.start();
+        c.run_until(SimTime::from_secs(60));
+        let op = c.with_app(a, |app, ctx| app.get_member_list(ctx));
+        c.run_for(Duration::from_secs(60));
+        let members = match &c.app(a).outcome(op).expect("completed").result {
+            OpResult::Members(m) => m.clone(),
+            other => panic!("{other:?}"),
+        };
+        let groups: Vec<String> = c.app(a).groups().iter().map(|g| g.key.clone()).collect();
+        (members, groups)
+    }
+    let persistent = run(OpMode::Persistent);
+    let per_op = run(OpMode::PerOperation);
+    assert_eq!(persistent, per_op);
+    assert_eq!(persistent.0, vec!["bob", "carol"]);
+    assert_eq!(persistent.1, vec!["x", "y"]);
+}
+
+#[test]
+fn store_state_survives_json_round_trip_mid_session() {
+    // Profile/message persistence: serialize a store that accumulated
+    // session state, restore it, and keep using it.
+    let mut c = Cluster::new(4321);
+    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
+    let b = c.add_node(NodeBuilder::new("b").at(Point2::new(3.0, 0.0)), member("bob", &["x"]));
+    c.start();
+    c.run_until(SimTime::from_secs(40));
+    let op = c.with_app(a, |app, ctx| app.send_message("bob", "s", "b", ctx));
+    c.run_for(Duration::from_secs(10));
+    assert!(matches!(
+        c.app(a).outcome(op).unwrap().result,
+        OpResult::MessageResult { written: true }
+    ));
+
+    let json = c.app(b).store().to_json();
+    let restored = community::MemberStore::from_json(&json).expect("valid json");
+    assert_eq!(
+        restored.active_account().unwrap().mailbox.inbox().len(),
+        1,
+        "received message persisted"
+    );
+    assert_eq!(restored.active_member(), Some("bob"));
+}
+
+#[test]
+fn logged_out_devices_answer_no_members_yet() {
+    // A device running the service with nobody logged in participates in
+    // discovery but contributes no member.
+    let mut store = community::MemberStore::new();
+    store
+        .create_account("ghost", "pw", Profile::new("Ghost").with_interests(["x"]))
+        .expect("fresh");
+    // note: NOT logged in.
+    let ghost_app = CommunityApp::new(store);
+
+    let mut c = Cluster::new(8765);
+    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
+    let _g = c.add_node(NodeBuilder::new("g").at(Point2::new(3.0, 0.0)), ghost_app);
+    c.start();
+    c.run_until(SimTime::from_secs(40));
+
+    assert!(c.app(a).groups().is_empty(), "no member, no group");
+    let op = c.with_app(a, |app, ctx| app.get_member_list(ctx));
+    c.run_for(Duration::from_secs(10));
+    match &c.app(a).outcome(op).expect("completed").result {
+        OpResult::Members(names) => assert!(names.is_empty(), "{names:?}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn late_login_brings_the_member_online() {
+    let mut store = community::MemberStore::new();
+    store
+        .create_account("sleeper", "pw", Profile::new("Sleeper").with_interests(["x"]))
+        .expect("fresh");
+    let app = CommunityApp::new(store);
+
+    let mut c = Cluster::new(1357);
+    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
+    let s = c.add_node(NodeBuilder::new("s").at(Point2::new(3.0, 0.0)), app);
+    c.start();
+    c.run_until(SimTime::from_secs(40));
+    assert!(c.app(a).groups().is_empty());
+
+    // The sleeper logs in; alice's periodic refresh picks the member up.
+    c.with_app(s, |app, _| app.login("sleeper", "pw").expect("valid"));
+    c.run_until(SimTime::from_secs(120));
+    let groups = c.app(a).groups();
+    assert_eq!(groups.len(), 1, "{groups:?}");
+    assert!(groups[0].members.contains(&"sleeper".to_owned()));
+}

@@ -1,0 +1,350 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use community::discovery::discover_groups;
+use community::semantics::{MatchPolicy, SynonymTable};
+use community::{Interest, InterestSet, ProfileView, Request, Response};
+use netsim::geometry::{Point2, Rect};
+use netsim::mobility::{Mobility, RandomWaypoint, RandomWalk};
+use netsim::stats::Summary;
+use netsim::{SimRng, SimTime};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 _-]{0,24}"
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::GetOnlineMemberList),
+        Just(Request::GetInterestList),
+        arb_name().prop_map(|interest| Request::GetInterestedMemberList { interest }),
+        (arb_name(), arb_name()).prop_map(|(member, requester)| Request::GetProfile {
+            member,
+            requester
+        }),
+        (arb_name(), arb_name(), ".{0,200}").prop_map(|(member, author, comment)| {
+            Request::AddProfileComment {
+                member,
+                author,
+                comment,
+            }
+        }),
+        arb_name().prop_map(|member| Request::CheckMemberId { member }),
+        (arb_name(), arb_name(), arb_name(), ".{0,200}").prop_map(
+            |(to, from, subject, body)| Request::Message {
+                to,
+                from,
+                subject,
+                body
+            }
+        ),
+        (arb_name(), arb_name()).prop_map(|(member, requester)| Request::GetSharedContent {
+            member,
+            requester
+        }),
+        arb_name().prop_map(|member| Request::GetTrustedFriends { member }),
+        (arb_name(), arb_name()).prop_map(|(member, requester)| Request::CheckTrusted {
+            member,
+            requester
+        }),
+        (arb_name(), arb_name(), arb_name()).prop_map(|(member, requester, name)| {
+            Request::FetchContent {
+                member,
+                requester,
+                name,
+            }
+        }),
+    ]
+}
+
+fn arb_names() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(arb_name(), 0..6)
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        arb_names().prop_map(Response::MemberList),
+        arb_names().prop_map(Response::InterestList),
+        arb_names().prop_map(Response::TrustedFriends),
+        Just(Response::NoMembersYet),
+        Just(Response::CommentWritten),
+        any::<bool>().prop_map(Response::CheckMemberResult),
+        Just(Response::MessageWritten),
+        Just(Response::MessageFailed),
+        Just(Response::NotTrustedYet),
+        Just(Response::Trusted),
+        (arb_name(), proptest::collection::vec(any::<u8>(), 0..512))
+            .prop_map(|(name, data)| Response::Content { name, data }),
+        ".{0,80}".prop_map(Response::Error),
+        (arb_name(), arb_name(), arb_names()).prop_map(|(member, display_name, interests)| {
+            Response::Profile(ProfileView {
+                member,
+                display_name,
+                interests,
+                ..ProfileView::default()
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_codec_round_trips(req in arb_request()) {
+        let frame = req.encode();
+        prop_assert_eq!(Request::decode(&frame).unwrap(), req);
+    }
+
+    #[test]
+    fn response_codec_round_trips(resp in arb_response()) {
+        let frame = resp.encode();
+        prop_assert_eq!(Response::decode(&frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Errors are fine; panics and hangs are not.
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn truncated_valid_frames_error_not_panic(req in arb_request(), cut in 0usize..32) {
+        let mut frame = req.encode();
+        if cut < frame.len() {
+            frame.truncate(frame.len() - cut);
+            if cut > 0 {
+                let _ = Request::decode(&frame); // must not panic
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interests and semantics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn interest_normalization_is_idempotent(s in ".{0,40}") {
+        let a = Interest::new(&s);
+        let b = Interest::new(a.key());
+        prop_assert_eq!(a.key(), b.key());
+        // Display form also normalizes stably.
+        let c = Interest::new(a.display());
+        prop_assert_eq!(&a, &c);
+    }
+
+    #[test]
+    fn interest_set_add_then_remove_is_noop(items in proptest::collection::vec("[a-z ]{1,12}", 0..10), extra in "[a-z]{1,12}") {
+        let mut set: InterestSet = items.iter().map(Interest::new).collect();
+        let before = set.clone();
+        let fresh = set.add(Interest::new(&extra));
+        if fresh {
+            set.remove(Interest::new(&extra));
+        }
+        prop_assert_eq!(set, before);
+    }
+
+    #[test]
+    fn synonym_canonical_is_class_stable(pairs in proptest::collection::vec(("[a-e]", "[a-e]"), 0..12)) {
+        let mut table = SynonymTable::new();
+        for (a, b) in &pairs {
+            table.teach(&Interest::new(a), &Interest::new(b));
+        }
+        // canonical(x) == canonical(y) iff same(x, y), for all pairs in the
+        // small alphabet.
+        for x in ["a", "b", "c", "d", "e"] {
+            for y in ["a", "b", "c", "d", "e"] {
+                let same = table.same(&Interest::new(x), &Interest::new(y));
+                let canon_eq = table.canonical_key(x) == table.canonical_key(y);
+                prop_assert_eq!(same, canon_eq, "{} vs {}", x, y);
+            }
+        }
+        // The canonical key is a member of its own class.
+        for x in ["a", "b", "c", "d", "e"] {
+            let c = table.canonical_key(x);
+            prop_assert!(table.same(&Interest::new(x), &Interest::new(&c)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dynamic group discovery (Figure 6)
+// ---------------------------------------------------------------------
+
+fn arb_interests() -> impl Strategy<Value = Vec<Interest>> {
+    proptest::collection::vec("[a-f]", 0..5)
+        .prop_map(|v| v.into_iter().map(Interest::new).collect())
+}
+
+fn arb_neighbors() -> impl Strategy<Value = Vec<(String, Vec<Interest>)>> {
+    proptest::collection::vec(arb_interests(), 0..8).prop_map(|vs| {
+        vs.into_iter()
+            .enumerate()
+            .map(|(i, ints)| (format!("n{i}"), ints))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn groups_always_contain_me_and_only_known_members(
+        own in arb_interests(),
+        neighbors in arb_neighbors()
+    ) {
+        let groups = discover_groups("me", &own, &neighbors, &MatchPolicy::Exact);
+        let known: Vec<&str> = neighbors.iter().map(|(n, _)| n.as_str()).collect();
+        for group in groups.values() {
+            prop_assert!(group.contains("me"), "group {:?}", group.key);
+            prop_assert!(group.members.len() >= 2);
+            for m in &group.members {
+                prop_assert!(m == "me" || known.contains(&m.as_str()));
+            }
+            // The key corresponds to one of my own interests.
+            prop_assert!(own.iter().any(|i| i.key() == group.key));
+            // Members are sorted and unique.
+            let mut sorted = group.members.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, &group.members);
+        }
+    }
+
+    #[test]
+    fn adding_a_neighbor_never_shrinks_groups(
+        own in arb_interests(),
+        neighbors in arb_neighbors(),
+        extra in arb_interests()
+    ) {
+        let before = discover_groups("me", &own, &neighbors, &MatchPolicy::Exact);
+        let mut more = neighbors.clone();
+        more.push(("newcomer".to_owned(), extra));
+        let after = discover_groups("me", &own, &more, &MatchPolicy::Exact);
+        for (key, group) in &before {
+            let bigger = after.get(key).expect("existing groups persist");
+            for m in &group.members {
+                prop_assert!(bigger.contains(m), "{m} lost from {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_matching_only_merges_never_splits(
+        own in arb_interests(),
+        neighbors in arb_neighbors(),
+        taught in proptest::collection::vec(("[a-f]", "[a-f]"), 0..6)
+    ) {
+        let exact = discover_groups("me", &own, &neighbors, &MatchPolicy::Exact);
+        let mut policy = MatchPolicy::Exact;
+        for (a, b) in &taught {
+            policy.teach(&Interest::new(a), &Interest::new(b));
+        }
+        let semantic = discover_groups("me", &own, &neighbors, &policy);
+        // Teaching synonyms can create matches that exact matching lacked
+        // (that is its purpose) — but it never *loses* anything: every
+        // exact group folds, member-complete, into the semantic group of
+        // its canonical key.
+        for (key, group) in &exact {
+            let canon = policy.group_key(&Interest::new(key));
+            let folded = semantic
+                .get(&canon)
+                .unwrap_or_else(|| panic!("group {key} vanished (canonical {canon})"));
+            for m in &group.members {
+                prop_assert!(folded.contains(m), "{m} lost from {key} -> {canon}");
+            }
+        }
+        // And the semantic group count never exceeds the number of
+        // distinct canonical keys among my own interests.
+        let canon_keys: std::collections::BTreeSet<String> =
+            own.iter().map(|i| policy.group_key(i)).collect();
+        prop_assert!(semantic.len() <= canon_keys.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator substrate
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn random_waypoint_never_escapes_its_area(seed in any::<u64>(), w in 10.0f64..200.0, h in 10.0f64..200.0) {
+        let area = Rect::sized(w, h);
+        let mut m = RandomWaypoint::new(
+            area,
+            area.center(),
+            (0.5, 3.0),
+            (Duration::ZERO, Duration::from_secs(10)),
+            SimRng::from_seed(seed),
+        );
+        for s in (0..600).step_by(7) {
+            let p = m.position(SimTime::from_secs(s));
+            prop_assert!(area.contains(p), "escaped at {s}s: {p}");
+        }
+    }
+
+    #[test]
+    fn random_walk_never_escapes_its_area(seed in any::<u64>()) {
+        let area = Rect::sized(30.0, 30.0);
+        let mut m = RandomWalk::new(
+            area,
+            Point2::new(15.0, 15.0),
+            1.4,
+            Duration::from_secs(3),
+            SimRng::from_seed(seed),
+        );
+        for s in 0..300 {
+            prop_assert!(area.contains(m.position(SimTime::from_secs(s))));
+        }
+    }
+
+    #[test]
+    fn mobility_is_a_function_of_time(seed in any::<u64>(), queries in proptest::collection::vec(0u64..500, 1..20)) {
+        // Arbitrary (even non-monotonic) query orders give identical
+        // answers to a fresh instance queried in order.
+        let area = Rect::sized(50.0, 50.0);
+        let mk = || RandomWaypoint::new(
+            area,
+            area.center(),
+            (1.0, 2.0),
+            (Duration::ZERO, Duration::from_secs(5)),
+            SimRng::from_seed(seed),
+        );
+        let mut scrambled = mk();
+        let answers: Vec<(u64, Point2)> = queries
+            .iter()
+            .map(|&s| (s, scrambled.position(SimTime::from_secs(s))))
+            .collect();
+        let mut ordered = mk();
+        let mut sorted = queries.clone();
+        sorted.sort_unstable();
+        // Warm the ordered instance to the horizon first.
+        let max = *sorted.last().expect("non-empty");
+        ordered.position(SimTime::from_secs(max));
+        for (s, expected) in answers {
+            prop_assert_eq!(ordered.position(SimTime::from_secs(s)), expected);
+        }
+    }
+
+    #[test]
+    fn summary_bounds_hold(samples in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+        let s = Summary::from_samples(&samples).expect("non-empty");
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.max);
+        prop_assert!(s.p50 <= s.p90 + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn simtime_add_then_since_round_trips(base in 0u64..1_000_000, d in 0u64..1_000_000) {
+        let t = SimTime::from_micros(base);
+        let later = t + Duration::from_micros(d);
+        prop_assert_eq!(later.saturating_since(t), Duration::from_micros(d));
+    }
+}

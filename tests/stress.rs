@@ -1,0 +1,135 @@
+//! Scale stress tests: far beyond the thesis's four-device room.
+
+use netsim::geometry::{Point2, Rect};
+use netsim::mobility::RandomWaypoint;
+use netsim::world::NodeBuilder;
+use netsim::{SimRng, SimTime, Technology};
+use peerhood::sim::Cluster;
+
+use community::node::CommunityApp;
+use community::profile::Profile;
+use community::OpResult;
+use std::time::Duration;
+
+fn member(name: &str, interests: &[&str]) -> CommunityApp {
+    CommunityApp::with_member(
+        name,
+        "pw",
+        Profile::new(name).with_interests(interests.iter().copied()),
+    )
+}
+
+#[test]
+fn thirty_device_conference_room() {
+    // A conference room: 30 devices in one Bluetooth cell, interests drawn
+    // from a pool of 6 topics, everyone also sharing "the conference".
+    let topics = ["p2p", "sensors", "security", "protocols", "ux", "energy"];
+    let mut c = Cluster::new(31415);
+    let mut nodes = Vec::new();
+    for i in 0..30 {
+        let angle = i as f64 / 30.0 * std::f64::consts::TAU;
+        // Radius 4.5 m: everyone within 9 m of everyone.
+        let pos = Point2::new(4.5 * angle.cos(), 4.5 * angle.sin());
+        let interests = vec!["the conference", topics[i % topics.len()]];
+        nodes.push(c.add_node(
+            NodeBuilder::new(format!("dev{i}"))
+                .at(pos)
+                .with_technologies([Technology::Bluetooth]),
+            member(&format!("attendee{i}"), &interests),
+        ));
+    }
+    c.start();
+    c.run_until(SimTime::from_secs(120));
+
+    // The plenary group reaches everyone...
+    let groups = c.app(nodes[0]).groups();
+    let plenary = groups
+        .iter()
+        .find(|g| g.key == "the conference")
+        .expect("plenary group");
+    assert_eq!(plenary.members.len(), 30, "{:?}", plenary.members.len());
+    // ...and each topic group holds exactly its fifth of the attendees.
+    let topic = groups.iter().find(|g| g.key == "p2p").expect("topic group");
+    assert_eq!(topic.members.len(), 5, "{:?}", topic.members);
+
+    // A member-list fan-out over 29 persistent connections completes fast.
+    let op = c.with_app(nodes[0], |app, ctx| app.get_member_list(ctx));
+    c.run_for(Duration::from_secs(30));
+    match &c.app(nodes[0]).outcome(op).expect("completed").result {
+        OpResult::Members(names) => assert_eq!(names.len(), 29),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn twenty_wanderers_never_wedge_the_simulation() {
+    // Long-running mobile chaos: 20 devices random-waypointing through a
+    // field for 20 simulated minutes. The invariant under test is
+    // liveness + self-consistency, not a specific group layout.
+    let area = Rect::sized(80.0, 80.0);
+    let mut c = Cluster::new(2718);
+    let mut rng = SimRng::from_seed(999);
+    let mut nodes = Vec::new();
+    for i in 0..20 {
+        let start = Point2::new(
+            rng.range_f64(5.0..75.0),
+            rng.range_f64(5.0..75.0),
+        );
+        nodes.push(c.add_node(
+            NodeBuilder::new(format!("w{i}"))
+                .moving(RandomWaypoint::new(
+                    area,
+                    start,
+                    (0.7, 2.0),
+                    (Duration::from_secs(5), Duration::from_secs(40)),
+                    rng.fork(i),
+                ))
+                .with_technologies([Technology::Bluetooth]),
+            member(&format!("w{i}"), &["meshing"]),
+        ));
+    }
+    c.start();
+    c.run_until(SimTime::from_secs(20 * 60));
+
+    // Sanity: time advanced fully and every app's view is self-consistent.
+    assert_eq!(c.now(), SimTime::from_secs(20 * 60));
+    let mut total_events = 0;
+    for &n in &nodes {
+        let app = c.app(n);
+        for g in app.groups() {
+            assert!(g.members.len() >= 2);
+            let mut sorted = g.members.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted, g.members, "sorted unique members");
+        }
+        total_events += app.group_events().len();
+    }
+    assert!(
+        total_events > 20,
+        "twenty minutes of wandering must churn groups, saw {total_events} events"
+    );
+}
+
+#[test]
+fn conference_scale_run_is_deterministic() {
+    fn run() -> (usize, usize) {
+        let mut c = Cluster::new(161803);
+        let mut nodes = Vec::new();
+        for i in 0..12 {
+            let pos = Point2::new((i % 4) as f64 * 2.5, (i / 4) as f64 * 2.5);
+            nodes.push(c.add_node(
+                NodeBuilder::new(format!("d{i}")).at(pos),
+                member(&format!("m{i}"), &["x", if i % 2 == 0 { "even" } else { "odd" }]),
+            ));
+        }
+        c.start();
+        c.run_until(SimTime::from_secs(90));
+        let app = c.app(nodes[0]);
+        (
+            app.groups().iter().map(|g| g.members.len()).sum(),
+            app.group_events().len(),
+        )
+    }
+    assert_eq!(run(), run());
+}
