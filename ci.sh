@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Local CI gate. Run before pushing; everything must pass offline — the
+# workspace has no crates.io dependencies (see DESIGN.md §5).
+set -eux
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo build --release --offline
+cargo test -q --offline --workspace

@@ -1,7 +1,7 @@
 //! Bench: the ablation experiments (A1–A5). Each bench runs one reduced
 //! configuration per iteration; the full sweeps print once at the end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ph_bench::{criterion_group, criterion_main, Criterion};
 
 use harness::ablations;
 
@@ -57,7 +57,10 @@ fn print_sweeps(_c: &mut Criterion) {
         .map(|sp| ablations::semantics(40, 5, sp, 2008))
         .collect();
     println!("{}", ablations::render_semantics(&rows));
-    println!("{}", ablations::render_handover(&ablations::handover(4, 2008)));
+    println!(
+        "{}",
+        ablations::render_handover(&ablations::handover(4, 2008))
+    );
     println!(
         "{}",
         ablations::render_churn(&[ablations::churn(6, 5, 2008)])

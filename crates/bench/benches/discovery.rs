@@ -1,7 +1,7 @@
 //! Bench: the dynamic group discovery algorithm (Figure 6) as pure
 //! computation — matching cost vs neighborhood size and interest count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use community::discovery::discover_groups;
 use community::semantics::MatchPolicy;
@@ -20,7 +20,9 @@ fn make_neighbors(n: usize, interests_each: usize) -> Vec<(String, Vec<Interest>
 
 fn bench_neighbor_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_neighbors");
-    let own: Vec<Interest> = (0..8).map(|j| Interest::new(format!("interest-{j}"))).collect();
+    let own: Vec<Interest> = (0..8)
+        .map(|j| Interest::new(format!("interest-{j}")))
+        .collect();
     for n in [4usize, 16, 64, 256] {
         let neighbors = make_neighbors(n, 8);
         group.bench_with_input(BenchmarkId::from_parameter(n), &neighbors, |b, nb| {
@@ -33,7 +35,9 @@ fn bench_neighbor_scaling(c: &mut Criterion) {
 fn bench_interest_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_interests");
     for k in [2usize, 8, 32] {
-        let own: Vec<Interest> = (0..k).map(|j| Interest::new(format!("interest-{j}"))).collect();
+        let own: Vec<Interest> = (0..k)
+            .map(|j| Interest::new(format!("interest-{j}")))
+            .collect();
         let neighbors = make_neighbors(32, k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &neighbors, |b, nb| {
             b.iter(|| discover_groups("me", &own, nb, &MatchPolicy::Exact))
@@ -44,7 +48,9 @@ fn bench_interest_scaling(c: &mut Criterion) {
 
 fn bench_semantic_vs_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_policy");
-    let own: Vec<Interest> = (0..8).map(|j| Interest::new(format!("interest-{j}"))).collect();
+    let own: Vec<Interest> = (0..8)
+        .map(|j| Interest::new(format!("interest-{j}")))
+        .collect();
     let neighbors = make_neighbors(64, 8);
     group.bench_function("exact", |b| {
         b.iter(|| discover_groups("me", &own, &neighbors, &MatchPolicy::Exact))

@@ -2,7 +2,7 @@
 //! from cluster boot to completed operation. Regenerates the charts once
 //! at the end of the run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use harness::msc::{self, MscOp};
 

@@ -1,6 +1,6 @@
 //! Bench: the PeerHood Community wire codec (Table 6 messages).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ph_bench::{criterion_group, criterion_main, Criterion, Throughput};
 
 use community::{ProfileView, Request, Response};
 

@@ -5,7 +5,7 @@
 //! pipeline end-to-end and regenerates the table's rows (printed once at
 //! the end).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ph_bench::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use netsim::SimRng;
 use sns::{AccessDevice, CentralServer, SiteProfile, SnsSession};
@@ -36,8 +36,16 @@ fn bench_sns_arms(c: &mut Criterion) {
     let mut group = c.benchmark_group("table8_sns");
     group.sample_size(30);
     for (label, site, device) in [
-        ("facebook_n810", SiteProfile::facebook(), AccessDevice::nokia_n810()),
-        ("facebook_n95", SiteProfile::facebook(), AccessDevice::nokia_n95()),
+        (
+            "facebook_n810",
+            SiteProfile::facebook(),
+            AccessDevice::nokia_n810(),
+        ),
+        (
+            "facebook_n95",
+            SiteProfile::facebook(),
+            AccessDevice::nokia_n95(),
+        ),
         ("hi5_n810", SiteProfile::hi5(), AccessDevice::nokia_n810()),
         ("hi5_n95", SiteProfile::hi5(), AccessDevice::nokia_n95()),
     ] {

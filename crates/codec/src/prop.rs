@@ -1,0 +1,526 @@
+//! A deterministic property-test harness.
+//!
+//! Replaces `proptest` for this workspace: seeded case generation, a
+//! choice-stream shrinker, and regression-seed replay. The design follows
+//! Hypothesis' "internal shrinking" idea — generators draw from a stream of
+//! bounded integer choices, and shrinking rewrites the *stream* (truncate,
+//! zero, halve, decrement) then replays the generator, so every shrunk input
+//! is valid by construction and no per-type shrinkers are needed.
+//!
+//! # Usage
+//!
+//! ```rust
+//! use ph_codec::prop::{check, Config, Gen};
+//!
+//! check(&Config::default(), "reverse twice is identity", |g: &mut Gen| {
+//!     g.vec_of(16, |g| g.u64(100))
+//! }, |v| {
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     assert_eq!(&w, v);
+//! });
+//! ```
+//!
+//! Failures panic with the case seed and the shrunk input; re-running with
+//! `PH_PROP_SEED=<seed>` (or adding `cc <seed-hex>` to a regressions file
+//! loaded via [`Config::with_regressions_file`]) replays that case first.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::Once;
+
+use crate::rng::{SplitMix64, Xoshiro256pp};
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases per property.
+    pub cases: u32,
+    /// Base seed; each case derives its own seed from it.
+    pub seed: u64,
+    /// Upper bound on shrink replays after a failure.
+    pub max_shrink_iters: u32,
+    /// Seeds replayed before the random cases (regression corpus).
+    pub regressions: Vec<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PH_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        let seed = std::env::var("PH_PROP_SEED")
+            .ok()
+            .and_then(|v| parse_seed(&v))
+            .unwrap_or(0x5EED_CAFE_F00D_0001);
+        Config {
+            cases,
+            seed,
+            max_shrink_iters: 512,
+            regressions: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with a fixed case count.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    /// Loads regression seeds from a proptest-style regressions file and
+    /// prepends them to the run.
+    ///
+    /// Lines of the form `cc <hex>` are parsed; the first 16 hex digits
+    /// become the replay seed. A missing file is not an error (matching
+    /// proptest's behavior for absent regression files).
+    #[must_use]
+    pub fn with_regressions_file(mut self, path: impl AsRef<Path>) -> Self {
+        self.regressions.extend(regression_seeds(path.as_ref()));
+        self
+    }
+}
+
+/// Parses the seeds out of a proptest-style regressions file.
+#[must_use]
+pub fn regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            parse_seed(rest.get(..16).unwrap_or(rest))
+        })
+        .collect()
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else if s.chars().all(|c| c.is_ascii_digit()) {
+        s.parse().ok()
+    } else {
+        u64::from_str_radix(s, 16).ok()
+    }
+}
+
+enum Source {
+    Random(Xoshiro256pp),
+    Replay { choices: Vec<u64>, pos: usize },
+}
+
+/// The choice stream a generator draws from.
+///
+/// Every draw is a bounded integer that is recorded; shrinking mutates the
+/// recorded stream and replays it. On replay, exhausted or out-of-bound
+/// choices clamp toward zero, which is also the "minimal" direction for every
+/// derived value (empty vec, `'a'`-string, 0, `false`).
+pub struct Gen {
+    source: Source,
+    record: Vec<u64>,
+}
+
+impl Gen {
+    fn random(seed: u64) -> Self {
+        Gen {
+            source: Source::Random(Xoshiro256pp::from_seed(seed)),
+            record: Vec::new(),
+        }
+    }
+
+    fn replay(choices: Vec<u64>) -> Self {
+        Gen {
+            source: Source::Replay { choices, pos: 0 },
+            record: Vec::new(),
+        }
+    }
+
+    fn draw(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let value = match &mut self.source {
+            Source::Random(rng) => rng.bounded_u64(bound),
+            Source::Replay { choices, pos } => {
+                let raw = choices.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                raw.min(bound - 1)
+            }
+        };
+        self.record.push(value);
+        value
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be non-zero.
+    pub fn u64(&mut self, bound: u64) -> u64 {
+        self.draw(bound)
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (inclusive).
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.draw(hi - lo + 1)
+    }
+
+    /// Any `u64` (shrinks toward 0).
+    pub fn any_u64(&mut self) -> u64 {
+        self.draw(u64::MAX)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn usize(&mut self, bound: usize) -> usize {
+        self.draw(bound as u64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.draw(1 << 53) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// A coin flip (shrinks toward `false`).
+    pub fn bool(&mut self) -> bool {
+        self.draw(2) == 1
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// Picks one element of a non-empty slice (shrinks toward the first).
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.usize(items.len())]
+    }
+
+    /// A vector of up to `max_len` elements (shrinks toward empty).
+    pub fn vec_of<T>(&mut self, max_len: usize, mut item: impl FnMut(&mut Self) -> T) -> Vec<T> {
+        let len = self.usize(max_len + 1);
+        (0..len).map(|_| item(self)).collect()
+    }
+
+    /// Up to `max_len` arbitrary bytes.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        self.vec_of(max_len, |g| g.draw(256) as u8)
+    }
+
+    /// A string of `min_len..=max_len` characters drawn from `charset`
+    /// (shrinks toward repetitions of the first charset character).
+    pub fn string_from(&mut self, charset: &str, min_len: usize, max_len: usize) -> String {
+        let chars: Vec<char> = charset.chars().collect();
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| *self.pick(&chars)).collect()
+    }
+
+    /// A lowercase alphanumeric identifier of 1..=`max_len` characters.
+    pub fn ident(&mut self, max_len: usize) -> String {
+        self.string_from("abcdefghijklmnopqrstuvwxyz0123456789", 1, max_len)
+    }
+
+    /// A printable-ASCII string of 0..=`max_len` characters (may be empty).
+    pub fn ascii_string(&mut self, max_len: usize) -> String {
+        let len = self.usize(max_len + 1);
+        (0..len)
+            .map(|_| char::from(b' ' + self.draw(95) as u8))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(Cell::get) {
+                default(info);
+            }
+        }));
+    });
+}
+
+struct Failure {
+    choices: Vec<u64>,
+    input: String,
+    cause: String,
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn run_once<T, G, P>(gen_fn: &G, prop_fn: &P, mut g: Gen) -> Result<(), Failure>
+where
+    T: Debug,
+    G: Fn(&mut Gen) -> T,
+    P: Fn(&T),
+{
+    let input_dbg = Cell::new(String::new());
+    QUIET.with(|q| q.set(true));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        let value = gen_fn(&mut g);
+        input_dbg.set(format!("{value:?}"));
+        prop_fn(&value);
+    }));
+    QUIET.with(|q| q.set(false));
+    match outcome {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(Failure {
+            choices: g.record,
+            input: input_dbg.take(),
+            cause: payload_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// `(len, sum)` — the lexicographic "smallness" order used by the shrinker.
+fn weight(choices: &[u64]) -> (usize, u128) {
+    (choices.len(), choices.iter().map(|&c| u128::from(c)).sum())
+}
+
+fn shrink<T, G, P>(gen_fn: &G, prop_fn: &P, first: Failure, budget: u32) -> Failure
+where
+    T: Debug,
+    G: Fn(&mut Gen) -> T,
+    P: Fn(&T),
+{
+    let mut best = first;
+    let mut spent = 0u32;
+    loop {
+        let mut improved = false;
+        let candidates = shrink_candidates(&best.choices);
+        for candidate in candidates {
+            if spent >= budget {
+                return best;
+            }
+            spent += 1;
+            if let Err(failure) = run_once(gen_fn, prop_fn, Gen::replay(candidate)) {
+                // `failure.choices` holds the values actually consumed on
+                // replay (clamped + trimmed), so compare those.
+                if weight(&failure.choices) < weight(&best.choices) {
+                    best = failure;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+fn shrink_candidates(choices: &[u64]) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    let n = choices.len();
+    // Pass 1: drop whole tails, most aggressive first.
+    let mut keep = n / 2;
+    loop {
+        if keep < n {
+            out.push(choices[..keep].to_vec());
+        }
+        if keep + 1 >= n {
+            break;
+        }
+        keep = keep + (n - keep) / 2;
+    }
+    if n > 0 {
+        out.push(choices[..n - 1].to_vec());
+    }
+    // Pass 2: zero each non-zero position.
+    for i in 0..n {
+        if choices[i] != 0 {
+            let mut c = choices.to_vec();
+            c[i] = 0;
+            out.push(c);
+        }
+    }
+    // Pass 3: halve, then decrement, each non-zero position.
+    for i in 0..n {
+        if choices[i] > 1 {
+            let mut c = choices.to_vec();
+            c[i] /= 2;
+            out.push(c);
+        }
+        if choices[i] != 0 {
+            let mut c = choices.to_vec();
+            c[i] -= 1;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Checks a property over generated inputs.
+///
+/// Runs the configured regression seeds first, then `config.cases` seeded
+/// random cases. On failure the choice stream is shrunk and the run panics
+/// with the case seed, the shrunk input and the original assertion message.
+///
+/// # Panics
+///
+/// Panics when the property fails for any input (that is the point).
+pub fn check<T, G, P>(config: &Config, name: &str, gen_fn: G, prop_fn: P)
+where
+    T: Debug,
+    G: Fn(&mut Gen) -> T,
+    P: Fn(&T),
+{
+    install_quiet_hook();
+    let mut seeds = config.regressions.clone();
+    let mut sm = SplitMix64::new(config.seed);
+    seeds.extend((0..config.cases).map(|_| sm.next_u64()));
+
+    for (case, seed) in seeds.iter().copied().enumerate() {
+        if let Err(first) = run_once(&gen_fn, &prop_fn, Gen::random(seed)) {
+            let shrunk = shrink(&gen_fn, &prop_fn, first, config.max_shrink_iters);
+            panic!(
+                "property '{name}' failed (case {case}, seed {seed:#018x})\n\
+                 \x20 shrunk input: {}\n\
+                 \x20 cause: {}\n\
+                 \x20 replay: set PH_PROP_SEED={seed} or add `cc {seed:016x}` to the regressions file",
+                shrunk.input, shrunk.cause
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_is_silent() {
+        check(
+            &Config::with_cases(64),
+            "addition commutes",
+            |g| (g.u64(1000), g.u64(1000)),
+            |(a, b)| assert_eq!(a + b, b + a),
+        );
+    }
+
+    #[test]
+    fn failing_property_panics_and_shrinks() {
+        let result = panic::catch_unwind(|| {
+            check(
+                &Config::with_cases(256),
+                "all vecs shorter than 3",
+                |g| g.vec_of(10, |g| g.u64(100)),
+                |v| assert!(v.len() < 3, "len was {}", v.len()),
+            );
+        });
+        let msg = payload_message(result.unwrap_err().as_ref());
+        assert!(msg.contains("all vecs shorter than 3"), "{msg}");
+        // Shrinking should reach a minimal counterexample: three zeros.
+        assert!(msg.contains("[0, 0, 0]"), "not fully shrunk: {msg}");
+        assert!(msg.contains("PH_PROP_SEED"), "{msg}");
+    }
+
+    #[test]
+    fn replay_clamps_and_pads_with_zeros() {
+        let mut g = Gen::replay(vec![500, 7]);
+        assert_eq!(g.u64(10), 9); // clamped to bound - 1
+        assert_eq!(g.u64(10), 7);
+        assert_eq!(g.u64(10), 0); // exhausted -> minimal
+        assert!(!g.bool());
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        let mut g = Gen::random(11);
+        for _ in 0..200 {
+            assert!(g.u64(7) < 7);
+            let x = g.u64_in(5, 9);
+            assert!((5..=9).contains(&x));
+            let f = g.f64_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let s = g.ident(8);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            let v = g.bytes(5);
+            assert!(v.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn same_seed_generates_same_values() {
+        let make = |seed| {
+            let mut g = Gen::random(seed);
+            (g.any_u64(), g.ascii_string(16), g.bytes(8))
+        };
+        assert_eq!(make(99), make(99));
+    }
+
+    #[test]
+    fn regression_file_parsing() {
+        let dir = std::env::temp_dir().join("ph_codec_prop_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("regressions.txt");
+        std::fs::write(
+            &path,
+            "# comment line\n\
+             cc 8171cbee07082415f43bce6267aa752d66c51c4013f49fb732bd24c01e21c7f1\n\
+             cc 00000000000000ff\n",
+        )
+        .unwrap();
+        let seeds = regression_seeds(&path);
+        assert_eq!(seeds, vec![0x8171_cbee_0708_2415, 0xff]);
+        assert!(regression_seeds(Path::new("/nonexistent/file")).is_empty());
+    }
+
+    #[test]
+    fn regression_seed_runs_first() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let first_seed = AtomicU64::new(0);
+        let mut cfg = Config::with_cases(1);
+        cfg.regressions = vec![0xDEAD];
+        // Record the first value drawn; it must come from the regression seed.
+        let mut expected = Gen::random(0xDEAD);
+        let want = expected.any_u64();
+        check(
+            &cfg,
+            "regressions first",
+            |g| g.any_u64(),
+            |v| {
+                first_seed
+                    .compare_exchange(0, *v + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .ok();
+                let _ = v;
+            },
+        );
+        assert_eq!(first_seed.load(Ordering::SeqCst), want + 1);
+    }
+}

@@ -1,0 +1,482 @@
+//! The unified wire-codec API.
+//!
+//! Every protocol message in the workspace — community `Request`/`Response`
+//! frames, PeerHood handshakes, persisted member stores — encodes through
+//! [`Wire`]: a compact, deterministic, big-endian binary format. Decoding is
+//! strict: truncation, unknown tags, invalid UTF-8 and trailing bytes are all
+//! structured [`DecodeError`]s, never panics.
+//!
+//! # Format conventions
+//!
+//! * integers are fixed-width big-endian;
+//! * `bool` is one byte (`0`/`1`, everything else rejected);
+//! * `f64` is the IEEE-754 bit pattern as a `u64`;
+//! * strings and byte blobs are a `u32` length followed by the bytes;
+//! * collections are a `u32` element count followed by the elements;
+//! * `Option<T>` is a presence byte followed by the value when present;
+//! * enums are a one-byte tag chosen by the implementing type.
+//!
+//! Length prefixes are validated against the bytes actually remaining before
+//! any allocation, so a hostile 4 GiB length claim in a 20-byte frame is
+//! rejected immediately ([`DecodeError::LengthOverflow`]).
+//!
+//! # Example
+//!
+//! ```rust
+//! use ph_codec::Wire;
+//!
+//! let v: Vec<String> = vec!["a".into(), "b".into()];
+//! let frame = v.encode();
+//! assert_eq!(Vec::<String>::decode_exact(&frame).unwrap(), v);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// A structured decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    Truncated,
+    /// An enum tag byte was not one of the known values for `what`.
+    BadTag {
+        /// The type or field being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A string field was not valid UTF-8.
+    InvalidUtf8,
+    /// A frame decoded successfully but left unconsumed bytes.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+    /// A length prefix claimed more elements/bytes than the input holds.
+    LengthOverflow {
+        /// The claimed length.
+        claimed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A versioned frame carried a version this build does not speak.
+    UnsupportedVersion {
+        /// The highest version this decoder understands.
+        supported: u8,
+        /// The version found in the frame.
+        found: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated message"),
+            DecodeError::BadTag { what, tag } => {
+                write!(f, "unknown tag {tag:#04x} for {what}")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing byte(s) after message")
+            }
+            DecodeError::LengthOverflow { claimed, available } => {
+                write!(
+                    f,
+                    "length {claimed} exceeds the {available} byte(s) available"
+                )
+            }
+            DecodeError::UnsupportedVersion { supported, found } => {
+                write!(
+                    f,
+                    "unsupported wire version {found} (this build speaks <= {supported})"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for DecodeError {}
+
+/// Consumes exactly `n` bytes from the input.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] when fewer than `n` bytes remain.
+pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if input.len() < n {
+        return Err(DecodeError::Truncated);
+    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Ok(head)
+}
+
+/// Reads a `u32` length prefix and validates it against the bytes remaining
+/// (each encoded element occupies at least one byte).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] or [`DecodeError::LengthOverflow`].
+pub fn read_len(input: &mut &[u8]) -> Result<usize, DecodeError> {
+    let n = u32::decode(input)? as usize;
+    if n > input.len() {
+        return Err(DecodeError::LengthOverflow {
+            claimed: n,
+            available: input.len(),
+        });
+    }
+    Ok(n)
+}
+
+/// A value with a canonical binary wire form.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode_to(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, advancing it past the
+    /// consumed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] describing the malformation; implementations
+    /// never panic on arbitrary input.
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError>;
+
+    /// Encodes `self` into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_to(&mut out);
+        out
+    }
+
+    /// Decodes a value that must occupy the whole frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::TrailingBytes`] when the frame holds more than
+    /// one value, besides any error from [`Wire::decode`].
+    fn decode_exact(frame: &[u8]) -> Result<Self, DecodeError> {
+        let mut input = frame;
+        let value = Self::decode(&mut input)?;
+        if input.is_empty() {
+            Ok(value)
+        } else {
+            Err(DecodeError::TrailingBytes {
+                remaining: input.len(),
+            })
+        }
+    }
+}
+
+macro_rules! impl_wire_int {
+    ($($ty:ty),*) => {$(
+        impl Wire for $ty {
+            fn encode_to(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_be_bytes());
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+                let b = take(input, std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_be_bytes(b.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, i64);
+
+impl Wire for bool {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl Wire for f64 {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(f64::from_bits(u64::decode(input)?))
+    }
+}
+
+impl Wire for String {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let n = read_len(input)?;
+        let b = take(input, n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(out);
+        out.extend_from_slice(self);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let n = read_len(input)?;
+        Ok(take(input, n)?.to_vec())
+    }
+}
+
+/// Encodes a slice as a `u32` count followed by the elements.
+///
+/// For element types without their own `Vec<T>` impl (kept off a blanket impl
+/// so `Vec<u8>` can stay a dense blob).
+pub fn encode_seq<T: Wire>(items: &[T], out: &mut Vec<u8>) {
+    (items.len() as u32).encode_to(out);
+    for item in items {
+        item.encode_to(out);
+    }
+}
+
+/// Decodes a sequence written by [`encode_seq`].
+///
+/// # Errors
+///
+/// Propagates any [`DecodeError`] from the length prefix or an element.
+pub fn decode_seq<T: Wire>(input: &mut &[u8]) -> Result<Vec<T>, DecodeError> {
+    let n = read_len(input)?;
+    let mut out = Vec::with_capacity(n.min(input.len()));
+    for _ in 0..n {
+        out.push(T::decode(input)?);
+    }
+    Ok(out)
+}
+
+/// Generic sequences: `u32` count + elements. `Vec<u8>` above is a distinct,
+/// denser blob encoding, which this macro must not shadow — hence the
+/// per-type instantiation instead of a blanket impl.
+macro_rules! impl_wire_seq {
+    ($($ty:ty),*) => {$(
+        impl Wire for Vec<$ty> {
+            fn encode_to(&self, out: &mut Vec<u8>) {
+                (self.len() as u32).encode_to(out);
+                for item in self {
+                    item.encode_to(out);
+                }
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+                let n = read_len(input)?;
+                let mut out = Vec::with_capacity(n.min(input.len()));
+                for _ in 0..n {
+                    out.push(<$ty>::decode(input)?);
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+impl_wire_seq!(String, u64);
+
+impl Wire for std::time::Duration {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.as_secs().encode_to(out);
+        self.subsec_nanos().encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let secs = u64::decode(input)?;
+        let nanos = u32::decode(input)?;
+        if nanos >= 1_000_000_000 {
+            // A carry here could overflow `secs`; reject out-of-range subsec
+            // values instead of normalizing.
+            return Err(DecodeError::LengthOverflow {
+                claimed: nanos as usize,
+                available: 999_999_999,
+            });
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_to(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for BTreeMap<String, String> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(out);
+        for (k, v) in self {
+            k.encode_to(out);
+            v.encode_to(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let n = read_len(input)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = String::decode(input)?;
+            let v = String::decode(input)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl Wire for BTreeSet<String> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(out);
+        for item in self {
+            item.encode_to(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let n = read_len(input)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert(String::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u8::decode_exact(&7u8.encode()).unwrap(), 7);
+        assert_eq!(
+            u32::decode_exact(&0xDEAD_BEEFu32.encode()).unwrap(),
+            0xDEAD_BEEF
+        );
+        assert_eq!(u64::decode_exact(&u64::MAX.encode()).unwrap(), u64::MAX);
+        assert_eq!(i64::decode_exact(&(-5i64).encode()).unwrap(), -5);
+        assert!(bool::decode_exact(&true.encode()).unwrap());
+        assert_eq!(f64::decode_exact(&1.5f64.encode()).unwrap(), 1.5);
+        let s = "héllo".to_owned();
+        assert_eq!(String::decode_exact(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v: Vec<String> = vec!["a".into(), "bb".into()];
+        assert_eq!(Vec::<String>::decode_exact(&v.encode()).unwrap(), v);
+        let blob: Vec<u8> = vec![0, 1, 255];
+        assert_eq!(Vec::<u8>::decode_exact(&blob.encode()).unwrap(), blob);
+        let m: BTreeMap<String, String> = [("k".to_owned(), "v".to_owned())].into_iter().collect();
+        assert_eq!(BTreeMap::decode_exact(&m.encode()).unwrap(), m);
+        let set: BTreeSet<String> = ["x".to_owned()].into_iter().collect();
+        assert_eq!(BTreeSet::decode_exact(&set.encode()).unwrap(), set);
+        assert_eq!(
+            Option::<String>::decode_exact(&Some("y".to_owned()).encode()).unwrap(),
+            Some("y".to_owned())
+        );
+        assert_eq!(
+            Option::<String>::decode_exact(&None::<String>.encode()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let frame = "hello".to_owned().encode();
+        // A short string body trips the pre-allocation length guard.
+        assert_eq!(
+            String::decode_exact(&frame[..frame.len() - 1]),
+            Err(DecodeError::LengthOverflow {
+                claimed: 5,
+                available: 4
+            })
+        );
+        // A short fixed-width integer is plain truncation.
+        assert_eq!(u32::decode_exact(&[1, 2]), Err(DecodeError::Truncated));
+        assert_eq!(String::decode_exact(&[0, 0]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_reported() {
+        let mut frame = 3u8.encode();
+        frame.push(0xFF);
+        assert_eq!(
+            u8::decode_exact(&frame),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn absurd_length_rejected_before_allocation() {
+        // Vec<String> claiming u32::MAX elements in a 4-byte frame.
+        let frame = [0xFF, 0xFF, 0xFF, 0xFF];
+        assert!(matches!(
+            Vec::<String>::decode_exact(&frame),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let frame = [0, 0, 0, 2, 0xC3, 0x28];
+        assert_eq!(String::decode_exact(&frame), Err(DecodeError::InvalidUtf8));
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags_rejected() {
+        assert!(matches!(
+            bool::decode_exact(&[7]),
+            Err(DecodeError::BadTag {
+                what: "bool",
+                tag: 7
+            })
+        ));
+        assert!(matches!(
+            Option::<String>::decode_exact(&[9]),
+            Err(DecodeError::BadTag { what: "option", .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::UnsupportedVersion {
+            supported: 1,
+            found: 9
+        }
+        .to_string()
+        .contains('9'));
+        let e: &dyn StdError = &DecodeError::InvalidUtf8;
+        assert!(e.to_string().contains("utf-8"));
+    }
+}

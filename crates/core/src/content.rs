@@ -5,12 +5,12 @@
 //! named items; only members on their trusted-friends list may list
 //! (Figure 16) or fetch them.
 
-use serde::{Deserialize, Serialize};
+use codec::{read_len, DecodeError, Wire};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Metadata of one shared item, as sent in `PS_GETSHAREDCONTENT` replies.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ContentInfo {
     /// File name.
     pub name: String,
@@ -27,12 +27,12 @@ impl fmt::Display for ContentInfo {
 }
 
 /// The set of items one member shares, with their bytes.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ContentStore {
     items: BTreeMap<String, SharedItem>,
 }
 
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct SharedItem {
     kind: String,
     data: Vec<u8>,
@@ -88,6 +88,56 @@ impl ContentStore {
     }
 }
 
+impl Wire for ContentInfo {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.name.encode_to(out);
+        self.size.encode_to(out);
+        self.kind.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ContentInfo {
+            name: String::decode(input)?,
+            size: u64::decode(input)?,
+            kind: String::decode(input)?,
+        })
+    }
+}
+
+impl Wire for SharedItem {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.kind.encode_to(out);
+        self.data.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(SharedItem {
+            kind: String::decode(input)?,
+            data: Vec::<u8>::decode(input)?,
+        })
+    }
+}
+
+impl Wire for ContentStore {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.items.len() as u32).encode_to(out);
+        for (name, item) in &self.items {
+            name.encode_to(out);
+            item.encode_to(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let n = read_len(input)?;
+        let mut items = BTreeMap::new();
+        for _ in 0..n {
+            let name = String::decode(input)?;
+            items.insert(name, SharedItem::decode(input)?);
+        }
+        Ok(ContentStore { items })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +164,14 @@ mod tests {
         s.share("a", "y", vec![1, 2]);
         assert_eq!(s.len(), 1);
         assert_eq!(s.listing()[0].kind, "y");
+    }
+
+    #[test]
+    fn content_store_wire_round_trip() {
+        let mut s = ContentStore::new();
+        s.share("song.mp3", "music", vec![1, 2, 3]);
+        s.share("pic.jpg", "photo", vec![4; 10]);
+        assert_eq!(ContentStore::decode_exact(&s.encode()).unwrap(), s);
     }
 
     #[test]

@@ -14,13 +14,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::interest::Interest;
 use crate::semantics::MatchPolicy;
 
 /// One dynamically formed interest group.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Group {
     /// The group key under the active matching policy (normalized interest
     /// or synonym-class representative).
@@ -98,12 +96,7 @@ mod tests {
 
     #[test]
     fn no_neighbors_no_groups() {
-        let g = discover_groups(
-            "me",
-            &interests(&["football"]),
-            &[],
-            &MatchPolicy::Exact,
-        );
+        let g = discover_groups("me", &interests(&["football"]), &[], &MatchPolicy::Exact);
         assert!(g.is_empty());
     }
 

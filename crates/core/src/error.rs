@@ -1,5 +1,6 @@
 //! Error types for the PeerHood Community middleware.
 
+use codec::DecodeError;
 use std::error::Error as StdError;
 use std::fmt;
 
@@ -18,7 +19,12 @@ pub enum CommunityError {
     /// The referenced profile index does not exist.
     NoSuchProfile(usize),
     /// A wire message could not be decoded.
-    Codec(String),
+    Decode(DecodeError),
+    /// A persisted member store could not be read or written.
+    Persistence(String),
+    /// The operation requires an active (logged-in) account, but none was
+    /// found in the store — the session state is inconsistent.
+    NoActiveAccount,
     /// The referenced member is not currently reachable in the
     /// neighborhood.
     MemberNotConnected(String),
@@ -34,7 +40,11 @@ impl fmt::Display for CommunityError {
             CommunityError::AccountExists(u) => write!(f, "account {u:?} already exists"),
             CommunityError::NoSuchAccount(u) => write!(f, "no account named {u:?}"),
             CommunityError::NoSuchProfile(i) => write!(f, "no profile at index {i}"),
-            CommunityError::Codec(m) => write!(f, "malformed wire message: {m}"),
+            CommunityError::Decode(e) => write!(f, "malformed wire message: {e}"),
+            CommunityError::Persistence(m) => write!(f, "store persistence failed: {m}"),
+            CommunityError::NoActiveAccount => {
+                write!(f, "no active account despite a live session")
+            }
             CommunityError::MemberNotConnected(m) => {
                 write!(f, "member {m:?} is not connected")
             }
@@ -43,7 +53,20 @@ impl fmt::Display for CommunityError {
     }
 }
 
-impl StdError for CommunityError {}
+impl StdError for CommunityError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CommunityError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for CommunityError {
+    fn from(e: DecodeError) -> Self {
+        CommunityError::Decode(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -54,14 +77,20 @@ mod tests {
         assert!(CommunityError::AccountExists("bob".into())
             .to_string()
             .contains("bob"));
-        assert!(CommunityError::Codec("truncated".into())
+        assert!(CommunityError::Decode(DecodeError::Truncated)
             .to_string()
             .contains("truncated"));
+        assert!(CommunityError::Persistence("disk on fire".into())
+            .to_string()
+            .contains("disk on fire"));
     }
 
     #[test]
     fn implements_std_error() {
         fn takes(_: &dyn StdError) {}
         takes(&CommunityError::NotLoggedIn);
+        // Decode errors expose the underlying codec error as their source.
+        let err = CommunityError::from(DecodeError::Truncated);
+        assert!(err.source().is_some());
     }
 }

@@ -10,12 +10,10 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::discovery::{Group, GroupSet};
 
 /// A change between two consecutive group computations.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GroupEvent {
     /// A group exists that did not before.
     GroupFormed {
@@ -46,7 +44,7 @@ pub enum GroupEvent {
 }
 
 /// The local view of all interest groups.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct GroupRegistry {
     /// Latest auto-discovered groups.
     auto: GroupSet,

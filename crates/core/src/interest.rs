@@ -9,7 +9,7 @@
 //! Whether *differently named* interests (e.g. `biking` / `cycling`) count
 //! as the same is the business of [`crate::semantics`].
 
-use serde::{Deserialize, Serialize};
+use codec::{decode_seq, DecodeError, Wire};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -27,7 +27,7 @@ use std::fmt;
 /// assert_eq!(a.key(), "england football");
 /// assert_eq!(a.display(), "England Football");
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Interest {
     display: String,
     key: String,
@@ -36,7 +36,11 @@ pub struct Interest {
 impl Interest {
     /// Creates an interest from user input.
     pub fn new(text: impl AsRef<str>) -> Self {
-        let display = text.as_ref().split_whitespace().collect::<Vec<_>>().join(" ");
+        let display = text
+            .as_ref()
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ");
         let key = display.to_lowercase();
         Interest { display, key }
     }
@@ -102,7 +106,7 @@ impl From<String> for Interest {
 }
 
 /// An ordered, duplicate-free set of interests belonging to one profile.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct InterestSet {
     // Keyed by normalized key; value is the full Interest (with display).
     items: BTreeMap<String, Interest>,
@@ -185,6 +189,31 @@ impl Extend<Interest> for InterestSet {
     }
 }
 
+impl Wire for Interest {
+    // Only the display form travels; the matching key is derived on decode,
+    // which keeps the display/key invariant true by construction.
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.display.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Interest::new(String::decode(input)?))
+    }
+}
+
+impl Wire for InterestSet {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.items.len() as u32).encode_to(out);
+        for i in self.items.values() {
+            i.encode_to(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(decode_seq::<Interest>(input)?.into_iter().collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,11 +264,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn wire_round_trip_preserves_display_forms() {
         let s: InterestSet = ["Football", "Ice Hockey"].into_iter().collect();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: InterestSet = serde_json::from_str(&json).unwrap();
+        let back = InterestSet::decode_exact(&s.encode()).unwrap();
         assert_eq!(s, back);
+        let displays: Vec<&str> = back.iter().map(Interest::display).collect();
+        assert_eq!(displays, vec!["Football", "Ice Hockey"]);
+        let i = Interest::new(" ICE  Hockey ");
+        assert_eq!(
+            Interest::decode_exact(&i.encode()).unwrap().display(),
+            "ICE Hockey"
+        );
     }
 
     #[test]

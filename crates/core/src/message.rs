@@ -5,13 +5,13 @@
 //! compose new message and view sent messages" (§5.2.6). Messages are
 //! written straight into the receiving device's inbox file by its server.
 
-use serde::{Deserialize, Serialize};
+use codec::{decode_seq, encode_seq, DecodeError, Wire};
 use std::fmt;
 
 use netsim::SimTime;
 
 /// One mail message.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MailMessage {
     /// Sender member name.
     pub from: String,
@@ -27,12 +27,16 @@ pub struct MailMessage {
 
 impl fmt::Display for MailMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} -> {}] {}: {}", self.from, self.to, self.subject, self.body)
+        write!(
+            f,
+            "[{} -> {}] {}: {}",
+            self.from, self.to, self.subject, self.body
+        )
     }
 }
 
 /// A member's inbox and sent-messages folder.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Mailbox {
     inbox: Vec<MailMessage>,
     sent: Vec<MailMessage>,
@@ -71,6 +75,40 @@ impl Mailbox {
     }
 }
 
+impl Wire for MailMessage {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.from.encode_to(out);
+        self.to.encode_to(out);
+        self.subject.encode_to(out);
+        self.body.encode_to(out);
+        self.at.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(MailMessage {
+            from: String::decode(input)?,
+            to: String::decode(input)?,
+            subject: String::decode(input)?,
+            body: String::decode(input)?,
+            at: SimTime::decode(input)?,
+        })
+    }
+}
+
+impl Wire for Mailbox {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        encode_seq(&self.inbox, out);
+        encode_seq(&self.sent, out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Mailbox {
+            inbox: decode_seq(input)?,
+            sent: decode_seq(input)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,10 +142,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn wire_round_trip() {
         let mut mb = Mailbox::new();
         mb.deliver(msg("a", "b"));
-        let json = serde_json::to_string(&mb).unwrap();
-        assert_eq!(serde_json::from_str::<Mailbox>(&json).unwrap(), mb);
+        mb.record_sent(msg("b", "c"));
+        assert_eq!(Mailbox::decode_exact(&mb.encode()).unwrap(), mb);
     }
 }

@@ -29,7 +29,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
 
-use bytes::Bytes;
+use codec::Bytes;
 
 use netsim::SimTime;
 use peerhood::api::AppEvent;
@@ -751,25 +751,27 @@ impl CommunityApp {
     ) -> OpId {
         let id = self.alloc_op(kind, ctx.now());
         let Some(device) = self.device_of_member(member) else {
-            self.fail_op(id, CommunityError::MemberNotConnected(member.to_owned()), ctx);
+            self.fail_op(
+                id,
+                CommunityError::MemberNotConnected(member.to_owned()),
+                ctx,
+            );
             return id;
         };
         match self.op_mode {
-            OpMode::Persistent => {
-                match self.peers.get(&device).and_then(Peer::ready_conn) {
-                    Some(conn) => {
-                        self.send_on(ctx, device, conn, &req, Pending::Op(id));
-                        self.ops.get_mut(&id).expect("just created").expect(conn);
-                    }
-                    None => {
-                        self.fail_op(
-                            id,
-                            CommunityError::MemberNotConnected(member.to_owned()),
-                            ctx,
-                        );
-                    }
+            OpMode::Persistent => match self.peers.get(&device).and_then(Peer::ready_conn) {
+                Some(conn) => {
+                    self.send_on(ctx, device, conn, &req, Pending::Op(id));
+                    self.ops.get_mut(&id).expect("just created").expect(conn);
                 }
-            }
+                None => {
+                    self.fail_op(
+                        id,
+                        CommunityError::MemberNotConnected(member.to_owned()),
+                        ctx,
+                    );
+                }
+            },
             OpMode::PerOperation => {
                 self.ops.get_mut(&id).expect("just created").plan = Some(OpPlan {
                     requests: vec![req],
@@ -841,13 +843,16 @@ impl CommunityApp {
             .unwrap_or_else(|| device.to_string());
         ctx.trace(&peer_name, req.label());
         ctx.peerhood().send(conn, Bytes::from(req.encode()));
-        self.conn_pending.entry(conn).or_default().push_back(pending);
+        self.conn_pending
+            .entry(conn)
+            .or_default()
+            .push_back(pending);
     }
 
     fn device_of_member(&self, member: &str) -> Option<DeviceId> {
-        self.peers.iter().find_map(|(device, peer)| {
-            (peer.member.as_deref() == Some(member)).then_some(*device)
-        })
+        self.peers
+            .iter()
+            .find_map(|(device, peer)| (peer.member.as_deref() == Some(member)).then_some(*device))
     }
 
     fn recompute_groups(&mut self, ctx: &mut AppCtx<'_>) {
@@ -1341,15 +1346,14 @@ impl Application for CommunityApp {
                 device,
                 service,
                 ..
+            } if service == SERVICE_NAME => {
+                let name = self
+                    .peers
+                    .get(&device)
+                    .map(|p| p.device_name.clone())
+                    .unwrap_or_else(|| device.to_string());
+                self.server_conns.insert(conn, name);
             }
-                if service == SERVICE_NAME => {
-                    let name = self
-                        .peers
-                        .get(&device)
-                        .map(|p| p.device_name.clone())
-                        .unwrap_or_else(|| device.to_string());
-                    self.server_conns.insert(conn, name);
-                }
             AppEvent::Data { conn, payload } => {
                 if let Some(client_name) = self.server_conns.get(&conn).cloned() {
                     // Server side: decode a request, dispatch, respond.
@@ -1484,9 +1488,19 @@ mod tests {
         assert_eq!(a.add_trusted("x"), Err(CommunityError::NotLoggedIn));
         let mut b = app("bob", &[]);
         b.add_trusted("alice").unwrap();
-        assert!(b.store().active_account().unwrap().trusted.contains("alice"));
+        assert!(b
+            .store()
+            .active_account()
+            .unwrap()
+            .trusted
+            .contains("alice"));
         b.remove_trusted("alice").unwrap();
-        assert!(!b.store().active_account().unwrap().trusted.contains("alice"));
+        assert!(!b
+            .store()
+            .active_account()
+            .unwrap()
+            .trusted
+            .contains("alice"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! discovery, comments left by other members (Figure 14) and the visitor log
 //! the server appends to when a profile is viewed (Figure 13).
 
-use serde::{Deserialize, Serialize};
+use codec::{decode_seq, encode_seq, DecodeError, Wire};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -15,7 +15,7 @@ use netsim::SimTime;
 use crate::interest::{Interest, InterestSet};
 
 /// A comment another member left on a profile.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Comment {
     /// The commenting member's name.
     pub author: String,
@@ -32,7 +32,7 @@ impl fmt::Display for Comment {
 }
 
 /// A record of someone viewing this profile.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Visit {
     /// The visiting member's name.
     pub visitor: String,
@@ -42,7 +42,7 @@ pub struct Visit {
 
 /// One profile of a member (the application supports multiple profiles per
 /// account — Table 7: *Support for Multiple Profiles*).
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Profile {
     /// Display name shown to other members.
     pub display_name: String,
@@ -107,7 +107,7 @@ impl Profile {
 /// The profile data sent over the wire in answer to `PS_GETPROFILE`
 /// (Figure 13: profile information, interest list, trusted friends and
 /// profile comments travel together).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProfileView {
     /// The member's login name (their unique id in the neighborhood).
     pub member: String,
@@ -121,6 +121,78 @@ pub struct ProfileView {
     pub trusted: Vec<String>,
     /// Comments as `"author: text"` lines.
     pub comments: Vec<String>,
+}
+
+impl Wire for Comment {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.author.encode_to(out);
+        self.text.encode_to(out);
+        self.at.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Comment {
+            author: String::decode(input)?,
+            text: String::decode(input)?,
+            at: SimTime::decode(input)?,
+        })
+    }
+}
+
+impl Wire for Visit {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.visitor.encode_to(out);
+        self.at.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Visit {
+            visitor: String::decode(input)?,
+            at: SimTime::decode(input)?,
+        })
+    }
+}
+
+impl Wire for Profile {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.display_name.encode_to(out);
+        self.fields.encode_to(out);
+        self.interests.encode_to(out);
+        encode_seq(&self.comments, out);
+        encode_seq(&self.visitors, out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Profile {
+            display_name: String::decode(input)?,
+            fields: Wire::decode(input)?,
+            interests: InterestSet::decode(input)?,
+            comments: decode_seq(input)?,
+            visitors: decode_seq(input)?,
+        })
+    }
+}
+
+impl Wire for ProfileView {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.member.encode_to(out);
+        self.display_name.encode_to(out);
+        self.fields.encode_to(out);
+        self.interests.encode_to(out);
+        self.trusted.encode_to(out);
+        self.comments.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ProfileView {
+            member: String::decode(input)?,
+            display_name: String::decode(input)?,
+            fields: Wire::decode(input)?,
+            interests: Vec::<String>::decode(input)?,
+            trusted: Vec::<String>::decode(input)?,
+            comments: Vec::<String>::decode(input)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -155,11 +227,27 @@ mod tests {
     }
 
     #[test]
-    fn profile_serde_round_trip() {
-        let mut p = Profile::new("n").with_interests(["chess"]);
+    fn profile_wire_round_trip() {
+        let mut p = Profile::new("n")
+            .with_field("city", "Lappeenranta")
+            .with_interests(["chess"]);
         p.add_comment("a", "b", SimTime::from_secs(1));
-        let json = serde_json::to_string(&p).unwrap();
-        let back: Profile = serde_json::from_str(&json).unwrap();
-        assert_eq!(p, back);
+        p.record_visit("c", SimTime::from_secs(2));
+        assert_eq!(Profile::decode_exact(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn profile_view_wire_round_trip() {
+        let v = ProfileView {
+            member: "bob".into(),
+            display_name: "Bob".into(),
+            fields: [("city".to_owned(), "Lpr".to_owned())]
+                .into_iter()
+                .collect(),
+            interests: vec!["Chess".into()],
+            trusted: vec!["alice".into()],
+            comments: vec!["alice: hi".into()],
+        };
+        assert_eq!(ProfileView::decode_exact(&v.encode()).unwrap(), v);
     }
 }

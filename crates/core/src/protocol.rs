@@ -4,13 +4,40 @@
 //! the server functions answering them; the MSC figures (11–17) add the
 //! response vocabulary (`NO_MEMBERS_YET`, `NOT_TRUSTED_YET`,
 //! `SUCCESSFULLY_WRITTEN`, `UNSUCCESSFULL`). This module defines those
-//! messages as [`Request`] / [`Response`] enums with a compact hand-rolled
-//! binary encoding — one encoded message per PeerHood frame, so the
-//! simulator charges realistic transfer time for exactly the bytes sent.
+//! messages as [`Request`] / [`Response`] enums encoded through the
+//! workspace-wide [`Wire`] trait — one encoded message per PeerHood frame, so
+//! the simulator charges realistic transfer time for exactly the bytes sent.
+//!
+//! # Frame layout
+//!
+//! Every frame starts with a one-byte protocol version ([`WIRE_VERSION`])
+//! followed by a one-byte opcode and the opcode's payload. The version byte
+//! is the negotiation point for future protocol evolution: decoders reject
+//! frames from a newer protocol with
+//! [`DecodeError::UnsupportedVersion`] instead of misparsing them, and the
+//! `#[non_exhaustive]` enums leave room to add messages under a bumped
+//! version.
+
+use codec::{decode_seq, encode_seq, DecodeError, Wire};
 
 use crate::content::ContentInfo;
 use crate::error::CommunityError;
 use crate::profile::ProfileView;
+
+/// The current protocol version, written as the first byte of every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+fn check_version(input: &mut &[u8]) -> Result<(), DecodeError> {
+    let found = u8::decode(input)?;
+    if found == WIRE_VERSION {
+        Ok(())
+    } else {
+        Err(DecodeError::UnsupportedVersion {
+            supported: WIRE_VERSION,
+            found,
+        })
+    }
+}
 
 /// A client request (one `PS_*` operation of Table 6).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -213,152 +240,34 @@ mod op {
     pub const ERROR: u8 = 0x8F;
 }
 
-struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    fn new(opcode: u8) -> Self {
-        Writer { buf: vec![opcode] }
-    }
-
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
-    }
-
-    fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-
-    fn bytes(&mut self, b: &[u8]) {
-        self.u32(b.len() as u32);
-        self.buf.extend_from_slice(b);
-    }
-
-    fn str_list(&mut self, items: &[String]) {
-        self.u32(items.len() as u32);
-        for s in items {
-            self.str(s);
-        }
-    }
-
-    fn finish(self) -> Vec<u8> {
-        self.buf
-    }
-}
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
-    }
-
-    fn err(msg: &str) -> CommunityError {
-        CommunityError::Codec(msg.to_owned())
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CommunityError> {
-        if self.pos + n > self.buf.len() {
-            return Err(Self::err("truncated message"));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
-    }
-
-    fn u8(&mut self) -> Result<u8, CommunityError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, CommunityError> {
-        let b = self.take(4)?;
-        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn u64(&mut self) -> Result<u64, CommunityError> {
-        let b = self.take(8)?;
-        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
-    }
-
-    fn str(&mut self) -> Result<String, CommunityError> {
-        let len = self.u32()? as usize;
-        let b = self.take(len)?;
-        String::from_utf8(b.to_vec()).map_err(|_| Self::err("invalid utf-8"))
-    }
-
-    fn bytes(&mut self) -> Result<Vec<u8>, CommunityError> {
-        let len = self.u32()? as usize;
-        Ok(self.take(len)?.to_vec())
-    }
-
-    fn str_list(&mut self) -> Result<Vec<String>, CommunityError> {
-        let n = self.u32()? as usize;
-        if n > self.buf.len() {
-            // A list cannot have more elements than the message has bytes:
-            // reject absurd lengths before allocating.
-            return Err(Self::err("list length exceeds message size"));
-        }
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.str()?);
-        }
-        Ok(out)
-    }
-
-    fn expect_end(&self) -> Result<(), CommunityError> {
-        if self.pos == self.buf.len() {
-            Ok(())
-        } else {
-            Err(Self::err("trailing bytes"))
-        }
-    }
-}
-
-impl Request {
-    /// Encodes the request as one wire frame.
-    pub fn encode(&self) -> Vec<u8> {
+impl Wire for Request {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.push(WIRE_VERSION);
         match self {
-            Request::GetOnlineMemberList => Writer::new(op::GET_ONLINE_MEMBER_LIST).finish(),
-            Request::GetInterestList => Writer::new(op::GET_INTEREST_LIST).finish(),
+            Request::GetOnlineMemberList => out.push(op::GET_ONLINE_MEMBER_LIST),
+            Request::GetInterestList => out.push(op::GET_INTEREST_LIST),
             Request::GetInterestedMemberList { interest } => {
-                let mut w = Writer::new(op::GET_INTERESTED_MEMBER_LIST);
-                w.str(interest);
-                w.finish()
+                out.push(op::GET_INTERESTED_MEMBER_LIST);
+                interest.encode_to(out);
             }
             Request::GetProfile { member, requester } => {
-                let mut w = Writer::new(op::GET_PROFILE);
-                w.str(member);
-                w.str(requester);
-                w.finish()
+                out.push(op::GET_PROFILE);
+                member.encode_to(out);
+                requester.encode_to(out);
             }
             Request::AddProfileComment {
                 member,
                 author,
                 comment,
             } => {
-                let mut w = Writer::new(op::ADD_PROFILE_COMMENT);
-                w.str(member);
-                w.str(author);
-                w.str(comment);
-                w.finish()
+                out.push(op::ADD_PROFILE_COMMENT);
+                member.encode_to(out);
+                author.encode_to(out);
+                comment.encode_to(out);
             }
             Request::CheckMemberId { member } => {
-                let mut w = Writer::new(op::CHECK_MEMBER_ID);
-                w.str(member);
-                w.finish()
+                out.push(op::CHECK_MEMBER_ID);
+                member.encode_to(out);
             }
             Request::Message {
                 to,
@@ -366,239 +275,207 @@ impl Request {
                 subject,
                 body,
             } => {
-                let mut w = Writer::new(op::MESSAGE);
-                w.str(to);
-                w.str(from);
-                w.str(subject);
-                w.str(body);
-                w.finish()
+                out.push(op::MESSAGE);
+                to.encode_to(out);
+                from.encode_to(out);
+                subject.encode_to(out);
+                body.encode_to(out);
             }
             Request::GetSharedContent { member, requester } => {
-                let mut w = Writer::new(op::GET_SHARED_CONTENT);
-                w.str(member);
-                w.str(requester);
-                w.finish()
+                out.push(op::GET_SHARED_CONTENT);
+                member.encode_to(out);
+                requester.encode_to(out);
             }
             Request::GetTrustedFriends { member } => {
-                let mut w = Writer::new(op::GET_TRUSTED_FRIENDS);
-                w.str(member);
-                w.finish()
+                out.push(op::GET_TRUSTED_FRIENDS);
+                member.encode_to(out);
             }
             Request::CheckTrusted { member, requester } => {
-                let mut w = Writer::new(op::CHECK_TRUSTED);
-                w.str(member);
-                w.str(requester);
-                w.finish()
+                out.push(op::CHECK_TRUSTED);
+                member.encode_to(out);
+                requester.encode_to(out);
             }
             Request::FetchContent {
                 member,
                 requester,
                 name,
             } => {
-                let mut w = Writer::new(op::FETCH_CONTENT);
-                w.str(member);
-                w.str(requester);
-                w.str(name);
-                w.finish()
+                out.push(op::FETCH_CONTENT);
+                member.encode_to(out);
+                requester.encode_to(out);
+                name.encode_to(out);
             }
         }
     }
 
-    /// Decodes a request frame.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CommunityError::Codec`] on truncation, unknown opcodes,
-    /// invalid UTF-8 or trailing bytes.
-    pub fn decode(frame: &[u8]) -> Result<Request, CommunityError> {
-        let mut r = Reader::new(frame);
-        let opcode = r.u8()?;
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        check_version(input)?;
+        let opcode = u8::decode(input)?;
         let req = match opcode {
             op::GET_ONLINE_MEMBER_LIST => Request::GetOnlineMemberList,
             op::GET_INTEREST_LIST => Request::GetInterestList,
             op::GET_INTERESTED_MEMBER_LIST => Request::GetInterestedMemberList {
-                interest: r.str()?,
+                interest: String::decode(input)?,
             },
             op::GET_PROFILE => Request::GetProfile {
-                member: r.str()?,
-                requester: r.str()?,
+                member: String::decode(input)?,
+                requester: String::decode(input)?,
             },
             op::ADD_PROFILE_COMMENT => Request::AddProfileComment {
-                member: r.str()?,
-                author: r.str()?,
-                comment: r.str()?,
+                member: String::decode(input)?,
+                author: String::decode(input)?,
+                comment: String::decode(input)?,
             },
-            op::CHECK_MEMBER_ID => Request::CheckMemberId { member: r.str()? },
+            op::CHECK_MEMBER_ID => Request::CheckMemberId {
+                member: String::decode(input)?,
+            },
             op::MESSAGE => Request::Message {
-                to: r.str()?,
-                from: r.str()?,
-                subject: r.str()?,
-                body: r.str()?,
+                to: String::decode(input)?,
+                from: String::decode(input)?,
+                subject: String::decode(input)?,
+                body: String::decode(input)?,
             },
             op::GET_SHARED_CONTENT => Request::GetSharedContent {
-                member: r.str()?,
-                requester: r.str()?,
+                member: String::decode(input)?,
+                requester: String::decode(input)?,
             },
-            op::GET_TRUSTED_FRIENDS => Request::GetTrustedFriends { member: r.str()? },
+            op::GET_TRUSTED_FRIENDS => Request::GetTrustedFriends {
+                member: String::decode(input)?,
+            },
             op::CHECK_TRUSTED => Request::CheckTrusted {
-                member: r.str()?,
-                requester: r.str()?,
+                member: String::decode(input)?,
+                requester: String::decode(input)?,
             },
             op::FETCH_CONTENT => Request::FetchContent {
-                member: r.str()?,
-                requester: r.str()?,
-                name: r.str()?,
+                member: String::decode(input)?,
+                requester: String::decode(input)?,
+                name: String::decode(input)?,
             },
-            other => return Err(Reader::err(&format!("unknown request opcode {other:#x}"))),
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "request opcode",
+                    tag,
+                })
+            }
         };
-        r.expect_end()?;
         Ok(req)
     }
 }
 
-fn encode_profile_view(w: &mut Writer, v: &ProfileView) {
-    w.str(&v.member);
-    w.str(&v.display_name);
-    w.u32(v.fields.len() as u32);
-    for (k, val) in &v.fields {
-        w.str(k);
-        w.str(val);
+impl Request {
+    /// Decodes a request frame (version byte + opcode + payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommunityError::Decode`] on truncation, unsupported
+    /// versions, unknown opcodes, invalid UTF-8 or trailing bytes.
+    pub fn decode(frame: &[u8]) -> Result<Request, CommunityError> {
+        <Request as Wire>::decode_exact(frame).map_err(CommunityError::Decode)
     }
-    w.str_list(&v.interests);
-    w.str_list(&v.trusted);
-    w.str_list(&v.comments);
-}
 
-fn decode_profile_view(r: &mut Reader<'_>) -> Result<ProfileView, CommunityError> {
-    let member = r.str()?;
-    let display_name = r.str()?;
-    let n = r.u32()? as usize;
-    let mut fields = std::collections::BTreeMap::new();
-    for _ in 0..n {
-        let k = r.str()?;
-        let v = r.str()?;
-        fields.insert(k, v);
-    }
-    Ok(ProfileView {
-        member,
-        display_name,
-        fields,
-        interests: r.str_list()?,
-        trusted: r.str_list()?,
-        comments: r.str_list()?,
-    })
-}
-
-impl Response {
-    /// Encodes the response as one wire frame.
+    /// Encodes the request as one wire frame.
     pub fn encode(&self) -> Vec<u8> {
+        Wire::encode(self)
+    }
+}
+
+impl Wire for Response {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.push(WIRE_VERSION);
         match self {
             Response::MemberList(v) => {
-                let mut w = Writer::new(op::MEMBER_LIST);
-                w.str_list(v);
-                w.finish()
+                out.push(op::MEMBER_LIST);
+                v.encode_to(out);
             }
             Response::InterestList(v) => {
-                let mut w = Writer::new(op::INTEREST_LIST);
-                w.str_list(v);
-                w.finish()
+                out.push(op::INTEREST_LIST);
+                v.encode_to(out);
             }
             Response::InterestedMembers(v) => {
-                let mut w = Writer::new(op::INTERESTED_MEMBERS);
-                w.str_list(v);
-                w.finish()
+                out.push(op::INTERESTED_MEMBERS);
+                v.encode_to(out);
             }
             Response::Profile(v) => {
-                let mut w = Writer::new(op::PROFILE);
-                encode_profile_view(&mut w, v);
-                w.finish()
+                out.push(op::PROFILE);
+                v.encode_to(out);
             }
-            Response::NoMembersYet => Writer::new(op::NO_MEMBERS_YET).finish(),
-            Response::CommentWritten => Writer::new(op::COMMENT_WRITTEN).finish(),
+            Response::NoMembersYet => out.push(op::NO_MEMBERS_YET),
+            Response::CommentWritten => out.push(op::COMMENT_WRITTEN),
             Response::CheckMemberResult(b) => {
-                let mut w = Writer::new(op::CHECK_MEMBER_RESULT);
-                w.u8(u8::from(*b));
-                w.finish()
+                out.push(op::CHECK_MEMBER_RESULT);
+                b.encode_to(out);
             }
-            Response::MessageWritten => Writer::new(op::MESSAGE_WRITTEN).finish(),
-            Response::MessageFailed => Writer::new(op::MESSAGE_FAILED).finish(),
+            Response::MessageWritten => out.push(op::MESSAGE_WRITTEN),
+            Response::MessageFailed => out.push(op::MESSAGE_FAILED),
             Response::SharedContent(items) => {
-                let mut w = Writer::new(op::SHARED_CONTENT);
-                w.u32(items.len() as u32);
-                for c in items {
-                    w.str(&c.name);
-                    w.u64(c.size);
-                    w.str(&c.kind);
-                }
-                w.finish()
+                out.push(op::SHARED_CONTENT);
+                encode_seq(items, out);
             }
-            Response::NotTrustedYet => Writer::new(op::NOT_TRUSTED_YET).finish(),
+            Response::NotTrustedYet => out.push(op::NOT_TRUSTED_YET),
             Response::TrustedFriends(v) => {
-                let mut w = Writer::new(op::TRUSTED_FRIENDS);
-                w.str_list(v);
-                w.finish()
+                out.push(op::TRUSTED_FRIENDS);
+                v.encode_to(out);
             }
-            Response::Trusted => Writer::new(op::TRUSTED).finish(),
+            Response::Trusted => out.push(op::TRUSTED),
             Response::Content { name, data } => {
-                let mut w = Writer::new(op::CONTENT);
-                w.str(name);
-                w.bytes(data);
-                w.finish()
+                out.push(op::CONTENT);
+                name.encode_to(out);
+                data.encode_to(out);
             }
             Response::Error(msg) => {
-                let mut w = Writer::new(op::ERROR);
-                w.str(msg);
-                w.finish()
+                out.push(op::ERROR);
+                msg.encode_to(out);
             }
         }
     }
 
-    /// Decodes a response frame.
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        check_version(input)?;
+        let opcode = u8::decode(input)?;
+        let resp = match opcode {
+            op::MEMBER_LIST => Response::MemberList(Vec::<String>::decode(input)?),
+            op::INTEREST_LIST => Response::InterestList(Vec::<String>::decode(input)?),
+            op::INTERESTED_MEMBERS => Response::InterestedMembers(Vec::<String>::decode(input)?),
+            op::PROFILE => Response::Profile(ProfileView::decode(input)?),
+            op::NO_MEMBERS_YET => Response::NoMembersYet,
+            op::COMMENT_WRITTEN => Response::CommentWritten,
+            op::CHECK_MEMBER_RESULT => Response::CheckMemberResult(bool::decode(input)?),
+            op::MESSAGE_WRITTEN => Response::MessageWritten,
+            op::MESSAGE_FAILED => Response::MessageFailed,
+            op::SHARED_CONTENT => Response::SharedContent(decode_seq::<ContentInfo>(input)?),
+            op::NOT_TRUSTED_YET => Response::NotTrustedYet,
+            op::TRUSTED_FRIENDS => Response::TrustedFriends(Vec::<String>::decode(input)?),
+            op::TRUSTED => Response::Trusted,
+            op::CONTENT => Response::Content {
+                name: String::decode(input)?,
+                data: Vec::<u8>::decode(input)?,
+            },
+            op::ERROR => Response::Error(String::decode(input)?),
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "response opcode",
+                    tag,
+                })
+            }
+        };
+        Ok(resp)
+    }
+}
+
+impl Response {
+    /// Decodes a response frame (version byte + opcode + payload).
     ///
     /// # Errors
     ///
-    /// Returns [`CommunityError::Codec`] on truncation, unknown opcodes,
-    /// invalid UTF-8 or trailing bytes.
+    /// Returns [`CommunityError::Decode`] on truncation, unsupported
+    /// versions, unknown opcodes, invalid UTF-8 or trailing bytes.
     pub fn decode(frame: &[u8]) -> Result<Response, CommunityError> {
-        let mut r = Reader::new(frame);
-        let opcode = r.u8()?;
-        let resp = match opcode {
-            op::MEMBER_LIST => Response::MemberList(r.str_list()?),
-            op::INTEREST_LIST => Response::InterestList(r.str_list()?),
-            op::INTERESTED_MEMBERS => Response::InterestedMembers(r.str_list()?),
-            op::PROFILE => Response::Profile(decode_profile_view(&mut r)?),
-            op::NO_MEMBERS_YET => Response::NoMembersYet,
-            op::COMMENT_WRITTEN => Response::CommentWritten,
-            op::CHECK_MEMBER_RESULT => Response::CheckMemberResult(r.u8()? != 0),
-            op::MESSAGE_WRITTEN => Response::MessageWritten,
-            op::MESSAGE_FAILED => Response::MessageFailed,
-            op::SHARED_CONTENT => {
-                let n = r.u32()? as usize;
-                if n > frame.len() {
-                    return Err(Reader::err("list length exceeds message size"));
-                }
-                let mut items = Vec::with_capacity(n);
-                for _ in 0..n {
-                    items.push(ContentInfo {
-                        name: r.str()?,
-                        size: r.u64()?,
-                        kind: r.str()?,
-                    });
-                }
-                Response::SharedContent(items)
-            }
-            op::NOT_TRUSTED_YET => Response::NotTrustedYet,
-            op::TRUSTED_FRIENDS => Response::TrustedFriends(r.str_list()?),
-            op::TRUSTED => Response::Trusted,
-            op::CONTENT => Response::Content {
-                name: r.str()?,
-                data: r.bytes()?,
-            },
-            op::ERROR => Response::Error(r.str()?),
-            other => return Err(Reader::err(&format!("unknown response opcode {other:#x}"))),
-        };
-        r.expect_end()?;
-        Ok(resp)
+        <Response as Wire>::decode_exact(frame).map_err(CommunityError::Decode)
+    }
+
+    /// Encodes the response as one wire frame.
+    pub fn encode(&self) -> Vec<u8> {
+        Wire::encode(self)
     }
 }
 
@@ -607,7 +484,7 @@ mod tests {
     use super::*;
     use std::collections::BTreeMap;
 
-    fn all_requests() -> Vec<Request> {
+    pub(crate) fn all_requests() -> Vec<Request> {
         vec![
             Request::GetOnlineMemberList,
             Request::GetInterestList,
@@ -651,7 +528,7 @@ mod tests {
         ]
     }
 
-    fn all_responses() -> Vec<Response> {
+    pub(crate) fn all_responses() -> Vec<Response> {
         let mut fields = BTreeMap::new();
         fields.insert("city".to_owned(), "Lappeenranta".to_owned());
         vec![
@@ -692,6 +569,7 @@ mod tests {
     fn every_request_round_trips() {
         for req in all_requests() {
             let frame = req.encode();
+            assert_eq!(frame[0], WIRE_VERSION, "{req:?}");
             assert_eq!(Request::decode(&frame).unwrap(), req, "{req:?}");
         }
     }
@@ -700,6 +578,7 @@ mod tests {
     fn every_response_round_trips() {
         for resp in all_responses() {
             let frame = resp.encode();
+            assert_eq!(frame[0], WIRE_VERSION, "{resp:?}");
             assert_eq!(Response::decode(&frame).unwrap(), resp, "{resp:?}");
         }
     }
@@ -720,43 +599,75 @@ mod tests {
     fn truncated_frames_error() {
         for req in all_requests() {
             let mut frame = req.encode();
-            if frame.len() > 1 {
+            if frame.len() > 2 {
                 frame.truncate(frame.len() - 1);
                 assert!(Request::decode(&frame).is_err(), "{req:?}");
             }
         }
         assert!(Request::decode(&[]).is_err());
         assert!(Response::decode(&[]).is_err());
+        // Just a version byte, no opcode.
+        assert!(Request::decode(&[WIRE_VERSION]).is_err());
     }
 
     #[test]
     fn trailing_bytes_rejected() {
         let mut frame = Request::GetInterestList.encode();
         frame.push(0xAA);
-        assert!(Request::decode(&frame).is_err());
+        assert_eq!(
+            Request::decode(&frame),
+            Err(CommunityError::Decode(DecodeError::TrailingBytes {
+                remaining: 1
+            }))
+        );
     }
 
     #[test]
     fn unknown_opcodes_rejected() {
-        assert!(Request::decode(&[0x7F]).is_err());
-        assert!(Response::decode(&[0xFE]).is_err());
+        assert!(Request::decode(&[WIRE_VERSION, 0x7F]).is_err());
+        assert!(Response::decode(&[WIRE_VERSION, 0xFE]).is_err());
         // A response opcode is not a request and vice versa.
         assert!(Request::decode(&Response::NoMembersYet.encode()).is_err());
         assert!(Response::decode(&Request::GetInterestList.encode()).is_err());
     }
 
     #[test]
+    fn future_versions_rejected_up_front() {
+        let mut frame = Request::GetInterestList.encode();
+        frame[0] = WIRE_VERSION + 1;
+        assert_eq!(
+            Request::decode(&frame),
+            Err(CommunityError::Decode(DecodeError::UnsupportedVersion {
+                supported: WIRE_VERSION,
+                found: WIRE_VERSION + 1,
+            }))
+        );
+        let mut frame = Response::Trusted.encode();
+        frame[0] = 0;
+        assert!(matches!(
+            Response::decode(&frame),
+            Err(CommunityError::Decode(DecodeError::UnsupportedVersion {
+                found: 0,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
     fn absurd_list_length_rejected_without_allocation() {
-        // opcode MEMBER_LIST + length u32::MAX.
-        let frame = [op::MEMBER_LIST, 0xFF, 0xFF, 0xFF, 0xFF];
+        // version + opcode MEMBER_LIST + length u32::MAX.
+        let frame = [WIRE_VERSION, op::MEMBER_LIST, 0xFF, 0xFF, 0xFF, 0xFF];
         assert!(Response::decode(&frame).is_err());
     }
 
     #[test]
     fn invalid_utf8_rejected() {
         // CheckMemberId with a 2-byte string of invalid UTF-8.
-        let frame = [op::CHECK_MEMBER_ID, 0, 0, 0, 2, 0xC3, 0x28];
-        assert!(Request::decode(&frame).is_err());
+        let frame = [WIRE_VERSION, op::CHECK_MEMBER_ID, 0, 0, 0, 2, 0xC3, 0x28];
+        assert_eq!(
+            Request::decode(&frame),
+            Err(CommunityError::Decode(DecodeError::InvalidUtf8))
+        );
     }
 
     #[test]

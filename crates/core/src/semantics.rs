@@ -14,7 +14,7 @@
 //! class before comparison. The semantics ablation experiment (A3 in
 //! `DESIGN.md`) measures how much group fragmentation this removes.
 
-use serde::{Deserialize, Serialize};
+use codec::{DecodeError, Wire};
 use std::collections::BTreeMap;
 
 use crate::interest::Interest;
@@ -36,7 +36,7 @@ use crate::interest::Interest;
 /// assert_eq!(syn.canonical_key("Cycling"), "biking");
 /// assert_eq!(syn.canonical_key("chess"), "chess");
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SynonymTable {
     /// Maps each known key to its parent; roots are absent.
     parent: BTreeMap<String, String>,
@@ -96,7 +96,7 @@ impl SynonymTable {
 }
 
 /// How interests are compared during dynamic group discovery.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum MatchPolicy {
     /// Normalized string equality only — the behaviour of the thesis's
     /// reference implementation (its §5.2.6 limitation included).
@@ -138,6 +138,41 @@ impl MatchPolicy {
     }
 }
 
+impl Wire for SynonymTable {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.parent.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(SynonymTable {
+            parent: BTreeMap::decode(input)?,
+        })
+    }
+}
+
+impl Wire for MatchPolicy {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            MatchPolicy::Exact => out.push(0),
+            MatchPolicy::Semantic(table) => {
+                out.push(1);
+                table.encode_to(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(MatchPolicy::Exact),
+            1 => Ok(MatchPolicy::Semantic(SynonymTable::decode(input)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "match policy",
+                tag,
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,7 +195,10 @@ mod tests {
         t.teach(&i("biking"), &i("cycling"));
         t.teach(&i("cycling"), &i("bicycle riding"));
         assert!(t.same(&i("biking"), &i("bicycle riding")));
-        assert_eq!(t.canonical_key("bicycle riding"), "bicycle riding".to_owned().min("biking".into()));
+        assert_eq!(
+            t.canonical_key("bicycle riding"),
+            "bicycle riding".to_owned().min("biking".into())
+        );
     }
 
     #[test]
@@ -204,11 +242,17 @@ mod tests {
     }
 
     #[test]
-    fn policy_serde_round_trip() {
+    fn policy_wire_round_trip() {
         let mut p = MatchPolicy::Exact;
+        assert_eq!(MatchPolicy::decode_exact(&p.encode()).unwrap(), p);
         p.teach(&i("a"), &i("b"));
-        let json = serde_json::to_string(&p).unwrap();
-        let back: MatchPolicy = serde_json::from_str(&json).unwrap();
-        assert_eq!(p, back);
+        assert_eq!(MatchPolicy::decode_exact(&p.encode()).unwrap(), p);
+        assert!(matches!(
+            MatchPolicy::decode_exact(&[9]),
+            Err(DecodeError::BadTag {
+                what: "match policy",
+                tag: 9
+            })
+        ));
     }
 }

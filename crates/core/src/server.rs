@@ -8,6 +8,7 @@
 
 use netsim::SimTime;
 
+use crate::error::CommunityError;
 use crate::interest::Interest;
 use crate::protocol::{Request, Response};
 use crate::semantics::MatchPolicy;
@@ -18,22 +19,51 @@ use crate::store::MemberStore;
 /// `policy` is the interest-matching policy used for
 /// `PS_GETINTERESTEDMEMBERLIST` (so a semantically taught device answers for
 /// synonym interests too).
+///
+/// Internal failures (which [`try_handle_request`] reports as errors) are
+/// folded into wire responses here, because a server must always answer:
+/// a missing login session answers `NO_MEMBERS_YET` like any other
+/// member-less device, anything else becomes a `Response::Error`.
 pub fn handle_request(
     store: &mut MemberStore,
     policy: &MatchPolicy,
     request: &Request,
     now: SimTime,
 ) -> Response {
+    match try_handle_request(store, policy, request, now) {
+        Ok(resp) => resp,
+        Err(CommunityError::NotLoggedIn | CommunityError::NoActiveAccount) => {
+            Response::NoMembersYet
+        }
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+/// Handles one client request, reporting internal inconsistencies as typed
+/// errors instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`CommunityError::NoActiveAccount`] when the login session names
+/// an account the store no longer holds.
+pub fn try_handle_request(
+    store: &mut MemberStore,
+    policy: &MatchPolicy,
+    request: &Request,
+    now: SimTime,
+) -> Result<Response, CommunityError> {
     // Every operation needs a logged-in member; without one the device
     // answers as the thesis's servers do for foreign member ids.
     let Some(active) = store.active_member().map(str::to_owned) else {
-        return Response::NoMembersYet;
+        return Ok(Response::NoMembersYet);
     };
 
-    match request {
+    Ok(match request {
         Request::GetOnlineMemberList => Response::MemberList(vec![active]),
         Request::GetInterestList => {
-            let account = store.active_account().expect("active checked");
+            let account = store
+                .active_account()
+                .ok_or(CommunityError::NoActiveAccount)?;
             Response::InterestList(
                 account
                     .profile()
@@ -44,7 +74,9 @@ pub fn handle_request(
             )
         }
         Request::GetInterestedMemberList { interest } => {
-            let account = store.active_account().expect("active checked");
+            let account = store
+                .active_account()
+                .ok_or(CommunityError::NoActiveAccount)?;
             let asked = Interest::new(interest);
             let has = account
                 .profile()
@@ -59,9 +91,11 @@ pub fn handle_request(
         }
         Request::GetProfile { member, requester } => {
             if *member != active {
-                return Response::NoMembersYet;
+                return Ok(Response::NoMembersYet);
             }
-            let account = store.active_account_mut().expect("active checked");
+            let account = store
+                .active_account_mut()
+                .ok_or(CommunityError::NoActiveAccount)?;
             account.profile_mut().record_visit(requester.clone(), now);
             Response::Profile(account.profile_view())
         }
@@ -71,9 +105,11 @@ pub fn handle_request(
             comment,
         } => {
             if *member != active {
-                return Response::NoMembersYet;
+                return Ok(Response::NoMembersYet);
             }
-            let account = store.active_account_mut().expect("active checked");
+            let account = store
+                .active_account_mut()
+                .ok_or(CommunityError::NoActiveAccount)?;
             account
                 .profile_mut()
                 .add_comment(author.clone(), comment.clone(), now);
@@ -87,9 +123,11 @@ pub fn handle_request(
             body,
         } => {
             if *to != active {
-                return Response::MessageFailed;
+                return Ok(Response::MessageFailed);
             }
-            let account = store.active_account_mut().expect("active checked");
+            let account = store
+                .active_account_mut()
+                .ok_or(CommunityError::NoActiveAccount)?;
             account.mailbox.deliver(crate::message::MailMessage {
                 from: from.clone(),
                 to: to.clone(),
@@ -101,26 +139,32 @@ pub fn handle_request(
         }
         Request::GetSharedContent { member, requester } => {
             if *member != active {
-                return Response::NoMembersYet;
+                return Ok(Response::NoMembersYet);
             }
-            let account = store.active_account().expect("active checked");
+            let account = store
+                .active_account()
+                .ok_or(CommunityError::NoActiveAccount)?;
             if !account.trusted.contains(requester) {
-                return Response::NotTrustedYet;
+                return Ok(Response::NotTrustedYet);
             }
             Response::SharedContent(account.shared.listing())
         }
         Request::GetTrustedFriends { member } => {
             if *member != active {
-                return Response::NoMembersYet;
+                return Ok(Response::NoMembersYet);
             }
-            let account = store.active_account().expect("active checked");
+            let account = store
+                .active_account()
+                .ok_or(CommunityError::NoActiveAccount)?;
             Response::TrustedFriends(account.trusted.iter().cloned().collect())
         }
         Request::CheckTrusted { member, requester } => {
             if *member != active {
-                return Response::NoMembersYet;
+                return Ok(Response::NoMembersYet);
             }
-            let account = store.active_account().expect("active checked");
+            let account = store
+                .active_account()
+                .ok_or(CommunityError::NoActiveAccount)?;
             if account.trusted.contains(requester) {
                 Response::Trusted
             } else {
@@ -133,11 +177,13 @@ pub fn handle_request(
             name,
         } => {
             if *member != active {
-                return Response::NoMembersYet;
+                return Ok(Response::NoMembersYet);
             }
-            let account = store.active_account().expect("active checked");
+            let account = store
+                .active_account()
+                .ok_or(CommunityError::NoActiveAccount)?;
             if !account.trusted.contains(requester) {
-                return Response::NotTrustedYet;
+                return Ok(Response::NotTrustedYet);
             }
             match account.shared.fetch(name) {
                 Some(data) => Response::Content {
@@ -147,7 +193,7 @@ pub fn handle_request(
                 None => Response::Error(format!("no shared item named {name:?}")),
             }
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -302,11 +348,21 @@ mod tests {
     fn check_member_id_compares_against_active() {
         let mut s = logged_in_store();
         assert_eq!(
-            ask(&mut s, Request::CheckMemberId { member: "bob".into() }),
+            ask(
+                &mut s,
+                Request::CheckMemberId {
+                    member: "bob".into()
+                }
+            ),
             Response::CheckMemberResult(true)
         );
         assert_eq!(
-            ask(&mut s, Request::CheckMemberId { member: "eve".into() }),
+            ask(
+                &mut s,
+                Request::CheckMemberId {
+                    member: "eve".into()
+                }
+            ),
             Response::CheckMemberResult(false)
         );
     }
@@ -379,7 +435,12 @@ mod tests {
         s.require_active().unwrap().trusted.insert("carol".into());
         s.require_active().unwrap().trusted.insert("alice".into());
         assert_eq!(
-            ask(&mut s, Request::GetTrustedFriends { member: "bob".into() }),
+            ask(
+                &mut s,
+                Request::GetTrustedFriends {
+                    member: "bob".into()
+                }
+            ),
             Response::TrustedFriends(vec!["alice".into(), "carol".into()])
         );
     }
@@ -387,7 +448,10 @@ mod tests {
     #[test]
     fn fetch_content_transfers_bytes_to_trusted() {
         let mut s = logged_in_store();
-        s.require_active().unwrap().shared.share("a.txt", "text", vec![9, 9]);
+        s.require_active()
+            .unwrap()
+            .shared
+            .share("a.txt", "text", vec![9, 9]);
         s.require_active().unwrap().trusted.insert("alice".into());
         let resp = ask(
             &mut s,

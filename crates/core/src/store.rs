@@ -7,7 +7,7 @@
 //! serves the *logged-in* account's data; when nobody is logged in it
 //! answers `NO_MEMBERS_YET`.
 
-use serde::{Deserialize, Serialize};
+use codec::{decode_seq, encode_seq, read_len, DecodeError, Wire};
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::content::ContentStore;
@@ -16,7 +16,7 @@ use crate::message::Mailbox;
 use crate::profile::{Profile, ProfileView};
 
 /// One local account.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Account {
     username: String,
     /// Deliberately simple credential check: this reproduces a 2008 research
@@ -93,7 +93,7 @@ impl Account {
 }
 
 /// All accounts on one device, plus the login session.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MemberStore {
     accounts: BTreeMap<String, Account>,
     active: Option<String>,
@@ -191,18 +191,33 @@ impl MemberStore {
         self.accounts.len()
     }
 
-    /// Serializes the whole store to JSON (profile/message persistence).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("MemberStore is always serializable")
+    /// Serializes the whole store to its binary snapshot form
+    /// (profile/message persistence).
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        self.encode_to(&mut out);
+        out
     }
 
-    /// Restores a store from JSON.
+    /// Restores a store from a snapshot written by
+    /// [`MemberStore::to_snapshot`].
     ///
     /// # Errors
     ///
-    /// Returns [`CommunityError::Codec`] on malformed input.
-    pub fn from_json(json: &str) -> Result<Self, CommunityError> {
-        serde_json::from_str(json).map_err(|e| CommunityError::Codec(e.to_string()))
+    /// Returns [`CommunityError::Decode`] on malformed input, including a
+    /// missing or wrong magic header.
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, CommunityError> {
+        let mut input = bytes;
+        let magic =
+            codec::take(&mut input, SNAPSHOT_MAGIC.len()).map_err(CommunityError::Decode)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(CommunityError::Decode(DecodeError::BadTag {
+                what: "store snapshot magic",
+                tag: magic[0],
+            }));
+        }
+        MemberStore::decode_exact(input).map_err(CommunityError::Decode)
     }
 
     /// Persists the store to a file — "user's registration and all other
@@ -212,19 +227,88 @@ impl MemberStore {
     ///
     /// Propagates filesystem errors.
     pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        std::fs::write(path, self.to_snapshot())
     }
 
     /// Restores a store from a file written by [`MemberStore::save_to`].
     ///
     /// # Errors
     ///
-    /// Returns [`CommunityError::Codec`] when the file is unreadable or
-    /// malformed.
+    /// Returns [`CommunityError::Persistence`] when the file is unreadable
+    /// and [`CommunityError::Decode`] when its contents are malformed.
     pub fn load_from(path: impl AsRef<std::path::Path>) -> Result<Self, CommunityError> {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| CommunityError::Codec(format!("cannot read store file: {e}")))?;
-        Self::from_json(&json)
+        let bytes = std::fs::read(path)
+            .map_err(|e| CommunityError::Persistence(format!("cannot read store file: {e}")))?;
+        Self::from_snapshot(&bytes)
+    }
+}
+
+/// File-format marker: "PHCS" (PeerHood Community Store) + format byte.
+const SNAPSHOT_MAGIC: &[u8; 5] = b"PHCS\x01";
+
+impl Wire for Account {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.username.encode_to(out);
+        self.password.encode_to(out);
+        encode_seq(&self.profiles, out);
+        (self.active_profile as u64).encode_to(out);
+        self.trusted.encode_to(out);
+        self.mailbox.encode_to(out);
+        self.shared.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let username = String::decode(input)?;
+        let password = String::decode(input)?;
+        let profiles: Vec<Profile> = decode_seq(input)?;
+        let active_profile = u64::decode(input)? as usize;
+        // A snapshot whose active index points past its profile list would
+        // make `Account::profile` panic; reject it here instead.
+        if active_profile >= profiles.len() {
+            return Err(DecodeError::LengthOverflow {
+                claimed: active_profile,
+                available: profiles.len(),
+            });
+        }
+        Ok(Account {
+            username,
+            password,
+            profiles,
+            active_profile,
+            trusted: BTreeSet::decode(input)?,
+            mailbox: Mailbox::decode(input)?,
+            shared: ContentStore::decode(input)?,
+        })
+    }
+}
+
+impl Wire for MemberStore {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.accounts.len() as u32).encode_to(out);
+        for account in self.accounts.values() {
+            account.encode_to(out);
+        }
+        self.active.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let n = read_len(input)?;
+        let mut accounts = BTreeMap::new();
+        for _ in 0..n {
+            let account = Account::decode(input)?;
+            accounts.insert(account.username.clone(), account);
+        }
+        let active = Option::<String>::decode(input)?;
+        // The login session must reference an account that exists.
+        if let Some(name) = &active {
+            if !accounts.contains_key(name) {
+                return Err(DecodeError::BadTag {
+                    what: "active member without account",
+                    tag: 0,
+                });
+            }
+        }
+        Ok(MemberStore { accounts, active })
     }
 }
 
@@ -283,10 +367,7 @@ mod tests {
         assert_eq!(acc.profile().display_name, "Work Bob");
         assert_eq!(acc.active_profile_index(), 1);
         assert_eq!(acc.profiles().len(), 2);
-        assert_eq!(
-            acc.select_profile(9),
-            Err(CommunityError::NoSuchProfile(9))
-        );
+        assert_eq!(acc.select_profile(9), Err(CommunityError::NoSuchProfile(9)));
     }
 
     #[test]
@@ -305,14 +386,21 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip() {
+    fn snapshot_round_trip() {
         let mut s = store_with_bob();
         s.login("bob", "pw").unwrap();
-        s.require_active().unwrap().shared.share("f", "file", vec![1]);
-        let json = s.to_json();
-        let back = MemberStore::from_json(&json).unwrap();
+        s.require_active()
+            .unwrap()
+            .shared
+            .share("f", "file", vec![1]);
+        let bytes = s.to_snapshot();
+        let back = MemberStore::from_snapshot(&bytes).unwrap();
         assert_eq!(s, back);
-        assert!(MemberStore::from_json("{bad").is_err());
+        assert!(MemberStore::from_snapshot(b"{bad").is_err());
+        assert!(MemberStore::from_snapshot(&[]).is_err());
+        // Corrupting the payload is reported, not panicked on.
+        let truncated = &bytes[..bytes.len() - 1];
+        assert!(MemberStore::from_snapshot(truncated).is_err());
     }
 
     #[test]

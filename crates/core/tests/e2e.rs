@@ -23,17 +23,18 @@ fn member_app(name: &str, interests: &[&str]) -> CommunityApp {
 }
 
 /// The thesis's lab setup: a few stationary PCs within Bluetooth range.
-fn lab_cluster(seed: u64, members: &[(&str, &[&str])], mode: OpMode) -> (Cluster<CommunityApp>, Vec<NodeId>) {
+fn lab_cluster(
+    seed: u64,
+    members: &[(&str, &[&str])],
+    mode: OpMode,
+) -> (Cluster<CommunityApp>, Vec<NodeId>) {
     let mut cluster = Cluster::new(seed);
     let mut nodes = Vec::new();
     for (i, (name, interests)) in members.iter().enumerate() {
         let angle = i as f64 / members.len() as f64 * std::f64::consts::TAU;
         let pos = Point2::new(3.0 * angle.cos(), 3.0 * angle.sin());
         let app = member_app(name, interests).with_op_mode(mode);
-        nodes.push(cluster.add_node(
-            NodeBuilder::new(format!("{name}-pc")).at(pos),
-            app,
-        ));
+        nodes.push(cluster.add_node(NodeBuilder::new(format!("{name}-pc")).at(pos), app));
     }
     cluster.start();
     (cluster, nodes)
@@ -126,7 +127,13 @@ fn profile_view_logs_visitor_and_comment_is_written() {
         other => panic!("unexpected {other:?}"),
     }
     // The server logged the visit.
-    let visitors = &c.app(n[1]).store().active_account().unwrap().profile().visitors;
+    let visitors = &c
+        .app(n[1])
+        .store()
+        .active_account()
+        .unwrap()
+        .profile()
+        .visitors;
     assert_eq!(visitors[0].visitor, "alice");
 
     // Figure 14: alice comments on bob's profile.
@@ -136,7 +143,13 @@ fn profile_view_logs_visitor_and_comment_is_written() {
         c.app(n[0]).outcome(op).unwrap().result,
         OpResult::CommentResult { written: true }
     );
-    let comments = &c.app(n[1]).store().active_account().unwrap().profile().comments;
+    let comments = &c
+        .app(n[1])
+        .store()
+        .active_account()
+        .unwrap()
+        .profile()
+        .comments;
     assert_eq!(comments.len(), 1);
     assert_eq!(comments[0].author, "alice");
     assert_eq!(comments[0].text, "hi bob!");
@@ -217,7 +230,14 @@ fn messages_reach_the_inbox() {
         c.app(n[0]).outcome(op).unwrap().result,
         OpResult::MessageResult { written: true }
     );
-    let inbox = c.app(n[1]).store().active_account().unwrap().mailbox.inbox().to_vec();
+    let inbox = c
+        .app(n[1])
+        .store()
+        .active_account()
+        .unwrap()
+        .mailbox
+        .inbox()
+        .to_vec();
     assert_eq!(inbox.len(), 1);
     assert_eq!(inbox[0].from, "alice");
     assert_eq!(inbox[0].subject, "pub tonight?");
@@ -289,10 +309,7 @@ fn semantics_teaching_merges_fragmented_groups() {
 fn manual_join_and_leave() {
     let (mut c, n) = lab_cluster(
         8,
-        &[
-            ("alice", &["chess", "poker"]),
-            ("bob", &["chess", "poker"]),
-        ],
+        &[("alice", &["chess", "poker"]), ("bob", &["chess", "poker"])],
         OpMode::Persistent,
     );
     c.run_until(SimTime::from_secs(40));
@@ -398,19 +415,30 @@ fn scenario_runs_are_deterministic() {
 
 #[test]
 fn trace_records_msc_vocabulary() {
-    let (mut c, n) = lab_cluster(11, &[("alice", &["x"]), ("bob", &["x"])], OpMode::Persistent);
+    let (mut c, n) = lab_cluster(
+        11,
+        &[("alice", &["x"]), ("bob", &["x"])],
+        OpMode::Persistent,
+    );
     c.run_until(SimTime::from_secs(40));
     c.clear_trace();
     let _op = c.with_app(n[0], |app, ctx| app.view_profile("bob", ctx));
     c.run_until(SimTime::from_secs(45));
     let trace = c.trace();
-    assert!(trace.contains_subsequence(&["PS_GETPROFILE", "PROFILE_INFO", "DISPLAY PROFILE"]),
-        "labels: {:?}", trace.labels());
+    assert!(
+        trace.contains_subsequence(&["PS_GETPROFILE", "PROFILE_INFO", "DISPLAY PROFILE"]),
+        "labels: {:?}",
+        trace.labels()
+    );
 }
 
 #[test]
 fn convenience_accessors_reflect_session_state() {
-    let (mut c, n) = lab_cluster(12, &[("alice", &["x"]), ("bob", &["x"])], OpMode::Persistent);
+    let (mut c, n) = lab_cluster(
+        12,
+        &[("alice", &["x"]), ("bob", &["x"])],
+        OpMode::Persistent,
+    );
     c.run_until(SimTime::from_secs(40));
     assert!(c.app(n[1]).my_visitors().is_empty());
     assert!(c.app(n[1]).inbox().is_empty());
@@ -451,7 +479,10 @@ fn community_works_over_every_single_technology() {
         let op = c.with_app(a, |app, ctx| app.send_message("bob", "s", "b", ctx));
         c.run_until(SimTime::from_secs(90));
         assert_eq!(
-            c.app(a).outcome(op).unwrap_or_else(|| panic!("op over {tech}")).result,
+            c.app(a)
+                .outcome(op)
+                .unwrap_or_else(|| panic!("op over {tech}"))
+                .result,
             OpResult::MessageResult { written: true },
             "message over {tech}"
         );

@@ -50,7 +50,11 @@ fn fan_out_completes_with_partial_results_when_a_peer_departs() {
     );
     c.start();
     c.run_until(SimTime::from_secs(58));
-    assert_eq!(c.app(a).known_members().len(), 2, "both known before the walk");
+    assert_eq!(
+        c.app(a).known_members().len(),
+        2,
+        "both known before the walk"
+    );
 
     // Start the op moments before the leaver vanishes.
     let op = c.with_app(a, |app, ctx| app.get_member_list(ctx));
@@ -99,7 +103,10 @@ fn per_operation_plan_skips_unreachable_devices() {
 
     let op = c.with_app(a, |app, ctx| app.get_member_list(ctx));
     c.run_until(SimTime::from_secs(200));
-    let outcome = c.app(a).outcome(op).expect("plan must not hang on the leaver");
+    let outcome = c
+        .app(a)
+        .outcome(op)
+        .expect("plan must not hang on the leaver");
     match &outcome.result {
         OpResult::Members(names) => assert!(names.contains(&"stayer".to_owned())),
         other => panic!("unexpected {other:?}"),
@@ -119,7 +126,11 @@ fn switching_profiles_changes_served_interests_and_groups() {
     );
     c.start();
     c.run_until(SimTime::from_secs(40));
-    assert_eq!(c.app(a).groups().len(), 1, "chess group from the hobby profile");
+    assert_eq!(
+        c.app(a).groups().len(),
+        1,
+        "chess group from the hobby profile"
+    );
 
     // Bob switches to his work profile (databases only). Alice's refresh
     // re-fetches his interests; the chess group dissolves for her.
@@ -139,8 +150,14 @@ fn switching_profiles_changes_served_interests_and_groups() {
 #[test]
 fn trust_revocation_takes_effect_immediately() {
     let mut c = Cluster::new(104);
-    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
-    let b = c.add_node(NodeBuilder::new("b").at(Point2::new(3.0, 0.0)), member("bob", &["x"]));
+    let a = c.add_node(
+        NodeBuilder::new("a").at(Point2::ORIGIN),
+        member("alice", &["x"]),
+    );
+    let b = c.add_node(
+        NodeBuilder::new("b").at(Point2::new(3.0, 0.0)),
+        member("bob", &["x"]),
+    );
     c.start();
     c.run_until(SimTime::from_secs(40));
 
@@ -174,9 +191,18 @@ fn duplicate_member_names_on_two_devices_do_not_crash() {
     // account authority). Operations must stay well-defined: fan-outs
     // dedup by name, direct ops pick one host.
     let mut c = Cluster::new(105);
-    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
-    let _b1 = c.add_node(NodeBuilder::new("b1").at(Point2::new(3.0, 0.0)), member("bob", &["x"]));
-    let _b2 = c.add_node(NodeBuilder::new("b2").at(Point2::new(0.0, 3.0)), member("bob", &["x"]));
+    let a = c.add_node(
+        NodeBuilder::new("a").at(Point2::ORIGIN),
+        member("alice", &["x"]),
+    );
+    let _b1 = c.add_node(
+        NodeBuilder::new("b1").at(Point2::new(3.0, 0.0)),
+        member("bob", &["x"]),
+    );
+    let _b2 = c.add_node(
+        NodeBuilder::new("b2").at(Point2::new(0.0, 3.0)),
+        member("bob", &["x"]),
+    );
     c.start();
     c.run_until(SimTime::from_secs(40));
 
@@ -201,8 +227,14 @@ fn duplicate_member_names_on_two_devices_do_not_crash() {
 #[test]
 fn empty_interest_profiles_form_no_groups_but_everything_else_works() {
     let mut c = Cluster::new(106);
-    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &[]));
-    let _b = c.add_node(NodeBuilder::new("b").at(Point2::new(3.0, 0.0)), member("bob", &[]));
+    let a = c.add_node(
+        NodeBuilder::new("a").at(Point2::ORIGIN),
+        member("alice", &[]),
+    );
+    let _b = c.add_node(
+        NodeBuilder::new("b").at(Point2::new(3.0, 0.0)),
+        member("bob", &[]),
+    );
     c.start();
     c.run_until(SimTime::from_secs(40));
     assert!(c.app(a).groups().is_empty());
@@ -223,7 +255,10 @@ fn comment_on_logged_out_device_reports_not_written() {
         .create_account("ghost", "pw", Profile::new("Ghost"))
         .expect("fresh");
     let mut c = Cluster::new(107);
-    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
+    let a = c.add_node(
+        NodeBuilder::new("a").at(Point2::ORIGIN),
+        member("alice", &["x"]),
+    );
     let _g = c.add_node(
         NodeBuilder::new("g").at(Point2::new(3.0, 0.0)),
         CommunityApp::new(store),

@@ -37,8 +37,12 @@ fn three_member_community_over_real_sockets() {
     assert!(
         net.run_until(Duration::from_secs(15), |n| {
             let groups = n.app(alice).groups();
-            groups.iter().any(|g| g.key == "rust" && g.members.len() == 3)
-                && groups.iter().any(|g| g.key == "sauna" && g.members.len() == 2)
+            groups
+                .iter()
+                .any(|g| g.key == "rust" && g.members.len() == 3)
+                && groups
+                    .iter()
+                    .any(|g| g.key == "sauna" && g.members.len() == 2)
         }),
         "groups: {:?}",
         net.app(alice).groups()
@@ -56,7 +60,9 @@ fn three_member_community_over_real_sockets() {
     }
 
     // A direct message.
-    let op = net.with_app(alice, |app, ctx| app.send_message("carol", "hi", "tcp!", ctx));
+    let op = net.with_app(alice, |app, ctx| {
+        app.send_message("carol", "hi", "tcp!", ctx)
+    });
     assert!(net.run_until(Duration::from_secs(10), |n| n
         .app(alice)
         .outcome(op)

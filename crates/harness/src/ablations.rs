@@ -61,7 +61,8 @@ pub fn discovery_by_technology(trials: usize, base_seed: u64) -> Vec<(Technology
         .map(|tech| {
             let samples: Vec<Duration> = (0..trials)
                 .map(|t| {
-                    let mut c: Cluster<Waiter> = Cluster::new(base_seed ^ (t as u64) << 8 ^ tech as u64);
+                    let mut c: Cluster<Waiter> =
+                        Cluster::new(base_seed ^ (t as u64) << 8 ^ tech as u64);
                     let a = c.add_node(
                         NodeBuilder::new("a")
                             .at(Point2::ORIGIN)
@@ -98,7 +99,10 @@ pub fn render_discovery_by_technology(rows: &[(Technology, Summary)]) -> String 
             format!("{:.2} s", s.max),
         ]);
     }
-    format!("A1 — time to discover an in-range peer, per technology\n{}", t.render())
+    format!(
+        "A1 — time to discover an in-range peer, per technology\n{}",
+        t.render()
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -150,7 +154,9 @@ pub fn scaling(peer_counts: &[usize], trials: usize, base_seed: u64) -> Vec<Scal
 
                 // Let the neighborhood settle before the operation.
                 s.cluster.run_for(Duration::from_secs(60));
-                let op = s.cluster.with_app(observer, |app, ctx| app.get_member_list(ctx));
+                let op = s
+                    .cluster
+                    .with_app(observer, |app, ctx| app.get_member_list(ctx));
                 let deadline = s.cluster.now() + Duration::from_secs(600);
                 s.cluster
                     .run_until_condition(deadline, |c| c.app(observer).outcome(op).is_some())
@@ -175,12 +181,7 @@ pub fn scaling(peer_counts: &[usize], trials: usize, base_seed: u64) -> Vec<Scal
 
 /// Renders A2.
 pub fn render_scaling(points: &[ScalingPoint]) -> String {
-    let mut t = TextTable::new([
-        "Peers",
-        "Mode",
-        "Group search (mean)",
-        "Member list (mean)",
-    ]);
+    let mut t = TextTable::new(["Peers", "Mode", "Group search (mean)", "Member list (mean)"]);
     for p in points {
         t.add_row([
             p.peers.to_string(),
@@ -338,10 +339,9 @@ pub fn handover(trials: usize, base_seed: u64) -> Vec<HandoverResult> {
             match event {
                 AppEvent::Connected { conn, .. } => self.conn = Some(conn),
                 AppEvent::Data { .. } => self.delivered += 1,
-                AppEvent::Closed { reason, .. }
-                    if reason != CloseReason::LocalClose => {
-                        self.lost = true;
-                    }
+                AppEvent::Closed { reason, .. } if reason != CloseReason::LocalClose => {
+                    self.lost = true;
+                }
                 _ => {}
             }
         }
@@ -354,7 +354,8 @@ pub fn handover(trials: usize, base_seed: u64) -> Vec<HandoverResult> {
             let mut delivered_total = 0usize;
             const CHUNKS: usize = 30;
             for t in 0..trials {
-                let mut c: Cluster<Mover> = Cluster::new(base_seed ^ (t as u64) << 4 ^ seamless as u64);
+                let mut c: Cluster<Mover> =
+                    Cluster::new(base_seed ^ (t as u64) << 4 ^ seamless as u64);
                 let a = c.add_node_with(
                     NodeBuilder::new("sender")
                         .at(Point2::ORIGIN)
@@ -385,7 +386,8 @@ pub fn handover(trials: usize, base_seed: u64) -> Vec<HandoverResult> {
                     for i in 0..CHUNKS {
                         c.run_until(SimTime::from_secs(25 + 2 * i as u64));
                         c.with_app(a, |_, ctx| {
-                            ctx.peerhood().send(conn, bytes::Bytes::from_static(&[0u8; 512]))
+                            ctx.peerhood()
+                                .send(conn, codec::Bytes::from_static(&[0u8; 512]))
                         });
                     }
                 }
@@ -406,7 +408,11 @@ pub fn handover(trials: usize, base_seed: u64) -> Vec<HandoverResult> {
 
 /// Renders A4.
 pub fn render_handover(rows: &[HandoverResult]) -> String {
-    let mut t = TextTable::new(["Seamless connectivity", "Connection survival", "Chunks delivered"]);
+    let mut t = TextTable::new([
+        "Seamless connectivity",
+        "Connection survival",
+        "Chunks delivered",
+    ]);
     for r in rows {
         t.add_row([
             if r.seamless { "on" } else { "off" }.to_owned(),
@@ -474,18 +480,20 @@ pub fn churn(members: usize, minutes: u64, seed: u64) -> ChurnResult {
             (Duration::from_secs(15), Duration::from_secs(60)),
             rng.fork(i as u64),
         );
-        wanderers.push(c.add_node_with(
-            NodeBuilder::new(format!("wanderer{i}"))
-                .moving(mobility)
-                .with_technologies([Technology::Bluetooth]),
-            tune,
-            CommunityApp::with_member(
-                &format!("wanderer{i}"),
-                "pw",
-                Profile::new(format!("W{i}")).with_interests(["football"]),
-            )
-            .with_refresh_interval(Duration::from_secs(10)),
-        ));
+        wanderers.push(
+            c.add_node_with(
+                NodeBuilder::new(format!("wanderer{i}"))
+                    .moving(mobility)
+                    .with_technologies([Technology::Bluetooth]),
+                tune,
+                CommunityApp::with_member(
+                    &format!("wanderer{i}"),
+                    "pw",
+                    Profile::new(format!("W{i}")).with_interests(["football"]),
+                )
+                .with_refresh_interval(Duration::from_secs(10)),
+            ),
+        );
     }
     c.start();
 
@@ -520,7 +528,11 @@ pub fn churn(members: usize, minutes: u64, seed: u64) -> ChurnResult {
             .unwrap_or_default();
         let union = truth.union(&view).count();
         let inter = truth.intersection(&view).count();
-        similarity.push(if union == 0 { 1.0 } else { inter as f64 / union as f64 });
+        similarity.push(if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        });
         t += Duration::from_secs(10);
     }
 
@@ -581,7 +593,10 @@ mod tests {
         };
         let small = get(1, OpMode::PerOperation).member_list.mean;
         let big = get(4, OpMode::PerOperation).member_list.mean;
-        assert!(big > small + 1.0, "sequential connects must add up: {small} -> {big}");
+        assert!(
+            big > small + 1.0,
+            "sequential connects must add up: {small} -> {big}"
+        );
         // Persistent mode barely grows.
         let p_small = get(1, OpMode::Persistent).member_list.mean;
         let p_big = get(4, OpMode::Persistent).member_list.mean;
@@ -593,7 +608,10 @@ mod tests {
     fn a3_teaching_removes_fragmentation() {
         let r = semantics(40, 5, 4, 17);
         assert_eq!(r.semantic_groups, 5, "one group per family once taught");
-        assert!((r.semantic_coverage - 1.0).abs() < 1e-9, "taught matching captures everyone");
+        assert!(
+            (r.semantic_coverage - 1.0).abs() < 1e-9,
+            "taught matching captures everyone"
+        );
         assert!(
             r.exact_coverage < 0.5,
             "4 spellings must fragment away >half the members, got {}",
@@ -610,8 +628,16 @@ mod tests {
         let rows = handover(4, 19);
         let on = rows.iter().find(|r| r.seamless).expect("present");
         let off = rows.iter().find(|r| !r.seamless).expect("present");
-        assert!(on.survival_rate > 0.9, "seamless survival {}", on.survival_rate);
-        assert!(off.survival_rate < 0.5, "without handover {}", off.survival_rate);
+        assert!(
+            on.survival_rate > 0.9,
+            "seamless survival {}",
+            on.survival_rate
+        );
+        assert!(
+            off.survival_rate < 0.5,
+            "without handover {}",
+            off.survival_rate
+        );
         assert!(on.delivery_rate > off.delivery_rate);
         assert!(!render_handover(&rows).is_empty());
     }

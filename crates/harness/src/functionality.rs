@@ -78,7 +78,7 @@ struct Probe {
     service_lists: Vec<(DeviceId, Vec<String>)>,
     connected: Vec<ConnId>,
     incoming: Vec<ConnId>,
-    data: Vec<bytes::Bytes>,
+    data: Vec<codec::Bytes>,
     monitor_alerts: Vec<(DeviceId, bool)>,
     handovers: Vec<(Technology, Technology)>,
     closed: usize,
@@ -87,7 +87,8 @@ struct Probe {
 impl Application for Probe {
     fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
         if self.serve {
-            ctx.peerhood().register_service(ServiceInfo::new("probe-svc"));
+            ctx.peerhood()
+                .register_service(ServiceInfo::new("probe-svc"));
         }
     }
 
@@ -98,9 +99,10 @@ impl Application for Probe {
                 ctx.peerhood().monitor(info.id);
                 ctx.peerhood().request_service_list(info.id);
             }
-            AppEvent::ServiceList { device, services } => self
-                .service_lists
-                .push((device, services.iter().map(|s| s.name().to_owned()).collect())),
+            AppEvent::ServiceList { device, services } => self.service_lists.push((
+                device,
+                services.iter().map(|s| s.name().to_owned()).collect(),
+            )),
             AppEvent::Connected { conn, .. } => self.connected.push(conn),
             AppEvent::Incoming { conn, .. } => self.incoming.push(conn),
             AppEvent::Data { payload, .. } => self.data.push(payload),
@@ -120,10 +122,7 @@ pub fn table3(seed: u64) -> Vec<Check> {
 
     // Rows 1–5 in one scenario: two stationary devices in Bluetooth range.
     let mut c: Cluster<Probe> = Cluster::new(seed);
-    let a = c.add_node(
-        NodeBuilder::new("a").at(Point2::ORIGIN),
-        Probe::default(),
-    );
+    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), Probe::default());
     let b = c.add_node(
         NodeBuilder::new("b").at(Point2::new(4.0, 0.0)),
         Probe {
@@ -168,7 +167,8 @@ pub fn table3(seed: u64) -> Vec<Check> {
     if conn_ok {
         let conn = c.app(a).connected[0];
         c.with_app(a, |_, ctx| {
-            ctx.peerhood().send(conn, bytes::Bytes::from_static(b"hello peerhood"))
+            ctx.peerhood()
+                .send(conn, codec::Bytes::from_static(b"hello peerhood"))
         });
         c.run_until(SimTime::from_secs(26));
     }
@@ -180,7 +180,10 @@ pub fn table3(seed: u64) -> Vec<Check> {
 
     // Row 6 — active monitoring: departure raises an alert.
     let mut c: Cluster<Probe> = Cluster::new(seed ^ 0x11);
-    let a = c.add_node(NodeBuilder::new("watcher").at(Point2::ORIGIN), Probe::default());
+    let a = c.add_node(
+        NodeBuilder::new("watcher").at(Point2::ORIGIN),
+        Probe::default(),
+    );
     let _walker = c.add_node(
         NodeBuilder::new("walker")
             .moving(ScriptedPath::new(vec![
@@ -231,7 +234,8 @@ pub fn table3(seed: u64) -> Vec<Check> {
         for t in (26..70).step_by(2) {
             c.run_until(SimTime::from_secs(t));
             c.with_app(a, |_, ctx| {
-                ctx.peerhood().send(conn, bytes::Bytes::from_static(b"chunk"))
+                ctx.peerhood()
+                    .send(conn, codec::Bytes::from_static(b"chunk"))
             });
         }
     }
@@ -295,12 +299,17 @@ pub fn table6() -> Vec<Check> {
             |r| matches!(r, Response::InterestList(v) if !v.is_empty()),
         ),
         (
-            Request::GetInterestedMemberList { interest: "football".into() },
+            Request::GetInterestedMemberList {
+                interest: "football".into(),
+            },
             "lists online members holding a common interest",
             |r| matches!(r, Response::InterestedMembers(v) if v == &["bob"]),
         ),
         (
-            Request::GetProfile { member: "bob".into(), requester: "alice".into() },
+            Request::GetProfile {
+                member: "bob".into(),
+                requester: "alice".into(),
+            },
             "transmits the local user profile (and logs the visitor)",
             |r| matches!(r, Response::Profile(v) if v.member == "bob"),
         ),
@@ -314,7 +323,9 @@ pub fn table6() -> Vec<Check> {
             |r| matches!(r, Response::CommentWritten),
         ),
         (
-            Request::CheckMemberId { member: "bob".into() },
+            Request::CheckMemberId {
+                member: "bob".into(),
+            },
             "compares the member id with the local user's id",
             |r| matches!(r, Response::CheckMemberResult(true)),
         ),
@@ -329,17 +340,25 @@ pub fn table6() -> Vec<Check> {
             |r| matches!(r, Response::MessageWritten),
         ),
         (
-            Request::GetSharedContent { member: "bob".into(), requester: "alice".into() },
+            Request::GetSharedContent {
+                member: "bob".into(),
+                requester: "alice".into(),
+            },
             "transmits the shared-content list to trusted requesters",
             |r| matches!(r, Response::SharedContent(v) if v.len() == 1),
         ),
         (
-            Request::GetTrustedFriends { member: "bob".into() },
+            Request::GetTrustedFriends {
+                member: "bob".into(),
+            },
             "transmits the trusted-friends list",
             |r| matches!(r, Response::TrustedFriends(v) if v == &["alice"]),
         ),
         (
-            Request::CheckTrusted { member: "bob".into(), requester: "alice".into() },
+            Request::CheckTrusted {
+                member: "bob".into(),
+                requester: "alice".into(),
+            },
             "answers whether the requester is trusted",
             |r| matches!(r, Response::Trusted),
         ),
@@ -388,15 +407,24 @@ pub fn table7(seed: u64) -> Vec<Check> {
     // Profiles: Add/Edit Profile.
     s.cluster.with_app(observer, |app, _| {
         let account = app.store_mut().require_active().expect("logged in");
-        account.profile_mut().fields.insert("city".into(), "Lappeenranta".into());
+        account
+            .profile_mut()
+            .fields
+            .insert("city".into(), "Lappeenranta".into());
     });
     let edited = s
         .cluster
         .app(observer)
         .store()
         .active_account()
-        .is_some_and(|a| a.profile().fields.get("city").map(String::as_str) == Some("Lappeenranta"));
-    checks.push(check("Add/Edit Profile", edited, "profile field edited locally"));
+        .is_some_and(|a| {
+            a.profile().fields.get("city").map(String::as_str) == Some("Lappeenranta")
+        });
+    checks.push(check(
+        "Add/Edit Profile",
+        edited,
+        "profile field edited locally",
+    ));
 
     // Add/Edit Personal Interest.
     s.cluster.with_app(observer, |app, ctx| {
@@ -419,7 +447,9 @@ pub fn table7(seed: u64) -> Vec<Check> {
     ));
 
     // View All Members (Figure 11).
-    let op = s.cluster.with_app(observer, |app, ctx| app.get_member_list(ctx));
+    let op = s
+        .cluster
+        .with_app(observer, |app, ctx| app.get_member_list(ctx));
     s.cluster.run_for(Duration::from_secs(10));
     let members_ok = matches!(
         s.cluster.app(observer).outcome(op).map(|o| &o.result),
@@ -428,15 +458,17 @@ pub fn table7(seed: u64) -> Vec<Check> {
     checks.push(check("View All Members", members_ok, "both peers listed"));
 
     // View/Comment Other Members Profile.
-    let op = s.cluster.with_app(observer, |app, ctx| app.view_profile("member1", ctx));
+    let op = s
+        .cluster
+        .with_app(observer, |app, ctx| app.view_profile("member1", ctx));
     s.cluster.run_for(Duration::from_secs(10));
     let viewed = matches!(
         s.cluster.app(observer).outcome(op).map(|o| &o.result),
         Some(OpResult::Profile(Some(v))) if v.member == "member1"
     );
-    let op = s
-        .cluster
-        .with_app(observer, |app, ctx| app.put_comment("member1", "hello!", ctx));
+    let op = s.cluster.with_app(observer, |app, ctx| {
+        app.put_comment("member1", "hello!", ctx)
+    });
     s.cluster.run_for(Duration::from_secs(10));
     let commented = matches!(
         s.cluster.app(observer).outcome(op).map(|o| &o.result),
@@ -522,7 +554,9 @@ pub fn table7(seed: u64) -> Vec<Check> {
     let groups = s.cluster.app(observer).groups();
     checks.push(check(
         "Dynamic Discovery with Common Interest",
-        groups.iter().any(|g| g.key == "football" && g.members.len() == 3),
+        groups
+            .iter()
+            .any(|g| g.key == "football" && g.members.len() == 3),
         format!("{} groups discovered automatically", groups.len()),
     ));
     checks.push(check(
@@ -631,10 +665,7 @@ mod tests {
 
     #[test]
     fn render_marks_failures() {
-        let out = render_checks(
-            "t",
-            &[check("row", false, "went wrong")],
-        );
+        let out = render_checks("t", &[check("row", false, "went wrong")]);
         assert!(out.contains("NO"));
         assert!(out.contains("went wrong"));
     }

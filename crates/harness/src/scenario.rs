@@ -85,8 +85,8 @@ pub fn lab(config: &LabConfig) -> LabScenario {
         let angle = i as f64 / config.peer_count as f64 * std::f64::consts::TAU;
         let pos = Point2::new(3.0 * angle.cos(), 3.0 * angle.sin());
         let name = format!("member{i}");
-        let mut profile = Profile::new(format!("Member {i}"))
-            .with_interests([config.shared_interest.as_str()]);
+        let mut profile =
+            Profile::new(format!("Member {i}")).with_interests([config.shared_interest.as_str()]);
         for j in 1..=config.extra_interests_per_peer {
             profile.interests.add(format!("extra-{i}-{j}"));
         }

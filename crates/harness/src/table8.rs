@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use serde::Serialize;
+use codec::json::Json;
 
 use netsim::stats::Summary;
 use netsim::{SimRng, SimTime};
@@ -40,7 +40,7 @@ pub const TASKS: [&str; 5] = [
 ];
 
 /// The thesis's published averages (seconds) for one arm.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PaperColumn {
     /// Group search.
     pub search: f64,
@@ -55,7 +55,7 @@ pub struct PaperColumn {
 }
 
 /// Measured results of one arm.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ArmResult {
     /// Arm label (e.g. `"SNS (Facebook) / Nokia N810"`).
     pub arm: String,
@@ -66,7 +66,7 @@ pub struct ArmResult {
 }
 
 /// The full Table 8 reproduction.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table8Report {
     /// Trials per arm.
     pub trials: usize,
@@ -111,8 +111,45 @@ impl Table8Report {
 
     /// Machine-readable form of the report.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report is always serializable")
+        Json::obj()
+            .field("trials", self.trials)
+            .field(
+                "arms",
+                Json::Arr(self.arms.iter().map(ArmResult::to_json_value).collect()),
+            )
+            .to_string_pretty()
     }
+}
+
+impl ArmResult {
+    fn to_json_value(&self) -> Json {
+        Json::obj()
+            .field("arm", self.arm.as_str())
+            .field(
+                "summaries",
+                Json::Arr(self.summaries.iter().map(summary_json).collect()),
+            )
+            .field(
+                "paper",
+                Json::obj()
+                    .field("search", self.paper.search)
+                    .field("join", self.paper.join)
+                    .field("list", self.paper.list)
+                    .field("profile", self.paper.profile)
+                    .field("total", self.paper.total),
+            )
+    }
+}
+
+fn summary_json(s: &Summary) -> Json {
+    Json::obj()
+        .field("n", s.n)
+        .field("mean", s.mean)
+        .field("std_dev", s.std_dev)
+        .field("min", s.min)
+        .field("max", s.max)
+        .field("p50", s.p50)
+        .field("p90", s.p90)
 }
 
 /// Runs the complete Table 8 experiment.
@@ -128,22 +165,46 @@ pub fn run(trials: usize, base_seed: u64) -> Table8Report {
         (
             SiteProfile::facebook(),
             AccessDevice::nokia_n810(),
-            PaperColumn { search: 58.0, join: 17.0, list: 8.0, profile: 11.0, total: 94.0 },
+            PaperColumn {
+                search: 58.0,
+                join: 17.0,
+                list: 8.0,
+                profile: 11.0,
+                total: 94.0,
+            },
         ),
         (
             SiteProfile::facebook(),
             AccessDevice::nokia_n95(),
-            PaperColumn { search: 75.0, join: 24.0, list: 31.0, profile: 27.0, total: 157.0 },
+            PaperColumn {
+                search: 75.0,
+                join: 24.0,
+                list: 31.0,
+                profile: 27.0,
+                total: 157.0,
+            },
         ),
         (
             SiteProfile::hi5(),
             AccessDevice::nokia_n810(),
-            PaperColumn { search: 50.0, join: 25.0, list: 18.0, profile: 27.0, total: 120.0 },
+            PaperColumn {
+                search: 50.0,
+                join: 25.0,
+                list: 18.0,
+                profile: 27.0,
+                total: 120.0,
+            },
         ),
         (
             SiteProfile::hi5(),
             AccessDevice::nokia_n95(),
-            PaperColumn { search: 69.0, join: 40.0, list: 32.0, profile: 40.0, total: 181.0 },
+            PaperColumn {
+                search: 69.0,
+                join: 40.0,
+                list: 32.0,
+                profile: 40.0,
+                total: 181.0,
+            },
         ),
     ];
     for (site, device, paper) in sns_arms {
@@ -259,7 +320,9 @@ fn run_peerhood_arm(trials: usize, base_seed: u64) -> ArmResult {
         // the reference client did).
         let menu = user.menu();
         s.cluster.run_for(menu);
-        let op = s.cluster.with_app(observer, |app, ctx| app.get_member_list(ctx));
+        let op = s
+            .cluster
+            .with_app(observer, |app, ctx| app.get_member_list(ctx));
         let op_deadline = s.cluster.now() + Duration::from_secs(90);
         s.cluster
             .run_until_condition(op_deadline, |c| c.app(observer).outcome(op).is_some())

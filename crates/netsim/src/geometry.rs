@@ -1,11 +1,10 @@
 //! Plane geometry for node positions and movement areas.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
 /// A point in the 2-D simulation plane, in metres.
-#[derive(Copy, Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
 pub struct Point2 {
     /// East–west coordinate in metres.
     pub x: f64,
@@ -49,7 +48,7 @@ impl fmt::Display for Point2 {
 }
 
 /// A displacement between two [`Point2`] values, in metres.
-#[derive(Copy, Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Default)]
 pub struct Vec2 {
     /// X component in metres.
     pub x: f64,
@@ -105,7 +104,7 @@ impl Mul<f64> for Vec2 {
 }
 
 /// An axis-aligned rectangular area, used to bound mobility models.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Rect {
     /// Minimum corner (south-west).
     pub min: Point2,

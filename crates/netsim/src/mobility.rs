@@ -144,8 +144,8 @@ impl Segment {
         if self.end <= self.start {
             return self.to;
         }
-        let frac = t.saturating_since(self.start).as_secs_f64()
-            / (self.end - self.start).as_secs_f64();
+        let frac =
+            t.saturating_since(self.start).as_secs_f64() / (self.end - self.start).as_secs_f64();
         self.from.lerp(self.to, frac.clamp(0.0, 1.0))
     }
 }
@@ -350,7 +350,10 @@ impl ManhattanGrid {
             "area must hold at least one block"
         );
         let snap = |v: f64, lo: f64, hi: f64| -> f64 {
-            ((v - lo) / block_m).round().mul_add(block_m, lo).clamp(lo, hi)
+            ((v - lo) / block_m)
+                .round()
+                .mul_add(block_m, lo)
+                .clamp(lo, hi)
         };
         let origin = Point2::new(
             snap(start.x, area.min.x, area.max.x),
@@ -404,11 +407,12 @@ impl Mobility for ManhattanGrid {
                     .filter(|d| area.contains(at + *d * block))
                     .collect()
             };
-            let straight_ok = options.iter().any(|d| *d == *heading);
+            let straight_ok = options.contains(heading);
             let dir = if straight_ok && rng.chance(0.5) {
                 *heading
             } else {
-                *rng.pick(&options).expect("a grid point always has a legal move")
+                *rng.pick(&options)
+                    .expect("a grid point always has a legal move")
             };
             *heading = dir;
             Segment {
@@ -472,12 +476,7 @@ mod tests {
 
     #[test]
     fn scripted_walk_speed() {
-        let mut m = ScriptedPath::walk(
-            SimTime::ZERO,
-            Point2::ORIGIN,
-            Point2::new(10.0, 0.0),
-            1.0,
-        );
+        let mut m = ScriptedPath::walk(SimTime::ZERO, Point2::ORIGIN, Point2::new(10.0, 0.0), 1.0);
         assert_eq!(m.position(SimTime::from_secs(5)), Point2::new(5.0, 0.0));
         assert_eq!(m.position(SimTime::from_secs(10)), Point2::new(10.0, 0.0));
     }
@@ -557,7 +556,13 @@ mod tests {
     fn random_walk_actually_moves() {
         let area = Rect::sized(1000.0, 1000.0);
         let start = Point2::new(500.0, 500.0);
-        let mut m = RandomWalk::new(area, start, 1.0, Duration::from_secs(1), SimRng::from_seed(5));
+        let mut m = RandomWalk::new(
+            area,
+            start,
+            1.0,
+            Duration::from_secs(1),
+            SimRng::from_seed(5),
+        );
         let moved = (0..100)
             .map(|s| m.position(SimTime::from_secs(s)))
             .any(|p| p.distance(start) > 1.0);
@@ -587,7 +592,15 @@ mod tests {
     #[test]
     fn manhattan_grid_is_deterministic_and_moves() {
         let area = Rect::sized(60.0, 60.0);
-        let mk = || ManhattanGrid::new(area, Point2::new(30.0, 30.0), 15.0, 1.5, SimRng::from_seed(4));
+        let mk = || {
+            ManhattanGrid::new(
+                area,
+                Point2::new(30.0, 30.0),
+                15.0,
+                1.5,
+                SimRng::from_seed(4),
+            )
+        };
         let mut a = mk();
         let mut b = mk();
         let mut moved = false;

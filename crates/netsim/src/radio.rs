@@ -16,14 +16,14 @@
 //! `DESIGN.md` §6; they are deliberately exposed as data so experiments can
 //! run ablations with modified profiles.
 
-use serde::{Deserialize, Serialize};
+use codec::{DecodeError, Wire};
 use std::fmt;
 use std::time::Duration;
 
 use crate::rng::SimRng;
 
 /// One of the wireless technologies PeerHood can communicate over.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Technology {
     /// Short-range PAN radio (L2CAP transport in PeerHood's BTPlugin).
     Bluetooth,
@@ -68,7 +68,7 @@ impl fmt::Display for Technology {
 ///
 /// A profile is plain data: experiments may clone and tweak it (e.g. the
 /// technology-ablation benchmark sweeps `inquiry_duration`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TechnologyProfile {
     /// Radio range in metres. `f64::INFINITY` means coverage-independent
     /// (cellular).
@@ -136,6 +136,56 @@ pub static GPRS: TechnologyProfile = TechnologyProfile {
     latency: Duration::from_millis(600),
     latency_jitter: Duration::from_millis(200),
 };
+
+impl Wire for Technology {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Technology::Bluetooth => 0,
+            Technology::Wlan => 1,
+            Technology::Gprs => 2,
+        });
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(Technology::Bluetooth),
+            1 => Ok(Technology::Wlan),
+            2 => Ok(Technology::Gprs),
+            tag => Err(DecodeError::BadTag {
+                what: "Technology",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for TechnologyProfile {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.range_m.encode_to(out);
+        self.inquiry_duration.encode_to(out);
+        self.response_window.encode_to(out);
+        self.discovery_miss_prob.encode_to(out);
+        self.connect_setup.encode_to(out);
+        self.connect_jitter.encode_to(out);
+        self.throughput_bps.encode_to(out);
+        self.latency.encode_to(out);
+        self.latency_jitter.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(TechnologyProfile {
+            range_m: f64::decode(input)?,
+            inquiry_duration: std::time::Duration::decode(input)?,
+            response_window: std::time::Duration::decode(input)?,
+            discovery_miss_prob: f64::decode(input)?,
+            connect_setup: std::time::Duration::decode(input)?,
+            connect_jitter: std::time::Duration::decode(input)?,
+            throughput_bps: f64::decode(input)?,
+            latency: std::time::Duration::decode(input)?,
+            latency_jitter: std::time::Duration::decode(input)?,
+        })
+    }
+}
 
 impl TechnologyProfile {
     /// Samples the time to push `bytes` application bytes over one
@@ -248,19 +298,23 @@ mod tests {
     }
 
     #[test]
-    fn profiles_serde_round_trip() {
-        let p = Technology::Bluetooth.profile();
-        let json = serde_json::to_string(p).unwrap();
-        let back: TechnologyProfile = serde_json::from_str(&json).unwrap();
-        assert_eq!(*p, back);
+    fn profiles_wire_round_trip() {
+        for tech in Technology::ALL {
+            let p = tech.profile();
+            let back = TechnologyProfile::decode_exact(&p.encode()).unwrap();
+            assert_eq!(*p, back);
+        }
     }
 
     #[test]
-    fn technology_serde_round_trip() {
+    fn technology_wire_round_trip() {
         for tech in Technology::ALL {
-            let json = serde_json::to_string(&tech).unwrap();
-            let back: Technology = serde_json::from_str(&json).unwrap();
+            let back = Technology::decode_exact(&tech.encode()).unwrap();
             assert_eq!(tech, back);
         }
+        assert!(matches!(
+            Technology::decode_exact(&[9]),
+            Err(DecodeError::BadTag { .. })
+        ));
     }
 }

@@ -5,14 +5,15 @@
 //! [`SimRng::fork`], so adding randomness to one component never perturbs the
 //! random stream of another — runs stay comparable across code changes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use codec::rng::Xoshiro256pp;
 use std::time::Duration;
 
 /// A deterministic random source for one simulation component.
 ///
-/// Wraps a [`StdRng`] and adds simulation-flavoured helpers (durations with
-/// jitter, exponential inter-arrival times, Bernoulli trials).
+/// Wraps the workspace's in-repo xoshiro256++ generator
+/// ([`codec::rng::Xoshiro256pp`]) and adds simulation-flavoured helpers
+/// (durations with jitter, exponential inter-arrival times, Bernoulli
+/// trials).
 ///
 /// # Example
 ///
@@ -25,14 +26,14 @@ use std::time::Duration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::from_seed(seed),
         }
     }
 
@@ -42,28 +43,40 @@ impl SimRng {
     /// distinct labels yield distinct streams while the derivation itself is
     /// deterministic.
     pub fn fork(&mut self, label: u64) -> SimRng {
-        let mixed = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mixed = self.inner.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::from_seed(mixed)
     }
 
     /// Uniform `u64` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
-        self.inner.gen_range(range)
+        assert!(
+            range.start < range.end,
+            "range_u64 requires a non-empty range"
+        );
+        range.start + self.inner.bounded_u64(range.end - range.start)
     }
 
     /// Uniform `usize` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
-        self.inner.gen_range(range)
+        self.range_u64(range.start as u64..range.end as u64) as usize
     }
 
     /// Uniform `f64` in `range` (half-open).
     pub fn range_f64(&mut self, range: std::ops::Range<f64>) -> f64 {
-        self.inner.gen_range(range)
+        range.start + self.inner.unit_f64() * (range.end - range.start)
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.unit_f64()
     }
 
     /// Bernoulli trial: returns `true` with probability `p` (clamped to
@@ -75,7 +88,7 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen::<f64>() < p
+        self.inner.unit_f64() < p
     }
 
     /// Uniform duration in `[0, max]`.
@@ -83,7 +96,7 @@ impl SimRng {
         if max.is_zero() {
             return Duration::ZERO;
         }
-        Duration::from_micros(self.inner.gen_range(0..=max.as_micros() as u64))
+        Duration::from_micros(self.inner.bounded_u64(max.as_micros() as u64 + 1))
     }
 
     /// Uniform duration in `[lo, hi]`.
@@ -103,7 +116,7 @@ impl SimRng {
             return base;
         }
         let j = jitter.as_micros() as i64;
-        let offset = self.inner.gen_range(-j..=j);
+        let offset = self.inner.bounded_u64(2 * j as u64 + 1) as i64 - j;
         let micros = base.as_micros() as i64 + offset;
         Duration::from_micros(micros.max(0) as u64)
     }
@@ -116,7 +129,7 @@ impl SimRng {
     /// Panics if `mean` is zero.
     pub fn exponential(&mut self, mean: Duration) -> Duration {
         assert!(!mean.is_zero(), "exponential mean must be non-zero");
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u: f64 = self.inner.unit_f64().max(f64::EPSILON);
         Duration::from_secs_f64(-mean.as_secs_f64() * u.ln())
     }
 
@@ -125,7 +138,7 @@ impl SimRng {
         if slice.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..slice.len());
+            let i = self.inner.bounded_u64(slice.len() as u64) as usize;
             Some(&slice[i])
         }
     }
@@ -133,7 +146,7 @@ impl SimRng {
     /// Fisher–Yates shuffle in place.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.inner.bounded_u64(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }

@@ -1,6 +1,5 @@
 //! Small statistics helpers for experiment reporting.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Duration;
 
@@ -16,7 +15,7 @@ use std::time::Duration;
 /// assert_eq!(s.min, 1.0);
 /// assert_eq!(s.max, 4.0);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -139,11 +138,8 @@ mod tests {
 
     #[test]
     fn durations_in_seconds() {
-        let s = Summary::from_durations(&[
-            Duration::from_millis(500),
-            Duration::from_millis(1500),
-        ])
-        .unwrap();
+        let s = Summary::from_durations(&[Duration::from_millis(500), Duration::from_millis(1500)])
+            .unwrap();
         assert_eq!(s.mean, 1.0);
     }
 

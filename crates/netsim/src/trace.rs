@@ -6,7 +6,7 @@
 //! the recorded sequence in tests, and render it as an ASCII MSC from the
 //! `repro msc` harness command.
 
-use serde::{Deserialize, Serialize};
+use codec::{DecodeError, Wire};
 use std::fmt;
 
 use crate::time::SimTime;
@@ -15,7 +15,7 @@ use crate::time::SimTime;
 ///
 /// Actors are free-form strings (device names); a self-directed event
 /// (`from == to`) represents a local action such as "display list".
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Virtual time at which the event occurred.
     pub at: SimTime,
@@ -32,21 +32,59 @@ impl fmt::Display for TraceEvent {
         if self.from == self.to {
             write!(f, "[{}] {}: {}", self.at, self.from, self.label)
         } else {
-            write!(f, "[{}] {} -> {}: {}", self.at, self.from, self.to, self.label)
+            write!(
+                f,
+                "[{}] {} -> {}: {}",
+                self.at, self.from, self.to, self.label
+            )
         }
     }
 }
 
-// SimTime needs serde for TraceEvent; implement via micros.
-impl Serialize for SimTime {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u64(self.as_micros())
+// SimTime travels on the wire as its microsecond count.
+impl Wire for SimTime {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.as_micros().encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        u64::decode(input).map(SimTime::from_micros)
     }
 }
 
-impl<'de> Deserialize<'de> for SimTime {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        u64::deserialize(d).map(SimTime::from_micros)
+impl Wire for TraceEvent {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.at.encode_to(out);
+        self.from.encode_to(out);
+        self.to.encode_to(out);
+        self.label.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(TraceEvent {
+            at: SimTime::decode(input)?,
+            from: String::decode(input)?,
+            to: String::decode(input)?,
+            label: String::decode(input)?,
+        })
+    }
+}
+
+impl Wire for Trace {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.events.len() as u32).encode_to(out);
+        for e in &self.events {
+            e.encode_to(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let n = codec::read_len(input)?;
+        let mut events = Vec::with_capacity(n.min(input.len()));
+        for _ in 0..n {
+            events.push(TraceEvent::decode(input)?);
+        }
+        Ok(Trace { events })
     }
 }
 
@@ -62,7 +100,7 @@ impl<'de> Deserialize<'de> for SimTime {
 /// trace.record(SimTime::from_secs(2), "server", "client", "PROFILE");
 /// assert_eq!(trace.labels(), vec!["PS_GETPROFILE", "PROFILE"]);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -113,9 +151,7 @@ impl Trace {
     pub fn between<'a>(&'a self, a: &str, b: &str) -> Vec<&'a TraceEvent> {
         self.events
             .iter()
-            .filter(|e| {
-                (e.from == a && e.to == b) || (e.from == b && e.to == a)
-            })
+            .filter(|e| (e.from == a && e.to == b) || (e.from == b && e.to == a))
             .collect()
     }
 
@@ -161,13 +197,7 @@ impl Trace {
         if actors.is_empty() {
             return String::from("(empty trace)\n");
         }
-        let col_width = actors
-            .iter()
-            .map(|a| a.len())
-            .max()
-            .unwrap_or(0)
-            .max(12)
-            + 4;
+        let col_width = actors.iter().map(|a| a.len()).max().unwrap_or(0).max(12) + 4;
         let column = |actor: &str| actors.iter().position(|a| *a == actor).unwrap();
         let center = |i: usize| 10 + i * col_width + col_width / 2;
 
@@ -185,8 +215,9 @@ impl Trace {
         for e in &self.events {
             let (ci, cj) = (column(&e.from), column(&e.to));
             let time = format!("{:>8} ", e.at);
-            let mut line: Vec<char> =
-                format!("{}{}", time, " ".repeat(actors.len() * col_width)).chars().collect();
+            let mut line: Vec<char> = format!("{}{}", time, " ".repeat(actors.len() * col_width))
+                .chars()
+                .collect();
             for (i, _) in actors.iter().enumerate() {
                 line[center(i)] = '|';
             }
@@ -296,10 +327,16 @@ mod tests {
     }
 
     #[test]
-    fn trace_serde_round_trip() {
+    fn trace_wire_round_trip() {
         let t = sample();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        let back = Trace::decode_exact(&t.encode()).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn trace_decode_rejects_truncation() {
+        let t = sample();
+        let frame = t.encode();
+        assert!(Trace::decode_exact(&frame[..frame.len() - 1]).is_err());
     }
 }

@@ -280,7 +280,9 @@ mod tests {
     fn node_is_not_its_own_neighbor() {
         let (mut w, a, _) = two_node_world(1.0);
         assert!(!w.reachable(a, a, Technology::Bluetooth, SimTime::ZERO));
-        assert!(!w.neighbors(a, Technology::Bluetooth, SimTime::ZERO).contains(&a));
+        assert!(!w
+            .neighbors(a, Technology::Bluetooth, SimTime::ZERO)
+            .contains(&a));
     }
 
     #[test]
@@ -344,12 +346,7 @@ mod tests {
             2.0,
         )));
         assert!(w.reachable(fixed, walker, Technology::Bluetooth, SimTime::ZERO));
-        assert!(!w.reachable(
-            fixed,
-            walker,
-            Technology::Bluetooth,
-            SimTime::from_secs(20)
-        ));
+        assert!(!w.reachable(fixed, walker, Technology::Bluetooth, SimTime::from_secs(20)));
         // WLAN still holds at 45 m.
         assert!(w.reachable(fixed, walker, Technology::Wlan, SimTime::from_secs(20)));
     }

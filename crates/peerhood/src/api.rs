@@ -6,7 +6,7 @@
 //! [`AppEvent`]s. The typed [`crate::library::Library`] facade builds the
 //! requests; drivers shuttle them to the daemon.
 
-use bytes::Bytes;
+use codec::Bytes;
 
 use crate::error::PeerHoodError;
 use crate::service::ServiceInfo;

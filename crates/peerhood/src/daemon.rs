@@ -24,7 +24,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
-use bytes::Bytes;
+use codec::Bytes;
 
 use netsim::{SimTime, Technology};
 
@@ -34,9 +34,7 @@ use crate::error::PeerHoodError;
 use crate::neighbor::{NeighborTable, SightingOutcome};
 use crate::plugin::{PluginCommand, PluginEvent};
 use crate::service::ServiceRegistry;
-use crate::types::{
-    AttemptId, CloseReason, ConnId, DeviceId, LinkId, ResumeToken,
-};
+use crate::types::{AttemptId, CloseReason, ConnId, DeviceId, LinkId, ResumeToken};
 
 /// How long the responder side of a broken connection waits for the
 /// initiator to resume it over another technology before giving up.
@@ -474,7 +472,8 @@ impl Daemon {
                 }));
             }
             PluginEvent::ServiceReply { device, services } => {
-                self.neighbors.record_services(device, services.clone(), now);
+                self.neighbors
+                    .record_services(device, services.clone(), now);
                 if let Some(waiting) = self.pending_service_queries.remove(&device) {
                     for _ in 0..waiting {
                         out.push(DaemonOutput::App(AppEvent::ServiceList {
@@ -582,7 +581,9 @@ impl Daemon {
         if device.id == self.config.device.id {
             return;
         }
-        let outcome = self.neighbors.record_sighting(device.clone(), technology, now);
+        let outcome = self
+            .neighbors
+            .record_sighting(device.clone(), technology, now);
         if outcome == SightingOutcome::NewDevice {
             if self.monitors.contains(&device.id) {
                 out.push(DaemonOutput::App(AppEvent::MonitorAlert {
@@ -784,7 +785,9 @@ impl Daemon {
         );
         self.link_index.insert(link, conn);
         self.resume_index.insert(token, conn);
-        out.push(DaemonOutput::Plugin(PluginCommand::AcceptConnection { link }));
+        out.push(DaemonOutput::Plugin(PluginCommand::AcceptConnection {
+            link,
+        }));
         out.push(DaemonOutput::App(AppEvent::Incoming {
             conn,
             device,
@@ -982,9 +985,9 @@ mod tests {
         assert!(app_events(&out)
             .iter()
             .any(|e| matches!(e, AppEvent::DeviceAppeared(i) if i.id == dev.id)));
-        assert!(plugin_cmds(&out)
-            .iter()
-            .any(|c| matches!(c, PluginCommand::QueryServices { device, .. } if *device == dev.id)));
+        assert!(plugin_cmds(&out).iter().any(
+            |c| matches!(c, PluginCommand::QueryServices { device, .. } if *device == dev.id)
+        ));
         // Second sighting: no repeat events.
         let out2 = feed(
             &mut d,
@@ -1016,8 +1019,17 @@ mod tests {
     #[test]
     fn device_list_request_answered_synchronously() {
         let mut d = daemon();
-        discover(&mut d, &device(7, "remote"), Technology::Bluetooth, SimTime::from_secs(1));
-        let out = feed(&mut d, SimTime::from_secs(2), DaemonInput::App(AppRequest::GetDeviceList));
+        discover(
+            &mut d,
+            &device(7, "remote"),
+            Technology::Bluetooth,
+            SimTime::from_secs(1),
+        );
+        let out = feed(
+            &mut d,
+            SimTime::from_secs(2),
+            DaemonInput::App(AppRequest::GetDeviceList),
+        );
         match app_events(&out)[0] {
             AppEvent::DeviceList(list) => {
                 assert_eq!(list.len(), 1);
@@ -1569,9 +1581,12 @@ mod tests {
             }),
         );
         // The connection survives on the (still live) old link.
-        assert!(app_events(&out)
-            .iter()
-            .all(|e| !matches!(e, AppEvent::Closed { .. })), "{out:?}");
+        assert!(
+            app_events(&out)
+                .iter()
+                .all(|e| !matches!(e, AppEvent::Closed { .. })),
+            "{out:?}"
+        );
         assert_eq!(d.connection_count(), 1);
         let out = feed(
             &mut d,
@@ -1665,7 +1680,9 @@ mod tests {
         feed(
             &mut d,
             SimTime::from_secs(2),
-            DaemonInput::Plugin(PluginEvent::LinkDown { link: LinkId::new(1) }),
+            DaemonInput::Plugin(PluginEvent::LinkDown {
+                link: LinkId::new(1),
+            }),
         );
         assert_eq!(d.connection_count(), 1, "limbo keeps the connection");
         // Resume arrives over GPRS with the same token: rebind, no new
@@ -1681,7 +1698,9 @@ mod tests {
                 resume: Some(token),
             }),
         );
-        assert!(app_events(&out).iter().all(|e| !matches!(e, AppEvent::Incoming { .. })));
+        assert!(app_events(&out)
+            .iter()
+            .all(|e| !matches!(e, AppEvent::Incoming { .. })));
         assert!(app_events(&out).iter().any(|e| matches!(
             e,
             AppEvent::Handover { conn: c, to: Technology::Gprs, .. } if *c == conn
@@ -1724,7 +1743,9 @@ mod tests {
         feed(
             &mut d,
             SimTime::from_secs(2),
-            DaemonInput::Plugin(PluginEvent::LinkDown { link: LinkId::new(1) }),
+            DaemonInput::Plugin(PluginEvent::LinkDown {
+                link: LinkId::new(1),
+            }),
         );
         assert_eq!(d.connection_count(), 1);
         let out = tick(&mut d, SimTime::from_secs(2) + HANDOVER_GRACE);
@@ -1780,10 +1801,9 @@ mod tests {
                 device: dev.clone(),
             }),
         );
-        assert!(app_events(&out).iter().any(|e| matches!(
-            e,
-            AppEvent::MonitorAlert { appeared: true, .. }
-        )));
+        assert!(app_events(&out)
+            .iter()
+            .any(|e| matches!(e, AppEvent::MonitorAlert { appeared: true, .. })));
         // Unmonitor stops alerts.
         feed(
             &mut d,
@@ -1803,9 +1823,10 @@ mod tests {
         // While all inquiries are in flight the daemon is purely
         // event-driven: no wake is necessary.
         let out = tick(&mut d, SimTime::from_secs(5));
-        assert!(out
-            .iter()
-            .all(|o| !matches!(o, DaemonOutput::WakeAt(_))), "{out:?}");
+        assert!(
+            out.iter().all(|o| !matches!(o, DaemonOutput::WakeAt(_))),
+            "{out:?}"
+        );
         // As soon as one inquiry completes, its next round needs a timer.
         let out = feed(
             &mut d,
@@ -1838,7 +1859,10 @@ mod tests {
             SimTime::from_secs(2),
             DaemonInput::App(AppRequest::GetServiceList { device: dev.id }),
         );
-        assert!(plugin_cmds(&out2).is_empty(), "second request shares the query");
+        assert!(
+            plugin_cmds(&out2).is_empty(),
+            "second request shares the query"
+        );
         let out = feed(
             &mut d,
             SimTime::from_secs(3),
@@ -1917,13 +1941,17 @@ mod tests {
         let out = feed(
             &mut d,
             SimTime::ZERO,
-            DaemonInput::Plugin(PluginEvent::LinkDown { link: LinkId::new(98) }),
+            DaemonInput::Plugin(PluginEvent::LinkDown {
+                link: LinkId::new(98),
+            }),
         );
         assert!(app_events(&out).is_empty());
         let out = feed(
             &mut d,
             SimTime::ZERO,
-            DaemonInput::Plugin(PluginEvent::PeerClosed { link: LinkId::new(97) }),
+            DaemonInput::Plugin(PluginEvent::PeerClosed {
+                link: LinkId::new(97),
+            }),
         );
         assert!(app_events(&out).is_empty());
     }

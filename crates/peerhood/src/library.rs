@@ -7,7 +7,7 @@
 //! daemon after every application callback — the moral equivalent of the
 //! library's local socket to the PHD.
 
-use bytes::Bytes;
+use codec::Bytes;
 
 use crate::api::AppRequest;
 use crate::service::ServiceInfo;

@@ -5,7 +5,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use codec::{Bytes, DecodeError, Wire};
 
 use netsim::{SimTime, Technology, Trace};
 
@@ -14,7 +14,7 @@ use crate::config::DaemonConfig;
 use crate::daemon::{Daemon, DaemonInput, DaemonOutput};
 use crate::library::Library;
 use crate::plugin::{PluginCommand, PluginEvent};
-use crate::types::{AttemptId, ConnId, DeviceId, DeviceInfo, LinkId, ResumeToken};
+use crate::types::{AttemptId, DeviceId, DeviceInfo, LinkId, ResumeToken};
 
 /// A socket together with its receive buffer.
 #[derive(Debug)]
@@ -88,43 +88,18 @@ struct Handshake {
     resume: Option<ResumeToken>,
 }
 
-impl Handshake {
-    fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        out.extend_from_slice(&self.from.raw().to_be_bytes());
-        match self.resume {
-            Some(tok) => {
-                out.push(1);
-                out.extend_from_slice(&tok.initiator.raw().to_be_bytes());
-                out.extend_from_slice(&tok.conn.raw().to_be_bytes());
-            }
-            None => {
-                out.push(0);
-                out.extend_from_slice(&[0u8; 16]);
-            }
-        }
-        out.extend_from_slice(self.service.as_bytes());
-        out
+impl Wire for Handshake {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.from.encode_to(out);
+        self.resume.encode_to(out);
+        self.service.encode_to(out);
     }
 
-    fn decode(frame: &[u8]) -> Option<Handshake> {
-        if frame.len() < 25 {
-            return None;
-        }
-        let from = DeviceId::new(u64::from_be_bytes(frame[0..8].try_into().ok()?));
-        let resume = if frame[8] == 1 {
-            Some(ResumeToken {
-                initiator: DeviceId::new(u64::from_be_bytes(frame[9..17].try_into().ok()?)),
-                conn: ConnId::new(u64::from_be_bytes(frame[17..25].try_into().ok()?)),
-            })
-        } else {
-            None
-        };
-        let service = String::from_utf8(frame[25..].to_vec()).ok()?;
-        Some(Handshake {
-            from,
-            service,
-            resume,
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Handshake {
+            from: DeviceId::decode(input)?,
+            resume: Option::<ResumeToken>::decode(input)?,
+            service: String::decode(input)?,
         })
     }
 }
@@ -324,7 +299,7 @@ impl<A: Application> LiveNet<A> {
             for mut sock in greeting.drain(..) {
                 if let Ok(eof) = sock.pump() {
                     if let Some(frame) = sock.pop_frame() {
-                        if let Some(hs) = Handshake::decode(&frame) {
+                        if let Ok(hs) = Handshake::decode_exact(&frame) {
                             let link = self.nodes[i].alloc_link();
                             let device = DeviceInfo::new(
                                 hs.from,
@@ -497,7 +472,13 @@ impl<A: Application> LiveNet<A> {
         let mut timers = Vec::new();
         let r = {
             let node = &mut self.nodes[i];
-            let mut ctx = AppCtx::new(now, &node.name, &mut node.lib, &mut timers, Some(&mut self.trace));
+            let mut ctx = AppCtx::new(
+                now,
+                &node.name,
+                &mut node.lib,
+                &mut timers,
+                Some(&mut self.trace),
+            );
             f(&mut node.app, &mut ctx)
         };
         self.nodes[i].timers.extend(timers);
@@ -640,6 +621,7 @@ mod tests {
     use super::*;
     use crate::api::AppEvent;
     use crate::service::ServiceInfo;
+    use crate::types::ConnId;
 
     #[derive(Default)]
     struct Echo {
@@ -688,13 +670,13 @@ mod tests {
                 service: "PeerHoodCommunity".into(),
                 resume,
             };
-            assert_eq!(Handshake::decode(&hs.encode()), Some(hs));
+            assert_eq!(Handshake::decode_exact(&hs.encode()), Ok(hs));
         }
     }
 
     #[test]
     fn handshake_decode_rejects_garbage() {
-        assert_eq!(Handshake::decode(&[1, 2, 3]), None);
+        assert!(Handshake::decode_exact(&[1, 2, 3]).is_err());
     }
 
     #[test]
@@ -727,7 +709,8 @@ mod tests {
         );
         let conn = net.app(client).conn.unwrap();
         net.with_app(client, |_, ctx| {
-            ctx.peerhood().send(conn, Bytes::from_static(b"over real tcp"))
+            ctx.peerhood()
+                .send(conn, Bytes::from_static(b"over real tcp"))
         });
         assert!(
             net.run_until(Duration::from_secs(5), |n| !n

@@ -8,7 +8,7 @@
 //! deterministic simulator ([`crate::sim`]) or the live TCP runtime
 //! ([`crate::live`]).
 
-use bytes::Bytes;
+use codec::Bytes;
 
 use crate::service::ServiceInfo;
 use crate::types::{AttemptId, DeviceId, DeviceInfo, LinkId, ResumeToken};

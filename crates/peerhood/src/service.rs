@@ -5,7 +5,7 @@
 //! `"PeerHoodCommunity"` service); the daemon answers remote service-discovery
 //! queries from this registry and validates incoming connections against it.
 
-use serde::{Deserialize, Serialize};
+use codec::{DecodeError, Wire};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -23,7 +23,7 @@ use crate::error::PeerHoodError;
 ///     .with_attribute("kind", "social");
 /// assert_eq!(svc.attribute("version"), Some("0.2"));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServiceInfo {
     name: String,
     attributes: BTreeMap<String, String>,
@@ -56,7 +56,23 @@ impl ServiceInfo {
 
     /// All attributes in key order.
     pub fn attributes(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.attributes.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+        self.attributes
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl Wire for ServiceInfo {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.name.encode_to(out);
+        self.attributes.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ServiceInfo {
+            name: String::decode(input)?,
+            attributes: BTreeMap::decode(input)?,
+        })
     }
 }
 
@@ -154,7 +170,10 @@ mod tests {
         let mut reg = ServiceRegistry::new();
         reg.register(ServiceInfo::new("PeerHoodCommunity")).unwrap();
         assert!(reg.contains("PeerHoodCommunity"));
-        assert_eq!(reg.get("PeerHoodCommunity").unwrap().name(), "PeerHoodCommunity");
+        assert_eq!(
+            reg.get("PeerHoodCommunity").unwrap().name(),
+            "PeerHoodCommunity"
+        );
         assert_eq!(reg.len(), 1);
     }
 
@@ -196,6 +215,15 @@ mod tests {
         let svc = ServiceInfo::new("s").with_attribute("k", "v");
         assert_eq!(svc.to_string(), "s [k=v]");
         assert_eq!(ServiceInfo::new("bare").to_string(), "bare");
+    }
+
+    #[test]
+    fn service_info_wire_round_trip() {
+        use codec::Wire as _;
+        let svc = ServiceInfo::new("PeerHoodCommunity")
+            .with_attribute("version", "0.2")
+            .with_attribute("kind", "social");
+        assert_eq!(ServiceInfo::decode_exact(&svc.encode()).unwrap(), svc);
     }
 
     #[test]

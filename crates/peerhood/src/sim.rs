@@ -15,7 +15,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
 
-use bytes::Bytes;
+use codec::Bytes;
 
 use netsim::world::{NodeBuilder, NodeId};
 use netsim::{EventQueue, SimRng, SimTime, Technology, Trace, World};
@@ -270,11 +270,7 @@ impl<A: Application> Cluster<A> {
     /// Processes events until the queue is exhausted or the next event is
     /// after `deadline`; the clock then stands at `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while self
-            .queue
-            .peek_time()
-            .is_some_and(|t| t <= deadline)
-        {
+        while self.queue.peek_time().is_some_and(|t| t <= deadline) {
             let (_, ev) = self.queue.pop().expect("peeked");
             self.dispatch(ev);
         }
@@ -298,11 +294,7 @@ impl<A: Application> Cluster<A> {
         if stop(self) {
             return Some(self.now());
         }
-        while self
-            .queue
-            .peek_time()
-            .is_some_and(|t| t <= deadline)
-        {
+        while self.queue.peek_time().is_some_and(|t| t <= deadline) {
             let (t, ev) = self.queue.pop().expect("peeked");
             self.dispatch(ev);
             if stop(self) {
@@ -321,7 +313,13 @@ impl<A: Application> Cluster<A> {
         let mut timers = Vec::new();
         let result = {
             let rt = &mut self.nodes[node.index()];
-            let mut ctx = AppCtx::new(now, &rt.name, &mut rt.lib, &mut timers, Some(&mut self.trace));
+            let mut ctx = AppCtx::new(
+                now,
+                &rt.name,
+                &mut rt.lib,
+                &mut timers,
+                Some(&mut self.trace),
+            );
             f(&mut rt.app, &mut ctx)
         };
         self.after_app_callback(node, timers);
@@ -339,8 +337,13 @@ impl<A: Application> Cluster<A> {
                 let mut timers = Vec::new();
                 {
                     let rt = &mut self.nodes[node.index()];
-                    let mut ctx =
-                        AppCtx::new(now, &rt.name, &mut rt.lib, &mut timers, Some(&mut self.trace));
+                    let mut ctx = AppCtx::new(
+                        now,
+                        &rt.name,
+                        &mut rt.lib,
+                        &mut timers,
+                        Some(&mut self.trace),
+                    );
                     rt.app.on_start(&mut ctx);
                 }
                 self.after_app_callback(node, timers);
@@ -356,8 +359,13 @@ impl<A: Application> Cluster<A> {
                 let mut timers = Vec::new();
                 {
                     let rt = &mut self.nodes[node.index()];
-                    let mut ctx =
-                        AppCtx::new(now, &rt.name, &mut rt.lib, &mut timers, Some(&mut self.trace));
+                    let mut ctx = AppCtx::new(
+                        now,
+                        &rt.name,
+                        &mut rt.lib,
+                        &mut timers,
+                        Some(&mut self.trace),
+                    );
                     rt.app.on_timer(token, &mut ctx);
                 }
                 self.after_app_callback(node, timers);
@@ -388,7 +396,10 @@ impl<A: Application> Cluster<A> {
             }
             Ev::ServiceQueryArrive { to, from } => {
                 let device = self.device_id_of(from);
-                self.feed_daemon(to, DaemonInput::Plugin(PluginEvent::ServiceQuery { device }));
+                self.feed_daemon(
+                    to,
+                    DaemonInput::Plugin(PluginEvent::ServiceQuery { device }),
+                );
             }
             Ev::ServiceReplyArrive { to, from, services } => {
                 let device = self.device_id_of(from);
@@ -442,7 +453,11 @@ impl<A: Application> Cluster<A> {
                     }),
                 );
             }
-            Ev::ConnectResultArrive { to, attempt, result } => {
+            Ev::ConnectResultArrive {
+                to,
+                attempt,
+                result,
+            } => {
                 self.feed_daemon(
                     to,
                     DaemonInput::Plugin(PluginEvent::ConnectResult { attempt, result }),
@@ -454,7 +469,10 @@ impl<A: Application> Cluster<A> {
                     return; // link torn down while the frame was in flight
                 };
                 if self.world.reachable(l.a, l.b, l.tech, now) {
-                    self.feed_daemon(to, DaemonInput::Plugin(PluginEvent::Frame { link, payload }));
+                    self.feed_daemon(
+                        to,
+                        DaemonInput::Plugin(PluginEvent::Frame { link, payload }),
+                    );
                 } else {
                     self.tear_down_link(link);
                 }
@@ -510,7 +528,13 @@ impl<A: Application> Cluster<A> {
         let mut timers = Vec::new();
         {
             let rt = &mut self.nodes[node.index()];
-            let mut ctx = AppCtx::new(now, &rt.name, &mut rt.lib, &mut timers, Some(&mut self.trace));
+            let mut ctx = AppCtx::new(
+                now,
+                &rt.name,
+                &mut rt.lib,
+                &mut timers,
+                Some(&mut self.trace),
+            );
             rt.app.on_event(event, &mut ctx);
         }
         for (at, token) in timers {
@@ -726,8 +750,10 @@ impl<A: Application> Cluster<A> {
     fn tear_down_link(&mut self, link: LinkId) {
         if let Some(l) = self.links.remove(&link) {
             let at = self.queue.now() + LINK_DOWN_DETECT;
-            self.queue.schedule(at, Ev::LinkDownArrive { to: l.a, link });
-            self.queue.schedule(at, Ev::LinkDownArrive { to: l.b, link });
+            self.queue
+                .schedule(at, Ev::LinkDownArrive { to: l.a, link });
+            self.queue
+                .schedule(at, Ev::LinkDownArrive { to: l.b, link });
         }
     }
 
@@ -800,8 +826,14 @@ mod tests {
     #[test]
     fn discovery_within_one_bluetooth_inquiry() {
         let mut c = Cluster::new(1);
-        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
-        let b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(false));
+        let a = c.add_node(
+            NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
+        let b = c.add_node(
+            NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)),
+            recorder(false),
+        );
         c.start();
         c.run_until(SimTime::from_secs(12));
         assert!(c.app(a).appeared.contains(&"bob".to_owned()));
@@ -832,11 +864,21 @@ mod tests {
     #[test]
     fn auto_service_discovery_populates_cache() {
         let mut c = Cluster::new(2);
-        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
-        let b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(true));
+        let a = c.add_node(
+            NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
+        let b = c.add_node(
+            NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)),
+            recorder(true),
+        );
         c.start();
         c.run_until(SimTime::from_secs(15));
-        let entry = c.daemon(a).neighbors().get(c.device_id(b)).expect("bob known");
+        let entry = c
+            .daemon(a)
+            .neighbors()
+            .get(c.device_id(b))
+            .expect("bob known");
         let (_, services) = entry.services.as_ref().expect("services cached");
         assert_eq!(services[0].name(), "PeerHoodCommunity");
     }
@@ -844,8 +886,14 @@ mod tests {
     #[test]
     fn connect_send_receive_close_round_trip() {
         let mut c = Cluster::new(3);
-        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
-        let b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(true));
+        let a = c.add_node(
+            NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
+        let b = c.add_node(
+            NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)),
+            recorder(true),
+        );
         c.start();
         c.run_until(SimTime::from_secs(15));
 
@@ -856,7 +904,9 @@ mod tests {
         assert_eq!(c.app(b).incoming.len(), 1);
 
         let conn = c.app(a).connected[0];
-        c.with_app(a, |_, ctx| ctx.peerhood().send(conn, Bytes::from_static(b"ping")));
+        c.with_app(a, |_, ctx| {
+            ctx.peerhood().send(conn, Bytes::from_static(b"ping"))
+        });
         c.run_until(SimTime::from_secs(21));
         assert_eq!(c.app(b).data, vec![Bytes::from_static(b"ping")]);
 
@@ -864,14 +914,21 @@ mod tests {
         c.run_until(SimTime::from_secs(22));
         assert!(c
             .app(b)
-            .closed.contains(&crate::types::CloseReason::PeerClose));
+            .closed
+            .contains(&crate::types::CloseReason::PeerClose));
     }
 
     #[test]
     fn connect_to_unregistered_service_fails() {
         let mut c = Cluster::new(4);
-        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
-        let b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(false));
+        let a = c.add_node(
+            NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
+        let b = c.add_node(
+            NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)),
+            recorder(false),
+        );
         c.start();
         c.run_until(SimTime::from_secs(15));
         let bob = c.device_id(b);
@@ -1026,8 +1083,14 @@ mod tests {
         // Both peers carry all three radios and sit 3 m apart: the daemon
         // must pick Bluetooth (the cheapest) for the connection.
         let mut c = Cluster::new(21);
-        let a = c.add_node(NodeBuilder::new("a").at(Point2::new(0.0, 0.0)), recorder(false));
-        let b = c.add_node(NodeBuilder::new("b").at(Point2::new(3.0, 0.0)), recorder(true));
+        let a = c.add_node(
+            NodeBuilder::new("a").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
+        let b = c.add_node(
+            NodeBuilder::new("b").at(Point2::new(3.0, 0.0)),
+            recorder(true),
+        );
         c.start();
         c.run_until(SimTime::from_secs(15));
         let bob = c.device_id(b);
@@ -1044,7 +1107,10 @@ mod tests {
         // 5 km apart: Bluetooth and WLAN are out; GPRS still carries the
         // connection through the operator proxy.
         let mut c = Cluster::new(22);
-        let a = c.add_node(NodeBuilder::new("a").at(Point2::new(0.0, 0.0)), recorder(false));
+        let a = c.add_node(
+            NodeBuilder::new("a").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
         let b = c.add_node(
             NodeBuilder::new("b").at(Point2::new(5_000.0, 0.0)),
             recorder(true),
@@ -1063,9 +1129,18 @@ mod tests {
     fn runs_are_deterministic() {
         fn run() -> (Vec<String>, usize) {
             let mut c = Cluster::new(77);
-            let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
-            let _b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(true));
-            let _d = c.add_node(NodeBuilder::new("carol").at(Point2::new(0.0, 5.0)), recorder(true));
+            let a = c.add_node(
+                NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+                recorder(false),
+            );
+            let _b = c.add_node(
+                NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)),
+                recorder(true),
+            );
+            let _d = c.add_node(
+                NodeBuilder::new("carol").at(Point2::new(0.0, 5.0)),
+                recorder(true),
+            );
             c.start();
             c.run_until(SimTime::from_secs(30));
             (c.app(a).appeared.clone(), c.trace().len())
@@ -1076,11 +1151,17 @@ mod tests {
     #[test]
     fn late_node_boots_when_added_after_start() {
         let mut c = Cluster::new(8);
-        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
+        let a = c.add_node(
+            NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
         c.start();
         c.run_until(SimTime::from_secs(30));
         assert!(c.app(a).appeared.is_empty());
-        let _late = c.add_node(NodeBuilder::new("late").at(Point2::new(3.0, 0.0)), recorder(false));
+        let _late = c.add_node(
+            NodeBuilder::new("late").at(Point2::new(3.0, 0.0)),
+            recorder(false),
+        );
         c.run_until(SimTime::from_secs(60));
         assert!(c.app(a).appeared.contains(&"late".to_owned()));
     }
@@ -1088,8 +1169,14 @@ mod tests {
     #[test]
     fn run_until_condition_reports_first_hit() {
         let mut c = Cluster::new(9);
-        let a = c.add_node(NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)), recorder(false));
-        let _b = c.add_node(NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)), recorder(false));
+        let a = c.add_node(
+            NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
+        let _b = c.add_node(
+            NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)),
+            recorder(false),
+        );
         c.start();
         let hit = c.run_until_condition(SimTime::from_secs(60), |c| !c.app(a).appeared.is_empty());
         let t = hit.expect("bob should appear within a minute");

@@ -1,6 +1,6 @@
 //! Core identifier and device types shared across the middleware.
 
-use serde::{Deserialize, Serialize};
+use codec::{DecodeError, Wire};
 use std::fmt;
 
 use netsim::Technology;
@@ -10,7 +10,7 @@ use netsim::Technology;
 /// In the simulator this is derived from the world node index; in the live
 /// TCP driver it is assigned from configuration. It plays the role of the
 /// Bluetooth device address / IP identity that PeerHood's plugins expose.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(u64);
 
 impl DeviceId {
@@ -38,7 +38,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// Descriptive information about a device, as learned through discovery.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeviceInfo {
     /// Unique identifier.
     pub id: DeviceId,
@@ -70,7 +70,7 @@ impl DeviceInfo {
 ///
 /// Allocated by the local daemon; the same underlying link has a different
 /// `ConnId` at each end.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnId(u64);
 
 impl ConnId {
@@ -102,7 +102,7 @@ impl fmt::Display for ConnId {
 /// Allocated by whichever driver hosts the daemons (the simulator cluster or
 /// the live TCP runtime); opaque to the daemon, which merely echoes it in
 /// plugin commands.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(u64);
 
 impl LinkId {
@@ -126,7 +126,7 @@ impl fmt::Debug for LinkId {
 /// Identifier of one outgoing connection attempt, used to correlate
 /// [`PluginCommand::OpenConnection`](crate::plugin::PluginCommand) with its
 /// [`PluginEvent::ConnectResult`](crate::plugin::PluginEvent).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttemptId(u64);
 
 impl AttemptId {
@@ -153,7 +153,7 @@ impl fmt::Debug for AttemptId {
 /// id)`; presented again when re-establishing the connection over an
 /// alternative technology so the responder can splice the new link into the
 /// existing logical connection instead of announcing a fresh one.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ResumeToken {
     /// The device that originally initiated the connection.
     pub initiator: DeviceId,
@@ -161,8 +161,64 @@ pub struct ResumeToken {
     pub conn: ConnId,
 }
 
+macro_rules! impl_wire_id {
+    ($($ty:ident),*) => {$(
+        impl Wire for $ty {
+            fn encode_to(&self, out: &mut Vec<u8>) {
+                self.0.encode_to(out);
+            }
+
+            fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+                u64::decode(input).map($ty)
+            }
+        }
+    )*};
+}
+
+impl_wire_id!(DeviceId, ConnId, LinkId, AttemptId);
+
+impl Wire for ResumeToken {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.initiator.encode_to(out);
+        self.conn.encode_to(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ResumeToken {
+            initiator: DeviceId::decode(input)?,
+            conn: ConnId::decode(input)?,
+        })
+    }
+}
+
+impl Wire for DeviceInfo {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.id.encode_to(out);
+        self.name.encode_to(out);
+        (self.technologies.len() as u32).encode_to(out);
+        for t in &self.technologies {
+            t.encode_to(out);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let id = DeviceId::decode(input)?;
+        let name = String::decode(input)?;
+        let n = codec::read_len(input)?;
+        let mut technologies = Vec::with_capacity(n.min(input.len()));
+        for _ in 0..n {
+            technologies.push(netsim::Technology::decode(input)?);
+        }
+        Ok(DeviceInfo {
+            id,
+            name,
+            technologies,
+        })
+    }
+}
+
 /// Why a connection ended.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum CloseReason {
     /// The local application closed it.
@@ -221,9 +277,27 @@ mod tests {
     }
 
     #[test]
-    fn device_id_serde() {
+    fn device_id_wire_round_trip() {
         let id = DeviceId::new(42);
-        let json = serde_json::to_string(&id).unwrap();
-        assert_eq!(serde_json::from_str::<DeviceId>(&json).unwrap(), id);
+        assert_eq!(DeviceId::decode_exact(&id.encode()).unwrap(), id);
+    }
+
+    #[test]
+    fn device_info_wire_round_trip() {
+        let info = DeviceInfo::new(
+            DeviceId::new(9),
+            "phone",
+            [Technology::Bluetooth, Technology::Gprs],
+        );
+        assert_eq!(DeviceInfo::decode_exact(&info.encode()).unwrap(), info);
+    }
+
+    #[test]
+    fn resume_token_wire_round_trip() {
+        let tok = ResumeToken {
+            initiator: DeviceId::new(1),
+            conn: ConnId::new(2),
+        };
+        assert_eq!(ResumeToken::decode_exact(&tok.encode()).unwrap(), tok);
     }
 }

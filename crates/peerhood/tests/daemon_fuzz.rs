@@ -1,8 +1,8 @@
 //! Property test: the daemon state machine survives arbitrary input
 //! sequences without panicking, and its outputs stay causally sane.
 
-use bytes::Bytes;
-use proptest::prelude::*;
+use codec::prop::{check, Config, Gen};
+use codec::Bytes;
 
 use netsim::{SimTime, Technology};
 use ph_peerhood::api::AppRequest;
@@ -12,110 +12,115 @@ use ph_peerhood::plugin::PluginEvent;
 use ph_peerhood::service::ServiceInfo;
 use ph_peerhood::types::{AttemptId, ConnId, DeviceId, DeviceInfo, LinkId, ResumeToken};
 
-fn arb_tech() -> impl Strategy<Value = Technology> {
-    prop_oneof![
-        Just(Technology::Bluetooth),
-        Just(Technology::Wlan),
-        Just(Technology::Gprs),
-    ]
+fn gen_tech(g: &mut Gen) -> Technology {
+    *g.pick(&Technology::ALL)
 }
 
-fn arb_device() -> impl Strategy<Value = DeviceInfo> {
-    (0u64..6).prop_map(|id| DeviceInfo::new(DeviceId::new(id), format!("d{id}"), Technology::ALL))
+fn gen_device(g: &mut Gen) -> DeviceInfo {
+    let id = g.u64(6);
+    DeviceInfo::new(DeviceId::new(id), format!("d{id}"), Technology::ALL)
 }
 
-fn arb_input() -> impl Strategy<Value = DaemonInput> {
-    prop_oneof![
-        Just(DaemonInput::Tick),
-        // App requests with small id spaces so they sometimes collide with
-        // real state.
-        (0u64..6).prop_map(|d| DaemonInput::App(AppRequest::GetServiceList {
-            device: DeviceId::new(d)
-        })),
-        Just(DaemonInput::App(AppRequest::GetDeviceList)),
-        (0u64..6, "[a-c]{1,4}").prop_map(|(d, s)| DaemonInput::App(AppRequest::Connect {
-            device: DeviceId::new(d),
-            service: s
-        })),
-        (0u64..8).prop_map(|c| DaemonInput::App(AppRequest::Send {
-            conn: ConnId::new(c),
-            payload: Bytes::from_static(b"x")
-        })),
-        (0u64..8).prop_map(|c| DaemonInput::App(AppRequest::Close { conn: ConnId::new(c) })),
-        (0u64..6).prop_map(|d| DaemonInput::App(AppRequest::Monitor {
-            device: DeviceId::new(d)
-        })),
-        "[a-c]{1,4}".prop_map(|s| DaemonInput::App(AppRequest::RegisterService(
-            ServiceInfo::new(s)
-        ))),
-        "[a-c]{1,4}".prop_map(|s| DaemonInput::App(AppRequest::UnregisterService(s))),
+fn gen_name(g: &mut Gen) -> String {
+    g.string_from("abc", 1, 4)
+}
+
+fn gen_input(g: &mut Gen) -> DaemonInput {
+    // Small id spaces so generated ids sometimes collide with real state.
+    match g.u64(17) {
+        0 => DaemonInput::Tick,
+        1 => DaemonInput::App(AppRequest::GetServiceList {
+            device: DeviceId::new(g.u64(6)),
+        }),
+        2 => DaemonInput::App(AppRequest::GetDeviceList),
+        3 => DaemonInput::App(AppRequest::Connect {
+            device: DeviceId::new(g.u64(6)),
+            service: gen_name(g),
+        }),
+        4 => DaemonInput::App(AppRequest::Send {
+            conn: ConnId::new(g.u64(8)),
+            payload: Bytes::from_static(b"x"),
+        }),
+        5 => DaemonInput::App(AppRequest::Close {
+            conn: ConnId::new(g.u64(8)),
+        }),
+        6 => DaemonInput::App(AppRequest::Monitor {
+            device: DeviceId::new(g.u64(6)),
+        }),
+        7 => DaemonInput::App(AppRequest::RegisterService(ServiceInfo::new(gen_name(g)))),
+        8 => DaemonInput::App(AppRequest::UnregisterService(gen_name(g))),
         // Plugin events, including ones referencing unknown state.
-        (arb_tech(), arb_device()).prop_map(|(technology, device)| DaemonInput::Plugin(
-            PluginEvent::InquiryResponse { technology, device }
-        )),
-        arb_tech().prop_map(|technology| DaemonInput::Plugin(PluginEvent::InquiryComplete {
-            technology
-        })),
-        (0u64..6).prop_map(|d| DaemonInput::Plugin(PluginEvent::ServiceQuery {
-            device: DeviceId::new(d)
-        })),
-        (0u64..6).prop_map(|d| DaemonInput::Plugin(PluginEvent::ServiceReply {
-            device: DeviceId::new(d),
-            services: vec![ServiceInfo::new("a")]
-        })),
-        (0u64..8, 0u64..8, any::<bool>()).prop_map(|(a, l, ok)| DaemonInput::Plugin(
-            PluginEvent::ConnectResult {
-                attempt: AttemptId::new(a),
-                result: if ok { Ok(LinkId::new(l)) } else { Err("no".into()) },
-            }
-        )),
-        (0u64..8, arb_device(), "[a-c]{1,4}", arb_tech(), proptest::option::of((0u64..6, 0u64..8)))
-            .prop_map(|(l, device, service, technology, resume)| DaemonInput::Plugin(
-                PluginEvent::IncomingConnection {
-                    link: LinkId::new(l),
-                    device,
-                    service,
-                    technology,
-                    resume: resume.map(|(d, c)| ResumeToken {
-                        initiator: DeviceId::new(d),
-                        conn: ConnId::new(c),
-                    }),
-                }
-            )),
-        (0u64..8).prop_map(|l| DaemonInput::Plugin(PluginEvent::Frame {
-            link: LinkId::new(l),
-            payload: Bytes::from_static(b"y")
-        })),
-        (0u64..8).prop_map(|l| DaemonInput::Plugin(PluginEvent::PeerClosed {
-            link: LinkId::new(l)
-        })),
-        (0u64..8).prop_map(|l| DaemonInput::Plugin(PluginEvent::LinkDown {
-            link: LinkId::new(l)
-        })),
-    ]
+        9 => DaemonInput::Plugin(PluginEvent::InquiryResponse {
+            technology: gen_tech(g),
+            device: gen_device(g),
+        }),
+        10 => DaemonInput::Plugin(PluginEvent::InquiryComplete {
+            technology: gen_tech(g),
+        }),
+        11 => DaemonInput::Plugin(PluginEvent::ServiceQuery {
+            device: DeviceId::new(g.u64(6)),
+        }),
+        12 => DaemonInput::Plugin(PluginEvent::ServiceReply {
+            device: DeviceId::new(g.u64(6)),
+            services: vec![ServiceInfo::new("a")],
+        }),
+        13 => DaemonInput::Plugin(PluginEvent::ConnectResult {
+            attempt: AttemptId::new(g.u64(8)),
+            result: if g.bool() {
+                Ok(LinkId::new(g.u64(8)))
+            } else {
+                Err("no".into())
+            },
+        }),
+        14 => DaemonInput::Plugin(PluginEvent::IncomingConnection {
+            link: LinkId::new(g.u64(8)),
+            device: gen_device(g),
+            service: gen_name(g),
+            technology: gen_tech(g),
+            resume: if g.bool() {
+                Some(ResumeToken {
+                    initiator: DeviceId::new(g.u64(6)),
+                    conn: ConnId::new(g.u64(8)),
+                })
+            } else {
+                None
+            },
+        }),
+        15 => DaemonInput::Plugin(PluginEvent::Frame {
+            link: LinkId::new(g.u64(8)),
+            payload: Bytes::from_static(b"y"),
+        }),
+        16 => DaemonInput::Plugin(PluginEvent::PeerClosed {
+            link: LinkId::new(g.u64(8)),
+        }),
+        _ => DaemonInput::Plugin(PluginEvent::LinkDown {
+            link: LinkId::new(g.u64(8)),
+        }),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn daemon_survives_arbitrary_input_sequences(
-        inputs in proptest::collection::vec((arb_input(), 0u64..5_000_000), 0..80)
-    ) {
-        let me = DeviceInfo::new(DeviceId::new(0), "me", Technology::ALL);
-        let mut daemon = Daemon::new(DaemonConfig::new(me));
-        let mut now = SimTime::ZERO;
-        for (input, advance_micros) in inputs {
-            now += std::time::Duration::from_micros(advance_micros);
-            let mut out = Vec::new();
-            daemon.handle(now, input, &mut out);
-            // Causal sanity: any requested wake-up is strictly in the
-            // future.
-            for o in &out {
-                if let DaemonOutput::WakeAt(t) = o {
-                    prop_assert!(*t > now, "wake at {t:?} not after {now:?}");
+#[test]
+fn daemon_survives_arbitrary_input_sequences() {
+    check(
+        &Config::with_cases(256),
+        "daemon survives arbitrary input sequences",
+        |g| g.vec_of(80, |g| (gen_input(g), g.u64(5_000_000))),
+        |inputs| {
+            let me = DeviceInfo::new(DeviceId::new(0), "me", Technology::ALL);
+            let mut daemon = Daemon::new(DaemonConfig::new(me));
+            let mut now = SimTime::ZERO;
+            for (input, advance_micros) in inputs {
+                now += std::time::Duration::from_micros(*advance_micros);
+                let mut out = Vec::new();
+                daemon.handle(now, input.clone(), &mut out);
+                // Causal sanity: any requested wake-up is strictly in the
+                // future.
+                for o in &out {
+                    if let DaemonOutput::WakeAt(t) = o {
+                        assert!(*t > now, "wake at {t:?} not after {now:?}");
+                    }
                 }
             }
-        }
-    }
+        },
+    );
 }

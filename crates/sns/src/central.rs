@@ -72,9 +72,7 @@ impl CentralServer {
 
     /// The member list of a group.
     pub fn member_list(&self, group: &str) -> Option<Vec<String>> {
-        self.groups
-            .get(group)
-            .map(|m| m.iter().cloned().collect())
+        self.groups.get(group).map(|m| m.iter().cloned().collect())
     }
 
     /// A user's profile.

@@ -7,7 +7,6 @@
 //! same pages much more slowly and text entry on its keypad was slower.
 //! These profiles capture that as render and input multipliers.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 use netsim::SimRng;
@@ -16,7 +15,7 @@ use netsim::SimRng;
 /// link it reaches the internet over (the N810 had no cellular modem — it
 /// browsed over WLAN/operator hotspots — while the N95 used the 3G/EDGE
 /// network; a large part of Table 8's device gap is this link difference).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AccessDevice {
     /// Device name as it appears in Table 8.
     pub name: String,

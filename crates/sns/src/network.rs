@@ -1,6 +1,5 @@
 //! The cellular data link between a 2008 phone and the SNS.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 use netsim::SimRng;
@@ -9,7 +8,7 @@ use netsim::SimRng;
 ///
 /// A page load issues several HTTP requests; each pays round-trip latency,
 /// and the total payload is serialized at the link's effective bandwidth.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CellularLink {
     /// Mean round-trip time per HTTP request.
     pub rtt: Duration,

@@ -1,9 +1,7 @@
 //! Site profiles: the page weights and flow lengths of 2008 mobile SNSs.
 
-use serde::{Deserialize, Serialize};
-
 /// The kind of page a task step loads.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum PageKind {
     /// The search form.
     SearchForm,
@@ -21,7 +19,7 @@ pub enum PageKind {
 }
 
 /// Weight of one page kind on a given site.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PageWeight {
     /// HTTP requests needed (HTML + scripts + images).
     pub requests: u32,
@@ -36,7 +34,7 @@ pub struct PageWeight {
 }
 
 /// A 2008 mobile-SNS site profile.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SiteProfile {
     /// Site name as it appears in Table 8.
     pub name: String,
@@ -54,12 +52,60 @@ impl SiteProfile {
             name: "Facebook".to_owned(),
             join_needs_confirmation: false,
             weights: vec![
-                (PageKind::SearchForm, PageWeight { requests: 4, bytes: 45_000, complexity: 0.6, scan: 1.5 }),
-                (PageKind::SearchResults, PageWeight { requests: 6, bytes: 85_000, complexity: 1.0, scan: 5.5 }),
-                (PageKind::GroupPage, PageWeight { requests: 7, bytes: 110_000, complexity: 1.2, scan: 3.5 }),
-                (PageKind::JoinConfirmation, PageWeight { requests: 3, bytes: 40_000, complexity: 0.5, scan: 1.0 }),
-                (PageKind::MemberList, PageWeight { requests: 4, bytes: 60_000, complexity: 0.7, scan: 1.0 }),
-                (PageKind::ProfilePage, PageWeight { requests: 8, bytes: 130_000, complexity: 1.4, scan: 1.5 }),
+                (
+                    PageKind::SearchForm,
+                    PageWeight {
+                        requests: 4,
+                        bytes: 45_000,
+                        complexity: 0.6,
+                        scan: 1.5,
+                    },
+                ),
+                (
+                    PageKind::SearchResults,
+                    PageWeight {
+                        requests: 6,
+                        bytes: 85_000,
+                        complexity: 1.0,
+                        scan: 5.5,
+                    },
+                ),
+                (
+                    PageKind::GroupPage,
+                    PageWeight {
+                        requests: 7,
+                        bytes: 110_000,
+                        complexity: 1.2,
+                        scan: 3.5,
+                    },
+                ),
+                (
+                    PageKind::JoinConfirmation,
+                    PageWeight {
+                        requests: 3,
+                        bytes: 40_000,
+                        complexity: 0.5,
+                        scan: 1.0,
+                    },
+                ),
+                (
+                    PageKind::MemberList,
+                    PageWeight {
+                        requests: 4,
+                        bytes: 60_000,
+                        complexity: 0.7,
+                        scan: 1.0,
+                    },
+                ),
+                (
+                    PageKind::ProfilePage,
+                    PageWeight {
+                        requests: 8,
+                        bytes: 130_000,
+                        complexity: 1.4,
+                        scan: 1.5,
+                    },
+                ),
             ],
         }
     }
@@ -71,12 +117,60 @@ impl SiteProfile {
             name: "Hi5".to_owned(),
             join_needs_confirmation: true,
             weights: vec![
-                (PageKind::SearchForm, PageWeight { requests: 3, bytes: 40_000, complexity: 0.6, scan: 1.3 }),
-                (PageKind::SearchResults, PageWeight { requests: 5, bytes: 70_000, complexity: 0.9, scan: 4.8 }),
-                (PageKind::GroupPage, PageWeight { requests: 6, bytes: 95_000, complexity: 1.1, scan: 3.0 }),
-                (PageKind::JoinConfirmation, PageWeight { requests: 4, bytes: 55_000, complexity: 0.7, scan: 1.0 }),
-                (PageKind::MemberList, PageWeight { requests: 5, bytes: 80_000, complexity: 1.0, scan: 3.2 }),
-                (PageKind::ProfilePage, PageWeight { requests: 9, bytes: 150_000, complexity: 1.6, scan: 4.5 }),
+                (
+                    PageKind::SearchForm,
+                    PageWeight {
+                        requests: 3,
+                        bytes: 40_000,
+                        complexity: 0.6,
+                        scan: 1.3,
+                    },
+                ),
+                (
+                    PageKind::SearchResults,
+                    PageWeight {
+                        requests: 5,
+                        bytes: 70_000,
+                        complexity: 0.9,
+                        scan: 4.8,
+                    },
+                ),
+                (
+                    PageKind::GroupPage,
+                    PageWeight {
+                        requests: 6,
+                        bytes: 95_000,
+                        complexity: 1.1,
+                        scan: 3.0,
+                    },
+                ),
+                (
+                    PageKind::JoinConfirmation,
+                    PageWeight {
+                        requests: 4,
+                        bytes: 55_000,
+                        complexity: 0.7,
+                        scan: 1.0,
+                    },
+                ),
+                (
+                    PageKind::MemberList,
+                    PageWeight {
+                        requests: 5,
+                        bytes: 80_000,
+                        complexity: 1.0,
+                        scan: 3.2,
+                    },
+                ),
+                (
+                    PageKind::ProfilePage,
+                    PageWeight {
+                        requests: 9,
+                        bytes: 150_000,
+                        complexity: 1.6,
+                        scan: 4.5,
+                    },
+                ),
             ],
         }
     }
@@ -121,8 +215,7 @@ mod tests {
     fn profile_pages_are_the_heaviest() {
         for site in [SiteProfile::facebook(), SiteProfile::hi5()] {
             assert!(
-                site.weight(PageKind::ProfilePage).bytes
-                    > site.weight(PageKind::SearchForm).bytes
+                site.weight(PageKind::ProfilePage).bytes > site.weight(PageKind::SearchForm).bytes
             );
         }
     }

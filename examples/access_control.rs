@@ -13,7 +13,7 @@
 //!
 //! Run with `cargo run --example access_control`.
 
-use bytes::Bytes;
+use codec::Bytes;
 use netsim::geometry::Point2;
 use netsim::mobility::ScriptedPath;
 use netsim::world::NodeBuilder;
@@ -46,7 +46,8 @@ impl Application for Door {
             AppEvent::Incoming { conn, device, .. } => {
                 // Watch the key holder so we can re-lock on departure.
                 ctx.peerhood().monitor(device);
-                self.log.push(format!("[{}] key holder {device} connected", ctx.now()));
+                self.log
+                    .push(format!("[{}] key holder {device} connected", ctx.now()));
                 let _ = conn;
             }
             AppEvent::Data { conn, payload } => {
@@ -60,10 +61,13 @@ impl Application for Door {
                     ctx.peerhood().send(conn, Bytes::from_static(b"refused"));
                 }
             }
-            AppEvent::Closed { .. } | AppEvent::MonitorAlert { appeared: false, .. }
-                if self.unlocked_for.take().is_some() => {
-                    self.log.push(format!("[{}] LOCKED (holder left)", ctx.now()));
-                }
+            AppEvent::Closed { .. }
+            | AppEvent::MonitorAlert {
+                appeared: false, ..
+            } if self.unlocked_for.take().is_some() => {
+                self.log
+                    .push(format!("[{}] LOCKED (holder left)", ctx.now()));
+            }
             _ => {}
         }
     }
@@ -83,12 +87,14 @@ impl Application for KeyFob {
                 ctx.peerhood().request_service_list(info.id);
             }
             AppEvent::ServiceList { device, services }
-                if services.iter().any(|s| s.name() == SERVICE) => {
-                    ctx.peerhood().connect(device, SERVICE);
-                }
+                if services.iter().any(|s| s.name() == SERVICE) =>
+            {
+                ctx.peerhood().connect(device, SERVICE);
+            }
             AppEvent::Connected { conn, .. } => {
                 // Present the key the moment we are connected.
-                ctx.peerhood().send(conn, Bytes::from(self.key.clone().into_bytes()));
+                ctx.peerhood()
+                    .send(conn, Bytes::from(self.key.clone().into_bytes()));
             }
             AppEvent::Data { payload, .. } => {
                 self.door_replies
@@ -188,11 +194,25 @@ fn main() {
     for line in &cluster.app(door).door().log {
         println!("  {line}");
     }
-    println!("\nbishal's PTD heard: {:?}", cluster.app(bishal).fob().door_replies);
-    println!("stranger's PTD heard: {:?}", cluster.app(stranger).fob().door_replies);
+    println!(
+        "\nbishal's PTD heard: {:?}",
+        cluster.app(bishal).fob().door_replies
+    );
+    println!(
+        "stranger's PTD heard: {:?}",
+        cluster.app(stranger).fob().door_replies
+    );
 
-    assert!(cluster.app(bishal).fob().door_replies.contains(&"unlocked".to_owned()));
-    assert!(cluster.app(stranger).fob().door_replies.contains(&"refused".to_owned()));
+    assert!(cluster
+        .app(bishal)
+        .fob()
+        .door_replies
+        .contains(&"unlocked".to_owned()));
+    assert!(cluster
+        .app(stranger)
+        .fob()
+        .door_replies
+        .contains(&"refused".to_owned()));
     assert!(cluster
         .app(door)
         .door()

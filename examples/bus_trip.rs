@@ -11,8 +11,8 @@ use std::time::Duration;
 use community::node::CommunityApp;
 use community::profile::Profile;
 use community::{OpResult, SharedOutcome};
-use netsim::geometry::Vec2;
 use netsim::geometry::Point2;
+use netsim::geometry::Vec2;
 use netsim::mobility::{Offset, ScriptedPath};
 use netsim::world::NodeBuilder;
 use netsim::{SimTime, Technology};
@@ -34,16 +34,18 @@ fn main() {
     ];
     let mut nodes = Vec::new();
     for (name, seat) in seats {
-        nodes.push(cluster.add_node(
-            NodeBuilder::new(format!("{name}-phone"))
-                .moving(Offset::new(route.clone(), seat))
-                .with_technologies([Technology::Bluetooth]),
-            CommunityApp::with_member(
-                name,
-                "pw",
-                Profile::new(name).with_interests(["travel", "Music"]),
+        nodes.push(
+            cluster.add_node(
+                NodeBuilder::new(format!("{name}-phone"))
+                    .moving(Offset::new(route.clone(), seat))
+                    .with_technologies([Technology::Bluetooth]),
+                CommunityApp::with_member(
+                    name,
+                    "pw",
+                    Profile::new(name).with_interests(["travel", "Music"]),
+                ),
             ),
-        ));
+        );
     }
     // Pekka gets off halfway and stays at the stop.
     let pekka_route = ScriptedPath::new(vec![

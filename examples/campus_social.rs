@@ -90,7 +90,10 @@ fn main() {
         .iter()
         .map(|g| g.key.clone())
         .collect();
-    assert!(keys.contains(&"chess".to_owned()), "chess group at the library");
+    assert!(
+        keys.contains(&"chess".to_owned()),
+        "chess group at the library"
+    );
     assert!(
         !keys.contains(&"football".to_owned()),
         "football group dissolved on the way"

@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --example guidance`.
 
-use bytes::Bytes;
+use codec::Bytes;
 use netsim::geometry::{Point2, Rect};
 use netsim::mobility::ManhattanGrid;
 use netsim::world::NodeBuilder;
@@ -61,14 +61,15 @@ impl Application for Node {
                 AppEvent::DeviceAppeared(info) => {
                     ctx.peerhood().request_service_list(info.id);
                 }
-                AppEvent::ServiceList { device, services } => {
-                    if services.iter().any(|s| s.name() == SERVICE) {
-                        ctx.peerhood().connect(device, SERVICE);
-                    }
+                AppEvent::ServiceList { device, services }
+                    if services.iter().any(|s| s.name() == SERVICE) =>
+                {
+                    ctx.peerhood().connect(device, SERVICE);
                 }
                 AppEvent::Connected { conn, .. } => {
                     t.asked += 1;
-                    ctx.peerhood().send(conn, Bytes::from_static(b"railway station"));
+                    ctx.peerhood()
+                        .send(conn, Bytes::from_static(b"railway station"));
                 }
                 AppEvent::Data { conn, payload } => {
                     t.hints.push(String::from_utf8_lossy(&payload).into_owned());
@@ -87,7 +88,10 @@ fn main() {
     let corners = [
         (Point2::new(50.0, 50.0), "head east along Kauppakatu"),
         (Point2::new(150.0, 50.0), "turn north at the market"),
-        (Point2::new(50.0, 150.0), "the station is south-east of here"),
+        (
+            Point2::new(50.0, 150.0),
+            "the station is south-east of here",
+        ),
         (Point2::new(150.0, 150.0), "two blocks north, you are close"),
     ];
     for (i, (pos, hint)) in corners.iter().enumerate() {

@@ -41,11 +41,19 @@ fn table8_reproduces_the_paper_shape() {
 
     // Claim 2: PeerHood's group search is dominated by one Bluetooth
     // inquiry (~10.24 s), far below any SNS arm's search.
-    assert!(ph.summaries[0].mean > 9.0 && ph.summaries[0].mean < 16.0,
-        "search {}", ph.summaries[0].mean);
+    assert!(
+        ph.summaries[0].mean > 9.0 && ph.summaries[0].mean < 16.0,
+        "search {}",
+        ph.summaries[0].mean
+    );
     for sns_arm in &report.arms[..4] {
-        assert!(sns_arm.summaries[0].mean > 2.0 * ph.summaries[0].mean,
-            "{} search {} vs ph {}", sns_arm.arm, sns_arm.summaries[0].mean, ph.summaries[0].mean);
+        assert!(
+            sns_arm.summaries[0].mean > 2.0 * ph.summaries[0].mean,
+            "{} search {} vs ph {}",
+            sns_arm.arm,
+            sns_arm.summaries[0].mean,
+            ph.summaries[0].mean
+        );
     }
 
     // Claim 3: overall, PeerHood beats every SNS arm by at least ~2x.
@@ -63,8 +71,12 @@ fn table8_reproduces_the_paper_shape() {
     // profile tasks are *slower* than the best SNS arm's (FB on N810) but
     // still win on the total.
     let fb_n810 = &report.arms[0];
-    assert!(ph.summaries[2].mean > fb_n810.summaries[2].mean,
-        "member list: ph {} vs fb-n810 {}", ph.summaries[2].mean, fb_n810.summaries[2].mean);
+    assert!(
+        ph.summaries[2].mean > fb_n810.summaries[2].mean,
+        "member list: ph {} vs fb-n810 {}",
+        ph.summaries[2].mean,
+        fb_n810.summaries[2].mean
+    );
 
     // Claim 5: device ordering — N95 slower than N810 on both sites.
     assert!(report.arms[1].summaries[4].mean > report.arms[0].summaries[4].mean);
@@ -121,7 +133,11 @@ fn table8_is_deterministic_per_seed() {
     let b = table8::run(3, 99);
     for (x, y) in a.arms.iter().zip(b.arms.iter()) {
         for i in 0..5 {
-            assert_eq!(x.summaries[i].mean, y.summaries[i].mean, "{} row {i}", x.arm);
+            assert_eq!(
+                x.summaries[i].mean, y.summaries[i].mean,
+                "{} row {i}",
+                x.arm
+            );
         }
     }
 }

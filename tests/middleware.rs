@@ -27,10 +27,7 @@ fn ten_device_neighborhood_converges() {
     for i in 0..10 {
         let angle = i as f64 / 10.0 * std::f64::consts::TAU;
         let pos = Point2::new(4.0 * angle.cos(), 4.0 * angle.sin());
-        let interests: Vec<String> = vec![
-            "common".to_owned(),
-            format!("special-{}", i % 3),
-        ];
+        let interests: Vec<String> = vec!["common".to_owned(), format!("special-{}", i % 3)];
         let interests_ref: Vec<&str> = interests.iter().map(String::as_str).collect();
         nodes.push(c.add_node(
             NodeBuilder::new(format!("dev{i}")).at(pos),
@@ -91,7 +88,11 @@ fn community_operation_survives_technology_handover() {
         OpResult::Profile(Some(view)) => assert_eq!(view.member, "bob"),
         other => panic!("profile after handover failed: {other:?}"),
     }
-    assert_eq!(c.app(a).groups().len(), 1, "group survives the walk via WLAN");
+    assert_eq!(
+        c.app(a).groups().len(),
+        1,
+        "group survives the walk via WLAN"
+    );
 }
 
 #[test]
@@ -137,8 +138,14 @@ fn store_state_survives_json_round_trip_mid_session() {
     // Profile/message persistence: serialize a store that accumulated
     // session state, restore it, and keep using it.
     let mut c = Cluster::new(4321);
-    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
-    let b = c.add_node(NodeBuilder::new("b").at(Point2::new(3.0, 0.0)), member("bob", &["x"]));
+    let a = c.add_node(
+        NodeBuilder::new("a").at(Point2::ORIGIN),
+        member("alice", &["x"]),
+    );
+    let b = c.add_node(
+        NodeBuilder::new("b").at(Point2::new(3.0, 0.0)),
+        member("bob", &["x"]),
+    );
     c.start();
     c.run_until(SimTime::from_secs(40));
     let op = c.with_app(a, |app, ctx| app.send_message("bob", "s", "b", ctx));
@@ -148,8 +155,8 @@ fn store_state_survives_json_round_trip_mid_session() {
         OpResult::MessageResult { written: true }
     ));
 
-    let json = c.app(b).store().to_json();
-    let restored = community::MemberStore::from_json(&json).expect("valid json");
+    let snapshot = c.app(b).store().to_snapshot();
+    let restored = community::MemberStore::from_snapshot(&snapshot).expect("valid snapshot");
     assert_eq!(
         restored.active_account().unwrap().mailbox.inbox().len(),
         1,
@@ -170,7 +177,10 @@ fn logged_out_devices_answer_no_members_yet() {
     let ghost_app = CommunityApp::new(store);
 
     let mut c = Cluster::new(8765);
-    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
+    let a = c.add_node(
+        NodeBuilder::new("a").at(Point2::ORIGIN),
+        member("alice", &["x"]),
+    );
     let _g = c.add_node(NodeBuilder::new("g").at(Point2::new(3.0, 0.0)), ghost_app);
     c.start();
     c.run_until(SimTime::from_secs(40));
@@ -188,12 +198,19 @@ fn logged_out_devices_answer_no_members_yet() {
 fn late_login_brings_the_member_online() {
     let mut store = community::MemberStore::new();
     store
-        .create_account("sleeper", "pw", Profile::new("Sleeper").with_interests(["x"]))
+        .create_account(
+            "sleeper",
+            "pw",
+            Profile::new("Sleeper").with_interests(["x"]),
+        )
         .expect("fresh");
     let app = CommunityApp::new(store);
 
     let mut c = Cluster::new(1357);
-    let a = c.add_node(NodeBuilder::new("a").at(Point2::ORIGIN), member("alice", &["x"]));
+    let a = c.add_node(
+        NodeBuilder::new("a").at(Point2::ORIGIN),
+        member("alice", &["x"]),
+    );
     let s = c.add_node(NodeBuilder::new("s").at(Point2::new(3.0, 0.0)), app);
     c.start();
     c.run_until(SimTime::from_secs(40));

@@ -1,350 +1,575 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! These run on the in-repo deterministic harness ([`codec::prop`]) instead
+//! of `proptest` (zero-dependency policy, see `DESIGN.md`). Failures print a
+//! replay seed; set `PH_PROP_SEED` to reproduce, `PH_PROP_CASES` to change
+//! the case count. Regression seeds retained from the proptest era are
+//! replayed first via `tests/properties.proptest-regressions`.
 
-use proptest::prelude::*;
+use codec::prop::{check, Config, Gen};
 
+use community::content::ContentInfo;
 use community::discovery::discover_groups;
+use community::protocol::WIRE_VERSION;
 use community::semantics::{MatchPolicy, SynonymTable};
 use community::{Interest, InterestSet, ProfileView, Request, Response};
 use netsim::geometry::{Point2, Rect};
-use netsim::mobility::{Mobility, RandomWaypoint, RandomWalk};
+use netsim::mobility::{Mobility, RandomWalk, RandomWaypoint};
 use netsim::stats::Summary;
 use netsim::{SimRng, SimTime};
 use std::time::Duration;
+
+fn cfg() -> Config {
+    Config::default()
+}
 
 // ---------------------------------------------------------------------
 // Wire protocol
 // ---------------------------------------------------------------------
 
-fn arb_name() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9 _-]{0,24}"
+const NAME_CHARSET: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-";
+
+fn gen_name(g: &mut Gen) -> String {
+    g.string_from(NAME_CHARSET, 0, 24)
 }
 
-fn arb_request() -> impl Strategy<Value = Request> {
-    prop_oneof![
-        Just(Request::GetOnlineMemberList),
-        Just(Request::GetInterestList),
-        arb_name().prop_map(|interest| Request::GetInterestedMemberList { interest }),
-        (arb_name(), arb_name()).prop_map(|(member, requester)| Request::GetProfile {
-            member,
-            requester
-        }),
-        (arb_name(), arb_name(), ".{0,200}").prop_map(|(member, author, comment)| {
-            Request::AddProfileComment {
-                member,
-                author,
-                comment,
-            }
-        }),
-        arb_name().prop_map(|member| Request::CheckMemberId { member }),
-        (arb_name(), arb_name(), arb_name(), ".{0,200}").prop_map(
-            |(to, from, subject, body)| Request::Message {
-                to,
-                from,
-                subject,
-                body
-            }
-        ),
-        (arb_name(), arb_name()).prop_map(|(member, requester)| Request::GetSharedContent {
-            member,
-            requester
-        }),
-        arb_name().prop_map(|member| Request::GetTrustedFriends { member }),
-        (arb_name(), arb_name()).prop_map(|(member, requester)| Request::CheckTrusted {
-            member,
-            requester
-        }),
-        (arb_name(), arb_name(), arb_name()).prop_map(|(member, requester, name)| {
-            Request::FetchContent {
-                member,
-                requester,
-                name,
-            }
-        }),
-    ]
+fn gen_names(g: &mut Gen) -> Vec<String> {
+    g.vec_of(6, gen_name)
 }
 
-fn arb_names() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec(arb_name(), 0..6)
+fn gen_text(g: &mut Gen) -> String {
+    g.ascii_string(200)
 }
 
-fn arb_response() -> impl Strategy<Value = Response> {
-    prop_oneof![
-        arb_names().prop_map(Response::MemberList),
-        arb_names().prop_map(Response::InterestList),
-        arb_names().prop_map(Response::TrustedFriends),
-        Just(Response::NoMembersYet),
-        Just(Response::CommentWritten),
-        any::<bool>().prop_map(Response::CheckMemberResult),
-        Just(Response::MessageWritten),
-        Just(Response::MessageFailed),
-        Just(Response::NotTrustedYet),
-        Just(Response::Trusted),
-        (arb_name(), proptest::collection::vec(any::<u8>(), 0..512))
-            .prop_map(|(name, data)| Response::Content { name, data }),
-        ".{0,80}".prop_map(Response::Error),
-        (arb_name(), arb_name(), arb_names()).prop_map(|(member, display_name, interests)| {
-            Response::Profile(ProfileView {
-                member,
-                display_name,
-                interests,
-                ..ProfileView::default()
-            })
-        }),
-    ]
+/// Number of [`Request`] variants; [`gen_request_variant`] must cover each.
+const REQUEST_VARIANTS: usize = 11;
+
+/// Number of [`Response`] variants; [`gen_response_variant`] must cover each.
+const RESPONSE_VARIANTS: usize = 15;
+
+fn gen_request_variant(g: &mut Gen, variant: usize) -> Request {
+    match variant {
+        0 => Request::GetOnlineMemberList,
+        1 => Request::GetInterestList,
+        2 => Request::GetInterestedMemberList {
+            interest: gen_name(g),
+        },
+        3 => Request::GetProfile {
+            member: gen_name(g),
+            requester: gen_name(g),
+        },
+        4 => Request::AddProfileComment {
+            member: gen_name(g),
+            author: gen_name(g),
+            comment: gen_text(g),
+        },
+        5 => Request::CheckMemberId {
+            member: gen_name(g),
+        },
+        6 => Request::Message {
+            to: gen_name(g),
+            from: gen_name(g),
+            subject: gen_name(g),
+            body: gen_text(g),
+        },
+        7 => Request::GetSharedContent {
+            member: gen_name(g),
+            requester: gen_name(g),
+        },
+        8 => Request::GetTrustedFriends {
+            member: gen_name(g),
+        },
+        9 => Request::CheckTrusted {
+            member: gen_name(g),
+            requester: gen_name(g),
+        },
+        _ => Request::FetchContent {
+            member: gen_name(g),
+            requester: gen_name(g),
+            name: gen_name(g),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn request_codec_round_trips(req in arb_request()) {
+fn gen_request(g: &mut Gen) -> Request {
+    let variant = g.usize(REQUEST_VARIANTS);
+    gen_request_variant(g, variant)
+}
+
+fn gen_profile_view(g: &mut Gen) -> ProfileView {
+    let mut view = ProfileView {
+        member: gen_name(g),
+        display_name: gen_name(g),
+        interests: gen_names(g),
+        trusted: gen_names(g),
+        comments: g.vec_of(4, gen_text),
+        ..ProfileView::default()
+    };
+    for _ in 0..g.usize(4) {
+        let key = gen_name(g);
+        let value = gen_text(g);
+        view.fields.insert(key, value);
+    }
+    view
+}
+
+fn gen_content_info(g: &mut Gen) -> ContentInfo {
+    ContentInfo {
+        name: gen_name(g),
+        size: g.any_u64(),
+        kind: gen_name(g),
+    }
+}
+
+fn gen_response_variant(g: &mut Gen, variant: usize) -> Response {
+    match variant {
+        0 => Response::MemberList(gen_names(g)),
+        1 => Response::InterestList(gen_names(g)),
+        2 => Response::InterestedMembers(gen_names(g)),
+        3 => Response::Profile(gen_profile_view(g)),
+        4 => Response::NoMembersYet,
+        5 => Response::CommentWritten,
+        6 => Response::CheckMemberResult(g.bool()),
+        7 => Response::MessageWritten,
+        8 => Response::MessageFailed,
+        9 => Response::SharedContent(g.vec_of(4, gen_content_info)),
+        10 => Response::NotTrustedYet,
+        11 => Response::TrustedFriends(gen_names(g)),
+        12 => Response::Trusted,
+        13 => Response::Content {
+            name: gen_name(g),
+            data: g.bytes(512),
+        },
+        _ => Response::Error(g.ascii_string(80)),
+    }
+}
+
+fn gen_response(g: &mut Gen) -> Response {
+    let variant = g.usize(RESPONSE_VARIANTS);
+    gen_response_variant(g, variant)
+}
+
+#[test]
+fn request_codec_round_trips() {
+    check(&cfg(), "request_codec_round_trips", gen_request, |req| {
         let frame = req.encode();
-        prop_assert_eq!(Request::decode(&frame).unwrap(), req);
-    }
+        assert_eq!(frame[0], WIRE_VERSION);
+        assert_eq!(&Request::decode(&frame).unwrap(), req);
+    });
+}
 
-    #[test]
-    fn response_codec_round_trips(resp in arb_response()) {
+#[test]
+fn response_codec_round_trips() {
+    check(&cfg(), "response_codec_round_trips", gen_response, |resp| {
         let frame = resp.encode();
-        prop_assert_eq!(Response::decode(&frame).unwrap(), resp);
-    }
+        assert_eq!(frame[0], WIRE_VERSION);
+        assert_eq!(&Response::decode(&frame).unwrap(), resp);
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        // Errors are fine; panics and hangs are not.
-        let _ = Request::decode(&bytes);
-        let _ = Response::decode(&bytes);
+/// Pins the 100%-of-variants guarantee: every variant index round-trips, so
+/// a new variant without a generator arm fails here rather than silently
+/// thinning random coverage.
+#[test]
+fn every_variant_index_round_trips() {
+    let mut cfg = Config::with_cases(32);
+    cfg.seed = 0x9e37_79b9_7f4a_7c15;
+    for variant in 0..REQUEST_VARIANTS {
+        check(
+            &cfg,
+            &format!("request_variant_{variant}"),
+            |g| gen_request_variant(g, variant),
+            |req| {
+                assert_eq!(&Request::decode(&req.encode()).unwrap(), req);
+            },
+        );
     }
+    for variant in 0..RESPONSE_VARIANTS {
+        check(
+            &cfg,
+            &format!("response_variant_{variant}"),
+            |g| gen_response_variant(g, variant),
+            |resp| {
+                assert_eq!(&Response::decode(&resp.encode()).unwrap(), resp);
+            },
+        );
+    }
+}
 
-    #[test]
-    fn truncated_valid_frames_error_not_panic(req in arb_request(), cut in 0usize..32) {
-        let mut frame = req.encode();
-        if cut < frame.len() {
-            frame.truncate(frame.len() - cut);
-            if cut > 0 {
-                let _ = Request::decode(&frame); // must not panic
+#[test]
+fn decoder_never_panics_on_garbage() {
+    check(
+        &cfg(),
+        "decoder_never_panics_on_garbage",
+        |g| {
+            let mut bytes = g.bytes(256);
+            // Half the time, force a valid version byte so the fuzz reaches
+            // the opcode and payload decoders instead of stopping at the
+            // version check.
+            if !bytes.is_empty() && g.bool() {
+                bytes[0] = WIRE_VERSION;
             }
-        }
-    }
+            bytes
+        },
+        |bytes| {
+            // Errors are fine; panics and hangs are not.
+            let _ = Request::decode(bytes);
+            let _ = Response::decode(bytes);
+        },
+    );
+}
+
+#[test]
+fn truncated_valid_frames_error_not_panic() {
+    check(
+        &cfg(),
+        "truncated_valid_frames_error_not_panic",
+        |g| (gen_request(g), g.usize(32)),
+        |(req, cut)| {
+            let mut frame = req.encode();
+            if *cut > 0 && *cut < frame.len() {
+                frame.truncate(frame.len() - cut);
+                assert!(Request::decode(&frame).is_err(), "truncated frame decoded");
+            }
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Interests and semantics
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn interest_normalization_is_idempotent(s in ".{0,40}") {
-        let a = Interest::new(&s);
-        let b = Interest::new(a.key());
-        prop_assert_eq!(a.key(), b.key());
-        // Display form also normalizes stably.
-        let c = Interest::new(a.display());
-        prop_assert_eq!(&a, &c);
-    }
+#[test]
+fn interest_normalization_is_idempotent() {
+    check(
+        &cfg(),
+        "interest_normalization_is_idempotent",
+        |g| g.ascii_string(40),
+        |s| {
+            let a = Interest::new(s);
+            let b = Interest::new(a.key());
+            assert_eq!(a.key(), b.key());
+            // Display form also normalizes stably.
+            let c = Interest::new(a.display());
+            assert_eq!(&a, &c);
+        },
+    );
+}
 
-    #[test]
-    fn interest_set_add_then_remove_is_noop(items in proptest::collection::vec("[a-z ]{1,12}", 0..10), extra in "[a-z]{1,12}") {
-        let mut set: InterestSet = items.iter().map(Interest::new).collect();
-        let before = set.clone();
-        let fresh = set.add(Interest::new(&extra));
-        if fresh {
-            set.remove(Interest::new(&extra));
-        }
-        prop_assert_eq!(set, before);
-    }
-
-    #[test]
-    fn synonym_canonical_is_class_stable(pairs in proptest::collection::vec(("[a-e]", "[a-e]"), 0..12)) {
-        let mut table = SynonymTable::new();
-        for (a, b) in &pairs {
-            table.teach(&Interest::new(a), &Interest::new(b));
-        }
-        // canonical(x) == canonical(y) iff same(x, y), for all pairs in the
-        // small alphabet.
-        for x in ["a", "b", "c", "d", "e"] {
-            for y in ["a", "b", "c", "d", "e"] {
-                let same = table.same(&Interest::new(x), &Interest::new(y));
-                let canon_eq = table.canonical_key(x) == table.canonical_key(y);
-                prop_assert_eq!(same, canon_eq, "{} vs {}", x, y);
+#[test]
+fn interest_set_add_then_remove_is_noop() {
+    check(
+        &cfg(),
+        "interest_set_add_then_remove_is_noop",
+        |g| {
+            let items = g.vec_of(10, |g| g.string_from("abcdefghijklmnopqrstuvwxyz ", 1, 12));
+            let extra = g.string_from("abcdefghijklmnopqrstuvwxyz", 1, 12);
+            (items, extra)
+        },
+        |(items, extra)| {
+            let mut set: InterestSet = items.iter().map(Interest::new).collect();
+            let before = set.clone();
+            let fresh = set.add(Interest::new(extra));
+            if fresh {
+                set.remove(Interest::new(extra));
             }
-        }
-        // The canonical key is a member of its own class.
-        for x in ["a", "b", "c", "d", "e"] {
-            let c = table.canonical_key(x);
-            prop_assert!(table.same(&Interest::new(x), &Interest::new(&c)));
-        }
-    }
+            assert_eq!(set, before);
+        },
+    );
+}
+
+fn gen_letter_pairs(g: &mut Gen, alphabet: &str, max: usize) -> Vec<(String, String)> {
+    g.vec_of(max, |g| {
+        (g.string_from(alphabet, 1, 1), g.string_from(alphabet, 1, 1))
+    })
+}
+
+#[test]
+fn synonym_canonical_is_class_stable() {
+    check(
+        &cfg(),
+        "synonym_canonical_is_class_stable",
+        |g| gen_letter_pairs(g, "abcde", 12),
+        |pairs| {
+            let mut table = SynonymTable::new();
+            for (a, b) in pairs {
+                table.teach(&Interest::new(a), &Interest::new(b));
+            }
+            // canonical(x) == canonical(y) iff same(x, y), for all pairs in
+            // the small alphabet.
+            for x in ["a", "b", "c", "d", "e"] {
+                for y in ["a", "b", "c", "d", "e"] {
+                    let same = table.same(&Interest::new(x), &Interest::new(y));
+                    let canon_eq = table.canonical_key(x) == table.canonical_key(y);
+                    assert_eq!(same, canon_eq, "{x} vs {y}");
+                }
+            }
+            // The canonical key is a member of its own class.
+            for x in ["a", "b", "c", "d", "e"] {
+                let c = table.canonical_key(x);
+                assert!(table.same(&Interest::new(x), &Interest::new(&c)));
+            }
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Dynamic group discovery (Figure 6)
 // ---------------------------------------------------------------------
 
-fn arb_interests() -> impl Strategy<Value = Vec<Interest>> {
-    proptest::collection::vec("[a-f]", 0..5)
-        .prop_map(|v| v.into_iter().map(Interest::new).collect())
+fn gen_interests(g: &mut Gen) -> Vec<Interest> {
+    g.vec_of(5, |g| Interest::new(g.string_from("abcdef", 1, 1)))
 }
 
-fn arb_neighbors() -> impl Strategy<Value = Vec<(String, Vec<Interest>)>> {
-    proptest::collection::vec(arb_interests(), 0..8).prop_map(|vs| {
-        vs.into_iter()
-            .enumerate()
-            .map(|(i, ints)| (format!("n{i}"), ints))
-            .collect()
-    })
+fn gen_neighbors(g: &mut Gen) -> Vec<(String, Vec<Interest>)> {
+    g.vec_of(8, gen_interests)
+        .into_iter()
+        .enumerate()
+        .map(|(i, ints)| (format!("n{i}"), ints))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn groups_always_contain_me_and_only_known_members(
-        own in arb_interests(),
-        neighbors in arb_neighbors()
-    ) {
-        let groups = discover_groups("me", &own, &neighbors, &MatchPolicy::Exact);
-        let known: Vec<&str> = neighbors.iter().map(|(n, _)| n.as_str()).collect();
-        for group in groups.values() {
-            prop_assert!(group.contains("me"), "group {:?}", group.key);
-            prop_assert!(group.members.len() >= 2);
-            for m in &group.members {
-                prop_assert!(m == "me" || known.contains(&m.as_str()));
+#[test]
+fn groups_always_contain_me_and_only_known_members() {
+    check(
+        &cfg(),
+        "groups_always_contain_me_and_only_known_members",
+        |g| (gen_interests(g), gen_neighbors(g)),
+        |(own, neighbors)| {
+            let groups = discover_groups("me", own, neighbors, &MatchPolicy::Exact);
+            let known: Vec<&str> = neighbors.iter().map(|(n, _)| n.as_str()).collect();
+            for group in groups.values() {
+                assert!(group.contains("me"), "group {:?}", group.key);
+                assert!(group.members.len() >= 2);
+                for m in &group.members {
+                    assert!(m == "me" || known.contains(&m.as_str()));
+                }
+                // The key corresponds to one of my own interests.
+                assert!(own.iter().any(|i| i.key() == group.key));
+                // Members are sorted and unique.
+                let mut sorted = group.members.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(&sorted, &group.members);
             }
-            // The key corresponds to one of my own interests.
-            prop_assert!(own.iter().any(|i| i.key() == group.key));
-            // Members are sorted and unique.
-            let mut sorted = group.members.clone();
-            sorted.sort();
-            sorted.dedup();
-            prop_assert_eq!(&sorted, &group.members);
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn adding_a_neighbor_never_shrinks_groups(
-        own in arb_interests(),
-        neighbors in arb_neighbors(),
-        extra in arb_interests()
-    ) {
-        let before = discover_groups("me", &own, &neighbors, &MatchPolicy::Exact);
-        let mut more = neighbors.clone();
-        more.push(("newcomer".to_owned(), extra));
-        let after = discover_groups("me", &own, &more, &MatchPolicy::Exact);
-        for (key, group) in &before {
-            let bigger = after.get(key).expect("existing groups persist");
-            for m in &group.members {
-                prop_assert!(bigger.contains(m), "{m} lost from {key}");
+#[test]
+fn adding_a_neighbor_never_shrinks_groups() {
+    check(
+        &cfg(),
+        "adding_a_neighbor_never_shrinks_groups",
+        |g| (gen_interests(g), gen_neighbors(g), gen_interests(g)),
+        |(own, neighbors, extra)| {
+            let before = discover_groups("me", own, neighbors, &MatchPolicy::Exact);
+            let mut more = neighbors.clone();
+            more.push(("newcomer".to_owned(), extra.clone()));
+            let after = discover_groups("me", own, &more, &MatchPolicy::Exact);
+            for (key, group) in &before {
+                let bigger = after.get(key).expect("existing groups persist");
+                for m in &group.members {
+                    assert!(bigger.contains(m), "{m} lost from {key}");
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn semantic_matching_only_merges_never_splits(
-        own in arb_interests(),
-        neighbors in arb_neighbors(),
-        taught in proptest::collection::vec(("[a-f]", "[a-f]"), 0..6)
-    ) {
-        let exact = discover_groups("me", &own, &neighbors, &MatchPolicy::Exact);
-        let mut policy = MatchPolicy::Exact;
-        for (a, b) in &taught {
-            policy.teach(&Interest::new(a), &Interest::new(b));
-        }
-        let semantic = discover_groups("me", &own, &neighbors, &policy);
-        // Teaching synonyms can create matches that exact matching lacked
-        // (that is its purpose) — but it never *loses* anything: every
-        // exact group folds, member-complete, into the semantic group of
-        // its canonical key.
-        for (key, group) in &exact {
-            let canon = policy.group_key(&Interest::new(key));
-            let folded = semantic
-                .get(&canon)
-                .unwrap_or_else(|| panic!("group {key} vanished (canonical {canon})"));
-            for m in &group.members {
-                prop_assert!(folded.contains(m), "{m} lost from {key} -> {canon}");
-            }
-        }
-        // And the semantic group count never exceeds the number of
-        // distinct canonical keys among my own interests.
-        let canon_keys: std::collections::BTreeSet<String> =
-            own.iter().map(|i| policy.group_key(i)).collect();
-        prop_assert!(semantic.len() <= canon_keys.len());
+/// Shared body of the semantic-merge property, also exercised directly by
+/// [`semantic_merge_regression_case`].
+fn assert_semantic_only_merges(
+    own: &[Interest],
+    neighbors: &[(String, Vec<Interest>)],
+    taught: &[(String, String)],
+) {
+    let exact = discover_groups("me", own, neighbors, &MatchPolicy::Exact);
+    let mut policy = MatchPolicy::Exact;
+    for (a, b) in taught {
+        policy.teach(&Interest::new(a), &Interest::new(b));
     }
+    let semantic = discover_groups("me", own, neighbors, &policy);
+    // Teaching synonyms can create matches that exact matching lacked
+    // (that is its purpose) — but it never *loses* anything: every exact
+    // group folds, member-complete, into the semantic group of its
+    // canonical key.
+    for (key, group) in &exact {
+        let canon = policy.group_key(&Interest::new(key));
+        let folded = semantic
+            .get(&canon)
+            .unwrap_or_else(|| panic!("group {key} vanished (canonical {canon})"));
+        for m in &group.members {
+            assert!(folded.contains(m), "{m} lost from {key} -> {canon}");
+        }
+    }
+    // And the semantic group count never exceeds the number of distinct
+    // canonical keys among my own interests.
+    let canon_keys: std::collections::BTreeSet<String> =
+        own.iter().map(|i| policy.group_key(i)).collect();
+    assert!(semantic.len() <= canon_keys.len());
+}
+
+#[test]
+fn semantic_matching_only_merges_never_splits() {
+    // Replays the seeds retained from the proptest era before fresh cases.
+    let cfg = cfg().with_regressions_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/properties.proptest-regressions"
+    ));
+    check(
+        &cfg,
+        "semantic_matching_only_merges_never_splits",
+        |g| {
+            (
+                gen_interests(g),
+                gen_neighbors(g),
+                gen_letter_pairs(g, "abcdef", 6),
+            )
+        },
+        |(own, neighbors, taught)| {
+            assert_semantic_only_merges(own, neighbors, taught);
+        },
+    );
+}
+
+/// The shrunk counterexample behind the retained regression seed
+/// (`tests/properties.proptest-regressions`), pinned explicitly: teaching
+/// `c=b`, `a=b` merges the `a` and `b` groups, which once looked like a
+/// "vanished" exact group.
+#[test]
+fn semantic_merge_regression_case() {
+    let own = vec![Interest::new("a")];
+    let neighbors = vec![("n0".to_owned(), vec![Interest::new("b")])];
+    let taught = vec![
+        ("c".to_owned(), "b".to_owned()),
+        ("a".to_owned(), "b".to_owned()),
+        ("a".to_owned(), "a".to_owned()),
+    ];
+    assert_semantic_only_merges(&own, &neighbors, &taught);
 }
 
 // ---------------------------------------------------------------------
 // Simulator substrate
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn random_waypoint_never_escapes_its_area(seed in any::<u64>(), w in 10.0f64..200.0, h in 10.0f64..200.0) {
-        let area = Rect::sized(w, h);
-        let mut m = RandomWaypoint::new(
-            area,
-            area.center(),
-            (0.5, 3.0),
-            (Duration::ZERO, Duration::from_secs(10)),
-            SimRng::from_seed(seed),
-        );
-        for s in (0..600).step_by(7) {
-            let p = m.position(SimTime::from_secs(s));
-            prop_assert!(area.contains(p), "escaped at {s}s: {p}");
-        }
-    }
+#[test]
+fn random_waypoint_never_escapes_its_area() {
+    check(
+        &cfg(),
+        "random_waypoint_never_escapes_its_area",
+        |g| (g.any_u64(), g.f64_in(10.0, 200.0), g.f64_in(10.0, 200.0)),
+        |&(seed, w, h)| {
+            let area = Rect::sized(w, h);
+            let mut m = RandomWaypoint::new(
+                area,
+                area.center(),
+                (0.5, 3.0),
+                (Duration::ZERO, Duration::from_secs(10)),
+                SimRng::from_seed(seed),
+            );
+            for s in (0..600).step_by(7) {
+                let p = m.position(SimTime::from_secs(s));
+                assert!(area.contains(p), "escaped at {s}s: {p}");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn random_walk_never_escapes_its_area(seed in any::<u64>()) {
-        let area = Rect::sized(30.0, 30.0);
-        let mut m = RandomWalk::new(
-            area,
-            Point2::new(15.0, 15.0),
-            1.4,
-            Duration::from_secs(3),
-            SimRng::from_seed(seed),
-        );
-        for s in 0..300 {
-            prop_assert!(area.contains(m.position(SimTime::from_secs(s))));
-        }
-    }
+#[test]
+fn random_walk_never_escapes_its_area() {
+    check(
+        &cfg(),
+        "random_walk_never_escapes_its_area",
+        |g| g.any_u64(),
+        |&seed| {
+            let area = Rect::sized(30.0, 30.0);
+            let mut m = RandomWalk::new(
+                area,
+                Point2::new(15.0, 15.0),
+                1.4,
+                Duration::from_secs(3),
+                SimRng::from_seed(seed),
+            );
+            for s in 0..300 {
+                assert!(area.contains(m.position(SimTime::from_secs(s))));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn mobility_is_a_function_of_time(seed in any::<u64>(), queries in proptest::collection::vec(0u64..500, 1..20)) {
-        // Arbitrary (even non-monotonic) query orders give identical
-        // answers to a fresh instance queried in order.
-        let area = Rect::sized(50.0, 50.0);
-        let mk = || RandomWaypoint::new(
-            area,
-            area.center(),
-            (1.0, 2.0),
-            (Duration::ZERO, Duration::from_secs(5)),
-            SimRng::from_seed(seed),
-        );
-        let mut scrambled = mk();
-        let answers: Vec<(u64, Point2)> = queries
-            .iter()
-            .map(|&s| (s, scrambled.position(SimTime::from_secs(s))))
-            .collect();
-        let mut ordered = mk();
-        let mut sorted = queries.clone();
-        sorted.sort_unstable();
-        // Warm the ordered instance to the horizon first.
-        let max = *sorted.last().expect("non-empty");
-        ordered.position(SimTime::from_secs(max));
-        for (s, expected) in answers {
-            prop_assert_eq!(ordered.position(SimTime::from_secs(s)), expected);
-        }
-    }
+#[test]
+fn mobility_is_a_function_of_time() {
+    check(
+        &cfg(),
+        "mobility_is_a_function_of_time",
+        |g| {
+            let seed = g.any_u64();
+            let queries = g.vec_of(19, |g| g.u64(500));
+            (seed, queries)
+        },
+        |(seed, queries)| {
+            if queries.is_empty() {
+                return;
+            }
+            // Arbitrary (even non-monotonic) query orders give identical
+            // answers to a fresh instance queried in order.
+            let area = Rect::sized(50.0, 50.0);
+            let mk = || {
+                RandomWaypoint::new(
+                    area,
+                    area.center(),
+                    (1.0, 2.0),
+                    (Duration::ZERO, Duration::from_secs(5)),
+                    SimRng::from_seed(*seed),
+                )
+            };
+            let mut scrambled = mk();
+            let answers: Vec<(u64, Point2)> = queries
+                .iter()
+                .map(|&s| (s, scrambled.position(SimTime::from_secs(s))))
+                .collect();
+            let mut ordered = mk();
+            // Warm the ordered instance to the horizon first.
+            let max = *queries.iter().max().expect("non-empty");
+            ordered.position(SimTime::from_secs(max));
+            for (s, expected) in answers {
+                assert_eq!(ordered.position(SimTime::from_secs(s)), expected);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn summary_bounds_hold(samples in proptest::collection::vec(0.0f64..1e6, 1..100)) {
-        let s = Summary::from_samples(&samples).expect("non-empty");
-        prop_assert!(s.min <= s.mean + 1e-9);
-        prop_assert!(s.mean <= s.max + 1e-9);
-        prop_assert!(s.min <= s.p50 && s.p50 <= s.max);
-        prop_assert!(s.p50 <= s.p90 + 1e-9);
-        prop_assert!(s.std_dev >= 0.0);
-    }
+#[test]
+fn summary_bounds_hold() {
+    check(
+        &cfg(),
+        "summary_bounds_hold",
+        |g| {
+            let len = g.usize_in(1, 99);
+            (0..len).map(|_| g.f64_in(0.0, 1e6)).collect::<Vec<f64>>()
+        },
+        |samples| {
+            let s = Summary::from_samples(samples).expect("non-empty");
+            assert!(s.min <= s.mean + 1e-9);
+            assert!(s.mean <= s.max + 1e-9);
+            assert!(s.min <= s.p50 && s.p50 <= s.max);
+            assert!(s.p50 <= s.p90 + 1e-9);
+            assert!(s.std_dev >= 0.0);
+        },
+    );
+}
 
-    #[test]
-    fn simtime_add_then_since_round_trips(base in 0u64..1_000_000, d in 0u64..1_000_000) {
-        let t = SimTime::from_micros(base);
-        let later = t + Duration::from_micros(d);
-        prop_assert_eq!(later.saturating_since(t), Duration::from_micros(d));
-    }
+#[test]
+fn simtime_add_then_since_round_trips() {
+    check(
+        &cfg(),
+        "simtime_add_then_since_round_trips",
+        |g| (g.u64(1_000_000), g.u64(1_000_000)),
+        |&(base, d)| {
+            let t = SimTime::from_micros(base);
+            let later = t + Duration::from_micros(d);
+            assert_eq!(later.saturating_since(t), Duration::from_micros(d));
+        },
+    );
 }

@@ -31,12 +31,14 @@ fn thirty_device_conference_room() {
         // Radius 4.5 m: everyone within 9 m of everyone.
         let pos = Point2::new(4.5 * angle.cos(), 4.5 * angle.sin());
         let interests = vec!["the conference", topics[i % topics.len()]];
-        nodes.push(c.add_node(
-            NodeBuilder::new(format!("dev{i}"))
-                .at(pos)
-                .with_technologies([Technology::Bluetooth]),
-            member(&format!("attendee{i}"), &interests),
-        ));
+        nodes.push(
+            c.add_node(
+                NodeBuilder::new(format!("dev{i}"))
+                    .at(pos)
+                    .with_technologies([Technology::Bluetooth]),
+                member(&format!("attendee{i}"), &interests),
+            ),
+        );
     }
     c.start();
     c.run_until(SimTime::from_secs(120));
@@ -71,22 +73,21 @@ fn twenty_wanderers_never_wedge_the_simulation() {
     let mut rng = SimRng::from_seed(999);
     let mut nodes = Vec::new();
     for i in 0..20 {
-        let start = Point2::new(
-            rng.range_f64(5.0..75.0),
-            rng.range_f64(5.0..75.0),
+        let start = Point2::new(rng.range_f64(5.0..75.0), rng.range_f64(5.0..75.0));
+        nodes.push(
+            c.add_node(
+                NodeBuilder::new(format!("w{i}"))
+                    .moving(RandomWaypoint::new(
+                        area,
+                        start,
+                        (0.7, 2.0),
+                        (Duration::from_secs(5), Duration::from_secs(40)),
+                        rng.fork(i),
+                    ))
+                    .with_technologies([Technology::Bluetooth]),
+                member(&format!("w{i}"), &["meshing"]),
+            ),
         );
-        nodes.push(c.add_node(
-            NodeBuilder::new(format!("w{i}"))
-                .moving(RandomWaypoint::new(
-                    area,
-                    start,
-                    (0.7, 2.0),
-                    (Duration::from_secs(5), Duration::from_secs(40)),
-                    rng.fork(i),
-                ))
-                .with_technologies([Technology::Bluetooth]),
-            member(&format!("w{i}"), &["meshing"]),
-        ));
     }
     c.start();
     c.run_until(SimTime::from_secs(20 * 60));
@@ -120,7 +121,10 @@ fn conference_scale_run_is_deterministic() {
             let pos = Point2::new((i % 4) as f64 * 2.5, (i / 4) as f64 * 2.5);
             nodes.push(c.add_node(
                 NodeBuilder::new(format!("d{i}")).at(pos),
-                member(&format!("m{i}"), &["x", if i % 2 == 0 { "even" } else { "odd" }]),
+                member(
+                    &format!("m{i}"),
+                    &["x", if i % 2 == 0 { "even" } else { "odd" }],
+                ),
             ));
         }
         c.start();
