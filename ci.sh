@@ -7,3 +7,10 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo build --release --offline
 cargo test -q --offline --workspace
+
+# Scale smoke: a 100-node crowd must complete and report its numbers
+# (wall-clock, events/s, trace memory, grid-vs-naive query cost,
+# zero-alloc trace burst) — kept as a machine-readable artifact.
+cargo run --release --offline -p ph-harness --bin repro -- \
+    crowd --nodes 100 --horizon 30 --json > BENCH_scale.json
+cat BENCH_scale.json

@@ -1,0 +1,129 @@
+//! Bench: the scale pass — spatial-indexed neighbor queries vs the naive
+//! all-pairs scan, interned vs string-keyed trace recording, and whole
+//! crowd runs, swept over crowd sizes 30 → 1000.
+
+use ph_bench::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use harness::crowd::{build, CrowdConfig, CrowdScenario};
+use netsim::{SimTime, Trace};
+
+const SIZES: [usize; 4] = [30, 100, 300, 1000];
+
+fn crowd_world(nodes: usize) -> CrowdScenario {
+    build(&CrowdConfig {
+        nodes,
+        seed: 2008,
+        ..CrowdConfig::default()
+    })
+}
+
+/// Per-node `neighbors_any` over the whole crowd, through the uniform
+/// grid — near-linear in N at constant density.
+fn bench_neighbors_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_neighbors_grid");
+    for n in SIZES {
+        let mut s = crowd_world(n);
+        let t = SimTime::from_secs(30);
+        let ids: Vec<_> = s.cluster.world_mut().node_ids().collect();
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ids, |b, ids| {
+            b.iter(|| {
+                let world = s.cluster.world_mut();
+                let mut total = 0usize;
+                for &id in ids {
+                    total += world.neighbors_any(id, t).len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The same sweep through the naive all-pairs scan — quadratic in N, the
+/// baseline the grid is measured against.
+fn bench_neighbors_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_neighbors_naive");
+    for n in SIZES {
+        let mut s = crowd_world(n);
+        let t = SimTime::from_secs(30);
+        let ids: Vec<_> = s.cluster.world_mut().node_ids().collect();
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ids, |b, ids| {
+            b.iter(|| {
+                let world = s.cluster.world_mut();
+                let mut total = 0usize;
+                for &id in ids {
+                    total += world.neighbors_any_naive(id, t).len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Recording into a full bounded ring: the interned handle path (the
+/// middleware hot path — zero allocations) vs the string-keyed
+/// convenience path (two hash lookups per record).
+fn bench_trace_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_trace_record");
+    group.throughput(Throughput::Elements(1));
+
+    let mut trace = Trace::with_capacity(4096);
+    let a = trace.intern_actor("alice");
+    let b_id = trace.intern_actor("bob");
+    let label = trace.intern_label("MSG");
+    for i in 0..8192u64 {
+        trace.record_ids(SimTime::from_micros(i), a, b_id, label);
+    }
+    let mut at = 8192u64;
+    group.bench_function("interned", |b| {
+        b.iter(|| {
+            at += 1;
+            trace.record_ids(SimTime::from_micros(at), a, b_id, label);
+        })
+    });
+
+    let mut trace = Trace::with_capacity(4096);
+    trace.record(SimTime::ZERO, "alice", "bob", "MSG");
+    let mut at = 0u64;
+    group.bench_function("strings", |b| {
+        b.iter(|| {
+            at += 1;
+            trace.record(SimTime::from_micros(at), "alice", "bob", "MSG");
+        })
+    });
+    group.finish();
+}
+
+/// A whole crowd run (build excluded): discovery, mobility, bounded
+/// tracing — the end-to-end cost `repro crowd` reports.
+fn bench_crowd_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_crowd_run");
+    for n in [30usize, 100, 300] {
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || crowd_world(n),
+                |mut s| {
+                    s.cluster.run_until(SimTime::from_secs(30));
+                    s
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_neighbors_grid,
+    bench_neighbors_naive,
+    bench_trace_record,
+    bench_crowd_run
+);
+criterion_main!(benches);

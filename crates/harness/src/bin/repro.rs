@@ -5,7 +5,41 @@
 
 use std::process::ExitCode;
 
-use ph_harness::{ablations, functionality, msc, table8};
+use ph_harness::{ablations, crowd, functionality, msc, table8};
+
+/// Counts heap allocations so `repro crowd` can prove the interned trace
+/// path allocates nothing in steady state (see
+/// [`crowd::trace_alloc_burst`]). Deallocation is uncounted: only the
+/// allocation delta matters.
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates every operation to `System` unchanged; the only
+    // addition is a relaxed counter increment.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +73,17 @@ fn main() -> ExitCode {
                 run_msc(op, seed);
                 println!();
             }
+        }
+        "crowd" => {
+            let sizes: Vec<usize> = flag_str(&args, "--nodes")
+                .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect())
+                .unwrap_or_else(|| vec![30, 100, 300, 1000]);
+            if sizes.is_empty() {
+                eprintln!("crowd needs --nodes N[,N,...] (or omit for the default sweep)");
+                return ExitCode::FAILURE;
+            }
+            let horizon = flag_value(&args, "--horizon").unwrap_or(60);
+            run_crowd(&sizes, horizon, seed, args.iter().any(|a| a == "--json"));
         }
         "ablation-tech" => run_ablation_tech(trials.min(20), seed),
         "ablation-scaling" => run_ablation_scaling(seed),
@@ -192,6 +237,45 @@ fn run_ablation_churn(seed: u64) {
     println!("{}", ablations::render_churn(&rows));
 }
 
+fn run_crowd(sizes: &[usize], horizon_secs: u64, seed: u64, json: bool) {
+    use std::sync::atomic::Ordering;
+
+    let base = crowd::CrowdConfig {
+        seed,
+        horizon: std::time::Duration::from_secs(horizon_secs),
+        ..crowd::CrowdConfig::default()
+    };
+    let reports = crowd::sweep(&base, sizes);
+    let (burst_events, burst_allocs) =
+        crowd::trace_alloc_burst(&|| counting_alloc::ALLOCS.load(Ordering::Relaxed));
+    if json {
+        let runs: Vec<_> = reports.iter().map(crowd::CrowdReport::to_json).collect();
+        let doc = codec::json::Json::obj()
+            .field("scenario", "crowd")
+            .field("seed", seed)
+            .field("horizon_secs", horizon_secs)
+            .field("runs", runs)
+            .field(
+                "trace_alloc_burst",
+                codec::json::Json::obj()
+                    .field("events", burst_events)
+                    .field("allocations", burst_allocs)
+                    .field(
+                        "allocs_per_event",
+                        burst_allocs as f64 / burst_events as f64,
+                    ),
+            );
+        println!("{}", doc.to_string_pretty());
+    } else {
+        print!("{}", crowd::render(&reports));
+        println!(
+            "\ninterned trace burst: {burst_events} events, {burst_allocs} heap allocations \
+             ({:.4}/event)",
+            burst_allocs as f64 / burst_events as f64
+        );
+    }
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<u64> {
     args.iter()
         .position(|a| a == flag)
@@ -230,6 +314,11 @@ fn print_help() {
            ablation-handover   seamless connectivity on/off under mobility\n\
            ablation-churn      group-view accuracy with wandering members\n\
          \n\
-           all                 everything above"
+         scale (beyond the thesis):\n\
+           crowd               random-waypoint campus crowd; reports wall-clock,\n\
+                               events/s, trace memory and group formation\n\
+                               [--nodes N[,N,...]] [--horizon SECS] [--json]\n\
+         \n\
+           all                 everything above (crowd excluded; run it directly)"
     );
 }

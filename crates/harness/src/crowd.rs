@@ -1,0 +1,521 @@
+//! The crowd scenario — the scale pass beyond the ComLab room.
+//!
+//! The thesis evaluated PeerHood with a handful of devices in one room
+//! (see [`crate::scenario::lab`]); the concept chapter motivates much
+//! larger settings — a campus, a bus terminal — where hundreds of
+//! pedestrians carry personal trusted devices. This module builds that
+//! setting: `N` nodes performing a random-waypoint walk over a campus
+//! whose area grows with `N` (constant crowd density), each carrying
+//! Bluetooth (a fraction also WLAN) and a few interests drawn zipf-ishly
+//! from a shared pool, so popular topics ("football") recur while the
+//! tail stays fragmented.
+//!
+//! [`run`] executes one such crowd on the deterministic simulator and
+//! reports wall-clock cost, simulation event throughput, trace memory
+//! under the bounded ring, and the groups the crowd would form — the
+//! numbers `repro crowd --json` and the `scale` bench emit. It also
+//! times the spatial-index neighbor queries against the naive all-pairs
+//! path (and cross-checks they agree), which is the evidence for the
+//! near-linear scaling claim.
+
+use std::time::{Duration, Instant};
+
+use codec::json::Json;
+use community::discovery::discover_groups;
+use community::semantics::MatchPolicy;
+use community::Interest;
+use netsim::geometry::{Point2, Rect};
+use netsim::mobility::RandomWaypoint;
+use netsim::world::NodeBuilder;
+use netsim::{SimRng, SimTime, Technology, Trace, TraceStats};
+use peerhood::sim::Cluster;
+use peerhood::{AppCtx, AppEvent, Application};
+
+/// Pedestrian speed range (m/s) for the campus walk.
+const SPEED_MPS: (f64, f64) = (0.5, 2.0);
+/// Pause range at each waypoint.
+const PAUSE: (Duration, Duration) = (Duration::ZERO, Duration::from_secs(20));
+
+/// Configuration for one crowd run.
+#[derive(Clone, Debug)]
+pub struct CrowdConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Number of devices in the crowd.
+    pub nodes: usize,
+    /// Virtual duration of the run.
+    pub horizon: Duration,
+    /// Campus area per node, m² (constant density as the crowd grows).
+    pub area_per_node_m2: f64,
+    /// Size of the shared interest pool.
+    pub interest_pool: usize,
+    /// Interests per node, drawn zipf-ishly from the pool.
+    pub interests_per_node: usize,
+    /// Trace ring capacity (events retained; older ones are evicted but
+    /// still counted by [`TraceStats`]).
+    pub trace_capacity: usize,
+    /// Every `wlan_every`-th node also carries WLAN (0 disables WLAN).
+    pub wlan_every: usize,
+    /// Whether to also time the naive all-pairs neighbor queries (and
+    /// cross-check the grid against them).
+    pub compare_naive: bool,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            seed: 2008,
+            nodes: 300,
+            horizon: Duration::from_secs(60),
+            area_per_node_m2: 200.0,
+            interest_pool: 40,
+            interests_per_node: 3,
+            trace_capacity: 16_384,
+            wlan_every: 8,
+            compare_naive: true,
+        }
+    }
+}
+
+/// The per-node application of the crowd: it only watches the
+/// neighborhood (no connections, no SNS protocol), tracing appearances
+/// and disappearances through the bounded interned trace — the cheapest
+/// realistic workload for the discovery plane at scale.
+#[derive(Default)]
+pub struct CrowdApp {
+    /// `DeviceAppeared` events seen.
+    pub appeared: u64,
+    /// `DeviceDisappeared` events seen.
+    pub disappeared: u64,
+}
+
+impl Application for CrowdApp {
+    fn on_event(&mut self, event: AppEvent, ctx: &mut AppCtx<'_>) {
+        match event {
+            AppEvent::DeviceAppeared(info) => {
+                self.appeared += 1;
+                ctx.trace(&info.name, "SEEN");
+            }
+            AppEvent::DeviceDisappeared(info) => {
+                self.disappeared += 1;
+                ctx.trace(&info.name, "LOST");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Result of one crowd run.
+#[derive(Clone, Debug)]
+pub struct CrowdReport {
+    /// Number of devices.
+    pub nodes: usize,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Virtual duration, seconds.
+    pub virtual_secs: f64,
+    /// Wall-clock cost of the simulation, milliseconds.
+    pub wall_ms: f64,
+    /// Simulation events processed (discovery + frames + traced events).
+    pub events: u64,
+    /// `events` per wall-clock second.
+    pub events_per_sec: f64,
+    /// Trace events retained in the ring at the end.
+    pub trace_retained: usize,
+    /// Trace memory footprint (ring + string pool), bytes.
+    pub trace_mem_bytes: usize,
+    /// Daemon/trace counters.
+    pub stats: TraceStats,
+    /// Order-sensitive digest of the retained trace + counters.
+    pub digest: u64,
+    /// `DeviceAppeared` deliveries summed over apps.
+    pub appeared: u64,
+    /// `DeviceDisappeared` deliveries summed over apps.
+    pub disappeared: u64,
+    /// Groups each member would form with its final neighborhood, summed
+    /// over members (Figure 6 run against every node's neighbor table).
+    pub groups_observed: usize,
+    /// Distinct group keys across the whole crowd.
+    pub distinct_groups: usize,
+    /// Nodes that end the run in at least one group.
+    pub grouped_nodes: usize,
+    /// Mean µs per `neighbors_any` query through the spatial grid.
+    pub grid_query_us: f64,
+    /// Mean µs per `neighbors_any` query through the naive all-pairs
+    /// path (0 when the comparison was skipped).
+    pub naive_query_us: f64,
+}
+
+impl CrowdReport {
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let stats = Json::obj()
+            .field("events_recorded", self.stats.events_recorded)
+            .field("events_dropped", self.stats.events_dropped)
+            .field("inquiries", self.stats.inquiries)
+            .field("inquiry_responses", self.stats.inquiry_responses)
+            .field("frames_sent", self.stats.frames_sent)
+            .field("frames_delivered", self.stats.frames_delivered);
+        let speedup = if self.grid_query_us > 0.0 && self.naive_query_us > 0.0 {
+            self.naive_query_us / self.grid_query_us
+        } else {
+            0.0
+        };
+        Json::obj()
+            .field("nodes", self.nodes)
+            .field("seed", self.seed)
+            .field("virtual_secs", self.virtual_secs)
+            .field("wall_ms", self.wall_ms)
+            .field("events", self.events)
+            .field("events_per_sec", self.events_per_sec)
+            .field("trace_retained", self.trace_retained)
+            .field("trace_mem_bytes", self.trace_mem_bytes)
+            .field("stats", stats)
+            .field("digest", format!("{:016x}", self.digest))
+            .field("appeared", self.appeared)
+            .field("disappeared", self.disappeared)
+            .field("groups_observed", self.groups_observed)
+            .field("distinct_groups", self.distinct_groups)
+            .field("grouped_nodes", self.grouped_nodes)
+            .field(
+                "neighbor_query",
+                Json::obj()
+                    .field("grid_us", self.grid_query_us)
+                    .field("naive_us", self.naive_query_us)
+                    .field("speedup", speedup),
+            )
+    }
+}
+
+/// A built (started) crowd, before/after running.
+pub struct CrowdScenario {
+    /// The running cluster.
+    pub cluster: Cluster<CrowdApp>,
+    /// Interests per node, in node order (`p0`, `p1`, …).
+    pub interests: Vec<Vec<Interest>>,
+}
+
+/// Draws `count` distinct pool indices, zipf-ishly (weight of topic `k`
+/// ∝ 1/(k+1), so low indices are popular).
+fn zipfish_picks(rng: &mut SimRng, pool: usize, count: usize) -> Vec<usize> {
+    let total: f64 = (0..pool).map(|k| 1.0 / (k + 1) as f64).sum();
+    let mut picks: Vec<usize> = Vec::with_capacity(count);
+    while picks.len() < count.min(pool) {
+        let mut x = rng.unit_f64() * total;
+        let mut choice = pool - 1;
+        for k in 0..pool {
+            x -= 1.0 / (k + 1) as f64;
+            if x <= 0.0 {
+                choice = k;
+                break;
+            }
+        }
+        if !picks.contains(&choice) {
+            picks.push(choice);
+        }
+    }
+    picks
+}
+
+/// Builds and starts a crowd per `config` (without advancing time).
+pub fn build(config: &CrowdConfig) -> CrowdScenario {
+    let side = (config.nodes as f64 * config.area_per_node_m2)
+        .sqrt()
+        .max(60.0);
+    let campus = Rect::sized(side, side);
+    let mut rng = SimRng::from_seed(config.seed);
+    let mut placement = rng.fork(1);
+    let mut topics = rng.fork(2);
+
+    let mut cluster = Cluster::new(config.seed);
+    let mut interests = Vec::with_capacity(config.nodes);
+    for i in 0..config.nodes {
+        let start = Point2::new(
+            placement.range_f64(campus.min.x..campus.max.x),
+            placement.range_f64(campus.min.y..campus.max.y),
+        );
+        let walk = RandomWaypoint::new(campus, start, SPEED_MPS, PAUSE, placement.fork(i as u64));
+        let mut techs = vec![Technology::Bluetooth];
+        if config.wlan_every > 0 && i % config.wlan_every == 0 {
+            techs.push(Technology::Wlan);
+        }
+        let builder = NodeBuilder::new(format!("p{i}"))
+            .with_technologies(techs)
+            .moving(walk);
+        // No SDP round per sighting: the crowd app only watches the
+        // neighborhood, so automatic service discovery would just add
+        // O(N · sightings) query traffic.
+        cluster.add_node_with(
+            builder,
+            |c| c.with_auto_service_discovery(false),
+            CrowdApp::default(),
+        );
+        interests.push(
+            zipfish_picks(&mut topics, config.interest_pool, config.interests_per_node)
+                .into_iter()
+                .map(|k| Interest::new(format!("topic-{k:02}")))
+                .collect(),
+        );
+    }
+    cluster.set_trace_capacity(config.trace_capacity);
+    cluster.start();
+    CrowdScenario { cluster, interests }
+}
+
+/// Runs one crowd to its horizon and measures it.
+pub fn run(config: &CrowdConfig) -> CrowdReport {
+    let mut s = build(config);
+    let deadline = SimTime::ZERO.saturating_add(config.horizon);
+
+    let wall = Instant::now();
+    s.cluster.run_until(deadline);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    let stats = *s.cluster.stats();
+    let events = stats.events_recorded
+        + stats.inquiries
+        + stats.inquiry_responses
+        + stats.frames_sent
+        + stats.frames_delivered;
+    let events_per_sec = if wall_ms > 0.0 {
+        events as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+
+    let (mut appeared, mut disappeared) = (0u64, 0u64);
+    let mut groups_observed = 0usize;
+    let mut grouped_nodes = 0usize;
+    let mut distinct = std::collections::BTreeSet::new();
+    let node_ids: Vec<_> = (0..config.nodes)
+        .map(netsim::world::NodeId::from_index)
+        .collect();
+    for &id in &node_ids {
+        let app = s.cluster.app(id);
+        appeared += app.appeared;
+        disappeared += app.disappeared;
+
+        let me = s.cluster.name(id).to_owned();
+        let neighbors: Vec<(String, Vec<Interest>)> = s
+            .cluster
+            .daemon(id)
+            .neighbors()
+            .iter()
+            .map(|entry| {
+                let idx = entry.info.id.raw() as usize;
+                (entry.info.name.clone(), s.interests[idx].clone())
+            })
+            .collect();
+        let groups = discover_groups(
+            &me,
+            &s.interests[id.index()],
+            &neighbors,
+            &MatchPolicy::Exact,
+        );
+        if !groups.is_empty() {
+            grouped_nodes += 1;
+        }
+        groups_observed += groups.len();
+        distinct.extend(groups.keys().cloned());
+    }
+
+    let trace = s.cluster.trace();
+    let trace_retained = trace.len();
+    let trace_mem_bytes = trace.approx_mem_bytes();
+    let digest = trace.digest();
+
+    let now = s.cluster.now();
+    let world = s.cluster.world_mut();
+    let grid_t = Instant::now();
+    let mut grid_results = Vec::with_capacity(node_ids.len());
+    for &id in &node_ids {
+        grid_results.push(world.neighbors_any(id, now));
+    }
+    let grid_query_us = grid_t.elapsed().as_secs_f64() * 1e6 / node_ids.len().max(1) as f64;
+
+    let naive_query_us = if config.compare_naive {
+        let naive_t = Instant::now();
+        let mut naive_results = Vec::with_capacity(node_ids.len());
+        for &id in &node_ids {
+            naive_results.push(world.neighbors_any_naive(id, now));
+        }
+        let us = naive_t.elapsed().as_secs_f64() * 1e6 / node_ids.len().max(1) as f64;
+        assert_eq!(
+            grid_results, naive_results,
+            "spatial grid disagrees with the naive neighbor scan"
+        );
+        us
+    } else {
+        0.0
+    };
+
+    CrowdReport {
+        nodes: config.nodes,
+        seed: config.seed,
+        virtual_secs: config.horizon.as_secs_f64(),
+        wall_ms,
+        events,
+        events_per_sec,
+        trace_retained,
+        trace_mem_bytes,
+        stats,
+        digest,
+        appeared,
+        disappeared,
+        groups_observed,
+        distinct_groups: distinct.len(),
+        grouped_nodes,
+        grid_query_us,
+        naive_query_us,
+    }
+}
+
+/// Runs the crowd at each size in `sizes` (same seed and horizon).
+pub fn sweep(base: &CrowdConfig, sizes: &[usize]) -> Vec<CrowdReport> {
+    sizes
+        .iter()
+        .map(|&nodes| {
+            run(&CrowdConfig {
+                nodes,
+                ..base.clone()
+            })
+        })
+        .collect()
+}
+
+/// Renders a sweep as an aligned text table.
+pub fn render(reports: &[CrowdReport]) -> String {
+    let mut out = String::from(
+        "Crowd scenario — random-waypoint campus, zipf-ish interests\n\
+         \n\
+         nodes    wall ms      events    events/s   trace KiB   groups   grid µs   naive µs\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{:>5} {:>10.1} {:>11} {:>11.0} {:>11.1} {:>8} {:>9.1} {:>10.1}\n",
+            r.nodes,
+            r.wall_ms,
+            r.events,
+            r.events_per_sec,
+            r.trace_mem_bytes as f64 / 1024.0,
+            r.groups_observed,
+            r.grid_query_us,
+            r.naive_query_us,
+        ));
+    }
+    out
+}
+
+/// Records a warmed burst of fully-interned trace events through a
+/// bounded ring and reports `(events, allocations)` as observed by
+/// `alloc_count` — a monotone counter of heap allocations, typically
+/// backed by a counting `#[global_allocator]` in the calling binary.
+/// On the steady-state interned path the allocation delta must be zero.
+pub fn trace_alloc_burst(alloc_count: &dyn Fn() -> u64) -> (u64, u64) {
+    let mut trace = Trace::with_capacity(1024);
+    let a = trace.intern_actor("crowd-a");
+    let b = trace.intern_actor("crowd-b");
+    let label = trace.intern_label("CROWD_EVENT");
+    // Warm: fill the ring so every further record evicts (the worst case).
+    for i in 0..2048u64 {
+        trace.record_ids(SimTime::from_micros(i), a, b, label);
+    }
+    let before = alloc_count();
+    const BURST: u64 = 65_536;
+    for i in 0..BURST {
+        trace.record_ids(SimTime::from_micros(2048 + i), a, b, label);
+    }
+    (BURST, alloc_count() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(nodes: usize, seed: u64) -> CrowdConfig {
+        CrowdConfig {
+            seed,
+            nodes,
+            horizon: Duration::from_secs(45),
+            ..CrowdConfig::default()
+        }
+    }
+
+    #[test]
+    fn crowd_discovers_and_groups() {
+        let report = run(&small(60, 7));
+        assert_eq!(report.nodes, 60);
+        assert!(report.stats.inquiries > 0, "{:?}", report.stats);
+        assert!(report.appeared > 0, "nobody met anybody: {report:?}");
+        assert!(
+            report.groups_observed > 0,
+            "zipf-ish interests should form at least one group: {report:?}"
+        );
+        assert!(report.grouped_nodes <= report.nodes);
+        assert!(report.distinct_groups <= report.groups_observed);
+    }
+
+    #[test]
+    fn crowd_trace_stays_bounded() {
+        let config = CrowdConfig {
+            trace_capacity: 64,
+            ..small(50, 11)
+        };
+        let report = run(&config);
+        assert!(report.trace_retained <= 64, "{report:?}");
+        assert_eq!(
+            report.stats.events_recorded,
+            report.trace_retained as u64 + report.stats.events_dropped
+        );
+    }
+
+    /// Satellite: determinism at scale — two same-seed runs at 300 nodes
+    /// must agree byte-for-byte on the trace digest and every counter.
+    #[test]
+    fn same_seed_crowds_are_identical_at_scale() {
+        let config = CrowdConfig {
+            compare_naive: false,
+            horizon: Duration::from_secs(40),
+            ..small(300, 2008)
+        };
+        let a = run(&config);
+        let b = run(&config);
+        assert_eq!(a.digest, b.digest, "trace digests diverged");
+        assert_eq!(a.stats, b.stats, "counters diverged");
+        assert_eq!(a.events, b.events);
+        assert_eq!(
+            (a.appeared, a.disappeared, a.groups_observed),
+            (b.appeared, b.disappeared, b.groups_observed)
+        );
+    }
+
+    #[test]
+    fn interest_assignment_is_zipfish_and_distinct() {
+        let mut rng = SimRng::from_seed(5);
+        let mut counts = vec![0usize; 20];
+        for _ in 0..400 {
+            let picks = zipfish_picks(&mut rng, 20, 3);
+            assert_eq!(picks.len(), 3);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "picks must be distinct");
+            for p in picks {
+                counts[p] += 1;
+            }
+        }
+        assert!(
+            counts[0] > counts[19] * 3,
+            "topic 0 should dominate the tail: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn alloc_burst_counts_against_the_probe() {
+        // With a flat probe the delta is zero by construction; the repro
+        // binary and the scale bench install a real counting allocator.
+        let (events, allocs) = trace_alloc_burst(&|| 0);
+        assert_eq!(events, 65_536);
+        assert_eq!(allocs, 0);
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod crowd;
 pub mod functionality;
 pub mod msc;
 pub mod report;

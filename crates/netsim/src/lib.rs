@@ -49,5 +49,5 @@ pub use event::EventQueue;
 pub use radio::{Technology, TechnologyProfile};
 pub use rng::SimRng;
 pub use time::SimTime;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{ActorId, LabelId, Trace, TraceEvent, TraceStats};
 pub use world::{NodeBuilder, NodeId, World};

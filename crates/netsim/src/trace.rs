@@ -5,16 +5,38 @@
 //! message exchanged during a simulated operation into a [`Trace`], assert
 //! the recorded sequence in tests, and render it as an ASCII MSC from the
 //! `repro msc` harness command.
+//!
+//! At evaluation scale (hundreds to a thousand nodes) a naive trace — three
+//! owned `String`s per event in an unbounded `Vec` — dominates both heap
+//! traffic and memory. The trace therefore stores events *interned*: actor
+//! and label strings live once in a string pool and each event is a fixed
+//! 20-byte record of [`ActorId`]/[`LabelId`] handles. The event log is a
+//! ring buffer with a configurable capacity ([`Trace::with_capacity`]);
+//! when full, the oldest events are evicted but the always-on counters in
+//! [`TraceStats`] keep counting, so aggregate figures survive even when the
+//! verbatim log does not.
 
 use codec::{DecodeError, Wire};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use crate::time::SimTime;
+
+/// Interned handle for an actor (device) name in a [`Trace`]'s string pool.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(u32);
+
+/// Interned handle for a message label in a [`Trace`]'s string pool.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(u32);
 
 /// One traced protocol event: a labelled message from one actor to another.
 ///
 /// Actors are free-form strings (device names); a self-directed event
 /// (`from == to`) represents a local action such as "display list".
+///
+/// This is the *resolved* (owned-string) view handed out by query methods;
+/// internally the trace stores compact interned records.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Virtual time at which the event occurred.
@@ -70,25 +92,203 @@ impl Wire for TraceEvent {
     }
 }
 
+// The wire format is unchanged from the pre-interned trace: a `u32` count of
+// retained events followed by each event's resolved (string) form. Decoding
+// re-records into a fresh unbounded trace, re-interning as it goes.
 impl Wire for Trace {
     fn encode_to(&self, out: &mut Vec<u8>) {
         (self.events.len() as u32).encode_to(out);
         for e in &self.events {
-            e.encode_to(out);
+            e.at.encode_to(out);
+            encode_str(self.pool.get(e.from.0), out);
+            encode_str(self.pool.get(e.to.0), out);
+            encode_str(self.pool.get(e.label.0), out);
         }
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         let n = codec::read_len(input)?;
-        let mut events = Vec::with_capacity(n.min(input.len()));
+        let mut trace = Trace::new();
         for _ in 0..n {
-            events.push(TraceEvent::decode(input)?);
+            let e = TraceEvent::decode(input)?;
+            trace.record(e.at, &e.from, &e.to, &e.label);
         }
-        Ok(Trace { events })
+        Ok(trace)
     }
 }
 
-/// An append-only log of [`TraceEvent`]s for one simulation run.
+/// Encodes a borrowed string exactly like `String`'s `Wire` impl.
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    (s.len() as u32).encode_to(out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Always-on counters for one simulation run.
+///
+/// These are cheap enough to maintain at any scale: aggregate figures remain
+/// exact even when the bounded event ring has evicted the verbatim log. The
+/// event-kind counters are updated by [`Trace::record`]; the frame and
+/// daemon-level counters are bumped by the simulation driver (the peerhood
+/// `Cluster`) via [`Trace::stats_mut`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events ever recorded (including evicted ones).
+    pub events_recorded: u64,
+    /// Events evicted from the bounded ring.
+    pub events_dropped: u64,
+    /// Recorded events with distinct from/to actors (messages on the wire).
+    pub messages: u64,
+    /// Recorded self-directed events (local actions).
+    pub local_events: u64,
+    /// Frames handed to the radio layer.
+    pub frames_sent: u64,
+    /// Frames that arrived at their destination.
+    pub frames_delivered: u64,
+    /// Frames lost to range or link failure.
+    pub frames_dropped: u64,
+    /// Payload bytes handed to the radio layer.
+    pub bytes_sent: u64,
+    /// Payload bytes that arrived.
+    pub bytes_delivered: u64,
+    /// Discovery (inquiry) rounds started.
+    pub inquiries: u64,
+    /// Devices found by discovery rounds.
+    pub inquiry_responses: u64,
+    /// Connection attempts initiated.
+    pub connects_attempted: u64,
+    /// Connections successfully established.
+    pub connects_ok: u64,
+    /// Connection attempts that failed.
+    pub connects_failed: u64,
+    /// Seamless-connectivity handovers performed.
+    pub handovers: u64,
+    /// Remote service-list queries issued.
+    pub service_queries: u64,
+}
+
+impl TraceStats {
+    /// Folds every counter into a deterministic FNV-1a digest, used by the
+    /// determinism tests alongside [`Trace::digest`].
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for v in [
+            self.events_recorded,
+            self.events_dropped,
+            self.messages,
+            self.local_events,
+            self.frames_sent,
+            self.frames_delivered,
+            self.frames_dropped,
+            self.bytes_sent,
+            self.bytes_delivered,
+            self.inquiries,
+            self.inquiry_responses,
+            self.connects_attempted,
+            self.connects_ok,
+            self.connects_failed,
+            self.handovers,
+            self.service_queries,
+        ] {
+            h.write_u64(v);
+        }
+        h.finish()
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events={} (dropped {}), messages={}, local={}, frames sent/delivered/dropped={}/{}/{}, \
+             bytes sent/delivered={}/{}, inquiries={} (responses {}), \
+             connects ok/failed={}/{}, handovers={}, service queries={}",
+            self.events_recorded,
+            self.events_dropped,
+            self.messages,
+            self.local_events,
+            self.frames_sent,
+            self.frames_delivered,
+            self.frames_dropped,
+            self.bytes_sent,
+            self.bytes_delivered,
+            self.inquiries,
+            self.inquiry_responses,
+            self.connects_ok,
+            self.connects_failed,
+            self.handovers,
+            self.service_queries,
+        )
+    }
+}
+
+/// Incremental FNV-1a (64-bit) — the repo-local digest primitive.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Interning pool: each distinct actor/label string is stored once.
+#[derive(Clone, Debug, Default)]
+struct StrPool {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl StrPool {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(s.into());
+        self.index.insert(s.into(), id);
+        id
+    }
+
+    fn get(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Heap bytes held by the pool (string payloads; map overhead estimated
+    /// as one extra copy of the payload plus a fixed per-entry cost).
+    fn approx_mem_bytes(&self) -> usize {
+        let payload: usize = self.strings.iter().map(|s| s.len()).sum();
+        payload * 2 + self.strings.len() * 48
+    }
+}
+
+/// The interned 20-byte event record the ring buffer actually stores.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct CompactEvent {
+    at: SimTime,
+    from: ActorId,
+    to: ActorId,
+    label: LabelId,
+}
+
+/// An append-only log of trace events for one simulation run.
+///
+/// Events are stored interned (see the module docs); every query method
+/// resolves handles back to strings, so the public surface still speaks
+/// `&str`/[`TraceEvent`].
 ///
 /// # Example
 ///
@@ -100,67 +300,195 @@ impl Wire for Trace {
 /// trace.record(SimTime::from_secs(2), "server", "client", "PROFILE");
 /// assert_eq!(trace.labels(), vec!["PS_GETPROFILE", "PROFILE"]);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Trace {
-    events: Vec<TraceEvent>,
+    pool: StrPool,
+    events: VecDeque<CompactEvent>,
+    capacity: usize,
+    stats: TraceStats,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+// Two traces are equal when their retained, resolved event sequences are
+// equal — pool layout and eviction history are representation details.
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.events.len() == other.events.len()
+            && self.events.iter().zip(other.events.iter()).all(|(a, b)| {
+                a.at == b.at
+                    && self.pool.get(a.from.0) == other.pool.get(b.from.0)
+                    && self.pool.get(a.to.0) == other.pool.get(b.to.0)
+                    && self.pool.get(a.label.0) == other.pool.get(b.label.0)
+            })
+    }
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty, unbounded trace.
     pub fn new() -> Self {
-        Trace::default()
+        Trace {
+            pool: StrPool::default(),
+            events: VecDeque::new(),
+            capacity: usize::MAX,
+            stats: TraceStats::default(),
+        }
     }
 
-    /// Appends an event.
+    /// Creates an empty trace that retains at most `capacity` events,
+    /// evicting the oldest when full. The ring storage is pre-allocated so
+    /// the steady-state record path performs no heap allocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            pool: StrPool::default(),
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: TraceStats::default(),
+        }
+    }
+
+    /// The maximum number of retained events (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Changes the retention bound, evicting oldest events if over the new
+    /// bound.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.events.len() > capacity {
+            self.events.pop_front();
+            self.stats.events_dropped += 1;
+        }
+    }
+
+    /// Interns an actor name, returning a stable handle for the zero-copy
+    /// record path ([`Trace::record_ids`]).
+    pub fn intern_actor(&mut self, name: &str) -> ActorId {
+        ActorId(self.pool.intern(name))
+    }
+
+    /// Interns a message label, returning a stable handle.
+    pub fn intern_label(&mut self, label: &str) -> LabelId {
+        LabelId(self.pool.intern(label))
+    }
+
+    /// The string behind an actor handle.
+    pub fn actor_name(&self, id: ActorId) -> &str {
+        self.pool.get(id.0)
+    }
+
+    /// The string behind a label handle.
+    pub fn label_name(&self, id: LabelId) -> &str {
+        self.pool.get(id.0)
+    }
+
+    /// Appends an event. Strings already present in the pool are not
+    /// re-allocated; with pre-interned handles use [`Trace::record_ids`] to
+    /// skip the pool lookups entirely.
     pub fn record(
         &mut self,
         at: SimTime,
-        from: impl Into<String>,
-        to: impl Into<String>,
-        label: impl Into<String>,
+        from: impl AsRef<str>,
+        to: impl AsRef<str>,
+        label: impl AsRef<str>,
     ) {
-        self.events.push(TraceEvent {
+        let from = self.intern_actor(from.as_ref());
+        let to = self.intern_actor(to.as_ref());
+        let label = self.intern_label(label.as_ref());
+        self.record_ids(at, from, to, label);
+    }
+
+    /// Appends an event from pre-interned handles: the allocation-free hot
+    /// path (on a bounded trace the ring never grows).
+    pub fn record_ids(&mut self, at: SimTime, from: ActorId, to: ActorId, label: LabelId) {
+        self.stats.events_recorded += 1;
+        if from == to {
+            self.stats.local_events += 1;
+        } else {
+            self.stats.messages += 1;
+        }
+        if self.events.len() >= self.capacity {
+            if self.capacity == 0 {
+                self.stats.events_dropped += 1;
+                return;
+            }
+            self.events.pop_front();
+            self.stats.events_dropped += 1;
+        }
+        self.events.push_back(CompactEvent {
             at,
-            from: from.into(),
-            to: to.into(),
-            label: label.into(),
+            from,
+            to,
+            label,
         });
     }
 
-    /// All recorded events in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// The always-on counters.
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
     }
 
-    /// Number of recorded events.
+    /// Mutable access to the counters, for simulation drivers that account
+    /// frames, inquiries, connects and handovers here.
+    pub fn stats_mut(&mut self) -> &mut TraceStats {
+        &mut self.stats
+    }
+
+    /// All retained events in order, resolved to owned strings.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.iter().map(|e| self.resolve(e)).collect()
+    }
+
+    fn resolve(&self, e: &CompactEvent) -> TraceEvent {
+        TraceEvent {
+            at: e.at,
+            from: self.pool.get(e.from.0).to_owned(),
+            to: self.pool.get(e.to.0).to_owned(),
+            label: self.pool.get(e.label.0).to_owned(),
+        }
+    }
+
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Whether nothing has been recorded.
+    /// Whether nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
     /// The sequence of labels, in recording order.
     pub fn labels(&self) -> Vec<&str> {
-        self.events.iter().map(|e| e.label.as_str()).collect()
+        self.events
+            .iter()
+            .map(|e| self.pool.get(e.label.0))
+            .collect()
     }
 
     /// Events exchanged between two specific actors (either direction).
-    pub fn between<'a>(&'a self, a: &str, b: &str) -> Vec<&'a TraceEvent> {
+    pub fn between(&self, a: &str, b: &str) -> Vec<TraceEvent> {
         self.events
             .iter()
-            .filter(|e| (e.from == a && e.to == b) || (e.from == b && e.to == a))
+            .filter(|e| {
+                let (from, to) = (self.pool.get(e.from.0), self.pool.get(e.to.0));
+                (from == a && to == b) || (from == b && to == a)
+            })
+            .map(|e| self.resolve(e))
             .collect()
     }
 
     /// Labels of messages sent by `actor`.
-    pub fn sent_by<'a>(&'a self, actor: &str) -> Vec<&'a str> {
+    pub fn sent_by(&self, actor: &str) -> Vec<&str> {
         self.events
             .iter()
-            .filter(|e| e.from == actor && e.to != actor)
-            .map(|e| e.label.as_str())
+            .filter(|e| e.from != e.to && self.pool.get(e.from.0) == actor)
+            .map(|e| self.pool.get(e.label.0))
             .collect()
     }
 
@@ -172,7 +500,7 @@ impl Trace {
             None => return true,
         };
         for e in &self.events {
-            if e.label == want {
+            if self.pool.get(e.label.0) == want {
                 match it.next() {
                     Some(w) => want = *w,
                     None => return true,
@@ -182,13 +510,36 @@ impl Trace {
         false
     }
 
+    /// Approximate heap footprint in bytes: ring storage plus string pool.
+    /// Used by the scale harness to report peak trace memory.
+    pub fn approx_mem_bytes(&self) -> usize {
+        self.events.capacity() * std::mem::size_of::<CompactEvent>() + self.pool.approx_mem_bytes()
+    }
+
+    /// A deterministic FNV-1a digest of the retained events and the
+    /// counters. Two runs of the same seeded scenario must agree on this.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for e in &self.events {
+            h.write_u64(e.at.as_micros());
+            h.write(self.pool.get(e.from.0).as_bytes());
+            h.write(&[0xff]);
+            h.write(self.pool.get(e.to.0).as_bytes());
+            h.write(&[0xff]);
+            h.write(self.pool.get(e.label.0).as_bytes());
+            h.write(&[0xfe]);
+        }
+        h.write_u64(self.stats.digest());
+        h.finish()
+    }
+
     /// Renders the trace as an ASCII message sequence chart with one column
     /// per actor (in order of first appearance), mirroring the thesis's MSC
     /// figures.
     pub fn render_msc(&self) -> String {
         let mut actors: Vec<&str> = Vec::new();
         for e in &self.events {
-            for actor in [e.from.as_str(), e.to.as_str()] {
+            for actor in [self.pool.get(e.from.0), self.pool.get(e.to.0)] {
                 if !actors.contains(&actor) {
                     actors.push(actor);
                 }
@@ -213,7 +564,12 @@ impl Trace {
         }
         out.push('\n');
         for e in &self.events {
-            let (ci, cj) = (column(&e.from), column(&e.to));
+            let (from, to, label) = (
+                self.pool.get(e.from.0),
+                self.pool.get(e.to.0),
+                self.pool.get(e.label.0),
+            );
+            let (ci, cj) = (column(from), column(to));
             let time = format!("{:>8} ", e.at);
             let mut line: Vec<char> = format!("{}{}", time, " ".repeat(actors.len() * col_width))
                 .chars()
@@ -224,7 +580,7 @@ impl Trace {
             if ci == cj {
                 // Local action: annotate beside the actor's lifeline.
                 let start = center(ci) + 2;
-                for (k, ch) in format!("* {}", e.label).chars().enumerate() {
+                for (k, ch) in format!("* {}", label).chars().enumerate() {
                     if start + k < line.len() {
                         line[start + k] = ch;
                     }
@@ -244,7 +600,7 @@ impl Trace {
                     line[lo + 1] = '<';
                 }
                 // Overlay the label mid-arrow.
-                let label: Vec<char> = e.label.chars().collect();
+                let label: Vec<char> = label.chars().collect();
                 let mid = (lo + hi) / 2;
                 let start = mid.saturating_sub(label.len() / 2).max(lo + 2);
                 for (k, ch) in label.iter().enumerate() {
@@ -338,5 +694,79 @@ mod tests {
         let t = sample();
         let frame = t.encode();
         assert!(Trace::decode_exact(&frame[..frame.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn interning_reuses_pool_entries() {
+        let mut t = Trace::new();
+        let a = t.intern_actor("alice");
+        assert_eq!(t.intern_actor("alice"), a);
+        assert_eq!(t.actor_name(a), "alice");
+        let l = t.intern_label("PING");
+        assert_eq!(t.intern_label("PING"), l);
+        assert_eq!(t.label_name(l), "PING");
+        // record() goes through the same pool.
+        t.record(SimTime::ZERO, "alice", "alice", "PING");
+        assert_eq!(t.events()[0].from, "alice");
+    }
+
+    #[test]
+    fn bounded_ring_evicts_oldest() {
+        let mut t = Trace::with_capacity(2);
+        t.record(SimTime::from_secs(1), "a", "b", "ONE");
+        t.record(SimTime::from_secs(2), "a", "b", "TWO");
+        t.record(SimTime::from_secs(3), "a", "b", "THREE");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.labels(), vec!["TWO", "THREE"]);
+        assert_eq!(t.stats().events_recorded, 3);
+        assert_eq!(t.stats().events_dropped, 1);
+    }
+
+    #[test]
+    fn set_capacity_trims_and_counts() {
+        let mut t = sample();
+        t.set_capacity(1);
+        assert_eq!(t.labels(), vec!["DISPLAY"]);
+        assert_eq!(t.stats().events_dropped, 2);
+        assert_eq!(t.capacity(), 1);
+    }
+
+    #[test]
+    fn stats_classify_event_kinds() {
+        let t = sample();
+        assert_eq!(t.stats().events_recorded, 3);
+        assert_eq!(t.stats().messages, 2);
+        assert_eq!(t.stats().local_events, 1);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_stable() {
+        assert_eq!(sample().digest(), sample().digest());
+        let mut other = Trace::new();
+        other.record(SimTime::from_secs(2), "server1", "client", "PROFILE_INFO");
+        other.record(SimTime::from_secs(1), "client", "server1", "PS_GETPROFILE");
+        other.record(SimTime::from_secs(3), "client", "client", "DISPLAY");
+        assert_ne!(sample().digest(), other.digest());
+    }
+
+    #[test]
+    fn record_ids_is_equivalent_to_record() {
+        let mut a = Trace::new();
+        let alice = a.intern_actor("alice");
+        let bob = a.intern_actor("bob");
+        let ping = a.intern_label("PING");
+        a.record_ids(SimTime::from_secs(1), alice, bob, ping);
+        let mut b = Trace::new();
+        b.record(SimTime::from_secs(1), "alice", "bob", "PING");
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn approx_mem_accounts_pool_and_ring() {
+        let mut t = Trace::with_capacity(64);
+        let before = t.approx_mem_bytes();
+        t.record(SimTime::ZERO, "some-actor", "other-actor", "A_LABEL");
+        assert!(t.approx_mem_bytes() > before);
     }
 }

@@ -5,9 +5,19 @@
 //! middleware driver needs: *who is in range of whom, over which technology,
 //! at what time, and how long would this frame take to deliver?*
 //!
+//! Range queries are served from a uniform-grid spatial index built lazily
+//! once per distinct query time (an *epoch*): node positions are sampled
+//! from the mobility models once, bucketed into cells the size of the
+//! largest finite radio range, and `neighbors`/`neighbors_any`/`reachable`
+//! then only inspect the cells a technology's range can touch. GPRS is
+//! range-independent, so it is answered from a per-technology membership
+//! list instead of the grid. The pre-index all-pairs implementations are
+//! kept as `*_naive` methods for differential testing.
+//!
 //! The world itself has no event loop; drivers combine it with an
 //! [`EventQueue`](crate::EventQueue).
 
+use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -108,10 +118,63 @@ struct WorldNode {
     technologies: Vec<Technology>,
 }
 
+/// Grid cell edge in metres: the largest *finite* technology range (WLAN's
+/// 80 m), so any finite-range disc is covered by a small constant number of
+/// cells.
+const CELL_M: f64 = 80.0;
+
+/// Per-epoch position cache plus uniform-grid bucketing of node positions.
+#[derive(Debug, Default)]
+struct SpatialIndex {
+    /// The time for which `positions`/`cells` are valid; `None` when stale.
+    epoch: Option<SimTime>,
+    /// Cached position of every node at `epoch`, indexed by node index.
+    positions: Vec<Point2>,
+    /// Node indices bucketed by grid cell; each bucket is ascending because
+    /// nodes are inserted in index order.
+    cells: HashMap<(i64, i64), Vec<u32>>,
+    /// Scratch buffer reused across queries to gather candidates.
+    scratch: Vec<u32>,
+}
+
+fn cell_of(p: Point2) -> (i64, i64) {
+    ((p.x / CELL_M).floor() as i64, (p.y / CELL_M).floor() as i64)
+}
+
+impl SpatialIndex {
+    /// Collects (into `self.scratch`) the indices of all nodes in cells that
+    /// a disc of radius `r` around `p` could touch.
+    fn gather(&mut self, p: Point2, r: f64) {
+        self.scratch.clear();
+        let (cx0, cy0) = cell_of(Point2::new(p.x - r, p.y - r));
+        let (cx1, cy1) = cell_of(Point2::new(p.x + r, p.y + r));
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    self.scratch.extend_from_slice(bucket);
+                }
+            }
+        }
+        self.scratch.sort_unstable();
+    }
+}
+
 /// The collection of simulated devices and the physics between them.
 #[derive(Debug, Default)]
 pub struct World {
     nodes: Vec<WorldNode>,
+    /// Node indices carrying each technology, in [`Technology::ALL`] order;
+    /// ascending by construction. Serves infinite-range (GPRS) queries.
+    tech_members: [Vec<u32>; 3],
+    index: SpatialIndex,
+}
+
+fn tech_slot(tech: Technology) -> usize {
+    match tech {
+        Technology::Bluetooth => 0,
+        Technology::Wlan => 1,
+        Technology::Gprs => 2,
+    }
 }
 
 impl World {
@@ -123,11 +186,16 @@ impl World {
     /// Adds a node, returning its identifier.
     pub fn add_node(&mut self, builder: NodeBuilder) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        for &tech in &builder.technologies {
+            self.tech_members[tech_slot(tech)].push(id.0);
+        }
         self.nodes.push(WorldNode {
             name: builder.name,
             mobility: builder.mobility,
             technologies: builder.technologies,
         });
+        // Positions cached for the previous population are stale.
+        self.index.epoch = None;
         id
     }
 
@@ -165,8 +233,37 @@ impl World {
         self.nodes[id.index()].technologies.contains(&tech)
     }
 
+    /// Samples every node's position at `t` and rebuilds the grid, unless
+    /// the cache is already valid for `t`. This is the "positions computed
+    /// once per time-step" guarantee: any number of range queries at the
+    /// same `t` share one mobility evaluation per node.
+    fn ensure_epoch(&mut self, t: SimTime) {
+        if self.index.epoch == Some(t) {
+            return;
+        }
+        self.index.positions.clear();
+        self.index.positions.reserve(self.nodes.len());
+        for cells in self.index.cells.values_mut() {
+            cells.clear();
+        }
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let p = node.mobility.position(t);
+            self.index.positions.push(p);
+            self.index
+                .cells
+                .entry(cell_of(p))
+                .or_default()
+                .push(i as u32);
+        }
+        self.index.cells.retain(|_, v| !v.is_empty());
+        self.index.epoch = Some(t);
+    }
+
     /// The node's position at time `t`.
     pub fn position(&mut self, id: NodeId, t: SimTime) -> Point2 {
+        if self.index.epoch == Some(t) {
+            return self.index.positions[id.index()];
+        }
         self.nodes[id.index()].mobility.position(t)
     }
 
@@ -192,28 +289,135 @@ impl World {
         if profile.range_m.is_infinite() {
             return true;
         }
-        profile.in_range(self.distance(a, b, t))
+        // Pairwise checks reuse the epoch cache when fresh but do not force
+        // an O(N) rebuild for a lone query at a new time; only the batched
+        // neighbor queries rebuild.
+        let d = if self.index.epoch == Some(t) {
+            self.index.positions[a.index()].distance(self.index.positions[b.index()])
+        } else {
+            self.distance(a, b, t)
+        };
+        profile.in_range(d)
     }
 
-    /// All nodes reachable from `id` over `tech` at time `t`.
+    /// Reference implementation of [`World::reachable`] bypassing the
+    /// position cache, for differential testing.
+    pub fn reachable_naive(&mut self, a: NodeId, b: NodeId, tech: Technology, t: SimTime) -> bool {
+        if a == b {
+            return false;
+        }
+        if !self.has_technology(a, tech) || !self.has_technology(b, tech) {
+            return false;
+        }
+        let profile = tech.profile();
+        if profile.range_m.is_infinite() {
+            return true;
+        }
+        let d = self.nodes[a.index()]
+            .mobility
+            .position(t)
+            .distance(self.nodes[b.index()].mobility.position(t));
+        profile.in_range(d)
+    }
+
+    /// All nodes reachable from `id` over `tech` at time `t`, ascending by
+    /// id.
     pub fn neighbors(&mut self, id: NodeId, tech: Technology, t: SimTime) -> Vec<NodeId> {
+        if !self.has_technology(id, tech) {
+            return Vec::new();
+        }
+        let profile = tech.profile();
+        if profile.range_m.is_infinite() {
+            return self.tech_members[tech_slot(tech)]
+                .iter()
+                .copied()
+                .filter(|&i| i != id.0)
+                .map(NodeId)
+                .collect();
+        }
+        self.ensure_epoch(t);
+        let p = self.index.positions[id.index()];
+        self.index.gather(p, profile.range_m);
+        let scratch = std::mem::take(&mut self.index.scratch);
+        let out = scratch
+            .iter()
+            .copied()
+            .filter(|&i| {
+                i != id.0
+                    && self.has_technology(NodeId(i), tech)
+                    && profile.in_range(p.distance(self.index.positions[i as usize]))
+            })
+            .map(NodeId)
+            .collect();
+        self.index.scratch = scratch;
+        out
+    }
+
+    /// Reference all-pairs implementation of [`World::neighbors`], for
+    /// differential testing.
+    pub fn neighbors_naive(&mut self, id: NodeId, tech: Technology, t: SimTime) -> Vec<NodeId> {
         let ids: Vec<NodeId> = self.node_ids().collect();
         ids.into_iter()
-            .filter(|&other| other != id && self.reachable(id, other, tech, t))
+            .filter(|&other| other != id && self.reachable_naive(id, other, tech, t))
             .collect()
     }
 
     /// All nodes reachable from `id` over *any* shared technology at `t`,
     /// with the cheapest such technology (in [`Technology::ALL`] priority
-    /// order) reported for each.
+    /// order) reported for each; ascending by id.
     pub fn neighbors_any(&mut self, id: NodeId, t: SimTime) -> Vec<(NodeId, Technology)> {
+        self.ensure_epoch(t);
+        let p = self.index.positions[id.index()];
+        // One finite-range sweep covers every technology except GPRS: the
+        // grid cell is sized to the largest finite range.
+        self.index.gather(p, CELL_M);
+        let scratch = std::mem::take(&mut self.index.scratch);
+        let mut out: Vec<(NodeId, Technology)> = Vec::new();
+        for &i in &scratch {
+            let other = NodeId(i);
+            if other == id {
+                continue;
+            }
+            let d = p.distance(self.index.positions[i as usize]);
+            let tech = Technology::ALL.into_iter().find(|&tech| {
+                if !self.has_technology(id, tech) || !self.has_technology(other, tech) {
+                    return false;
+                }
+                let profile = tech.profile();
+                profile.range_m.is_infinite() || profile.in_range(d)
+            });
+            if let Some(tech) = tech {
+                out.push((other, tech));
+            }
+        }
+        self.index.scratch = scratch;
+        // Nodes beyond every finite range can still be GPRS neighbors; the
+        // finite sweep above has already classified everything nearby, so
+        // only its (small) result prefix needs dedup checks.
+        if self.has_technology(id, Technology::Gprs) {
+            let finite = out.len();
+            for &i in &self.tech_members[tech_slot(Technology::Gprs)] {
+                let other = NodeId(i);
+                if other == id || out[..finite].iter().any(|&(n, _)| n == other) {
+                    continue;
+                }
+                out.push((other, Technology::Gprs));
+            }
+        }
+        out.sort_unstable_by_key(|&(n, _)| n);
+        out
+    }
+
+    /// Reference all-pairs implementation of [`World::neighbors_any`], for
+    /// differential testing.
+    pub fn neighbors_any_naive(&mut self, id: NodeId, t: SimTime) -> Vec<(NodeId, Technology)> {
         let ids: Vec<NodeId> = self.node_ids().collect();
         ids.into_iter()
             .filter(|&other| other != id)
             .filter_map(|other| {
                 Technology::ALL
                     .into_iter()
-                    .find(|&tech| self.reachable(id, other, tech, t))
+                    .find(|&tech| self.reachable_naive(id, other, tech, t))
                     .map(|tech| (other, tech))
             })
             .collect()
@@ -374,6 +578,68 @@ mod tests {
         assert_eq!(
             w.technologies(a),
             &[Technology::Bluetooth, Technology::Wlan]
+        );
+    }
+
+    #[test]
+    fn grid_matches_naive_on_cell_boundaries() {
+        // Nodes straddling grid-cell borders and negative coordinates.
+        let mut w = World::new();
+        let pts = [
+            Point2::new(-0.5, 0.0),
+            Point2::new(0.5, 0.0),
+            Point2::new(79.9, 0.0),
+            Point2::new(80.1, 0.0),
+            Point2::new(-80.0, -80.0),
+            Point2::new(160.0, 160.0),
+            Point2::new(8.0, 6.0),
+        ];
+        for (i, p) in pts.iter().enumerate() {
+            w.add_node(NodeBuilder::new(format!("n{i}")).at(*p));
+        }
+        for id in 0..pts.len() {
+            let id = NodeId::from_index(id);
+            for tech in Technology::ALL {
+                assert_eq!(
+                    w.neighbors(id, tech, SimTime::ZERO),
+                    w.neighbors_naive(id, tech, SimTime::ZERO),
+                    "{id} {tech}"
+                );
+            }
+            assert_eq!(
+                w.neighbors_any(id, SimTime::ZERO),
+                w.neighbors_any_naive(id, SimTime::ZERO),
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn position_cache_survives_node_addition() {
+        let mut w = World::new();
+        let a = w.add_node(NodeBuilder::new("a").at(Point2::ORIGIN));
+        assert_eq!(w.neighbors(a, Technology::Bluetooth, SimTime::ZERO), vec![]);
+        // Adding a node must invalidate the cached epoch.
+        let b = w.add_node(NodeBuilder::new("b").at(Point2::new(1.0, 0.0)));
+        assert_eq!(
+            w.neighbors(a, Technology::Bluetooth, SimTime::ZERO),
+            vec![b]
+        );
+    }
+
+    #[test]
+    fn neighbors_without_radio_is_empty() {
+        let mut w = World::new();
+        let a = w.add_node(
+            NodeBuilder::new("bt-only")
+                .at(Point2::ORIGIN)
+                .with_technologies([Technology::Bluetooth]),
+        );
+        w.add_node(NodeBuilder::new("b").at(Point2::new(1.0, 0.0)));
+        assert!(w.neighbors(a, Technology::Gprs, SimTime::ZERO).is_empty());
+        assert_eq!(
+            w.neighbors(a, Technology::Bluetooth, SimTime::ZERO).len(),
+            1
         );
     }
 }

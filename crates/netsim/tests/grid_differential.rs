@@ -1,0 +1,143 @@
+//! Differential property test: the spatial-grid neighbor queries must be
+//! *exactly* the naive all-pairs scan — same nodes, same order — for any
+//! population, technology mix, mobility model and query time.
+
+use codec::prop::{check, Config, Gen};
+use ph_netsim::geometry::{Point2, Rect};
+use ph_netsim::mobility::{RandomWalk, RandomWaypoint};
+use ph_netsim::world::NodeBuilder;
+use ph_netsim::{SimRng, SimTime, Technology, World};
+
+/// One generated device: spawn point, radio mix, mobility choice.
+#[derive(Debug)]
+struct NodeSpec {
+    x: f64,
+    y: f64,
+    /// Bit 0 = Bluetooth, bit 1 = WLAN, bit 2 = GPRS (0 = no radios).
+    techs: u8,
+    /// 0 = stationary, 1 = random waypoint, 2 = random walk.
+    mobility: u8,
+    seed: u64,
+}
+
+#[derive(Debug)]
+struct Scenario {
+    /// Campus side, metres. Small enough that cells interact, large
+    /// enough to cross the 80 m cell size.
+    side: f64,
+    nodes: Vec<NodeSpec>,
+    /// Query times, microseconds.
+    times: Vec<u64>,
+}
+
+fn gen_scenario(g: &mut Gen) -> Scenario {
+    let side = g.f64_in(10.0, 400.0);
+    let nodes = g.vec_of(30, |g| NodeSpec {
+        x: g.f64_in(0.0, side),
+        y: g.f64_in(0.0, side),
+        techs: g.u64(8) as u8,
+        mobility: g.u64(3) as u8,
+        seed: g.any_u64(),
+    });
+    let times = g.vec_of(4, |g| g.u64(120_000_000));
+    Scenario { side, nodes, times }
+}
+
+fn build_world(s: &Scenario) -> World {
+    let area = Rect::sized(s.side, s.side);
+    let mut world = World::new();
+    for (i, spec) in s.nodes.iter().enumerate() {
+        let start = area.clamp(Point2::new(spec.x, spec.y));
+        let mut techs = Vec::new();
+        for (bit, tech) in Technology::ALL.iter().enumerate() {
+            if spec.techs & (1 << bit) != 0 {
+                techs.push(*tech);
+            }
+        }
+        let builder = NodeBuilder::new(format!("n{i}")).with_technologies(techs);
+        let builder = match spec.mobility {
+            0 => builder.at(start),
+            1 => builder.moving(RandomWaypoint::new(
+                area,
+                start,
+                (0.5, 3.0),
+                (
+                    std::time::Duration::ZERO,
+                    std::time::Duration::from_secs(10),
+                ),
+                SimRng::from_seed(spec.seed),
+            )),
+            _ => builder.moving(RandomWalk::new(
+                area,
+                start,
+                2.0,
+                std::time::Duration::from_secs(5),
+                SimRng::from_seed(spec.seed),
+            )),
+        };
+        world.add_node(builder);
+    }
+    world
+}
+
+#[test]
+fn grid_neighbors_match_naive_exactly() {
+    check(
+        &Config::with_cases(96),
+        "grid neighbors == naive neighbors",
+        gen_scenario,
+        |s| {
+            let mut world = build_world(s);
+            let ids: Vec<_> = world.node_ids().collect();
+            for &at in &s.times {
+                let t = SimTime::from_micros(at);
+                for &id in &ids {
+                    for tech in Technology::ALL {
+                        assert_eq!(
+                            world.neighbors(id, tech, t),
+                            world.neighbors_naive(id, tech, t),
+                            "neighbors({id:?}, {tech:?}, {t:?}) diverged"
+                        );
+                    }
+                    assert_eq!(
+                        world.neighbors_any(id, t),
+                        world.neighbors_any_naive(id, t),
+                        "neighbors_any({id:?}, {t:?}) diverged"
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn grid_reachability_matches_naive_exactly() {
+    check(
+        &Config::with_cases(96),
+        "grid reachable == naive reachable",
+        gen_scenario,
+        |s| {
+            let mut world = build_world(s);
+            let ids: Vec<_> = world.node_ids().collect();
+            for &at in &s.times {
+                let t = SimTime::from_micros(at);
+                // Warm the epoch cache through a batched query so the
+                // cached-position path is the one under test too.
+                if let Some(&first) = ids.first() {
+                    world.neighbors_any(first, t);
+                }
+                for &a in &ids {
+                    for &b in &ids {
+                        for tech in Technology::ALL {
+                            assert_eq!(
+                                world.reachable(a, b, tech, t),
+                                world.reachable_naive(a, b, tech, t),
+                                "reachable({a:?}, {b:?}, {tech:?}, {t:?}) diverged"
+                            );
+                        }
+                    }
+                }
+            }
+        },
+    );
+}

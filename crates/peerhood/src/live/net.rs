@@ -251,12 +251,59 @@ impl<A: Application> LiveNet<A> {
         r
     }
 
+    /// Shortest poll sleep while traffic is flowing.
+    const POLL_MIN: Duration = Duration::from_millis(1);
+    /// Longest poll sleep once the net has gone quiet. Socket latency stays
+    /// bounded by this while idle rounds no longer spin the CPU.
+    const POLL_MAX: Duration = Duration::from_millis(5);
+
+    /// Time until the earliest locally scheduled deadline (daemon wake or
+    /// application timer), if any.
+    fn next_deadline_in(&self) -> Option<Duration> {
+        let now = self.now();
+        self.nodes
+            .iter()
+            .flat_map(|n| {
+                n.wake_at
+                    .into_iter()
+                    .chain(n.timers.iter().map(|(at, _)| *at))
+            })
+            .min()
+            .map(|at| Duration::from_micros(at.as_micros().saturating_sub(now.as_micros())))
+    }
+
+    /// Sleeps until the next interesting instant: backs off exponentially
+    /// from [`Self::POLL_MIN`] to [`Self::POLL_MAX`] while rounds stay idle,
+    /// but never past a local wake/timer deadline or `remaining` wall time.
+    fn poll_sleep(&self, idle: &mut Duration, active: bool, remaining: Duration) {
+        *idle = if active {
+            Self::POLL_MIN
+        } else {
+            (*idle * 2).min(Self::POLL_MAX)
+        };
+        let mut sleep = *idle;
+        if let Some(due) = self.next_deadline_in() {
+            sleep = sleep.min(due);
+        }
+        sleep = sleep.min(remaining);
+        if sleep.is_zero() {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(sleep);
+        }
+    }
+
     /// Polls sockets and timers repeatedly for `wall` of real time.
     pub fn run_for(&mut self, wall: Duration) {
         let deadline = Instant::now() + wall;
-        while Instant::now() < deadline {
-            self.poll_once();
-            std::thread::sleep(Duration::from_millis(1));
+        let mut idle = Self::POLL_MIN;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let active = self.poll_once();
+            self.poll_sleep(&mut idle, active, remaining);
         }
     }
 
@@ -264,19 +311,26 @@ impl<A: Application> LiveNet<A> {
     /// `stop` held.
     pub fn run_until(&mut self, wall: Duration, mut stop: impl FnMut(&Self) -> bool) -> bool {
         let deadline = Instant::now() + wall;
-        while Instant::now() < deadline {
-            self.poll_once();
+        let mut idle = Self::POLL_MIN;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let active = self.poll_once();
             if stop(self) {
                 return true;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            self.poll_sleep(&mut idle, active, remaining);
         }
         stop(self)
     }
 
-    /// One poll round: accepts, reads, timers, daemon wakes.
-    fn poll_once(&mut self) {
+    /// One poll round: accepts, reads, timers, daemon wakes. Returns whether
+    /// the round found any work (socket progress, due wake, or due timer).
+    fn poll_once(&mut self) -> bool {
         let now = self.now();
+        let mut activity = false;
         let mut work: VecDeque<(usize, DaemonInput)> = VecDeque::new();
 
         for i in 0..self.nodes.len() {
@@ -284,6 +338,7 @@ impl<A: Application> LiveNet<A> {
             loop {
                 match self.nodes[i].listener.accept() {
                     Ok((stream, _)) => {
+                        activity = true;
                         if let Ok(sock) = Sock::new(stream) {
                             self.nodes[i].greeting.push(sock);
                         }
@@ -421,6 +476,7 @@ impl<A: Application> LiveNet<A> {
             }
         }
 
+        activity |= !work.is_empty();
         self.drain(&mut work);
 
         // Application timers (drained after daemon work so freshly set
@@ -434,11 +490,14 @@ impl<A: Application> LiveNet<A> {
                 node.timers = keep;
                 fire.into_iter().map(|(_, tok)| tok).collect()
             };
+            activity |= !due.is_empty();
             for token in due {
                 self.app_callback(i, &mut timer_work, |app, ctx| app.on_timer(token, ctx));
             }
         }
+        activity |= !timer_work.is_empty();
         self.drain(&mut timer_work);
+        activity
     }
 
     /// Processes daemon inputs until quiescent.

@@ -18,7 +18,7 @@ use std::time::Duration;
 use codec::Bytes;
 
 use netsim::world::{NodeBuilder, NodeId};
-use netsim::{EventQueue, SimRng, SimTime, Technology, Trace, World};
+use netsim::{EventQueue, SimRng, SimTime, Technology, Trace, TraceStats, World};
 
 use crate::api::AppEvent;
 use crate::app::{AppCtx, Application};
@@ -135,6 +135,9 @@ impl Link {
 
 struct NodeRt<A> {
     name: String,
+    /// Prebuilt identity snapshot, cloned (not rebuilt) for every plugin
+    /// event that carries a `DeviceInfo`.
+    info: DeviceInfo,
     daemon: Daemon,
     app: A,
     lib: Library,
@@ -194,9 +197,11 @@ impl<A: Application> Cluster<A> {
             self.world.name(id),
             self.world.technologies(id).iter().copied(),
         );
-        let config = configure(DaemonConfig::new(info));
+        let config = configure(DaemonConfig::new(info.clone()));
+        self.trace.intern_actor(self.world.name(id));
         self.nodes.push(NodeRt {
             name: self.world.name(id).to_owned(),
+            info,
             daemon: Daemon::new(config),
             app,
             lib: Library::new(),
@@ -262,9 +267,30 @@ impl<A: Application> Cluster<A> {
         &self.trace
     }
 
-    /// Clears the message-sequence trace (e.g. between measured operations).
+    /// The always-on run counters (trace events, frames, inquiries,
+    /// connects, handovers).
+    pub fn stats(&self) -> &TraceStats {
+        self.trace.stats()
+    }
+
+    /// Bounds the trace's event ring to `capacity` retained events; the
+    /// [`TraceStats`] counters keep exact aggregate counts regardless.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
+    }
+
+    /// Clears the message-sequence trace (e.g. between measured operations),
+    /// keeping the configured capacity bound. Counters reset too.
     pub fn clear_trace(&mut self) {
-        self.trace = Trace::new();
+        let cap = self.trace.capacity();
+        self.trace = if cap == usize::MAX {
+            Trace::new()
+        } else {
+            Trace::with_capacity(cap)
+        };
+        for rt in &self.nodes {
+            self.trace.intern_actor(&rt.name);
+        }
     }
 
     /// Processes events until the queue is exhausted or the next event is
@@ -378,6 +404,7 @@ impl<A: Application> Cluster<A> {
                 let now = self.queue.now();
                 // The responder must still be in range when its answer lands.
                 if self.world.reachable(seeker, found, tech, now) {
+                    self.trace.stats_mut().inquiry_responses += 1;
                     let device = self.device_info(found);
                     self.feed_daemon(
                         seeker,
@@ -458,6 +485,11 @@ impl<A: Application> Cluster<A> {
                 attempt,
                 result,
             } => {
+                if result.is_ok() {
+                    self.trace.stats_mut().connects_ok += 1;
+                } else {
+                    self.trace.stats_mut().connects_failed += 1;
+                }
                 self.feed_daemon(
                     to,
                     DaemonInput::Plugin(PluginEvent::ConnectResult { attempt, result }),
@@ -466,14 +498,20 @@ impl<A: Application> Cluster<A> {
             Ev::FrameArrive { to, link, payload } => {
                 let now = self.queue.now();
                 let Some(l) = self.links.get(&link) else {
-                    return; // link torn down while the frame was in flight
+                    // Link torn down while the frame was in flight.
+                    self.trace.stats_mut().frames_dropped += 1;
+                    return;
                 };
                 if self.world.reachable(l.a, l.b, l.tech, now) {
+                    let stats = self.trace.stats_mut();
+                    stats.frames_delivered += 1;
+                    stats.bytes_delivered += payload.len() as u64;
                     self.feed_daemon(
                         to,
                         DaemonInput::Plugin(PluginEvent::Frame { link, payload }),
                     );
                 } else {
+                    self.trace.stats_mut().frames_dropped += 1;
                     self.tear_down_link(link);
                 }
             }
@@ -524,6 +562,9 @@ impl<A: Application> Cluster<A> {
         event: AppEvent,
         work: &mut VecDeque<(NodeId, DaemonInput)>,
     ) {
+        if matches!(event, AppEvent::Handover { .. }) {
+            self.trace.stats_mut().handovers += 1;
+        }
         let now = self.queue.now();
         let mut timers = Vec::new();
         {
@@ -560,7 +601,10 @@ impl<A: Application> Cluster<A> {
         let now = self.queue.now();
         match cmd {
             PluginCommand::StartInquiry { technology } => {
+                self.trace.stats_mut().inquiries += 1;
                 let profile = technology.profile();
+                // One batched snapshot from the spatial index; every
+                // responder is then scheduled off this single range query.
                 let neighbors = self.world.neighbors(node, technology, now);
                 for nb in neighbors {
                     if profile.discovery_misses(&mut self.rng) {
@@ -585,6 +629,7 @@ impl<A: Application> Cluster<A> {
                 );
             }
             PluginCommand::QueryServices { device, technology } => {
+                self.trace.stats_mut().service_queries += 1;
                 let target = self.node_of(device);
                 if self.world.reachable(node, target, technology, now) {
                     let delay = technology
@@ -636,6 +681,7 @@ impl<A: Application> Cluster<A> {
                 technology,
                 resume,
             } => {
+                self.trace.stats_mut().connects_attempted += 1;
                 let target = self.node_of(device);
                 let delay = technology.profile().connect_time(&mut self.rng);
                 if self.world.reachable(node, target, technology, now) {
@@ -700,6 +746,9 @@ impl<A: Application> Cluster<A> {
                 let peer = l.other(node);
                 let delay = tech.profile().transfer_time(payload.len(), &mut self.rng);
                 let at = l.fifo_arrival(peer, now + delay);
+                let stats = self.trace.stats_mut();
+                stats.frames_sent += 1;
+                stats.bytes_sent += payload.len() as u64;
                 if self.world.reachable(a, b, tech, now) {
                     self.queue.schedule(
                         at,
@@ -729,6 +778,7 @@ impl<A: Application> Cluster<A> {
                         }
                     }
                 } else {
+                    self.trace.stats_mut().frames_dropped += 1;
                     self.tear_down_link(link);
                 }
             }
@@ -758,11 +808,7 @@ impl<A: Application> Cluster<A> {
     }
 
     fn device_info(&self, node: NodeId) -> DeviceInfo {
-        DeviceInfo::new(
-            self.device_id(node),
-            self.nodes[node.index()].name.clone(),
-            self.world.technologies(node).iter().copied(),
-        )
+        self.nodes[node.index()].info.clone()
     }
 
     fn device_id_of(&self, node: NodeId) -> DeviceId {
@@ -1164,6 +1210,60 @@ mod tests {
         );
         c.run_until(SimTime::from_secs(60));
         assert!(c.app(a).appeared.contains(&"late".to_owned()));
+    }
+
+    #[test]
+    fn stats_count_discovery_connects_and_frames() {
+        let mut c = Cluster::new(3);
+        let a = c.add_node(
+            NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
+        let b = c.add_node(
+            NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)),
+            recorder(true),
+        );
+        c.start();
+        c.run_until(SimTime::from_secs(15));
+        let bob = c.device_id(b);
+        c.with_app(a, |_, ctx| ctx.peerhood().connect(bob, "PeerHoodCommunity"));
+        c.run_until(SimTime::from_secs(20));
+        let conn = c.app(a).connected[0];
+        c.with_app(a, |_, ctx| {
+            ctx.peerhood().send(conn, Bytes::from_static(b"ping"))
+        });
+        c.run_until(SimTime::from_secs(21));
+        let stats = c.stats();
+        assert!(stats.inquiries >= 2, "both nodes inquire: {stats}");
+        assert!(stats.inquiry_responses >= 2, "{stats}");
+        assert!(stats.connects_attempted >= 1, "{stats}");
+        assert!(stats.connects_ok >= 1, "{stats}");
+        assert!(stats.frames_sent >= 1, "{stats}");
+        assert_eq!(stats.frames_dropped, 0, "{stats}");
+        assert!(stats.bytes_delivered >= 4, "{stats}");
+    }
+
+    #[test]
+    fn bounded_trace_keeps_counters_exact() {
+        let mut c = Cluster::new(3);
+        let a = c.add_node(
+            NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
+        c.set_trace_capacity(1);
+        c.with_app(a, |_, ctx| {
+            ctx.trace_local("ONE");
+            ctx.trace_local("TWO");
+            ctx.trace_local("THREE");
+        });
+        assert_eq!(c.trace().len(), 1);
+        assert_eq!(c.trace().labels(), vec!["THREE"]);
+        assert_eq!(c.stats().events_recorded, 3);
+        assert_eq!(c.stats().events_dropped, 2);
+        // clear_trace keeps the bound but resets contents.
+        c.clear_trace();
+        assert!(c.trace().is_empty());
+        assert_eq!(c.trace().capacity(), 1);
     }
 
     #[test]
