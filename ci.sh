@@ -8,9 +8,38 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo build --release --offline
 cargo test -q --offline --workspace
 
-# Scale smoke: a 100-node crowd must complete and report its numbers
-# (wall-clock, events/s, trace memory, grid-vs-naive query cost,
-# zero-alloc trace burst) — kept as a machine-readable artifact.
+# Scale smoke: the 100- and 1000-node crowds run twice — pure serial, then
+# through the parallel epoch engine (`--threads 4 --selfcheck`, which also
+# reruns serially in-process and exits nonzero if any digest diverges).
+# Both reports land in BENCH_scale.json, so the perf trajectory of each
+# arm is tracked over time.
 cargo run --release --offline -p ph-harness --bin repro -- \
-    crowd --nodes 100 --horizon 30 --json > BENCH_scale.json
+    crowd --nodes 100,1000 --horizon 30 --json > BENCH_scale_serial.tmp.json
+cargo run --release --offline -p ph-harness --bin repro -- \
+    crowd --nodes 100,1000 --horizon 30 --threads 4 --selfcheck --json \
+    > BENCH_scale_threads4.tmp.json
+
+# Belt and braces on top of --selfcheck: the two artifacts must agree on
+# every trace digest, size by size.
+d_serial=$(grep -o '"digest": "[0-9a-f]*"' BENCH_scale_serial.tmp.json)
+d_par=$(grep -o '"digest": "[0-9a-f]*"' BENCH_scale_threads4.tmp.json)
+test "$d_serial" = "$d_par"
+
+# Serial throughput floor: fail if events/s drops >30% below the recorded
+# baseline for this scenario. Baseline 700k events/s — the reference
+# single-core container jitters roughly 600k–940k run to run, so the
+# floor (490k) trips on real regressions, not scheduler noise.
+grep -m1 -o '"events_per_sec": [0-9.]*' BENCH_scale_serial.tmp.json \
+    | awk -F': ' 'BEGIN { floor = 700000 * 0.70 }
+        { if ($2 + 0 < floor) { print "events/s " $2 " below floor " floor; exit 1 }
+          print "events/s " $2 " ok (floor " floor ")" }'
+
+{
+    printf '{\n"serial": '
+    cat BENCH_scale_serial.tmp.json
+    printf ',\n"threads4": '
+    cat BENCH_scale_threads4.tmp.json
+    printf '}\n'
+} > BENCH_scale.json
+rm -f BENCH_scale_serial.tmp.json BENCH_scale_threads4.tmp.json
 cat BENCH_scale.json

@@ -1,0 +1,55 @@
+//! Bench: the deterministic parallel epoch engine vs the serial scheduler.
+//!
+//! Runs the same crowd scenario with `threads: 1` (pure serial) and with
+//! one worker per hardware thread, and asserts the trace digests match —
+//! the engine's whole contract is "same bits, less wall-clock". On a
+//! single-core host the parallel arm measures pure fork/join overhead;
+//! the speedup claim only applies at ≥4 hardware threads.
+
+use ph_bench::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use harness::crowd::{build, run, CrowdConfig};
+use netsim::par::available_threads;
+use netsim::SimTime;
+
+fn config(nodes: usize, threads: usize) -> CrowdConfig {
+    CrowdConfig {
+        nodes,
+        seed: 2008,
+        threads,
+        compare_naive: false,
+        ..CrowdConfig::default()
+    }
+}
+
+fn bench_crowd_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_crowd_run");
+    let auto = available_threads();
+    for nodes in [300usize, 1000] {
+        // The digest contract, checked once per size before timing.
+        let serial = run(&config(nodes, 1));
+        let parallel = run(&config(nodes, auto.max(2)));
+        assert_eq!(
+            serial.digest, parallel.digest,
+            "parallel run diverged from serial at {nodes} nodes"
+        );
+
+        for (label, threads) in [("serial", 1usize), ("threads_auto", 0)] {
+            group.sample_size(10);
+            group.bench_function(BenchmarkId::new(label, nodes), |b| {
+                b.iter_batched(
+                    || build(&config(nodes, threads)),
+                    |mut s| {
+                        s.cluster.run_until(SimTime::from_secs(30));
+                        s
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crowd_parallel);
+criterion_main!(benches);

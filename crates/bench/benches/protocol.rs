@@ -47,7 +47,7 @@ fn bench_responses(c: &mut Criterion) {
 
     let content = Response::Content {
         name: "song.mp3".into(),
-        data: vec![0xAB; 64 * 1024],
+        data: vec![0xAB; 64 * 1024].into(),
     };
     let frame = content.encode();
     group.throughput(Throughput::Bytes(frame.len() as u64));

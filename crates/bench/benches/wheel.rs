@@ -1,0 +1,130 @@
+//! Bench: the hierarchical timing wheel vs the `BinaryHeap` it replaced.
+//!
+//! Two workloads, both with the `(at, seq)` tie-break the simulator relies
+//! on: a bulk load-then-drain (the crowd start burst) and steady-state
+//! churn (pop one wake, schedule the next — the daemon cadence). The heap
+//! reference is implemented inline so the comparison survives the heap's
+//! removal from the simulator proper.
+
+use ph_bench::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use netsim::{SimRng, SimTime, TimerWheel};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The scheduler the wheel replaced: a binary heap keyed on `(at, seq)`.
+#[derive(Default)]
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    seq: u64,
+}
+
+impl HeapQueue {
+    fn schedule(&mut self, at: SimTime, event: u32) {
+        self.heap.push(Reverse((at, self.seq, event)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u32)> {
+        self.heap.pop().map(|Reverse((at, _, ev))| (at, ev))
+    }
+}
+
+/// Deterministic wake times spanning all wheel levels: mostly near-future
+/// (daemon cadence), a tail of far-future timers (long timeouts).
+fn wake_offsets(n: usize) -> Vec<SimTime> {
+    let mut rng = SimRng::from_seed(2008);
+    (0..n)
+        .map(|_| {
+            let micros = if rng.chance(0.125) {
+                rng.range_u64(0..600_000_000) // up to 10 simulated minutes out
+            } else {
+                rng.range_u64(0..2_000_000) // within the next 2 seconds
+            };
+            SimTime::from_micros(micros)
+        })
+        .collect()
+}
+
+fn bench_bulk_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel_bulk_drain");
+    let n = 10_000usize;
+    let offsets = wake_offsets(n);
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::from_parameter("wheel"), |b| {
+        b.iter_batched(
+            || {
+                let mut w = TimerWheel::with_capacity(n);
+                for (i, &at) in offsets.iter().enumerate() {
+                    w.schedule(at, i as u32);
+                }
+                w
+            },
+            |mut w| {
+                let mut last = 0u64;
+                while let Some((at, _)) = w.pop() {
+                    last = at.as_micros();
+                }
+                last
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("binary_heap"), |b| {
+        b.iter_batched(
+            || {
+                let mut q = HeapQueue::default();
+                for (i, &at) in offsets.iter().enumerate() {
+                    q.schedule(at, i as u32);
+                }
+                q
+            },
+            |mut q| {
+                let mut last = 0u64;
+                while let Some((at, _)) = q.pop() {
+                    last = at.as_micros();
+                }
+                last
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel_churn");
+    group.throughput(Throughput::Elements(1));
+    let pending = 1024usize;
+
+    let mut w = TimerWheel::with_capacity(pending);
+    for (i, &at) in wake_offsets(pending).iter().enumerate() {
+        w.schedule(at, i as u32);
+    }
+    group.bench_function(BenchmarkId::from_parameter("wheel"), |b| {
+        b.iter(|| {
+            let (at, ev) = w.pop().expect("queue never drains");
+            w.schedule(at + std::time::Duration::from_secs(5), ev);
+            at
+        })
+    });
+
+    let mut q = HeapQueue::default();
+    for (i, &at) in wake_offsets(pending).iter().enumerate() {
+        q.schedule(at, i as u32);
+    }
+    group.bench_function(BenchmarkId::from_parameter("binary_heap"), |b| {
+        b.iter(|| {
+            let (at, ev) = q.pop().expect("queue never drains");
+            q.schedule(at + std::time::Duration::from_secs(5), ev);
+            at
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_drain, bench_churn);
+criterion_main!(benches);

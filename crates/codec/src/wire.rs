@@ -236,6 +236,38 @@ impl Wire for Vec<u8> {
     }
 }
 
+/// Byte-compatible with the [`String`] encoding, so a field can migrate
+/// between the two without changing the wire or snapshot format.
+impl Wire for std::sync::Arc<str> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let n = read_len(input)?;
+        let b = take(input, n)?;
+        std::str::from_utf8(b)
+            .map(std::sync::Arc::from)
+            .map_err(|_| DecodeError::InvalidUtf8)
+    }
+}
+
+/// Byte-compatible with the `Vec<u8>` encoding: same dense length-prefixed
+/// blob, decoded into a shared buffer instead of a fresh allocation per
+/// clone.
+impl Wire for crate::Bytes {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_to(out);
+        out.extend_from_slice(self);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let n = read_len(input)?;
+        Ok(crate::Bytes::from(take(input, n)?.to_vec()))
+    }
+}
+
 /// Encodes a slice as a `u32` count followed by the elements.
 ///
 /// For element types without their own `Vec<T>` impl (kept off a blanket impl
@@ -408,6 +440,27 @@ mod tests {
             Option::<String>::decode_exact(&None::<String>.encode()).unwrap(),
             None
         );
+    }
+
+    #[test]
+    fn shared_types_round_trip_with_string_layout() {
+        // Arc<str> must be byte-compatible with String so interned fields
+        // keep the existing snapshot format.
+        let s = "héllo".to_owned();
+        let a: std::sync::Arc<str> = std::sync::Arc::from(s.as_str());
+        assert_eq!(a.encode(), s.encode());
+        let back = <std::sync::Arc<str>>::decode_exact(&s.encode()).unwrap();
+        assert_eq!(&*back, s);
+        assert_eq!(
+            <std::sync::Arc<str>>::decode_exact(&[0, 0, 0, 1, 0xFF]),
+            Err(DecodeError::InvalidUtf8)
+        );
+
+        // Bytes must be byte-compatible with Vec<u8>.
+        let v: Vec<u8> = vec![0, 1, 255];
+        let b = crate::Bytes::from(v.clone());
+        assert_eq!(b.encode(), v.encode());
+        assert_eq!(crate::Bytes::decode_exact(&v.encode()).unwrap(), b);
     }
 
     #[test]

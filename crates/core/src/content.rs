@@ -5,7 +5,7 @@
 //! named items; only members on their trusted-friends list may list
 //! (Figure 16) or fetch them.
 
-use codec::{read_len, DecodeError, Wire};
+use codec::{read_len, Bytes, DecodeError, Wire};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -35,7 +35,8 @@ pub struct ContentStore {
 #[derive(Clone, Debug, PartialEq, Eq)]
 struct SharedItem {
     kind: String,
-    data: Vec<u8>,
+    /// Shared buffer: fetching an item clones a refcount, not the payload.
+    data: Bytes,
 }
 
 impl ContentStore {
@@ -45,12 +46,17 @@ impl ContentStore {
     }
 
     /// Shares (or replaces) an item.
-    pub fn share(&mut self, name: impl Into<String>, kind: impl Into<String>, data: Vec<u8>) {
+    pub fn share(
+        &mut self,
+        name: impl Into<String>,
+        kind: impl Into<String>,
+        data: impl Into<Bytes>,
+    ) {
         self.items.insert(
             name.into(),
             SharedItem {
                 kind: kind.into(),
-                data,
+                data: data.into(),
             },
         );
     }
@@ -72,9 +78,10 @@ impl ContentStore {
             .collect()
     }
 
-    /// The bytes of one item, if shared.
-    pub fn fetch(&self, name: &str) -> Option<&[u8]> {
-        self.items.get(name).map(|i| i.data.as_slice())
+    /// The bytes of one item, if shared. Cloning the returned [`Bytes`]
+    /// shares the payload instead of copying it.
+    pub fn fetch(&self, name: &str) -> Option<&Bytes> {
+        self.items.get(name).map(|i| &i.data)
     }
 
     /// Number of shared items.
@@ -113,7 +120,7 @@ impl Wire for SharedItem {
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         Ok(SharedItem {
             kind: String::decode(input)?,
-            data: Vec::<u8>::decode(input)?,
+            data: Bytes::decode(input)?,
         })
     }
 }
@@ -151,7 +158,7 @@ mod tests {
         assert_eq!(listing.len(), 2);
         assert_eq!(listing[0].name, "pic.jpg"); // name order
         assert_eq!(listing[1].size, 3);
-        assert_eq!(s.fetch("song.mp3"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(s.fetch("song.mp3").unwrap().as_slice(), [1u8, 2, 3]);
         assert!(s.unshare("song.mp3"));
         assert!(!s.unshare("song.mp3"));
         assert_eq!(s.fetch("song.mp3"), None);

@@ -1,0 +1,78 @@
+//! Member-name interning for the server dispatch hot path.
+//!
+//! In a dense neighborhood the same requester names arrive with every
+//! `PS_GETPROFILE` / `PS_ADDPROFILECOMMENT` / `PS_MSG` request, and each one
+//! used to allocate a fresh `String` into the visitor log, comment list or
+//! mailbox. A [`NamePool`] hands out `Arc<str>` handles instead: the first
+//! occurrence of a name allocates once, every later occurrence is an O(1)
+//! refcount bump that shares the same bytes.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A deduplicating pool of member names.
+///
+/// The pool is a cache, not data: two stores with different pools but equal
+/// member data are equal, and the pool is rebuilt lazily after a snapshot
+/// load (it is deliberately not serialized).
+#[derive(Clone, Debug, Default)]
+pub struct NamePool {
+    names: BTreeSet<Arc<str>>,
+}
+
+impl NamePool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        NamePool::default()
+    }
+
+    /// Returns the shared handle for `name`, allocating only on first sight.
+    pub fn intern(&mut self, name: &str) -> Arc<str> {
+        if let Some(existing) = self.names.get(name) {
+            return Arc::clone(existing);
+        }
+        let shared: Arc<str> = Arc::from(name);
+        self.names.insert(Arc::clone(&shared));
+        shared
+    }
+
+    /// Number of distinct names interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_interns_share_one_allocation() {
+        let mut pool = NamePool::new();
+        let a = pool.intern("alice");
+        let b = pool.intern("alice");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_stay_distinct() {
+        let mut pool = NamePool::new();
+        let a = pool.intern("alice");
+        let b = pool.intern("bob");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(&*a, "alice");
+        assert_eq!(&*b, "bob");
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+        assert!(NamePool::new().is_empty());
+    }
+}

@@ -53,6 +53,7 @@ pub mod discovery;
 pub mod error;
 pub mod groups;
 pub mod interest;
+pub mod intern;
 pub mod message;
 pub mod node;
 pub mod profile;

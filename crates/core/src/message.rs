@@ -7,16 +7,18 @@
 
 use codec::{decode_seq, encode_seq, DecodeError, Wire};
 use std::fmt;
+use std::sync::Arc;
 
 use netsim::SimTime;
 
 /// One mail message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MailMessage {
-    /// Sender member name.
-    pub from: String,
-    /// Receiver member name.
-    pub to: String,
+    /// Sender member name (interned — the same correspondents recur across
+    /// a mailbox, so entries share one allocation per name).
+    pub from: Arc<str>,
+    /// Receiver member name (interned like `from`).
+    pub to: Arc<str>,
     /// Subject line.
     pub subject: String,
     /// Body text.
@@ -86,8 +88,8 @@ impl Wire for MailMessage {
 
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         Ok(MailMessage {
-            from: String::decode(input)?,
-            to: String::decode(input)?,
+            from: Arc::<str>::decode(input)?,
+            to: Arc::<str>::decode(input)?,
             subject: String::decode(input)?,
             body: String::decode(input)?,
             at: SimTime::decode(input)?,
@@ -130,8 +132,8 @@ mod tests {
         mb.record_sent(msg("me", "bob"));
         assert_eq!(mb.inbox().len(), 1);
         assert_eq!(mb.sent().len(), 1);
-        assert_eq!(mb.inbox()[0].from, "alice");
-        assert_eq!(mb.sent()[0].to, "bob");
+        assert_eq!(&*mb.inbox()[0].from, "alice");
+        assert_eq!(&*mb.sent()[0].to, "bob");
         assert_eq!(mb.unread_count(), 1);
     }
 

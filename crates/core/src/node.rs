@@ -115,7 +115,7 @@ pub enum OpResult {
         written: bool,
     },
     /// `fetch_content`: the item bytes, or `None` when refused/missing.
-    Content(Option<(String, Vec<u8>)>),
+    Content(Option<(String, codec::Bytes)>),
     /// The operation failed before any network exchange.
     Failed(CommunityError),
 }
@@ -224,7 +224,7 @@ struct OpAcc {
     profile: Option<ProfileView>,
     trusted: Option<Vec<String>>,
     listing: Option<Vec<ContentInfo>>,
-    content: Option<(String, Vec<u8>)>,
+    content: Option<(String, codec::Bytes)>,
     written: bool,
     not_trusted: bool,
 }

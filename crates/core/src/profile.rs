@@ -9,6 +9,7 @@
 use codec::{decode_seq, encode_seq, DecodeError, Wire};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use netsim::SimTime;
 
@@ -17,8 +18,9 @@ use crate::interest::{Interest, InterestSet};
 /// A comment another member left on a profile.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Comment {
-    /// The commenting member's name.
-    pub author: String,
+    /// The commenting member's name. Shared (`Arc<str>`) because the same
+    /// few authors recur across many comments; the server interns these.
+    pub author: Arc<str>,
     /// The comment text.
     pub text: String,
     /// When it was written (server clock).
@@ -34,8 +36,9 @@ impl fmt::Display for Comment {
 /// A record of someone viewing this profile.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Visit {
-    /// The visiting member's name.
-    pub visitor: String,
+    /// The visiting member's name. Shared (`Arc<str>`) — visitor logs are
+    /// dominated by repeat visitors, so entries share one allocation.
+    pub visitor: Arc<str>,
     /// When they viewed the profile.
     pub at: SimTime,
 }
@@ -86,7 +89,12 @@ impl Profile {
 
     /// Appends a comment (called by the server for
     /// `PS_ADDPROFILECOMMENT`).
-    pub fn add_comment(&mut self, author: impl Into<String>, text: impl Into<String>, at: SimTime) {
+    pub fn add_comment(
+        &mut self,
+        author: impl Into<Arc<str>>,
+        text: impl Into<String>,
+        at: SimTime,
+    ) {
         self.comments.push(Comment {
             author: author.into(),
             text: text.into(),
@@ -96,7 +104,7 @@ impl Profile {
 
     /// Records a profile view (called by the server for `PS_GETPROFILE`;
     /// Figure 13's "write profile visitor" step).
-    pub fn record_visit(&mut self, visitor: impl Into<String>, at: SimTime) {
+    pub fn record_visit(&mut self, visitor: impl Into<Arc<str>>, at: SimTime) {
         self.visitors.push(Visit {
             visitor: visitor.into(),
             at,
@@ -132,7 +140,7 @@ impl Wire for Comment {
 
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         Ok(Comment {
-            author: String::decode(input)?,
+            author: Arc::<str>::decode(input)?,
             text: String::decode(input)?,
             at: SimTime::decode(input)?,
         })
@@ -147,7 +155,7 @@ impl Wire for Visit {
 
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         Ok(Visit {
-            visitor: String::decode(input)?,
+            visitor: Arc::<str>::decode(input)?,
             at: SimTime::decode(input)?,
         })
     }
@@ -223,7 +231,7 @@ mod tests {
     fn visits_are_recorded() {
         let mut p = Profile::new("x");
         p.record_visit("carol", SimTime::from_secs(5));
-        assert_eq!(p.visitors[0].visitor, "carol");
+        assert_eq!(&*p.visitors[0].visitor, "carol");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! `#[non_exhaustive]` enums leave room to add messages under a bumped
 //! version.
 
-use codec::{decode_seq, encode_seq, DecodeError, Wire};
+use codec::{decode_seq, encode_seq, Bytes, DecodeError, Wire};
 
 use crate::content::ContentInfo;
 use crate::error::CommunityError;
@@ -175,8 +175,9 @@ pub enum Response {
     Content {
         /// Item name.
         name: String,
-        /// Item bytes.
-        data: Vec<u8>,
+        /// Item bytes — a shared buffer, so building this response from the
+        /// content store does not copy the payload.
+        data: Bytes,
     },
     /// A server-side error description.
     Error(String),
@@ -448,7 +449,7 @@ impl Wire for Response {
             op::TRUSTED => Response::Trusted,
             op::CONTENT => Response::Content {
                 name: String::decode(input)?,
-                data: Vec::<u8>::decode(input)?,
+                data: Bytes::decode(input)?,
             },
             op::ERROR => Response::Error(String::decode(input)?),
             tag => {
@@ -559,7 +560,7 @@ mod tests {
             Response::Trusted,
             Response::Content {
                 name: "song.mp3".into(),
-                data: vec![0, 1, 2, 255],
+                data: vec![0, 1, 2, 255].into(),
             },
             Response::Error("boom".into()),
         ]
@@ -674,11 +675,11 @@ mod tests {
     fn encoded_size_reflects_payload() {
         let small = Response::Content {
             name: "a".into(),
-            data: vec![0; 10],
+            data: vec![0; 10].into(),
         };
         let big = Response::Content {
             name: "a".into(),
-            data: vec![0; 10_000],
+            data: vec![0; 10_000].into(),
         };
         assert!(big.encode().len() > small.encode().len() + 9_000);
     }

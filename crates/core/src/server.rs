@@ -93,10 +93,13 @@ pub fn try_handle_request(
             if *member != active {
                 return Ok(Response::NoMembersYet);
             }
+            // Intern before borrowing the account: repeat requesters cost a
+            // refcount bump, not a fresh allocation per visit.
+            let requester = store.intern_name(requester);
             let account = store
                 .active_account_mut()
                 .ok_or(CommunityError::NoActiveAccount)?;
-            account.profile_mut().record_visit(requester.clone(), now);
+            account.profile_mut().record_visit(requester, now);
             Response::Profile(account.profile_view())
         }
         Request::AddProfileComment {
@@ -107,12 +110,13 @@ pub fn try_handle_request(
             if *member != active {
                 return Ok(Response::NoMembersYet);
             }
+            let author = store.intern_name(author);
             let account = store
                 .active_account_mut()
                 .ok_or(CommunityError::NoActiveAccount)?;
             account
                 .profile_mut()
-                .add_comment(author.clone(), comment.clone(), now);
+                .add_comment(author, comment.clone(), now);
             Response::CommentWritten
         }
         Request::CheckMemberId { member } => Response::CheckMemberResult(*member == active),
@@ -125,12 +129,14 @@ pub fn try_handle_request(
             if *to != active {
                 return Ok(Response::MessageFailed);
             }
+            let from = store.intern_name(from);
+            let to = store.intern_name(to);
             let account = store
                 .active_account_mut()
                 .ok_or(CommunityError::NoActiveAccount)?;
             account.mailbox.deliver(crate::message::MailMessage {
-                from: from.clone(),
-                to: to.clone(),
+                from,
+                to,
                 subject: subject.clone(),
                 body: body.clone(),
                 at: now,
@@ -186,9 +192,10 @@ pub fn try_handle_request(
                 return Ok(Response::NotTrustedYet);
             }
             match account.shared.fetch(name) {
+                // `Bytes::clone` shares the payload: no copy per fetch.
                 Some(data) => Response::Content {
                     name: name.clone(),
-                    data: data.to_vec(),
+                    data: data.clone(),
                 },
                 None => Response::Error(format!("no shared item named {name:?}")),
             }
@@ -297,7 +304,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(
-            s.active_account().unwrap().profile().visitors[0].visitor,
+            &*s.active_account().unwrap().profile().visitors[0].visitor,
             "alice"
         );
         // Foreign member id: NO_MEMBERS_YET, no visit recorded.
@@ -341,7 +348,7 @@ mod tests {
         );
         let comments = &s.active_account().unwrap().profile().comments;
         assert_eq!(comments.len(), 1);
-        assert_eq!(comments[0].author, "alice");
+        assert_eq!(&*comments[0].author, "alice");
     }
 
     #[test]
@@ -465,7 +472,7 @@ mod tests {
             resp,
             Response::Content {
                 name: "a.txt".into(),
-                data: vec![9, 9]
+                data: vec![9, 9].into()
             }
         );
         // Missing item -> error.

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use crate::content::ContentStore;
 use crate::error::CommunityError;
+use crate::intern::NamePool;
 use crate::message::Mailbox;
 use crate::profile::{Profile, ProfileView};
 
@@ -93,10 +94,19 @@ impl Account {
 }
 
 /// All accounts on one device, plus the login session.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct MemberStore {
     accounts: BTreeMap<String, Account>,
     active: Option<String>,
+    /// Interned member names for the dispatch hot path. A cache, not data:
+    /// excluded from equality and from snapshots, rebuilt lazily.
+    names: NamePool,
+}
+
+impl PartialEq for MemberStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.accounts == other.accounts && self.active == other.active
+    }
 }
 
 impl MemberStore {
@@ -179,6 +189,12 @@ impl MemberStore {
     /// Returns [`CommunityError::NotLoggedIn`] when nobody is logged in.
     pub fn require_active(&mut self) -> Result<&mut Account, CommunityError> {
         self.active_account_mut().ok_or(CommunityError::NotLoggedIn)
+    }
+
+    /// Returns the shared handle for a member name, allocating only the
+    /// first time the name is seen (server dispatch hot path).
+    pub fn intern_name(&mut self, name: &str) -> std::sync::Arc<str> {
+        self.names.intern(name)
     }
 
     /// Looks up an account by username (local administration).
@@ -308,7 +324,11 @@ impl Wire for MemberStore {
                 });
             }
         }
-        Ok(MemberStore { accounts, active })
+        Ok(MemberStore {
+            accounts,
+            active,
+            names: NamePool::new(),
+        })
     }
 }
 

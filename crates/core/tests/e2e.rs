@@ -134,7 +134,7 @@ fn profile_view_logs_visitor_and_comment_is_written() {
         .unwrap()
         .profile()
         .visitors;
-    assert_eq!(visitors[0].visitor, "alice");
+    assert_eq!(&*visitors[0].visitor, "alice");
 
     // Figure 14: alice comments on bob's profile.
     let op = c.with_app(n[0], |app, ctx| app.put_comment("bob", "hi bob!", ctx));
@@ -151,7 +151,7 @@ fn profile_view_logs_visitor_and_comment_is_written() {
         .profile()
         .comments;
     assert_eq!(comments.len(), 1);
-    assert_eq!(comments[0].author, "alice");
+    assert_eq!(&*comments[0].author, "alice");
     assert_eq!(comments[0].text, "hi bob!");
 
     // Viewing a nonexistent member: everyone answers NO_MEMBERS_YET.
@@ -239,7 +239,7 @@ fn messages_reach_the_inbox() {
         .inbox()
         .to_vec();
     assert_eq!(inbox.len(), 1);
-    assert_eq!(inbox[0].from, "alice");
+    assert_eq!(&*inbox[0].from, "alice");
     assert_eq!(inbox[0].subject, "pub tonight?");
 
     // Messaging an unknown member fails fast.
@@ -450,7 +450,7 @@ fn convenience_accessors_reflect_session_state() {
     });
     c.run_until(SimTime::from_secs(50));
     let bob = c.app(n[1]);
-    assert_eq!(bob.my_visitors()[0].visitor, "alice");
+    assert_eq!(&*bob.my_visitors()[0].visitor, "alice");
     assert_eq!(bob.my_comments()[0].text, "moi");
     assert_eq!(bob.inbox()[0].subject, "subj");
 }

@@ -83,7 +83,18 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             let horizon = flag_value(&args, "--horizon").unwrap_or(60);
-            run_crowd(&sizes, horizon, seed, args.iter().any(|a| a == "--json"));
+            let threads = flag_value(&args, "--threads").unwrap_or(1) as usize;
+            let ok = run_crowd(
+                &sizes,
+                horizon,
+                seed,
+                threads,
+                args.iter().any(|a| a == "--json"),
+                args.iter().any(|a| a == "--selfcheck"),
+            );
+            if !ok {
+                return ExitCode::FAILURE;
+            }
         }
         "ablation-tech" => run_ablation_tech(trials.min(20), seed),
         "ablation-scaling" => run_ablation_scaling(seed),
@@ -237,23 +248,64 @@ fn run_ablation_churn(seed: u64) {
     println!("{}", ablations::render_churn(&rows));
 }
 
-fn run_crowd(sizes: &[usize], horizon_secs: u64, seed: u64, json: bool) {
+fn run_crowd(
+    sizes: &[usize],
+    horizon_secs: u64,
+    seed: u64,
+    threads: usize,
+    json: bool,
+    selfcheck: bool,
+) -> bool {
     use std::sync::atomic::Ordering;
 
     let base = crowd::CrowdConfig {
         seed,
         horizon: std::time::Duration::from_secs(horizon_secs),
+        threads,
         ..crowd::CrowdConfig::default()
     };
     let reports = crowd::sweep(&base, sizes);
+
+    // Serial-vs-parallel self-check: rerun each size with the epoch engine
+    // disabled and require byte-identical trace digests. A serial run
+    // checked against itself is trivially fine; the flag matters with
+    // `--threads 0|>=2`, where it proves the fork/join merge is a pure
+    // performance transform.
+    let mut selfcheck_ok = true;
+    let mut selfcheck_lines = Vec::new();
+    if selfcheck {
+        let serial_base = crowd::CrowdConfig {
+            threads: 1,
+            compare_naive: false,
+            ..base.clone()
+        };
+        for report in &reports {
+            let serial = crowd::run(&crowd::CrowdConfig {
+                nodes: report.nodes,
+                ..serial_base.clone()
+            });
+            let ok = serial.digest == report.digest && serial.stats == report.stats;
+            selfcheck_ok &= ok;
+            selfcheck_lines.push(format!(
+                "selfcheck nodes={} threads={} vs serial: {} (digest {:016x} vs {:016x})",
+                report.nodes,
+                report.threads,
+                if ok { "MATCH" } else { "MISMATCH" },
+                report.digest,
+                serial.digest,
+            ));
+        }
+    }
+
     let (burst_events, burst_allocs) =
         crowd::trace_alloc_burst(&|| counting_alloc::ALLOCS.load(Ordering::Relaxed));
     if json {
         let runs: Vec<_> = reports.iter().map(crowd::CrowdReport::to_json).collect();
-        let doc = codec::json::Json::obj()
+        let mut doc = codec::json::Json::obj()
             .field("scenario", "crowd")
             .field("seed", seed)
             .field("horizon_secs", horizon_secs)
+            .field("threads", threads)
             .field("runs", runs)
             .field(
                 "trace_alloc_burst",
@@ -265,6 +317,9 @@ fn run_crowd(sizes: &[usize], horizon_secs: u64, seed: u64, json: bool) {
                         burst_allocs as f64 / burst_events as f64,
                     ),
             );
+        if selfcheck {
+            doc = doc.field("selfcheck", if selfcheck_ok { "match" } else { "mismatch" });
+        }
         println!("{}", doc.to_string_pretty());
     } else {
         print!("{}", crowd::render(&reports));
@@ -273,7 +328,14 @@ fn run_crowd(sizes: &[usize], horizon_secs: u64, seed: u64, json: bool) {
              ({:.4}/event)",
             burst_allocs as f64 / burst_events as f64
         );
+        for line in &selfcheck_lines {
+            println!("{line}");
+        }
     }
+    if !selfcheck_ok {
+        eprintln!("crowd selfcheck FAILED: parallel trace digest diverged from serial");
+    }
+    selfcheck_ok
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<u64> {
@@ -318,6 +380,9 @@ fn print_help() {
            crowd               random-waypoint campus crowd; reports wall-clock,\n\
                                events/s, trace memory and group formation\n\
                                [--nodes N[,N,...]] [--horizon SECS] [--json]\n\
+                               [--threads N]   epoch-engine workers (1 = serial,\n\
+                                               0 = auto); digests are identical\n\
+                               [--selfcheck]   rerun serially, fail on digest drift\n\
          \n\
            all                 everything above (crowd excluded; run it directly)"
     );

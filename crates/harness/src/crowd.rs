@@ -59,6 +59,10 @@ pub struct CrowdConfig {
     /// Whether to also time the naive all-pairs neighbor queries (and
     /// cross-check the grid against them).
     pub compare_naive: bool,
+    /// Worker count for the parallel epoch engine: `1` = serial, `0` =
+    /// auto (one worker per hardware thread). Any value produces a
+    /// bit-identical trace digest; see [`Cluster::set_threads`].
+    pub threads: usize,
 }
 
 impl Default for CrowdConfig {
@@ -73,6 +77,7 @@ impl Default for CrowdConfig {
             trace_capacity: 16_384,
             wlan_every: 8,
             compare_naive: true,
+            threads: 1,
         }
     }
 }
@@ -112,6 +117,8 @@ pub struct CrowdReport {
     pub nodes: usize,
     /// Seed the run used.
     pub seed: u64,
+    /// Epoch-engine worker count the run used (1 = serial, 0 = auto).
+    pub threads: usize,
     /// Virtual duration, seconds.
     pub virtual_secs: f64,
     /// Wall-clock cost of the simulation, milliseconds.
@@ -164,6 +171,7 @@ impl CrowdReport {
         Json::obj()
             .field("nodes", self.nodes)
             .field("seed", self.seed)
+            .field("threads", self.threads)
             .field("virtual_secs", self.virtual_secs)
             .field("wall_ms", self.wall_ms)
             .field("events", self.events)
@@ -258,6 +266,7 @@ pub fn build(config: &CrowdConfig) -> CrowdScenario {
         );
     }
     cluster.set_trace_capacity(config.trace_capacity);
+    cluster.set_threads(config.threads);
     cluster.start();
     CrowdScenario { cluster, interests }
 }
@@ -352,6 +361,7 @@ pub fn run(config: &CrowdConfig) -> CrowdReport {
     CrowdReport {
         nodes: config.nodes,
         seed: config.seed,
+        threads: config.threads,
         virtual_secs: config.horizon.as_secs_f64(),
         wall_ms,
         events,
@@ -487,6 +497,44 @@ mod tests {
             (a.appeared, a.disappeared, a.groups_observed),
             (b.appeared, b.disappeared, b.groups_observed)
         );
+    }
+
+    /// Tentpole acceptance: the parallel epoch engine must be a pure
+    /// performance transform. For every seed and crowd size the trace
+    /// digest, counters, and app-observed event totals of a `--threads 4`
+    /// run are byte-identical to the serial run. Horizons shrink as `N`
+    /// grows to keep the cross product affordable in debug builds.
+    #[test]
+    fn serial_and_parallel_digests_match() {
+        for &seed in &[2008u64, 7, 42] {
+            for &(nodes, secs) in &[(30usize, 60u64), (300, 15), (1000, 4)] {
+                let base = CrowdConfig {
+                    seed,
+                    nodes,
+                    horizon: Duration::from_secs(secs),
+                    compare_naive: false,
+                    ..CrowdConfig::default()
+                };
+                let serial = run(&base);
+                for threads in [4, 0] {
+                    let par = run(&CrowdConfig {
+                        threads,
+                        ..base.clone()
+                    });
+                    assert_eq!(
+                        format!("{:016x}", serial.digest),
+                        format!("{:016x}", par.digest),
+                        "digest diverged: seed={seed} nodes={nodes} threads={threads}"
+                    );
+                    assert_eq!(serial.stats, par.stats, "seed={seed} nodes={nodes}");
+                    assert_eq!(
+                        (serial.events, serial.appeared, serial.disappeared),
+                        (par.events, par.appeared, par.disappeared),
+                        "seed={seed} nodes={nodes} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -369,7 +369,7 @@ pub fn table6() -> Vec<Check> {
                 name: "song.mp3".into(),
             },
             "transmits the bytes of one shared item to trusted requesters",
-            |r| matches!(r, Response::Content { data, .. } if data == &[1, 2, 3]),
+            |r| matches!(r, Response::Content { data, .. } if data.as_slice() == [1, 2, 3]),
         ),
     ];
 

@@ -4,12 +4,19 @@
 //! insertion order (a monotonically increasing sequence number), so two runs
 //! that schedule the same events in the same order always execute them in the
 //! same order — the foundation of reproducible experiments.
+//!
+//! Since the parallel-epoch work the queue is backed by a
+//! [hierarchical timing wheel](crate::wheel) instead of a global
+//! `BinaryHeap`: scheduling and popping near-horizon events is O(1)
+//! amortized, far-future timers overflow to a heap, and the pop stream is
+//! bit-identical to the old heap implementation (same `(at, seq)`
+//! tie-break, enforced by differential property tests).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::time::Duration;
 
 use crate::time::SimTime;
+pub use crate::wheel::TimerToken;
+use crate::wheel::TimerWheel;
 
 /// A time-ordered queue of simulation events.
 ///
@@ -35,48 +42,31 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    seq: u64,
+    wheel: TimerWheel<E>,
     now: SimTime,
 }
-
-#[derive(Debug)]
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-// Manual Ord: a max-heap made into a min-heap by reversing the comparison.
-// Only `(at, seq)` participate, so `E` needs no bounds.
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
+            wheel: TimerWheel::new(),
             now: SimTime::ZERO,
         }
+    }
+
+    /// Creates an empty queue sized for roughly `capacity` in-flight
+    /// events, avoiding reallocation churn while the schedule grows.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            wheel: TimerWheel::with_capacity(capacity),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Reserves space for at least `additional` more in-flight events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.wheel.reserve(additional);
     }
 
     /// The current virtual time: the timestamp of the most recently popped
@@ -96,9 +86,7 @@ impl<E> EventQueue<E> {
             "cannot schedule event in the past: at={at:?} now={:?}",
             self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.wheel.schedule(at, event);
     }
 
     /// Schedules `event` to fire `delay` after the current time.
@@ -106,33 +94,93 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
+    /// Like [`EventQueue::schedule`], but returns a token that
+    /// [`EventQueue::cancel`] accepts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`EventQueue::now`].
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> TimerToken {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        self.wheel.schedule_cancellable(at, event)
+    }
+
+    /// Cancels a pending event scheduled with
+    /// [`EventQueue::schedule_cancellable`]. Returns `true` if the event
+    /// was still pending, `false` if it already fired or was already
+    /// cancelled.
+    pub fn cancel(&mut self, token: TimerToken) -> bool {
+        self.wheel.cancel(token)
+    }
+
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is empty (the clock is left
     /// where it was).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        self.now = entry.at;
-        Some((entry.at, entry.event))
+        let (at, event) = self.wheel.pop()?;
+        self.now = at;
+        Some((at, event))
     }
 
     /// The timestamp of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+    ///
+    /// Takes `&mut self` because the wheel may rotate slots into its ready
+    /// heap; the observable pop stream is unaffected.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.wheel.peek()
+    }
+
+    /// Pops every event due at or before `deadline` into `out`, in exact
+    /// pop order, reusing `out`'s capacity (no per-event allocation). The
+    /// clock advances to the last popped event's timestamp. Returns the
+    /// number of events drained.
+    ///
+    /// Events come out grouped by timestamp (the stream is time-ordered),
+    /// so callers batching per-timestamp work can scan `out` for runs of
+    /// equal [`SimTime`].
+    pub fn drain_until(&mut self, deadline: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let before = out.len();
+        while self.peek_time().is_some_and(|t| t <= deadline) {
+            out.push(self.pop().expect("peeked"));
+        }
+        out.len() - before
+    }
+
+    /// Pops the entire batch of events sharing the earliest pending
+    /// timestamp, provided it is at or before `deadline`, into `out`
+    /// (cleared first, capacity reused). Returns that timestamp, or `None`
+    /// if nothing is due.
+    ///
+    /// Events scheduled *at the returned timestamp* while the caller
+    /// processes the batch land in a later batch at the same timestamp —
+    /// exactly the order a pop-one-at-a-time loop would produce, since
+    /// their sequence numbers are larger.
+    pub fn drain_batch(&mut self, deadline: SimTime, out: &mut Vec<E>) -> Option<SimTime> {
+        out.clear();
+        let t = self.peek_time().filter(|&t| t <= deadline)?;
+        while self.peek_time() == Some(t) {
+            out.push(self.pop().expect("peeked").1);
+        }
+        Some(t)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
     }
 
     /// Drops all pending events without touching the clock.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.wheel.clear();
     }
 
     /// Advances the clock to `t` without popping anything.
@@ -253,5 +301,60 @@ mod tests {
         q.schedule(SimTime::from_secs(7), ());
         q.schedule(SimTime::from_secs(3), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn cancel_skips_event_and_reports_liveness() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 'a');
+        let tok = q.schedule_cancellable(SimTime::from_secs(2), 'b');
+        q.schedule(SimTime::from_secs(3), 'c');
+        assert!(q.cancel(tok));
+        assert!(!q.cancel(tok));
+        assert_eq!(q.len(), 2);
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'c']);
+    }
+
+    #[test]
+    fn drain_until_pops_everything_due() {
+        let mut q = EventQueue::new();
+        for i in 0..6u32 {
+            q.schedule(SimTime::from_secs(u64::from(i)), i);
+        }
+        let mut out = Vec::new();
+        let n = q.drain_until(SimTime::from_secs(3), &mut out);
+        assert_eq!(n, 4);
+        assert_eq!(
+            out.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            (0..4).map(SimTime::from_secs).collect::<Vec<_>>()
+        );
+        assert_eq!(q.now(), SimTime::from_secs(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_batch_groups_one_timestamp() {
+        let mut q = EventQueue::new();
+        let t1 = SimTime::from_secs(1);
+        let t2 = SimTime::from_secs(2);
+        q.schedule(t1, 'a');
+        q.schedule(t2, 'x');
+        q.schedule(t1, 'b');
+        let mut batch = Vec::new();
+        assert_eq!(q.drain_batch(SimTime::from_secs(9), &mut batch), Some(t1));
+        assert_eq!(batch, vec!['a', 'b']);
+        assert_eq!(q.now(), t1);
+        // An event scheduled at the drained timestamp lands in the next
+        // batch at the same timestamp, preserving serial pop order.
+        q.schedule(t1, 'c');
+        assert_eq!(q.drain_batch(SimTime::from_secs(9), &mut batch), Some(t1));
+        assert_eq!(batch, vec!['c']);
+        assert_eq!(q.drain_batch(SimTime::from_secs(9), &mut batch), Some(t2));
+        assert_eq!(batch, vec!['x']);
+        // Past the deadline: nothing drains.
+        q.schedule(SimTime::from_secs(10), 'z');
+        assert_eq!(q.drain_batch(SimTime::from_secs(9), &mut batch), None);
+        assert!(batch.is_empty());
     }
 }

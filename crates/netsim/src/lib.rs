@@ -38,16 +38,19 @@
 pub mod event;
 pub mod geometry;
 pub mod mobility;
+pub mod par;
 pub mod radio;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 pub mod world;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, TimerToken};
 pub use radio::{Technology, TechnologyProfile};
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{ActorId, LabelId, Trace, TraceEvent, TraceStats};
+pub use wheel::TimerWheel;
 pub use world::{NodeBuilder, NodeId, World};

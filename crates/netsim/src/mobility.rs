@@ -28,6 +28,15 @@ use crate::time::SimTime;
 /// Implementations take `&mut self` so that stochastic models can lazily
 /// extend an internal trajectory; re-querying any earlier time must return
 /// the same answer (trajectories are append-only).
+///
+/// This purity contract is what lets the parallel epoch engine
+/// ([`World::prepare_epoch`](crate::World::prepare_epoch)) sample node
+/// positions from worker threads: each node's model is visited by exactly
+/// one worker per epoch (`Send` suffices, no sharing), and because the
+/// answer depends only on `(seed, t)` — never on which other times were
+/// sampled before — a parallel run computes bit-identical positions to a
+/// serial one. `query_order_never_changes_positions` in this module pins
+/// the contract down for every stochastic model.
 pub trait Mobility: Debug + Send {
     /// The node's position at time `t`.
     fn position(&mut self, t: SimTime) -> Point2;
@@ -635,6 +644,78 @@ mod tests {
             passenger.position(SimTime::from_secs(5)),
             Point2::new(50.0, 2.0)
         );
+    }
+
+    #[test]
+    fn query_order_never_changes_positions() {
+        // The epoch engine's determinism rests on this: sampling extra
+        // times, or the same times in a different order, must not perturb
+        // any answer. Exercise every stochastic model with an adversarial
+        // query order (late-first, interleaved, repeated) against a
+        // fresh twin queried in ascending order.
+        let area = Rect::sized(200.0, 200.0);
+        type ModelFactory = Box<dyn Fn() -> Box<dyn Mobility>>;
+        let models: Vec<(&str, ModelFactory)> = vec![
+            (
+                "waypoint",
+                Box::new(move || {
+                    Box::new(RandomWaypoint::new(
+                        area,
+                        Point2::new(100.0, 100.0),
+                        (0.5, 2.0),
+                        (Duration::ZERO, Duration::from_secs(3)),
+                        SimRng::from_seed(21),
+                    ))
+                }),
+            ),
+            (
+                "walk",
+                Box::new(move || {
+                    Box::new(RandomWalk::new(
+                        area,
+                        Point2::new(100.0, 100.0),
+                        1.2,
+                        Duration::from_secs(2),
+                        SimRng::from_seed(22),
+                    ))
+                }),
+            ),
+            (
+                "manhattan",
+                Box::new(move || {
+                    Box::new(ManhattanGrid::new(
+                        area,
+                        Point2::new(100.0, 100.0),
+                        20.0,
+                        1.5,
+                        SimRng::from_seed(23),
+                    ))
+                }),
+            ),
+        ];
+        for (name, mk) in models {
+            let mut ordered = mk();
+            let baseline: Vec<Point2> = (0..240)
+                .map(|s| ordered.position(SimTime::from_secs(s)))
+                .collect();
+            let mut adversarial = mk();
+            // Far future first, then a descending sweep, then re-queries.
+            adversarial.position(SimTime::from_secs(239));
+            for s in (0..240).rev() {
+                assert_eq!(
+                    adversarial.position(SimTime::from_secs(s)),
+                    baseline[s as usize],
+                    "{name}: descending query diverged at {s}s"
+                );
+            }
+            for s in [0u64, 100, 239, 50, 50, 239] {
+                assert_eq!(
+                    adversarial.position(SimTime::from_secs(s)),
+                    baseline[s as usize],
+                    "{name}: re-query diverged at {s}s"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Zero-dependency fork/join helpers for the deterministic epoch engine.
+//!
+//! The simulator parallelises only *pure* per-node work (mobility position
+//! sampling, grid neighbor queries) inside a timestamp batch, then merges
+//! the results **in node-id order** before any state mutation or trace
+//! record happens. These helpers encode that discipline:
+//!
+//! * work is split into contiguous index chunks, one scoped worker per
+//!   chunk ([`std::thread::scope`] — no `unsafe`, no external crates);
+//! * [`map_indexed`] joins workers in spawn order, so the merged output is
+//!   exactly `f(0), f(1), …, f(n-1)` regardless of which worker finished
+//!   first — the caller observes a serial-order result;
+//! * a worker count of 1 (or trivially small inputs) short-circuits to a
+//!   plain loop, so the serial and parallel code paths share one body.
+//!
+//! Determinism therefore does not depend on scheduling luck: as long as `f`
+//! itself is a pure function of its index, the output is bit-identical to
+//! a serial evaluation. The trace-digest equality tests in `ph-harness`
+//! verify this end to end.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+use std::thread;
+
+/// Number of hardware threads available to the process (at least 1).
+///
+/// Cached: `std::thread::available_parallelism` re-reads cgroup limits on
+/// every call on Linux (tens of microseconds), and the epoch engine asks
+/// once per timestamp batch — uncached, "auto" was slower than serial.
+pub fn available_threads() -> usize {
+    static AVAILABLE: OnceLock<usize> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Resolves a user-requested worker count: `0` means "auto" (use
+/// [`available_threads`]), anything else is taken literally. Oversubscribing
+/// is allowed — useful for proving digest equality on small hosts.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Minimum items handed to one worker. Scoped spawns cost tens of
+/// microseconds each, so fanning out fewer items than this per worker is
+/// a net loss; small inputs degrade gracefully toward the serial path.
+/// Worker count never changes results — only how the index range is cut.
+const MIN_ITEMS_PER_WORKER: usize = 64;
+
+/// Number of workers actually worth spawning for `n` items.
+fn worker_count(n: usize, threads: usize) -> usize {
+    effective_threads(threads)
+        .min(n.div_ceil(MIN_ITEMS_PER_WORKER))
+        .max(1)
+}
+
+/// Contiguous chunk length that spreads `n` items over `workers`.
+fn chunk_len(n: usize, workers: usize) -> usize {
+    n.div_ceil(workers.max(1)).max(1)
+}
+
+/// Applies `f(index, &mut item)` to every item, fanned across at most
+/// `threads` scoped workers (0 = auto). Chunks are contiguous, so each
+/// worker owns a disjoint index range; `f` must not depend on cross-item
+/// ordering — it runs concurrently.
+pub fn for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let workers = worker_count(items.len(), threads);
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = chunk_len(items.len(), workers);
+    thread::scope(|s| {
+        for (ci, chunk_items) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = ci * chunk;
+                for (j, item) in chunk_items.iter_mut().enumerate() {
+                    f(base + j, item);
+                }
+            });
+        }
+    });
+}
+
+/// Applies `f(index, &mut a[index], &mut b[index])` over two equal-length
+/// slices, fanned across at most `threads` scoped workers (0 = auto) in
+/// contiguous chunks. Used to write per-item results (`b`) computed from
+/// per-item state (`a`) without sharing either slice between workers.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn zip_for_each_mut<T, U, F>(a: &mut [T], b: &mut [U], threads: usize, f: F)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T, &mut U) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zip_for_each_mut: length mismatch");
+    let workers = worker_count(a.len(), threads);
+    if workers <= 1 {
+        for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+            f(i, x, y);
+        }
+        return;
+    }
+    let chunk = chunk_len(a.len(), workers);
+    thread::scope(|s| {
+        for (ci, (ca, cb)) in a.chunks_mut(chunk).zip(b.chunks_mut(chunk)).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                let base = ci * chunk;
+                for (j, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    f(base + j, x, y);
+                }
+            });
+        }
+    });
+}
+
+/// Evaluates `f(0), …, f(n-1)` across at most `threads` scoped workers
+/// (0 = auto) and returns the results **in index order** — workers are
+/// joined in spawn order, so the merge is deterministic even though the
+/// evaluation is not.
+pub fn map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_count(n, threads);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = chunk_len(n, workers);
+    let mut out = Vec::with_capacity(n);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                let f = &f;
+                s.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("epoch worker panicked"));
+        }
+    });
+    out
+}
+
+/// Like [`map_indexed`], but each worker first builds private scratch
+/// state with `init` and threads it through its chunk — the pattern for
+/// queries that reuse a gather buffer without allocating per item. Results
+/// are still merged in index order.
+pub fn map_indexed_with<S, R, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let workers = worker_count(n, threads);
+    if workers <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    let chunk = chunk_len(n, workers);
+    let mut out = Vec::with_capacity(n);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                let (init, f) = (&init, &f);
+                s.spawn(move || {
+                    let mut state = init();
+                    (start..end).map(|i| f(&mut state, i)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("epoch worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_indexed_matches_serial_for_any_thread_count() {
+        let serial: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [0, 1, 2, 3, 4, 7, 16, 200] {
+            assert_eq!(
+                map_indexed(97, threads, |i| i * i),
+                serial,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let calls = AtomicUsize::new(0);
+        let mut items: Vec<u64> = vec![0; 1003];
+        for_each_mut(&mut items, 4, |i, item| {
+            *item = i as u64 + 1;
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1003);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn zip_for_each_mut_pairs_indices() {
+        let mut state: Vec<u64> = (0..501).collect();
+        let mut out: Vec<u64> = vec![0; 501];
+        zip_for_each_mut(&mut state, &mut out, 5, |i, s, o| {
+            *s += 1;
+            *o = *s * 2 + i as u64;
+        });
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == (i as u64 + 1) * 2 + i as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn zip_for_each_mut_rejects_uneven_slices() {
+        let mut a = [1u8; 3];
+        let mut b = [1u8; 4];
+        zip_for_each_mut(&mut a, &mut b, 2, |_, _, _| {});
+    }
+
+    #[test]
+    fn map_indexed_with_reuses_worker_scratch() {
+        // The scratch must be private per worker: a shared one would race.
+        let got = map_indexed_with(200, 4, Vec::new, |scratch: &mut Vec<usize>, i| {
+            scratch.push(i);
+            scratch.len()
+        });
+        // Each worker's scratch grows from 1 within its contiguous chunk.
+        assert_eq!(got[0], 1);
+        assert!(got.windows(2).all(|w| w[1] == w[0] + 1 || w[1] == 1));
+        let serial = map_indexed_with(200, 1, Vec::new, |s: &mut Vec<usize>, i| {
+            s.push(i);
+            i
+        });
+        assert_eq!(serial, (0..200).collect::<Vec<_>>());
+    }
+}

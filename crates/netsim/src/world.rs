@@ -166,7 +166,17 @@ pub struct World {
     /// Node indices carrying each technology, in [`Technology::ALL`] order;
     /// ascending by construction. Serves infinite-range (GPRS) queries.
     tech_members: [Vec<u32>; 3],
+    /// Per-node radio bitmask (bit = [`tech_slot`]); lets range queries and
+    /// the lock-free [`EpochView`] test technologies without touching the
+    /// (non-`Sync`) mobility boxes.
+    tech_mask: Vec<u8>,
     index: SpatialIndex,
+    /// Times covered by [`World::prefetch_epochs`]; column `k` of every
+    /// `prefetch_rows` entry holds the node's position at `prefetch_times[k]`.
+    prefetch_times: Vec<SimTime>,
+    /// Per-node prefetched positions (one row per node, reused between
+    /// prefetch rounds so the steady state allocates nothing).
+    prefetch_rows: Vec<Vec<Point2>>,
 }
 
 fn tech_slot(tech: Technology) -> usize {
@@ -175,6 +185,10 @@ fn tech_slot(tech: Technology) -> usize {
         Technology::Wlan => 1,
         Technology::Gprs => 2,
     }
+}
+
+fn tech_bit(tech: Technology) -> u8 {
+    1 << tech_slot(tech)
 }
 
 impl World {
@@ -186,9 +200,12 @@ impl World {
     /// Adds a node, returning its identifier.
     pub fn add_node(&mut self, builder: NodeBuilder) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        let mut mask = 0u8;
         for &tech in &builder.technologies {
             self.tech_members[tech_slot(tech)].push(id.0);
+            mask |= tech_bit(tech);
         }
+        self.tech_mask.push(mask);
         self.nodes.push(WorldNode {
             name: builder.name,
             mobility: builder.mobility,
@@ -196,6 +213,7 @@ impl World {
         });
         // Positions cached for the previous population are stale.
         self.index.epoch = None;
+        self.prefetch_times.clear();
         id
     }
 
@@ -230,7 +248,7 @@ impl World {
 
     /// Whether the node carries a radio for `tech`.
     pub fn has_technology(&self, id: NodeId, tech: Technology) -> bool {
-        self.nodes[id.index()].technologies.contains(&tech)
+        self.tech_mask[id.index()] & tech_bit(tech) != 0
     }
 
     /// Samples every node's position at `t` and rebuilds the grid, unless
@@ -238,25 +256,123 @@ impl World {
     /// once per time-step" guarantee: any number of range queries at the
     /// same `t` share one mobility evaluation per node.
     fn ensure_epoch(&mut self, t: SimTime) {
+        self.prepare_epoch(t, 1);
+    }
+
+    /// Like the serial epoch build, but fans the mobility sampling — the
+    /// O(N) part — across `threads` scoped workers (0 = auto). Positions
+    /// are pure functions of `(seed, t)` (the [`Mobility`] contract), and
+    /// each model is visited by exactly one worker, so the resulting cache
+    /// is bit-identical to a serial build; the grid bucketing stays serial
+    /// in node-id order. No-op when the cache is already valid for `t`.
+    pub fn prepare_epoch(&mut self, t: SimTime, threads: usize) {
         if self.index.epoch == Some(t) {
             return;
         }
+        let n = self.nodes.len();
         self.index.positions.clear();
-        self.index.positions.reserve(self.nodes.len());
+        self.index.positions.resize(n, Point2::ORIGIN);
+        if let Some(k) = self.prefetch_times.iter().position(|&pt| pt == t) {
+            // Column `k` was sampled ahead of time by `prefetch_epochs`;
+            // gathering it is O(N) copies, no mobility evaluation at all.
+            for (slot, row) in self.index.positions.iter_mut().zip(&self.prefetch_rows) {
+                *slot = row[k];
+            }
+        } else {
+            crate::par::zip_for_each_mut(
+                &mut self.nodes,
+                &mut self.index.positions,
+                threads,
+                |_, node, slot| *slot = node.mobility.position(t),
+            );
+        }
         for cells in self.index.cells.values_mut() {
             cells.clear();
         }
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            let p = node.mobility.position(t);
-            self.index.positions.push(p);
+        for (i, p) in self.index.positions.iter().enumerate() {
             self.index
                 .cells
-                .entry(cell_of(p))
+                .entry(cell_of(*p))
                 .or_default()
                 .push(i as u32);
         }
         self.index.cells.retain(|_, v| !v.is_empty());
         self.index.epoch = Some(t);
+    }
+
+    /// Samples every node's position at each of `times` in one fork/join
+    /// pass, fanned across `threads` scoped workers (0 = auto). Each worker
+    /// owns a contiguous node range and walks it through *all* the times,
+    /// so one spawn round is amortized over `times.len()` future epochs —
+    /// the piece that makes the parallel engine profitable even though a
+    /// single epoch's sampling is microseconds of work.
+    ///
+    /// [`World::prepare_epoch`] consumes the snapshot columns by simple
+    /// gather. Positions are pure functions of `(seed, t)` (the
+    /// [`Mobility`](crate::mobility::Mobility) contract), so prefetching a
+    /// time that is never queried — or re-sampling one that is — cannot
+    /// change any observable result. Adding a node invalidates the
+    /// prefetched columns.
+    pub fn prefetch_epochs(&mut self, times: &[SimTime], threads: usize) {
+        self.prefetch_rows.resize_with(self.nodes.len(), Vec::new);
+        crate::par::zip_for_each_mut(
+            &mut self.nodes,
+            &mut self.prefetch_rows,
+            threads,
+            |_, node, row| {
+                row.clear();
+                row.extend(times.iter().map(|&pt| node.mobility.position(pt)));
+            },
+        );
+        self.prefetch_times.clear();
+        self.prefetch_times.extend_from_slice(times);
+    }
+
+    /// Whether a prefetched position snapshot for `t` is available (see
+    /// [`World::prefetch_epochs`]).
+    pub fn has_prefetched(&self, t: SimTime) -> bool {
+        self.prefetch_times.contains(&t)
+    }
+
+    /// Whether the prefetch window is behind `t` (no column at or after
+    /// `t`), i.e. a new [`World::prefetch_epochs`] round is due. Callers
+    /// treat a *miss inside* a still-live window (an epoch time that was
+    /// scheduled after the window was sampled) as a cheap serial sample
+    /// instead of discarding the window.
+    pub fn prefetch_exhausted(&self, t: SimTime) -> bool {
+        self.prefetch_times.last().is_none_or(|&last| last < t)
+    }
+
+    /// A read-only, `Sync` view of the epoch cache for time `t`, building
+    /// it first (with `threads` workers) if stale. The view answers
+    /// neighbor queries without touching the mobility models, so many
+    /// queries can run concurrently against one epoch.
+    pub fn epoch_view(&mut self, t: SimTime, threads: usize) -> EpochView<'_> {
+        self.prepare_epoch(t, threads);
+        EpochView {
+            positions: &self.index.positions,
+            cells: &self.index.cells,
+            tech_mask: &self.tech_mask,
+            tech_members: &self.tech_members,
+        }
+    }
+
+    /// Computes `neighbors` for every `(seeker, technology)` query at `t`,
+    /// fanning the queries across `threads` scoped workers (0 = auto) and
+    /// returning results **in query order** — the deterministic merge the
+    /// epoch engine relies on. Equivalent to mapping [`World::neighbors`]
+    /// serially (both run the same [`EpochView`] code).
+    pub fn neighbors_batch(
+        &mut self,
+        queries: &[(NodeId, Technology)],
+        t: SimTime,
+        threads: usize,
+    ) -> Vec<Vec<NodeId>> {
+        let view = self.epoch_view(t, threads);
+        crate::par::map_indexed_with(queries.len(), threads, Vec::new, |scratch, i| {
+            let (id, tech) = queries[i];
+            view.neighbors(id, tech, scratch)
+        })
     }
 
     /// The node's position at time `t`.
@@ -326,8 +442,9 @@ impl World {
         if !self.has_technology(id, tech) {
             return Vec::new();
         }
-        let profile = tech.profile();
-        if profile.range_m.is_infinite() {
+        if tech.profile().range_m.is_infinite() {
+            // Range-independent: answered from membership lists without
+            // forcing an O(N) epoch build.
             return self.tech_members[tech_slot(tech)]
                 .iter()
                 .copied()
@@ -335,20 +452,8 @@ impl World {
                 .map(NodeId)
                 .collect();
         }
-        self.ensure_epoch(t);
-        let p = self.index.positions[id.index()];
-        self.index.gather(p, profile.range_m);
-        let scratch = std::mem::take(&mut self.index.scratch);
-        let out = scratch
-            .iter()
-            .copied()
-            .filter(|&i| {
-                i != id.0
-                    && self.has_technology(NodeId(i), tech)
-                    && profile.in_range(p.distance(self.index.positions[i as usize]))
-            })
-            .map(NodeId)
-            .collect();
+        let mut scratch = std::mem::take(&mut self.index.scratch);
+        let out = self.epoch_view(t, 1).neighbors(id, tech, &mut scratch);
         self.index.scratch = scratch;
         out
     }
@@ -439,6 +544,80 @@ impl World {
             return None;
         }
         Some(tech.profile().transfer_time(bytes, rng))
+    }
+}
+
+/// A read-only view of one epoch's position cache and grid.
+///
+/// Borrowing only `Sync` data (positions, grid cells, radio bitmasks,
+/// membership lists — *not* the mobility boxes), the view can be shared
+/// across the epoch engine's worker threads; [`World::neighbors_batch`]
+/// does exactly that. Both the serial [`World::neighbors`] and the
+/// parallel batch run this one implementation, so their answers cannot
+/// diverge.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochView<'a> {
+    positions: &'a [Point2],
+    cells: &'a HashMap<(i64, i64), Vec<u32>>,
+    tech_mask: &'a [u8],
+    tech_members: &'a [Vec<u32>; 3],
+}
+
+impl EpochView<'_> {
+    /// The cached position of `id` in this epoch.
+    pub fn position(&self, id: NodeId) -> Point2 {
+        self.positions[id.index()]
+    }
+
+    /// Whether the node carries a radio for `tech`.
+    pub fn has_technology(&self, id: NodeId, tech: Technology) -> bool {
+        self.tech_mask[id.index()] & tech_bit(tech) != 0
+    }
+
+    /// Collects into `scratch` the indices of all nodes in cells that a
+    /// disc of radius `r` around `p` could touch, ascending.
+    fn gather_into(&self, p: Point2, r: f64, scratch: &mut Vec<u32>) {
+        scratch.clear();
+        let (cx0, cy0) = cell_of(Point2::new(p.x - r, p.y - r));
+        let (cx1, cy1) = cell_of(Point2::new(p.x + r, p.y + r));
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                if let Some(bucket) = self.cells.get(&(cx, cy)) {
+                    scratch.extend_from_slice(bucket);
+                }
+            }
+        }
+        scratch.sort_unstable();
+    }
+
+    /// All nodes reachable from `id` over `tech` in this epoch, ascending
+    /// by id. `scratch` is a caller-owned gather buffer (reused across
+    /// queries — per-worker in the parallel batch).
+    pub fn neighbors(&self, id: NodeId, tech: Technology, scratch: &mut Vec<u32>) -> Vec<NodeId> {
+        if !self.has_technology(id, tech) {
+            return Vec::new();
+        }
+        let profile = tech.profile();
+        if profile.range_m.is_infinite() {
+            return self.tech_members[tech_slot(tech)]
+                .iter()
+                .copied()
+                .filter(|&i| i != id.0)
+                .map(NodeId)
+                .collect();
+        }
+        let p = self.positions[id.index()];
+        self.gather_into(p, profile.range_m, scratch);
+        scratch
+            .iter()
+            .copied()
+            .filter(|&i| {
+                i != id.0
+                    && self.has_technology(NodeId(i), tech)
+                    && profile.in_range(p.distance(self.positions[i as usize]))
+            })
+            .map(NodeId)
+            .collect()
     }
 }
 
@@ -625,6 +804,101 @@ mod tests {
             w.neighbors(a, Technology::Bluetooth, SimTime::ZERO),
             vec![b]
         );
+    }
+
+    #[test]
+    fn neighbors_batch_matches_serial_for_any_thread_count() {
+        use crate::geometry::Rect;
+        use crate::mobility::RandomWaypoint;
+        use std::time::Duration;
+
+        let build = || {
+            let mut w = World::new();
+            let area = Rect::sized(400.0, 400.0);
+            for i in 0..120 {
+                let start = Point2::new(
+                    10.0 + (i as f64 * 37.0) % 380.0,
+                    10.0 + (i as f64 * 53.0) % 380.0,
+                );
+                let techs: Vec<Technology> = match i % 4 {
+                    0 => vec![Technology::Bluetooth, Technology::Wlan, Technology::Gprs],
+                    1 => vec![Technology::Bluetooth],
+                    2 => vec![Technology::Wlan, Technology::Gprs],
+                    _ => vec![Technology::Wlan],
+                };
+                w.add_node(
+                    NodeBuilder::new(format!("n{i}"))
+                        .moving(RandomWaypoint::new(
+                            area,
+                            start,
+                            (0.5, 2.0),
+                            (Duration::ZERO, Duration::from_secs(4)),
+                            SimRng::from_seed(1000 + i),
+                        ))
+                        .with_technologies(techs),
+                );
+            }
+            w
+        };
+
+        let queries: Vec<(NodeId, Technology)> = (0..120)
+            .map(|i| {
+                (
+                    NodeId::from_index(i),
+                    Technology::ALL[i % Technology::ALL.len()],
+                )
+            })
+            .collect();
+
+        for t in [
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+            SimTime::from_secs(77),
+        ] {
+            let mut serial_world = build();
+            let serial: Vec<Vec<NodeId>> = queries
+                .iter()
+                .map(|&(id, tech)| serial_world.neighbors(id, tech, t))
+                .collect();
+            for threads in [0, 1, 2, 4, 9] {
+                let mut par_world = build();
+                assert_eq!(
+                    par_world.neighbors_batch(&queries, t, threads),
+                    serial,
+                    "t={t} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_epoch_parallel_positions_identical() {
+        use crate::geometry::Rect;
+        use crate::mobility::RandomWalk;
+        use std::time::Duration;
+
+        let build = || {
+            let mut w = World::new();
+            for i in 0..64 {
+                w.add_node(NodeBuilder::new(format!("n{i}")).moving(RandomWalk::new(
+                    Rect::sized(100.0, 100.0),
+                    Point2::new(50.0, 50.0),
+                    1.0,
+                    Duration::from_secs(2),
+                    SimRng::from_seed(i),
+                )));
+            }
+            w
+        };
+        let t = SimTime::from_secs(41);
+        let mut a = build();
+        a.prepare_epoch(t, 1);
+        let mut b = build();
+        b.prepare_epoch(t, 8);
+        let ids: Vec<NodeId> = a.node_ids().collect();
+        for id in ids {
+            assert_eq!(a.position(id, t), b.position(id, t), "{id}");
+        }
     }
 
     #[test]

@@ -160,6 +160,19 @@ pub struct Cluster<A> {
     rng: SimRng,
     trace: Trace,
     started: bool,
+    /// Worker count for the epoch engine (0 = auto, 1 = serial).
+    threads: usize,
+    /// Speculative neighbor snapshots computed in parallel at the start of
+    /// the current timestamp batch, consumed by `StartInquiry`. Only valid
+    /// while `now == epoch_neighbors_at`.
+    epoch_neighbors: BTreeMap<(NodeId, Technology), Vec<NodeId>>,
+    epoch_neighbors_at: SimTime,
+    /// Pending daemon wake times across all nodes (time → how many nodes
+    /// wake then). The epoch engine prefetches position snapshots for the
+    /// next few entries so one fork/join round covers many future epochs.
+    wake_times: BTreeMap<SimTime, u32>,
+    /// Reused batch buffer for [`EventQueue::drain_batch`].
+    batch_buf: Vec<Ev>,
 }
 
 impl<A: Application> Cluster<A> {
@@ -174,7 +187,30 @@ impl<A: Application> Cluster<A> {
             rng: SimRng::from_seed(seed),
             trace: Trace::new(),
             started: false,
+            threads: 1,
+            epoch_neighbors: BTreeMap::new(),
+            epoch_neighbors_at: SimTime::ZERO,
+            wake_times: BTreeMap::new(),
+            batch_buf: Vec::new(),
         }
+    }
+
+    /// Sets the worker count for the parallel epoch engine: `1` (the
+    /// default) runs fully serially, `0` means "one worker per hardware
+    /// thread", anything else is taken literally.
+    ///
+    /// The engine fans only *pure* per-node work (mobility position
+    /// sampling, spatial-grid neighbor queries) across workers and merges
+    /// results in node-id order before any RNG draw, daemon mutation, or
+    /// trace record, so the trace digest is bit-identical for every worker
+    /// count. `ph-harness` enforces this with digest-equality tests.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The configured epoch-engine worker count (see [`Cluster::set_threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Adds a device with a default [`DaemonConfig`] and the given
@@ -295,12 +331,99 @@ impl<A: Application> Cluster<A> {
 
     /// Processes events until the queue is exhausted or the next event is
     /// after `deadline`; the clock then stands at `deadline`.
+    ///
+    /// Events are drained one timestamp batch at a time. With more than one
+    /// worker configured ([`Cluster::set_threads`]) each batch becomes an
+    /// *epoch*: the per-node pure work the batch will need — mobility
+    /// position sampling and grid neighbor queries for woken daemons — is
+    /// fanned across scoped workers and merged in node-id order *before*
+    /// any event is dispatched. Dispatch itself (RNG draws, daemon state,
+    /// trace records, scheduling) stays serial in `(time, seq)` order, so
+    /// the run is bit-identical to a serial one.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while self.queue.peek_time().is_some_and(|t| t <= deadline) {
-            let (_, ev) = self.queue.pop().expect("peeked");
-            self.dispatch(ev);
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        while let Some(t) = self.queue.drain_batch(deadline, &mut batch) {
+            self.prepare_epoch_batch(t, &batch);
+            for ev in batch.drain(..) {
+                self.dispatch(ev);
+            }
         }
+        self.batch_buf = batch;
         self.queue.advance_to(deadline);
+    }
+
+    /// Parallel phase of one epoch: pre-samples every node position for `t`
+    /// and speculatively answers the neighbor queries that daemons woken in
+    /// this batch will issue from `StartInquiry`. Pure world reads only —
+    /// results are merged in query order, and `StartInquiry` consumes them
+    /// via [`Cluster::take_epoch_neighbors`]. Serial runs (`threads <= 1`)
+    /// skip this entirely and compute everything lazily as before.
+    fn prepare_epoch_batch(&mut self, t: SimTime, batch: &[Ev]) {
+        if netsim::par::effective_threads(self.threads) <= 1 {
+            return;
+        }
+        // Only wake/start batches run discovery scans (`StartInquiry` →
+        // grid query). Anything else — in-flight frames, inquiry responses —
+        // does pairwise checks only, which never build an epoch; preparing
+        // one here would be O(N) work the serial engine doesn't do.
+        let mut queries: Vec<(NodeId, Technology)> = Vec::new();
+        for ev in batch {
+            if let Ev::Start(node) | Ev::DaemonWake(node) = ev {
+                for &tech in self.world.technologies(*node) {
+                    queries.push((*node, tech));
+                }
+            }
+        }
+        if queries.is_empty() {
+            return;
+        }
+        queries.sort_unstable();
+        queries.dedup();
+        // A single epoch's sampling is microseconds of work — far less than
+        // a spawn round — so one fork/join pass samples positions for this
+        // batch *and* the next wake times in the queue; the following
+        // epochs then start from a prefetched snapshot. Wakes scheduled
+        // *into* a live window miss it and are sampled serially below; the
+        // window is only re-sampled once it is fully behind the clock.
+        if self.world.prefetch_exhausted(t) {
+            const EPOCH_PREFETCH: usize = 128;
+            let mut times = Vec::with_capacity(EPOCH_PREFETCH);
+            times.push(t);
+            times.extend(
+                self.wake_times
+                    .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
+                    .map(|(&at, _)| at)
+                    .take(EPOCH_PREFETCH - 1),
+            );
+            self.world.prefetch_epochs(&times, self.threads);
+        }
+        // Builds the epoch from the snapshot when prefetched (an O(N)
+        // gather); a window miss samples serially — still cheaper than a
+        // spawn round for one epoch.
+        self.world.prepare_epoch(t, 1);
+        let results = self.world.neighbors_batch(&queries, t, self.threads);
+        self.epoch_neighbors.clear();
+        self.epoch_neighbors_at = t;
+        for (q, r) in queries.into_iter().zip(results) {
+            self.epoch_neighbors.insert(q, r);
+        }
+    }
+
+    /// Consumes the speculative neighbor snapshot for `(node, tech)` if one
+    /// was computed for the current instant. `None` means the caller must
+    /// fall back to [`World::neighbors`] — both paths run the exact same
+    /// query implementation, so the answer is identical either way.
+    fn take_epoch_neighbors(
+        &mut self,
+        node: NodeId,
+        tech: Technology,
+        now: SimTime,
+    ) -> Option<Vec<NodeId>> {
+        if self.epoch_neighbors_at == now {
+            self.epoch_neighbors.remove(&(node, tech))
+        } else {
+            None
+        }
     }
 
     /// Runs for `d` of virtual time from the current instant.
@@ -377,7 +500,14 @@ impl<A: Application> Cluster<A> {
             }
             Ev::DaemonWake(node) => {
                 let now = self.queue.now();
-                self.nodes[node.index()].scheduled_wakes.remove(&now);
+                if self.nodes[node.index()].scheduled_wakes.remove(&now) {
+                    if let Some(count) = self.wake_times.get_mut(&now) {
+                        *count -= 1;
+                        if *count == 0 {
+                            self.wake_times.remove(&now);
+                        }
+                    }
+                }
                 self.feed_daemon(node, DaemonInput::Tick);
             }
             Ev::AppTimer(node, token) => {
@@ -589,6 +719,7 @@ impl<A: Application> Cluster<A> {
     fn schedule_wake(&mut self, node: NodeId, at: SimTime) {
         let at = at.max(self.queue.now());
         if self.nodes[node.index()].scheduled_wakes.insert(at) {
+            *self.wake_times.entry(at).or_insert(0) += 1;
             self.queue.schedule(at, Ev::DaemonWake(node));
         }
     }
@@ -605,7 +736,10 @@ impl<A: Application> Cluster<A> {
                 let profile = technology.profile();
                 // One batched snapshot from the spatial index; every
                 // responder is then scheduled off this single range query.
-                let neighbors = self.world.neighbors(node, technology, now);
+                // An epoch may have answered it already, in parallel.
+                let neighbors = self
+                    .take_epoch_neighbors(node, technology, now)
+                    .unwrap_or_else(|| self.world.neighbors(node, technology, now));
                 for nb in neighbors {
                     if profile.discovery_misses(&mut self.rng) {
                         continue;

@@ -138,7 +138,7 @@ fn gen_response_variant(g: &mut Gen, variant: usize) -> Response {
         12 => Response::Trusted,
         13 => Response::Content {
             name: gen_name(g),
-            data: g.bytes(512),
+            data: g.bytes(512).into(),
         },
         _ => Response::Error(g.ascii_string(80)),
     }
