@@ -8,6 +8,14 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo build --release --offline
 cargo test -q --offline --workspace
 
+# Static analysis: determinism & robustness rules over every workspace
+# .rs file (DESIGN.md §9). Exits 1 on any finding not covered by the
+# committed lint.allow baseline, 2 on I/O or parse trouble — either way
+# `set -e` stops the gate. The JSON report is committed alongside
+# BENCH_scale.json so finding drift shows up in review.
+cargo run --release --offline -p ph-lint -- --workspace --format json > LINT.json
+cat LINT.json
+
 # Scale smoke: the 100- and 1000-node crowds run twice — pure serial, then
 # through the parallel epoch engine (`--threads 4 --selfcheck`, which also
 # reruns serially in-process and exits nonzero if any digest diverges).

@@ -454,4 +454,74 @@ mod tests {
         s.login("bob", "pw").unwrap();
         assert_eq!(s.active_member(), Some("bob"));
     }
+
+    #[test]
+    fn request_against_vanished_account_answers_error_frame_not_panic() {
+        // Regression for the `panic-in-dispatch` lint: fabricate the
+        // inconsistency the dispatch must survive — a login session naming
+        // an account the store no longer holds. Only this module can build
+        // it, because the fields are private and the public API keeps
+        // `active` and `accounts` in sync.
+        use crate::protocol::{Request, Response};
+        use crate::semantics::MatchPolicy;
+        use crate::server::{handle_request, try_handle_request};
+
+        let mut s = MemberStore::new();
+        s.active = Some("ghost".into());
+        assert!(s.active_account().is_none());
+
+        let now = netsim::SimTime::from_secs(1);
+        assert_eq!(
+            try_handle_request(&mut s, &MatchPolicy::Exact, &Request::GetInterestList, now),
+            Err(CommunityError::NoActiveAccount)
+        );
+        // Every account-touching Table 6 row (aimed straight at the ghost
+        // session, so the account lookup is actually reached) must fold the
+        // inconsistency into a wire frame, never a panic.
+        let aimed = [
+            Request::GetInterestList,
+            Request::GetInterestedMemberList {
+                interest: "football".into(),
+            },
+            Request::GetProfile {
+                member: "ghost".into(),
+                requester: "alice".into(),
+            },
+            Request::AddProfileComment {
+                member: "ghost".into(),
+                author: "alice".into(),
+                comment: "hi".into(),
+            },
+            Request::Message {
+                to: "ghost".into(),
+                from: "alice".into(),
+                subject: "s".into(),
+                body: "b".into(),
+            },
+            Request::GetSharedContent {
+                member: "ghost".into(),
+                requester: "alice".into(),
+            },
+            Request::GetTrustedFriends {
+                member: "ghost".into(),
+            },
+            Request::CheckTrusted {
+                member: "ghost".into(),
+                requester: "alice".into(),
+            },
+            Request::FetchContent {
+                member: "ghost".into(),
+                requester: "alice".into(),
+                name: "song.mp3".into(),
+            },
+        ];
+        for req in aimed {
+            assert_eq!(
+                handle_request(&mut s, &MatchPolicy::Exact, &req, now),
+                Response::NoMembersYet,
+                "request {} must answer the error frame",
+                req.label()
+            );
+        }
+    }
 }

@@ -794,6 +794,52 @@ mod tests {
     }
 
     #[test]
+    fn bucket_reuse_across_epochs_matches_fresh_world() {
+        // Audit companion for the `nondeterministic-iteration` lint entries
+        // on `SpatialIndex::cells` (a HashMap): rebuilding an epoch clears
+        // and prunes buckets by *map iteration order*, so this test proves
+        // that order is unobservable — a world whose buckets were already
+        // populated at another epoch answers exactly like a fresh world
+        // that never saw it, for every node and technology.
+        let build = || {
+            let mut w = World::new();
+            for i in 0..40 {
+                // Walkers fan out of one crowded cell, so epochs t1/t2
+                // occupy different bucket sets and pruning actually runs.
+                w.add_node(NodeBuilder::new(format!("n{i}")).moving(ScriptedPath::walk(
+                    SimTime::ZERO,
+                    Point2::new(i as f64 * 0.5, 0.0),
+                    Point2::new(i as f64 * 21.0, i as f64 * 13.0),
+                    3.0,
+                )));
+            }
+            w
+        };
+        let (t1, t2) = (SimTime::from_secs(5), SimTime::from_secs(60));
+        let mut reused = build();
+        let mut fresh = build();
+        // Dirty `reused`'s buckets at t2 (and again after t1 queries, going
+        // backwards in time) before comparing at t1.
+        for id in reused.node_ids().collect::<Vec<_>>() {
+            reused.neighbors(id, Technology::Bluetooth, t2);
+        }
+        for id in fresh.node_ids().collect::<Vec<_>>() {
+            for tech in Technology::ALL {
+                assert_eq!(
+                    reused.neighbors(id, tech, t1),
+                    fresh.neighbors(id, tech, t1),
+                    "{id} {tech} at t1"
+                );
+                assert_eq!(
+                    reused.neighbors(id, tech, t1),
+                    reused.neighbors_naive(id, tech, t1),
+                    "{id} {tech} vs naive"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn position_cache_survives_node_addition() {
         let mut w = World::new();
         let a = w.add_node(NodeBuilder::new("a").at(Point2::ORIGIN));

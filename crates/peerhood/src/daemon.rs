@@ -554,7 +554,9 @@ impl Daemon {
         if alternatives.is_empty() {
             return; // nothing to migrate to; ride the old link down
         }
-        let state = self.conns.get_mut(&conn).expect("checked above");
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return; // connection vanished between the lookups
+        };
         state.handing_over = true;
         let first = alternatives.remove(0);
         self.start_attempt(
@@ -643,21 +645,22 @@ impl Daemon {
                 }
                 AttemptPurpose::Handover { conn, from } => {
                     if let Some(state) = self.conns.get_mut(&conn) {
+                        // Finish mutating the connection before touching
+                        // `link_index`/`out`, so one lookup suffices.
+                        let old_link = state.link.replace(link);
+                        state.technology = att.technology;
+                        state.handing_over = false;
+                        let buffered = std::mem::take(&mut state.buffer);
                         // Make-before-break: if the old link is still alive
                         // (proactive handover), shut it down now that the
                         // replacement is up.
-                        if let Some(old_link) = state.link.take() {
+                        if let Some(old_link) = old_link {
                             self.link_index.remove(&old_link);
                             out.push(DaemonOutput::Plugin(PluginCommand::CloseLink {
                                 link: old_link,
                             }));
                         }
-                        let state = self.conns.get_mut(&conn).expect("still present");
-                        state.link = Some(link);
-                        state.technology = att.technology;
-                        state.handing_over = false;
                         self.link_index.insert(link, conn);
-                        let buffered = std::mem::take(&mut state.buffer);
                         out.push(DaemonOutput::App(AppEvent::Handover {
                             conn,
                             from,
@@ -833,7 +836,9 @@ impl Daemon {
                 self.drop_conn(conn, CloseReason::LinkLost, out);
                 return;
             }
-            let state = self.conns.get_mut(&conn).expect("checked above");
+            let Some(state) = self.conns.get_mut(&conn) else {
+                return; // connection vanished between the lookups
+            };
             state.handing_over = true;
             let first = alternatives.remove(0);
             self.start_attempt(
@@ -1983,5 +1988,71 @@ mod tests {
             }),
         );
         assert!(matches!(app_events(&out)[0], AppEvent::Closed { .. }));
+    }
+
+    #[test]
+    fn hostile_link_events_for_unknown_state_never_panic() {
+        // Regression for the `panic-in-dispatch` lint: every link-shaped
+        // event referencing state the daemon has never seen (or has already
+        // dropped) must be absorbed, not unwrap its way to a panic.
+        let mut d = daemon();
+        let ghost = LinkId::new(999);
+        for ev in [
+            PluginEvent::LinkDegraded { link: ghost },
+            PluginEvent::LinkDown { link: ghost },
+            PluginEvent::PeerClosed { link: ghost },
+            PluginEvent::Frame {
+                link: ghost,
+                payload: Bytes::from_static(b"junk"),
+            },
+            PluginEvent::ConnectResult {
+                attempt: AttemptId::new(404),
+                result: Err("no such radio".into()),
+            },
+            PluginEvent::InquiryComplete {
+                technology: Technology::Wlan,
+            },
+        ] {
+            feed(&mut d, SimTime::from_secs(1), DaemonInput::Plugin(ev));
+        }
+        assert_eq!(d.connection_count(), 0);
+    }
+
+    #[test]
+    fn degraded_link_on_responder_side_does_not_migrate_or_panic() {
+        // The responder never initiates handover; a weakening link on its
+        // side must leave the connection untouched (and, per the lint, the
+        // degraded path must tolerate the conn-less case gracefully).
+        let mut d = daemon();
+        feed(
+            &mut d,
+            SimTime::ZERO,
+            DaemonInput::App(AppRequest::RegisterService(ServiceInfo::new("svc"))),
+        );
+        let dev = device(9, "peer");
+        discover(&mut d, &dev, Technology::Wlan, SimTime::ZERO);
+        let link = LinkId::new(31);
+        feed(
+            &mut d,
+            SimTime::from_secs(1),
+            DaemonInput::Plugin(PluginEvent::IncomingConnection {
+                link,
+                device: dev,
+                service: "svc".into(),
+                technology: Technology::Wlan,
+                resume: None,
+            }),
+        );
+        let before = d.connection_count();
+        assert_eq!(before, 1);
+        let out = feed(
+            &mut d,
+            SimTime::from_secs(2),
+            DaemonInput::Plugin(PluginEvent::LinkDegraded { link }),
+        );
+        assert_eq!(d.connection_count(), before);
+        assert!(plugin_cmds(&out)
+            .iter()
+            .all(|c| !matches!(c, PluginCommand::OpenConnection { .. })));
     }
 }

@@ -1,0 +1,160 @@
+//! The committed `lint.allow` baseline.
+//!
+//! Every intentional finding in the tree is recorded here explicitly, one
+//! line per site, pipe-separated:
+//!
+//! ```text
+//! rule | path | snippet-substring | reason
+//! ```
+//!
+//! * `rule` — one of the rule names ([`crate::rules::ALL_RULES`]);
+//! * `path` — workspace-relative file path (forward slashes);
+//! * `snippet-substring` — a substring of the offending source line. Line
+//!   numbers would churn on every edit; matching on content means an entry
+//!   keeps covering its site as it moves, and a *new* site (different
+//!   code) in the same file still fails CI;
+//! * `reason` — mandatory free text: why the site is acceptable.
+//!
+//! Blank lines and `#` comments are ignored. A line with missing fields or
+//! an empty reason is a parse error (exit code 2) — "every entry needs a
+//! reason" is policy, machine-enforced.
+
+use crate::rules::{Finding, ALL_RULES};
+
+/// One baseline entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule name the entry silences.
+    pub rule: String,
+    /// Workspace-relative path it applies to.
+    pub path: String,
+    /// Substring of the offending line that identifies the site.
+    pub needle: String,
+    /// Why the site is acceptable (never empty).
+    pub reason: String,
+    /// 1-based line in `lint.allow` (for stale-entry reporting).
+    pub line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the `lint.allow` format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line: wrong field
+    /// count, unknown rule name, or an empty reason.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+            let lineno = idx + 1;
+            if fields.len() != 4 {
+                return Err(format!(
+                    "lint.allow:{lineno}: expected 4 `|`-separated fields (rule | path | snippet | reason), got {}",
+                    fields.len()
+                ));
+            }
+            let (rule, path, needle, reason) = (fields[0], fields[1], fields[2], fields[3]);
+            if !ALL_RULES.contains(&rule) {
+                return Err(format!("lint.allow:{lineno}: unknown rule `{rule}`"));
+            }
+            if needle.is_empty() {
+                return Err(format!("lint.allow:{lineno}: empty snippet-substring"));
+            }
+            if reason.is_empty() {
+                return Err(format!(
+                    "lint.allow:{lineno}: every entry needs a reason (policy; see DESIGN.md §9)"
+                ));
+            }
+            entries.push(AllowEntry {
+                rule: rule.to_owned(),
+                path: path.to_owned(),
+                needle: needle.to_owned(),
+                reason: reason.to_owned(),
+                line: lineno as u32,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Index of the first entry covering `f`, if any.
+    pub fn matches(&self, f: &Finding) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.rule == f.rule && e.path == f.path && f.snippet.contains(&e.needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::NONDETERMINISTIC_ITERATION;
+
+    fn finding(rule: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_owned(),
+            line: 1,
+            snippet: snippet.to_owned(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let a = Allowlist::parse(
+            "# comment\n\
+             nondeterministic-iteration | crates/netsim/src/world.rs | cells.retain | buckets pruned, order-independent\n",
+        )
+        .unwrap();
+        assert_eq!(a.entries.len(), 1);
+        assert!(a
+            .matches(&finding(
+                NONDETERMINISTIC_ITERATION,
+                "crates/netsim/src/world.rs",
+                "self.index.cells.retain(|_, v| !v.is_empty());"
+            ))
+            .is_some());
+        // Different code in the same file is NOT covered.
+        assert!(a
+            .matches(&finding(
+                NONDETERMINISTIC_ITERATION,
+                "crates/netsim/src/world.rs",
+                "for x in sneaky.values() {"
+            ))
+            .is_none());
+        // Same snippet in a different file is NOT covered.
+        assert!(a
+            .matches(&finding(
+                NONDETERMINISTIC_ITERATION,
+                "crates/netsim/src/trace.rs",
+                "cells.retain(|_, v| true);"
+            ))
+            .is_none());
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let err = Allowlist::parse("relaxed-ordering | a.rs | x | ").unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+        let err = Allowlist::parse("relaxed-ordering | a.rs | x").unwrap_err();
+        assert!(err.contains("4"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rules_rejected() {
+        let err = Allowlist::parse("made-up-rule | a.rs | x | because").unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+    }
+}

@@ -1,0 +1,564 @@
+//! A hand-written Rust lexer, just deep enough for linting.
+//!
+//! The rule engine works on a token stream, never on raw text, so a
+//! `HashMap` mentioned inside a string literal, a doc comment, or a
+//! `#[doc = "..."]` attribute can never produce a finding. That requires
+//! getting the genuinely tricky parts of Rust's lexical grammar right:
+//!
+//! * raw strings `r"…"` / `r#"…"#` / `r##"…"##` (any hash depth), and their
+//!   byte cousins `br#"…"#`;
+//! * raw identifiers `r#match` (which share a prefix with raw strings);
+//! * *nested* block comments `/* /* */ */`;
+//! * byte strings `b"…"`, byte literals `b'x'`;
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity (including
+//!   `'static`, `'_`, and escaped chars like `'\u{1F600}'`).
+//!
+//! Everything the rules do not need (numeric-literal grammar subtleties,
+//! multi-char operators) is lexed loosely: numbers are one blob token,
+//! operators come out one [`TokKind::Punct`] per character and rules match
+//! sequences (`:` `:` for `::`).
+
+/// What kind of token this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also raw identifiers, with the `r#` stripped).
+    Ident,
+    /// A lifetime such as `'a` (text holds the name without the quote).
+    Lifetime,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A char (`'x'`) or byte (`b'x'`) literal.
+    Char,
+    /// A numeric literal blob.
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text. For [`TokKind::Str`] this is the *contents only* (no
+    /// quotes, no hashes), so rules can opt in to inspecting literals; for
+    /// `Punct` it is the single character.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+/// A lexical error: unterminated string/comment or a stray byte.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending construct.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn err(&self, line: u32, msg: impl Into<String>) -> LexError {
+        LexError {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    /// Consumes an identifier starting at the current position.
+    fn lex_ident(&mut self) -> String {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed); returns the
+    /// contents with escapes left as written.
+    fn lex_quoted(&mut self, what: &str) -> Result<String, LexError> {
+        let line = self.line;
+        let start = self.pos;
+        loop {
+            match self.bump() {
+                None => return Err(self.err(line, format!("unterminated {what}"))),
+                Some(b'\\') => {
+                    // Skip the escaped character so an escaped quote does
+                    // not close the literal.
+                    self.bump();
+                }
+                Some(b'"') => {
+                    return Ok(String::from_utf8_lossy(&self.src[start..self.pos - 1]).into_owned())
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body. `hashes` were already counted and the
+    /// opening quote consumed; ends at `"` followed by the same number of
+    /// hashes (raw strings have no escapes — that is their point).
+    fn lex_raw(&mut self, hashes: usize) -> Result<String, LexError> {
+        let line = self.line;
+        let start = self.pos;
+        loop {
+            match self.bump() {
+                None => return Err(self.err(line, "unterminated raw string")),
+                Some(b'"') => {
+                    if (0..hashes).all(|i| self.peek(i) == Some(b'#')) {
+                        let text =
+                            String::from_utf8_lossy(&self.src[start..self.pos - 1]).into_owned();
+                        self.pos += hashes;
+                        return Ok(text);
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a char/byte-literal body (opening `'` already consumed).
+    fn lex_char_body(&mut self) -> Result<String, LexError> {
+        let line = self.line;
+        let start = self.pos;
+        loop {
+            match self.bump() {
+                None => return Err(self.err(line, "unterminated char literal")),
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(b'\'') => {
+                    return Ok(String::from_utf8_lossy(&self.src[start..self.pos - 1]).into_owned())
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// `'` was seen: decide lifetime vs char literal.
+    fn lex_quote(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        self.pos += 1; // consume '
+        match self.peek(0) {
+            Some(b'\\') => {
+                let body = self.lex_char_body()?;
+                self.push(TokKind::Char, body, line);
+            }
+            Some(b) if is_ident_start(b) || b.is_ascii_digit() => {
+                // Read the identifier run, then look for a closing quote:
+                // `'a'` is a char, `'a` / `'static` are lifetimes.
+                let name = self.lex_ident();
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                    self.push(TokKind::Char, name, line);
+                } else {
+                    self.push(TokKind::Lifetime, name, line);
+                }
+            }
+            Some(b'\'') => return Err(self.err(line, "empty char literal")),
+            Some(_) => {
+                let body = self.lex_char_body()?;
+                self.push(TokKind::Char, body, line);
+            }
+            None => return Err(self.err(line, "dangling quote at end of input")),
+        }
+        Ok(())
+    }
+
+    /// A block comment opener `/*` was seen (both chars still pending).
+    fn lex_block_comment(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek(0) {
+                None => return Err(self.err(line, "unterminated block comment")),
+                Some(b'/') if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                Some(b'*') if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<Vec<Tok>, LexError> {
+        while let Some(b) = self.peek(0) {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.peek(0).is_some_and(|c| c != b'\n') {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek(1) == Some(b'*') => self.lex_block_comment()?,
+                b'\'' => self.lex_quote()?,
+                b'"' => {
+                    self.pos += 1;
+                    let body = self.lex_quoted("string literal")?;
+                    self.push(TokKind::Str, body, line);
+                }
+                b'r' | b'b' if self.looks_like_prefixed_literal() => {
+                    self.lex_prefixed_literal()?;
+                }
+                _ if is_ident_start(b) => {
+                    let name = self.lex_ident();
+                    self.push(TokKind::Ident, name, line);
+                }
+                _ if b.is_ascii_digit() => {
+                    let start = self.pos;
+                    self.pos += 1;
+                    loop {
+                        match self.peek(0) {
+                            Some(c) if is_ident_continue(c) => self.pos += 1,
+                            // `1.5` continues the number; `1..2` does not.
+                            Some(b'.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                                self.pos += 2
+                            }
+                            _ => break,
+                        }
+                    }
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.push(TokKind::Num, text, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, (b as char).to_string(), line);
+                }
+            }
+        }
+        Ok(self.out)
+    }
+
+    /// At an `r` or `b`: is this a string/char literal prefix rather than a
+    /// plain identifier? (`r#"…"#`, `r"…"`, `b"…"`, `br#"…"#`, `b'x'` —
+    /// but *not* the raw identifier `r#match` or the ident `radius`.)
+    fn looks_like_prefixed_literal(&self) -> bool {
+        let b0 = self.peek(0);
+        let b1 = self.peek(1);
+        match (b0, b1) {
+            (Some(b'r'), Some(b'"')) => true,
+            (Some(b'r'), Some(b'#')) => {
+                // Count hashes; a quote after them means raw string, an
+                // identifier char means raw identifier.
+                let mut i = 1;
+                while self.peek(i) == Some(b'#') {
+                    i += 1;
+                }
+                self.peek(i) == Some(b'"')
+            }
+            (Some(b'b'), Some(b'"')) | (Some(b'b'), Some(b'\'')) => true,
+            (Some(b'b'), Some(b'r')) => matches!(self.peek(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        }
+    }
+
+    fn lex_prefixed_literal(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        // Skip the `r`, `b`, or `br` prefix.
+        if self.peek(0) == Some(b'b') {
+            self.pos += 1;
+            if self.peek(0) == Some(b'\'') {
+                self.pos += 1;
+                let body = self.lex_char_body()?;
+                self.push(TokKind::Char, body, line);
+                return Ok(());
+            }
+        }
+        let raw = self.peek(0) == Some(b'r');
+        if raw {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        match self.peek(0) {
+            Some(b'"') => {
+                self.pos += 1;
+                let body = if raw {
+                    self.lex_raw(hashes)?
+                } else {
+                    self.lex_quoted("byte string")?
+                };
+                self.push(TokKind::Str, body, line);
+                Ok(())
+            }
+            _ => Err(self.err(line, "malformed literal prefix")),
+        }
+    }
+}
+
+/// Lexes Rust source into a token stream (comments and whitespace dropped).
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings/comments or malformed
+/// literal prefixes; the driver maps this to exit code 2.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    // Raw identifiers: handled here rather than in `run` so `r#match`
+    // becomes Ident("match") — close enough for rule purposes.
+    let lexer = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    };
+    let mut toks = lexer.run()?;
+    for t in &mut toks {
+        if t.kind == TokKind::Ident {
+            if let Some(stripped) = t.text.strip_prefix("r#") {
+                t.text = stripped.to_owned();
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Marks, for every token, whether it sits inside test-only code: an item
+/// (fn/mod/impl/…) annotated `#[test]` or `#[cfg(test)]` (including
+/// `cfg(all(test, …))`, but *not* `cfg(not(test))`).
+///
+/// Rules that exempt test code consult this mask; the whole-file cases
+/// (`tests/`, `benches/` directories) are handled by the engine from the
+/// path instead.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        // Outer attribute `#[ … ]` (inner `#![…]` attributes never mark
+        // test items, and the `!` breaks the pattern naturally).
+        if toks[i].kind == TokKind::Punct
+            && toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "[")
+        {
+            let Some(close) = matching(toks, i + 1, "[", "]") else {
+                break;
+            };
+            if is_test_attr(&toks[i + 2..close]) {
+                // Mark from the attribute through the end of the item it
+                // annotates: the block of the first `{` at nesting level 0
+                // (or through the `;` for block-less items).
+                let mut j = close + 1;
+                let mut depth_paren = 0i32;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.kind == TokKind::Punct {
+                        match t.text.as_str() {
+                            "(" | "[" => depth_paren += 1,
+                            ")" | "]" => depth_paren -= 1,
+                            ";" if depth_paren == 0 => break,
+                            "{" if depth_paren == 0 => {
+                                if let Some(end) = matching(toks, j, "{", "}") {
+                                    j = end;
+                                }
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    j += 1;
+                }
+                for m in mask.iter_mut().take((j + 1).min(toks.len())).skip(i) {
+                    *m = true;
+                }
+                i = close + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the token closing the bracket opened at `open` (which must hold
+/// `open_text`), or `None` if unbalanced.
+fn matching(toks: &[Tok], open: usize, open_text: &str, close_text: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == open_text {
+                depth += 1;
+            } else if t.text == close_text {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn is_test_attr(attr: &[Tok]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.as_slice() {
+        ["test"] => true,
+        _ => idents.first() == Some(&"cfg") && idents.contains(&"test") && !idents.contains(&"not"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Char, "a".into())));
+        let toks = kinds("let s: &'static str = \"x\"; let c = '\\n';");
+        assert!(toks.contains(&(TokKind::Lifetime, "static".into())));
+        assert!(toks.contains(&(TokKind::Char, "\\n".into())));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents_from_rules() {
+        let toks = kinds(r####"let x = r#"HashMap::new().iter()"#;"####);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Ident).count(),
+            2, // let, x — nothing from inside the raw string
+        );
+        let toks = kinds("let y = r\"no hashes\";");
+        assert!(toks.contains(&(TokKind::Str, "no hashes".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.contains(&(TokKind::Ident, "match".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* x /* y */ z */ b");
+        assert_eq!(
+            toks,
+            vec![(TokKind::Ident, "a".into()), (TokKind::Ident, "b".into())]
+        );
+        assert!(lex("/* /* */").is_err()); // still open at depth 1
+    }
+
+    #[test]
+    fn byte_strings_and_byte_literals() {
+        let toks = kinds(r##"let b = b"bytes"; let c = b'x'; let d = br#"raw"#;"##);
+        assert!(toks.contains(&(TokKind::Str, "bytes".into())));
+        assert!(toks.contains(&(TokKind::Char, "x".into())));
+        assert!(toks.contains(&(TokKind::Str, "raw".into())));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_close_strings() {
+        let toks = kinds(r#"let s = "a\"b";"#);
+        assert!(toks.contains(&(TokKind::Str, r#"a\"b"#.into())));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let toks = lex("/* a\nb */\nfn f() {}\n").unwrap();
+        assert_eq!(toks[0].text, "fn");
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn numbers_lex_as_blobs() {
+        let toks = kinds("0xFF 1_000 1.5 0..n");
+        assert!(toks.contains(&(TokKind::Num, "0xFF".into())));
+        assert!(toks.contains(&(TokKind::Num, "1_000".into())));
+        assert!(toks.contains(&(TokKind::Num, "1.5".into())));
+        // `0..n` splits into number, two dots, ident.
+        assert!(toks.contains(&(TokKind::Num, "0".into())));
+        assert!(toks.contains(&(TokKind::Ident, "n".into())));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules_and_test_fns() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn helper() { y.unwrap(); } }\n\
+                   #[test]\nfn t() { z.unwrap(); }\n\
+                   fn prod2() {}";
+        let toks = lex(src).unwrap();
+        let mask = test_mask(&toks);
+        let masked: Vec<&str> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, m)| **m && t.kind == TokKind::Ident)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"helper"));
+        assert!(masked.contains(&"t"));
+        assert!(!masked.contains(&"prod"));
+        assert!(!masked.contains(&"prod2"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }";
+        let toks = lex(src).unwrap();
+        let mask = test_mask(&toks);
+        assert!(mask.iter().all(|m| !m));
+    }
+}

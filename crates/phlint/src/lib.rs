@@ -1,0 +1,132 @@
+//! `ph-lint`: determinism & robustness static analysis for this workspace.
+//!
+//! The repo's headline claims — bit-identical trace digests for any
+//! `--threads N`, a `PS_*` dispatch that never panics on hostile input —
+//! are *invariants of the source*, so this crate checks them at the
+//! source level, before the code ever runs. See DESIGN.md §9 for the rule
+//! catalogue and the `lint.allow` baseline policy.
+//!
+//! Pipeline: [`lexer`] turns each `.rs` file into tokens (raw strings,
+//! nested comments, lifetimes all handled), [`rules`] walks the streams,
+//! [`allow`] subtracts the committed baseline, [`report`] renders text or
+//! JSON. The binary in `main.rs` maps the outcome to exit codes:
+//! `0` clean, `1` new findings, `2` I/O or parse error.
+
+pub mod allow;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use allow::Allowlist;
+use report::Report;
+use rules::SourceFile;
+
+/// A fatal error: bad CLI usage, unreadable file, lexer failure, malformed
+/// allowlist. Maps to exit code 2.
+#[derive(Debug)]
+pub struct FatalError(pub String);
+
+impl std::fmt::Display for FatalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ph-lint: {}", self.0)
+    }
+}
+
+/// Directories under the workspace root that contain lintable Rust.
+const SCAN_ROOTS: [&str; 4] = ["src", "crates", "examples", "tests"];
+
+/// Collects every `.rs` file under the workspace root, sorted so the run
+/// (like everything else in this repo) is deterministic.
+///
+/// # Errors
+///
+/// Returns [`FatalError`] when a directory cannot be read.
+pub fn collect_workspace_files(root: &Path) -> Result<Vec<PathBuf>, FatalError> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let d = root.join(dir);
+        if d.is_dir() {
+            walk(&d, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), FatalError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| FatalError(format!("reading {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| FatalError(format!("reading {}: {e}", dir.display())))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the given files against the allowlist.
+///
+/// `root` anchors the workspace-relative paths used for rule scoping and
+/// allowlist matching.
+///
+/// # Errors
+///
+/// Returns [`FatalError`] on unreadable files or lexer errors.
+pub fn lint_files(
+    root: &Path,
+    files: &[PathBuf],
+    allowlist: Allowlist,
+) -> Result<Report, FatalError> {
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = relative_path(root, path);
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| FatalError(format!("reading {}: {e}", path.display())))?;
+        let sf = SourceFile::parse(rel.clone(), &text)
+            .map_err(|e| FatalError(format!("{rel}: lex error: {e}")))?;
+        sources.push(sf);
+    }
+    let findings = rules::run_all(&sources);
+    let allowed = findings.iter().map(|f| allowlist.matches(f)).collect();
+    Ok(Report {
+        findings,
+        allowed,
+        allowlist,
+        files_scanned: sources.len(),
+    })
+}
+
+/// Loads `lint.allow` from `path`; a missing file is an empty baseline.
+///
+/// # Errors
+///
+/// Returns [`FatalError`] on unreadable files or parse errors (including
+/// the missing-reason policy violation).
+pub fn load_allowlist(path: &Path) -> Result<Allowlist, FatalError> {
+    if !path.exists() {
+        return Ok(Allowlist::default());
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| FatalError(format!("reading {}: {e}", path.display())))?;
+    Allowlist::parse(&text).map_err(FatalError)
+}
+
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Normalize to forward slashes so lint.allow is platform-stable.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,134 @@
+//! The `ph-lint` binary. See `ph-lint --help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use phlint::{collect_workspace_files, lint_files, load_allowlist, FatalError};
+
+const USAGE: &str = "\
+ph-lint — determinism & robustness static analysis for this workspace
+
+USAGE:
+    ph-lint --workspace [OPTIONS]
+    ph-lint [OPTIONS] FILE...
+
+OPTIONS:
+    --workspace        Lint every .rs file under the workspace root
+    --root DIR         Workspace root (default: current directory)
+    --format FMT       Output format: text (default) or json
+    --allow FILE       Allowlist path (default: <root>/lint.allow)
+    -h, --help         Print this help
+
+EXIT CODES:
+    0    clean (no findings beyond the lint.allow baseline)
+    1    new findings
+    2    I/O error, lex error, or malformed lint.allow
+
+RULES:
+    nondeterministic-iteration, wall-clock-in-sim, panic-in-dispatch,
+    raw-thread-spawn, relaxed-ordering, wire-exhaustiveness
+    (documented in DESIGN.md §9)
+";
+
+struct Cli {
+    workspace: bool,
+    root: PathBuf,
+    json: bool,
+    allow: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, FatalError> {
+    let mut cli = Cli {
+        workspace: false,
+        root: PathBuf::from("."),
+        json: false,
+        allow: None,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--workspace" => cli.workspace = true,
+            "--root" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| FatalError("--root needs a value".into()))?;
+                cli.root = PathBuf::from(v);
+            }
+            "--format" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| FatalError("--format needs a value".into()))?;
+                cli.json = match v.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => {
+                        return Err(FatalError(format!(
+                            "unknown format `{other}` (expected text or json)"
+                        )))
+                    }
+                };
+            }
+            "--allow" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| FatalError("--allow needs a value".into()))?;
+                cli.allow = Some(PathBuf::from(v));
+            }
+            other if other.starts_with('-') => {
+                return Err(FatalError(format!("unknown option `{other}`")));
+            }
+            file => cli.files.push(PathBuf::from(file)),
+        }
+    }
+    if !cli.workspace && cli.files.is_empty() {
+        return Err(FatalError(
+            "nothing to lint: pass --workspace or explicit files (see --help)".into(),
+        ));
+    }
+    Ok(Some(cli))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, FatalError> {
+    let Some(cli) = parse_args(args)? else {
+        print!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    };
+    let allow_path = cli
+        .allow
+        .clone()
+        .unwrap_or_else(|| cli.root.join("lint.allow"));
+    let allowlist = load_allowlist(&allow_path)?;
+    let files = if cli.workspace {
+        collect_workspace_files(&cli.root)?
+    } else {
+        cli.files.clone()
+    };
+    let report = lint_files(&cli.root, &files, allowlist)?;
+    if cli.json {
+        print!("{}", report.render_json());
+        // Keep the CI log self-explaining even when stdout is redirected
+        // into LINT.json.
+        eprintln!("{}", report.summary());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if report.new_count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

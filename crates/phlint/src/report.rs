@@ -1,0 +1,210 @@
+//! Rendering: human text and machine JSON.
+//!
+//! The JSON writer is ~40 lines of hand-rolled escaping rather than a
+//! dependency, per the workspace zero-dependency policy — and the linter
+//! deliberately does not depend on `ph-codec`, one of the crates it lints.
+
+use crate::allow::Allowlist;
+use crate::rules::Finding;
+
+/// The outcome of one lint run, ready to render.
+pub struct Report {
+    /// Every finding, allowlisted or not, sorted deterministically.
+    pub findings: Vec<Finding>,
+    /// `allowed[i]` — index into the allowlist entry covering finding `i`.
+    pub allowed: Vec<Option<usize>>,
+    /// Allowlist the run was checked against.
+    pub allowlist: Allowlist,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by the baseline (what fails CI).
+    pub fn new_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .zip(&self.allowed)
+            .filter(|(_, a)| a.is_none())
+            .map(|(f, _)| f)
+    }
+
+    /// Count of non-allowlisted findings.
+    pub fn new_count(&self) -> usize {
+        self.allowed.iter().filter(|a| a.is_none()).count()
+    }
+
+    /// Count of allowlisted findings.
+    pub fn allowlisted_count(&self) -> usize {
+        self.allowed.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Baseline entries that covered no finding (candidates for deletion).
+    pub fn stale_entries(&self) -> Vec<usize> {
+        (0..self.allowlist.entries.len())
+            .filter(|i| !self.allowed.contains(&Some(*i)))
+            .collect()
+    }
+
+    /// The self-explaining CI summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} findings, {} allowlisted, {} files scanned",
+            self.new_count(),
+            self.allowlisted_count(),
+            self.files_scanned
+        )
+    }
+
+    /// Human-readable rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (f, allowed) in self.findings.iter().zip(&self.allowed) {
+            if allowed.is_some() {
+                continue;
+            }
+            out.push_str(&format!(
+                "{}:{}: {}: {}\n    {}\n",
+                f.path, f.line, f.rule, f.message, f.snippet
+            ));
+        }
+        for &i in &self.stale_entries() {
+            let e = &self.allowlist.entries[i];
+            out.push_str(&format!(
+                "warning: stale lint.allow entry at line {} ({} | {} | {}) matched nothing — delete it\n",
+                e.line, e.rule, e.path, e.needle
+            ));
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// Machine-readable rendering (one JSON object).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"new_findings\": {},\n", self.new_count()));
+        out.push_str(&format!(
+            "  \"allowlisted\": {},\n",
+            self.allowlisted_count()
+        ));
+        out.push_str("  \"findings\": [");
+        let mut first = true;
+        for (f, allowed) in self.findings.iter().zip(&self.allowed) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+            out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"snippet\": {}, ", json_str(&f.snippet)));
+            out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+            match allowed {
+                Some(i) => out.push_str(&format!(
+                    "\"allowlisted\": true, \"reason\": {}",
+                    json_str(&self.allowlist.entries[*i].reason)
+                )),
+                None => out.push_str("\"allowlisted\": false"),
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"stale_allow_entries\": [");
+        let mut first = true;
+        for &i in &self.stale_entries() {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("{}", self.allowlist.entries[i].line));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"summary\": {}\n", json_str(&self.summary())));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, WALL_CLOCK_IN_SIM};
+
+    fn report() -> Report {
+        let allowlist = Allowlist::parse(
+            "wall-clock-in-sim | a.rs | Instant::now | timing the bench itself\n\
+             wall-clock-in-sim | gone.rs | whatever | stale entry\n",
+        )
+        .unwrap();
+        let findings = vec![
+            Finding {
+                rule: WALL_CLOCK_IN_SIM,
+                path: "a.rs".into(),
+                line: 3,
+                snippet: "let t = Instant::now();".into(),
+                message: "wall clock".into(),
+            },
+            Finding {
+                rule: WALL_CLOCK_IN_SIM,
+                path: "b.rs".into(),
+                line: 9,
+                snippet: "SystemTime::now()".into(),
+                message: "wall \"clock\"".into(),
+            },
+        ];
+        let allowed = findings.iter().map(|f| allowlist.matches(f)).collect();
+        Report {
+            findings,
+            allowed,
+            allowlist,
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn summary_counts_split_new_vs_allowlisted() {
+        let r = report();
+        assert_eq!(r.summary(), "1 findings, 1 allowlisted, 2 files scanned");
+        assert_eq!(r.stale_entries().len(), 1);
+    }
+
+    #[test]
+    fn text_report_shows_new_findings_and_stale_entries() {
+        let text = report().render_text();
+        assert!(text.contains("b.rs:9: wall-clock-in-sim"));
+        assert!(!text.contains("a.rs:3")); // allowlisted — not shown
+        assert!(text.contains("stale lint.allow entry"));
+        assert!(text.ends_with("1 findings, 1 allowlisted, 2 files scanned\n"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_marks_allowlisted() {
+        let json = report().render_json();
+        assert!(json.contains("\"allowlisted\": true"));
+        assert!(json.contains("\"allowlisted\": false"));
+        assert!(json.contains("wall \\\"clock\\\""));
+        assert!(json.contains("\"stale_allow_entries\": [2]"));
+    }
+}

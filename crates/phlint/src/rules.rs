@@ -1,0 +1,898 @@
+//! The rule engine: six invariants clippy cannot express.
+//!
+//! Each rule walks the token stream of one file (rule 6 walks several) and
+//! emits [`Finding`]s. Scoping conventions shared by the per-file rules:
+//!
+//! * whole-file test code (`tests/`, `benches/` directories) is exempt;
+//! * token-level test code (`#[cfg(test)]` modules, `#[test]` fns — see
+//!   [`crate::lexer::test_mask`]) is exempt;
+//! * everything else is production code and is linted.
+//!
+//! The rules are heuristic by design: they re-derive just enough typing
+//! from declaration syntax (`name: HashMap<…>`, `let name = HashMap::new()`)
+//! to anchor method-call checks, trading full type inference for a
+//! zero-dependency pass that runs in milliseconds. Every heuristic is
+//! documented at its rule, and misses fail *safe* for the repo's claims:
+//! a rule that cannot prove a site is hash iteration stays silent, while
+//! the runtime digest checks in `ci.sh` remain the backstop.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Rule 1: iteration over `HashMap`/`HashSet` in digest-affecting crates.
+pub const NONDETERMINISTIC_ITERATION: &str = "nondeterministic-iteration";
+/// Rule 2: `Instant::now`/`SystemTime` in simulation code.
+pub const WALL_CLOCK_IN_SIM: &str = "wall-clock-in-sim";
+/// Rule 3: `unwrap`/`expect`/`panic!`/indexing in dispatch paths.
+pub const PANIC_IN_DISPATCH: &str = "panic-in-dispatch";
+/// Rule 4: `thread::spawn` outside `netsim::par`.
+pub const RAW_THREAD_SPAWN: &str = "raw-thread-spawn";
+/// Rule 5: `Ordering::Relaxed` outside allowlisted counter sites.
+pub const RELAXED_ORDERING: &str = "relaxed-ordering";
+/// Rule 6: every protocol variant has Wire, dispatch and round-trip arms.
+pub const WIRE_EXHAUSTIVENESS: &str = "wire-exhaustiveness";
+
+/// All rule names, for `--help` and the JSON report.
+pub const ALL_RULES: [&str; 6] = [
+    NONDETERMINISTIC_ITERATION,
+    WALL_CLOCK_IN_SIM,
+    PANIC_IN_DISPATCH,
+    RAW_THREAD_SPAWN,
+    RELAXED_ORDERING,
+    WIRE_EXHAUSTIVENESS,
+];
+
+/// One lexed file ready for linting.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Token stream from [`crate::lexer::lex`].
+    pub toks: Vec<Tok>,
+    /// Per-token test-code mask from [`crate::lexer::test_mask`].
+    pub test_mask: Vec<bool>,
+    /// Source lines (for snippets).
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Builds a `SourceFile` from source text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::lexer::LexError`] from the lexer.
+    pub fn parse(path: impl Into<String>, src: &str) -> Result<Self, crate::lexer::LexError> {
+        let toks = crate::lexer::lex(src)?;
+        let test_mask = crate::lexer::test_mask(&toks);
+        Ok(SourceFile {
+            path: path.into(),
+            toks,
+            test_mask,
+            lines: src.lines().map(str::to_owned).collect(),
+        })
+    }
+
+    fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    }
+
+    /// The crate directory name (`netsim` for `crates/netsim/src/…`), or a
+    /// pseudo-crate for root `src/`, `examples/`, workspace `tests/`.
+    pub fn crate_name(&self) -> &str {
+        let mut parts = self.path.split('/');
+        match parts.next() {
+            Some("crates") => parts.next().unwrap_or(""),
+            Some("examples") => "examples",
+            Some("tests") => "workspace-tests",
+            _ => "root",
+        }
+    }
+
+    /// Whole-file test or bench code (integration tests, benches).
+    pub fn is_test_file(&self) -> bool {
+        self.path
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "benches")
+    }
+}
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Runs every rule over the file set and returns findings sorted by
+/// `(path, line, rule)` — the lint's own output must be deterministic.
+pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        if !f.is_test_file() {
+            nondeterministic_iteration(f, &mut findings);
+            wall_clock_in_sim(f, &mut findings);
+            panic_in_dispatch(f, &mut findings);
+            raw_thread_spawn(f, &mut findings);
+            relaxed_ordering(f, &mut findings);
+        }
+    }
+    wire_exhaustiveness(files, &mut findings);
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    findings
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: nondeterministic-iteration
+// ---------------------------------------------------------------------
+
+/// Crates whose state feeds the crowd/scenario trace digests.
+const DIGEST_CRATES: [&str; 3] = ["netsim", "peerhood", "core"];
+
+/// Methods whose call on a hash container observes its iteration order.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Collects identifiers declared in this file with a `HashMap`/`HashSet`
+/// type: struct fields and `let`/param declarations (`name: HashMap<…>`,
+/// possibly through `&`, `&mut`, lifetimes), plus `let name = HashMap::…`
+/// initializations. Purely syntactic — no cross-file type inference — but
+/// that is exactly where hash containers enter a file: its own fields and
+/// locals.
+fn hash_container_names(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if !(is_ident(t, "HashMap") || is_ident(t, "HashSet")) {
+            continue;
+        }
+        let mut j = k;
+        // Step back over a `std :: collections ::` path prefix.
+        while j >= 3
+            && is_punct(&toks[j - 1], ":")
+            && is_punct(&toks[j - 2], ":")
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        // Step back over type-reference noise: `&`, `mut`, lifetimes.
+        while j >= 1
+            && (is_punct(&toks[j - 1], "&")
+                || is_ident(&toks[j - 1], "mut")
+                || toks[j - 1].kind == TokKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j >= 2 && toks[j - 2].kind == TokKind::Ident {
+            // `name : HashMap<…>` — but not `path :: HashMap`.
+            let decl_colon = is_punct(&toks[j - 1], ":")
+                && !(j >= 3 && is_punct(&toks[j - 3], ":"))
+                && !(j + 1 < toks.len() && is_punct(&toks[j], ":") && is_punct(&toks[j + 1], ":"));
+            // `let name = HashMap::new()` / `let mut name = …`.
+            let init_eq = is_punct(&toks[j - 1], "=");
+            if decl_colon || init_eq {
+                let name = toks[j - 2].text.clone();
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+fn nondeterministic_iteration(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !DIGEST_CRATES.contains(&f.crate_name()) {
+        return;
+    }
+    let names = hash_container_names(&f.toks);
+    if names.is_empty() {
+        return;
+    }
+    let toks = &f.toks;
+    // Method-call form: `container.keys()`, `container.drain()`, …
+    for i in 1..toks.len().saturating_sub(2) {
+        if f.test_mask[i] {
+            continue;
+        }
+        if is_punct(&toks[i], ".")
+            && toks[i + 1].kind == TokKind::Ident
+            && ITER_METHODS.contains(&toks[i + 1].text.as_str())
+            && is_punct(&toks[i + 2], "(")
+            && toks[i - 1].kind == TokKind::Ident
+            && names.contains(&toks[i - 1].text)
+        {
+            out.push(Finding {
+                rule: NONDETERMINISTIC_ITERATION,
+                path: f.path.clone(),
+                line: toks[i + 1].line,
+                snippet: f.snippet(toks[i + 1].line),
+                message: format!(
+                    "iteration order of `{}.{}()` is nondeterministic ({} is a hash container in a digest-affecting crate)",
+                    toks[i - 1].text, toks[i + 1].text, toks[i - 1].text
+                ),
+            });
+        }
+    }
+    // For-loop form: `for x in &container { … }`.
+    let mut i = 0;
+    while i < toks.len() {
+        if !is_ident(&toks[i], "for") || f.test_mask[i] {
+            i += 1;
+            continue;
+        }
+        // Find `in` at bracket depth 0 before the body `{`.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut in_pos = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+            } else if is_ident(t, "in") && depth == 0 {
+                in_pos = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_pos) = in_pos else {
+            i += 1; // `impl Trait for Type`, `for<'a>` — no loop here
+            continue;
+        };
+        // Expression tokens between `in` and the body `{`.
+        let mut k = in_pos + 1;
+        depth = 0;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            if t.kind == TokKind::Ident
+                && names.contains(&t.text)
+                // A following `.` means a method call decides the story
+                // (and the method-call form above already judged it).
+                && !(k + 1 < toks.len() && is_punct(&toks[k + 1], "."))
+            {
+                out.push(Finding {
+                    rule: NONDETERMINISTIC_ITERATION,
+                    path: f.path.clone(),
+                    line: t.line,
+                    snippet: f.snippet(t.line),
+                    message: format!(
+                        "`for … in {}` iterates a hash container in nondeterministic order",
+                        t.text
+                    ),
+                });
+            }
+            k += 1;
+        }
+        i = k.max(i + 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: wall-clock-in-sim
+// ---------------------------------------------------------------------
+
+fn wall_clock_in_sim(f: &SourceFile, out: &mut Vec<Finding>) {
+    // The live TCP driver and the bench timer are wall-clock by nature.
+    if f.crate_name() == "bench" || f.path.contains("live/") || f.path.ends_with("/live.rs") {
+        return;
+    }
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.test_mask[i] {
+            continue;
+        }
+        if is_ident(&toks[i], "Instant")
+            && i + 3 < toks.len()
+            && is_punct(&toks[i + 1], ":")
+            && is_punct(&toks[i + 2], ":")
+            && is_ident(&toks[i + 3], "now")
+        {
+            out.push(Finding {
+                rule: WALL_CLOCK_IN_SIM,
+                path: f.path.clone(),
+                line: toks[i].line,
+                snippet: f.snippet(toks[i].line),
+                message: "`Instant::now` reads the wall clock; simulation code must use SimTime"
+                    .to_owned(),
+            });
+        }
+        if is_ident(&toks[i], "SystemTime") {
+            out.push(Finding {
+                rule: WALL_CLOCK_IN_SIM,
+                path: f.path.clone(),
+                line: toks[i].line,
+                snippet: f.snippet(toks[i].line),
+                message: "`SystemTime` reads the wall clock; simulation code must use SimTime"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: panic-in-dispatch
+// ---------------------------------------------------------------------
+
+/// Files whose non-test code must never panic: the Table-6 server dispatch
+/// and the PeerHood daemon state machine (`lint.allow` documents why each
+/// remaining site, if any, is safe).
+const DISPATCH_FILES: [&str; 4] = [
+    "crates/core/src/server.rs",
+    "crates/peerhood/src/daemon.rs",
+    "crates/peerhood/src/service.rs",
+    "crates/peerhood/src/neighbor.rs",
+];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_in_dispatch(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !DISPATCH_FILES.contains(&f.path.as_str()) {
+        return;
+    }
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if is_punct(t, ".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| is_ident(n, "unwrap") || is_ident(n, "expect"))
+            && toks.get(i + 2).is_some_and(|n| is_punct(n, "("))
+        {
+            let method = &toks[i + 1];
+            out.push(Finding {
+                rule: PANIC_IN_DISPATCH,
+                path: f.path.clone(),
+                line: method.line,
+                snippet: f.snippet(method.line),
+                message: format!(
+                    "`.{}()` can panic; dispatch paths must return CommunityError",
+                    method.text
+                ),
+            });
+        }
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, "!"))
+        {
+            out.push(Finding {
+                rule: PANIC_IN_DISPATCH,
+                path: f.path.clone(),
+                line: t.line,
+                snippet: f.snippet(t.line),
+                message: format!(
+                    "`{}!` panics; dispatch paths must return CommunityError",
+                    t.text
+                ),
+            });
+        }
+        // Slice/array indexing `expr[…]`: an out-of-range index panics.
+        // The previous token being an identifier or a closing bracket marks
+        // expression position (types `[u8; 4]`, attributes `#[…]` and
+        // macros `vec![…]` all have a non-expression token before `[`).
+        if is_punct(t, "[")
+            && i > 0
+            && (toks[i - 1].kind == TokKind::Ident
+                || is_punct(&toks[i - 1], ")")
+                || is_punct(&toks[i - 1], "]"))
+        {
+            out.push(Finding {
+                rule: PANIC_IN_DISPATCH,
+                path: f.path.clone(),
+                line: t.line,
+                snippet: f.snippet(t.line),
+                message:
+                    "indexing can panic; dispatch paths must bounds-check and return CommunityError"
+                        .to_owned(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: raw-thread-spawn
+// ---------------------------------------------------------------------
+
+/// The one module allowed to create threads: the fork/join helpers whose
+/// spawn-order joins keep the parallel engine deterministic.
+const PAR_MODULE: &str = "crates/netsim/src/par.rs";
+
+fn raw_thread_spawn(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.path == PAR_MODULE {
+        return;
+    }
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.test_mask[i] {
+            continue;
+        }
+        let path_spawn = is_ident(&toks[i], "thread")
+            && i + 3 < toks.len()
+            && is_punct(&toks[i + 1], ":")
+            && is_punct(&toks[i + 2], ":")
+            && is_ident(&toks[i + 3], "spawn");
+        let method_spawn = is_punct(&toks[i], ".")
+            && toks.get(i + 1).is_some_and(|n| is_ident(n, "spawn"))
+            && toks.get(i + 2).is_some_and(|n| is_punct(n, "("));
+        if path_spawn || method_spawn {
+            out.push(Finding {
+                rule: RAW_THREAD_SPAWN,
+                path: f.path.clone(),
+                line: toks[i].line,
+                snippet: f.snippet(toks[i].line),
+                message: "thread creation outside netsim::par breaks the deterministic fork/join discipline"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: relaxed-ordering
+// ---------------------------------------------------------------------
+
+fn relaxed_ordering(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if f.test_mask[i] {
+            continue;
+        }
+        if is_ident(&toks[i], "Ordering")
+            && i + 3 < toks.len()
+            && is_punct(&toks[i + 1], ":")
+            && is_punct(&toks[i + 2], ":")
+            && is_ident(&toks[i + 3], "Relaxed")
+        {
+            out.push(Finding {
+                rule: RELAXED_ORDERING,
+                path: f.path.clone(),
+                line: toks[i + 3].line,
+                snippet: f.snippet(toks[i + 3].line),
+                message: "`Ordering::Relaxed` provides no synchronization; allowlist pure counters, use stronger orderings elsewhere"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 6: wire-exhaustiveness
+// ---------------------------------------------------------------------
+
+const PROTOCOL_FILE: &str = "crates/core/src/protocol.rs";
+const SERVER_FILE: &str = "crates/core/src/server.rs";
+
+/// Extracts the variant names of `enum <name>` from a token stream.
+fn enum_variants(toks: &[Tok], name: &str) -> Vec<(String, u32)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if is_ident(&toks[i], "enum") && is_ident(&toks[i + 1], name) && is_punct(&toks[i + 2], "{")
+        {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            let mut expect_variant = true;
+            while j < toks.len() {
+                let t = &toks[j];
+                // Variant attributes `#[…]` are transparent: skip them
+                // without disturbing the expect-a-variant state.
+                if depth == 1
+                    && is_punct(t, "#")
+                    && toks.get(j + 1).is_some_and(|n| is_punct(n, "["))
+                {
+                    let mut attr_depth = 0i32;
+                    while j < toks.len() {
+                        if is_punct(&toks[j], "[") {
+                            attr_depth += 1;
+                        } else if is_punct(&toks[j], "]") {
+                            attr_depth -= 1;
+                            if attr_depth == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    j += 1;
+                    continue;
+                }
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "{" | "(" | "[" => {
+                            depth += 1;
+                            // Entering a payload: the next variant comes
+                            // after the matching close and a comma.
+                            if depth > 1 {
+                                expect_variant = false;
+                            }
+                        }
+                        "}" | ")" | "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return variants;
+                            }
+                        }
+                        "," if depth == 1 => expect_variant = true,
+                        _ => {}
+                    }
+                } else if t.kind == TokKind::Ident && depth == 1 && expect_variant {
+                    variants.push((t.text.clone(), t.line));
+                    expect_variant = false;
+                }
+                j += 1;
+            }
+            return variants;
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// Counts `Enum::Variant` path references, restricted to test or non-test
+/// tokens.
+fn count_refs(f: &SourceFile, enum_name: &str, variant: &str, in_tests: bool) -> usize {
+    let toks = &f.toks;
+    let mut n = 0;
+    for i in 0..toks.len().saturating_sub(3) {
+        if f.test_mask[i] != in_tests {
+            continue;
+        }
+        if is_ident(&toks[i], enum_name)
+            && is_punct(&toks[i + 1], ":")
+            && is_punct(&toks[i + 2], ":")
+            && is_ident(&toks[i + 3], variant)
+        {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn wire_exhaustiveness(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let Some(protocol) = files.iter().find(|f| f.path == PROTOCOL_FILE) else {
+        return; // partial lint (explicit file list) — nothing to check
+    };
+    let Some(server) = files.iter().find(|f| f.path == SERVER_FILE) else {
+        return;
+    };
+    for enum_name in ["Request", "Response"] {
+        let variants = enum_variants(&protocol.toks, enum_name);
+        if variants.is_empty() {
+            out.push(Finding {
+                rule: WIRE_EXHAUSTIVENESS,
+                path: protocol.path.clone(),
+                line: 1,
+                snippet: String::new(),
+                message: format!("could not locate `enum {enum_name}` in the protocol module"),
+            });
+            continue;
+        }
+        for (variant, line) in variants {
+            let mut missing = Vec::new();
+            // Encode + decode arms both spell `Enum::Variant` in the Wire
+            // impls, so full codec coverage means at least two non-test
+            // references in protocol.rs.
+            if count_refs(protocol, enum_name, &variant, false) < 2 {
+                missing.push("a Wire encode/decode arm");
+            }
+            if count_refs(server, enum_name, &variant, false) < 1 {
+                missing.push("a server dispatch arm");
+            }
+            if count_refs(protocol, enum_name, &variant, true) < 1 {
+                missing.push("a round-trip test fixture");
+            }
+            if !missing.is_empty() {
+                out.push(Finding {
+                    rule: WIRE_EXHAUSTIVENESS,
+                    path: protocol.path.clone(),
+                    line,
+                    snippet: protocol.snippet(line),
+                    message: format!(
+                        "`{}::{}` is missing {}",
+                        enum_name,
+                        variant,
+                        missing.join(" and ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, src).unwrap()
+    }
+
+    fn run_one(path: &str, src: &str) -> Vec<Finding> {
+        run_all(&[file(path, src)])
+    }
+
+    // ---- rule 1 ----------------------------------------------------
+
+    #[test]
+    fn hashmap_iteration_in_digest_crate_is_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   struct S { m: HashMap<u32, u32> }\n\
+                   impl S { fn f(&self) { for v in self.m.values() { drop(v); } } }";
+        let f = run_one("crates/netsim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, NONDETERMINISTIC_ITERATION);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn for_in_ref_to_map_is_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() { let m: HashMap<u32, u32> = HashMap::new(); for x in &m { drop(x); } }";
+        let f = run_one("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, NONDETERMINISTIC_ITERATION);
+    }
+
+    #[test]
+    fn let_init_without_type_annotation_is_tracked() {
+        let src = "use std::collections::HashSet;\n\
+                   fn f() { let mut s = HashSet::new(); s.insert(1); s.retain(|_| true); }";
+        let f = run_one("crates/peerhood/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("retain"));
+    }
+
+    #[test]
+    fn btreemap_iteration_and_lookup_are_clean() {
+        let src = "use std::collections::{BTreeMap, HashMap};\n\
+                   struct S { m: BTreeMap<u32, u32>, h: HashMap<u32, u32> }\n\
+                   impl S { fn f(&self) -> Option<&u32> { for v in self.m.values() {} self.h.get(&1) } }";
+        assert!(run_one("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_outside_digest_crates_is_clean() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) { for v in m.values() { drop(v); } }";
+        assert!(run_one("crates/harness/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_in_tests_is_exempt() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)] mod tests { use super::*;\n\
+                   fn f(m: &HashMap<u32, u32>) { for v in m.values() { drop(v); } } }";
+        assert!(run_one("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_string_literal_is_not_a_finding() {
+        let src = "fn f() -> &'static str { \"for v in map.values() HashMap\" }";
+        assert!(run_one("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    // ---- rule 2 ----------------------------------------------------
+
+    #[test]
+    fn instant_now_flagged_outside_exempt_paths() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); drop(t); }";
+        let f = run_one("crates/netsim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, WALL_CLOCK_IN_SIM);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn system_time_flagged_even_as_import() {
+        let src = "use std::time::SystemTime;";
+        let f = run_one("crates/harness/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, WALL_CLOCK_IN_SIM);
+    }
+
+    #[test]
+    fn wall_clock_fine_in_live_and_bench() {
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }";
+        assert!(run_one("crates/peerhood/src/live/net.rs", src).is_empty());
+        assert!(run_one("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_in_test_code_is_exempt() {
+        let src = "#[test]\nfn t() { let _ = std::time::Instant::now(); }";
+        assert!(run_one("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    // ---- rule 3 ----------------------------------------------------
+
+    #[test]
+    fn unwrap_in_dispatch_file_is_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = run_one("crates/core/src/server.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, PANIC_IN_DISPATCH);
+        assert!(f[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn expect_panic_macro_and_indexing_are_flagged() {
+        let src = "fn f(v: &[u32], x: Option<u32>) -> u32 {\n\
+                   let a = x.expect(\"boom\");\n\
+                   if a > 9 { panic!(\"no\"); }\n\
+                   v[0]\n}";
+        let f = run_one("crates/peerhood/src/daemon.rs", src);
+        let rules: Vec<_> = f.iter().map(|x| (x.rule, x.line)).collect();
+        assert_eq!(
+            rules,
+            vec![
+                (PANIC_IN_DISPATCH, 2),
+                (PANIC_IN_DISPATCH, 3),
+                (PANIC_IN_DISPATCH, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_in_dispatch_tests_is_exempt() {
+        let src = "fn ok() -> u32 { 1 }\n\
+                   #[cfg(test)] mod tests { #[test] fn t() { Some(1).unwrap(); } }";
+        assert!(run_one("crates/core/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_dispatch_files_is_not_this_rules_business() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(run_one("crates/core/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn attributes_array_types_and_macros_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\n\
+                   fn f() -> Vec<u8> { vec![1, 2] }";
+        assert!(run_one("crates/core/src/server.rs", src).is_empty());
+    }
+
+    // ---- rule 4 ----------------------------------------------------
+
+    #[test]
+    fn thread_spawn_flagged_outside_par() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        let f = run_one("crates/harness/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RAW_THREAD_SPAWN);
+        // …and scope spawns too:
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert_eq!(run_one("crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn par_module_may_spawn() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert!(run_one("crates/netsim/src/par.rs", src).is_empty());
+    }
+
+    // ---- rule 5 ----------------------------------------------------
+
+    #[test]
+    fn relaxed_ordering_flagged_in_production_code() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }";
+        let f = run_one("crates/netsim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RELAXED_ORDERING);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn seqcst_and_test_relaxed_are_clean() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::SeqCst); }\n\
+                   #[cfg(test)] mod tests { use super::*;\n\
+                   fn g(a: &AtomicU64) { a.load(Ordering::Relaxed); } }";
+        assert!(run_one("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    // ---- rule 6 ----------------------------------------------------
+
+    fn proto_src(extra_variant: bool) -> String {
+        let mut enum_body = String::from("A,\nB { x: u32 },\n");
+        if extra_variant {
+            enum_body.push_str("C,\n");
+        }
+        format!(
+            "pub enum Request {{ {enum_body} }}\n\
+             pub enum Response {{ Ok, Err {{ msg: String }}, }}\n\
+             impl Request {{\n\
+               fn encode(&self) {{ match self {{ Request::A => {{}}, Request::B {{ .. }} => {{}}, {} }} }}\n\
+               fn decode() -> Request {{ if true {{ Request::A }} else {{ Request::B {{ x: 1 }} }} }}\n\
+             }}\n\
+             impl Response {{\n\
+               fn encode(&self) {{ match self {{ Response::Ok => {{}}, Response::Err {{ .. }} => {{}}, }} }}\n\
+               fn decode() -> Response {{ if true {{ Response::Ok }} else {{ Response::Err {{ msg: String::new() }} }} }}\n\
+             }}\n\
+             #[cfg(test)] mod tests {{\n\
+               fn fixtures() {{ let _ = (Request::A, Request::B {{ x: 1 }}, Response::Ok, Response::Err {{ msg: String::new() }}); }}\n\
+             }}\n",
+            if extra_variant { "Request::C => {}," } else { "" }
+        )
+    }
+
+    fn server_src() -> &'static str {
+        "fn dispatch(r: &Request) -> Response {\n\
+           match r { Request::A => Response::Ok,\n\
+                     Request::B { .. } => Response::Err { msg: String::new() } }\n\
+         }"
+    }
+
+    #[test]
+    fn covered_variants_pass() {
+        let files = [
+            file("crates/core/src/protocol.rs", &proto_src(false)),
+            file("crates/core/src/server.rs", server_src()),
+        ];
+        let f: Vec<_> = run_all(&files)
+            .into_iter()
+            .filter(|f| f.rule == WIRE_EXHAUSTIVENESS)
+            .collect();
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn uncovered_variant_reports_each_missing_leg() {
+        // `Request::C` has an encode arm only: missing half the Wire
+        // coverage, the dispatch arm, and the round-trip fixture.
+        let files = [
+            file("crates/core/src/protocol.rs", &proto_src(true)),
+            file("crates/core/src/server.rs", server_src()),
+        ];
+        let f: Vec<_> = run_all(&files)
+            .into_iter()
+            .filter(|f| f.rule == WIRE_EXHAUSTIVENESS)
+            .collect();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Request::C"));
+        assert!(f[0].message.contains("Wire encode/decode"));
+        assert!(f[0].message.contains("dispatch"));
+        assert!(f[0].message.contains("round-trip"));
+    }
+}
