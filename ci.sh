@@ -42,12 +42,35 @@ grep -m1 -o '"events_per_sec": [0-9.]*' BENCH_scale_serial.tmp.json \
         { if ($2 + 0 < floor) { print "events/s " $2 " below floor " floor; exit 1 }
           print "events/s " $2 " ok (floor " floor ")" }'
 
+# Fault-injection smoke: the same crowds under the "lossy" profile (10%
+# BT frame loss + burst episodes, recovery enabled). The faulted runs
+# must be just as deterministic — serial and `--threads 4 --selfcheck`
+# digests agree — and the faults must actually fire (frames dropped).
+cargo run --release --offline -p ph-harness --bin repro -- \
+    crowd --nodes 100,1000 --horizon 30 --faults lossy --json \
+    > BENCH_scale_faulted_serial.tmp.json
+cargo run --release --offline -p ph-harness --bin repro -- \
+    crowd --nodes 100,1000 --horizon 30 --faults lossy --threads 4 --selfcheck --json \
+    > BENCH_scale_faulted_threads4.tmp.json
+
+d_fserial=$(grep -o '"digest": "[0-9a-f]*"' BENCH_scale_faulted_serial.tmp.json)
+d_fpar=$(grep -o '"digest": "[0-9a-f]*"' BENCH_scale_faulted_threads4.tmp.json)
+test "$d_fserial" = "$d_fpar"
+grep -m1 -o '"frames_dropped": [0-9]*' BENCH_scale_faulted_serial.tmp.json \
+    | awk -F': ' '{ if ($2 + 0 == 0) { print "lossy profile dropped no frames"; exit 1 }
+                    print "faulted run dropped " $2 " frames" }'
+
 {
     printf '{\n"serial": '
     cat BENCH_scale_serial.tmp.json
     printf ',\n"threads4": '
     cat BENCH_scale_threads4.tmp.json
+    printf ',\n"faulted_serial": '
+    cat BENCH_scale_faulted_serial.tmp.json
+    printf ',\n"faulted_threads4": '
+    cat BENCH_scale_faulted_threads4.tmp.json
     printf '}\n'
 } > BENCH_scale.json
-rm -f BENCH_scale_serial.tmp.json BENCH_scale_threads4.tmp.json
+rm -f BENCH_scale_serial.tmp.json BENCH_scale_threads4.tmp.json \
+    BENCH_scale_faulted_serial.tmp.json BENCH_scale_faulted_threads4.tmp.json
 cat BENCH_scale.json

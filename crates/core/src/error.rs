@@ -1,6 +1,7 @@
 //! Error types for the PeerHood Community middleware.
 
 use codec::DecodeError;
+use peerhood::ErrorKind;
 use std::error::Error as StdError;
 use std::fmt;
 
@@ -30,6 +31,28 @@ pub enum CommunityError {
     MemberNotConnected(String),
     /// An operation was attempted with no connected members at all.
     NoConnectedMembers,
+}
+
+impl CommunityError {
+    /// The coarse [`ErrorKind`] of this error — the same classification
+    /// (and stable wire codes) the middleware uses for
+    /// [`peerhood::PeerHoodError`], so tools can log and transmit failures
+    /// from both layers through one vocabulary.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            CommunityError::InvalidCredentials | CommunityError::NotLoggedIn => {
+                ErrorKind::Unauthorized
+            }
+            CommunityError::AccountExists(_) => ErrorKind::Conflict,
+            CommunityError::NoSuchAccount(_) | CommunityError::NoSuchProfile(_) => {
+                ErrorKind::NotFound
+            }
+            CommunityError::Decode(_) => ErrorKind::InvalidRequest,
+            CommunityError::Persistence(_) | CommunityError::NoActiveAccount => ErrorKind::Internal,
+            CommunityError::MemberNotConnected(_) => ErrorKind::Unreachable,
+            CommunityError::NoConnectedMembers => ErrorKind::Unavailable,
+        }
+    }
 }
 
 impl fmt::Display for CommunityError {
@@ -83,6 +106,36 @@ mod tests {
         assert!(CommunityError::Persistence("disk on fire".into())
             .to_string()
             .contains("disk on fire"));
+    }
+
+    #[test]
+    fn kinds_match_the_shared_vocabulary() {
+        assert_eq!(
+            CommunityError::InvalidCredentials.kind(),
+            ErrorKind::Unauthorized
+        );
+        assert_eq!(
+            CommunityError::AccountExists("bob".into()).kind(),
+            ErrorKind::Conflict
+        );
+        assert_eq!(
+            CommunityError::NoSuchAccount("bob".into()).kind(),
+            ErrorKind::NotFound
+        );
+        assert_eq!(
+            CommunityError::Decode(DecodeError::Truncated).kind(),
+            ErrorKind::InvalidRequest
+        );
+        assert_eq!(
+            CommunityError::MemberNotConnected("bob".into()).kind(),
+            ErrorKind::Unreachable
+        );
+        assert_eq!(
+            CommunityError::NoConnectedMembers.kind(),
+            ErrorKind::Unavailable
+        );
+        // Both layers agree on the wire code for, say, unreachability.
+        assert_eq!(CommunityError::NoConnectedMembers.kind().code(), 9);
     }
 
     #[test]

@@ -66,8 +66,9 @@ pub use discovery::{discover_groups, Group, GroupSet};
 pub use error::CommunityError;
 pub use groups::{GroupEvent, GroupRegistry};
 pub use interest::{Interest, InterestSet};
-pub use node::{CommunityApp, OpId, OpOutcome, OpResult, SharedOutcome, SERVICE_NAME};
+pub use node::{CommunityApp, OpId, OpOutcome, OpResult, RetryPolicy, SharedOutcome, SERVICE_NAME};
 pub use profile::{Profile, ProfileView};
 pub use protocol::{Request, Response};
 pub use semantics::{MatchPolicy, SynonymTable};
+pub use server::{handle_request, handle_request_cached, ReplayCache};
 pub use store::MemberStore;

@@ -45,7 +45,7 @@ use crate::interest::Interest;
 use crate::profile::ProfileView;
 use crate::protocol::{Request, Response};
 use crate::semantics::MatchPolicy;
-use crate::server::handle_request;
+use crate::server::{handle_request_cached, ReplayCache};
 use crate::store::MemberStore;
 
 /// The PeerHood service name of the community application (Figure 8).
@@ -57,6 +57,53 @@ const REFRESH_TIMER: u64 = 1;
 /// Timer-token base for deferred operation starts (fresh-inquiry mode);
 /// the operation id is added to it.
 const OP_START_TIMER_BASE: u64 = 1_000;
+
+/// Timer-token base for per-request retry deadlines; the request sequence
+/// number is added to it. Far above `OP_START_TIMER_BASE + OpId`, so the
+/// token spaces cannot collide.
+const RETRY_TIMER_BASE: u64 = 1_000_000;
+
+/// Client-side fault tolerance for Table 6 requests (opt-in via
+/// [`CommunityApp::with_fault_tolerance`]).
+///
+/// Every request sent on a client connection gets a deadline; an
+/// unanswered request is re-sent up to `max_retries` times and the
+/// connection is torn down when the retries are exhausted (which resumes
+/// any per-operation plan on the next device). Mutating requests are
+/// wrapped in [`Request::Idempotent`] so a retry can never double-apply a
+/// comment or message on the server.
+///
+/// `request_timeout` must stay far above the worst simulated round-trip
+/// (GPRS + a large profile is well under a second) so that a retry only
+/// ever races a *lost* response, not a slow one.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long to wait for a response before re-sending.
+    pub request_timeout: Duration,
+    /// How many times to re-send before giving up on the connection.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            request_timeout: Duration::from_secs(5),
+            max_retries: 2,
+        }
+    }
+}
+
+/// FNV-1a of the device name: the high half of every idempotency token, so
+/// two clients retrying against the same server can never collide in its
+/// replay cache.
+fn client_token_half(actor: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in actor.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h & 0xFFFF_FFFF) << 32
+}
 
 /// How the client reaches neighbor servers for operations.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -161,6 +208,26 @@ enum Pending {
     AutoInterests,
     /// Part of an operation.
     Op(OpId),
+}
+
+/// One expected response on a client connection, keyed by the sequence
+/// number of the request that asked for it (the retry-deadline key).
+#[derive(Clone, Debug, PartialEq)]
+struct PendingEntry {
+    seq: u64,
+    what: Pending,
+}
+
+/// Retry bookkeeping for one in-flight request (fault-tolerant mode).
+#[derive(Debug)]
+struct RetryEntry {
+    conn: ConnId,
+    device: DeviceId,
+    /// The exact frame to re-send — for mutating requests this is the
+    /// [`Request::Idempotent`] envelope, so every retry carries the same
+    /// token and the server applies the operation at most once.
+    request: Request,
+    attempts: u32,
 }
 
 #[derive(Clone, Debug, PartialEq)]
@@ -272,7 +339,7 @@ pub struct CommunityApp {
     peers: BTreeMap<DeviceId, Peer>,
     conn_to_peer: BTreeMap<ConnId, DeviceId>,
     /// Pending responses expected on each of our client connections.
-    conn_pending: BTreeMap<ConnId, VecDeque<Pending>>,
+    conn_pending: BTreeMap<ConnId, VecDeque<PendingEntry>>,
     /// Incoming (server-side) connections with the client device's name.
     server_conns: BTreeMap<ConnId, String>,
     /// Operations awaiting a connection to a device, in request order.
@@ -288,6 +355,16 @@ pub struct CommunityApp {
     op_mode: OpMode,
     fresh_inquiry_per_op: bool,
     deferred_ops: BTreeMap<u64, OpId>,
+    /// Client-side retry policy; `None` (the default) disables all retry
+    /// machinery and idempotency envelopes — the pre-fault-layer behavior.
+    fault_tolerance: Option<RetryPolicy>,
+    /// Per-request retry state, keyed by request sequence number.
+    retry_timers: BTreeMap<u64, RetryEntry>,
+    next_req_seq: u64,
+    /// Server-side replay protection for [`Request::Idempotent`] frames.
+    /// Always on: it only ever acts when a client sends the envelope, so
+    /// fault-free runs are byte-identical with or without it.
+    replay: ReplayCache,
 }
 
 impl CommunityApp {
@@ -314,6 +391,10 @@ impl CommunityApp {
             op_mode: OpMode::Persistent,
             fresh_inquiry_per_op: false,
             deferred_ops: BTreeMap::new(),
+            fault_tolerance: None,
+            retry_timers: BTreeMap::new(),
+            next_req_seq: 0,
+            replay: ReplayCache::new(1024),
         }
     }
 
@@ -350,9 +431,22 @@ impl CommunityApp {
         self
     }
 
+    /// Enables client-side fault tolerance (builder style): per-request
+    /// timeouts, bounded re-sends, and [`Request::Idempotent`] envelopes
+    /// around mutating requests. See [`RetryPolicy`].
+    pub fn with_fault_tolerance(mut self, policy: RetryPolicy) -> Self {
+        self.fault_tolerance = Some(policy);
+        self
+    }
+
     /// The active connection mode.
     pub fn op_mode(&self) -> OpMode {
         self.op_mode
+    }
+
+    /// The active client-side retry policy, if fault tolerance is enabled.
+    pub fn fault_tolerance(&self) -> Option<RetryPolicy> {
+        self.fault_tolerance
     }
 
     // ------------------------------------------------------------------
@@ -790,10 +884,7 @@ impl CommunityApp {
         if self.fresh_inquiry_per_op {
             let token = OP_START_TIMER_BASE + id.raw();
             self.deferred_ops.insert(token, id);
-            ctx.set_timer(
-                netsim::Technology::Bluetooth.profile().inquiry_duration,
-                token,
-            );
+            ctx.set_timer(netsim::radio::BLUETOOTH.inquiry_duration, token);
         } else {
             self.advance_plan(id, ctx);
         }
@@ -812,6 +903,7 @@ impl CommunityApp {
             ctx.peerhood().close(conn);
             self.conn_to_peer.remove(&conn);
             self.conn_pending.remove(&conn);
+            self.purge_conn_retries(conn);
         }
         let op = self.ops.get_mut(&id).expect("still present");
         let plan = op.plan.as_mut().expect("still present");
@@ -842,11 +934,87 @@ impl CommunityApp {
             .map(|p| p.device_name.clone())
             .unwrap_or_else(|| device.to_string());
         ctx.trace(&peer_name, req.label());
-        ctx.peerhood().send(conn, Bytes::from(req.encode()));
+        let seq = self.next_req_seq;
+        self.next_req_seq += 1;
+        // Under fault tolerance, mutating requests go out in an idempotency
+        // envelope; reads are naturally idempotent and stay bare.
+        let wire_req = match (self.fault_tolerance, req) {
+            (Some(_), Request::AddProfileComment { .. } | Request::Message { .. }) => {
+                Request::Idempotent {
+                    token: client_token_half(ctx.actor()) | seq,
+                    inner: Box::new(req.clone()),
+                }
+            }
+            _ => req.clone(),
+        };
+        ctx.peerhood().send(conn, Bytes::from(wire_req.encode()));
         self.conn_pending
             .entry(conn)
             .or_default()
-            .push_back(pending);
+            .push_back(PendingEntry { seq, what: pending });
+        if let Some(policy) = self.fault_tolerance {
+            self.retry_timers.insert(
+                seq,
+                RetryEntry {
+                    conn,
+                    device,
+                    request: wire_req,
+                    attempts: 0,
+                },
+            );
+            ctx.set_timer(policy.request_timeout, RETRY_TIMER_BASE + seq);
+        }
+    }
+
+    /// Drops retry state for every in-flight request on `conn` (the
+    /// connection is gone; its timers will fire into the void and be
+    /// ignored).
+    fn purge_conn_retries(&mut self, conn: ConnId) {
+        self.retry_timers.retain(|_, e| e.conn != conn);
+    }
+
+    /// A retry deadline fired for request `seq`.
+    fn on_retry_timer(&mut self, seq: u64, ctx: &mut AppCtx<'_>) {
+        let Some(policy) = self.fault_tolerance else {
+            return;
+        };
+        let Some(entry) = self.retry_timers.get(&seq) else {
+            return; // answered (or its connection died) meanwhile
+        };
+        let conn = entry.conn;
+        // Responses come back in FIFO order, so only the *front* request of
+        // a connection can actually be overdue; a later request's wait
+        // starts when it reaches the front.
+        let is_front = self
+            .conn_pending
+            .get(&conn)
+            .and_then(VecDeque::front)
+            .is_some_and(|p| p.seq == seq);
+        if !is_front {
+            ctx.set_timer(policy.request_timeout, RETRY_TIMER_BASE + seq);
+            return;
+        }
+        if entry.attempts < policy.max_retries {
+            let entry = self.retry_timers.get_mut(&seq).expect("checked above");
+            entry.attempts += 1;
+            let (device, frame, label) =
+                (entry.device, entry.request.encode(), entry.request.label());
+            let peer_name = self
+                .peers
+                .get(&device)
+                .map(|p| p.device_name.clone())
+                .unwrap_or_else(|| device.to_string());
+            ctx.trace(&peer_name, &format!("(retry) {label}"));
+            ctx.peerhood().send(conn, Bytes::from(frame));
+            ctx.set_timer(policy.request_timeout, RETRY_TIMER_BASE + seq);
+        } else {
+            // Retries exhausted: give up on the whole connection. Tearing
+            // it down routes through `on_conn_gone`, which resumes any
+            // per-operation plan on the next device and finalizes fan-outs.
+            self.retry_timers.remove(&seq);
+            ctx.peerhood().close(conn);
+            self.on_conn_gone(conn, ctx);
+        }
     }
 
     fn device_of_member(&self, member: &str) -> Option<DeviceId> {
@@ -938,6 +1106,11 @@ impl CommunityApp {
             .conn_pending
             .get_mut(&conn)
             .and_then(VecDeque::pop_front);
+        if let Some(entry) = &pending {
+            // Answered: its retry deadline (if any) is void.
+            self.retry_timers.remove(&entry.seq);
+        }
+        let pending = pending.map(|e| e.what);
         let peer_name = self
             .peers
             .get(&device)
@@ -1163,6 +1336,7 @@ impl CommunityApp {
     fn on_conn_gone(&mut self, conn: ConnId, ctx: &mut AppCtx<'_>) {
         self.server_conns.remove(&conn);
         self.conn_pending.remove(&conn);
+        self.purge_conn_retries(conn);
         if let Some(device) = self.conn_to_peer.remove(&conn) {
             if let Some(peer) = self.peers.get_mut(&device) {
                 // Only a lost *persistent* connection invalidates what we
@@ -1285,7 +1459,9 @@ impl Application for CommunityApp {
                     .or_insert_with(|| Peer::new(info.name.clone()));
                 ctx.peerhood().request_service_list(info.id);
             }
-            AppEvent::ServiceList { device, services } => {
+            AppEvent::ServiceList {
+                device, services, ..
+            } => {
                 let has = services.iter().any(|s| s.name() == SERVICE_NAME);
                 if let Some(peer) = self.peers.get_mut(&device) {
                     peer.has_service = has;
@@ -1360,7 +1536,13 @@ impl Application for CommunityApp {
                     let Ok(req) = Request::decode(&payload) else {
                         return;
                     };
-                    let resp = handle_request(&mut self.store, &self.policy, &req, ctx.now());
+                    let resp = handle_request_cached(
+                        &mut self.store,
+                        &self.policy,
+                        &mut self.replay,
+                        &req,
+                        ctx.now(),
+                    );
                     ctx.trace(&client_name, resp.label());
                     ctx.peerhood().send(conn, Bytes::from(resp.encode()));
                 } else {
@@ -1378,6 +1560,7 @@ impl Application for CommunityApp {
                     if let ConnState::Ready(conn) = peer.conn {
                         self.conn_to_peer.remove(&conn);
                         self.conn_pending.remove(&conn);
+                        self.purge_conn_retries(conn);
                         ctx.peerhood().close(conn);
                     }
                 }
@@ -1392,6 +1575,10 @@ impl Application for CommunityApp {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut AppCtx<'_>) {
+        if token >= RETRY_TIMER_BASE {
+            self.on_retry_timer(token - RETRY_TIMER_BASE, ctx);
+            return;
+        }
         if let Some(id) = self.deferred_ops.remove(&token) {
             self.advance_plan(id, ctx);
             return;

@@ -118,6 +118,21 @@ pub enum Request {
         /// Item name from a previous listing.
         name: String,
     },
+    /// An idempotency envelope around a mutating request.
+    ///
+    /// A client that may retry after a timeout wraps the mutating request
+    /// (comment, message) in this envelope with a `token` unique per logical
+    /// operation. The server remembers the response per token (a bounded
+    /// replay cache), so a retried request is applied **at most once** and
+    /// the original response is replayed. The envelope must not nest: an
+    /// `Idempotent` inner request is rejected at decode time.
+    Idempotent {
+        /// Client-chosen token, unique per logical operation (high half:
+        /// requesting device id, low half: per-client sequence number).
+        token: u64,
+        /// The wrapped request.
+        inner: Box<Request>,
+    },
 }
 
 impl Request {
@@ -135,6 +150,8 @@ impl Request {
             Request::GetTrustedFriends { .. } => "PS_GETTRUSTEDFRIEND",
             Request::CheckTrusted { .. } => "PS_CHECKTRUSTED",
             Request::FetchContent { .. } => "PS_FETCHCONTENT",
+            // The envelope is transparent in traces: show the wrapped op.
+            Request::Idempotent { inner, .. } => inner.label(),
         }
     }
 }
@@ -223,6 +240,7 @@ mod op {
     pub const GET_TRUSTED_FRIENDS: u8 = 0x09;
     pub const CHECK_TRUSTED: u8 = 0x0A;
     pub const FETCH_CONTENT: u8 = 0x0B;
+    pub const IDEMPOTENT: u8 = 0x0C;
 
     pub const MEMBER_LIST: u8 = 0x81;
     pub const INTEREST_LIST: u8 = 0x82;
@@ -306,6 +324,14 @@ impl Wire for Request {
                 requester.encode_to(out);
                 name.encode_to(out);
             }
+            Request::Idempotent { token, inner } => {
+                out.push(op::IDEMPOTENT);
+                token.encode_to(out);
+                // The inner request is a complete frame of its own
+                // (version byte included), so it stays decodable by the
+                // same code path that handles bare requests.
+                inner.encode_to(out);
+            }
         }
     }
 
@@ -352,6 +378,20 @@ impl Wire for Request {
                 requester: String::decode(input)?,
                 name: String::decode(input)?,
             },
+            op::IDEMPOTENT => {
+                let token = u64::decode(input)?;
+                let inner = <Request as Wire>::decode(input)?;
+                if matches!(inner, Request::Idempotent { .. }) {
+                    return Err(DecodeError::BadTag {
+                        what: "nested idempotent request",
+                        tag: op::IDEMPOTENT,
+                    });
+                }
+                Request::Idempotent {
+                    token,
+                    inner: Box::new(inner),
+                }
+            }
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "request opcode",
@@ -526,6 +566,14 @@ mod tests {
                 requester: "alice".into(),
                 name: "song.mp3".into(),
             },
+            Request::Idempotent {
+                token: (7u64 << 32) | 42,
+                inner: Box::new(Request::AddProfileComment {
+                    member: "bob".into(),
+                    author: "alice".into(),
+                    comment: "hello again".into(),
+                }),
+            },
         ]
     }
 
@@ -669,6 +717,34 @@ mod tests {
             Request::decode(&frame),
             Err(CommunityError::Decode(DecodeError::InvalidUtf8))
         );
+    }
+
+    #[test]
+    fn idempotent_envelope_is_transparent_in_labels() {
+        let req = Request::Idempotent {
+            token: 1,
+            inner: Box::new(Request::Message {
+                to: "bob".into(),
+                from: "alice".into(),
+                subject: "hi".into(),
+                body: "retry me".into(),
+            }),
+        };
+        assert_eq!(req.label(), "PS_MSG");
+    }
+
+    #[test]
+    fn nested_idempotent_rejected() {
+        let inner = Request::Idempotent {
+            token: 2,
+            inner: Box::new(Request::GetInterestList),
+        };
+        let nested = Request::Idempotent {
+            token: 1,
+            inner: Box::new(inner),
+        };
+        // Encoding is mechanical; the decoder is where nesting is refused.
+        assert!(Request::decode(&nested.encode()).is_err());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! same dispatch runs under the simulator and the live TCP driver, and unit
 //! tests can drive every row of Table 6 directly.
 
+use std::collections::BTreeMap;
+
 use netsim::SimTime;
 
 use crate::error::CommunityError;
@@ -13,6 +15,79 @@ use crate::interest::Interest;
 use crate::protocol::{Request, Response};
 use crate::semantics::MatchPolicy;
 use crate::store::MemberStore;
+
+/// A bounded memory of responses to [`Request::Idempotent`] tokens.
+///
+/// Retried requests (the client timed out, the network dropped the reply)
+/// hit the cache and get the **original** response replayed, so a mutating
+/// operation like `PS_ADDPROFILECOMMENT` is applied at most once no matter
+/// how many times the frame arrives. The cache is bounded: beyond `cap`
+/// entries the smallest token is evicted first (tokens embed a per-client
+/// sequence number in their low half, so small ≈ old).
+#[derive(Clone, Debug, Default)]
+pub struct ReplayCache {
+    entries: BTreeMap<u64, Response>,
+    cap: usize,
+}
+
+impl ReplayCache {
+    /// A cache remembering at most `cap` responses (`cap == 0` disables
+    /// replay protection entirely).
+    pub fn new(cap: usize) -> ReplayCache {
+        ReplayCache {
+            entries: BTreeMap::new(),
+            cap,
+        }
+    }
+
+    /// Number of remembered responses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is remembered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn lookup(&self, token: u64) -> Option<&Response> {
+        self.entries.get(&token)
+    }
+
+    fn remember(&mut self, token: u64, response: Response) {
+        if self.cap == 0 {
+            return;
+        }
+        self.entries.insert(token, response);
+        while self.entries.len() > self.cap {
+            self.entries.pop_first();
+        }
+    }
+}
+
+/// Handles one client request with replay protection.
+///
+/// [`Request::Idempotent`] frames whose token is already in `cache` replay
+/// the remembered response without touching the store; everything else is
+/// dispatched through [`handle_request`] and (for idempotent frames) the
+/// response remembered.
+pub fn handle_request_cached(
+    store: &mut MemberStore,
+    policy: &MatchPolicy,
+    cache: &mut ReplayCache,
+    request: &Request,
+    now: SimTime,
+) -> Response {
+    if let Request::Idempotent { token, .. } = request {
+        if let Some(resp) = cache.lookup(*token) {
+            return resp.clone();
+        }
+        let resp = handle_request(store, policy, request, now);
+        cache.remember(*token, resp.clone());
+        return resp;
+    }
+    handle_request(store, policy, request, now)
+}
 
 /// Handles one client request against the local member store.
 ///
@@ -200,6 +275,10 @@ pub fn try_handle_request(
                 None => Response::Error(format!("no shared item named {name:?}")),
             }
         }
+        // Without a ReplayCache (see `handle_request_cached`) the envelope
+        // is transparent: the wrapped operation runs exactly as if bare.
+        // Nesting is impossible — the decoder rejects it.
+        Request::Idempotent { inner, .. } => return try_handle_request(store, policy, inner, now),
     })
 }
 
@@ -450,6 +529,72 @@ mod tests {
             ),
             Response::TrustedFriends(vec!["alice".into(), "carol".into()])
         );
+    }
+
+    #[test]
+    fn idempotent_replay_applies_comment_once() {
+        let mut s = logged_in_store();
+        let mut cache = ReplayCache::new(16);
+        let req = Request::Idempotent {
+            token: (3u64 << 32) | 1,
+            inner: Box::new(Request::AddProfileComment {
+                member: "bob".into(),
+                author: "alice".into(),
+                comment: "only once please".into(),
+            }),
+        };
+        let policy = MatchPolicy::Exact;
+        for _ in 0..3 {
+            let resp =
+                handle_request_cached(&mut s, &policy, &mut cache, &req, SimTime::from_secs(1));
+            assert_eq!(resp, Response::CommentWritten);
+        }
+        assert_eq!(s.active_account().unwrap().profile().comments.len(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn replay_cache_is_bounded_and_evicts_oldest() {
+        let mut s = logged_in_store();
+        let mut cache = ReplayCache::new(2);
+        let policy = MatchPolicy::Exact;
+        for seq in 0..5u64 {
+            let req = Request::Idempotent {
+                token: seq,
+                inner: Box::new(Request::Message {
+                    to: "bob".into(),
+                    from: "alice".into(),
+                    subject: format!("m{seq}"),
+                    body: "x".into(),
+                }),
+            };
+            handle_request_cached(&mut s, &policy, &mut cache, &req, SimTime::from_secs(1));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(s.active_account().unwrap().mailbox.inbox().len(), 5);
+        // An evicted token re-applies: at-most-once holds only within the
+        // cache window, which the policy sizes far beyond any retry horizon.
+        let req = Request::Idempotent {
+            token: 0,
+            inner: Box::new(Request::Message {
+                to: "bob".into(),
+                from: "alice".into(),
+                subject: "m0".into(),
+                body: "x".into(),
+            }),
+        };
+        handle_request_cached(&mut s, &policy, &mut cache, &req, SimTime::from_secs(2));
+        assert_eq!(s.active_account().unwrap().mailbox.inbox().len(), 6);
+    }
+
+    #[test]
+    fn bare_idempotent_envelope_is_transparent() {
+        let mut s = logged_in_store();
+        let req = Request::Idempotent {
+            token: 9,
+            inner: Box::new(Request::GetOnlineMemberList),
+        };
+        assert_eq!(ask(&mut s, req), Response::MemberList(vec!["bob".into()]));
     }
 
     #[test]

@@ -84,11 +84,17 @@ fn main() -> ExitCode {
             }
             let horizon = flag_value(&args, "--horizon").unwrap_or(60);
             let threads = flag_value(&args, "--threads").unwrap_or(1) as usize;
+            let faults = flag_str(&args, "--faults").unwrap_or_else(|| "none".to_owned());
+            if crowd::fault_profile(&faults).is_none() {
+                eprintln!("unknown fault profile {faults:?}; known profiles: none, lossy");
+                return ExitCode::FAILURE;
+            }
             let ok = run_crowd(
                 &sizes,
                 horizon,
                 seed,
                 threads,
+                &faults,
                 args.iter().any(|a| a == "--json"),
                 args.iter().any(|a| a == "--selfcheck"),
             );
@@ -253,6 +259,7 @@ fn run_crowd(
     horizon_secs: u64,
     seed: u64,
     threads: usize,
+    faults: &str,
     json: bool,
     selfcheck: bool,
 ) -> bool {
@@ -262,6 +269,7 @@ fn run_crowd(
         seed,
         horizon: std::time::Duration::from_secs(horizon_secs),
         threads,
+        faults: crowd::fault_profile(faults).expect("profile validated by the caller"),
         ..crowd::CrowdConfig::default()
     };
     let reports = crowd::sweep(&base, sizes);
@@ -306,6 +314,7 @@ fn run_crowd(
             .field("seed", seed)
             .field("horizon_secs", horizon_secs)
             .field("threads", threads)
+            .field("faults", faults)
             .field("runs", runs)
             .field(
                 "trace_alloc_burst",
@@ -383,6 +392,9 @@ fn print_help() {
                                [--threads N]   epoch-engine workers (1 = serial,\n\
                                                0 = auto); digests are identical\n\
                                [--selfcheck]   rerun serially, fail on digest drift\n\
+                               [--faults P]    inject a named fault profile\n\
+                                               (none | lossy: 10% BT frame loss +\n\
+                                               burst episodes, recovery enabled)\n\
          \n\
            all                 everything above (crowd excluded; run it directly)"
     );

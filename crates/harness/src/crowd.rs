@@ -27,9 +27,9 @@ use community::Interest;
 use netsim::geometry::{Point2, Rect};
 use netsim::mobility::RandomWaypoint;
 use netsim::world::NodeBuilder;
-use netsim::{SimRng, SimTime, Technology, Trace, TraceStats};
+use netsim::{FaultPlan, FaultProfile, RadioEnv, SimRng, SimTime, Technology, Trace, TraceStats};
 use peerhood::sim::Cluster;
-use peerhood::{AppCtx, AppEvent, Application};
+use peerhood::{AppCtx, AppEvent, Application, RecoveryPolicy};
 
 /// Pedestrian speed range (m/s) for the campus walk.
 const SPEED_MPS: (f64, f64) = (0.5, 2.0);
@@ -63,6 +63,13 @@ pub struct CrowdConfig {
     /// auto (one worker per hardware thread). Any value produces a
     /// bit-identical trace digest; see [`Cluster::set_threads`].
     pub threads: usize,
+    /// Fault plan injected into the radio environment (see
+    /// [`fault_profile`] for the named presets). An inert plan draws no
+    /// randomness and reproduces the fault-free digest bit-for-bit. A
+    /// non-inert plan also switches the workload: the per-sighting SDP
+    /// round is kept on (so frame loss has traffic to act on) and every
+    /// daemon runs with the default [`RecoveryPolicy`].
+    pub faults: FaultPlan,
 }
 
 impl Default for CrowdConfig {
@@ -78,7 +85,31 @@ impl Default for CrowdConfig {
             wlan_every: 8,
             compare_naive: true,
             threads: 1,
+            faults: FaultPlan::none(),
         }
+    }
+}
+
+/// Resolves a named fault profile as accepted by `repro crowd --faults`.
+///
+/// * `"none"` — the inert plan (the default).
+/// * `"lossy"` — the thesis's hostile-radio conditions: 10% independent
+///   Bluetooth frame loss plus Gilbert burst episodes (enter 0.02, exit
+///   0.25, loss 0.60 while bursting).
+pub fn fault_profile(name: &str) -> Option<FaultPlan> {
+    match name {
+        "none" => Some(FaultPlan::none()),
+        "lossy" => Some(FaultPlan::none().with_profile(
+            Technology::Bluetooth,
+            FaultProfile {
+                frame_loss: 0.10,
+                burst_enter: 0.02,
+                burst_exit: 0.25,
+                burst_loss: 0.60,
+                ..FaultProfile::NONE
+            },
+        )),
+        _ => None,
     }
 }
 
@@ -119,6 +150,8 @@ pub struct CrowdReport {
     pub seed: u64,
     /// Epoch-engine worker count the run used (1 = serial, 0 = auto).
     pub threads: usize,
+    /// Human-readable fault plan (`"no faults"` when inert).
+    pub faults: String,
     /// Virtual duration, seconds.
     pub virtual_secs: f64,
     /// Wall-clock cost of the simulation, milliseconds.
@@ -162,7 +195,11 @@ impl CrowdReport {
             .field("inquiries", self.stats.inquiries)
             .field("inquiry_responses", self.stats.inquiry_responses)
             .field("frames_sent", self.stats.frames_sent)
-            .field("frames_delivered", self.stats.frames_delivered);
+            .field("frames_delivered", self.stats.frames_delivered)
+            .field("frames_dropped", self.stats.frames_dropped)
+            .field("retries", self.stats.retries)
+            .field("timeouts", self.stats.timeouts)
+            .field("gave_up", self.stats.gave_up);
         let speedup = if self.grid_query_us > 0.0 && self.naive_query_us > 0.0 {
             self.naive_query_us / self.grid_query_us
         } else {
@@ -172,6 +209,7 @@ impl CrowdReport {
             .field("nodes", self.nodes)
             .field("seed", self.seed)
             .field("threads", self.threads)
+            .field("faults", self.faults.as_str())
             .field("virtual_secs", self.virtual_secs)
             .field("wall_ms", self.wall_ms)
             .field("events", self.events)
@@ -235,7 +273,11 @@ pub fn build(config: &CrowdConfig) -> CrowdScenario {
     let mut placement = rng.fork(1);
     let mut topics = rng.fork(2);
 
-    let mut cluster = Cluster::new(config.seed);
+    let faulted = !config.faults.is_inert();
+    let mut cluster = Cluster::with_env(
+        config.seed,
+        RadioEnv::default().with_faults(config.faults.clone()),
+    );
     let mut interests = Vec::with_capacity(config.nodes);
     for i in 0..config.nodes {
         let start = Point2::new(
@@ -252,10 +294,19 @@ pub fn build(config: &CrowdConfig) -> CrowdScenario {
             .moving(walk);
         // No SDP round per sighting: the crowd app only watches the
         // neighborhood, so automatic service discovery would just add
-        // O(N · sightings) query traffic.
+        // O(N · sightings) query traffic. Under a live fault plan the
+        // round stays on — frame loss needs frames — and every daemon
+        // runs with recovery enabled.
         cluster.add_node_with(
             builder,
-            |c| c.with_auto_service_discovery(false),
+            |c| {
+                let c = c.with_auto_service_discovery(faulted);
+                if faulted {
+                    c.with_recovery(RecoveryPolicy::default())
+                } else {
+                    c
+                }
+            },
             CrowdApp::default(),
         );
         interests.push(
@@ -362,6 +413,7 @@ pub fn run(config: &CrowdConfig) -> CrowdReport {
         nodes: config.nodes,
         seed: config.seed,
         threads: config.threads,
+        faults: config.faults.to_string(),
         virtual_secs: config.horizon.as_secs_f64(),
         wall_ms,
         events,
@@ -535,6 +587,88 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Satellite: an explicitly-built all-zero [`FaultPlan`] draws no
+    /// randomness and must reproduce the fault-free crowd bit-for-bit —
+    /// digest, counters and app totals.
+    #[test]
+    fn zero_probability_fault_plan_is_digest_identical_to_fault_free() {
+        for seed in [2008u64, 13] {
+            let base = CrowdConfig {
+                compare_naive: false,
+                horizon: Duration::from_secs(30),
+                ..small(120, seed)
+            };
+            let plain = run(&base);
+            let zeroed = run(&CrowdConfig {
+                faults: FaultPlan::none()
+                    .with_profile(Technology::Bluetooth, FaultProfile::NONE)
+                    .with_profile(Technology::Wlan, FaultProfile::NONE),
+                ..base.clone()
+            });
+            assert_eq!(
+                format!("{:016x}", plain.digest),
+                format!("{:016x}", zeroed.digest),
+                "seed {seed}: inert plan perturbed the digest"
+            );
+            assert_eq!(plain.stats, zeroed.stats, "seed {seed}");
+            assert_eq!(
+                (plain.appeared, plain.disappeared),
+                (zeroed.appeared, zeroed.disappeared)
+            );
+            assert_eq!(zeroed.faults, "no faults");
+        }
+    }
+
+    /// Tentpole acceptance: a faulted crowd is still deterministic. The
+    /// fault stream is drawn in serial dispatch order from its own seeded
+    /// RNG, so a repeated same-seed run and a `--threads 4` run agree
+    /// with the serial digest bit-for-bit — while the faults really fire.
+    #[test]
+    fn faulted_crowd_digests_survive_threads_and_reruns() {
+        let base = CrowdConfig {
+            compare_naive: false,
+            horizon: Duration::from_secs(30),
+            faults: fault_profile("lossy").expect("named profile"),
+            ..small(200, 2008)
+        };
+        let serial = run(&base);
+        assert!(
+            serial.stats.frames_dropped > 0,
+            "the lossy plan must actually lose frames: {:?}",
+            serial.stats
+        );
+        let again = run(&base);
+        assert_eq!(
+            format!("{:016x}", serial.digest),
+            format!("{:016x}", again.digest)
+        );
+        assert_eq!(serial.stats, again.stats);
+        let par = run(&CrowdConfig {
+            threads: 4,
+            ..base.clone()
+        });
+        assert_eq!(
+            format!("{:016x}", serial.digest),
+            format!("{:016x}", par.digest),
+            "faulted digest diverged under the epoch engine"
+        );
+        assert_eq!(serial.stats, par.stats);
+        assert_eq!(
+            (serial.appeared, serial.disappeared),
+            (par.appeared, par.disappeared)
+        );
+    }
+
+    #[test]
+    fn named_fault_profiles_resolve() {
+        assert!(fault_profile("none").expect("known").is_inert());
+        let lossy = fault_profile("lossy").expect("known");
+        assert!(!lossy.is_inert());
+        assert_eq!(lossy.profile(Technology::Bluetooth).frame_loss, 0.10);
+        assert!(lossy.profile(Technology::Wlan).is_inert());
+        assert!(fault_profile("chaos-monkey").is_none());
     }
 
     #[test]

@@ -99,7 +99,9 @@ impl Application for Probe {
                 ctx.peerhood().monitor(info.id);
                 ctx.peerhood().request_service_list(info.id);
             }
-            AppEvent::ServiceList { device, services } => self.service_lists.push((
+            AppEvent::ServiceList {
+                device, services, ..
+            } => self.service_lists.push((
                 device,
                 services.iter().map(|s| s.name().to_owned()).collect(),
             )),

@@ -7,9 +7,11 @@
 
 use netsim::geometry::Point2;
 use netsim::world::{NodeBuilder, NodeId};
+use netsim::{FaultPlan, RadioEnv};
 use peerhood::sim::Cluster;
+use peerhood::RecoveryPolicy;
 
-use community::node::{CommunityApp, OpMode};
+use community::node::{CommunityApp, OpMode, RetryPolicy};
 use community::profile::Profile;
 
 /// A built lab scenario: one observer device plus peer devices, all within
@@ -44,6 +46,12 @@ pub struct LabConfig {
     /// Number of interests on the observer (the shared one plus
     /// `own-1`, …).
     pub observer_interests: usize,
+    /// Fault plan injected into the radio environment. When not inert,
+    /// every daemon runs with the default [`RecoveryPolicy`] and every
+    /// app with the default client [`RetryPolicy`] (idempotent retried
+    /// requests); an inert plan reproduces the fault-free run
+    /// bit-for-bit.
+    pub faults: FaultPlan,
 }
 
 impl Default for LabConfig {
@@ -56,6 +64,7 @@ impl Default for LabConfig {
             shared_interest: "Football".to_owned(),
             extra_interests_per_peer: 2,
             observer_interests: 1,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -65,7 +74,22 @@ impl Default for LabConfig {
 /// logged in as its member, every peer sharing `shared_interest` with the
 /// observer (`user1`).
 pub fn lab(config: &LabConfig) -> LabScenario {
-    let mut cluster = Cluster::new(config.seed);
+    let faulted = !config.faults.is_inert();
+    let mut cluster = Cluster::with_env(
+        config.seed,
+        RadioEnv::default().with_faults(config.faults.clone()),
+    );
+    let add = |cluster: &mut Cluster<CommunityApp>, builder, app: CommunityApp| {
+        if faulted {
+            cluster.add_node_with(
+                builder,
+                |c| c.with_recovery(RecoveryPolicy::default()),
+                app.with_fault_tolerance(RetryPolicy::default()),
+            )
+        } else {
+            cluster.add_node(builder, app)
+        }
+    };
 
     let mut observer_profile =
         Profile::new("User One").with_interests([config.shared_interest.as_str()]);
@@ -75,7 +99,8 @@ pub fn lab(config: &LabConfig) -> LabScenario {
     let observer_app = CommunityApp::with_member("user1", "pw", observer_profile)
         .with_op_mode(config.op_mode)
         .with_fresh_inquiry_per_op(config.fresh_inquiry_per_op);
-    let observer = cluster.add_node(
+    let observer = add(
+        &mut cluster,
         NodeBuilder::new("user1-laptop").at(Point2::ORIGIN),
         observer_app,
     );
@@ -93,7 +118,11 @@ pub fn lab(config: &LabConfig) -> LabScenario {
         let app = CommunityApp::with_member(&name, "pw", profile)
             .with_op_mode(config.op_mode)
             .with_fresh_inquiry_per_op(config.fresh_inquiry_per_op);
-        peers.push(cluster.add_node(NodeBuilder::new(format!("{name}-pc")).at(pos), app));
+        peers.push(add(
+            &mut cluster,
+            NodeBuilder::new(format!("{name}-pc")).at(pos),
+            app,
+        ));
     }
 
     cluster.start();

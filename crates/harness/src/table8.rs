@@ -378,6 +378,84 @@ fn summarize(per_task: [Vec<Duration>; 5]) -> [Summary; 5] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crowd::fault_profile;
+
+    /// Satellite: under the thesis's hostile-radio conditions (10%
+    /// Bluetooth frame loss plus Gilbert burst episodes) every sampled
+    /// user still completes all four Table 8 tasks — daemon recovery and
+    /// idempotent client retries absorb the loss, and nothing panics.
+    #[test]
+    fn faulted_lab_completes_all_four_tasks_for_every_seed() {
+        let mut swept_retries = 0u64;
+        for seed in [1u64, 2008, 77] {
+            let mut s = lab(&LabConfig {
+                seed,
+                peer_count: PEERHOOD_PEERS,
+                faults: fault_profile("lossy").expect("named profile"),
+                ..LabConfig::default()
+            });
+            let observer = s.observer;
+
+            // Task 1 — group search: discovery despite lost SDP frames.
+            let formed = s.cluster.run_until_condition(SimTime::from_secs(180), |c| {
+                c.app(observer).first_group_at().is_some()
+            });
+            assert!(formed.is_some(), "seed {seed}: group never formed");
+
+            // Task 2 — group join: membership is implicit on formation.
+            assert!(
+                !s.cluster.app(observer).my_groups().is_empty(),
+                "seed {seed}: observer not in its own group"
+            );
+
+            // Task 3 — member list: every peer must answer eventually.
+            let op = s
+                .cluster
+                .with_app(observer, |app, ctx| app.get_member_list(ctx));
+            let deadline = s.cluster.now() + Duration::from_secs(150);
+            s.cluster
+                .run_until_condition(deadline, |c| c.app(observer).outcome(op).is_some())
+                .unwrap_or_else(|| panic!("seed {seed}: member list never completed"));
+            let outcome = s.cluster.app(observer).outcome(op).unwrap().clone();
+            match &outcome.result {
+                OpResult::Members(names) => {
+                    assert!(!names.is_empty(), "seed {seed}: empty member list")
+                }
+                other => panic!("seed {seed}: unexpected member-list result {other:?}"),
+            }
+
+            // Task 4 — one member profile, served over a lossy link.
+            let op = s
+                .cluster
+                .with_app(observer, |app, ctx| app.view_profile("member1", ctx));
+            let deadline = s.cluster.now() + Duration::from_secs(150);
+            s.cluster
+                .run_until_condition(deadline, |c| c.app(observer).outcome(op).is_some())
+                .unwrap_or_else(|| panic!("seed {seed}: profile view never completed"));
+            let outcome = s.cluster.app(observer).outcome(op).unwrap().clone();
+            assert!(
+                matches!(&outcome.result, OpResult::Profile(Some(v)) if v.member == "member1"),
+                "seed {seed}: profile not served: {:?}",
+                outcome.result
+            );
+
+            // Bounded attempts: recovery is capped (3 daemon retries per
+            // op, 2 client retries per request), so the retry count must
+            // stay a small multiple of the handful of operations above —
+            // a runaway retry storm fails here long before it times out.
+            let stats = *s.cluster.stats();
+            assert!(
+                stats.retries <= 200,
+                "seed {seed}: retry storm ({} retries)",
+                stats.retries
+            );
+            swept_retries += stats.retries;
+        }
+        assert!(
+            swept_retries > 0,
+            "the lossy profile should force at least one recovery retry across the sweep"
+        );
+    }
 
     #[test]
     fn table8_shape_holds() {

@@ -1,0 +1,286 @@
+//! Deterministic fault injection: frame loss, burst episodes, connection
+//! refusal, link kills and daemon crash windows.
+//!
+//! The thesis's environment is an ad-hoc radio neighborhood where "any
+//! remote device may be unreachable" at any moment (§5.1) — Table 8 was
+//! measured over real, flaky Bluetooth 1.2 links. A [`FaultPlan`] lets a
+//! scenario reproduce that hostility *deterministically*: every decision is
+//! drawn from a dedicated seeded [`SimRng`] stream in serial event order, so
+//! a faulted run has a bit-stable digest for any `--threads N`.
+//!
+//! Loss is modelled per technology with a two-state Gilbert model: links are
+//! normally in the *good* state where frames are lost independently with
+//! `frame_loss` probability; with probability `burst_enter` a frame arrival
+//! flips the channel into the *bad* state where `burst_loss` applies until a
+//! `burst_exit` draw ends the episode. All draws go through
+//! [`SimRng::chance`], which consumes **no** randomness for probabilities of
+//! zero or one — an all-zero plan therefore leaves every RNG stream
+//! untouched and reproduces the fault-free run bit-for-bit (property-tested
+//! in the harness).
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::radio::Technology;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Index of a technology into per-technology fault state.
+pub(crate) fn tech_slot(tech: Technology) -> usize {
+    match tech {
+        Technology::Bluetooth => 0,
+        Technology::Wlan => 1,
+        Technology::Gprs => 2,
+    }
+}
+
+/// Fault probabilities for one technology. All fields default to zero
+/// (no faults); probabilities are clamped to `[0, 1]` at draw time by
+/// [`SimRng::chance`].
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct FaultProfile {
+    /// Independent per-frame loss probability in the good channel state.
+    pub frame_loss: f64,
+    /// Probability (per frame arrival) of entering a burst-loss episode.
+    pub burst_enter: f64,
+    /// Probability (per frame arrival while bursting) that the episode ends.
+    pub burst_exit: f64,
+    /// Per-frame loss probability while a burst episode is active.
+    pub burst_loss: f64,
+    /// Probability that a connection attempt is refused outright.
+    pub connect_refuse: f64,
+    /// Probability (per frame arrival) that the whole link dies mid-flight.
+    pub link_kill: f64,
+}
+
+impl FaultProfile {
+    /// No faults at all.
+    pub const NONE: FaultProfile = FaultProfile {
+        frame_loss: 0.0,
+        burst_enter: 0.0,
+        burst_exit: 0.0,
+        burst_loss: 0.0,
+        connect_refuse: 0.0,
+        link_kill: 0.0,
+    };
+
+    /// Whether every probability is zero (the profile can never fire).
+    pub fn is_inert(&self) -> bool {
+        self.frame_loss <= 0.0
+            && self.burst_enter <= 0.0
+            && self.burst_loss <= 0.0
+            && self.connect_refuse <= 0.0
+            && self.link_kill <= 0.0
+    }
+
+    /// Advances the Gilbert channel state and samples whether one frame is
+    /// lost. Draws nothing from `rng` when the profile is inert.
+    pub fn frame_lost(&self, burst: &mut BurstState, rng: &mut SimRng) -> bool {
+        if burst.bad {
+            if rng.chance(self.burst_exit) {
+                burst.bad = false;
+            }
+        } else if rng.chance(self.burst_enter) {
+            burst.bad = true;
+        }
+        if burst.bad && rng.chance(self.burst_loss) {
+            return true;
+        }
+        rng.chance(self.frame_loss)
+    }
+}
+
+/// Mutable two-state Gilbert channel state (per technology, per cluster).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BurstState {
+    /// Whether the channel is currently inside a burst-loss episode.
+    pub bad: bool,
+}
+
+/// One scheduled daemon outage: the node's daemon dies at `down_from` and
+/// restarts (with empty soft state) at `up_at`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// Raw id of the crashing node (matches `NodeId::raw`).
+    pub node: u32,
+    /// When the daemon process dies.
+    pub down_from: SimTime,
+    /// When it restarts.
+    pub up_at: SimTime,
+}
+
+/// A complete fault schedule for one simulation run: per-technology loss
+/// profiles plus scheduled daemon crash windows.
+///
+/// Built fluently and handed to a
+/// [`RadioEnv`](crate::radio::RadioEnv):
+///
+/// ```rust
+/// use ph_netsim::fault::{FaultPlan, FaultProfile};
+/// use ph_netsim::Technology;
+///
+/// let plan = FaultPlan::none()
+///     .with_profile(
+///         Technology::Bluetooth,
+///         FaultProfile {
+///             frame_loss: 0.10,
+///             burst_enter: 0.02,
+///             burst_exit: 0.25,
+///             burst_loss: 0.60,
+///             ..FaultProfile::NONE
+///         },
+///     );
+/// assert!(!plan.is_inert());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    profiles: [FaultProfile; 3],
+    crashes: Vec<CrashWindow>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: zero probabilities, no crash windows.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the fault profile of one technology (builder style).
+    pub fn with_profile(mut self, tech: Technology, profile: FaultProfile) -> Self {
+        self.profiles[tech_slot(tech)] = profile;
+        self
+    }
+
+    /// Schedules a daemon crash window for `node` (builder style). The
+    /// window starts `down_from` after scenario start and lasts `outage`.
+    pub fn with_crash(mut self, node: u32, down_from: Duration, outage: Duration) -> Self {
+        let from = SimTime::ZERO + down_from;
+        self.crashes.push(CrashWindow {
+            node,
+            down_from: from,
+            up_at: from + outage,
+        });
+        self
+    }
+
+    /// The fault profile of one technology.
+    pub fn profile(&self, tech: Technology) -> &FaultProfile {
+        &self.profiles[tech_slot(tech)]
+    }
+
+    /// The scheduled daemon outages.
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// Whether the plan can never fire: all probabilities zero and no crash
+    /// windows. Inert plans draw no randomness and leave digests untouched.
+    pub fn is_inert(&self) -> bool {
+        self.profiles.iter().all(FaultProfile::is_inert) && self.crashes.is_empty()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inert() {
+            return f.write_str("no faults");
+        }
+        for tech in Technology::ALL {
+            let p = self.profile(tech);
+            if !p.is_inert() {
+                write!(
+                    f,
+                    "[{tech}: loss={} burst={}/{}@{} refuse={} kill={}] ",
+                    p.frame_loss,
+                    p.burst_enter,
+                    p.burst_exit,
+                    p.burst_loss,
+                    p.connect_refuse,
+                    p.link_kill
+                )?;
+            }
+        }
+        write!(f, "crashes={}", self.crashes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_draws_no_randomness() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_inert());
+        let mut rng = SimRng::from_seed(1);
+        let mut witness = SimRng::from_seed(1);
+        let mut burst = BurstState::default();
+        for tech in Technology::ALL {
+            for _ in 0..100 {
+                assert!(!plan.profile(tech).frame_lost(&mut burst, &mut rng));
+            }
+        }
+        // The stream is untouched: both produce the same next value.
+        assert_eq!(rng.range_u64(0..u64::MAX), witness.range_u64(0..u64::MAX));
+    }
+
+    #[test]
+    fn burst_state_machine_enters_and_exits() {
+        let p = FaultProfile {
+            burst_enter: 1.0,
+            burst_exit: 1.0,
+            burst_loss: 1.0,
+            ..FaultProfile::NONE
+        };
+        let mut rng = SimRng::from_seed(2);
+        let mut burst = BurstState::default();
+        // First arrival: enters the burst and loses the frame.
+        assert!(p.frame_lost(&mut burst, &mut rng));
+        assert!(burst.bad);
+        // Next arrival: exits the burst first (exit prob 1), then no loss.
+        assert!(!p.frame_lost(&mut burst, &mut rng));
+        assert!(!burst.bad);
+    }
+
+    #[test]
+    fn certain_frame_loss_always_fires() {
+        let p = FaultProfile {
+            frame_loss: 1.0,
+            ..FaultProfile::NONE
+        };
+        let mut rng = SimRng::from_seed(3);
+        let mut burst = BurstState::default();
+        for _ in 0..10 {
+            assert!(p.frame_lost(&mut burst, &mut rng));
+        }
+    }
+
+    #[test]
+    fn plan_builder_sets_profiles_and_crashes() {
+        let plan = FaultPlan::none()
+            .with_profile(
+                Technology::Wlan,
+                FaultProfile {
+                    connect_refuse: 0.5,
+                    ..FaultProfile::NONE
+                },
+            )
+            .with_crash(3, Duration::from_secs(10), Duration::from_secs(5));
+        assert!(!plan.is_inert());
+        assert_eq!(plan.profile(Technology::Wlan).connect_refuse, 0.5);
+        assert!(plan.profile(Technology::Bluetooth).is_inert());
+        assert_eq!(plan.crashes().len(), 1);
+        assert_eq!(plan.crashes()[0].node, 3);
+        assert_eq!(plan.crashes()[0].down_from, SimTime::from_secs(10));
+        assert_eq!(plan.crashes()[0].up_at, SimTime::from_secs(15));
+        let shown = plan.to_string();
+        assert!(shown.contains("WLAN"), "{shown}");
+        assert!(shown.contains("crashes=1"), "{shown}");
+    }
+
+    #[test]
+    fn crash_only_plan_is_not_inert() {
+        let plan = FaultPlan::none().with_crash(0, Duration::ZERO, Duration::from_secs(1));
+        assert!(!plan.is_inert());
+        assert_eq!(FaultPlan::none().to_string(), "no faults");
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod geometry;
 pub mod mobility;
 pub mod par;
@@ -48,7 +49,8 @@ pub mod wheel;
 pub mod world;
 
 pub use event::{EventQueue, TimerToken};
-pub use radio::{Technology, TechnologyProfile};
+pub use fault::{BurstState, CrashWindow, FaultPlan, FaultProfile};
+pub use radio::{RadioEnv, Technology, TechnologyProfile};
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{ActorId, LabelId, Trace, TraceEvent, TraceStats};

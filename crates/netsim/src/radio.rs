@@ -20,6 +20,7 @@ use codec::{DecodeError, Wire};
 use std::fmt;
 use std::time::Duration;
 
+use crate::fault::{self, FaultPlan};
 use crate::rng::SimRng;
 
 /// One of the wireless technologies PeerHood can communicate over.
@@ -49,12 +50,28 @@ impl Technology {
     }
 
     /// The default 2008-calibrated timing/throughput profile.
+    ///
+    /// Deprecated: this reaches past any scenario-configured [`RadioEnv`]
+    /// straight to the global defaults, so profile overrides and fault plans
+    /// are invisible to it. It delegates to the default environment (the
+    /// same statics a fresh [`RadioEnv`] holds), which keeps existing call
+    /// sites compiling, but new code should carry a `RadioEnv` instead.
+    #[deprecated(
+        since = "0.5.0",
+        note = "thread a RadioEnv through World/Cluster construction and call RadioEnv::profile"
+    )]
     pub fn profile(self) -> &'static TechnologyProfile {
-        match self {
-            Technology::Bluetooth => &BLUETOOTH,
-            Technology::Wlan => &WLAN,
-            Technology::Gprs => &GPRS,
-        }
+        default_profile(self)
+    }
+}
+
+/// The built-in 2008-calibrated profile of one technology — the contents of
+/// [`RadioEnv::default`].
+fn default_profile(tech: Technology) -> &'static TechnologyProfile {
+    match tech {
+        Technology::Bluetooth => &BLUETOOTH,
+        Technology::Wlan => &WLAN,
+        Technology::Gprs => &GPRS,
     }
 }
 
@@ -136,6 +153,70 @@ pub static GPRS: TechnologyProfile = TechnologyProfile {
     latency: Duration::from_millis(600),
     latency_jitter: Duration::from_millis(200),
 };
+
+/// The complete radio environment of one scenario: a (possibly tweaked)
+/// [`TechnologyProfile`] per technology plus a [`FaultPlan`].
+///
+/// This replaces direct use of the global `BLUETOOTH`/`WLAN`/`GPRS` statics
+/// in scenario construction: build an env fluently and hand it to
+/// `World`/`Cluster`. The default env holds exactly those statics and an
+/// inert fault plan, so `RadioEnv::default()` reproduces the historical
+/// behaviour bit-for-bit.
+///
+/// ```rust
+/// use ph_netsim::radio::{RadioEnv, BLUETOOTH};
+/// use ph_netsim::fault::{FaultPlan, FaultProfile};
+/// use ph_netsim::Technology;
+///
+/// let mut bt = BLUETOOTH.clone();
+/// bt.range_m = 20.0;
+/// let env = RadioEnv::default()
+///     .with_profile(Technology::Bluetooth, bt)
+///     .with_faults(FaultPlan::none().with_profile(
+///         Technology::Bluetooth,
+///         FaultProfile { frame_loss: 0.10, ..FaultProfile::NONE },
+///     ));
+/// assert_eq!(env.profile(Technology::Bluetooth).range_m, 20.0);
+/// assert!(!env.faults().is_inert());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RadioEnv {
+    profiles: [TechnologyProfile; 3],
+    faults: FaultPlan,
+}
+
+impl Default for RadioEnv {
+    fn default() -> Self {
+        RadioEnv {
+            profiles: [BLUETOOTH.clone(), WLAN.clone(), GPRS.clone()],
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl RadioEnv {
+    /// Replaces the profile of one technology (builder style).
+    pub fn with_profile(mut self, tech: Technology, profile: TechnologyProfile) -> Self {
+        self.profiles[fault::tech_slot(tech)] = profile;
+        self
+    }
+
+    /// Installs a fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The active profile of one technology.
+    pub fn profile(&self, tech: Technology) -> &TechnologyProfile {
+        &self.profiles[fault::tech_slot(tech)]
+    }
+
+    /// The active fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+}
 
 impl Wire for Technology {
     fn encode_to(&self, out: &mut Vec<u8>) {
@@ -241,28 +322,32 @@ mod tests {
     #[test]
     fn bluetooth_inquiry_is_spec_value() {
         assert_eq!(
-            Technology::Bluetooth.profile().inquiry_duration,
+            RadioEnv::default()
+                .profile(Technology::Bluetooth)
+                .inquiry_duration,
             Duration::from_millis(10_240)
         );
     }
 
     #[test]
     fn gprs_is_range_independent() {
-        let p = Technology::Gprs.profile();
+        let env = RadioEnv::default();
+        let p = env.profile(Technology::Gprs);
         assert!(p.in_range(0.0));
         assert!(p.in_range(1.0e9));
     }
 
     #[test]
     fn bluetooth_range_cutoff() {
-        let p = Technology::Bluetooth.profile();
+        let env = RadioEnv::default();
+        let p = env.profile(Technology::Bluetooth);
         assert!(p.in_range(9.99));
         assert!(!p.in_range(10.01));
     }
 
     #[test]
     fn transfer_time_scales_with_size() {
-        let p = Technology::Bluetooth.profile();
+        let p = &BLUETOOTH;
         let mut rng = SimRng::from_seed(1);
         // 75 kB at 600 kbit/s is 1 s of serialization; latency adds < 0.1 s.
         let t = p.transfer_time(75_000, &mut rng);
@@ -299,11 +384,49 @@ mod tests {
 
     #[test]
     fn profiles_wire_round_trip() {
+        let env = RadioEnv::default();
         for tech in Technology::ALL {
-            let p = tech.profile();
+            let p = env.profile(tech);
             let back = TechnologyProfile::decode_exact(&p.encode()).unwrap();
             assert_eq!(*p, back);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_profile_matches_default_env() {
+        let env = RadioEnv::default();
+        for tech in Technology::ALL {
+            assert_eq!(tech.profile(), env.profile(tech));
+        }
+    }
+
+    #[test]
+    fn radio_env_overrides_one_profile() {
+        let mut fast_bt = BLUETOOTH.clone();
+        fast_bt.connect_setup = Duration::from_millis(100);
+        let env = RadioEnv::default().with_profile(Technology::Bluetooth, fast_bt);
+        assert_eq!(
+            env.profile(Technology::Bluetooth).connect_setup,
+            Duration::from_millis(100)
+        );
+        // Other technologies keep their defaults.
+        assert_eq!(env.profile(Technology::Wlan), &WLAN);
+        assert!(env.faults().is_inert());
+    }
+
+    #[test]
+    fn radio_env_carries_fault_plan() {
+        use crate::fault::FaultProfile;
+        let env = RadioEnv::default().with_faults(FaultPlan::none().with_profile(
+            Technology::Gprs,
+            FaultProfile {
+                frame_loss: 0.3,
+                ..FaultProfile::NONE
+            },
+        ));
+        assert_eq!(env.faults().profile(Technology::Gprs).frame_loss, 0.3);
+        assert!(!env.faults().is_inert());
     }
 
     #[test]

@@ -144,7 +144,8 @@ pub struct TraceStats {
     pub frames_sent: u64,
     /// Frames that arrived at their destination.
     pub frames_delivered: u64,
-    /// Frames lost to range or link failure.
+    /// Frames lost to range, link failure or injected faults (data and
+    /// SDP query/reply frames alike).
     pub frames_dropped: u64,
     /// Payload bytes handed to the radio layer.
     pub bytes_sent: u64,
@@ -164,6 +165,21 @@ pub struct TraceStats {
     pub handovers: u64,
     /// Remote service-list queries issued.
     pub service_queries: u64,
+    /// Of `connects_failed`: attempts that died because the peer moved out
+    /// of range *mid-setup* (after paging had begun), as opposed to
+    /// range/refusal checks at initiation.
+    pub connects_lost_setup: u64,
+    /// Recovery: operations re-issued after a timeout or failure (backoff
+    /// retries of connections, service queries and community requests).
+    pub retries: u64,
+    /// Recovery: deadlines that expired (connection attempts and service
+    /// queries that never answered in time).
+    pub timeouts: u64,
+    /// Recovery: operations abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// Recovery: connections successfully resumed (make-before-break
+    /// handover rebinds after link death).
+    pub resumed: u64,
 }
 
 impl TraceStats {
@@ -191,6 +207,21 @@ impl TraceStats {
         ] {
             h.write_u64(v);
         }
+        // The fault/recovery counters joined later; they are folded in only
+        // when at least one is nonzero so that fault-free runs keep the
+        // digests they had before the counters existed.
+        let recovery = [
+            self.connects_lost_setup,
+            self.retries,
+            self.timeouts,
+            self.gave_up,
+            self.resumed,
+        ];
+        if recovery.iter().any(|&v| v != 0) {
+            for v in recovery {
+                h.write_u64(v);
+            }
+        }
         h.finish()
     }
 }
@@ -201,7 +232,8 @@ impl fmt::Display for TraceStats {
             f,
             "events={} (dropped {}), messages={}, local={}, frames sent/delivered/dropped={}/{}/{}, \
              bytes sent/delivered={}/{}, inquiries={} (responses {}), \
-             connects ok/failed={}/{}, handovers={}, service queries={}",
+             connects ok/failed={}/{} (refused {}, lost mid-setup {}), handovers={}, \
+             service queries={}, retries={}, timeouts={}, gave up={}, resumed={}",
             self.events_recorded,
             self.events_dropped,
             self.messages,
@@ -215,8 +247,14 @@ impl fmt::Display for TraceStats {
             self.inquiry_responses,
             self.connects_ok,
             self.connects_failed,
+            self.connects_failed.saturating_sub(self.connects_lost_setup),
+            self.connects_lost_setup,
             self.handovers,
             self.service_queries,
+            self.retries,
+            self.timeouts,
+            self.gave_up,
+            self.resumed,
         )
     }
 }
@@ -737,6 +775,20 @@ mod tests {
         assert_eq!(t.stats().events_recorded, 3);
         assert_eq!(t.stats().messages, 2);
         assert_eq!(t.stats().local_events, 1);
+    }
+
+    #[test]
+    fn recovery_counters_fold_only_when_nonzero() {
+        let mut base = TraceStats {
+            frames_sent: 10,
+            frames_delivered: 9,
+            ..TraceStats::default()
+        };
+        let d0 = base.digest();
+        base.retries = 1;
+        assert_ne!(base.digest(), d0, "nonzero recovery counter must fold in");
+        base.retries = 0;
+        assert_eq!(base.digest(), d0, "all-zero recovery counters are absent");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use crate::geometry::Point2;
 use crate::mobility::{Mobility, Stationary};
-use crate::radio::Technology;
+use crate::radio::{RadioEnv, Technology};
 use crate::rng::SimRng;
 use crate::time::SimTime;
 
@@ -177,6 +177,8 @@ pub struct World {
     /// Per-node prefetched positions (one row per node, reused between
     /// prefetch rounds so the steady state allocates nothing).
     prefetch_rows: Vec<Vec<Point2>>,
+    /// Radio environment: per-technology profiles and the fault plan.
+    env: RadioEnv,
 }
 
 fn tech_slot(tech: Technology) -> usize {
@@ -192,9 +194,23 @@ fn tech_bit(tech: Technology) -> u8 {
 }
 
 impl World {
-    /// Creates an empty world.
+    /// Creates an empty world with the default [`RadioEnv`] (the built-in
+    /// 2008-calibrated profiles, no faults).
     pub fn new() -> Self {
         World::default()
+    }
+
+    /// Creates an empty world with a custom radio environment.
+    pub fn with_env(env: RadioEnv) -> Self {
+        World {
+            env,
+            ..World::default()
+        }
+    }
+
+    /// The radio environment this world runs under.
+    pub fn env(&self) -> &RadioEnv {
+        &self.env
     }
 
     /// Adds a node, returning its identifier.
@@ -354,6 +370,7 @@ impl World {
             cells: &self.index.cells,
             tech_mask: &self.tech_mask,
             tech_members: &self.tech_members,
+            env: &self.env,
         }
     }
 
@@ -401,8 +418,8 @@ impl World {
         if !self.has_technology(a, tech) || !self.has_technology(b, tech) {
             return false;
         }
-        let profile = tech.profile();
-        if profile.range_m.is_infinite() {
+        let range = self.env.profile(tech).range_m;
+        if range.is_infinite() {
             return true;
         }
         // Pairwise checks reuse the epoch cache when fresh but do not force
@@ -413,7 +430,7 @@ impl World {
         } else {
             self.distance(a, b, t)
         };
-        profile.in_range(d)
+        d <= range
     }
 
     /// Reference implementation of [`World::reachable`] bypassing the
@@ -425,7 +442,7 @@ impl World {
         if !self.has_technology(a, tech) || !self.has_technology(b, tech) {
             return false;
         }
-        let profile = tech.profile();
+        let profile = self.env.profile(tech);
         if profile.range_m.is_infinite() {
             return true;
         }
@@ -442,7 +459,7 @@ impl World {
         if !self.has_technology(id, tech) {
             return Vec::new();
         }
-        if tech.profile().range_m.is_infinite() {
+        if self.env.profile(tech).range_m.is_infinite() {
             // Range-independent: answered from membership lists without
             // forcing an O(N) epoch build.
             return self.tech_members[tech_slot(tech)]
@@ -488,7 +505,7 @@ impl World {
                 if !self.has_technology(id, tech) || !self.has_technology(other, tech) {
                     return false;
                 }
-                let profile = tech.profile();
+                let profile = self.env.profile(tech);
                 profile.range_m.is_infinite() || profile.in_range(d)
             });
             if let Some(tech) = tech {
@@ -543,7 +560,7 @@ impl World {
         if !self.reachable(from, to, tech, t) {
             return None;
         }
-        Some(tech.profile().transfer_time(bytes, rng))
+        Some(self.env.profile(tech).transfer_time(bytes, rng))
     }
 }
 
@@ -561,6 +578,7 @@ pub struct EpochView<'a> {
     cells: &'a HashMap<(i64, i64), Vec<u32>>,
     tech_mask: &'a [u8],
     tech_members: &'a [Vec<u32>; 3],
+    env: &'a RadioEnv,
 }
 
 impl EpochView<'_> {
@@ -597,7 +615,7 @@ impl EpochView<'_> {
         if !self.has_technology(id, tech) {
             return Vec::new();
         }
-        let profile = tech.profile();
+        let profile = self.env.profile(tech);
         if profile.range_m.is_infinite() {
             return self.tech_members[tech_slot(tech)]
                 .iter()
@@ -945,6 +963,29 @@ mod tests {
         for id in ids {
             assert_eq!(a.position(id, t), b.position(id, t), "{id}");
         }
+    }
+
+    #[test]
+    fn custom_env_range_is_honored_by_all_query_paths() {
+        use crate::radio::BLUETOOTH;
+        let mut bt = BLUETOOTH.clone();
+        bt.range_m = 30.0;
+        let env = RadioEnv::default().with_profile(Technology::Bluetooth, bt);
+        let mut w = World::with_env(env);
+        let a = w.add_node(NodeBuilder::new("a").at(Point2::ORIGIN));
+        let b = w.add_node(NodeBuilder::new("b").at(Point2::new(20.0, 0.0)));
+        // 20 m: out of stock Bluetooth range, within the boosted env's.
+        assert!(w.reachable(a, b, Technology::Bluetooth, SimTime::ZERO));
+        assert!(w.reachable_naive(a, b, Technology::Bluetooth, SimTime::ZERO));
+        assert_eq!(
+            w.neighbors(a, Technology::Bluetooth, SimTime::ZERO),
+            vec![b]
+        );
+        assert_eq!(
+            w.neighbors_any(a, SimTime::ZERO),
+            vec![(b, Technology::Bluetooth)]
+        );
+        assert_eq!(w.env().profile(Technology::Bluetooth).range_m, 30.0);
     }
 
     #[test]

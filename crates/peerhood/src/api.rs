@@ -80,6 +80,11 @@ pub enum AppEvent {
         /// Its registered services (empty if it offers none or vanished
         /// before answering).
         services: Vec<ServiceInfo>,
+        /// `true` when the list was served from an *expired* cache entry
+        /// because the refresh query timed out (recovery policy's
+        /// `serve_stale`); fresh answers and cache hits within TTL are
+        /// `false`.
+        stale: bool,
     },
     /// A service registration or removal succeeded/failed.
     ServiceRegistration {

@@ -41,6 +41,61 @@ pub struct DaemonConfig {
     /// Attempt to migrate live connections to another shared technology
     /// when their link drops (Table 3: *Seamless Connectivity*).
     pub seamless_connectivity: bool,
+    /// Optional timeout/retry/backoff policy for flaky environments.
+    /// `None` (the default) keeps the daemon's original fire-and-forget
+    /// behavior and is bit-identical to pre-recovery builds.
+    pub recovery: Option<RecoveryPolicy>,
+}
+
+/// Timeout, retry and backoff policy used when a daemon runs with fault
+/// recovery enabled ([`DaemonConfig::with_recovery`]).
+///
+/// Retries use capped exponential backoff: retry *n* (counting from 0)
+/// waits `min(backoff_base * 2^n, backoff_cap)` before relaunching.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// How long one connection attempt may stay unanswered before it is
+    /// treated as failed.
+    pub connect_timeout: Duration,
+    /// How many times a fully failed operation (all technologies exhausted)
+    /// is retried before giving up.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff delay.
+    pub backoff_cap: Duration,
+    /// How long a remote service-list query may stay unanswered before it
+    /// is retried or resolved from cache.
+    pub query_timeout: Duration,
+    /// On a final query timeout, serve the expired cached service list
+    /// (flagged `stale`) instead of an empty one.
+    pub serve_stale: bool,
+}
+
+impl Default for RecoveryPolicy {
+    /// Defaults sized for the thesis's Bluetooth 1.2 timings: an 8 s
+    /// connect timeout comfortably covers the ~1.3 s worst-case paging, a
+    /// 3 s query timeout covers SDP round trips, and three retries with
+    /// 500 ms → 8 s backoff ride out burst-loss episodes.
+    fn default() -> Self {
+        RecoveryPolicy {
+            connect_timeout: Duration::from_secs(8),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(500),
+            backoff_cap: Duration::from_secs(8),
+            query_timeout: Duration::from_secs(3),
+            serve_stale: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The backoff delay before retry number `tries` (counting from 0).
+    pub fn backoff(&self, tries: u32) -> Duration {
+        let factor = 1u32 << tries.min(16);
+        self.backoff_cap
+            .min(self.backoff_base.saturating_mul(factor))
+    }
 }
 
 impl DaemonConfig {
@@ -59,7 +114,15 @@ impl DaemonConfig {
             neighbor_ttl: Duration::from_secs(75),
             auto_service_discovery: true,
             seamless_connectivity: true,
+            recovery: None,
         }
+    }
+
+    /// Enables timeout/retry/backoff recovery with the given policy
+    /// (builder style).
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
     }
 
     /// Overrides one technology's inquiry interval (builder style).
@@ -136,5 +199,28 @@ mod tests {
         assert_eq!(cfg.neighbor_ttl, Duration::from_secs(7));
         assert!(!cfg.auto_service_discovery);
         assert!(!cfg.seamless_connectivity);
+    }
+
+    #[test]
+    fn recovery_is_off_by_default_and_opt_in() {
+        let cfg = DaemonConfig::new(device());
+        assert!(cfg.recovery.is_none());
+        let cfg = cfg.with_recovery(RecoveryPolicy::default());
+        assert!(cfg.recovery.is_some());
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RecoveryPolicy {
+            backoff_base: Duration::from_millis(500),
+            backoff_cap: Duration::from_secs(8),
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(500));
+        assert_eq!(p.backoff(1), Duration::from_secs(1));
+        assert_eq!(p.backoff(2), Duration::from_secs(2));
+        assert_eq!(p.backoff(10), Duration::from_secs(8), "capped");
+        // Huge retry counts must not overflow the shift.
+        assert_eq!(p.backoff(u32::MAX), Duration::from_secs(8));
     }
 }

@@ -93,12 +93,48 @@ struct Attempt {
     technology: Technology,
     fallbacks: Vec<Technology>,
     purpose: AttemptPurpose,
+    /// How many full retry rounds already failed before this attempt
+    /// (0 on the first round; only ever nonzero with a recovery policy).
+    tries: u32,
 }
 
 #[derive(Clone, Debug)]
 enum AttemptPurpose {
     NewConnection,
     Handover { conn: ConnId, from: Technology },
+}
+
+/// A connect sequence waiting out its backoff before being relaunched.
+#[derive(Clone, Debug)]
+struct RetryConnect {
+    device: DeviceId,
+    service: String,
+    purpose: AttemptPurpose,
+    /// Retry round about to run (1 = first retry).
+    tries: u32,
+}
+
+/// Deadline state of one outstanding remote service-list query.
+#[derive(Copy, Clone, Debug)]
+struct QueryDeadline {
+    at: SimTime,
+    tries: u32,
+}
+
+/// Counters for the optional [`RecoveryPolicy`]: how often the daemon
+/// timed out, retried, gave up or recovered. All zero — and the trace
+/// digest untouched — when no recovery policy is configured.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Operations relaunched after a failure (connects and queries).
+    pub retries: u64,
+    /// Deadlines that expired (connect attempts and service queries).
+    pub timeouts: u64,
+    /// Operations abandoned after exhausting every retry.
+    pub gave_up: u64,
+    /// Operations that ultimately succeeded *after* at least one retry,
+    /// plus stale-cache service lists served in place of a dead query.
+    pub resumed: u64,
 }
 
 /// The PeerHood Daemon.
@@ -118,6 +154,13 @@ pub struct Daemon {
     attempts: BTreeMap<AttemptId, Attempt>,
     resume_index: BTreeMap<ResumeToken, ConnId>,
     pending_service_queries: BTreeMap<DeviceId, u32>,
+    /// Per-attempt give-up instants (populated only with a recovery policy).
+    attempt_deadlines: BTreeMap<AttemptId, SimTime>,
+    /// Connect sequences sleeping through their backoff, by wake time.
+    pending_retries: BTreeMap<SimTime, Vec<RetryConnect>>,
+    /// Give-up instants for outstanding service queries (recovery only).
+    query_deadlines: BTreeMap<DeviceId, QueryDeadline>,
+    recovery_stats: RecoveryStats,
     next_conn: u64,
     next_attempt: u64,
 }
@@ -151,6 +194,10 @@ impl Daemon {
             attempts: BTreeMap::new(),
             resume_index: BTreeMap::new(),
             pending_service_queries: BTreeMap::new(),
+            attempt_deadlines: BTreeMap::new(),
+            pending_retries: BTreeMap::new(),
+            query_deadlines: BTreeMap::new(),
+            recovery_stats: RecoveryStats::default(),
             next_conn: 0,
             next_attempt: 0,
         }
@@ -175,6 +222,46 @@ impl Daemon {
     /// Number of currently open connections.
     pub fn connection_count(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Counters of the recovery machinery (all zero without a
+    /// [`RecoveryPolicy`]).
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery_stats
+    }
+
+    /// Simulates a daemon process crash-and-restart: every connection
+    /// closes (the application is told), all soft state — neighbors,
+    /// in-flight attempts, pending queries — is forgotten, and discovery
+    /// restarts from scratch at the next tick. The service registry and
+    /// monitor subscriptions survive (they are application intent, which in
+    /// a real deployment would be re-asserted on reconnect).
+    pub fn crash_restart(&mut self, now: SimTime, out: &mut Vec<DaemonOutput>) {
+        let conns: Vec<ConnId> = self.conns.keys().copied().collect();
+        for conn in conns {
+            self.drop_conn(conn, CloseReason::LinkLost, out);
+        }
+        for (device, waiting) in std::mem::take(&mut self.pending_service_queries) {
+            for _ in 0..waiting {
+                out.push(DaemonOutput::App(AppEvent::ServiceList {
+                    device,
+                    services: Vec::new(),
+                    stale: false,
+                }));
+            }
+        }
+        self.neighbors = NeighborTable::new();
+        self.conns.clear();
+        self.link_index.clear();
+        self.attempts.clear();
+        self.attempt_deadlines.clear();
+        self.pending_retries.clear();
+        self.query_deadlines.clear();
+        self.resume_index.clear();
+        for st in self.inquiries.values_mut() {
+            st.running = false;
+            st.next_start = now;
+        }
     }
 
     /// Processes one input at virtual time `now`, appending outputs.
@@ -204,11 +291,13 @@ impl Daemon {
         for info in removed {
             // Applications waiting on a service list for the vanished
             // device get an empty answer rather than silence.
+            self.query_deadlines.remove(&info.id);
             if let Some(waiting) = self.pending_service_queries.remove(&info.id) {
                 for _ in 0..waiting {
                     out.push(DaemonOutput::App(AppEvent::ServiceList {
                         device: info.id,
                         services: Vec::new(),
+                        stale: false,
                     }));
                 }
             }
@@ -242,6 +331,178 @@ impl Daemon {
         for conn in expired {
             self.drop_conn(conn, CloseReason::HandoverFailed, out);
         }
+
+        // Recovery machinery (no-ops without a policy: the maps stay empty).
+        self.run_attempt_timeouts(now, out);
+        self.run_pending_retries(now, out);
+        self.run_query_timeouts(now, out);
+    }
+
+    /// Connection attempts whose deadline passed are failed exactly as if
+    /// the transport had reported an error — the fallback chain and retry
+    /// schedule then apply as usual.
+    fn run_attempt_timeouts(&mut self, now: SimTime, out: &mut Vec<DaemonOutput>) {
+        let due: Vec<AttemptId> = self
+            .attempt_deadlines
+            .iter()
+            .filter(|(_, &at)| now >= at)
+            .map(|(&id, _)| id)
+            .collect();
+        for attempt in due {
+            self.recovery_stats.timeouts += 1;
+            self.handle_connect_result(
+                now,
+                attempt,
+                Err("connection attempt timed out".to_owned()),
+                out,
+            );
+        }
+    }
+
+    /// Relaunches connect sequences whose backoff has elapsed.
+    fn run_pending_retries(&mut self, now: SimTime, out: &mut Vec<DaemonOutput>) {
+        let mut due: Vec<RetryConnect> = Vec::new();
+        while let Some(entry) = self.pending_retries.first_entry() {
+            if *entry.key() > now {
+                break;
+            }
+            due.extend(entry.remove());
+        }
+        for retry in due {
+            // A handover retry for a connection that died in the meantime
+            // has nothing left to resume.
+            if let AttemptPurpose::Handover { conn, .. } = &retry.purpose {
+                if !self.conns.contains_key(conn) {
+                    continue;
+                }
+            }
+            // The candidate list is recomputed from the *current* neighbor
+            // table — a handover retry may legitimately land back on the
+            // technology it originally fled.
+            let mut techs = self
+                .neighbors
+                .get(retry.device)
+                .map(|e| e.visible_technologies())
+                .unwrap_or_default();
+            if techs.is_empty() {
+                self.recovery_stats.gave_up += 1;
+                self.fail_exhausted(retry.device, retry.service, retry.purpose, out);
+                continue;
+            }
+            self.recovery_stats.retries += 1;
+            let first = techs.remove(0);
+            let resume = match &retry.purpose {
+                AttemptPurpose::Handover { conn, .. } => self.conns.get(conn).map(|c| c.resume),
+                AttemptPurpose::NewConnection => None,
+            };
+            self.start_attempt(
+                now,
+                retry.device,
+                retry.service,
+                first,
+                techs,
+                retry.purpose,
+                resume,
+                retry.tries,
+                out,
+            );
+        }
+    }
+
+    /// Service queries whose deadline passed are retried while rounds
+    /// remain, then resolved from the (stale) cache or with an empty list.
+    fn run_query_timeouts(&mut self, now: SimTime, out: &mut Vec<DaemonOutput>) {
+        let Some(policy) = self.config.recovery else {
+            return;
+        };
+        let due: Vec<(DeviceId, QueryDeadline)> = self
+            .query_deadlines
+            .iter()
+            .filter(|(_, d)| now >= d.at)
+            .map(|(&dev, &d)| (dev, d))
+            .collect();
+        for (device, deadline) in due {
+            self.query_deadlines.remove(&device);
+            if !self.pending_service_queries.contains_key(&device) {
+                continue; // answered in the meantime
+            }
+            self.recovery_stats.timeouts += 1;
+            let retry_tech = (deadline.tries < policy.max_retries)
+                .then(|| {
+                    self.neighbors
+                        .get(device)
+                        .and_then(|e| e.preferred_technology())
+                })
+                .flatten();
+            if let Some(tech) = retry_tech {
+                self.recovery_stats.retries += 1;
+                self.query_deadlines.insert(
+                    device,
+                    QueryDeadline {
+                        at: now + policy.query_timeout,
+                        tries: deadline.tries + 1,
+                    },
+                );
+                out.push(DaemonOutput::Plugin(PluginCommand::QueryServices {
+                    device,
+                    technology: tech,
+                }));
+                continue;
+            }
+            // Out of retries: unblock every waiter, from stale cache when
+            // allowed and available.
+            self.recovery_stats.gave_up += 1;
+            let stale_services = policy
+                .serve_stale
+                .then(|| {
+                    self.neighbors
+                        .get(device)
+                        .and_then(|e| e.services.as_ref())
+                        .map(|(_, s)| s.clone())
+                })
+                .flatten();
+            let waiting = self.pending_service_queries.remove(&device).unwrap_or(0);
+            if stale_services.is_some() {
+                self.recovery_stats.resumed += 1;
+            }
+            let (services, stale) = match stale_services {
+                Some(s) => (s, true),
+                None => (Vec::new(), false),
+            };
+            for _ in 0..waiting {
+                out.push(DaemonOutput::App(AppEvent::ServiceList {
+                    device,
+                    services: services.clone(),
+                    stale,
+                }));
+            }
+        }
+    }
+
+    /// Terminal failure of a connect sequence after every technology and
+    /// retry round is spent.
+    fn fail_exhausted(
+        &mut self,
+        device: DeviceId,
+        service: String,
+        purpose: AttemptPurpose,
+        out: &mut Vec<DaemonOutput>,
+    ) {
+        match purpose {
+            AttemptPurpose::NewConnection => {
+                out.push(DaemonOutput::App(AppEvent::ConnectFailed {
+                    device,
+                    service,
+                    error: PeerHoodError::Unreachable(device),
+                }));
+            }
+            AttemptPurpose::Handover { conn, .. } => match self.conns.get_mut(&conn) {
+                Some(state) if state.link.is_some() => {
+                    state.handing_over = false;
+                }
+                _ => self.drop_conn(conn, CloseReason::HandoverFailed, out),
+            },
+        }
     }
 
     fn next_wake(&self, now: SimTime) -> Option<SimTime> {
@@ -259,6 +520,11 @@ impl Daemon {
                 candidates.push(d);
             }
         }
+        candidates.extend(self.attempt_deadlines.values().copied());
+        if let Some((&at, _)) = self.pending_retries.first_key_value() {
+            candidates.push(at);
+        }
+        candidates.extend(self.query_deadlines.values().map(|d| d.at));
         candidates
             .into_iter()
             .min()
@@ -297,7 +563,7 @@ impl Daemon {
                 self.handle_get_service_list(now, device, out);
             }
             AppRequest::Connect { device, service } => {
-                self.handle_connect(device, service, out);
+                self.handle_connect(now, device, service, out);
             }
             AppRequest::Send { conn, payload } => {
                 self.handle_send(conn, payload, out);
@@ -330,6 +596,7 @@ impl Daemon {
             out.push(DaemonOutput::App(AppEvent::ServiceList {
                 device,
                 services: Vec::new(),
+                stale: false,
             }));
             return;
         };
@@ -339,6 +606,7 @@ impl Daemon {
                 out.push(DaemonOutput::App(AppEvent::ServiceList {
                     device,
                     services: services.clone(),
+                    stale: false,
                 }));
                 return;
             }
@@ -347,6 +615,7 @@ impl Daemon {
             out.push(DaemonOutput::App(AppEvent::ServiceList {
                 device,
                 services: Vec::new(),
+                stale: false,
             }));
             return;
         };
@@ -355,6 +624,15 @@ impl Daemon {
         if *waiting == 1 {
             // First asker triggers the wire query; later askers share the
             // reply (each still gets its own ServiceList event).
+            if let Some(policy) = self.config.recovery {
+                self.query_deadlines.insert(
+                    device,
+                    QueryDeadline {
+                        at: now + policy.query_timeout,
+                        tries: 0,
+                    },
+                );
+            }
             out.push(DaemonOutput::Plugin(PluginCommand::QueryServices {
                 device,
                 technology: tech,
@@ -362,7 +640,13 @@ impl Daemon {
         }
     }
 
-    fn handle_connect(&mut self, device: DeviceId, service: String, out: &mut Vec<DaemonOutput>) {
+    fn handle_connect(
+        &mut self,
+        now: SimTime,
+        device: DeviceId,
+        service: String,
+        out: &mut Vec<DaemonOutput>,
+    ) {
         let Some(entry) = self.neighbors.get(device) else {
             out.push(DaemonOutput::App(AppEvent::ConnectFailed {
                 device,
@@ -382,12 +666,14 @@ impl Daemon {
         }
         let first = techs.remove(0);
         self.start_attempt(
+            now,
             device,
             service,
             first,
             techs,
             AttemptPurpose::NewConnection,
             None,
+            0,
             out,
         );
     }
@@ -395,12 +681,14 @@ impl Daemon {
     #[allow(clippy::too_many_arguments)]
     fn start_attempt(
         &mut self,
+        now: SimTime,
         device: DeviceId,
         service: String,
         technology: Technology,
         fallbacks: Vec<Technology>,
         purpose: AttemptPurpose,
         resume: Option<ResumeToken>,
+        tries: u32,
         out: &mut Vec<DaemonOutput>,
     ) {
         let attempt = AttemptId::new(self.next_attempt);
@@ -413,8 +701,13 @@ impl Daemon {
                 technology,
                 fallbacks,
                 purpose,
+                tries,
             },
         );
+        if let Some(policy) = self.config.recovery {
+            self.attempt_deadlines
+                .insert(attempt, now + policy.connect_timeout);
+        }
         out.push(DaemonOutput::Plugin(PluginCommand::OpenConnection {
             attempt,
             device,
@@ -474,17 +767,25 @@ impl Daemon {
             PluginEvent::ServiceReply { device, services } => {
                 self.neighbors
                     .record_services(device, services.clone(), now);
+                if let Some(deadline) = self.query_deadlines.remove(&device) {
+                    if deadline.tries > 0 {
+                        // The answer only arrived because a retry round
+                        // re-asked: the query recovered.
+                        self.recovery_stats.resumed += 1;
+                    }
+                }
                 if let Some(waiting) = self.pending_service_queries.remove(&device) {
                     for _ in 0..waiting {
                         out.push(DaemonOutput::App(AppEvent::ServiceList {
                             device,
                             services: services.clone(),
+                            stale: false,
                         }));
                     }
                 }
             }
             PluginEvent::ConnectResult { attempt, result } => {
-                self.handle_connect_result(attempt, result, out);
+                self.handle_connect_result(now, attempt, result, out);
             }
             PluginEvent::IncomingConnection {
                 link,
@@ -517,7 +818,7 @@ impl Daemon {
                 self.handle_link_down(now, link, out);
             }
             PluginEvent::LinkDegraded { link } => {
-                self.handle_link_degraded(link, out);
+                self.handle_link_degraded(now, link, out);
             }
         }
     }
@@ -525,7 +826,7 @@ impl Daemon {
     /// Make-before-break: the link still carries traffic but is weakening;
     /// the initiator starts migrating to a stronger technology while the
     /// old link keeps working (Table 3's reaction to "weakening").
-    fn handle_link_degraded(&mut self, link: LinkId, out: &mut Vec<DaemonOutput>) {
+    fn handle_link_degraded(&mut self, now: SimTime, link: LinkId, out: &mut Vec<DaemonOutput>) {
         if !self.config.seamless_connectivity {
             return;
         }
@@ -560,6 +861,7 @@ impl Daemon {
         state.handing_over = true;
         let first = alternatives.remove(0);
         self.start_attempt(
+            now,
             device,
             service,
             first,
@@ -569,6 +871,7 @@ impl Daemon {
                 from: failing_tech,
             },
             Some(resume),
+            0,
             out,
         );
     }
@@ -605,13 +908,19 @@ impl Daemon {
 
     fn handle_connect_result(
         &mut self,
+        now: SimTime,
         attempt: AttemptId,
         result: Result<LinkId, String>,
         out: &mut Vec<DaemonOutput>,
     ) {
         let Some(att) = self.attempts.remove(&attempt) else {
+            // Late result for an attempt already timed out and replaced.
             return;
         };
+        self.attempt_deadlines.remove(&attempt);
+        if result.is_ok() && att.tries > 0 {
+            self.recovery_stats.resumed += 1;
+        }
         match result {
             Ok(link) => match att.purpose {
                 AttemptPurpose::NewConnection => {
@@ -689,35 +998,65 @@ impl Daemon {
                         AttemptPurpose::NewConnection => None,
                     };
                     self.start_attempt(
+                        now,
                         att.device,
                         att.service,
                         next_tech,
                         fallbacks,
                         att.purpose,
                         resume,
+                        att.tries,
                         out,
                     );
-                } else {
-                    match att.purpose {
-                        AttemptPurpose::NewConnection => {
-                            out.push(DaemonOutput::App(AppEvent::ConnectFailed {
+                    return;
+                }
+                // Every candidate technology failed this round. With a
+                // recovery policy and rounds to spare, sleep out the
+                // backoff and relaunch the whole sequence — except for a
+                // failed *proactive* handover, whose old link is still up
+                // and makes a retry pointless churn.
+                let proactive = match &att.purpose {
+                    AttemptPurpose::Handover { conn, .. } => self
+                        .conns
+                        .get(conn)
+                        .is_some_and(|state| state.link.is_some()),
+                    AttemptPurpose::NewConnection => false,
+                };
+                if let Some(policy) = self.config.recovery {
+                    if !proactive && att.tries < policy.max_retries {
+                        let at = now + policy.backoff(att.tries);
+                        self.pending_retries
+                            .entry(at)
+                            .or_default()
+                            .push(RetryConnect {
                                 device: att.device,
                                 service: att.service,
-                                error: PeerHoodError::ConnectFailed {
-                                    device: att.device,
-                                    reason,
-                                },
-                            }));
-                        }
-                        AttemptPurpose::Handover { conn, .. } => {
-                            // A failed *proactive* handover is survivable:
-                            // the old link may still be up.
-                            match self.conns.get_mut(&conn) {
-                                Some(state) if state.link.is_some() => {
-                                    state.handing_over = false;
-                                }
-                                _ => self.drop_conn(conn, CloseReason::HandoverFailed, out),
+                                purpose: att.purpose,
+                                tries: att.tries + 1,
+                            });
+                        return;
+                    }
+                    self.recovery_stats.gave_up += 1;
+                }
+                match att.purpose {
+                    AttemptPurpose::NewConnection => {
+                        out.push(DaemonOutput::App(AppEvent::ConnectFailed {
+                            device: att.device,
+                            service: att.service,
+                            error: PeerHoodError::ConnectFailed {
+                                device: att.device,
+                                reason,
+                            },
+                        }));
+                    }
+                    AttemptPurpose::Handover { conn, .. } => {
+                        // A failed *proactive* handover is survivable:
+                        // the old link may still be up.
+                        match self.conns.get_mut(&conn) {
+                            Some(state) if state.link.is_some() => {
+                                state.handing_over = false;
                             }
+                            _ => self.drop_conn(conn, CloseReason::HandoverFailed, out),
                         }
                     }
                 }
@@ -842,6 +1181,7 @@ impl Daemon {
             state.handing_over = true;
             let first = alternatives.remove(0);
             self.start_attempt(
+                now,
                 device,
                 service,
                 first,
@@ -851,6 +1191,7 @@ impl Daemon {
                     from: failed_tech,
                 },
                 Some(resume),
+                0,
                 out,
             );
         } else {

@@ -5,6 +5,83 @@ use std::fmt;
 
 use crate::types::{ConnId, DeviceId};
 
+/// Coarse, layer-independent failure classification with **stable wire
+/// codes**, shared by the middleware ([`PeerHoodError`]) and the community
+/// layer above it.
+///
+/// The numeric codes are part of the wire/protocol contract: they never
+/// change meaning and new kinds only append. Tools that log or transmit
+/// failures use [`ErrorKind::code`]; peers decode with
+/// [`ErrorKind::from_code`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum ErrorKind {
+    /// A deadline expired before the operation completed.
+    Timeout = 1,
+    /// An established link or connection failed underneath the operation.
+    LinkFailure = 2,
+    /// The remote side actively refused the operation.
+    Refused = 3,
+    /// No route/technology currently reaches the peer.
+    Unreachable = 4,
+    /// The referenced entity (device, service, account, …) does not exist.
+    NotFound = 5,
+    /// The operation conflicts with existing state (duplicate names, …).
+    Conflict = 6,
+    /// The caller is not authenticated or not allowed to do this.
+    Unauthorized = 7,
+    /// The request itself is malformed or undecodable.
+    InvalidRequest = 8,
+    /// The peer exists but cannot serve the request right now.
+    Unavailable = 9,
+    /// An internal invariant broke; not the caller's fault.
+    Internal = 10,
+}
+
+impl ErrorKind {
+    /// Every kind, in wire-code order.
+    pub const ALL: [ErrorKind; 10] = [
+        ErrorKind::Timeout,
+        ErrorKind::LinkFailure,
+        ErrorKind::Refused,
+        ErrorKind::Unreachable,
+        ErrorKind::NotFound,
+        ErrorKind::Conflict,
+        ErrorKind::Unauthorized,
+        ErrorKind::InvalidRequest,
+        ErrorKind::Unavailable,
+        ErrorKind::Internal,
+    ];
+
+    /// The stable wire code of this kind.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire code; `None` for codes no kind has (yet).
+    pub fn from_code(code: u8) -> Option<ErrorKind> {
+        ErrorKind::ALL.into_iter().find(|k| k.code() == code)
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::LinkFailure => "link failure",
+            ErrorKind::Refused => "refused",
+            ErrorKind::Unreachable => "unreachable",
+            ErrorKind::NotFound => "not found",
+            ErrorKind::Conflict => "conflict",
+            ErrorKind::Unauthorized => "unauthorized",
+            ErrorKind::InvalidRequest => "invalid request",
+            ErrorKind::Unavailable => "unavailable",
+            ErrorKind::Internal => "internal error",
+        };
+        f.write_str(name)
+    }
+}
+
 /// Errors reported by the PeerHood daemon and library.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -36,6 +113,35 @@ pub enum PeerHoodError {
     /// The connection was lost and (if enabled) seamless handover also
     /// failed.
     ConnectionLost(ConnId),
+}
+
+impl PeerHoodError {
+    /// The coarse [`ErrorKind`] of this error (stable wire code).
+    ///
+    /// [`PeerHoodError::ConnectFailed`] carries a free-form transport
+    /// reason; its kind is sniffed from the reason text the simulated
+    /// plugins produce (`timed out` → [`ErrorKind::Timeout`], `refused` →
+    /// [`ErrorKind::Refused`]) and defaults to [`ErrorKind::Unavailable`].
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            PeerHoodError::UnknownDevice(_)
+            | PeerHoodError::UnknownConnection(_)
+            | PeerHoodError::ServiceNotFound { .. }
+            | PeerHoodError::ServiceNotRegistered(_) => ErrorKind::NotFound,
+            PeerHoodError::ServiceAlreadyRegistered(_) => ErrorKind::Conflict,
+            PeerHoodError::Unreachable(_) => ErrorKind::Unreachable,
+            PeerHoodError::ConnectFailed { reason, .. } => {
+                if reason.contains("timed out") {
+                    ErrorKind::Timeout
+                } else if reason.contains("refused") {
+                    ErrorKind::Refused
+                } else {
+                    ErrorKind::Unavailable
+                }
+            }
+            PeerHoodError::ConnectionLost(_) => ErrorKind::LinkFailure,
+        }
+    }
 }
 
 impl fmt::Display for PeerHoodError {
@@ -82,5 +188,66 @@ mod tests {
     fn error_trait_object() {
         fn takes_err(_: &dyn StdError) {}
         takes_err(&PeerHoodError::UnknownDevice(DeviceId::new(1)));
+    }
+
+    #[test]
+    fn kind_codes_are_stable_and_round_trip() {
+        // These exact numbers are a wire contract; a change here is a
+        // protocol break, not a refactor.
+        assert_eq!(ErrorKind::Timeout.code(), 1);
+        assert_eq!(ErrorKind::LinkFailure.code(), 2);
+        assert_eq!(ErrorKind::Refused.code(), 3);
+        assert_eq!(ErrorKind::Unreachable.code(), 4);
+        assert_eq!(ErrorKind::NotFound.code(), 5);
+        assert_eq!(ErrorKind::Conflict.code(), 6);
+        assert_eq!(ErrorKind::Unauthorized.code(), 7);
+        assert_eq!(ErrorKind::InvalidRequest.code(), 8);
+        assert_eq!(ErrorKind::Unavailable.code(), 9);
+        assert_eq!(ErrorKind::Internal.code(), 10);
+        for kind in ErrorKind::ALL {
+            assert_eq!(ErrorKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_code(0), None);
+        assert_eq!(ErrorKind::from_code(200), None);
+    }
+
+    #[test]
+    fn peerhood_errors_classify_sensibly() {
+        assert_eq!(
+            PeerHoodError::UnknownDevice(DeviceId::new(1)).kind(),
+            ErrorKind::NotFound
+        );
+        assert_eq!(
+            PeerHoodError::Unreachable(DeviceId::new(1)).kind(),
+            ErrorKind::Unreachable
+        );
+        assert_eq!(
+            PeerHoodError::ConnectionLost(ConnId::new(3)).kind(),
+            ErrorKind::LinkFailure
+        );
+        assert_eq!(
+            PeerHoodError::ConnectFailed {
+                device: DeviceId::new(1),
+                reason: "connection attempt timed out".into(),
+            }
+            .kind(),
+            ErrorKind::Timeout
+        );
+        assert_eq!(
+            PeerHoodError::ConnectFailed {
+                device: DeviceId::new(1),
+                reason: "Bluetooth connection refused".into(),
+            }
+            .kind(),
+            ErrorKind::Refused
+        );
+        assert_eq!(
+            PeerHoodError::ConnectFailed {
+                device: DeviceId::new(1),
+                reason: "peer out of range".into(),
+            }
+            .kind(),
+            ErrorKind::Unavailable
+        );
     }
 }

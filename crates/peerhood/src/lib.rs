@@ -67,9 +67,9 @@ pub mod types;
 
 pub use api::{AppEvent, AppRequest};
 pub use app::{AppCtx, Application};
-pub use config::DaemonConfig;
-pub use daemon::{Daemon, DaemonInput, DaemonOutput};
-pub use error::PeerHoodError;
+pub use config::{DaemonConfig, RecoveryPolicy};
+pub use daemon::{Daemon, DaemonInput, DaemonOutput, RecoveryStats};
+pub use error::{ErrorKind, PeerHoodError};
 pub use library::Library;
 pub use service::{ServiceInfo, ServiceRegistry};
 pub use types::{CloseReason, ConnId, DeviceId, DeviceInfo};

@@ -18,7 +18,9 @@ use std::time::Duration;
 use codec::Bytes;
 
 use netsim::world::{NodeBuilder, NodeId};
-use netsim::{EventQueue, SimRng, SimTime, Technology, Trace, TraceStats, World};
+use netsim::{
+    BurstState, EventQueue, RadioEnv, SimRng, SimTime, Technology, Trace, TraceStats, World,
+};
 
 use crate::api::AppEvent;
 use crate::app::{AppCtx, Application};
@@ -39,6 +41,13 @@ const CTRL_BYTES: usize = 24;
 const LINK_DOWN_DETECT: Duration = Duration::from_millis(400);
 /// How long an unanswered service query takes to give up.
 const SDP_TIMEOUT: Duration = Duration::from_millis(1_000);
+/// Salt xored into the scenario seed to derive the *fault* RNG stream.
+/// Faults draw from their own stream so an inert [`FaultPlan`]
+/// (which draws nothing) leaves the main stream — and therefore the
+/// digest — bit-identical to a fault-free run.
+///
+/// [`FaultPlan`]: netsim::FaultPlan
+const FAULT_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 #[derive(Debug)]
 enum Ev {
@@ -57,11 +66,16 @@ enum Ev {
     ServiceQueryArrive {
         to: NodeId,
         from: NodeId,
+        tech: Technology,
     },
     ServiceReplyArrive {
         to: NodeId,
         from: NodeId,
         services: Vec<ServiceInfo>,
+        /// Which radio carried the reply; `None` for the synthetic
+        /// empty reply a local SDP timeout produces (not a wire frame,
+        /// so fault injection never touches it).
+        tech: Option<Technology>,
     },
     ConnectSetupDone {
         initiator: NodeId,
@@ -89,6 +103,10 @@ enum Ev {
         to: NodeId,
         link: LinkId,
     },
+    /// A scheduled daemon outage begins ([`netsim::CrashWindow`]).
+    CrashStart(NodeId),
+    /// The crashed daemon restarts (with empty soft state).
+    CrashEnd(NodeId),
 }
 
 #[derive(Debug)]
@@ -158,6 +176,15 @@ pub struct Cluster<A> {
     links: BTreeMap<LinkId, Link>,
     next_link: u64,
     rng: SimRng,
+    /// Radio profiles + fault plan shared with the world.
+    env: RadioEnv,
+    /// Dedicated stream for fault decisions (see [`FAULT_STREAM_SALT`]).
+    fault_rng: SimRng,
+    /// Gilbert channel state, one per technology.
+    burst: [BurstState; 3],
+    /// Nodes whose daemon is inside a crash window: all daemon inputs are
+    /// dropped until the matching [`Ev::CrashEnd`].
+    down: BTreeSet<NodeId>,
     trace: Trace,
     started: bool,
     /// Worker count for the epoch engine (0 = auto, 1 = serial).
@@ -176,15 +203,31 @@ pub struct Cluster<A> {
 }
 
 impl<A: Application> Cluster<A> {
-    /// Creates an empty cluster; all randomness derives from `seed`.
+    /// Creates an empty cluster with default radio profiles and no faults;
+    /// all randomness derives from `seed`.
     pub fn new(seed: u64) -> Self {
+        Cluster::with_env(seed, RadioEnv::default())
+    }
+
+    /// Creates an empty cluster running inside the given [`RadioEnv`]:
+    /// its technology profiles drive every range/timing computation and its
+    /// [`FaultPlan`](netsim::FaultPlan) is injected deterministically.
+    ///
+    /// An inert fault plan draws no randomness, so
+    /// `Cluster::with_env(seed, RadioEnv::default())` is bit-identical to
+    /// `Cluster::new(seed)`.
+    pub fn with_env(seed: u64, env: RadioEnv) -> Self {
         Cluster {
-            world: World::new(),
+            world: World::with_env(env.clone()),
             queue: EventQueue::new(),
             nodes: Vec::new(),
             links: BTreeMap::new(),
             next_link: 0,
             rng: SimRng::from_seed(seed),
+            fault_rng: SimRng::from_seed(seed ^ FAULT_STREAM_SALT),
+            burst: [BurstState::default(); 3],
+            down: BTreeSet::new(),
+            env,
             trace: Trace::new(),
             started: false,
             threads: 1,
@@ -193,6 +236,11 @@ impl<A: Application> Cluster<A> {
             wake_times: BTreeMap::new(),
             batch_buf: Vec::new(),
         }
+    }
+
+    /// The radio environment this cluster runs in.
+    pub fn env(&self) -> &RadioEnv {
+        &self.env
     }
 
     /// Sets the worker count for the parallel epoch engine: `1` (the
@@ -259,6 +307,14 @@ impl<A: Application> Cluster<A> {
         let now = self.queue.now();
         for id in 0..self.nodes.len() {
             self.queue.schedule(now, Ev::Start(NodeId::from_index(id)));
+        }
+        let crashes = self.env.faults().crashes().to_vec();
+        for cw in crashes {
+            let node = NodeId::from_index(cw.node as usize);
+            let down = cw.down_from.max(now);
+            let up = cw.up_at.max(down);
+            self.queue.schedule(down, Ev::CrashStart(node));
+            self.queue.schedule(up, Ev::CrashEnd(node));
         }
     }
 
@@ -476,6 +532,40 @@ impl<A: Application> Cluster<A> {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+    // All fault decisions happen here, in serial dispatch order, drawing
+    // from `fault_rng` only. `SimRng::chance` consumes nothing for zero
+    // probabilities, so with an inert plan these calls are pure no-ops and
+    // the run digest matches a fault-free run bit-for-bit.
+
+    fn tech_slot(tech: Technology) -> usize {
+        match tech {
+            Technology::Bluetooth => 0,
+            Technology::Wlan => 1,
+            Technology::Gprs => 2,
+        }
+    }
+
+    /// Advances the per-technology Gilbert channel and samples one frame.
+    fn frame_lost(&mut self, tech: Technology) -> bool {
+        let profile = *self.env.faults().profile(tech);
+        profile.frame_lost(&mut self.burst[Self::tech_slot(tech)], &mut self.fault_rng)
+    }
+
+    /// Samples whether the whole link dies under this frame.
+    fn link_killed(&mut self, tech: Technology) -> bool {
+        let p = self.env.faults().profile(tech).link_kill;
+        self.fault_rng.chance(p)
+    }
+
+    /// Samples whether a connection attempt is refused outright.
+    fn connect_refused(&mut self, tech: Technology) -> bool {
+        let p = self.env.faults().profile(tech).connect_refuse;
+        self.fault_rng.chance(p)
+    }
+
+    // ------------------------------------------------------------------
     // Event dispatch
     // ------------------------------------------------------------------
 
@@ -551,14 +641,29 @@ impl<A: Application> Cluster<A> {
                     DaemonInput::Plugin(PluginEvent::InquiryComplete { technology: tech }),
                 );
             }
-            Ev::ServiceQueryArrive { to, from } => {
+            Ev::ServiceQueryArrive { to, from, tech } => {
+                if self.frame_lost(tech) {
+                    self.trace.stats_mut().frames_dropped += 1;
+                    return;
+                }
                 let device = self.device_id_of(from);
                 self.feed_daemon(
                     to,
                     DaemonInput::Plugin(PluginEvent::ServiceQuery { device }),
                 );
             }
-            Ev::ServiceReplyArrive { to, from, services } => {
+            Ev::ServiceReplyArrive {
+                to,
+                from,
+                services,
+                tech,
+            } => {
+                if let Some(tech) = tech {
+                    if self.frame_lost(tech) {
+                        self.trace.stats_mut().frames_dropped += 1;
+                        return;
+                    }
+                }
                 let device = self.device_id_of(from);
                 self.feed_daemon(
                     to,
@@ -575,11 +680,30 @@ impl<A: Application> Cluster<A> {
             } => {
                 let now = self.queue.now();
                 if !self.world.reachable(initiator, target, tech, now) {
+                    // The peer moved away while setup was in flight: this is
+                    // a failed connect like any other, plus its own counter
+                    // so summaries can tell it apart from refusals.
+                    let stats = self.trace.stats_mut();
+                    stats.connects_failed += 1;
+                    stats.connects_lost_setup += 1;
                     self.feed_daemon(
                         initiator,
                         DaemonInput::Plugin(PluginEvent::ConnectResult {
                             attempt,
                             result: Err(format!("{tech} peer out of range during setup")),
+                        }),
+                    );
+                    return;
+                }
+                if self.down.contains(&target) {
+                    // The target's daemon is inside a crash window: nobody
+                    // is listening, so the transport reports a refusal.
+                    self.trace.stats_mut().connects_failed += 1;
+                    self.feed_daemon(
+                        initiator,
+                        DaemonInput::Plugin(PluginEvent::ConnectResult {
+                            attempt,
+                            result: Err(format!("{tech} peer daemon not responding")),
                         }),
                     );
                     return;
@@ -632,6 +756,22 @@ impl<A: Application> Cluster<A> {
                     self.trace.stats_mut().frames_dropped += 1;
                     return;
                 };
+                let tech = l.tech;
+                if self.down.contains(&to) {
+                    // Frames toward a crashed daemon fall on the floor.
+                    self.trace.stats_mut().frames_dropped += 1;
+                    return;
+                }
+                if self.frame_lost(tech) {
+                    self.trace.stats_mut().frames_dropped += 1;
+                    return;
+                }
+                if self.link_killed(tech) {
+                    self.trace.stats_mut().frames_dropped += 1;
+                    self.tear_down_link(link);
+                    return;
+                }
+                let l = self.links.get(&link).expect("checked above");
                 if self.world.reachable(l.a, l.b, l.tech, now) {
                     let stats = self.trace.stats_mut();
                     stats.frames_delivered += 1;
@@ -650,6 +790,41 @@ impl<A: Application> Cluster<A> {
             }
             Ev::LinkDownArrive { to, link } => {
                 self.feed_daemon(to, DaemonInput::Plugin(PluginEvent::LinkDown { link }));
+            }
+            Ev::CrashStart(node) => {
+                if node.index() >= self.nodes.len() || !self.down.insert(node) {
+                    return;
+                }
+                // Every radio link with an endpoint on the node dies; peers
+                // notice after the usual transport detection delay.
+                let dead: Vec<LinkId> = self
+                    .links
+                    .iter()
+                    .filter(|(_, l)| l.a == node || l.b == node)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for link in dead {
+                    self.tear_down_link(link);
+                }
+                // The daemon process restarts from empty soft state; the
+                // local application sees its connections close. Any requests
+                // it issues in response are lost — the daemon is down.
+                let now = self.queue.now();
+                let mut outs = Vec::new();
+                self.nodes[node.index()]
+                    .daemon
+                    .crash_restart(now, &mut outs);
+                let mut discarded = VecDeque::new();
+                for out in outs {
+                    if let DaemonOutput::App(ev) = out {
+                        self.deliver_app_event(node, ev, &mut discarded);
+                    }
+                }
+            }
+            Ev::CrashEnd(node) => {
+                if node.index() < self.nodes.len() && self.down.remove(&node) {
+                    self.feed_daemon(node, DaemonInput::Tick);
+                }
             }
         }
     }
@@ -673,9 +848,22 @@ impl<A: Application> Cluster<A> {
         let mut work: VecDeque<(NodeId, DaemonInput)> = VecDeque::new();
         work.push_back((node, input));
         while let Some((n, input)) = work.pop_front() {
+            if self.down.contains(&n) {
+                // Crashed daemons consume nothing until their restart.
+                continue;
+            }
             let now = self.queue.now();
             let mut outs = Vec::new();
+            let before = *self.nodes[n.index()].daemon.recovery_stats();
             self.nodes[n.index()].daemon.handle(now, input, &mut outs);
+            let after = *self.nodes[n.index()].daemon.recovery_stats();
+            if after != before {
+                let stats = self.trace.stats_mut();
+                stats.retries += after.retries - before.retries;
+                stats.timeouts += after.timeouts - before.timeouts;
+                stats.gave_up += after.gave_up - before.gave_up;
+                stats.resumed += after.resumed - before.resumed;
+            }
             for out in outs {
                 match out {
                     DaemonOutput::Plugin(cmd) => self.exec_command(n, cmd),
@@ -733,13 +921,13 @@ impl<A: Application> Cluster<A> {
         match cmd {
             PluginCommand::StartInquiry { technology } => {
                 self.trace.stats_mut().inquiries += 1;
-                let profile = technology.profile();
                 // One batched snapshot from the spatial index; every
                 // responder is then scheduled off this single range query.
                 // An epoch may have answered it already, in parallel.
                 let neighbors = self
                     .take_epoch_neighbors(node, technology, now)
                     .unwrap_or_else(|| self.world.neighbors(node, technology, now));
+                let profile = self.env.profile(technology);
                 for nb in neighbors {
                     if profile.discovery_misses(&mut self.rng) {
                         continue;
@@ -766,14 +954,16 @@ impl<A: Application> Cluster<A> {
                 self.trace.stats_mut().service_queries += 1;
                 let target = self.node_of(device);
                 if self.world.reachable(node, target, technology, now) {
-                    let delay = technology
-                        .profile()
+                    let delay = self
+                        .env
+                        .profile(technology)
                         .transfer_time(SDP_QUERY_BYTES, &mut self.rng);
                     self.queue.schedule(
                         now + delay,
                         Ev::ServiceQueryArrive {
                             to: target,
                             from: node,
+                            tech: technology,
                         },
                     );
                 } else {
@@ -785,6 +975,7 @@ impl<A: Application> Cluster<A> {
                             to: node,
                             from: target,
                             services: Vec::new(),
+                            tech: None,
                         },
                     );
                 }
@@ -797,13 +988,14 @@ impl<A: Application> Cluster<A> {
                     .find(|&t| self.world.reachable(node, target, t, now));
                 if let Some(tech) = tech {
                     let bytes = SDP_QUERY_BYTES + SDP_RECORD_BYTES * services.len();
-                    let delay = tech.profile().transfer_time(bytes, &mut self.rng);
+                    let delay = self.env.profile(tech).transfer_time(bytes, &mut self.rng);
                     self.queue.schedule(
                         now + delay,
                         Ev::ServiceReplyArrive {
                             to: target,
                             from: node,
                             services,
+                            tech: Some(tech),
                         },
                     );
                 }
@@ -817,8 +1009,20 @@ impl<A: Application> Cluster<A> {
             } => {
                 self.trace.stats_mut().connects_attempted += 1;
                 let target = self.node_of(device);
-                let delay = technology.profile().connect_time(&mut self.rng);
-                if self.world.reachable(node, target, technology, now) {
+                // The setup delay is drawn from the main stream *before* the
+                // refusal decision, so an inert fault plan leaves the main
+                // stream untouched.
+                let delay = self.env.profile(technology).connect_time(&mut self.rng);
+                if self.connect_refused(technology) {
+                    self.queue.schedule(
+                        now + delay,
+                        Ev::ConnectResultArrive {
+                            to: node,
+                            attempt,
+                            result: Err(format!("{technology} connection refused")),
+                        },
+                    );
+                } else if self.world.reachable(node, target, technology, now) {
                     self.queue.schedule(
                         now + delay,
                         Ev::ConnectSetupDone {
@@ -845,7 +1049,10 @@ impl<A: Application> Cluster<A> {
             PluginCommand::AcceptConnection { link } => {
                 if let Some(l) = self.links.get_mut(&link) {
                     if let Some((initiator, attempt)) = l.pending.take() {
-                        let delay = l.tech.profile().transfer_time(CTRL_BYTES, &mut self.rng);
+                        let delay = self
+                            .env
+                            .profile(l.tech)
+                            .transfer_time(CTRL_BYTES, &mut self.rng);
                         self.queue.schedule(
                             now + delay,
                             Ev::ConnectResultArrive {
@@ -860,7 +1067,10 @@ impl<A: Application> Cluster<A> {
             PluginCommand::RejectConnection { link, reason } => {
                 if let Some(l) = self.links.remove(&link) {
                     if let Some((initiator, attempt)) = l.pending {
-                        let delay = l.tech.profile().transfer_time(CTRL_BYTES, &mut self.rng);
+                        let delay = self
+                            .env
+                            .profile(l.tech)
+                            .transfer_time(CTRL_BYTES, &mut self.rng);
                         self.queue.schedule(
                             now + delay,
                             Ev::ConnectResultArrive {
@@ -878,7 +1088,10 @@ impl<A: Application> Cluster<A> {
                 };
                 let (a, b, tech) = (l.a, l.b, l.tech);
                 let peer = l.other(node);
-                let delay = tech.profile().transfer_time(payload.len(), &mut self.rng);
+                let delay = self
+                    .env
+                    .profile(tech)
+                    .transfer_time(payload.len(), &mut self.rng);
                 let at = l.fifo_arrival(peer, now + delay);
                 let stats = self.trace.stats_mut();
                 stats.frames_sent += 1;
@@ -895,7 +1108,7 @@ impl<A: Application> Cluster<A> {
                     // Edge-of-range warning: past 90 % of the radio range
                     // the plugin reports a weakening link (once), letting
                     // the daemon hand over make-before-break.
-                    let range = tech.profile().range_m;
+                    let range = self.env.profile(tech).range_m;
                     if range.is_finite() {
                         let distance = self.world.distance(a, b, now);
                         let l = self.links.get_mut(&link).expect("checked above");
@@ -919,7 +1132,10 @@ impl<A: Application> Cluster<A> {
             PluginCommand::CloseLink { link } => {
                 if let Some(mut l) = self.links.remove(&link) {
                     let peer = l.other(node);
-                    let delay = l.tech.profile().transfer_time(CTRL_BYTES, &mut self.rng);
+                    let delay = self
+                        .env
+                        .profile(l.tech)
+                        .transfer_time(CTRL_BYTES, &mut self.rng);
                     // The orderly close must not overtake in-flight frames.
                     let at = l.fifo_arrival(peer, now + delay);
                     self.queue
@@ -982,7 +1198,9 @@ mod tests {
             match event {
                 AppEvent::DeviceAppeared(i) => self.appeared.push(i.name),
                 AppEvent::DeviceDisappeared(i) => self.disappeared.push(i.name),
-                AppEvent::ServiceList { device, services } => self.service_lists.push((
+                AppEvent::ServiceList {
+                    device, services, ..
+                } => self.service_lists.push((
                     device,
                     services.iter().map(|s| s.name().to_owned()).collect(),
                 )),
@@ -1415,5 +1633,147 @@ mod tests {
         let hit = c.run_until_condition(SimTime::from_secs(60), |c| !c.app(a).appeared.is_empty());
         let t = hit.expect("bob should appear within a minute");
         assert!(t <= SimTime::from_millis(10_240 + 500), "found at {t}");
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and recovery
+    // ------------------------------------------------------------------
+
+    use crate::config::RecoveryPolicy;
+    use netsim::{FaultPlan, FaultProfile};
+
+    #[test]
+    fn inert_fault_plan_reproduces_fault_free_digest() {
+        fn run(env: Option<RadioEnv>) -> (u64, u64) {
+            let mut c = match env {
+                Some(env) => Cluster::with_env(77, env),
+                None => Cluster::new(77),
+            };
+            for i in 0..6u32 {
+                c.add_node(
+                    NodeBuilder::new(format!("n{i}")).at(Point2::new(4.0 * f64::from(i), 0.0)),
+                    recorder(i % 2 == 0),
+                );
+            }
+            c.start();
+            c.run_until(SimTime::from_secs(60));
+            (c.trace().digest(), c.stats().digest())
+        }
+        let plain = run(None);
+        // An explicitly attached all-zero plan draws no randomness anywhere.
+        let inert = run(Some(RadioEnv::default().with_faults(FaultPlan::none())));
+        assert_eq!(plain, inert);
+    }
+
+    #[test]
+    fn certain_connect_refusal_is_retried_then_given_up() {
+        let plan = FaultPlan::none().with_profile(
+            Technology::Bluetooth,
+            FaultProfile {
+                connect_refuse: 1.0,
+                ..FaultProfile::NONE
+            },
+        );
+        let mut c = Cluster::with_env(8, RadioEnv::default().with_faults(plan));
+        let a = c.add_node_with(
+            NodeBuilder::new("alice")
+                .at(Point2::new(0.0, 0.0))
+                .with_technologies([Technology::Bluetooth]),
+            |cfg| cfg.with_recovery(RecoveryPolicy::default()),
+            recorder(false),
+        );
+        let b = c.add_node(
+            NodeBuilder::new("bob")
+                .at(Point2::new(4.0, 0.0))
+                .with_technologies([Technology::Bluetooth]),
+            recorder(true),
+        );
+        c.start();
+        c.run_until(SimTime::from_secs(15));
+        let bob = c.device_id(b);
+        c.with_app(a, |_, ctx| ctx.peerhood().connect(bob, "PeerHoodCommunity"));
+        // Default policy: 3 retries at 0.5/1/2 s backoff, then give up.
+        c.run_until(SimTime::from_secs(60));
+        assert!(c.app(a).connected.is_empty(), "every attempt is refused");
+        let stats = c.stats();
+        assert!(stats.retries >= 1, "refusals must be retried: {stats}");
+        assert!(stats.gave_up >= 1, "exhaustion must be recorded: {stats}");
+    }
+
+    #[test]
+    fn lost_service_queries_time_out_and_answer_empty() {
+        let plan = FaultPlan::none().with_profile(
+            Technology::Bluetooth,
+            FaultProfile {
+                frame_loss: 1.0,
+                ..FaultProfile::NONE
+            },
+        );
+        let mut c = Cluster::with_env(11, RadioEnv::default().with_faults(plan));
+        let a = c.add_node_with(
+            NodeBuilder::new("alice")
+                .at(Point2::new(0.0, 0.0))
+                .with_technologies([Technology::Bluetooth]),
+            |cfg| cfg.with_recovery(RecoveryPolicy::default()),
+            recorder(false),
+        );
+        let b = c.add_node(
+            NodeBuilder::new("bob")
+                .at(Point2::new(4.0, 0.0))
+                .with_technologies([Technology::Bluetooth]),
+            recorder(true),
+        );
+        c.start();
+        // Inquiry is radio-level, so bob is still discovered; every SDP
+        // frame is lost, so his services can never be learned.
+        c.run_until(SimTime::from_secs(15));
+        let bob = c.device_id(b);
+        c.with_app(a, |_, ctx| ctx.peerhood().request_service_list(bob));
+        c.run_until(SimTime::from_secs(60));
+        let lists = &c.app(a).service_lists;
+        assert!(
+            lists.iter().any(|(d, s)| *d == bob && s.is_empty()),
+            "the query must resolve (empty) instead of hanging: {lists:?}"
+        );
+        let stats = c.stats();
+        assert!(stats.timeouts >= 1, "query deadlines must fire: {stats}");
+        assert!(stats.gave_up >= 1, "query retries must exhaust: {stats}");
+    }
+
+    #[test]
+    fn crash_window_tears_links_and_restart_heals() {
+        let plan = FaultPlan::none().with_crash(
+            1, // bob, the second node added below
+            Duration::from_secs(20),
+            Duration::from_secs(10),
+        );
+        let mut c = Cluster::with_env(12, RadioEnv::default().with_faults(plan));
+        let a = c.add_node(
+            NodeBuilder::new("alice").at(Point2::new(0.0, 0.0)),
+            recorder(false),
+        );
+        let b = c.add_node(
+            NodeBuilder::new("bob").at(Point2::new(4.0, 0.0)),
+            recorder(true),
+        );
+        c.start();
+        c.run_until(SimTime::from_secs(15));
+        let bob = c.device_id(b);
+        c.with_app(a, |_, ctx| ctx.peerhood().connect(bob, "PeerHoodCommunity"));
+        c.run_until(SimTime::from_secs(18));
+        assert_eq!(c.app(a).connected.len(), 1, "pre-crash connect works");
+        // Bob's daemon dies at t=20 s; the connection cannot survive (the
+        // handover target is the same dead daemon).
+        c.run_until(SimTime::from_secs(29));
+        assert!(
+            !c.app(a).closed.is_empty(),
+            "the crash must close alice's connection"
+        );
+        // After the restart at t=30 s the service registry survives and a
+        // fresh connect succeeds.
+        c.run_until(SimTime::from_secs(55));
+        c.with_app(a, |_, ctx| ctx.peerhood().connect(bob, "PeerHoodCommunity"));
+        c.run_until(SimTime::from_secs(70));
+        assert_eq!(c.app(a).connected.len(), 2, "post-restart connect works");
     }
 }

@@ -86,9 +86,9 @@ impl Application for KeyFob {
             AppEvent::DeviceAppeared(info) => {
                 ctx.peerhood().request_service_list(info.id);
             }
-            AppEvent::ServiceList { device, services }
-                if services.iter().any(|s| s.name() == SERVICE) =>
-            {
+            AppEvent::ServiceList {
+                device, services, ..
+            } if services.iter().any(|s| s.name() == SERVICE) => {
                 ctx.peerhood().connect(device, SERVICE);
             }
             AppEvent::Connected { conn, .. } => {

@@ -61,9 +61,9 @@ impl Application for Node {
                 AppEvent::DeviceAppeared(info) => {
                     ctx.peerhood().request_service_list(info.id);
                 }
-                AppEvent::ServiceList { device, services }
-                    if services.iter().any(|s| s.name() == SERVICE) =>
-                {
+                AppEvent::ServiceList {
+                    device, services, ..
+                } if services.iter().any(|s| s.name() == SERVICE) => {
                     ctx.peerhood().connect(device, SERVICE);
                 }
                 AppEvent::Connected { conn, .. } => {
