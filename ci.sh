@@ -60,6 +60,32 @@ grep -m1 -o '"frames_dropped": [0-9]*' BENCH_scale_faulted_serial.tmp.json \
     | awk -F': ' '{ if ($2 + 0 == 0) { print "lossy profile dropped no frames"; exit 1 }
                     print "faulted run dropped " $2 " frames" }'
 
+# Live-serving smoke: a few hundred real TCP clients against the reactor
+# (DESIGN.md §11). Short on purpose — seconds, not minutes. At this load
+# the server must shed nobody and keep p99 under a generous 2s ceiling
+# (the reference single-core container measures p99 around 10ms; the
+# ceiling trips on stalls and lost wakeups, not scheduler noise).
+cargo run --release --offline -p ph-harness --bin repro -- \
+    live --clients 200 --requests 10 --workers 2 --shards 1 --json \
+    > BENCH_live.tmp.json
+
+grep -m1 -o '"errors": [0-9]*' BENCH_live.tmp.json \
+    | awk -F': ' '{ if ($2 + 0 != 0) { print "live smoke had " $2 " errors"; exit 1 }
+                    print "live smoke errors 0 ok" }'
+grep -m1 -o '"shed": [0-9]*' BENCH_live.tmp.json \
+    | awk -F': ' '{ if ($2 + 0 != 0) { print "live smoke shed " $2 " clients"; exit 1 }
+                    print "live smoke shed 0 ok" }'
+grep -m1 -o '"responses": [0-9]*' BENCH_live.tmp.json \
+    | awk -F': ' '{ if ($2 + 0 != 2000) { print "live smoke responses " $2 " != 2000"; exit 1 }
+                    print "live smoke responses " $2 " ok" }'
+grep -m1 -o '"p99_us": [0-9]*' BENCH_live.tmp.json \
+    | awk -F': ' 'BEGIN { ceiling = 2000000 }
+        { if ($2 + 0 > ceiling) { print "live p99 " $2 "us above ceiling " ceiling "us"; exit 1 }
+          print "live p99 " $2 "us ok (ceiling " ceiling "us)" }'
+
+mv BENCH_live.tmp.json BENCH_live.json
+cat BENCH_live.json
+
 {
     printf '{\n"serial": '
     cat BENCH_scale_serial.tmp.json

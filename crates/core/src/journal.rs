@@ -1,0 +1,393 @@
+//! Persistent store journal: snapshot plus incremental append.
+//!
+//! The live serving reactor must survive restarts without losing the
+//! community state it accumulated (visitor logs, comments, mail). A
+//! [`StoreJournal`] is one file holding
+//!
+//! ```text
+//! "PHCJ\x01"                                  magic + format version
+//! [u32 BE len][MemberStore snapshot]          full state at last compact
+//! [u32 BE len][SimTime µs][Request]*          mutations applied since
+//! ```
+//!
+//! Appends are cheap (one framed record per mutation); a **compact**
+//! rewrites the file as a fresh snapshot with no tail. Replay is tolerant:
+//! a truncated trailing record (the daemon died mid-write) is silently
+//! dropped, everything before it is kept — exactly the
+//! redo-log-with-checkpoints discipline, sized for a device-local store.
+//!
+//! [`JournalPersist`] adapts the journal to the reactor's
+//! [`LivePersist`] hook: it journals every inbound frame that decodes to a
+//! [mutating](Request::is_mutation) request and compacts on checkpoint.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use codec::Wire;
+use netsim::SimTime;
+use peerhood::live::LivePersist;
+
+use crate::node::CommunityApp;
+use crate::protocol::Request;
+use crate::semantics::MatchPolicy;
+use crate::server::handle_request;
+use crate::store::MemberStore;
+
+const JOURNAL_MAGIC: &[u8; 5] = b"PHCJ\x01";
+
+fn invalid_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_owned())
+}
+
+/// A snapshot-plus-append journal for one device's [`MemberStore`].
+///
+/// See the [module docs](self) for the file format.
+#[derive(Debug)]
+pub struct StoreJournal {
+    path: PathBuf,
+    file: File,
+    appended: u64,
+}
+
+impl StoreJournal {
+    /// Opens the journal at `path`, creating it (with an empty store) if
+    /// absent, and replays it into the store a restarted daemon resumes
+    /// from.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or a corrupt magic/snapshot block. A
+    /// truncated record *tail* is not an error — the intact prefix wins.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<(StoreJournal, MemberStore)> {
+        let path = path.into();
+        if !path.exists() {
+            let store = MemberStore::new();
+            Self::write_snapshot_file(&path, &store)?;
+            let file = OpenOptions::new().append(true).open(&path)?;
+            return Ok((
+                StoreJournal {
+                    path,
+                    file,
+                    appended: 0,
+                },
+                store,
+            ));
+        }
+
+        let bytes = fs::read(&path)?;
+        let mut input: &[u8] = &bytes;
+        let magic = codec::take(&mut input, JOURNAL_MAGIC.len())
+            .map_err(|_| invalid_data("short journal"))?;
+        if magic != JOURNAL_MAGIC {
+            return Err(invalid_data("journal magic mismatch"));
+        }
+        let snapshot =
+            Vec::<u8>::decode(&mut input).map_err(|_| invalid_data("journal snapshot"))?;
+        let mut store = MemberStore::from_snapshot(&snapshot)
+            .map_err(|_| invalid_data("journal snapshot body"))?;
+
+        // Replay appended mutations; stop (quietly) at a truncated tail.
+        let policy = MatchPolicy::Exact;
+        let mut replayed = 0u64;
+        loop {
+            let mut probe = input;
+            let Ok(record) = Vec::<u8>::decode(&mut probe) else {
+                break;
+            };
+            let mut rec: &[u8] = &record;
+            // `Request::decode` is the exact-length inherent decoder: the
+            // record must hold exactly one request after the timestamp.
+            let (Ok(micros), Ok(req)) = (u64::decode(&mut rec), Request::decode(rec)) else {
+                break;
+            };
+            handle_request(&mut store, &policy, &req, SimTime::from_micros(micros));
+            replayed += 1;
+            input = probe;
+        }
+
+        // Chop a torn tail off the file so future appends follow the valid
+        // prefix instead of the partial record.
+        let valid = bytes.len() - input.len();
+        if valid < bytes.len() {
+            OpenOptions::new()
+                .write(true)
+                .open(&path)?
+                .set_len(valid as u64)?;
+        }
+
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok((
+            StoreJournal {
+                path,
+                file,
+                appended: replayed,
+            },
+            store,
+        ))
+    }
+
+    /// Appends one mutation record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Returns any write error.
+    pub fn append(&mut self, request: &Request, now: SimTime) -> io::Result<()> {
+        let mut record = Vec::new();
+        now.as_micros().encode_to(&mut record);
+        request.encode_to(&mut record);
+        let mut framed = Vec::with_capacity(4 + record.len());
+        record.encode_to(&mut framed); // Vec<u8> encodes as [u32 len][bytes]
+        self.file.write_all(&framed)?;
+        self.file.flush()?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Rewrites the journal as a fresh snapshot of `store` with an empty
+    /// tail (atomically: write-temp-then-rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    pub fn compact(&mut self, store: &MemberStore) -> io::Result<()> {
+        Self::write_snapshot_file(&self.path, store)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.appended = 0;
+        Ok(())
+    }
+
+    /// Records appended since the last compact (after `open`: records that
+    /// were replayed from the tail).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_snapshot_file(path: &Path, store: &MemberStore) -> io::Result<()> {
+        let mut out = Vec::new();
+        out.extend_from_slice(JOURNAL_MAGIC);
+        store.to_snapshot().encode_to(&mut out);
+        let tmp = path.with_extension("journal.tmp");
+        fs::write(&tmp, &out)?;
+        fs::rename(&tmp, path)
+    }
+}
+
+/// [`LivePersist`] adapter: journals every inbound frame that decodes to a
+/// [mutating](Request::is_mutation) community request; checkpoints compact
+/// the journal around the app's current store.
+#[derive(Debug)]
+pub struct JournalPersist {
+    journal: StoreJournal,
+}
+
+impl JournalPersist {
+    /// Wraps an open journal.
+    pub fn new(journal: StoreJournal) -> Self {
+        JournalPersist { journal }
+    }
+
+    /// Opens (or creates) the journal at `path` and returns the adapter
+    /// together with the replayed store to resume from.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreJournal::open`].
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<(JournalPersist, MemberStore)> {
+        let (journal, store) = StoreJournal::open(path)?;
+        Ok((JournalPersist { journal }, store))
+    }
+}
+
+impl LivePersist<CommunityApp> for JournalPersist {
+    fn record(&mut self, frame: &[u8], now: SimTime) {
+        // Non-request frames (handshakes of other services, garbage) and
+        // read-only requests are not journal-worthy. Append errors must
+        // not take down the serving path; the periodic checkpoint heals.
+        if let Ok(req) = Request::decode_exact(frame) {
+            if req.is_mutation() {
+                let _ = self.journal.append(&req, now);
+            }
+        }
+    }
+
+    fn checkpoint(&mut self, app: &CommunityApp) {
+        let _ = self.journal.compact(app.store());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ph-journal-{tag}-{}.journal", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    fn seeded_store() -> MemberStore {
+        let mut s = MemberStore::new();
+        s.create_account(
+            "bob",
+            "pw",
+            Profile::new("Bob").with_interests(["Football"]),
+        )
+        .unwrap();
+        s.login("bob", "pw").unwrap();
+        s
+    }
+
+    #[test]
+    fn fresh_journal_starts_empty_and_replays_appends() {
+        let path = tmp_path("fresh");
+        {
+            let (mut journal, store) = StoreJournal::open(&path).unwrap();
+            assert_eq!(store, MemberStore::new());
+            // Compact around a real store, then append mutations.
+            let store = seeded_store();
+            journal.compact(&store).unwrap();
+            journal
+                .append(
+                    &Request::AddProfileComment {
+                        member: "bob".into(),
+                        author: "alice".into(),
+                        comment: "survives restarts".into(),
+                    },
+                    SimTime::from_secs(1),
+                )
+                .unwrap();
+            journal
+                .append(
+                    &Request::Message {
+                        to: "bob".into(),
+                        from: "alice".into(),
+                        subject: "hi".into(),
+                        body: "x".into(),
+                    },
+                    SimTime::from_secs(2),
+                )
+                .unwrap();
+        }
+        // "Restart": replay resumes snapshot + tail.
+        let (journal, store) = StoreJournal::open(&path).unwrap();
+        assert_eq!(journal.appended(), 2);
+        let acc = store.account("bob").unwrap();
+        assert_eq!(acc.profile().comments.len(), 1);
+        assert_eq!(acc.mailbox.inbox().len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_resets_tail_but_keeps_state() {
+        let path = tmp_path("compact");
+        let (mut journal, _) = StoreJournal::open(&path).unwrap();
+        let mut store = seeded_store();
+        journal.compact(&store).unwrap();
+        let req = Request::AddProfileComment {
+            member: "bob".into(),
+            author: "alice".into(),
+            comment: "c".into(),
+        };
+        // Apply + journal, then compact around the new state.
+        handle_request(&mut store, &MatchPolicy::Exact, &req, SimTime::from_secs(1));
+        journal.append(&req, SimTime::from_secs(1)).unwrap();
+        journal.compact(&store).unwrap();
+        assert_eq!(journal.appended(), 0);
+        let (journal, replayed) = StoreJournal::open(&path).unwrap();
+        assert_eq!(journal.appended(), 0, "compacted journal has no tail");
+        assert_eq!(replayed.account("bob").unwrap().profile().comments.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_fatal() {
+        let path = tmp_path("truncated");
+        {
+            let (mut journal, _) = StoreJournal::open(&path).unwrap();
+            journal.compact(&seeded_store()).unwrap();
+            journal
+                .append(
+                    &Request::Message {
+                        to: "bob".into(),
+                        from: "alice".into(),
+                        subject: "whole".into(),
+                        body: "x".into(),
+                    },
+                    SimTime::from_secs(1),
+                )
+                .unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the end.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (mut journal, store) = StoreJournal::open(&path).unwrap();
+        assert_eq!(journal.appended(), 0, "torn record dropped");
+        assert_eq!(store.account("bob").unwrap().mailbox.inbox().len(), 0);
+        // The torn bytes were chopped, so fresh appends replay cleanly.
+        journal
+            .append(
+                &Request::Message {
+                    to: "bob".into(),
+                    from: "alice".into(),
+                    subject: "after the crash".into(),
+                    body: "y".into(),
+                },
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        let (_, store) = StoreJournal::open(&path).unwrap();
+        assert_eq!(store.account("bob").unwrap().mailbox.inbox().len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_magic_is_an_error() {
+        let path = tmp_path("magic");
+        fs::write(&path, b"not a journal").unwrap();
+        assert!(StoreJournal::open(&path).is_err());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_persist_records_only_mutations() {
+        let path = tmp_path("persist");
+        let (mut persist, _) = JournalPersist::open(&path).unwrap();
+        let app = CommunityApp::new(seeded_store());
+        persist.checkpoint(&app);
+        // A read-only request: not journaled.
+        persist.record(
+            &Request::GetOnlineMemberList.encode(),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(persist.journal.appended(), 0);
+        // GetProfile writes the visitor log: journaled.
+        persist.record(
+            &Request::GetProfile {
+                member: "bob".into(),
+                requester: "alice".into(),
+            }
+            .encode(),
+            SimTime::from_secs(2),
+        );
+        assert_eq!(persist.journal.appended(), 1);
+        // Garbage frames are ignored.
+        persist.record(b"\xffnot a request", SimTime::from_secs(3));
+        assert_eq!(persist.journal.appended(), 1);
+        // Restart: the visit survived.
+        drop(persist);
+        let (_, store) = JournalPersist::open(&path).unwrap();
+        assert_eq!(
+            &*store.account("bob").unwrap().profile().visitors[0].visitor,
+            "alice"
+        );
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -54,6 +54,7 @@ pub mod error;
 pub mod groups;
 pub mod interest;
 pub mod intern;
+pub mod journal;
 pub mod message;
 pub mod node;
 pub mod profile;
@@ -66,6 +67,7 @@ pub use discovery::{discover_groups, Group, GroupSet};
 pub use error::CommunityError;
 pub use groups::{GroupEvent, GroupRegistry};
 pub use interest::{Interest, InterestSet};
+pub use journal::{JournalPersist, StoreJournal};
 pub use node::{CommunityApp, OpId, OpOutcome, OpResult, RetryPolicy, SharedOutcome, SERVICE_NAME};
 pub use profile::{Profile, ProfileView};
 pub use protocol::{Request, Response};

@@ -154,6 +154,21 @@ impl Request {
             Request::Idempotent { inner, .. } => inner.label(),
         }
     }
+
+    /// Whether serving this request changes server-side state — the test a
+    /// persistence journal uses to decide what must be replayed.
+    ///
+    /// Note that `GetProfile` *is* a mutation: the thesis's Figure 13 flow
+    /// writes the requester into the profile's visitor log.
+    pub fn is_mutation(&self) -> bool {
+        match self {
+            Request::AddProfileComment { .. }
+            | Request::Message { .. }
+            | Request::GetProfile { .. } => true,
+            Request::Idempotent { inner, .. } => inner.is_mutation(),
+            _ => false,
+        }
+    }
 }
 
 /// A server response.

@@ -5,7 +5,7 @@
 
 use std::process::ExitCode;
 
-use ph_harness::{ablations, crowd, functionality, msc, table8};
+use ph_harness::{ablations, crowd, functionality, live, msc, table8};
 
 /// Counts heap allocations so `repro crowd` can prove the interned trace
 /// path allocates nothing in steady state (see
@@ -100,6 +100,31 @@ fn main() -> ExitCode {
             );
             if !ok {
                 return ExitCode::FAILURE;
+            }
+        }
+        "live" => {
+            let config = live::LiveLoadConfig::default()
+                .with_clients(flag_value(&args, "--clients").unwrap_or(1000) as usize)
+                .with_requests_per_client(flag_value(&args, "--requests").unwrap_or(20) as usize)
+                .with_workers(flag_value(&args, "--workers").unwrap_or(4) as usize)
+                .with_shards(flag_value(&args, "--shards").unwrap_or(2) as usize)
+                .with_stalled(flag_value(&args, "--stalled").unwrap_or(0) as usize);
+            let config = match flag_value(&args, "--queue-cap") {
+                Some(cap) => config.with_queue_cap(cap as usize),
+                None => config,
+            };
+            match live::run_live_load(&config) {
+                Ok(report) => {
+                    if args.iter().any(|a| a == "--json") {
+                        println!("{}", report.to_json());
+                    } else {
+                        println!("{}", report.render());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("live load failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         "ablation-tech" => run_ablation_tech(trials.min(20), seed),
@@ -396,6 +421,12 @@ fn print_help() {
                                                (none | lossy: 10% BT frame loss +\n\
                                                burst episodes, recovery enabled)\n\
          \n\
-           all                 everything above (crowd excluded; run it directly)"
+           live                live-serving load: real TCP clients against the\n\
+                               reactor; p50/p99/p999 latency + throughput\n\
+                               [--clients N] [--requests N] [--workers N]\n\
+                               [--shards N] [--queue-cap BYTES] [--stalled N]\n\
+                               [--json]\n\
+         \n\
+           all                 everything above (crowd/live excluded; run directly)"
     );
 }

@@ -11,6 +11,7 @@
 pub mod ablations;
 pub mod crowd;
 pub mod functionality;
+pub mod live;
 pub mod msc;
 pub mod report;
 pub mod scenario;

@@ -48,31 +48,6 @@ impl Technology {
             Technology::Gprs => "GPRS",
         }
     }
-
-    /// The default 2008-calibrated timing/throughput profile.
-    ///
-    /// Deprecated: this reaches past any scenario-configured [`RadioEnv`]
-    /// straight to the global defaults, so profile overrides and fault plans
-    /// are invisible to it. It delegates to the default environment (the
-    /// same statics a fresh [`RadioEnv`] holds), which keeps existing call
-    /// sites compiling, but new code should carry a `RadioEnv` instead.
-    #[deprecated(
-        since = "0.5.0",
-        note = "thread a RadioEnv through World/Cluster construction and call RadioEnv::profile"
-    )]
-    pub fn profile(self) -> &'static TechnologyProfile {
-        default_profile(self)
-    }
-}
-
-/// The built-in 2008-calibrated profile of one technology — the contents of
-/// [`RadioEnv::default`].
-fn default_profile(tech: Technology) -> &'static TechnologyProfile {
-    match tech {
-        Technology::Bluetooth => &BLUETOOTH,
-        Technology::Wlan => &WLAN,
-        Technology::Gprs => &GPRS,
-    }
 }
 
 impl fmt::Display for Technology {
@@ -389,15 +364,6 @@ mod tests {
             let p = env.profile(tech);
             let back = TechnologyProfile::decode_exact(&p.encode()).unwrap();
             assert_eq!(*p, back);
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_profile_matches_default_env() {
-        let env = RadioEnv::default();
-        for tech in Technology::ALL {
-            assert_eq!(tech.profile(), env.profile(tech));
         }
     }
 

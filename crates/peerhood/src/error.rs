@@ -36,11 +36,16 @@ pub enum ErrorKind {
     Unavailable = 9,
     /// An internal invariant broke; not the caller's fault.
     Internal = 10,
+    /// The local end shed this peer under load: its bounded write queue
+    /// overflowed (backpressure) and the connection was dropped rather than
+    /// letting one slow consumer stall everyone else. Clients seeing this
+    /// code should back off and reconnect.
+    Overloaded = 11,
 }
 
 impl ErrorKind {
     /// Every kind, in wire-code order.
-    pub const ALL: [ErrorKind; 10] = [
+    pub const ALL: [ErrorKind; 11] = [
         ErrorKind::Timeout,
         ErrorKind::LinkFailure,
         ErrorKind::Refused,
@@ -51,6 +56,7 @@ impl ErrorKind {
         ErrorKind::InvalidRequest,
         ErrorKind::Unavailable,
         ErrorKind::Internal,
+        ErrorKind::Overloaded,
     ];
 
     /// The stable wire code of this kind.
@@ -77,6 +83,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::InvalidRequest => "invalid request",
             ErrorKind::Unavailable => "unavailable",
             ErrorKind::Internal => "internal error",
+            ErrorKind::Overloaded => "overloaded",
         };
         f.write_str(name)
     }
@@ -204,6 +211,7 @@ mod tests {
         assert_eq!(ErrorKind::InvalidRequest.code(), 8);
         assert_eq!(ErrorKind::Unavailable.code(), 9);
         assert_eq!(ErrorKind::Internal.code(), 10);
+        assert_eq!(ErrorKind::Overloaded.code(), 11);
         for kind in ErrorKind::ALL {
             assert_eq!(ErrorKind::from_code(kind.code()), Some(kind));
         }

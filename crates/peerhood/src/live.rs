@@ -1,16 +1,26 @@
-//! Live driver: the same daemon state machine over real loopback TCP.
+//! Live drivers: the same daemon state machine over real TCP sockets.
 //!
 //! The simulator ([`crate::sim`]) executes [`Daemon`](crate::daemon::Daemon)
 //! inside a virtual world; this module executes the *identical* state
 //! machine against real sockets, proving the sans-IO design is not
-//! simulator-bound. Data connections and frames travel over genuine
-//! `TcpStream`s on 127.0.0.1; discovery and service queries are routed
-//! in-process (modelling the WLAN plugin's UDP broadcast, which loopback TCP
-//! cannot express).
+//! simulator-bound. Two drivers share one [`LiveConfig`] and one wire
+//! protocol ([`wire`]):
 //!
-//! See `examples/live_tcp_demo.rs` for an end-to-end run with two devices
-//! exchanging PeerHood Community traffic over the loopback interface.
+//! * [`LiveNet`] — an in-process neighborhood of full peers on loopback
+//!   TCP, for demos and end-to-end tests (discovery is routed in-process).
+//! * [`LiveServer`] — the production serving reactor: sharded non-blocking
+//!   accept loops, bounded per-connection write queues with explicit
+//!   backpressure shedding, idle timeouts, and optional store persistence
+//!   via [`LivePersist`]. Built for thousands of concurrent thin clients.
+//!
+//! See `examples/live_tcp_demo.rs` for a two-device `LiveNet` run and
+//! `repro live` (the harness load generator) for driving a `LiveServer`.
 
+mod config;
 mod net;
+mod reactor;
+pub mod wire;
 
+pub use config::LiveConfig;
 pub use net::LiveNet;
+pub use reactor::{LivePersist, LiveServer, LiveStats};

@@ -5,7 +5,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
-use codec::{Bytes, DecodeError, Wire};
+use codec::{Bytes, Wire};
 
 use netsim::{SimTime, Technology, Trace};
 
@@ -14,13 +14,16 @@ use crate::config::DaemonConfig;
 use crate::daemon::{Daemon, DaemonInput, DaemonOutput};
 use crate::library::Library;
 use crate::plugin::{PluginCommand, PluginEvent};
-use crate::types::{AttemptId, DeviceId, DeviceInfo, LinkId, ResumeToken};
+use crate::types::{AttemptId, DeviceId, DeviceInfo, LinkId};
+
+use super::config::LiveConfig;
+use super::wire::{frame, FrameBuf, Handshake, VERDICT_ACCEPT, VERDICT_REJECT};
 
 /// A socket together with its receive buffer.
 #[derive(Debug)]
 struct Sock {
     stream: TcpStream,
-    buf: Vec<u8>,
+    buf: FrameBuf,
 }
 
 impl Sock {
@@ -29,7 +32,7 @@ impl Sock {
         stream.set_nodelay(true)?;
         Ok(Sock {
             stream,
-            buf: Vec::new(),
+            buf: FrameBuf::new(),
         })
     }
 
@@ -39,7 +42,7 @@ impl Sock {
         loop {
             match self.stream.read(&mut tmp) {
                 Ok(0) => return Ok(true),
-                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Ok(n) => self.buf.extend(&tmp[..n]),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
@@ -49,24 +52,13 @@ impl Sock {
 
     /// Pops one complete length-prefixed frame from the buffer, if present.
     fn pop_frame(&mut self) -> Option<Vec<u8>> {
-        if self.buf.len() < 4 {
-            return None;
-        }
-        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if self.buf.len() < 4 + len {
-            return None;
-        }
-        let frame = self.buf[4..4 + len].to_vec();
-        self.buf.drain(..4 + len);
-        Some(frame)
+        self.buf.pop()
     }
 
     /// Writes one length-prefixed frame, spinning briefly on `WouldBlock`
     /// (loopback drains within microseconds).
     fn write_frame(&mut self, payload: &[u8]) -> io::Result<()> {
-        let mut msg = Vec::with_capacity(4 + payload.len());
-        msg.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        msg.extend_from_slice(payload);
+        let msg = frame(payload);
         let mut off = 0;
         while off < msg.len() {
             match self.stream.write(&msg[off..]) {
@@ -77,30 +69,6 @@ impl Sock {
             }
         }
         Ok(())
-    }
-}
-
-/// Handshake sent as the first frame of every data connection.
-#[derive(Debug, PartialEq)]
-struct Handshake {
-    from: DeviceId,
-    service: String,
-    resume: Option<ResumeToken>,
-}
-
-impl Wire for Handshake {
-    fn encode_to(&self, out: &mut Vec<u8>) {
-        self.from.encode_to(out);
-        self.resume.encode_to(out);
-        self.service.encode_to(out);
-    }
-
-    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
-        Ok(Handshake {
-            from: DeviceId::decode(input)?,
-            resume: Option::<ResumeToken>::decode(input)?,
-            service: String::decode(input)?,
-        })
     }
 }
 
@@ -146,11 +114,15 @@ impl<A> LiveNode<A> {
 /// close/loss signalling all travel through genuine `TcpStream`s. Virtual
 /// time is wall time since construction.
 ///
+/// Built through [`LiveConfig::network`]; for a daemon serving thousands of
+/// external clients use [`LiveServer`](super::LiveServer) instead.
+///
 /// # Example
 ///
 /// See `examples/live_tcp_demo.rs`; the crate test
 /// `live_round_trip_over_real_tcp` is a minimal end-to-end run.
 pub struct LiveNet<A> {
+    config: LiveConfig,
     nodes: Vec<LiveNode<A>>,
     start: Instant,
     trace: Trace,
@@ -158,13 +130,11 @@ pub struct LiveNet<A> {
 }
 
 impl<A: Application> LiveNet<A> {
-    /// Creates an empty live network.
-    ///
-    /// # Errors
-    ///
-    /// This constructor itself cannot fail; adding nodes can.
-    pub fn new() -> Self {
+    /// Creates an empty live network with the given configuration
+    /// (the entry point behind [`LiveConfig::network`]).
+    pub fn with_config(config: LiveConfig) -> Self {
         LiveNet {
+            config,
             nodes: Vec::new(),
             start: Instant::now(),
             trace: Trace::new(),
@@ -172,12 +142,21 @@ impl<A: Application> LiveNet<A> {
         }
     }
 
+    /// Creates an empty live network with default configuration.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use LiveConfig::default().network() — LiveConfig carries the live driver knobs"
+    )]
+    pub fn new() -> Self {
+        LiveNet::with_config(LiveConfig::default())
+    }
+
     /// Adds a device named `name` listening on an ephemeral loopback port.
     ///
     /// # Errors
     ///
     /// Returns any error from binding the listener.
-    pub fn add_node(&mut self, name: impl Into<String>, app: A) -> io::Result<DeviceId> {
+    pub fn spawn(&mut self, name: impl Into<String>, app: A) -> io::Result<DeviceId> {
         let name = name.into();
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
@@ -185,9 +164,13 @@ impl<A: Application> LiveNet<A> {
         let id = DeviceId::new(self.nodes.len() as u64);
         let info = DeviceInfo::new(id, name.clone(), [Technology::Wlan]);
         // Tight intervals: live demos run in wall-clock time.
-        let config = DaemonConfig::new(info)
-            .with_inquiry_interval(Technology::Wlan, Duration::from_millis(200))
-            .with_neighbor_ttl(Duration::from_secs(5));
+        let mut config = DaemonConfig::new(info)
+            .with_inquiry_interval(Technology::Wlan, self.config.inquiry_interval)
+            .with_neighbor_ttl(self.config.neighbor_ttl)
+            .with_auto_service_discovery(self.config.auto_service_discovery);
+        if let Some(policy) = self.config.recovery {
+            config = config.with_recovery(policy);
+        }
         self.nodes.push(LiveNode {
             name,
             daemon: Daemon::new(config),
@@ -206,9 +189,24 @@ impl<A: Application> LiveNet<A> {
         Ok(id)
     }
 
+    /// Adds a device named `name` listening on an ephemeral loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener.
+    #[deprecated(since = "0.6.0", note = "renamed to LiveNet::spawn")]
+    pub fn add_node(&mut self, name: impl Into<String>, app: A) -> io::Result<DeviceId> {
+        self.spawn(name, app)
+    }
+
     /// Wall-clock virtual time since construction.
     pub fn now(&self) -> SimTime {
         SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
     }
 
     /// Read access to a node's application.
@@ -309,7 +307,16 @@ impl<A: Application> LiveNet<A> {
 
     /// Polls until `stop` returns true or `wall` elapses; returns whether
     /// `stop` held.
+    ///
+    /// The predicate is evaluated after *every drained event* (each daemon
+    /// input and each application timer), not just between poll rounds, so
+    /// a condition satisfied mid-round returns before the next backoff
+    /// sleep. The round still drains to quiescence first — queued daemon
+    /// work is never abandoned.
     pub fn run_until(&mut self, wall: Duration, mut stop: impl FnMut(&Self) -> bool) -> bool {
+        if stop(self) {
+            return true;
+        }
         let deadline = Instant::now() + wall;
         let mut idle = Self::POLL_MIN;
         loop {
@@ -317,8 +324,8 @@ impl<A: Application> LiveNet<A> {
             if remaining.is_zero() {
                 break;
             }
-            let active = self.poll_once();
-            if stop(self) {
+            let (active, hit) = self.poll_once_watch(&mut stop);
+            if hit {
                 return true;
             }
             self.poll_sleep(&mut idle, active, remaining);
@@ -326,9 +333,16 @@ impl<A: Application> LiveNet<A> {
         stop(self)
     }
 
-    /// One poll round: accepts, reads, timers, daemon wakes. Returns whether
-    /// the round found any work (socket progress, due wake, or due timer).
+    /// One poll round with no stop predicate. Returns whether the round
+    /// found any work (socket progress, due wake, or due timer).
     fn poll_once(&mut self) -> bool {
+        self.poll_once_watch(&mut |_| false).0
+    }
+
+    /// One poll round: accepts, reads, timers, daemon wakes. Returns
+    /// `(any work found, watch predicate hit)`; the predicate is evaluated
+    /// after each drained event.
+    fn poll_once_watch(&mut self, watch: &mut dyn FnMut(&Self) -> bool) -> (bool, bool) {
         let now = self.now();
         let mut activity = false;
         let mut work: VecDeque<(usize, DaemonInput)> = VecDeque::new();
@@ -393,7 +407,7 @@ impl<A: Application> LiveNet<A> {
                     Ok(eof) => {
                         if let Some(frame) = p.sock.pop_frame() {
                             let p = self.nodes[i].pending_out.remove(&link).expect("present");
-                            if frame.first() == Some(&1) {
+                            if frame.first() == Some(&VERDICT_ACCEPT) {
                                 self.nodes[i].links.insert(link, p.sock);
                                 work.push_back((
                                     i,
@@ -477,7 +491,7 @@ impl<A: Application> LiveNet<A> {
         }
 
         activity |= !work.is_empty();
-        self.drain(&mut work);
+        let mut hit = self.drain_watch(&mut work, watch);
 
         // Application timers (drained after daemon work so freshly set
         // timers with zero delay run next round).
@@ -496,12 +510,24 @@ impl<A: Application> LiveNet<A> {
             }
         }
         activity |= !timer_work.is_empty();
-        self.drain(&mut timer_work);
-        activity
+        hit |= self.drain_watch(&mut timer_work, watch);
+        (activity, hit)
     }
 
     /// Processes daemon inputs until quiescent.
     fn drain(&mut self, work: &mut VecDeque<(usize, DaemonInput)>) {
+        self.drain_watch(work, &mut |_| false);
+    }
+
+    /// Processes daemon inputs until quiescent, evaluating `watch` after
+    /// each one; returns whether it ever held. Always drains fully — a hit
+    /// is latched, not an early exit, so no queued input is lost.
+    fn drain_watch(
+        &mut self,
+        work: &mut VecDeque<(usize, DaemonInput)>,
+        watch: &mut dyn FnMut(&Self) -> bool,
+    ) -> bool {
+        let mut hit = false;
         while let Some((i, input)) = work.pop_front() {
             let now = self.now();
             let mut outs = Vec::new();
@@ -518,7 +544,11 @@ impl<A: Application> LiveNet<A> {
                     }
                 }
             }
+            if !hit && watch(self) {
+                hit = true;
+            }
         }
+        hit
     }
 
     fn app_callback<R>(
@@ -636,7 +666,7 @@ impl<A: Application> LiveNet<A> {
             }
             PluginCommand::AcceptConnection { link } => {
                 if let Some(mut sock) = self.nodes[i].pending_in.remove(&link) {
-                    if sock.write_frame(&[1]).is_ok() {
+                    if sock.write_frame(&[VERDICT_ACCEPT]).is_ok() {
                         self.nodes[i].links.insert(link, sock);
                     } else {
                         work.push_back((i, DaemonInput::Plugin(PluginEvent::LinkDown { link })));
@@ -645,7 +675,7 @@ impl<A: Application> LiveNet<A> {
             }
             PluginCommand::RejectConnection { link, reason } => {
                 if let Some(mut sock) = self.nodes[i].pending_in.remove(&link) {
-                    let mut frame = vec![0u8];
+                    let mut frame = vec![VERDICT_REJECT];
                     frame.extend_from_slice(reason.as_bytes());
                     let _ = sock.write_frame(&frame);
                 }
@@ -671,7 +701,7 @@ impl<A: Application> LiveNet<A> {
 
 impl<A: Application> Default for LiveNet<A> {
     fn default() -> Self {
-        Self::new()
+        Self::with_config(LiveConfig::default())
     }
 }
 
@@ -716,34 +746,11 @@ mod tests {
     }
 
     #[test]
-    fn handshake_encoding_round_trips() {
-        for resume in [
-            None,
-            Some(ResumeToken {
-                initiator: DeviceId::new(3),
-                conn: ConnId::new(9),
-            }),
-        ] {
-            let hs = Handshake {
-                from: DeviceId::new(7),
-                service: "PeerHoodCommunity".into(),
-                resume,
-            };
-            assert_eq!(Handshake::decode_exact(&hs.encode()), Ok(hs));
-        }
-    }
-
-    #[test]
-    fn handshake_decode_rejects_garbage() {
-        assert!(Handshake::decode_exact(&[1, 2, 3]).is_err());
-    }
-
-    #[test]
     fn live_round_trip_over_real_tcp() {
-        let mut net = LiveNet::new();
-        let client = net.add_node("client", Echo::default()).unwrap();
+        let mut net = LiveConfig::default().network();
+        let client = net.spawn("client", Echo::default()).unwrap();
         let server = net
-            .add_node(
+            .spawn(
                 "server",
                 Echo {
                     serve: true,
@@ -792,9 +799,9 @@ mod tests {
 
     #[test]
     fn connect_to_unknown_service_is_rejected_over_tcp() {
-        let mut net = LiveNet::new();
-        let client = net.add_node("client", Echo::default()).unwrap();
-        let server = net.add_node("server", Echo::default()).unwrap();
+        let mut net = LiveConfig::default().network();
+        let client = net.spawn("client", Echo::default()).unwrap();
+        let server = net.spawn("server", Echo::default()).unwrap();
         net.start();
         assert!(net.run_until(Duration::from_secs(5), |n| {
             n.app(client).peers.contains(&server)
@@ -802,5 +809,27 @@ mod tests {
         net.with_app(client, |_, ctx| ctx.peerhood().connect(server, "nope"));
         net.run_for(Duration::from_millis(300));
         assert!(net.app(client).conn.is_none());
+    }
+
+    #[test]
+    fn run_until_satisfied_at_entry_returns_without_polling() {
+        let mut net: LiveNet<Echo> = LiveConfig::default().network();
+        let t0 = Instant::now();
+        assert!(net.run_until(Duration::from_secs(5), |_| true));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "pre-satisfied predicate must not wait for a poll round"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_build_the_same_network() {
+        // One release of grace: the old surface still compiles and routes
+        // through the LiveConfig path.
+        let mut net: LiveNet<Echo> = LiveNet::new();
+        assert_eq!(net.config(), &LiveConfig::default());
+        let id = net.add_node("legacy", Echo::default()).unwrap();
+        assert_eq!(net.name(id), "legacy");
     }
 }

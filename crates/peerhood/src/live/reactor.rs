@@ -1,0 +1,1127 @@
+//! The production live-serving reactor: a non-blocking multi-client TCP
+//! daemon around the sans-IO core.
+//!
+//! # Architecture
+//!
+//! [`LiveServer`] splits work across `1 + listen_shards` threads:
+//!
+//! * **Shard threads** (`ph-live-shard-N`) each own a clone of the
+//!   non-blocking listener (accepts spread across shards) plus a disjoint
+//!   set of client connections. A shard does *only* socket work: accept,
+//!   read, frame-reassemble, write — never application logic — so one
+//!   shard round stays short and no client can block another with slow
+//!   reads or writes.
+//! * The **core thread** (`ph-live-core`) owns the [`Daemon`] state
+//!   machine, the served [`Application`], its [`Library`] and timers. It
+//!   sleeps on a channel of batched shard messages with a timeout derived
+//!   from the next daemon wake / app timer / checkpoint deadline.
+//!
+//! The split keeps the daemon core single-threaded (exactly like the
+//! simulator driver) while socket readiness is handled concurrently — the
+//! sans-IO contract is the channel protocol between the two halves.
+//!
+//! # Backpressure contract
+//!
+//! Every connection has a bounded outbound byte queue
+//! ([`LiveConfig::queue_cap`]). A write that does not fit is never
+//! retried synchronously and never blocks the shard: the connection is
+//! **shed** — its queue is dropped and a farewell control frame carrying
+//! [`ErrorKind::Overloaded`] is sent as soon as the socket drains. Idle
+//! connections (no inbound traffic for [`LiveConfig::idle_timeout`]) are
+//! closed the same way with [`ErrorKind::Timeout`]. In both cases the
+//! daemon observes a plain `LinkDown`, exactly as if the radio had faded.
+//!
+//! # Persistence
+//!
+//! The reactor itself is store-agnostic: a [`LivePersist`] hook sees every
+//! inbound application frame (for incremental append) and is asked for a
+//! checkpoint every [`LiveConfig::snapshot_cadence`] plus once at orderly
+//! shutdown. The community layer implements the hook with its journal.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use codec::{Bytes, Wire};
+
+use netsim::{SimTime, Technology};
+
+use crate::app::{AppCtx, Application};
+use crate::config::DaemonConfig;
+use crate::daemon::{Daemon, DaemonInput, DaemonOutput};
+use crate::error::ErrorKind;
+use crate::library::Library;
+use crate::plugin::{PluginCommand, PluginEvent};
+use crate::types::{DeviceId, DeviceInfo, LinkId};
+
+use super::config::LiveConfig;
+use super::wire::{farewell, frame, FrameBuf, Handshake, VERDICT_ACCEPT, VERDICT_REJECT};
+
+/// Upper bits of a connection id hold the owning shard index.
+const SHARD_SHIFT: u32 = 48;
+/// How long a dying connection may linger to flush its farewell frame.
+/// Generous on purpose: a shed client's kernel buffers are by definition
+/// full, and the farewell is only observable once the client drains them.
+const FAREWELL_LINGER: Duration = Duration::from_secs(5);
+/// Longest core-thread sleep (bounds shutdown latency).
+const CORE_NAP_MAX: Duration = Duration::from_millis(25);
+/// Shard sleep while its sockets are quiet.
+const SHARD_NAP: Duration = Duration::from_millis(1);
+
+/// Persistence hook driven by the reactor's core thread.
+///
+/// `record` sees every inbound application frame *before* it reaches the
+/// daemon (incremental append: the implementation decides which frames are
+/// mutations worth journalling); `checkpoint` is invoked every
+/// [`LiveConfig::snapshot_cadence`] and once at orderly shutdown, and
+/// typically rewrites the journal as a compact snapshot.
+pub trait LivePersist<A>: Send {
+    /// Observes one inbound application frame at `now`.
+    fn record(&mut self, frame: &[u8], now: SimTime);
+    /// Takes a full snapshot of the served application's state.
+    fn checkpoint(&mut self, app: &A);
+}
+
+/// A point-in-time copy of the reactor's counters (all monotonic except
+/// `active`, which is a gauge).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Sockets accepted since start.
+    pub accepted: u64,
+    /// Currently open connections (any state).
+    pub active: u64,
+    /// Sockets dropped before completing a valid handshake.
+    pub handshake_failures: u64,
+    /// Handshakes the daemon rejected (unknown service, …).
+    pub rejected: u64,
+    /// Application frames received on established connections.
+    pub frames_in: u64,
+    /// Application frames the daemon sent.
+    pub frames_out: u64,
+    /// Payload bytes read from sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+    /// Connections shed by backpressure ([`ErrorKind::Overloaded`]).
+    pub shed: u64,
+    /// Connections closed for inbound idleness ([`ErrorKind::Timeout`]).
+    pub idle_closed: u64,
+}
+
+/// Shared atomic counters behind [`LiveStats`]. SeqCst everywhere: these
+/// are low-rate bumps, and the strict ordering keeps `ph-lint` honest.
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    handshake_failures: AtomicU64,
+    rejected: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    shed: AtomicU64,
+    idle_closed: AtomicU64,
+}
+
+impl Counters {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn snapshot(&self) -> LiveStats {
+        LiveStats {
+            accepted: self.accepted.load(Ordering::SeqCst),
+            active: self.active.load(Ordering::SeqCst),
+            handshake_failures: self.handshake_failures.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            frames_in: self.frames_in.load(Ordering::SeqCst),
+            frames_out: self.frames_out.load(Ordering::SeqCst),
+            bytes_in: self.bytes_in.load(Ordering::SeqCst),
+            bytes_out: self.bytes_out.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            idle_closed: self.idle_closed.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Shard → core notifications (batched: one `Vec` per shard round).
+enum CoreMsg {
+    /// A socket completed its handshake frame.
+    Hello { conn: u64, hs: Handshake },
+    /// An application frame arrived on an established connection.
+    Frame { conn: u64, payload: Vec<u8> },
+    /// The connection is gone (announced connections only).
+    Gone { conn: u64, cause: GoneCause },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GoneCause {
+    /// Orderly EOF from the peer.
+    Eof,
+    /// Socket error.
+    Error,
+    /// Shed by backpressure.
+    Shed,
+    /// Closed for inbound idleness.
+    Idle,
+}
+
+/// Core → shard commands (batched: one `Vec` per core round).
+enum ShardCmd {
+    /// Answer a pending handshake.
+    Verdict {
+        conn: u64,
+        accept: bool,
+        reason: String,
+    },
+    /// Queue one application frame for the peer.
+    Send { conn: u64, payload: Vec<u8> },
+    /// Orderly close: flush what is queued, then drop.
+    Close { conn: u64 },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for the handshake frame.
+    Greeting,
+    /// Handshake forwarded to the core; awaiting the daemon's verdict.
+    AwaitingVerdict,
+    /// Verdict sent, application traffic flowing.
+    Established,
+    /// Flushing final bytes (farewell or orderly close), reads ignored.
+    Dying { deadline: Instant },
+}
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: FrameBuf,
+    /// Outbound frames not yet fully written; `front_off` bytes of the
+    /// front one already went out.
+    out: VecDeque<Vec<u8>>,
+    front_off: usize,
+    /// Total unwritten bytes across `out` — the backpressure gauge.
+    queued: usize,
+    state: ConnState,
+    opened: Instant,
+    last_in: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        let now = Instant::now();
+        Ok(Conn {
+            stream,
+            inbuf: FrameBuf::new(),
+            out: VecDeque::new(),
+            front_off: 0,
+            queued: 0,
+            state: ConnState::Greeting,
+            opened: now,
+            last_in: now,
+        })
+    }
+
+    fn push(&mut self, msg: Vec<u8>) {
+        self.queued += msg.len();
+        self.out.push_back(msg);
+    }
+
+    /// Reads everything available; `Ok(true)` on orderly EOF.
+    fn read_pump(&mut self, counters: &Counters) -> io::Result<bool> {
+        let mut tmp = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Ok(true),
+                Ok(n) => {
+                    self.inbuf.extend(&tmp[..n]);
+                    self.last_in = Instant::now();
+                    counters.bytes_in.fetch_add(n as u64, Ordering::SeqCst);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes as much queued output as the socket accepts right now.
+    fn write_pump(&mut self, counters: &Counters) -> io::Result<()> {
+        loop {
+            let (len, res) = match self.out.front() {
+                None => break,
+                Some(front) => (front.len(), self.stream.write(&front[self.front_off..])),
+            };
+            match res {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.front_off += n;
+                    self.queued -= n;
+                    counters.bytes_out.fetch_add(n as u64, Ordering::SeqCst);
+                    if self.front_off == len {
+                        self.out.pop_front();
+                        self.front_off = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// True once this connection was announced to the core (it must then
+    /// also be told when the connection goes away).
+    fn announced(&self) -> bool {
+        !matches!(self.state, ConnState::Greeting)
+    }
+}
+
+/// Everything one shard thread needs.
+struct Shard {
+    idx: u64,
+    listener: TcpListener,
+    conns: BTreeMap<u64, Conn>,
+    next_id: u64,
+    queue_cap: usize,
+    idle_timeout: Duration,
+    handshake_timeout: Duration,
+    counters: Arc<Counters>,
+}
+
+impl Shard {
+    fn run(
+        mut self,
+        cmd_rx: Receiver<Vec<ShardCmd>>,
+        core_tx: Sender<Vec<CoreMsg>>,
+        stop: Arc<AtomicBool>,
+    ) {
+        while !stop.load(Ordering::SeqCst) {
+            let mut msgs = Vec::new();
+            let mut active = false;
+
+            // 1. Apply core commands.
+            loop {
+                match cmd_rx.try_recv() {
+                    Ok(batch) => {
+                        active = true;
+                        for cmd in batch {
+                            self.apply(cmd, &mut msgs);
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return,
+                }
+            }
+
+            // 2. Accept new sockets.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        active = true;
+                        if let Ok(conn) = Conn::new(stream) {
+                            let id = (self.idx << SHARD_SHIFT) | self.next_id;
+                            self.next_id += 1;
+                            self.conns.insert(id, conn);
+                            Counters::bump(&self.counters.accepted);
+                            Counters::bump(&self.counters.active);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+
+            // 3. Per-connection socket work.
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in ids {
+                active |= self.service(id, &mut msgs);
+            }
+
+            if !msgs.is_empty() {
+                active = true;
+                if core_tx.send(msgs).is_err() {
+                    return;
+                }
+            }
+            if !active {
+                std::thread::sleep(SHARD_NAP);
+            }
+        }
+    }
+
+    /// One round of socket work for one connection. Returns whether
+    /// anything happened.
+    fn service(&mut self, id: u64, msgs: &mut Vec<CoreMsg>) -> bool {
+        let idle_timeout = self.idle_timeout;
+        let handshake_timeout = self.handshake_timeout;
+        let mut active = false;
+        let mut drop_it = false;
+
+        {
+            let counters = &self.counters;
+            let Some(c) = self.conns.get_mut(&id) else {
+                return false;
+            };
+
+            if let ConnState::Dying { deadline } = c.state {
+                // Dying connections only flush; reads are ignored.
+                let dead = c.write_pump(counters).is_err();
+                if dead || c.out.is_empty() || Instant::now() >= deadline {
+                    drop_it = true;
+                    active = true;
+                }
+            } else {
+                match c.read_pump(counters) {
+                    Ok(eof) => {
+                        // Drain complete frames according to state.
+                        loop {
+                            match c.state {
+                                ConnState::Greeting => match c.inbuf.pop() {
+                                    Some(f) => match Handshake::decode_exact(&f) {
+                                        Ok(hs) => {
+                                            c.state = ConnState::AwaitingVerdict;
+                                            msgs.push(CoreMsg::Hello { conn: id, hs });
+                                            active = true;
+                                        }
+                                        Err(_) => {
+                                            Counters::bump(&counters.handshake_failures);
+                                            drop_it = true;
+                                            active = true;
+                                            break;
+                                        }
+                                    },
+                                    None => break,
+                                },
+                                // Early frames stay buffered until the verdict.
+                                ConnState::AwaitingVerdict => break,
+                                ConnState::Established => match c.inbuf.pop() {
+                                    Some(f) => {
+                                        Counters::bump(&counters.frames_in);
+                                        msgs.push(CoreMsg::Frame {
+                                            conn: id,
+                                            payload: f,
+                                        });
+                                        active = true;
+                                    }
+                                    None => break,
+                                },
+                                ConnState::Dying { .. } => break,
+                            }
+                        }
+                        if !drop_it && eof {
+                            if c.announced() {
+                                msgs.push(CoreMsg::Gone {
+                                    conn: id,
+                                    cause: GoneCause::Eof,
+                                });
+                            }
+                            drop_it = true;
+                            active = true;
+                        }
+                    }
+                    Err(_) => {
+                        if c.announced() {
+                            msgs.push(CoreMsg::Gone {
+                                conn: id,
+                                cause: GoneCause::Error,
+                            });
+                        }
+                        drop_it = true;
+                        active = true;
+                    }
+                }
+
+                // Deadlines.
+                if !drop_it {
+                    match c.state {
+                        ConnState::Greeting | ConnState::AwaitingVerdict
+                            if c.opened.elapsed() >= handshake_timeout =>
+                        {
+                            Counters::bump(&counters.handshake_failures);
+                            if c.announced() {
+                                msgs.push(CoreMsg::Gone {
+                                    conn: id,
+                                    cause: GoneCause::Error,
+                                });
+                            }
+                            drop_it = true;
+                            active = true;
+                        }
+                        ConnState::Established if c.last_in.elapsed() >= idle_timeout => {
+                            c.out.clear();
+                            c.front_off = 0;
+                            c.queued = 0;
+                            c.push(frame(&farewell(ErrorKind::Timeout)));
+                            c.state = ConnState::Dying {
+                                deadline: Instant::now() + FAREWELL_LINGER,
+                            };
+                            Counters::bump(&counters.idle_closed);
+                            msgs.push(CoreMsg::Gone {
+                                conn: id,
+                                cause: GoneCause::Idle,
+                            });
+                            active = true;
+                        }
+                        _ => {}
+                    }
+                }
+
+                // Flush queued output. A failed write is a dead socket.
+                if !drop_it {
+                    let had_out = !c.out.is_empty();
+                    if c.write_pump(counters).is_err() {
+                        if c.announced() {
+                            msgs.push(CoreMsg::Gone {
+                                conn: id,
+                                cause: GoneCause::Error,
+                            });
+                        }
+                        drop_it = true;
+                    }
+                    active |= had_out;
+                }
+            }
+        }
+
+        if drop_it {
+            self.drop_conn(id);
+        }
+        active
+    }
+
+    fn apply(&mut self, cmd: ShardCmd, msgs: &mut Vec<CoreMsg>) {
+        match cmd {
+            ShardCmd::Verdict {
+                conn,
+                accept,
+                reason,
+            } => {
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    if c.state != ConnState::AwaitingVerdict {
+                        return;
+                    }
+                    if accept {
+                        c.push(frame(&[VERDICT_ACCEPT]));
+                        c.state = ConnState::Established;
+                        c.last_in = Instant::now();
+                    } else {
+                        let mut v = vec![VERDICT_REJECT];
+                        v.extend_from_slice(reason.as_bytes());
+                        c.push(frame(&v));
+                        c.state = ConnState::Dying {
+                            deadline: Instant::now() + FAREWELL_LINGER,
+                        };
+                    }
+                }
+            }
+            ShardCmd::Send { conn, payload } => {
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    if c.state != ConnState::Established {
+                        return; // already dying or mid-handshake: drop silently
+                    }
+                    let msg = frame(&payload);
+                    if self.queue_cap > 0 && c.queued + msg.len() > self.queue_cap {
+                        // Backpressure: shed this peer rather than queue
+                        // without bound or block the shard.
+                        c.out.clear();
+                        c.front_off = 0;
+                        c.queued = 0;
+                        c.push(frame(&farewell(ErrorKind::Overloaded)));
+                        c.state = ConnState::Dying {
+                            deadline: Instant::now() + FAREWELL_LINGER,
+                        };
+                        Counters::bump(&self.counters.shed);
+                        msgs.push(CoreMsg::Gone {
+                            conn,
+                            cause: GoneCause::Shed,
+                        });
+                    } else {
+                        c.push(msg);
+                    }
+                }
+            }
+            ShardCmd::Close { conn } => {
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    if !matches!(c.state, ConnState::Dying { .. }) {
+                        c.state = ConnState::Dying {
+                            deadline: Instant::now() + FAREWELL_LINGER,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    fn drop_conn(&mut self, id: u64) {
+        if let Some(c) = self.conns.remove(&id) {
+            let _ = c.stream.shutdown(Shutdown::Both);
+            self.counters.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The core thread's state: daemon, application, library, timers.
+struct Core<A> {
+    daemon: Daemon,
+    app: A,
+    lib: Library,
+    name: String,
+    timers: Vec<(SimTime, u64)>,
+    wake_at: Option<SimTime>,
+    start: Instant,
+    work: VecDeque<DaemonInput>,
+    /// Outgoing command batch per shard, flushed once per round.
+    cmds: Vec<Vec<ShardCmd>>,
+    counters: Arc<Counters>,
+    persist: Option<Box<dyn LivePersist<A>>>,
+}
+
+impl<A: Application> Core<A> {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn run(
+        mut self,
+        rx: Receiver<Vec<CoreMsg>>,
+        txs: Vec<Sender<Vec<ShardCmd>>>,
+        cadence: Duration,
+        stop: Arc<AtomicBool>,
+    ) -> A {
+        let mut next_checkpoint = self.persist.as_ref().map(|_| Instant::now() + cadence);
+
+        self.app_callback(|app, ctx| app.on_start(ctx));
+        self.run_work();
+        self.flush(&txs);
+
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match rx.recv_timeout(self.nap(next_checkpoint)) {
+                Ok(batch) => {
+                    self.ingest(batch);
+                    // Soak up anything else already queued before working.
+                    while let Ok(batch) = rx.try_recv() {
+                        self.ingest(batch);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+
+            let now = self.now();
+            if self.wake_at.is_some_and(|w| now >= w) {
+                self.wake_at = None;
+                self.work.push_back(DaemonInput::Tick);
+            }
+            self.run_work();
+            self.fire_timers();
+            self.flush(&txs);
+
+            if let Some(due) = next_checkpoint {
+                if Instant::now() >= due {
+                    if let Some(p) = self.persist.as_mut() {
+                        p.checkpoint(&self.app);
+                    }
+                    next_checkpoint = Some(Instant::now() + cadence);
+                }
+            }
+        }
+
+        // Final checkpoint on orderly shutdown.
+        if let Some(p) = self.persist.as_mut() {
+            p.checkpoint(&self.app);
+        }
+        self.app
+    }
+
+    /// How long to sleep on the channel: until the next daemon wake, app
+    /// timer or checkpoint, clamped to keep shutdown responsive.
+    fn nap(&self, next_checkpoint: Option<Instant>) -> Duration {
+        let now = self.now();
+        let until =
+            |at: SimTime| Duration::from_micros(at.as_micros().saturating_sub(now.as_micros()));
+        let mut t = CORE_NAP_MAX;
+        if let Some(w) = self.wake_at {
+            t = t.min(until(w));
+        }
+        if let Some(at) = self.timers.iter().map(|(at, _)| *at).min() {
+            t = t.min(until(at));
+        }
+        if let Some(due) = next_checkpoint {
+            t = t.min(due.saturating_duration_since(Instant::now()));
+        }
+        t.max(Duration::from_micros(100))
+    }
+
+    fn ingest(&mut self, batch: Vec<CoreMsg>) {
+        for msg in batch {
+            match msg {
+                CoreMsg::Hello { conn, hs } => {
+                    let device = DeviceInfo::new(hs.from, hs.from.to_string(), [Technology::Wlan]);
+                    self.work
+                        .push_back(DaemonInput::Plugin(PluginEvent::IncomingConnection {
+                            link: LinkId::new(conn),
+                            device,
+                            service: hs.service,
+                            technology: Technology::Wlan,
+                            resume: hs.resume,
+                        }));
+                }
+                CoreMsg::Frame { conn, payload } => {
+                    let now = self.now();
+                    if let Some(p) = self.persist.as_mut() {
+                        p.record(&payload, now);
+                    }
+                    self.work.push_back(DaemonInput::Plugin(PluginEvent::Frame {
+                        link: LinkId::new(conn),
+                        payload: Bytes::from(payload),
+                    }));
+                }
+                CoreMsg::Gone { conn, cause } => {
+                    let link = LinkId::new(conn);
+                    let ev = match cause {
+                        GoneCause::Eof => PluginEvent::PeerClosed { link },
+                        GoneCause::Error | GoneCause::Shed | GoneCause::Idle => {
+                            PluginEvent::LinkDown { link }
+                        }
+                    };
+                    self.work.push_back(DaemonInput::Plugin(ev));
+                }
+            }
+        }
+    }
+
+    /// Processes queued daemon inputs to quiescence.
+    fn run_work(&mut self) {
+        while let Some(input) = self.work.pop_front() {
+            let now = self.now();
+            let mut outs = Vec::new();
+            self.daemon.handle(now, input, &mut outs);
+            for out in outs {
+                match out {
+                    DaemonOutput::Plugin(cmd) => self.exec(cmd),
+                    DaemonOutput::App(ev) => {
+                        self.app_callback(|app, ctx| app.on_event(ev, ctx));
+                    }
+                    DaemonOutput::WakeAt(t) => {
+                        self.wake_at = Some(self.wake_at.map_or(t, |w| w.min(t)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fires due application timers (and any daemon work they enqueue).
+    fn fire_timers(&mut self) {
+        loop {
+            let now = self.now();
+            let (due, keep): (Vec<_>, Vec<_>) =
+                self.timers.drain(..).partition(|(at, _)| now >= *at);
+            self.timers = keep;
+            if due.is_empty() {
+                break;
+            }
+            for (_, token) in due {
+                self.app_callback(|app, ctx| app.on_timer(token, ctx));
+            }
+            self.run_work();
+        }
+    }
+
+    fn app_callback<R>(&mut self, f: impl FnOnce(&mut A, &mut AppCtx<'_>) -> R) -> R {
+        let now = self.now();
+        let mut timers = Vec::new();
+        let r = {
+            let mut ctx = AppCtx::new(now, &self.name, &mut self.lib, &mut timers, None);
+            f(&mut self.app, &mut ctx)
+        };
+        self.timers.extend(timers);
+        for req in self.lib.drain() {
+            self.work.push_back(DaemonInput::App(req));
+        }
+        r
+    }
+
+    /// Routes one daemon plugin command. Discovery is completed inline
+    /// (thin live clients are not discoverable peers); connection commands
+    /// become shard commands.
+    fn exec(&mut self, cmd: PluginCommand) {
+        match cmd {
+            PluginCommand::StartInquiry { technology } => {
+                self.work
+                    .push_back(DaemonInput::Plugin(PluginEvent::InquiryComplete {
+                        technology,
+                    }));
+            }
+            PluginCommand::QueryServices { device, .. } => {
+                self.work
+                    .push_back(DaemonInput::Plugin(PluginEvent::ServiceReply {
+                        device,
+                        services: Vec::new(),
+                    }));
+            }
+            PluginCommand::ServiceQueryReply { .. } => {}
+            PluginCommand::OpenConnection { attempt, .. } => {
+                self.work
+                    .push_back(DaemonInput::Plugin(PluginEvent::ConnectResult {
+                        attempt,
+                        result: Err("live server cannot dial thin clients".into()),
+                    }));
+            }
+            PluginCommand::AcceptConnection { link } => self.cmd(
+                link,
+                ShardCmd::Verdict {
+                    conn: link.raw(),
+                    accept: true,
+                    reason: String::new(),
+                },
+            ),
+            PluginCommand::RejectConnection { link, reason } => {
+                Counters::bump(&self.counters.rejected);
+                self.cmd(
+                    link,
+                    ShardCmd::Verdict {
+                        conn: link.raw(),
+                        accept: false,
+                        reason,
+                    },
+                );
+            }
+            PluginCommand::SendFrame { link, payload } => {
+                Counters::bump(&self.counters.frames_out);
+                self.cmd(
+                    link,
+                    ShardCmd::Send {
+                        conn: link.raw(),
+                        payload: payload.to_vec(),
+                    },
+                );
+            }
+            PluginCommand::CloseLink { link } => {
+                self.cmd(link, ShardCmd::Close { conn: link.raw() });
+            }
+        }
+    }
+
+    fn cmd(&mut self, link: LinkId, cmd: ShardCmd) {
+        let shard = (link.raw() >> SHARD_SHIFT) as usize;
+        if let Some(batch) = self.cmds.get_mut(shard) {
+            batch.push(cmd);
+        }
+    }
+
+    fn flush(&mut self, txs: &[Sender<Vec<ShardCmd>>]) {
+        for (i, batch) in self.cmds.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                let _ = txs[i].send(std::mem::take(batch));
+            }
+        }
+    }
+}
+
+/// A running live-serving daemon: `listen_shards` socket threads plus one
+/// core thread around the sans-IO [`Daemon`] and the served
+/// [`Application`].
+///
+/// Built from a [`LiveConfig`] via [`LiveServer::spawn`] (or
+/// [`LiveConfig::serve`]); stopped with [`LiveServer::shutdown`], which
+/// returns the application (with all the state it accumulated).
+///
+/// See the [module docs](self) for the reactor model and the
+/// backpressure/persistence contracts.
+pub struct LiveServer<A> {
+    addr: SocketAddr,
+    stats: Arc<Counters>,
+    stop: Arc<AtomicBool>,
+    shards: Vec<JoinHandle<()>>,
+    core: JoinHandle<A>,
+}
+
+impl<A: Application + Send + 'static> LiveServer<A> {
+    /// Starts a server for `app` under `config`, with no persistence.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener or spawning threads.
+    pub fn spawn(config: LiveConfig, name: impl Into<String>, app: A) -> io::Result<Self> {
+        Self::spawn_with(config, name, app, None)
+    }
+
+    /// Starts a server with an optional persistence hook (the hook's
+    /// `record` sees every inbound frame; `checkpoint` runs every
+    /// [`LiveConfig::snapshot_cadence`] and at shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener or spawning threads.
+    pub fn spawn_with(
+        config: LiveConfig,
+        name: impl Into<String>,
+        app: A,
+        persist: Option<Box<dyn LivePersist<A>>>,
+    ) -> io::Result<Self> {
+        let name = name.into();
+        let listener = TcpListener::bind(config.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let counters = Arc::new(Counters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (core_tx, core_rx) = mpsc::channel::<Vec<CoreMsg>>();
+
+        let mut shard_txs = Vec::new();
+        let mut shards = Vec::new();
+        for idx in 0..config.listen_shards {
+            let (tx, rx) = mpsc::channel::<Vec<ShardCmd>>();
+            shard_txs.push(tx);
+            let shard = Shard {
+                idx: idx as u64,
+                listener: listener.try_clone()?,
+                conns: BTreeMap::new(),
+                next_id: 0,
+                queue_cap: config.queue_cap,
+                idle_timeout: config.idle_timeout,
+                handshake_timeout: config.handshake_timeout,
+                counters: Arc::clone(&counters),
+            };
+            let core_tx = core_tx.clone();
+            let stop = Arc::clone(&stop);
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("ph-live-shard-{idx}"))
+                    .spawn(move || shard.run(rx, core_tx, stop))?,
+            );
+        }
+        drop(core_tx);
+
+        let mut daemon_config = DaemonConfig::new(DeviceInfo::new(
+            DeviceId::new(0),
+            name.clone(),
+            [Technology::Wlan],
+        ))
+        .with_inquiry_interval(Technology::Wlan, config.inquiry_interval)
+        .with_neighbor_ttl(config.neighbor_ttl)
+        .with_auto_service_discovery(config.auto_service_discovery);
+        if let Some(policy) = config.recovery {
+            daemon_config = daemon_config.with_recovery(policy);
+        }
+
+        let core = Core {
+            daemon: Daemon::new(daemon_config),
+            app,
+            lib: Library::new(),
+            name,
+            timers: Vec::new(),
+            wake_at: Some(SimTime::ZERO),
+            start: Instant::now(),
+            work: VecDeque::new(),
+            cmds: (0..config.listen_shards).map(|_| Vec::new()).collect(),
+            counters: Arc::clone(&counters),
+            persist,
+        };
+        let cadence = config.snapshot_cadence;
+        let core_stop = Arc::clone(&stop);
+        let core = std::thread::Builder::new()
+            .name("ph-live-core".into())
+            .spawn(move || core.run(core_rx, shard_txs, cadence, core_stop))?;
+
+        Ok(LiveServer {
+            addr,
+            stats: counters,
+            stop,
+            shards,
+            core,
+        })
+    }
+
+    /// The actual bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the serving counters.
+    pub fn stats(&self) -> LiveStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops the reactor (final checkpoint included) and returns the
+    /// served application with all its accumulated state.
+    pub fn shutdown(self) -> A {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.shards {
+            let _ = h.join();
+        }
+        self.core.join().expect("live core thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::wire::parse_farewell;
+    use super::*;
+    use crate::api::AppEvent;
+    use crate::service::ServiceInfo;
+
+    /// Echoes every frame back, prefixed with nothing — a 1:1 responder.
+    #[derive(Default)]
+    struct EchoApp {
+        served: usize,
+    }
+
+    impl Application for EchoApp {
+        fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+            ctx.peerhood().register_service(ServiceInfo::new("echo"));
+        }
+
+        fn on_event(&mut self, event: AppEvent, ctx: &mut AppCtx<'_>) {
+            if let AppEvent::Data { conn, payload } = event {
+                self.served += 1;
+                ctx.peerhood().send(conn, payload);
+            }
+        }
+    }
+
+    /// A minimal blocking test client speaking the live wire protocol.
+    struct TestClient {
+        stream: TcpStream,
+        buf: FrameBuf,
+    }
+
+    impl TestClient {
+        fn connect(addr: SocketAddr, from: u64, service: &str) -> TestClient {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).unwrap();
+            let mut c = TestClient {
+                stream,
+                buf: FrameBuf::new(),
+            };
+            let hs = Handshake {
+                from: DeviceId::new(from),
+                service: service.into(),
+                resume: None,
+            };
+            c.send_raw(&hs.encode());
+            c
+        }
+
+        fn send_raw(&mut self, payload: &[u8]) {
+            self.stream.write_all(&frame(payload)).expect("write");
+        }
+
+        /// Blocks until one frame arrives (or the deadline passes).
+        fn recv(&mut self, deadline: Duration) -> Option<Vec<u8>> {
+            self.stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .unwrap();
+            let t0 = Instant::now();
+            let mut tmp = [0u8; 4096];
+            loop {
+                if let Some(f) = self.buf.pop() {
+                    return Some(f);
+                }
+                if t0.elapsed() > deadline {
+                    return None;
+                }
+                match self.stream.read(&mut tmp) {
+                    Ok(0) => return self.buf.pop(),
+                    Ok(n) => self.buf.extend(&tmp[..n]),
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut => {}
+                    Err(_) => return None,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serves_echo_round_trip_and_counts() {
+        let server =
+            LiveServer::spawn(LiveConfig::default(), "reactor", EchoApp::default()).expect("spawn");
+        let mut client = TestClient::connect(server.addr(), 1, "echo");
+        let verdict = client.recv(Duration::from_secs(5)).expect("verdict");
+        assert_eq!(verdict, vec![VERDICT_ACCEPT]);
+        client.send_raw(b"ping over live tcp");
+        let echo = client.recv(Duration::from_secs(5)).expect("echo");
+        assert_eq!(echo, b"ping over live tcp");
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.frames_in, 1);
+        assert_eq!(stats.frames_out, 1);
+        let app = server.shutdown();
+        assert_eq!(app.served, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_service_with_reason() {
+        let server =
+            LiveServer::spawn(LiveConfig::default(), "reactor", EchoApp::default()).expect("spawn");
+        let mut client = TestClient::connect(server.addr(), 1, "no-such-service");
+        let verdict = client.recv(Duration::from_secs(5)).expect("verdict");
+        assert_eq!(verdict.first(), Some(&VERDICT_REJECT));
+        assert!(server.stats().rejected >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connection_gets_timeout_farewell() {
+        let config = LiveConfig::default().with_idle_timeout(Duration::from_millis(200));
+        let server = LiveServer::spawn(config, "reactor", EchoApp::default()).expect("spawn");
+        let mut client = TestClient::connect(server.addr(), 1, "echo");
+        assert_eq!(
+            client.recv(Duration::from_secs(5)).expect("verdict"),
+            vec![VERDICT_ACCEPT]
+        );
+        // Send nothing: the reactor must close us with a Timeout farewell.
+        let farewell_frame = client.recv(Duration::from_secs(5)).expect("farewell");
+        assert_eq!(parse_farewell(&farewell_frame), Some(ErrorKind::Timeout));
+        assert_eq!(server.stats().idle_closed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_reader_is_shed_with_overloaded_farewell() {
+        // Tiny queue cap: a client that never reads its echoes overflows
+        // the bounded write queue almost immediately.
+        let config = LiveConfig::default().with_queue_cap(2 * 1024);
+        let server = LiveServer::spawn(config, "reactor", EchoApp::default()).expect("spawn");
+        let mut stalled = TestClient::connect(server.addr(), 1, "echo");
+        assert_eq!(
+            stalled.recv(Duration::from_secs(5)).expect("verdict"),
+            vec![VERDICT_ACCEPT]
+        );
+        // Pump big frames without ever reading: echoes pile up server-side.
+        let blob = vec![0x42u8; 1024];
+        let t0 = Instant::now();
+        while server.stats().shed == 0 && t0.elapsed() < Duration::from_secs(10) {
+            stalled.send_raw(&blob);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.stats().shed, 1, "stalled client must be shed");
+        // The farewell is still delivered once we finally read.
+        let mut last = None;
+        while let Some(f) = stalled.recv(Duration::from_millis(500)) {
+            last = Some(f);
+            if parse_farewell(last.as_ref().unwrap()).is_some() {
+                break;
+            }
+        }
+        assert_eq!(
+            last.as_deref().and_then(parse_farewell),
+            Some(ErrorKind::Overloaded),
+            "shed client must observe the Overloaded farewell"
+        );
+        server.shutdown();
+    }
+}

@@ -434,12 +434,15 @@ fn panic_in_dispatch(f: &SourceFile, out: &mut Vec<Finding>) {
 // Rule 4: raw-thread-spawn
 // ---------------------------------------------------------------------
 
-/// The one module allowed to create threads: the fork/join helpers whose
-/// spawn-order joins keep the parallel engine deterministic.
+/// The one simulation module allowed to create threads: the fork/join
+/// helpers whose spawn-order joins keep the parallel engine deterministic.
 const PAR_MODULE: &str = "crates/netsim/src/par.rs";
 
 fn raw_thread_spawn(f: &SourceFile, out: &mut Vec<Finding>) {
-    if f.path == PAR_MODULE {
+    // The live serving path (reactor shards, load-harness workers) runs real
+    // OS threads by design — it never feeds the simulation digest, mirroring
+    // the wall-clock-in-sim exemption.
+    if f.path == PAR_MODULE || f.path.contains("live/") || f.path.ends_with("/live.rs") {
         return;
     }
     let toks = &f.toks;
@@ -809,6 +812,15 @@ mod tests {
     fn par_module_may_spawn() {
         let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
         assert!(run_one("crates/netsim/src/par.rs", src).is_empty());
+    }
+
+    #[test]
+    fn live_path_may_spawn() {
+        let src = "fn f() { std::thread::Builder::new().spawn(|| {}); }";
+        assert!(run_one("crates/peerhood/src/live/reactor.rs", src).is_empty());
+        assert!(run_one("crates/harness/src/live.rs", src).is_empty());
+        // Other peerhood modules stay covered.
+        assert_eq!(run_one("crates/peerhood/src/daemon.rs", src).len(), 1);
     }
 
     // ---- rule 5 ----------------------------------------------------

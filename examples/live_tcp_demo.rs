@@ -9,11 +9,11 @@ use std::time::Duration;
 use community::node::CommunityApp;
 use community::profile::Profile;
 use community::OpResult;
-use peerhood::live::LiveNet;
+use peerhood::live::LiveConfig;
 
 fn main() -> std::io::Result<()> {
-    let mut net = LiveNet::new();
-    let alice = net.add_node(
+    let mut net = LiveConfig::default().network();
+    let alice = net.spawn(
         "alice-host",
         CommunityApp::with_member(
             "alice",
@@ -21,7 +21,7 @@ fn main() -> std::io::Result<()> {
             Profile::new("Alice").with_interests(["rust", "networks"]),
         ),
     )?;
-    let bob = net.add_node(
+    let bob = net.spawn(
         "bob-host",
         CommunityApp::with_member(
             "bob",
