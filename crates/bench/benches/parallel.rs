@@ -27,8 +27,8 @@ fn bench_crowd_parallel(c: &mut Criterion) {
     let auto = available_threads();
     for nodes in [300usize, 1000] {
         // The digest contract, checked once per size before timing.
-        let serial = run(&config(nodes, 1));
-        let parallel = run(&config(nodes, auto.max(2)));
+        let serial = run(&config(nodes, 1)).expect("valid bench config");
+        let parallel = run(&config(nodes, auto.max(2))).expect("valid bench config");
         assert_eq!(
             serial.digest, parallel.digest,
             "parallel run diverged from serial at {nodes} nodes"
@@ -38,7 +38,7 @@ fn bench_crowd_parallel(c: &mut Criterion) {
             group.sample_size(10);
             group.bench_function(BenchmarkId::new(label, nodes), |b| {
                 b.iter_batched(
-                    || build(&config(nodes, threads)),
+                    || build(&config(nodes, threads)).expect("valid bench config"),
                     |mut s| {
                         s.cluster.run_until(SimTime::from_secs(30));
                         s

@@ -15,6 +15,7 @@ fn crowd_world(nodes: usize) -> CrowdScenario {
         seed: 2008,
         ..CrowdConfig::default()
     })
+    .expect("valid bench config")
 }
 
 /// Per-node `neighbors_any` over the whole crowd, through the uniform

@@ -84,6 +84,10 @@ fn main() -> ExitCode {
             }
             let horizon = flag_value(&args, "--horizon").unwrap_or(60);
             let threads = flag_value(&args, "--threads").unwrap_or(1) as usize;
+            let regions = flag_value(&args, "--regions").unwrap_or(0) as usize;
+            let region_edge = flag_str(&args, "--region-edge")
+                .map(|s| s.parse::<f64>().unwrap_or(-1.0))
+                .unwrap_or(0.0);
             let faults = flag_str(&args, "--faults").unwrap_or_else(|| "none".to_owned());
             if crowd::fault_profile(&faults).is_none() {
                 eprintln!("unknown fault profile {faults:?}; known profiles: none, lossy");
@@ -94,6 +98,8 @@ fn main() -> ExitCode {
                 horizon,
                 seed,
                 threads,
+                regions,
+                region_edge,
                 &faults,
                 args.iter().any(|a| a == "--json"),
                 args.iter().any(|a| a == "--selfcheck"),
@@ -279,11 +285,14 @@ fn run_ablation_churn(seed: u64) {
     println!("{}", ablations::render_churn(&rows));
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_crowd(
     sizes: &[usize],
     horizon_secs: u64,
     seed: u64,
     threads: usize,
+    regions: usize,
+    region_edge: f64,
     faults: &str,
     json: bool,
     selfcheck: bool,
@@ -294,35 +303,69 @@ fn run_crowd(
         seed,
         horizon: std::time::Duration::from_secs(horizon_secs),
         threads,
+        region_lanes: regions,
+        region_edge_m: region_edge,
         faults: crowd::fault_profile(faults).expect("profile validated by the caller"),
         ..crowd::CrowdConfig::default()
     };
-    let reports = crowd::sweep(&base, sizes);
+    let reports = match crowd::sweep(&base, sizes) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("crowd config rejected: {e}");
+            return false;
+        }
+    };
 
-    // Serial-vs-parallel self-check: rerun each size with the epoch engine
-    // disabled and require byte-identical trace digests. A serial run
-    // checked against itself is trivially fine; the flag matters with
-    // `--threads 0|>=2`, where it proves the fork/join merge is a pure
-    // performance transform.
+    // Sharding self-check: rerun each size with the epoch engine disabled
+    // (one worker, one lane, default grid) and require byte-identical
+    // trace digests — proving the fork/join merge and the region sharding
+    // are pure performance transforms. Up to 10k nodes a third run with a
+    // deliberately different lane count and region edge double-checks the
+    // grid knobs too.
     let mut selfcheck_ok = true;
     let mut selfcheck_lines = Vec::new();
     if selfcheck {
         let serial_base = crowd::CrowdConfig {
             threads: 1,
+            region_lanes: 1,
+            region_edge_m: 0.0,
             compare_naive: false,
             ..base.clone()
         };
         for report in &reports {
-            let serial = crowd::run(&crowd::CrowdConfig {
+            let serial = match crowd::run(&crowd::CrowdConfig {
                 nodes: report.nodes,
                 ..serial_base.clone()
-            });
-            let ok = serial.digest == report.digest && serial.stats == report.stats;
+            }) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("crowd selfcheck config rejected: {e}");
+                    return false;
+                }
+            };
+            let mut ok = serial.digest == report.digest && serial.stats == report.stats;
+            if report.nodes <= 10_000 {
+                let resharded = match crowd::run(&crowd::CrowdConfig {
+                    nodes: report.nodes,
+                    region_lanes: 3,
+                    region_edge_m: 40.0,
+                    ..serial_base.clone()
+                }) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("crowd selfcheck config rejected: {e}");
+                        return false;
+                    }
+                };
+                ok &= resharded.digest == report.digest && resharded.stats == report.stats;
+            }
             selfcheck_ok &= ok;
             selfcheck_lines.push(format!(
-                "selfcheck nodes={} threads={} vs serial: {} (digest {:016x} vs {:016x})",
+                "selfcheck nodes={} threads={} lanes={} vs serial-merge: {} \
+                 (digest {:016x} vs {:016x})",
                 report.nodes,
                 report.threads,
+                report.region_lanes,
                 if ok { "MATCH" } else { "MISMATCH" },
                 report.digest,
                 serial.digest,
@@ -416,7 +459,13 @@ fn print_help() {
                                [--nodes N[,N,...]] [--horizon SECS] [--json]\n\
                                [--threads N]   epoch-engine workers (1 = serial,\n\
                                                0 = auto); digests are identical\n\
-                               [--selfcheck]   rerun serially, fail on digest drift\n\
+                               [--regions N]   region event lanes (0 = default);\n\
+                                               pure sharding, digests identical\n\
+                               [--region-edge M] spatial region edge in metres\n\
+                                               (0 = default 80); digests identical\n\
+                               [--selfcheck]   rerun on the serial-merge engine\n\
+                                               (and resharded, <=10k nodes); fail\n\
+                                               on any digest drift\n\
                                [--faults P]    inject a named fault profile\n\
                                                (none | lossy: 10% BT frame loss +\n\
                                                burst episodes, recovery enabled)\n\

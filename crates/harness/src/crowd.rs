@@ -35,6 +35,93 @@ use peerhood::{AppCtx, AppEvent, Application, RecoveryPolicy};
 const SPEED_MPS: (f64, f64) = (0.5, 2.0);
 /// Pause range at each waypoint.
 const PAUSE: (Duration, Duration) = (Duration::ZERO, Duration::from_secs(20));
+/// Largest crowd [`CrowdConfig::validate`] accepts. Leaves headroom over
+/// the 1M-node acceptance run while still catching unit-typo inputs
+/// (`--nodes 100000000`) before they allocate.
+pub const MAX_NODES: usize = 2_000_000;
+/// Above this size [`run`] skips the naive all-pairs cross-check even if
+/// requested: O(N²) distance scans at crowd scale would dwarf the run
+/// being measured.
+pub const NAIVE_COMPARE_MAX: usize = 2_000;
+
+/// A pathological [`CrowdConfig`] rejected by [`CrowdConfig::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CrowdError {
+    /// `nodes == 0` — an empty crowd measures nothing.
+    NoNodes,
+    /// `nodes` exceeds [`MAX_NODES`].
+    TooManyNodes {
+        /// Requested crowd size.
+        nodes: usize,
+        /// The accepted maximum ([`MAX_NODES`]).
+        max: usize,
+    },
+    /// `area_per_node_m2` is zero, negative, or not finite — a zero-area
+    /// world puts the whole crowd in one point and infinite density.
+    BadArea {
+        /// The rejected density value.
+        area_per_node_m2: f64,
+    },
+    /// `region_edge_m` is negative or not finite.
+    BadRegionEdge {
+        /// The rejected edge value.
+        region_edge_m: f64,
+    },
+    /// `region_edge_m` exceeds the campus side: a region larger than the
+    /// world is a sharding no-op and almost always a unit mistake.
+    RegionLargerThanWorld {
+        /// The rejected edge value.
+        region_edge_m: f64,
+        /// The campus side implied by `nodes` and `area_per_node_m2`.
+        world_side_m: f64,
+    },
+    /// `interests_per_node` exceeds `interest_pool` — distinct picks are
+    /// impossible and assignment would loop forever.
+    InterestsExceedPool {
+        /// Requested interests per node.
+        interests_per_node: usize,
+        /// Size of the shared pool.
+        interest_pool: usize,
+    },
+}
+
+impl std::fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrowdError::NoNodes => write!(f, "crowd needs at least one node"),
+            CrowdError::TooManyNodes { nodes, max } => {
+                write!(
+                    f,
+                    "crowd of {nodes} nodes exceeds the supported maximum {max}"
+                )
+            }
+            CrowdError::BadArea { area_per_node_m2 } => write!(
+                f,
+                "area per node must be finite and positive, got {area_per_node_m2}"
+            ),
+            CrowdError::BadRegionEdge { region_edge_m } => write!(
+                f,
+                "region edge must be finite and positive, got {region_edge_m}"
+            ),
+            CrowdError::RegionLargerThanWorld {
+                region_edge_m,
+                world_side_m,
+            } => write!(
+                f,
+                "region edge {region_edge_m} m exceeds the {world_side_m:.0} m campus side"
+            ),
+            CrowdError::InterestsExceedPool {
+                interests_per_node,
+                interest_pool,
+            } => write!(
+                f,
+                "cannot draw {interests_per_node} distinct interests from a pool of {interest_pool}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CrowdError {}
 
 /// Configuration for one crowd run.
 #[derive(Clone, Debug)]
@@ -63,6 +150,14 @@ pub struct CrowdConfig {
     /// auto (one worker per hardware thread). Any value produces a
     /// bit-identical trace digest; see [`Cluster::set_threads`].
     pub threads: usize,
+    /// Number of region event lanes (`0` = engine default). A pure
+    /// sharding knob — any value produces a bit-identical trace digest;
+    /// see [`Cluster::set_region_lanes`].
+    pub region_lanes: usize,
+    /// Spatial region edge in metres (`0.0` = engine default, 80 m).
+    /// Another pure sharding knob: neighbor answers are exact for any
+    /// edge, so digests never depend on it.
+    pub region_edge_m: f64,
     /// Fault plan injected into the radio environment (see
     /// [`fault_profile`] for the named presets). An inert plan draws no
     /// randomness and reproduces the fault-free digest bit-for-bit. A
@@ -85,8 +180,60 @@ impl Default for CrowdConfig {
             wlan_every: 8,
             compare_naive: true,
             threads: 1,
+            region_lanes: 0,
+            region_edge_m: 0.0,
             faults: FaultPlan::none(),
         }
+    }
+}
+
+impl CrowdConfig {
+    /// The campus side length (metres) this config implies: area grows
+    /// with the crowd at constant density, floored at 60 m.
+    pub fn world_side_m(&self) -> f64 {
+        (self.nodes as f64 * self.area_per_node_m2).sqrt().max(60.0)
+    }
+
+    /// Rejects pathological inputs with a typed [`CrowdError`] instead of
+    /// debug asserts or pathological behavior deep in the run: empty or
+    /// oversized crowds, zero-area worlds, regions larger than the world,
+    /// impossible interest draws.
+    pub fn validate(&self) -> Result<(), CrowdError> {
+        if self.nodes == 0 {
+            return Err(CrowdError::NoNodes);
+        }
+        if self.nodes > MAX_NODES {
+            return Err(CrowdError::TooManyNodes {
+                nodes: self.nodes,
+                max: MAX_NODES,
+            });
+        }
+        if !self.area_per_node_m2.is_finite() || self.area_per_node_m2 <= 0.0 {
+            return Err(CrowdError::BadArea {
+                area_per_node_m2: self.area_per_node_m2,
+            });
+        }
+        if self.region_edge_m != 0.0 {
+            if !self.region_edge_m.is_finite() || self.region_edge_m < 0.0 {
+                return Err(CrowdError::BadRegionEdge {
+                    region_edge_m: self.region_edge_m,
+                });
+            }
+            let side = self.world_side_m();
+            if self.region_edge_m > side {
+                return Err(CrowdError::RegionLargerThanWorld {
+                    region_edge_m: self.region_edge_m,
+                    world_side_m: side,
+                });
+            }
+        }
+        if self.interests_per_node > self.interest_pool {
+            return Err(CrowdError::InterestsExceedPool {
+                interests_per_node: self.interests_per_node,
+                interest_pool: self.interest_pool,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -150,6 +297,10 @@ pub struct CrowdReport {
     pub seed: u64,
     /// Epoch-engine worker count the run used (1 = serial, 0 = auto).
     pub threads: usize,
+    /// Region event lanes the run used (actual, after defaulting).
+    pub region_lanes: usize,
+    /// Region edge in metres the run used (actual, after defaulting).
+    pub region_edge_m: f64,
     /// Human-readable fault plan (`"no faults"` when inert).
     pub faults: String,
     /// Virtual duration, seconds.
@@ -209,6 +360,8 @@ impl CrowdReport {
             .field("nodes", self.nodes)
             .field("seed", self.seed)
             .field("threads", self.threads)
+            .field("region_lanes", self.region_lanes)
+            .field("region_edge_m", self.region_edge_m)
             .field("faults", self.faults.as_str())
             .field("virtual_secs", self.virtual_secs)
             .field("wall_ms", self.wall_ms)
@@ -264,10 +417,10 @@ fn zipfish_picks(rng: &mut SimRng, pool: usize, count: usize) -> Vec<usize> {
 }
 
 /// Builds and starts a crowd per `config` (without advancing time).
-pub fn build(config: &CrowdConfig) -> CrowdScenario {
-    let side = (config.nodes as f64 * config.area_per_node_m2)
-        .sqrt()
-        .max(60.0);
+/// Rejects pathological configs with a typed [`CrowdError`].
+pub fn build(config: &CrowdConfig) -> Result<CrowdScenario, CrowdError> {
+    config.validate()?;
+    let side = config.world_side_m();
     let campus = Rect::sized(side, side);
     let mut rng = SimRng::from_seed(config.seed);
     let mut placement = rng.fork(1);
@@ -278,6 +431,13 @@ pub fn build(config: &CrowdConfig) -> CrowdScenario {
         config.seed,
         RadioEnv::default().with_faults(config.faults.clone()),
     );
+    if config.region_lanes > 0 {
+        cluster.set_region_lanes(config.region_lanes);
+    }
+    if config.region_edge_m > 0.0 {
+        cluster.set_region_edge(config.region_edge_m);
+    }
+    cluster.reserve_nodes(config.nodes);
     let mut interests = Vec::with_capacity(config.nodes);
     for i in 0..config.nodes {
         let start = Point2::new(
@@ -319,12 +479,13 @@ pub fn build(config: &CrowdConfig) -> CrowdScenario {
     cluster.set_trace_capacity(config.trace_capacity);
     cluster.set_threads(config.threads);
     cluster.start();
-    CrowdScenario { cluster, interests }
+    Ok(CrowdScenario { cluster, interests })
 }
 
-/// Runs one crowd to its horizon and measures it.
-pub fn run(config: &CrowdConfig) -> CrowdReport {
-    let mut s = build(config);
+/// Runs one crowd to its horizon and measures it. Rejects pathological
+/// configs with a typed [`CrowdError`].
+pub fn run(config: &CrowdConfig) -> Result<CrowdReport, CrowdError> {
+    let mut s = build(config)?;
     let deadline = SimTime::ZERO.saturating_add(config.horizon);
 
     let wall = Instant::now();
@@ -393,7 +554,9 @@ pub fn run(config: &CrowdConfig) -> CrowdReport {
     }
     let grid_query_us = grid_t.elapsed().as_secs_f64() * 1e6 / node_ids.len().max(1) as f64;
 
-    let naive_query_us = if config.compare_naive {
+    // At crowd scale the O(N²) all-pairs reference would dwarf the run
+    // being measured — silently skip it past NAIVE_COMPARE_MAX.
+    let naive_query_us = if config.compare_naive && config.nodes <= NAIVE_COMPARE_MAX {
         let naive_t = Instant::now();
         let mut naive_results = Vec::with_capacity(node_ids.len());
         for &id in &node_ids {
@@ -409,10 +572,12 @@ pub fn run(config: &CrowdConfig) -> CrowdReport {
         0.0
     };
 
-    CrowdReport {
+    Ok(CrowdReport {
         nodes: config.nodes,
         seed: config.seed,
         threads: config.threads,
+        region_lanes: s.cluster.region_lanes(),
+        region_edge_m: s.cluster.world_mut().region_edge(),
         faults: config.faults.to_string(),
         virtual_secs: config.horizon.as_secs_f64(),
         wall_ms,
@@ -429,11 +594,12 @@ pub fn run(config: &CrowdConfig) -> CrowdReport {
         grouped_nodes,
         grid_query_us,
         naive_query_us,
-    }
+    })
 }
 
 /// Runs the crowd at each size in `sizes` (same seed and horizon).
-pub fn sweep(base: &CrowdConfig, sizes: &[usize]) -> Vec<CrowdReport> {
+/// Fails fast on the first pathological size.
+pub fn sweep(base: &CrowdConfig, sizes: &[usize]) -> Result<Vec<CrowdReport>, CrowdError> {
     sizes
         .iter()
         .map(|&nodes| {
@@ -505,7 +671,7 @@ mod tests {
 
     #[test]
     fn crowd_discovers_and_groups() {
-        let report = run(&small(60, 7));
+        let report = run(&small(60, 7)).expect("valid config");
         assert_eq!(report.nodes, 60);
         assert!(report.stats.inquiries > 0, "{:?}", report.stats);
         assert!(report.appeared > 0, "nobody met anybody: {report:?}");
@@ -523,7 +689,7 @@ mod tests {
             trace_capacity: 64,
             ..small(50, 11)
         };
-        let report = run(&config);
+        let report = run(&config).expect("valid config");
         assert!(report.trace_retained <= 64, "{report:?}");
         assert_eq!(
             report.stats.events_recorded,
@@ -540,8 +706,8 @@ mod tests {
             horizon: Duration::from_secs(40),
             ..small(300, 2008)
         };
-        let a = run(&config);
-        let b = run(&config);
+        let a = run(&config).expect("valid config");
+        let b = run(&config).expect("valid config");
         assert_eq!(a.digest, b.digest, "trace digests diverged");
         assert_eq!(a.stats, b.stats, "counters diverged");
         assert_eq!(a.events, b.events);
@@ -567,12 +733,13 @@ mod tests {
                     compare_naive: false,
                     ..CrowdConfig::default()
                 };
-                let serial = run(&base);
+                let serial = run(&base).expect("valid config");
                 for threads in [4, 0] {
                     let par = run(&CrowdConfig {
                         threads,
                         ..base.clone()
-                    });
+                    })
+                    .expect("valid config");
                     assert_eq!(
                         format!("{:016x}", serial.digest),
                         format!("{:016x}", par.digest),
@@ -600,13 +767,14 @@ mod tests {
                 horizon: Duration::from_secs(30),
                 ..small(120, seed)
             };
-            let plain = run(&base);
+            let plain = run(&base).expect("valid config");
             let zeroed = run(&CrowdConfig {
                 faults: FaultPlan::none()
                     .with_profile(Technology::Bluetooth, FaultProfile::NONE)
                     .with_profile(Technology::Wlan, FaultProfile::NONE),
                 ..base.clone()
-            });
+            })
+            .expect("valid config");
             assert_eq!(
                 format!("{:016x}", plain.digest),
                 format!("{:016x}", zeroed.digest),
@@ -633,13 +801,13 @@ mod tests {
             faults: fault_profile("lossy").expect("named profile"),
             ..small(200, 2008)
         };
-        let serial = run(&base);
+        let serial = run(&base).expect("valid config");
         assert!(
             serial.stats.frames_dropped > 0,
             "the lossy plan must actually lose frames: {:?}",
             serial.stats
         );
-        let again = run(&base);
+        let again = run(&base).expect("valid config");
         assert_eq!(
             format!("{:016x}", serial.digest),
             format!("{:016x}", again.digest)
@@ -648,7 +816,8 @@ mod tests {
         let par = run(&CrowdConfig {
             threads: 4,
             ..base.clone()
-        });
+        })
+        .expect("valid config");
         assert_eq!(
             format!("{:016x}", serial.digest),
             format!("{:016x}", par.digest),
@@ -690,6 +859,136 @@ mod tests {
             counts[0] > counts[19] * 3,
             "topic 0 should dominate the tail: {counts:?}"
         );
+    }
+
+    /// Satellite: pathological configs come back as typed errors, not
+    /// debug asserts or hangs deep inside the run.
+    #[test]
+    fn pathological_configs_are_rejected() {
+        let base = CrowdConfig::default();
+        assert_eq!(
+            run(&CrowdConfig {
+                nodes: 0,
+                ..base.clone()
+            })
+            .err(),
+            Some(CrowdError::NoNodes)
+        );
+        assert_eq!(
+            run(&CrowdConfig {
+                nodes: MAX_NODES + 1,
+                ..base.clone()
+            })
+            .err(),
+            Some(CrowdError::TooManyNodes {
+                nodes: MAX_NODES + 1,
+                max: MAX_NODES
+            })
+        );
+        for area in [0.0, -4.0, f64::NAN, f64::INFINITY] {
+            let err = run(&CrowdConfig {
+                area_per_node_m2: area,
+                ..base.clone()
+            })
+            .expect_err("zero/negative/non-finite area must be rejected");
+            assert!(matches!(err, CrowdError::BadArea { .. }), "{area}: {err}");
+        }
+        let err = run(&CrowdConfig {
+            region_edge_m: f64::NAN,
+            ..base.clone()
+        })
+        .expect_err("non-finite region edge must be rejected");
+        assert!(matches!(err, CrowdError::BadRegionEdge { .. }), "{err}");
+        let err = run(&CrowdConfig {
+            nodes: 100,
+            region_edge_m: 1.0e6,
+            ..base.clone()
+        })
+        .expect_err("a region larger than the world must be rejected");
+        assert!(
+            matches!(err, CrowdError::RegionLargerThanWorld { .. }),
+            "{err}"
+        );
+        assert_eq!(
+            run(&CrowdConfig {
+                interest_pool: 2,
+                interests_per_node: 3,
+                ..base.clone()
+            })
+            .err(),
+            Some(CrowdError::InterestsExceedPool {
+                interests_per_node: 3,
+                interest_pool: 2
+            })
+        );
+        // The max-size config itself is accepted (validation only).
+        assert!(CrowdConfig {
+            nodes: MAX_NODES,
+            ..base.clone()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    /// Tentpole acceptance (differential): the region-sharded engine must
+    /// match the serial-merge baseline — one lane, one thread, default
+    /// grid — bit-for-bit at 1k and 10k nodes for every combination of
+    /// worker count, lane count, and region edge, including under a live
+    /// lossy fault plan.
+    #[test]
+    fn region_sharding_matches_serial_merge_baseline() {
+        let cases: &[(usize, u64, &str)] =
+            &[(1000, 4, "none"), (10_000, 2, "none"), (1000, 3, "lossy")];
+        for &(nodes, secs, faults) in cases {
+            let base = CrowdConfig {
+                nodes,
+                horizon: Duration::from_secs(secs),
+                compare_naive: false,
+                faults: fault_profile(faults).expect("named profile"),
+                ..CrowdConfig::default()
+            };
+            let baseline = run(&CrowdConfig {
+                threads: 1,
+                region_lanes: 1,
+                ..base.clone()
+            })
+            .expect("valid config");
+            if faults == "lossy" {
+                assert!(
+                    baseline.stats.frames_dropped > 0,
+                    "the lossy plan must actually lose frames: {:?}",
+                    baseline.stats
+                );
+            }
+            for &(threads, lanes, edge) in &[
+                (2usize, 3usize, 40.0f64),
+                (4, 32, 250.0),
+                (4, 7, 0.0),
+                (1, 16, 120.0),
+            ] {
+                let sharded = run(&CrowdConfig {
+                    threads,
+                    region_lanes: lanes,
+                    region_edge_m: edge,
+                    ..base.clone()
+                })
+                .expect("valid config");
+                assert_eq!(
+                    format!("{:016x}", baseline.digest),
+                    format!("{:016x}", sharded.digest),
+                    "digest diverged: nodes={nodes} faults={faults} \
+                     threads={threads} lanes={lanes} edge={edge}"
+                );
+                assert_eq!(
+                    baseline.stats, sharded.stats,
+                    "nodes={nodes} faults={faults} threads={threads} lanes={lanes} edge={edge}"
+                );
+                assert_eq!(
+                    (baseline.events, baseline.appeared, baseline.disappeared),
+                    (sharded.events, sharded.appeared, sharded.disappeared),
+                );
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod geometry;
 pub mod mobility;
 pub mod par;
 pub mod radio;
+pub mod region;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -51,6 +52,7 @@ pub mod world;
 pub use event::{EventQueue, TimerToken};
 pub use fault::{BurstState, CrashWindow, FaultPlan, FaultProfile};
 pub use radio::{RadioEnv, Technology, TechnologyProfile};
+pub use region::RegionLanes;
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{ActorId, LabelId, Trace, TraceEvent, TraceStats};

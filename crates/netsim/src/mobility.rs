@@ -40,6 +40,20 @@ use crate::time::SimTime;
 pub trait Mobility: Debug + Send {
     /// The node's position at time `t`.
     fn position(&mut self, t: SimTime) -> Point2;
+
+    /// An upper bound on the node's speed in metres per second, used by the
+    /// region index to bound how far a node can stray from its bucketed
+    /// position between membership rebuilds. Must satisfy
+    /// `position(a).distance(position(b)) <= max_speed_mps() * |b - a|` for
+    /// all `a`, `b`.
+    ///
+    /// The default is `f64::INFINITY`: a model without a bound is correct
+    /// but forfeits region locality — the index re-checks such nodes on
+    /// every query instead of only the ones bucketed nearby. All built-in
+    /// models report a finite bound.
+    fn max_speed_mps(&self) -> f64 {
+        f64::INFINITY
+    }
 }
 
 /// A node that never moves.
@@ -58,6 +72,10 @@ impl Stationary {
 impl Mobility for Stationary {
     fn position(&mut self, _t: SimTime) -> Point2 {
         self.at
+    }
+
+    fn max_speed_mps(&self) -> f64 {
+        0.0
     }
 }
 
@@ -136,6 +154,19 @@ impl Mobility for ScriptedPath {
         let (t1, p1) = wps[idx];
         let frac = (t - t0).as_secs_f64() / (t1 - t0).as_secs_f64();
         p0.lerp(p1, frac)
+    }
+
+    fn max_speed_mps(&self) -> f64 {
+        // The fastest leg bounds the whole path (the node stands still
+        // before the first and after the last waypoint).
+        self.waypoints
+            .windows(2)
+            .map(|pair| {
+                let (t0, p0) = pair[0];
+                let (t1, p1) = pair[1];
+                p0.distance(p1) / (t1 - t0).as_secs_f64()
+            })
+            .fold(0.0, f64::max)
     }
 }
 
@@ -266,6 +297,10 @@ impl Mobility for RandomWaypoint {
             }
         })
     }
+
+    fn max_speed_mps(&self) -> f64 {
+        self.speed_mps.1
+    }
 }
 
 /// A random walk with fixed-duration steps, reflecting off area borders.
@@ -322,6 +357,11 @@ impl Mobility for RandomWalk {
                 to: dest,
             }
         })
+    }
+
+    fn max_speed_mps(&self) -> f64 {
+        // Border clamping only shortens a step, never lengthens it.
+        self.speed_mps
     }
 }
 
@@ -432,6 +472,10 @@ impl Mobility for ManhattanGrid {
             }
         })
     }
+
+    fn max_speed_mps(&self) -> f64 {
+        self.speed_mps
+    }
 }
 
 /// A fixed displacement from a base trajectory.
@@ -455,6 +499,11 @@ impl<M: Mobility> Offset<M> {
 impl<M: Mobility> Mobility for Offset<M> {
     fn position(&mut self, t: SimTime) -> Point2 {
         self.base.position(t) + self.offset
+    }
+
+    fn max_speed_mps(&self) -> f64 {
+        // A rigid displacement preserves distances between any two samples.
+        self.base.max_speed_mps()
     }
 }
 
@@ -714,6 +763,71 @@ mod tests {
                     baseline[s as usize],
                     "{name}: re-query diverged at {s}s"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn max_speed_bounds_observed_displacement() {
+        // The region index trusts `max_speed_mps` to bound how far a node
+        // can drift between bucket snapshots; a model that under-reports
+        // would silently corrupt neighbor queries. Sample each stochastic
+        // model at 1 s granularity and check the advertised bound.
+        let area = Rect::sized(200.0, 200.0);
+        let mut models: Vec<(&str, Box<dyn Mobility>)> = vec![
+            (
+                "waypoint",
+                Box::new(RandomWaypoint::new(
+                    area,
+                    Point2::new(100.0, 100.0),
+                    (0.5, 2.0),
+                    (Duration::ZERO, Duration::from_secs(3)),
+                    SimRng::from_seed(31),
+                )),
+            ),
+            (
+                "walk",
+                Box::new(RandomWalk::new(
+                    area,
+                    Point2::new(100.0, 100.0),
+                    1.2,
+                    Duration::from_secs(2),
+                    SimRng::from_seed(32),
+                )),
+            ),
+            (
+                "manhattan",
+                Box::new(ManhattanGrid::new(
+                    area,
+                    Point2::new(100.0, 100.0),
+                    20.0,
+                    1.5,
+                    SimRng::from_seed(33),
+                )),
+            ),
+            (
+                "offset",
+                Box::new(Offset::new(
+                    ScriptedPath::walk(SimTime::ZERO, Point2::ORIGIN, Point2::new(90.0, 0.0), 3.0),
+                    Vec2::new(0.0, 2.0),
+                )),
+            ),
+            ("stationary", Box::new(Stationary::new(Point2::ORIGIN))),
+        ];
+        for (name, m) in &mut models {
+            let bound = m.max_speed_mps();
+            assert!(bound.is_finite(), "{name}: built-in bound must be finite");
+            let mut prev = m.position(SimTime::ZERO);
+            for s in 1..400u64 {
+                let p = m.position(SimTime::from_secs(s));
+                // Interpolation rounding can overshoot by a few ULPs; the
+                // region index inflates the bound the same way.
+                assert!(
+                    prev.distance(p) <= bound * (1.0 + 1e-6) + 1e-9,
+                    "{name}: moved {} m in 1 s, bound {bound}",
+                    prev.distance(p)
+                );
+                prev = p;
             }
         }
     }

@@ -47,6 +47,18 @@ impl SimRng {
         SimRng::from_seed(mixed)
     }
 
+    /// Stateless lane derivation: the generator for lane `index` under
+    /// `seed`, independent of any parent generator's mutable state.
+    ///
+    /// Unlike [`SimRng::fork`], which advances the parent, `lane` is a pure
+    /// function of `(seed, index)`. Sharded engines use it to give every
+    /// node (or region) its own stream so the draw sequence observed by one
+    /// lane is unaffected by how many other lanes exist or in what order
+    /// they are created.
+    pub fn lane(seed: u64, index: u64) -> SimRng {
+        SimRng::from_seed(seed).fork(index)
+    }
+
     /// Uniform `u64` in `range` (half-open).
     ///
     /// # Panics
@@ -172,6 +184,18 @@ mod tests {
         let mut c1 = parent1.fork(1);
         let mut c2 = parent2.fork(1);
         assert_eq!(c1.range_u64(0..u64::MAX), c2.range_u64(0..u64::MAX));
+    }
+
+    #[test]
+    fn lanes_are_pure_in_seed_and_index() {
+        let mut a = SimRng::lane(2008, 17);
+        let mut b = SimRng::lane(2008, 17);
+        for _ in 0..50 {
+            assert_eq!(a.range_u64(0..u64::MAX), b.range_u64(0..u64::MAX));
+        }
+        let mut c = SimRng::lane(2008, 18);
+        let x = SimRng::lane(2008, 17).range_u64(0..u64::MAX);
+        assert_ne!(x, c.range_u64(0..u64::MAX), "adjacent lanes must differ");
     }
 
     #[test]

@@ -5,17 +5,27 @@
 //! middleware driver needs: *who is in range of whom, over which technology,
 //! at what time, and how long would this frame take to deliver?*
 //!
-//! Range queries are served from a uniform-grid spatial index built lazily
-//! once per distinct query time (an *epoch*): node positions are sampled
-//! from the mobility models once, bucketed into cells the size of the
-//! largest finite radio range, and `neighbors`/`neighbors_any`/`reachable`
-//! then only inspect the cells a technology's range can touch. GPRS is
-//! range-independent, so it is answered from a per-technology membership
-//! list instead of the grid. The pre-index all-pairs implementations are
-//! kept as `*_naive` methods for differential testing.
+//! Since the region-sharded engine, node state lives in structure-of-arrays
+//! columns (one `Vec` per attribute) and range queries are served from a
+//! **region index**: node positions are bucketed into radio-cell regions at a
+//! *snapshot* time, and stay valid for queries at later times because every
+//! [`Mobility`] model advertises a speed bound ([`Mobility::max_speed_mps`])
+//! — a query at time `t` simply widens its search disc by the maximum drift
+//! since the snapshot and then filters candidates by *exact* position. The
+//! exact filter makes answers independent of the snapshot cadence and of the
+//! region edge length, which is what keeps trace digests bit-identical for
+//! any region-grid size.
+//!
+//! Positions are **lazy**: a node's mobility model is only evaluated when a
+//! query actually needs that node (per-node memoized by query time), so idle
+//! nodes cost O(1) memory and no per-timestep work. GPRS is
+//! range-independent and answered from a per-technology membership list
+//! without touching the index at all. The pre-index all-pairs
+//! implementations are kept as `*_naive` methods for differential testing.
 //!
 //! The world itself has no event loop; drivers combine it with an
-//! [`EventQueue`](crate::EventQueue).
+//! [`EventQueue`](crate::EventQueue) or the region-sharded
+//! [`RegionLanes`](crate::region::RegionLanes).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -111,75 +121,11 @@ impl NodeBuilder {
     }
 }
 
-#[derive(Debug)]
-struct WorldNode {
-    name: String,
-    mobility: Box<dyn Mobility>,
-    technologies: Vec<Technology>,
-}
-
-/// Grid cell edge in metres: the largest *finite* technology range (WLAN's
-/// 80 m), so any finite-range disc is covered by a small constant number of
-/// cells.
-const CELL_M: f64 = 80.0;
-
-/// Per-epoch position cache plus uniform-grid bucketing of node positions.
-#[derive(Debug, Default)]
-struct SpatialIndex {
-    /// The time for which `positions`/`cells` are valid; `None` when stale.
-    epoch: Option<SimTime>,
-    /// Cached position of every node at `epoch`, indexed by node index.
-    positions: Vec<Point2>,
-    /// Node indices bucketed by grid cell; each bucket is ascending because
-    /// nodes are inserted in index order.
-    cells: HashMap<(i64, i64), Vec<u32>>,
-    /// Scratch buffer reused across queries to gather candidates.
-    scratch: Vec<u32>,
-}
-
-fn cell_of(p: Point2) -> (i64, i64) {
-    ((p.x / CELL_M).floor() as i64, (p.y / CELL_M).floor() as i64)
-}
-
-impl SpatialIndex {
-    /// Collects (into `self.scratch`) the indices of all nodes in cells that
-    /// a disc of radius `r` around `p` could touch.
-    fn gather(&mut self, p: Point2, r: f64) {
-        self.scratch.clear();
-        let (cx0, cy0) = cell_of(Point2::new(p.x - r, p.y - r));
-        let (cx1, cy1) = cell_of(Point2::new(p.x + r, p.y + r));
-        for cx in cx0..=cx1 {
-            for cy in cy0..=cy1 {
-                if let Some(bucket) = self.cells.get(&(cx, cy)) {
-                    self.scratch.extend_from_slice(bucket);
-                }
-            }
-        }
-        self.scratch.sort_unstable();
-    }
-}
-
-/// The collection of simulated devices and the physics between them.
-#[derive(Debug, Default)]
-pub struct World {
-    nodes: Vec<WorldNode>,
-    /// Node indices carrying each technology, in [`Technology::ALL`] order;
-    /// ascending by construction. Serves infinite-range (GPRS) queries.
-    tech_members: [Vec<u32>; 3],
-    /// Per-node radio bitmask (bit = [`tech_slot`]); lets range queries and
-    /// the lock-free [`EpochView`] test technologies without touching the
-    /// (non-`Sync`) mobility boxes.
-    tech_mask: Vec<u8>,
-    index: SpatialIndex,
-    /// Times covered by [`World::prefetch_epochs`]; column `k` of every
-    /// `prefetch_rows` entry holds the node's position at `prefetch_times[k]`.
-    prefetch_times: Vec<SimTime>,
-    /// Per-node prefetched positions (one row per node, reused between
-    /// prefetch rounds so the steady state allocates nothing).
-    prefetch_rows: Vec<Vec<Point2>>,
-    /// Radio environment: per-technology profiles and the fault plan.
-    env: RadioEnv,
-}
+/// Default region edge in metres: the largest *finite* stock technology
+/// range (WLAN's 80 m), so any finite-range disc is covered by a small
+/// constant number of regions. Configurable per world with
+/// [`World::set_region_edge`]; the edge never affects query answers.
+pub const REGION_EDGE_M: f64 = 80.0;
 
 fn tech_slot(tech: Technology) -> usize {
     match tech {
@@ -191,6 +137,134 @@ fn tech_slot(tech: Technology) -> usize {
 
 fn tech_bit(tech: Technology) -> u8 {
     1 << tech_slot(tech)
+}
+
+/// Radio sets by bitmask (bit = [`tech_slot`]), each in [`Technology::ALL`]
+/// order — lets [`World::technologies`] answer from the one-byte mask
+/// column without storing a `Vec<Technology>` per node.
+const TECH_SETS: [&[Technology]; 8] = [
+    &[],
+    &[Technology::Bluetooth],
+    &[Technology::Wlan],
+    &[Technology::Bluetooth, Technology::Wlan],
+    &[Technology::Gprs],
+    &[Technology::Bluetooth, Technology::Gprs],
+    &[Technology::Wlan, Technology::Gprs],
+    &[Technology::Bluetooth, Technology::Wlan, Technology::Gprs],
+];
+
+/// Region coordinate of `p` under edge length `edge`.
+fn region_of_point(p: Point2, edge: f64) -> (i64, i64) {
+    ((p.x / edge).floor() as i64, (p.y / edge).floor() as i64)
+}
+
+/// Collects into `out` every bucketed node whose *snapshot* region a disc of
+/// radius `r` around `p` could touch, plus all speed-unbounded nodes,
+/// ascending by index. Shared by the serial queries and the parallel
+/// [`RegionView`] so their candidate sets cannot diverge.
+fn gather_regions(
+    buckets: &HashMap<(i64, i64), Vec<u32>>,
+    unbounded: &[u32],
+    edge: f64,
+    p: Point2,
+    r: f64,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    let (cx0, cy0) = region_of_point(Point2::new(p.x - r, p.y - r), edge);
+    let (cx1, cy1) = region_of_point(Point2::new(p.x + r, p.y + r), edge);
+    for cx in cx0..=cx1 {
+        for cy in cy0..=cy1 {
+            if let Some(bucket) = buckets.get(&(cx, cy)) {
+                out.extend_from_slice(bucket);
+            }
+        }
+    }
+    out.extend_from_slice(unbounded);
+    out.sort_unstable();
+}
+
+/// Region bucketing of node positions at a snapshot time, plus the lazy
+/// per-node position cache.
+#[derive(Debug, Default)]
+struct RegionIndex {
+    /// Region edge length in metres.
+    edge: f64,
+    /// The time the buckets were snapshot at; `None` when stale (nodes were
+    /// added or no query has run yet).
+    bucket_t: Option<SimTime>,
+    /// Speed-bounded node indices bucketed by region at `bucket_t`; each
+    /// bucket ascending because nodes are inserted in index order.
+    buckets: HashMap<(i64, i64), Vec<u32>>,
+    /// Every node's home region as of `bucket_t` (event-lane routing key).
+    home: Vec<(i64, i64)>,
+    /// Nodes whose mobility reports an infinite speed bound: never
+    /// bucketed, appended to every candidate gather instead.
+    unbounded: Vec<u32>,
+    /// Max finite [`Mobility::max_speed_mps`] across all nodes — bounds how
+    /// far any bucketed node can drift from its snapshot region.
+    max_speed_bound: f64,
+    /// Lazily sampled position of node `i`, valid iff `pos_t[i]` equals the
+    /// query time ([`SimTime::MAX`] = never sampled).
+    pos: Vec<Point2>,
+    pos_t: Vec<SimTime>,
+    /// Scratch buffer reused across serial queries.
+    scratch: Vec<u32>,
+}
+
+impl RegionIndex {
+    /// How much any bucketed node may have moved since the snapshot, padded
+    /// for interpolation rounding in the mobility models. Queries widen
+    /// their gather disc by this; the exact per-candidate distance filter
+    /// then makes the padding unobservable.
+    fn drift_allowance(&self, t: SimTime) -> f64 {
+        match self.bucket_t {
+            Some(bt) if t >= bt => {
+                self.max_speed_bound * (t - bt).as_secs_f64() * (1.0 + 1e-6) + 1e-6
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// The collection of simulated devices and the physics between them.
+///
+/// Node state is structure-of-arrays: one column per attribute, indexed by
+/// [`NodeId::index`]. A node that nothing queries costs a few pointers of
+/// memory and zero per-timestep work.
+#[derive(Debug)]
+pub struct World {
+    names: Vec<String>,
+    mobility: Vec<Box<dyn Mobility>>,
+    /// Per-node radio bitmask (bit = [`tech_slot`]); lets range queries and
+    /// the lock-free [`RegionView`] test technologies without touching the
+    /// (non-`Sync`) mobility boxes.
+    tech_mask: Vec<u8>,
+    /// Per-node speed bound, captured from the mobility model at insertion.
+    max_speed: Vec<f64>,
+    /// Node indices carrying each technology, in [`Technology::ALL`] order;
+    /// ascending by construction. Serves infinite-range (GPRS) queries.
+    tech_members: [Vec<u32>; 3],
+    index: RegionIndex,
+    /// Radio environment: per-technology profiles and the fault plan.
+    env: RadioEnv,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World {
+            names: Vec::new(),
+            mobility: Vec::new(),
+            tech_mask: Vec::new(),
+            max_speed: Vec::new(),
+            tech_members: [Vec::new(), Vec::new(), Vec::new()],
+            index: RegionIndex {
+                edge: REGION_EDGE_M,
+                ..RegionIndex::default()
+            },
+            env: RadioEnv::default(),
+        }
+    }
 }
 
 impl World {
@@ -213,39 +287,79 @@ impl World {
         &self.env
     }
 
+    /// The configured region edge length in metres.
+    pub fn region_edge(&self) -> f64 {
+        self.index.edge
+    }
+
+    /// Sets the region edge length in metres and invalidates the current
+    /// snapshot. Smaller regions mean finer event-lane routing and cheaper
+    /// gathers in dense worlds; query answers are unaffected (pinned by the
+    /// `region_edge_never_changes_answers` test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is not finite and positive.
+    pub fn set_region_edge(&mut self, edge: f64) {
+        assert!(
+            edge.is_finite() && edge > 0.0,
+            "region edge must be finite and positive, got {edge}"
+        );
+        self.index.edge = edge;
+        self.index.bucket_t = None;
+    }
+
+    /// Pre-sizes every node column for `n` nodes, so bulk insertion does
+    /// not rehash or reallocate per node.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        self.names.reserve(n);
+        self.mobility.reserve(n);
+        self.tech_mask.reserve(n);
+        self.max_speed.reserve(n);
+        self.index.pos.reserve(n);
+        self.index.pos_t.reserve(n);
+        self.index.home.reserve(n);
+    }
+
     /// Adds a node, returning its identifier.
     pub fn add_node(&mut self, builder: NodeBuilder) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
+        let id = NodeId(self.names.len() as u32);
         let mut mask = 0u8;
         for &tech in &builder.technologies {
             self.tech_members[tech_slot(tech)].push(id.0);
             mask |= tech_bit(tech);
         }
+        let speed = builder.mobility.max_speed_mps();
+        if speed.is_finite() {
+            self.index.max_speed_bound = self.index.max_speed_bound.max(speed);
+        } else {
+            self.index.unbounded.push(id.0);
+        }
+        self.names.push(builder.name);
+        self.mobility.push(builder.mobility);
         self.tech_mask.push(mask);
-        self.nodes.push(WorldNode {
-            name: builder.name,
-            mobility: builder.mobility,
-            technologies: builder.technologies,
-        });
-        // Positions cached for the previous population are stale.
-        self.index.epoch = None;
-        self.prefetch_times.clear();
+        self.max_speed.push(speed);
+        self.index.pos.push(Point2::ORIGIN);
+        self.index.pos_t.push(SimTime::MAX);
+        self.index.home.push((0, 0));
+        // The snapshot taken for the previous population is stale.
+        self.index.bucket_t = None;
         id
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.names.len()
     }
 
     /// Whether the world has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.names.is_empty()
     }
 
     /// Iterator over all node identifiers.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.names.len() as u32).map(NodeId)
     }
 
     /// The node's configured name.
@@ -254,12 +368,12 @@ impl World {
     ///
     /// Panics if `id` does not belong to this world.
     pub fn name(&self, id: NodeId) -> &str {
-        &self.nodes[id.index()].name
+        &self.names[id.index()]
     }
 
     /// The technologies the node is equipped with.
     pub fn technologies(&self, id: NodeId) -> &[Technology] {
-        &self.nodes[id.index()].technologies
+        TECH_SETS[self.tech_mask[id.index()] as usize]
     }
 
     /// Whether the node carries a radio for `tech`.
@@ -267,137 +381,141 @@ impl World {
         self.tech_mask[id.index()] & tech_bit(tech) != 0
     }
 
-    /// Samples every node's position at `t` and rebuilds the grid, unless
-    /// the cache is already valid for `t`. This is the "positions computed
-    /// once per time-step" guarantee: any number of range queries at the
-    /// same `t` share one mobility evaluation per node.
-    fn ensure_epoch(&mut self, t: SimTime) {
-        self.prepare_epoch(t, 1);
+    /// The node's home region as of the last snapshot — the event-lane
+    /// routing key for the region-sharded engine. Before any snapshot every
+    /// node homes at `(0, 0)`; the routing only balances work, it never
+    /// affects event order, so a stale home is harmless.
+    pub fn region_of(&self, id: NodeId) -> (i64, i64) {
+        self.index.home[id.index()]
     }
 
-    /// Like the serial epoch build, but fans the mobility sampling — the
-    /// O(N) part — across `threads` scoped workers (0 = auto). Positions
-    /// are pure functions of `(seed, t)` (the [`Mobility`] contract), and
-    /// each model is visited by exactly one worker, so the resulting cache
-    /// is bit-identical to a serial build; the grid bucketing stays serial
-    /// in node-id order. No-op when the cache is already valid for `t`.
-    pub fn prepare_epoch(&mut self, t: SimTime, threads: usize) {
-        if self.index.epoch == Some(t) {
-            return;
+    /// The node's (memoized) position at time `t`.
+    fn sample_pos(&mut self, i: usize, t: SimTime) -> Point2 {
+        if self.index.pos_t[i] == t {
+            return self.index.pos[i];
         }
-        let n = self.nodes.len();
-        self.index.positions.clear();
-        self.index.positions.resize(n, Point2::ORIGIN);
-        if let Some(k) = self.prefetch_times.iter().position(|&pt| pt == t) {
-            // Column `k` was sampled ahead of time by `prefetch_epochs`;
-            // gathering it is O(N) copies, no mobility evaluation at all.
-            for (slot, row) in self.index.positions.iter_mut().zip(&self.prefetch_rows) {
-                *slot = row[k];
-            }
+        // A speed bound of zero means the position cannot change: any prior
+        // sample answers every time. This is what makes parked crowds free.
+        let p = if self.max_speed[i] == 0.0 && self.index.pos_t[i] != SimTime::MAX {
+            self.index.pos[i]
         } else {
-            crate::par::zip_for_each_mut(
-                &mut self.nodes,
-                &mut self.index.positions,
-                threads,
-                |_, node, slot| *slot = node.mobility.position(t),
-            );
+            self.mobility[i].position(t)
+        };
+        self.index.pos[i] = p;
+        self.index.pos_t[i] = t;
+        p
+    }
+
+    /// Samples every node at `t` and rebuckets the world. O(N) bucketing,
+    /// but only O(movers) mobility evaluations: zero-speed nodes reuse any
+    /// prior sample.
+    fn rebucket(&mut self, t: SimTime) {
+        let n = self.names.len();
+        for i in 0..n {
+            self.sample_pos(i, t);
         }
-        for cells in self.index.cells.values_mut() {
-            cells.clear();
+        let idx = &mut self.index;
+        for bucket in idx.buckets.values_mut() {
+            bucket.clear();
         }
-        for (i, p) in self.index.positions.iter().enumerate() {
-            self.index
-                .cells
-                .entry(cell_of(*p))
-                .or_default()
-                .push(i as u32);
+        for i in 0..n {
+            let coord = region_of_point(idx.pos[i], idx.edge);
+            idx.home[i] = coord;
+            // Unbounded nodes are gathered unconditionally, never bucketed.
+            if self.max_speed[i].is_finite() {
+                idx.buckets.entry(coord).or_default().push(i as u32);
+            }
         }
-        self.index.cells.retain(|_, v| !v.is_empty());
-        self.index.epoch = Some(t);
+        idx.buckets.retain(|_, v| !v.is_empty());
+        idx.bucket_t = Some(t);
     }
 
-    /// Samples every node's position at each of `times` in one fork/join
-    /// pass, fanned across `threads` scoped workers (0 = auto). Each worker
-    /// owns a contiguous node range and walks it through *all* the times,
-    /// so one spawn round is amortized over `times.len()` future epochs —
-    /// the piece that makes the parallel engine profitable even though a
-    /// single epoch's sampling is microseconds of work.
-    ///
-    /// [`World::prepare_epoch`] consumes the snapshot columns by simple
-    /// gather. Positions are pure functions of `(seed, t)` (the
-    /// [`Mobility`](crate::mobility::Mobility) contract), so prefetching a
-    /// time that is never queried — or re-sampling one that is — cannot
-    /// change any observable result. Adding a node invalidates the
-    /// prefetched columns.
-    pub fn prefetch_epochs(&mut self, times: &[SimTime], threads: usize) {
-        self.prefetch_rows.resize_with(self.nodes.len(), Vec::new);
-        crate::par::zip_for_each_mut(
-            &mut self.nodes,
-            &mut self.prefetch_rows,
-            threads,
-            |_, node, row| {
-                row.clear();
-                row.extend(times.iter().map(|&pt| node.mobility.position(pt)));
-            },
-        );
-        self.prefetch_times.clear();
-        self.prefetch_times.extend_from_slice(times);
+    /// Makes the region snapshot usable for queries at `t`: rebuckets when
+    /// there is no snapshot, when `t` precedes it, or when accumulated
+    /// drift would inflate gathers beyond one extra region ring.
+    fn ensure_buckets(&mut self, t: SimTime) {
+        let stale = match self.index.bucket_t {
+            None => true,
+            Some(bt) => t < bt || self.index.drift_allowance(t) > self.index.edge,
+        };
+        if stale {
+            self.rebucket(t);
+        }
     }
 
-    /// Whether a prefetched position snapshot for `t` is available (see
-    /// [`World::prefetch_epochs`]).
-    pub fn has_prefetched(&self, t: SimTime) -> bool {
-        self.prefetch_times.contains(&t)
-    }
-
-    /// Whether the prefetch window is behind `t` (no column at or after
-    /// `t`), i.e. a new [`World::prefetch_epochs`] round is due. Callers
-    /// treat a *miss inside* a still-live window (an epoch time that was
-    /// scheduled after the window was sampled) as a cheap serial sample
-    /// instead of discarding the window.
-    pub fn prefetch_exhausted(&self, t: SimTime) -> bool {
-        self.prefetch_times.last().is_none_or(|&last| last < t)
-    }
-
-    /// A read-only, `Sync` view of the epoch cache for time `t`, building
-    /// it first (with `threads` workers) if stale. The view answers
-    /// neighbor queries without touching the mobility models, so many
-    /// queries can run concurrently against one epoch.
-    pub fn epoch_view(&mut self, t: SimTime, threads: usize) -> EpochView<'_> {
-        self.prepare_epoch(t, threads);
-        EpochView {
-            positions: &self.index.positions,
-            cells: &self.index.cells,
+    /// A read-only, `Sync` view over the snapshot and position columns,
+    /// valid for queries at the drift allowance captured in it.
+    fn view(&self, drift: f64) -> RegionView<'_> {
+        RegionView {
+            pos: &self.index.pos,
+            buckets: &self.index.buckets,
+            unbounded: &self.index.unbounded,
             tech_mask: &self.tech_mask,
             tech_members: &self.tech_members,
             env: &self.env,
+            edge: self.index.edge,
+            drift,
         }
     }
 
     /// Computes `neighbors` for every `(seeker, technology)` query at `t`,
-    /// fanning the queries across `threads` scoped workers (0 = auto) and
     /// returning results **in query order** — the deterministic merge the
-    /// epoch engine relies on. Equivalent to mapping [`World::neighbors`]
-    /// serially (both run the same [`EpochView`] code).
+    /// region engine relies on.
+    ///
+    /// Two phases: a serial phase materializes every position the batch can
+    /// read (lazy samples, memoized per node), then the pure candidate
+    /// filter fans out across `threads` scoped workers (0 = auto) over the
+    /// `Sync` columns. Both the serial [`World::neighbors`] and the
+    /// parallel batch run the same [`RegionView`] filter, so their answers
+    /// cannot diverge — pinned by
+    /// `neighbors_batch_matches_serial_for_any_thread_count`.
     pub fn neighbors_batch(
         &mut self,
         queries: &[(NodeId, Technology)],
         t: SimTime,
         threads: usize,
     ) -> Vec<Vec<NodeId>> {
-        let view = self.epoch_view(t, threads);
-        crate::par::map_indexed_with(queries.len(), threads, Vec::new, |scratch, i| {
-            let (id, tech) = queries[i];
+        self.ensure_buckets(t);
+        let drift = self.index.drift_allowance(t);
+        // Phase 1 (serial): sample the union of positions the filter reads.
+        let mut need: Vec<u32> = Vec::new();
+        let mut scratch = std::mem::take(&mut self.index.scratch);
+        for &(id, tech) in queries {
+            if !self.has_technology(id, tech) {
+                continue;
+            }
+            let range = self.env.profile(tech).range_m;
+            if range.is_infinite() {
+                continue; // membership list query: no positions involved
+            }
+            let p = self.sample_pos(id.index(), t);
+            gather_regions(
+                &self.index.buckets,
+                &self.index.unbounded,
+                self.index.edge,
+                p,
+                range + drift,
+                &mut scratch,
+            );
+            need.extend_from_slice(&scratch);
+        }
+        self.index.scratch = scratch;
+        need.sort_unstable();
+        need.dedup();
+        for &i in &need {
+            self.sample_pos(i as usize, t);
+        }
+        // Phase 2 (parallel): pure read-only filter, merged in query order.
+        let view = self.view(drift);
+        crate::par::map_indexed_with(queries.len(), threads, Vec::new, |scratch, qi| {
+            let (id, tech) = queries[qi];
             view.neighbors(id, tech, scratch)
         })
     }
 
     /// The node's position at time `t`.
     pub fn position(&mut self, id: NodeId, t: SimTime) -> Point2 {
-        if self.index.epoch == Some(t) {
-            return self.index.positions[id.index()];
-        }
-        self.nodes[id.index()].mobility.position(t)
+        self.sample_pos(id.index(), t)
     }
 
     /// Euclidean distance between two nodes at time `t`, in metres.
@@ -418,19 +536,14 @@ impl World {
         if !self.has_technology(a, tech) || !self.has_technology(b, tech) {
             return false;
         }
-        let range = self.env.profile(tech).range_m;
-        if range.is_infinite() {
+        let profile = self.env.profile(tech);
+        if profile.range_m.is_infinite() {
             return true;
         }
-        // Pairwise checks reuse the epoch cache when fresh but do not force
-        // an O(N) rebuild for a lone query at a new time; only the batched
-        // neighbor queries rebuild.
-        let d = if self.index.epoch == Some(t) {
-            self.index.positions[a.index()].distance(self.index.positions[b.index()])
-        } else {
-            self.distance(a, b, t)
-        };
-        d <= range
+        // Pairwise checks sample lazily (two memoized positions); they
+        // never force an O(N) snapshot.
+        let d = self.distance(a, b, t);
+        self.env.profile(tech).in_range(d)
     }
 
     /// Reference implementation of [`World::reachable`] bypassing the
@@ -446,11 +559,12 @@ impl World {
         if profile.range_m.is_infinite() {
             return true;
         }
-        let d = self.nodes[a.index()]
-            .mobility
-            .position(t)
-            .distance(self.nodes[b.index()].mobility.position(t));
-        profile.in_range(d)
+        let d = {
+            let pa = self.mobility[a.index()].position(t);
+            let pb = self.mobility[b.index()].position(t);
+            pa.distance(pb)
+        };
+        self.env.profile(tech).in_range(d)
     }
 
     /// All nodes reachable from `id` over `tech` at time `t`, ascending by
@@ -459,9 +573,10 @@ impl World {
         if !self.has_technology(id, tech) {
             return Vec::new();
         }
-        if self.env.profile(tech).range_m.is_infinite() {
+        let range = self.env.profile(tech).range_m;
+        if range.is_infinite() {
             // Range-independent: answered from membership lists without
-            // forcing an O(N) epoch build.
+            // touching the region index.
             return self.tech_members[tech_slot(tech)]
                 .iter()
                 .copied()
@@ -469,8 +584,22 @@ impl World {
                 .map(NodeId)
                 .collect();
         }
+        self.ensure_buckets(t);
+        let drift = self.index.drift_allowance(t);
+        let p = self.sample_pos(id.index(), t);
         let mut scratch = std::mem::take(&mut self.index.scratch);
-        let out = self.epoch_view(t, 1).neighbors(id, tech, &mut scratch);
+        gather_regions(
+            &self.index.buckets,
+            &self.index.unbounded,
+            self.index.edge,
+            p,
+            range + drift,
+            &mut scratch,
+        );
+        for &raw in &scratch {
+            self.sample_pos(raw as usize, t);
+        }
+        let out = self.view(drift).neighbors(id, tech, &mut scratch);
         self.index.scratch = scratch;
         out
     }
@@ -484,23 +613,40 @@ impl World {
             .collect()
     }
 
+    /// The largest finite technology range in this world's environment —
+    /// one gather at this radius covers every finite-range technology.
+    fn max_finite_range(&self) -> f64 {
+        Technology::ALL
+            .into_iter()
+            .map(|tech| self.env.profile(tech).range_m)
+            .filter(|r| r.is_finite())
+            .fold(0.0, f64::max)
+    }
+
     /// All nodes reachable from `id` over *any* shared technology at `t`,
     /// with the cheapest such technology (in [`Technology::ALL`] priority
     /// order) reported for each; ascending by id.
     pub fn neighbors_any(&mut self, id: NodeId, t: SimTime) -> Vec<(NodeId, Technology)> {
-        self.ensure_epoch(t);
-        let p = self.index.positions[id.index()];
-        // One finite-range sweep covers every technology except GPRS: the
-        // grid cell is sized to the largest finite range.
-        self.index.gather(p, CELL_M);
-        let scratch = std::mem::take(&mut self.index.scratch);
+        self.ensure_buckets(t);
+        let drift = self.index.drift_allowance(t);
+        let p = self.sample_pos(id.index(), t);
+        let mut scratch = std::mem::take(&mut self.index.scratch);
+        // One finite-range sweep covers every technology except GPRS.
+        gather_regions(
+            &self.index.buckets,
+            &self.index.unbounded,
+            self.index.edge,
+            p,
+            self.max_finite_range() + drift,
+            &mut scratch,
+        );
         let mut out: Vec<(NodeId, Technology)> = Vec::new();
-        for &i in &scratch {
-            let other = NodeId(i);
+        for &raw in &scratch {
+            let other = NodeId(raw);
             if other == id {
                 continue;
             }
-            let d = p.distance(self.index.positions[i as usize]);
+            let d = p.distance(self.sample_pos(other.index(), t));
             let tech = Technology::ALL.into_iter().find(|&tech| {
                 if !self.has_technology(id, tech) || !self.has_technology(other, tech) {
                     return false;
@@ -564,54 +710,32 @@ impl World {
     }
 }
 
-/// A read-only view of one epoch's position cache and grid.
+/// A read-only view of the region snapshot and position columns.
 ///
-/// Borrowing only `Sync` data (positions, grid cells, radio bitmasks,
-/// membership lists — *not* the mobility boxes), the view can be shared
-/// across the epoch engine's worker threads; [`World::neighbors_batch`]
-/// does exactly that. Both the serial [`World::neighbors`] and the
-/// parallel batch run this one implementation, so their answers cannot
-/// diverge.
+/// Borrowing only `Sync` data (positions, region buckets, radio bitmasks,
+/// membership lists — *not* the mobility boxes), the view is shared across
+/// the batch filter's worker threads. Positions it reads must have been
+/// materialized for the query time by the serial phase.
 #[derive(Debug, Clone, Copy)]
-pub struct EpochView<'a> {
-    positions: &'a [Point2],
-    cells: &'a HashMap<(i64, i64), Vec<u32>>,
+struct RegionView<'a> {
+    pos: &'a [Point2],
+    buckets: &'a HashMap<(i64, i64), Vec<u32>>,
+    unbounded: &'a [u32],
     tech_mask: &'a [u8],
     tech_members: &'a [Vec<u32>; 3],
     env: &'a RadioEnv,
+    edge: f64,
+    drift: f64,
 }
 
-impl EpochView<'_> {
-    /// The cached position of `id` in this epoch.
-    pub fn position(&self, id: NodeId) -> Point2 {
-        self.positions[id.index()]
-    }
-
-    /// Whether the node carries a radio for `tech`.
-    pub fn has_technology(&self, id: NodeId, tech: Technology) -> bool {
+impl RegionView<'_> {
+    fn has_technology(&self, id: NodeId, tech: Technology) -> bool {
         self.tech_mask[id.index()] & tech_bit(tech) != 0
     }
 
-    /// Collects into `scratch` the indices of all nodes in cells that a
-    /// disc of radius `r` around `p` could touch, ascending.
-    fn gather_into(&self, p: Point2, r: f64, scratch: &mut Vec<u32>) {
-        scratch.clear();
-        let (cx0, cy0) = cell_of(Point2::new(p.x - r, p.y - r));
-        let (cx1, cy1) = cell_of(Point2::new(p.x + r, p.y + r));
-        for cx in cx0..=cx1 {
-            for cy in cy0..=cy1 {
-                if let Some(bucket) = self.cells.get(&(cx, cy)) {
-                    scratch.extend_from_slice(bucket);
-                }
-            }
-        }
-        scratch.sort_unstable();
-    }
-
-    /// All nodes reachable from `id` over `tech` in this epoch, ascending
-    /// by id. `scratch` is a caller-owned gather buffer (reused across
-    /// queries — per-worker in the parallel batch).
-    pub fn neighbors(&self, id: NodeId, tech: Technology, scratch: &mut Vec<u32>) -> Vec<NodeId> {
+    /// All nodes reachable from `id` over `tech`, ascending by id.
+    /// `scratch` is a caller-owned gather buffer (per-worker in the batch).
+    fn neighbors(&self, id: NodeId, tech: Technology, scratch: &mut Vec<u32>) -> Vec<NodeId> {
         if !self.has_technology(id, tech) {
             return Vec::new();
         }
@@ -624,15 +748,22 @@ impl EpochView<'_> {
                 .map(NodeId)
                 .collect();
         }
-        let p = self.positions[id.index()];
-        self.gather_into(p, profile.range_m, scratch);
+        let p = self.pos[id.index()];
+        gather_regions(
+            self.buckets,
+            self.unbounded,
+            self.edge,
+            p,
+            profile.range_m + self.drift,
+            scratch,
+        );
         scratch
             .iter()
             .copied()
             .filter(|&i| {
                 i != id.0
                     && self.has_technology(NodeId(i), tech)
-                    && profile.in_range(p.distance(self.positions[i as usize]))
+                    && profile.in_range(p.distance(self.pos[i as usize]))
             })
             .map(NodeId)
             .collect()
@@ -780,7 +911,7 @@ mod tests {
 
     #[test]
     fn grid_matches_naive_on_cell_boundaries() {
-        // Nodes straddling grid-cell borders and negative coordinates.
+        // Nodes straddling region borders and negative coordinates.
         let mut w = World::new();
         let pts = [
             Point2::new(-0.5, 0.0),
@@ -811,32 +942,35 @@ mod tests {
         }
     }
 
+    /// Walkers that fan out of one crowded region across query times,
+    /// exercising drift-widened gathers, snapshot rebuilds, and
+    /// backwards-in-time queries — all must match a fresh world and the
+    /// naive path exactly.
+    fn walker_world() -> World {
+        let mut w = World::new();
+        for i in 0..40 {
+            w.add_node(NodeBuilder::new(format!("n{i}")).moving(ScriptedPath::walk(
+                SimTime::ZERO,
+                Point2::new(i as f64 * 0.5, 0.0),
+                Point2::new(i as f64 * 21.0, i as f64 * 13.0),
+                3.0,
+            )));
+        }
+        w
+    }
+
     #[test]
     fn bucket_reuse_across_epochs_matches_fresh_world() {
         // Audit companion for the `nondeterministic-iteration` lint entries
-        // on `SpatialIndex::cells` (a HashMap): rebuilding an epoch clears
-        // and prunes buckets by *map iteration order*, so this test proves
-        // that order is unobservable — a world whose buckets were already
-        // populated at another epoch answers exactly like a fresh world
-        // that never saw it, for every node and technology.
-        let build = || {
-            let mut w = World::new();
-            for i in 0..40 {
-                // Walkers fan out of one crowded cell, so epochs t1/t2
-                // occupy different bucket sets and pruning actually runs.
-                w.add_node(NodeBuilder::new(format!("n{i}")).moving(ScriptedPath::walk(
-                    SimTime::ZERO,
-                    Point2::new(i as f64 * 0.5, 0.0),
-                    Point2::new(i as f64 * 21.0, i as f64 * 13.0),
-                    3.0,
-                )));
-            }
-            w
-        };
+        // on `RegionIndex::buckets` (a HashMap): rebucketing clears and
+        // prunes buckets by *map iteration order*, so this test proves that
+        // order is unobservable — a world whose buckets were already
+        // populated at another time answers exactly like a fresh world that
+        // never saw it, for every node and technology.
         let (t1, t2) = (SimTime::from_secs(5), SimTime::from_secs(60));
-        let mut reused = build();
-        let mut fresh = build();
-        // Dirty `reused`'s buckets at t2 (and again after t1 queries, going
+        let mut reused = walker_world();
+        let mut fresh = walker_world();
+        // Dirty `reused`'s buckets at t2 (and query t1 afterwards, going
         // backwards in time) before comparing at t1.
         for id in reused.node_ids().collect::<Vec<_>>() {
             reused.neighbors(id, Technology::Bluetooth, t2);
@@ -858,11 +992,69 @@ mod tests {
     }
 
     #[test]
+    fn drifted_queries_match_naive_between_snapshots() {
+        // Query a sequence of times close enough together that the snapshot
+        // is reused (drift allowance < edge): candidates must still be
+        // exact, because the gather disc widens with the drift bound.
+        let mut w = walker_world();
+        let ids: Vec<NodeId> = w.node_ids().collect();
+        for secs in [10u64, 12, 15, 20, 25, 30] {
+            let t = SimTime::from_secs(secs);
+            for &id in &ids {
+                for tech in Technology::ALL {
+                    assert_eq!(
+                        w.neighbors(id, tech, t),
+                        w.neighbors_naive(id, tech, t),
+                        "{id} {tech} at {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_edge_never_changes_answers() {
+        // The tentpole invariant at the World layer: the region grid size
+        // is a performance knob, not a semantics knob.
+        let t = SimTime::from_secs(20);
+        let mut reference = walker_world();
+        let ids: Vec<NodeId> = reference.node_ids().collect();
+        let expected: Vec<Vec<NodeId>> = ids
+            .iter()
+            .map(|&id| reference.neighbors(id, Technology::Wlan, t))
+            .collect();
+        for edge in [5.0, 20.0, 80.0, 250.0, 1000.0] {
+            let mut w = walker_world();
+            w.set_region_edge(edge);
+            assert_eq!(w.region_edge(), edge);
+            for (k, &id) in ids.iter().enumerate() {
+                assert_eq!(
+                    w.neighbors(id, Technology::Wlan, t),
+                    expected[k],
+                    "edge={edge} {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_of_reports_snapshot_home() {
+        let mut w = World::new();
+        let a = w.add_node(NodeBuilder::new("a").at(Point2::new(10.0, 10.0)));
+        let b = w.add_node(NodeBuilder::new("b").at(Point2::new(-10.0, 170.0)));
+        // No snapshot yet: everyone homes at the origin region.
+        assert_eq!(w.region_of(a), (0, 0));
+        w.neighbors(a, Technology::Bluetooth, SimTime::ZERO);
+        assert_eq!(w.region_of(a), (0, 0));
+        assert_eq!(w.region_of(b), (-1, 2));
+    }
+
+    #[test]
     fn position_cache_survives_node_addition() {
         let mut w = World::new();
         let a = w.add_node(NodeBuilder::new("a").at(Point2::ORIGIN));
         assert_eq!(w.neighbors(a, Technology::Bluetooth, SimTime::ZERO), vec![]);
-        // Adding a node must invalidate the cached epoch.
+        // Adding a node must invalidate the snapshot.
         let b = w.add_node(NodeBuilder::new("b").at(Point2::new(1.0, 0.0)));
         assert_eq!(
             w.neighbors(a, Technology::Bluetooth, SimTime::ZERO),
@@ -936,36 +1128,6 @@ mod tests {
     }
 
     #[test]
-    fn prepare_epoch_parallel_positions_identical() {
-        use crate::geometry::Rect;
-        use crate::mobility::RandomWalk;
-        use std::time::Duration;
-
-        let build = || {
-            let mut w = World::new();
-            for i in 0..64 {
-                w.add_node(NodeBuilder::new(format!("n{i}")).moving(RandomWalk::new(
-                    Rect::sized(100.0, 100.0),
-                    Point2::new(50.0, 50.0),
-                    1.0,
-                    Duration::from_secs(2),
-                    SimRng::from_seed(i),
-                )));
-            }
-            w
-        };
-        let t = SimTime::from_secs(41);
-        let mut a = build();
-        a.prepare_epoch(t, 1);
-        let mut b = build();
-        b.prepare_epoch(t, 8);
-        let ids: Vec<NodeId> = a.node_ids().collect();
-        for id in ids {
-            assert_eq!(a.position(id, t), b.position(id, t), "{id}");
-        }
-    }
-
-    #[test]
     fn custom_env_range_is_honored_by_all_query_paths() {
         use crate::radio::BLUETOOTH;
         let mut bt = BLUETOOTH.clone();
@@ -1002,5 +1164,12 @@ mod tests {
             w.neighbors(a, Technology::Bluetooth, SimTime::ZERO).len(),
             1
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_region_edge_is_rejected() {
+        let mut w = World::new();
+        w.set_region_edge(0.0);
     }
 }

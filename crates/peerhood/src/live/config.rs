@@ -173,8 +173,8 @@ impl LiveConfig {
         self
     }
 
-    /// Creates an empty in-process live network (the redesigned
-    /// entry point replacing the deprecated `LiveNet::new`).
+    /// Creates an empty in-process live network (the only construction
+    /// path — build the config first, then the network).
     pub fn network<A: crate::app::Application>(self) -> super::LiveNet<A> {
         super::LiveNet::with_config(self)
     }

@@ -142,15 +142,6 @@ impl<A: Application> LiveNet<A> {
         }
     }
 
-    /// Creates an empty live network with default configuration.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use LiveConfig::default().network() — LiveConfig carries the live driver knobs"
-    )]
-    pub fn new() -> Self {
-        LiveNet::with_config(LiveConfig::default())
-    }
-
     /// Adds a device named `name` listening on an ephemeral loopback port.
     ///
     /// # Errors
@@ -187,16 +178,6 @@ impl<A: Application> LiveNet<A> {
             timers: Vec::new(),
         });
         Ok(id)
-    }
-
-    /// Adds a device named `name` listening on an ephemeral loopback port.
-    ///
-    /// # Errors
-    ///
-    /// Returns any error from binding the listener.
-    #[deprecated(since = "0.6.0", note = "renamed to LiveNet::spawn")]
-    pub fn add_node(&mut self, name: impl Into<String>, app: A) -> io::Result<DeviceId> {
-        self.spawn(name, app)
     }
 
     /// Wall-clock virtual time since construction.
@@ -823,13 +804,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_build_the_same_network() {
-        // One release of grace: the old surface still compiles and routes
-        // through the LiveConfig path.
-        let mut net: LiveNet<Echo> = LiveNet::new();
+    fn default_config_network_builds_and_spawns() {
+        // The LiveConfig builder is the only construction path now that
+        // the 0.6 deprecation shims are gone.
+        let mut net: LiveNet<Echo> = LiveConfig::default().network();
         assert_eq!(net.config(), &LiveConfig::default());
-        let id = net.add_node("legacy", Echo::default()).unwrap();
-        assert_eq!(net.name(id), "legacy");
+        let id = net.spawn("modern", Echo::default()).unwrap();
+        assert_eq!(net.name(id), "modern");
     }
 }

@@ -19,7 +19,7 @@ use codec::Bytes;
 
 use netsim::world::{NodeBuilder, NodeId};
 use netsim::{
-    BurstState, EventQueue, RadioEnv, SimRng, SimTime, Technology, Trace, TraceStats, World,
+    BurstState, RadioEnv, RegionLanes, SimRng, SimTime, Technology, Trace, TraceStats, World,
 };
 
 use crate::api::AppEvent;
@@ -41,13 +41,16 @@ const CTRL_BYTES: usize = 24;
 const LINK_DOWN_DETECT: Duration = Duration::from_millis(400);
 /// How long an unanswered service query takes to give up.
 const SDP_TIMEOUT: Duration = Duration::from_millis(1_000);
-/// Salt xored into the scenario seed to derive the *fault* RNG stream.
-/// Faults draw from their own stream so an inert [`FaultPlan`]
-/// (which draws nothing) leaves the main stream — and therefore the
+/// Salt xored into the scenario seed to derive the *fault* RNG lanes.
+/// Faults draw from their own per-node streams so an inert [`FaultPlan`]
+/// (which draws nothing) leaves the main lanes — and therefore the
 /// digest — bit-identical to a fault-free run.
 ///
 /// [`FaultPlan`]: netsim::FaultPlan
 const FAULT_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Default number of region event lanes (see [`Cluster::set_region_lanes`]).
+const DEFAULT_REGION_LANES: usize = 8;
 
 #[derive(Debug)]
 enum Ev {
@@ -160,6 +163,18 @@ struct NodeRt<A> {
     app: A,
     lib: Library,
     scheduled_wakes: BTreeSet<SimTime>,
+    /// This node's main randomness lane: `SimRng::lane(seed, id)`. Every
+    /// protocol draw a node's activity causes (discovery misses, transfer
+    /// jitter, connect timing) comes from the acting node's own lane, so a
+    /// node's stream depends only on `(seed, id)` and its own activity —
+    /// never on how many other nodes exist or which lane dispatched it.
+    rng: SimRng,
+    /// Dedicated fault-decision lane (see [`FAULT_STREAM_SALT`]): the
+    /// Gilbert channel and refusal draws charged to this node.
+    fault_rng: SimRng,
+    /// Per-technology Gilbert channel state for frames *received* by this
+    /// node.
+    burst: [BurstState; 3],
 }
 
 /// A deterministic simulation of many PeerHood devices and their
@@ -171,17 +186,20 @@ struct NodeRt<A> {
 /// observe application state.
 pub struct Cluster<A> {
     world: World,
-    queue: EventQueue<Ev>,
+    /// Region-sharded event lanes: every event is scheduled on the lane
+    /// owning its target node's home region, and [`RegionLanes`] merges the
+    /// lane heads back into the exact serial `(time, seq)` order. Lane
+    /// assignment is therefore *unobservable* — any lane count and any
+    /// region-to-lane mapping produce a bit-identical run.
+    queue: RegionLanes<Ev>,
     nodes: Vec<NodeRt<A>>,
     links: BTreeMap<LinkId, Link>,
     next_link: u64,
-    rng: SimRng,
+    /// Scenario seed; per-node RNG lanes derive from it statelessly via
+    /// [`SimRng::lane`], so a node's streams never depend on cluster size.
+    seed: u64,
     /// Radio profiles + fault plan shared with the world.
     env: RadioEnv,
-    /// Dedicated stream for fault decisions (see [`FAULT_STREAM_SALT`]).
-    fault_rng: SimRng,
-    /// Gilbert channel state, one per technology.
-    burst: [BurstState; 3],
     /// Nodes whose daemon is inside a crash window: all daemon inputs are
     /// dropped until the matching [`Ev::CrashEnd`].
     down: BTreeSet<NodeId>,
@@ -194,12 +212,28 @@ pub struct Cluster<A> {
     /// while `now == epoch_neighbors_at`.
     epoch_neighbors: BTreeMap<(NodeId, Technology), Vec<NodeId>>,
     epoch_neighbors_at: SimTime,
-    /// Pending daemon wake times across all nodes (time → how many nodes
-    /// wake then). The epoch engine prefetches position snapshots for the
-    /// next few entries so one fork/join round covers many future epochs.
-    wake_times: BTreeMap<SimTime, u32>,
-    /// Reused batch buffer for [`EventQueue::drain_batch`].
+    /// Reused batch buffer for [`RegionLanes::drain_batch`].
     batch_buf: Vec<Ev>,
+}
+
+/// The node an event is addressed to — the event's *owner* for lane
+/// routing. Routing is purely a sharding hint (see [`RegionLanes`]); a
+/// stale home region after a node crosses a boundary only changes which
+/// lane holds the event, never when or in which order it is delivered.
+fn ev_target(ev: &Ev) -> NodeId {
+    match ev {
+        Ev::Start(n) | Ev::DaemonWake(n) | Ev::AppTimer(n, _) => *n,
+        Ev::InquiryFound { seeker, .. } => *seeker,
+        Ev::InquiryDone { node, .. } => *node,
+        Ev::ServiceQueryArrive { to, .. }
+        | Ev::ServiceReplyArrive { to, .. }
+        | Ev::ConnectResultArrive { to, .. }
+        | Ev::FrameArrive { to, .. }
+        | Ev::PeerClosedArrive { to, .. }
+        | Ev::LinkDownArrive { to, .. } => *to,
+        Ev::ConnectSetupDone { target, .. } => *target,
+        Ev::CrashStart(n) | Ev::CrashEnd(n) => *n,
+    }
 }
 
 impl<A: Application> Cluster<A> {
@@ -219,13 +253,11 @@ impl<A: Application> Cluster<A> {
     pub fn with_env(seed: u64, env: RadioEnv) -> Self {
         Cluster {
             world: World::with_env(env.clone()),
-            queue: EventQueue::new(),
+            queue: RegionLanes::new(DEFAULT_REGION_LANES),
             nodes: Vec::new(),
             links: BTreeMap::new(),
             next_link: 0,
-            rng: SimRng::from_seed(seed),
-            fault_rng: SimRng::from_seed(seed ^ FAULT_STREAM_SALT),
-            burst: [BurstState::default(); 3],
+            seed,
             down: BTreeSet::new(),
             env,
             trace: Trace::new(),
@@ -233,9 +265,41 @@ impl<A: Application> Cluster<A> {
             threads: 1,
             epoch_neighbors: BTreeMap::new(),
             epoch_neighbors_at: SimTime::ZERO,
-            wake_times: BTreeMap::new(),
             batch_buf: Vec::new(),
         }
+    }
+
+    /// Reconfigures the number of region event lanes. Lane count is a pure
+    /// sharding knob: [`RegionLanes`] re-interleaves lane heads into exact
+    /// serial order, so any value yields a bit-identical run. Must be
+    /// called before [`Cluster::start`] (the queue must be empty).
+    pub fn set_region_lanes(&mut self, lanes: usize) {
+        assert!(
+            !self.started && self.queue.is_empty(),
+            "set_region_lanes must be called before start()"
+        );
+        self.queue = RegionLanes::new(lanes);
+    }
+
+    /// The configured number of region event lanes.
+    pub fn region_lanes(&self) -> usize {
+        self.queue.lane_count()
+    }
+
+    /// Sets the spatial region edge (metres) used for world sharding and
+    /// lane routing. Pure sharding knob — answers and digests are
+    /// independent of it. Panics unless `edge` is finite and positive.
+    pub fn set_region_edge(&mut self, edge: f64) {
+        self.world.set_region_edge(edge);
+    }
+
+    /// Pre-allocates storage for `n` further nodes across the world's
+    /// structure-of-arrays columns and the cluster's runtime table, so a
+    /// crowd build does one big allocation per column instead of a
+    /// doubling cascade.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        self.world.reserve_nodes(n);
+        self.nodes.reserve(n);
     }
 
     /// The radio environment this cluster runs in.
@@ -283,6 +347,7 @@ impl<A: Application> Cluster<A> {
         );
         let config = configure(DaemonConfig::new(info.clone()));
         self.trace.intern_actor(self.world.name(id));
+        let lane_seed = id.index() as u64;
         self.nodes.push(NodeRt {
             name: self.world.name(id).to_owned(),
             info,
@@ -290,9 +355,13 @@ impl<A: Application> Cluster<A> {
             app,
             lib: Library::new(),
             scheduled_wakes: BTreeSet::new(),
+            rng: SimRng::lane(self.seed, lane_seed),
+            fault_rng: SimRng::lane(self.seed ^ FAULT_STREAM_SALT, lane_seed),
+            burst: [BurstState::default(); 3],
         });
         if self.started {
-            self.queue.schedule(self.queue.now(), Ev::Start(id));
+            let now = self.queue.now();
+            self.schedule_ev(now, Ev::Start(id));
         }
         id
     }
@@ -306,16 +375,33 @@ impl<A: Application> Cluster<A> {
         self.started = true;
         let now = self.queue.now();
         for id in 0..self.nodes.len() {
-            self.queue.schedule(now, Ev::Start(NodeId::from_index(id)));
+            self.schedule_ev(now, Ev::Start(NodeId::from_index(id)));
         }
         let crashes = self.env.faults().crashes().to_vec();
         for cw in crashes {
             let node = NodeId::from_index(cw.node as usize);
             let down = cw.down_from.max(now);
             let up = cw.up_at.max(down);
-            self.queue.schedule(down, Ev::CrashStart(node));
-            self.queue.schedule(up, Ev::CrashEnd(node));
+            self.schedule_ev(down, Ev::CrashStart(node));
+            self.schedule_ev(up, Ev::CrashEnd(node));
         }
+    }
+
+    /// The event lane owning `node`'s home region. Out-of-range ids (crash
+    /// windows can name nodes that were never added) fall back to lane 0 —
+    /// harmless, since lane choice is unobservable.
+    fn home_lane(&self, node: NodeId) -> usize {
+        if node.index() < self.world.len() {
+            self.queue.route(self.world.region_of(node))
+        } else {
+            0
+        }
+    }
+
+    /// Schedules `ev` on the lane owning its target node's region.
+    fn schedule_ev(&mut self, at: SimTime, ev: Ev) {
+        let lane = self.home_lane(ev_target(&ev));
+        self.queue.schedule(lane, at, ev);
     }
 
     /// Current virtual time.
@@ -408,20 +494,23 @@ impl<A: Application> Cluster<A> {
         self.queue.advance_to(deadline);
     }
 
-    /// Parallel phase of one epoch: pre-samples every node position for `t`
-    /// and speculatively answers the neighbor queries that daemons woken in
-    /// this batch will issue from `StartInquiry`. Pure world reads only —
-    /// results are merged in query order, and `StartInquiry` consumes them
-    /// via [`Cluster::take_epoch_neighbors`]. Serial runs (`threads <= 1`)
-    /// skip this entirely and compute everything lazily as before.
+    /// Parallel phase of one timestamp batch: speculatively answers the
+    /// neighbor queries that daemons woken in this batch will issue from
+    /// `StartInquiry`, fanning the region-grid filter across workers. Pure
+    /// world reads only — results are merged in query order, and
+    /// `StartInquiry` consumes them via [`Cluster::take_epoch_neighbors`].
+    /// Serial runs (`threads <= 1`) skip this entirely and compute
+    /// everything lazily; the answers are exact either way (the world's
+    /// drift-margin gather is snapshot-independent), so both paths are
+    /// bit-identical.
     fn prepare_epoch_batch(&mut self, t: SimTime, batch: &[Ev]) {
         if netsim::par::effective_threads(self.threads) <= 1 {
             return;
         }
         // Only wake/start batches run discovery scans (`StartInquiry` →
-        // grid query). Anything else — in-flight frames, inquiry responses —
-        // does pairwise checks only, which never build an epoch; preparing
-        // one here would be O(N) work the serial engine doesn't do.
+        // region query). Anything else — in-flight frames, inquiry
+        // responses — does pairwise checks only, which sample lazily per
+        // node; batching those would be work the serial engine doesn't do.
         let mut queries: Vec<(NodeId, Technology)> = Vec::new();
         for ev in batch {
             if let Ev::Start(node) | Ev::DaemonWake(node) = ev {
@@ -435,28 +524,6 @@ impl<A: Application> Cluster<A> {
         }
         queries.sort_unstable();
         queries.dedup();
-        // A single epoch's sampling is microseconds of work — far less than
-        // a spawn round — so one fork/join pass samples positions for this
-        // batch *and* the next wake times in the queue; the following
-        // epochs then start from a prefetched snapshot. Wakes scheduled
-        // *into* a live window miss it and are sampled serially below; the
-        // window is only re-sampled once it is fully behind the clock.
-        if self.world.prefetch_exhausted(t) {
-            const EPOCH_PREFETCH: usize = 128;
-            let mut times = Vec::with_capacity(EPOCH_PREFETCH);
-            times.push(t);
-            times.extend(
-                self.wake_times
-                    .range((std::ops::Bound::Excluded(t), std::ops::Bound::Unbounded))
-                    .map(|(&at, _)| at)
-                    .take(EPOCH_PREFETCH - 1),
-            );
-            self.world.prefetch_epochs(&times, self.threads);
-        }
-        // Builds the epoch from the snapshot when prefetched (an O(N)
-        // gather); a window miss samples serially — still cheaper than a
-        // spawn round for one epoch.
-        self.world.prepare_epoch(t, 1);
         let results = self.world.neighbors_batch(&queries, t, self.threads);
         self.epoch_neighbors.clear();
         self.epoch_neighbors_at = t;
@@ -535,9 +602,11 @@ impl<A: Application> Cluster<A> {
     // Fault injection
     // ------------------------------------------------------------------
     // All fault decisions happen here, in serial dispatch order, drawing
-    // from `fault_rng` only. `SimRng::chance` consumes nothing for zero
-    // probabilities, so with an inert plan these calls are pure no-ops and
-    // the run digest matches a fault-free run bit-for-bit.
+    // from the charged node's `fault_rng` lane only. `SimRng::chance`
+    // consumes nothing for zero probabilities, so with an inert plan these
+    // calls are pure no-ops and the run digest matches a fault-free run
+    // bit-for-bit. Attribution: frame loss and link kills charge the
+    // *receiver*, connection refusals charge the *initiator*.
 
     fn tech_slot(tech: Technology) -> usize {
         match tech {
@@ -547,22 +616,26 @@ impl<A: Application> Cluster<A> {
         }
     }
 
-    /// Advances the per-technology Gilbert channel and samples one frame.
-    fn frame_lost(&mut self, tech: Technology) -> bool {
+    /// Advances the receiving node's per-technology Gilbert channel and
+    /// samples one frame.
+    fn frame_lost(&mut self, to: NodeId, tech: Technology) -> bool {
         let profile = *self.env.faults().profile(tech);
-        profile.frame_lost(&mut self.burst[Self::tech_slot(tech)], &mut self.fault_rng)
+        let rt = &mut self.nodes[to.index()];
+        profile.frame_lost(&mut rt.burst[Self::tech_slot(tech)], &mut rt.fault_rng)
     }
 
-    /// Samples whether the whole link dies under this frame.
-    fn link_killed(&mut self, tech: Technology) -> bool {
+    /// Samples whether the whole link dies under this frame (charged to the
+    /// receiver's fault lane).
+    fn link_killed(&mut self, to: NodeId, tech: Technology) -> bool {
         let p = self.env.faults().profile(tech).link_kill;
-        self.fault_rng.chance(p)
+        self.nodes[to.index()].fault_rng.chance(p)
     }
 
-    /// Samples whether a connection attempt is refused outright.
-    fn connect_refused(&mut self, tech: Technology) -> bool {
+    /// Samples whether a connection attempt is refused outright (charged to
+    /// the initiator's fault lane).
+    fn connect_refused(&mut self, initiator: NodeId, tech: Technology) -> bool {
         let p = self.env.faults().profile(tech).connect_refuse;
-        self.fault_rng.chance(p)
+        self.nodes[initiator.index()].fault_rng.chance(p)
     }
 
     // ------------------------------------------------------------------
@@ -590,14 +663,7 @@ impl<A: Application> Cluster<A> {
             }
             Ev::DaemonWake(node) => {
                 let now = self.queue.now();
-                if self.nodes[node.index()].scheduled_wakes.remove(&now) {
-                    if let Some(count) = self.wake_times.get_mut(&now) {
-                        *count -= 1;
-                        if *count == 0 {
-                            self.wake_times.remove(&now);
-                        }
-                    }
-                }
+                self.nodes[node.index()].scheduled_wakes.remove(&now);
                 self.feed_daemon(node, DaemonInput::Tick);
             }
             Ev::AppTimer(node, token) => {
@@ -642,7 +708,7 @@ impl<A: Application> Cluster<A> {
                 );
             }
             Ev::ServiceQueryArrive { to, from, tech } => {
-                if self.frame_lost(tech) {
+                if self.frame_lost(to, tech) {
                     self.trace.stats_mut().frames_dropped += 1;
                     return;
                 }
@@ -659,7 +725,7 @@ impl<A: Application> Cluster<A> {
                 tech,
             } => {
                 if let Some(tech) = tech {
-                    if self.frame_lost(tech) {
+                    if self.frame_lost(to, tech) {
                         self.trace.stats_mut().frames_dropped += 1;
                         return;
                     }
@@ -762,11 +828,11 @@ impl<A: Application> Cluster<A> {
                     self.trace.stats_mut().frames_dropped += 1;
                     return;
                 }
-                if self.frame_lost(tech) {
+                if self.frame_lost(to, tech) {
                     self.trace.stats_mut().frames_dropped += 1;
                     return;
                 }
-                if self.link_killed(tech) {
+                if self.link_killed(to, tech) {
                     self.trace.stats_mut().frames_dropped += 1;
                     self.tear_down_link(link);
                     return;
@@ -833,7 +899,7 @@ impl<A: Application> Cluster<A> {
     /// PeerHood requests into the daemon.
     fn after_app_callback(&mut self, node: NodeId, timers: Vec<(SimTime, u64)>) {
         for (at, token) in timers {
-            self.queue.schedule(at, Ev::AppTimer(node, token));
+            self.schedule_ev(at, Ev::AppTimer(node, token));
         }
         let requests = self.nodes[node.index()].lib.drain();
         for req in requests {
@@ -897,7 +963,7 @@ impl<A: Application> Cluster<A> {
             rt.app.on_event(event, &mut ctx);
         }
         for (at, token) in timers {
-            self.queue.schedule(at, Ev::AppTimer(node, token));
+            self.schedule_ev(at, Ev::AppTimer(node, token));
         }
         for req in self.nodes[node.index()].lib.drain() {
             work.push_back((node, DaemonInput::App(req)));
@@ -907,8 +973,7 @@ impl<A: Application> Cluster<A> {
     fn schedule_wake(&mut self, node: NodeId, at: SimTime) {
         let at = at.max(self.queue.now());
         if self.nodes[node.index()].scheduled_wakes.insert(at) {
-            *self.wake_times.entry(at).or_insert(0) += 1;
-            self.queue.schedule(at, Ev::DaemonWake(node));
+            self.schedule_ev(at, Ev::DaemonWake(node));
         }
     }
 
@@ -927,13 +992,18 @@ impl<A: Application> Cluster<A> {
                 let neighbors = self
                     .take_epoch_neighbors(node, technology, now)
                     .unwrap_or_else(|| self.world.neighbors(node, technology, now));
+                // Every event below targets the seeker, so its home lane is
+                // computed once; all draws come from the seeker's own lane.
+                let lane = self.home_lane(node);
                 let profile = self.env.profile(technology);
                 for nb in neighbors {
-                    if profile.discovery_misses(&mut self.rng) {
+                    let rng = &mut self.nodes[node.index()].rng;
+                    if profile.discovery_misses(rng) {
                         continue;
                     }
-                    let offset = profile.response_offset(&mut self.rng);
+                    let offset = profile.response_offset(rng);
                     self.queue.schedule(
+                        lane,
                         now + offset,
                         Ev::InquiryFound {
                             seeker: node,
@@ -943,6 +1013,7 @@ impl<A: Application> Cluster<A> {
                     );
                 }
                 self.queue.schedule(
+                    lane,
                     now + profile.inquiry_duration,
                     Ev::InquiryDone {
                         node,
@@ -957,8 +1028,8 @@ impl<A: Application> Cluster<A> {
                     let delay = self
                         .env
                         .profile(technology)
-                        .transfer_time(SDP_QUERY_BYTES, &mut self.rng);
-                    self.queue.schedule(
+                        .transfer_time(SDP_QUERY_BYTES, &mut self.nodes[node.index()].rng);
+                    self.schedule_ev(
                         now + delay,
                         Ev::ServiceQueryArrive {
                             to: target,
@@ -969,7 +1040,7 @@ impl<A: Application> Cluster<A> {
                 } else {
                     // Unanswerable: deliver an empty reply after a timeout so
                     // pending application requests resolve.
-                    self.queue.schedule(
+                    self.schedule_ev(
                         now + SDP_TIMEOUT,
                         Ev::ServiceReplyArrive {
                             to: node,
@@ -988,8 +1059,11 @@ impl<A: Application> Cluster<A> {
                     .find(|&t| self.world.reachable(node, target, t, now));
                 if let Some(tech) = tech {
                     let bytes = SDP_QUERY_BYTES + SDP_RECORD_BYTES * services.len();
-                    let delay = self.env.profile(tech).transfer_time(bytes, &mut self.rng);
-                    self.queue.schedule(
+                    let delay = self
+                        .env
+                        .profile(tech)
+                        .transfer_time(bytes, &mut self.nodes[node.index()].rng);
+                    self.schedule_ev(
                         now + delay,
                         Ev::ServiceReplyArrive {
                             to: target,
@@ -1012,9 +1086,12 @@ impl<A: Application> Cluster<A> {
                 // The setup delay is drawn from the main stream *before* the
                 // refusal decision, so an inert fault plan leaves the main
                 // stream untouched.
-                let delay = self.env.profile(technology).connect_time(&mut self.rng);
-                if self.connect_refused(technology) {
-                    self.queue.schedule(
+                let delay = self
+                    .env
+                    .profile(technology)
+                    .connect_time(&mut self.nodes[node.index()].rng);
+                if self.connect_refused(node, technology) {
+                    self.schedule_ev(
                         now + delay,
                         Ev::ConnectResultArrive {
                             to: node,
@@ -1023,7 +1100,7 @@ impl<A: Application> Cluster<A> {
                         },
                     );
                 } else if self.world.reachable(node, target, technology, now) {
-                    self.queue.schedule(
+                    self.schedule_ev(
                         now + delay,
                         Ev::ConnectSetupDone {
                             initiator: node,
@@ -1036,7 +1113,7 @@ impl<A: Application> Cluster<A> {
                     );
                 } else {
                     // A failed paging attempt costs about the setup time.
-                    self.queue.schedule(
+                    self.schedule_ev(
                         now + delay,
                         Ev::ConnectResultArrive {
                             to: node,
@@ -1049,11 +1126,12 @@ impl<A: Application> Cluster<A> {
             PluginCommand::AcceptConnection { link } => {
                 if let Some(l) = self.links.get_mut(&link) {
                     if let Some((initiator, attempt)) = l.pending.take() {
+                        let tech = l.tech;
                         let delay = self
                             .env
-                            .profile(l.tech)
-                            .transfer_time(CTRL_BYTES, &mut self.rng);
-                        self.queue.schedule(
+                            .profile(tech)
+                            .transfer_time(CTRL_BYTES, &mut self.nodes[node.index()].rng);
+                        self.schedule_ev(
                             now + delay,
                             Ev::ConnectResultArrive {
                                 to: initiator,
@@ -1070,8 +1148,8 @@ impl<A: Application> Cluster<A> {
                         let delay = self
                             .env
                             .profile(l.tech)
-                            .transfer_time(CTRL_BYTES, &mut self.rng);
-                        self.queue.schedule(
+                            .transfer_time(CTRL_BYTES, &mut self.nodes[node.index()].rng);
+                        self.schedule_ev(
                             now + delay,
                             Ev::ConnectResultArrive {
                                 to: initiator,
@@ -1091,13 +1169,13 @@ impl<A: Application> Cluster<A> {
                 let delay = self
                     .env
                     .profile(tech)
-                    .transfer_time(payload.len(), &mut self.rng);
+                    .transfer_time(payload.len(), &mut self.nodes[node.index()].rng);
                 let at = l.fifo_arrival(peer, now + delay);
                 let stats = self.trace.stats_mut();
                 stats.frames_sent += 1;
                 stats.bytes_sent += payload.len() as u64;
                 if self.world.reachable(a, b, tech, now) {
-                    self.queue.schedule(
+                    self.schedule_ev(
                         at,
                         Ev::FrameArrive {
                             to: peer,
@@ -1135,11 +1213,10 @@ impl<A: Application> Cluster<A> {
                     let delay = self
                         .env
                         .profile(l.tech)
-                        .transfer_time(CTRL_BYTES, &mut self.rng);
+                        .transfer_time(CTRL_BYTES, &mut self.nodes[node.index()].rng);
                     // The orderly close must not overtake in-flight frames.
                     let at = l.fifo_arrival(peer, now + delay);
-                    self.queue
-                        .schedule(at, Ev::PeerClosedArrive { to: peer, link });
+                    self.schedule_ev(at, Ev::PeerClosedArrive { to: peer, link });
                 }
             }
         }
@@ -1150,10 +1227,8 @@ impl<A: Application> Cluster<A> {
     fn tear_down_link(&mut self, link: LinkId) {
         if let Some(l) = self.links.remove(&link) {
             let at = self.queue.now() + LINK_DOWN_DETECT;
-            self.queue
-                .schedule(at, Ev::LinkDownArrive { to: l.a, link });
-            self.queue
-                .schedule(at, Ev::LinkDownArrive { to: l.b, link });
+            self.schedule_ev(at, Ev::LinkDownArrive { to: l.a, link });
+            self.schedule_ev(at, Ev::LinkDownArrive { to: l.b, link });
         }
     }
 

@@ -20,8 +20,8 @@ OPTIONS:
     -h, --help         Print this help
 
 EXIT CODES:
-    0    clean (no findings beyond the lint.allow baseline)
-    1    new findings
+    0    clean (no findings beyond the lint.allow baseline, no stale entries)
+    1    new findings, or stale lint.allow entries that matched nothing
     2    I/O error, lex error, or malformed lint.allow
 
 RULES:
@@ -115,10 +115,10 @@ fn run(args: &[String]) -> Result<ExitCode, FatalError> {
     } else {
         print!("{}", report.render_text());
     }
-    Ok(if report.new_count() == 0 {
-        ExitCode::SUCCESS
-    } else {
+    Ok(if report.is_failure() {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     })
 }
 

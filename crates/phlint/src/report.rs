@@ -39,19 +39,29 @@ impl Report {
         self.allowed.iter().filter(|a| a.is_some()).count()
     }
 
-    /// Baseline entries that covered no finding (candidates for deletion).
+    /// Baseline entries that covered no finding. Stale entries are hard
+    /// errors: a baseline line that matches nothing either outlived its
+    /// code (delete it) or silently mismatches the violation it was meant
+    /// to cover (fix the needle) — both rot the audit trail.
     pub fn stale_entries(&self) -> Vec<usize> {
         (0..self.allowlist.entries.len())
             .filter(|i| !self.allowed.contains(&Some(*i)))
             .collect()
     }
 
+    /// Whether the run should fail CI: new findings or stale baseline
+    /// entries.
+    pub fn is_failure(&self) -> bool {
+        self.new_count() > 0 || !self.stale_entries().is_empty()
+    }
+
     /// The self-explaining CI summary line.
     pub fn summary(&self) -> String {
         format!(
-            "{} findings, {} allowlisted, {} files scanned",
+            "{} findings, {} allowlisted, {} stale allow entries, {} files scanned",
             self.new_count(),
             self.allowlisted_count(),
+            self.stale_entries().len(),
             self.files_scanned
         )
     }
@@ -71,7 +81,7 @@ impl Report {
         for &i in &self.stale_entries() {
             let e = &self.allowlist.entries[i];
             out.push_str(&format!(
-                "warning: stale lint.allow entry at line {} ({} | {} | {}) matched nothing — delete it\n",
+                "error: stale lint.allow entry at line {} ({} | {} | {}) matched nothing — delete it or fix its needle\n",
                 e.line, e.rule, e.path, e.needle
             ));
         }
@@ -186,7 +196,10 @@ mod tests {
     #[test]
     fn summary_counts_split_new_vs_allowlisted() {
         let r = report();
-        assert_eq!(r.summary(), "1 findings, 1 allowlisted, 2 files scanned");
+        assert_eq!(
+            r.summary(),
+            "1 findings, 1 allowlisted, 1 stale allow entries, 2 files scanned"
+        );
         assert_eq!(r.stale_entries().len(), 1);
     }
 
@@ -195,8 +208,39 @@ mod tests {
         let text = report().render_text();
         assert!(text.contains("b.rs:9: wall-clock-in-sim"));
         assert!(!text.contains("a.rs:3")); // allowlisted — not shown
-        assert!(text.contains("stale lint.allow entry"));
-        assert!(text.ends_with("1 findings, 1 allowlisted, 2 files scanned\n"));
+        assert!(text.contains("error: stale lint.allow entry"));
+        assert!(
+            text.ends_with("1 findings, 1 allowlisted, 1 stale allow entries, 2 files scanned\n")
+        );
+    }
+
+    #[test]
+    fn stale_entries_alone_fail_the_run() {
+        let allowlist =
+            Allowlist::parse("wall-clock-in-sim | gone.rs | whatever | outlived its code\n")
+                .unwrap();
+        let r = Report {
+            findings: Vec::new(),
+            allowed: Vec::new(),
+            allowlist,
+            files_scanned: 1,
+        };
+        assert_eq!(r.new_count(), 0);
+        assert!(
+            r.is_failure(),
+            "a stale baseline entry must be a hard error"
+        );
+        assert!(r.render_text().contains("error: stale lint.allow entry"));
+    }
+
+    #[test]
+    fn clean_run_with_fully_used_baseline_passes() {
+        let mut r = report();
+        // Drop the stale entry and the un-allowlisted finding: fully clean.
+        r.allowlist.entries.pop();
+        r.findings.pop();
+        r.allowed.pop();
+        assert!(!r.is_failure());
     }
 
     #[test]
