@@ -63,6 +63,25 @@ grep -m1 -o '"events_per_sec": [0-9.]*' BENCH_scale_100k_serial.tmp.json \
         { if ($2 + 0 < floor) { print "100k events/s " $2 " below floor " floor; exit 1 }
           print "100k events/s " $2 " ok (floor " floor ")" }'
 
+# Parallel speedup gate: on hosts with >= 4 hardware threads the lane-epoch
+# engine must actually scale — 100k events/s under --threads 4 at least
+# 1.5x the serial run (the acceptance target is 2x; the CI floor leaves
+# room for noisy shared runners). Hosts with fewer cores can only verify
+# digest equality, so they skip the ratio and say so.
+cores=$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -n1 )
+if [ "$cores" -ge 4 ]; then
+    es_s=$(grep -m1 -o '"events_per_sec": [0-9.]*' BENCH_scale_100k_serial.tmp.json \
+        | awk -F': ' '{print $2}')
+    es_p=$(grep -m1 -o '"events_per_sec": [0-9.]*' BENCH_scale_100k_threads4.tmp.json \
+        | awk -F': ' '{print $2}')
+    awk -v s="$es_s" -v p="$es_p" 'BEGIN {
+        ratio = p / s
+        if (ratio < 1.5) { printf "100k threads4 speedup %.2fx below 1.5x floor\n", ratio; exit 1 }
+        printf "100k threads4 speedup %.2fx ok (floor 1.5x)\n", ratio }'
+else
+    echo "host has $cores hardware thread(s); skipping the threads4 speedup gate"
+fi
+
 # The 1M-node acceptance run (~80 s wall, ~5 GB RSS) is too heavy for the
 # every-push gate. Set PH_CI_MILLION=1 to re-measure it here; otherwise
 # the committed BENCH_million.json snapshot is merged into BENCH_scale.json

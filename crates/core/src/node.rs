@@ -1456,7 +1456,7 @@ impl Application for CommunityApp {
                 ctx.peerhood().monitor(info.id);
                 self.peers
                     .entry(info.id)
-                    .or_insert_with(|| Peer::new(info.name.clone()));
+                    .or_insert_with(|| Peer::new(info.name.to_string()));
                 ctx.peerhood().request_service_list(info.id);
             }
             AppEvent::ServiceList {

@@ -28,7 +28,7 @@ use netsim::geometry::{Point2, Rect};
 use netsim::mobility::RandomWaypoint;
 use netsim::world::NodeBuilder;
 use netsim::{FaultPlan, FaultProfile, RadioEnv, SimRng, SimTime, Technology, Trace, TraceStats};
-use peerhood::sim::Cluster;
+use peerhood::sim::{Cluster, EpochTiming};
 use peerhood::{AppCtx, AppEvent, Application, RecoveryPolicy};
 
 /// Pedestrian speed range (m/s) for the campus walk.
@@ -333,8 +333,27 @@ pub struct CrowdReport {
     /// Mean µs per `neighbors_any` query through the spatial grid.
     pub grid_query_us: f64,
     /// Mean µs per `neighbors_any` query through the naive all-pairs
-    /// path (0 when the comparison was skipped).
-    pub naive_query_us: f64,
+    /// path; `None` when the comparison was skipped (past
+    /// [`NAIVE_COMPARE_MAX`] or `compare_naive: false`), so a skipped
+    /// measurement is never mistaken for an infinite speedup.
+    pub naive_query_us: Option<f64>,
+    /// Per-phase engine timing (drain / gather / execute / commit) and
+    /// batch routing counters.
+    pub timing: EpochTiming,
+    /// Process peak RSS (`VmHWM`) after the run, bytes; `None` where
+    /// `/proc/self/status` is unavailable.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// The process's high-water resident set (`VmHWM` from
+/// `/proc/self/status`), in bytes. `None` off Linux or in sandboxes that
+/// hide procfs. Note this is a process-lifetime high-water mark: in a
+/// sweep it reflects the largest run so far, not the current one.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 impl CrowdReport {
@@ -351,11 +370,24 @@ impl CrowdReport {
             .field("retries", self.stats.retries)
             .field("timeouts", self.stats.timeouts)
             .field("gave_up", self.stats.gave_up);
-        let speedup = if self.grid_query_us > 0.0 && self.naive_query_us > 0.0 {
-            self.naive_query_us / self.grid_query_us
-        } else {
-            0.0
+        // A skipped naive pass reports null, not 0 (and no speedup): a
+        // bogus `speedup: 0` used to read as "the grid is slower".
+        let (naive_us, speedup) = match self.naive_query_us {
+            Some(us) if self.grid_query_us > 0.0 => {
+                (Json::Num(us), Json::Num(us / self.grid_query_us))
+            }
+            Some(us) => (Json::Num(us), Json::Null),
+            None => (Json::Null, Json::Null),
         };
+        let timing = Json::obj()
+            .field("drain_ms", self.timing.drain.as_secs_f64() * 1e3)
+            .field("gather_ms", self.timing.gather.as_secs_f64() * 1e3)
+            .field("execute_ms", self.timing.execute.as_secs_f64() * 1e3)
+            .field("commit_ms", self.timing.commit.as_secs_f64() * 1e3)
+            .field("par_batches", self.timing.par_batches)
+            .field("par_events", self.timing.par_events)
+            .field("serial_batches", self.timing.serial_batches)
+            .field("serial_events", self.timing.serial_events);
         Json::obj()
             .field("nodes", self.nodes)
             .field("seed", self.seed)
@@ -380,8 +412,14 @@ impl CrowdReport {
                 "neighbor_query",
                 Json::obj()
                     .field("grid_us", self.grid_query_us)
-                    .field("naive_us", self.naive_query_us)
+                    .field("naive_us", naive_us)
                     .field("speedup", speedup),
+            )
+            .field("timing", timing)
+            .field(
+                "peak_rss_bytes",
+                self.peak_rss_bytes
+                    .map_or(Json::Null, |b| Json::Num(b as f64)),
             )
     }
 }
@@ -488,9 +526,11 @@ pub fn run(config: &CrowdConfig) -> Result<CrowdReport, CrowdError> {
     let mut s = build(config)?;
     let deadline = SimTime::ZERO.saturating_add(config.horizon);
 
+    s.cluster.set_collect_timing(true);
     let wall = Instant::now();
     s.cluster.run_until(deadline);
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let timing = *s.cluster.timing();
 
     let stats = *s.cluster.stats();
     let events = stats.events_recorded
@@ -524,7 +564,7 @@ pub fn run(config: &CrowdConfig) -> Result<CrowdReport, CrowdError> {
             .iter()
             .map(|entry| {
                 let idx = entry.info.id.raw() as usize;
-                (entry.info.name.clone(), s.interests[idx].clone())
+                (entry.info.name.to_string(), s.interests[idx].clone())
             })
             .collect();
         let groups = discover_groups(
@@ -567,9 +607,9 @@ pub fn run(config: &CrowdConfig) -> Result<CrowdReport, CrowdError> {
             grid_results, naive_results,
             "spatial grid disagrees with the naive neighbor scan"
         );
-        us
+        Some(us)
     } else {
-        0.0
+        None
     };
 
     Ok(CrowdReport {
@@ -594,6 +634,8 @@ pub fn run(config: &CrowdConfig) -> Result<CrowdReport, CrowdError> {
         grouped_nodes,
         grid_query_us,
         naive_query_us,
+        timing,
+        peak_rss_bytes: peak_rss_bytes(),
     })
 }
 
@@ -620,7 +662,7 @@ pub fn render(reports: &[CrowdReport]) -> String {
     );
     for r in reports {
         out.push_str(&format!(
-            "{:>5} {:>10.1} {:>11} {:>11.0} {:>11.1} {:>8} {:>9.1} {:>10.1}\n",
+            "{:>5} {:>10.1} {:>11} {:>11.0} {:>11.1} {:>8} {:>9.1} {:>10}\n",
             r.nodes,
             r.wall_ms,
             r.events,
@@ -628,7 +670,8 @@ pub fn render(reports: &[CrowdReport]) -> String {
             r.trace_mem_bytes as f64 / 1024.0,
             r.groups_observed,
             r.grid_query_us,
-            r.naive_query_us,
+            r.naive_query_us
+                .map_or_else(|| "      —".to_owned(), |us| format!("{us:>10.1}")),
         ));
     }
     out
@@ -988,6 +1031,102 @@ mod tests {
                     (sharded.events, sharded.appeared, sharded.disappeared),
                 );
             }
+        }
+    }
+
+    /// Tentpole acceptance (differential): the lane-epoch engine — batch
+    /// drain, concurrent node-local execution, canonical outbox commit —
+    /// must match the *pure single-event dispatch loop*
+    /// ([`Cluster::run_until_condition`]) bit-for-bit. This pins both
+    /// engine paths (parallel epochs *and* the serial fallback routing)
+    /// to the dispatch semantics for every worker count and lane count,
+    /// including under a live lossy fault plan.
+    /// One differential case: node count, horizon seconds, fault profile
+    /// name, thread counts to sweep, lane counts to sweep.
+    type EpochCase = (usize, u64, &'static str, &'static [usize], &'static [usize]);
+
+    #[test]
+    fn epoch_engine_matches_pure_dispatch_reference() {
+        let cases: &[EpochCase] = &[
+            (1000, 3, "none", &[1, 2, 4, 8], &[1, 7, 32]),
+            (1000, 3, "lossy", &[1, 2, 4, 8], &[1, 7, 32]),
+            (10_000, 2, "none", &[4], &[1, 32]),
+            // Regression: lossy retries at this scale schedule inquiries
+            // out of node order, which exposed a commit merge that
+            // assumed node-grouped worker spans were batch-ordered.
+            (3000, 6, "lossy", &[4], &[8]),
+        ];
+        for &(nodes, secs, faults, threads_set, lanes_set) in cases {
+            let base = CrowdConfig {
+                nodes,
+                horizon: Duration::from_secs(secs),
+                compare_naive: false,
+                faults: fault_profile(faults).expect("named profile"),
+                ..CrowdConfig::default()
+            };
+            let deadline = SimTime::ZERO.saturating_add(base.horizon);
+            let mut reference = build(&base).expect("valid config");
+            reference.cluster.run_until_condition(deadline, |_| false);
+            let ref_digest = reference.cluster.trace().digest();
+            let ref_stats = *reference.cluster.stats();
+            if faults == "lossy" {
+                assert!(
+                    ref_stats.frames_dropped > 0,
+                    "the lossy plan must actually lose frames: {ref_stats:?}"
+                );
+            }
+            for &threads in threads_set {
+                for &lanes in lanes_set {
+                    let par = run(&CrowdConfig {
+                        threads,
+                        region_lanes: lanes,
+                        ..base.clone()
+                    })
+                    .expect("valid config");
+                    assert_eq!(
+                        format!("{ref_digest:016x}"),
+                        format!("{:016x}", par.digest),
+                        "epoch engine diverged from pure dispatch: nodes={nodes} \
+                         faults={faults} threads={threads} lanes={lanes}"
+                    );
+                    assert_eq!(
+                        ref_stats, par.stats,
+                        "nodes={nodes} faults={faults} threads={threads} lanes={lanes}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// 100k leg of the differential matrix — minutes in a debug build, so
+    /// `#[ignore]`d; `ci.sh` gates the release-build equivalent on every
+    /// run via `repro crowd`.
+    #[test]
+    #[ignore = "release-scale: run with --ignored (ci.sh gates the release build)"]
+    fn epoch_engine_matches_pure_dispatch_at_100k() {
+        let base = CrowdConfig {
+            nodes: 100_000,
+            horizon: Duration::from_secs(2),
+            compare_naive: false,
+            ..CrowdConfig::default()
+        };
+        let deadline = SimTime::ZERO.saturating_add(base.horizon);
+        let mut reference = build(&base).expect("valid config");
+        reference.cluster.run_until_condition(deadline, |_| false);
+        let ref_digest = reference.cluster.trace().digest();
+        let ref_stats = *reference.cluster.stats();
+        for threads in [2usize, 4] {
+            let par = run(&CrowdConfig {
+                threads,
+                ..base.clone()
+            })
+            .expect("valid config");
+            assert_eq!(
+                format!("{ref_digest:016x}"),
+                format!("{:016x}", par.digest),
+                "threads={threads}"
+            );
+            assert_eq!(ref_stats, par.stats, "threads={threads}");
         }
     }
 

@@ -51,10 +51,10 @@ pub mod world;
 
 pub use event::{EventQueue, TimerToken};
 pub use fault::{BurstState, CrashWindow, FaultPlan, FaultProfile};
-pub use radio::{RadioEnv, Technology, TechnologyProfile};
+pub use radio::{RadioEnv, TechSet, Technology, TechnologyProfile};
 pub use region::RegionLanes;
 pub use rng::SimRng;
 pub use time::SimTime;
 pub use trace::{ActorId, LabelId, Trace, TraceEvent, TraceStats};
 pub use wheel::TimerWheel;
-pub use world::{NodeBuilder, NodeId, World};
+pub use world::{EpochView, NodeBuilder, NodeId, World};

@@ -198,6 +198,93 @@ where
     out
 }
 
+/// Splits `items` into contiguous chunks at the given `bounds` (ascending,
+/// starting at 0 and ending at `items.len()`) and runs
+/// `f(chunk_index, base_offset, chunk)` on one scoped worker per chunk,
+/// returning the per-chunk results **in chunk order** (spawn-order join).
+///
+/// This is the outbox-carrying worker variant used by the parallel
+/// lane-epoch engine: each chunk is a disjoint `&mut` range of per-node
+/// state, `f` executes that range's events locally and returns the chunk's
+/// outbox (buffered cross-lane effects), and the caller commits the merged
+/// outboxes serially in canonical order. A single chunk short-circuits to a
+/// plain call, so the serial and parallel engines share one body.
+///
+/// # Panics
+///
+/// Panics if `bounds` is not an ascending partition of `items`.
+pub fn map_chunks_mut<T, R, F>(items: &mut [T], bounds: &[usize], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, usize, &mut [T]) -> R + Sync,
+{
+    let payloads = vec![(); bounds.len().saturating_sub(1)];
+    map_chunks_mut_with(items, bounds, payloads, |ci, base, chunk, ()| {
+        f(ci, base, chunk)
+    })
+}
+
+/// Like [`map_chunks_mut`], but additionally moves one owned payload into
+/// each worker (`payloads[i]` goes to chunk `i`). The lane-epoch engine uses
+/// this to hand each worker its share of the drained event batch *by value*
+/// alongside the `&mut` node range the events target.
+///
+/// # Panics
+///
+/// Panics if `bounds` is not an ascending partition of `items` or
+/// `payloads.len() != bounds.len() - 1`.
+pub fn map_chunks_mut_with<T, P, R, F>(
+    items: &mut [T],
+    bounds: &[usize],
+    payloads: Vec<P>,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    P: Send,
+    R: Send,
+    F: Fn(usize, usize, &mut [T], P) -> R + Sync,
+{
+    assert!(
+        bounds.len() >= 2
+            && bounds[0] == 0
+            && *bounds.last().unwrap() == items.len()
+            && bounds.windows(2).all(|w| w[0] <= w[1]),
+        "map_chunks_mut: bounds must ascend from 0 to items.len()"
+    );
+    let chunks = bounds.len() - 1;
+    assert_eq!(
+        payloads.len(),
+        chunks,
+        "map_chunks_mut_with: one payload per chunk"
+    );
+    let mut payloads = payloads;
+    if chunks == 1 {
+        let p = payloads.pop().expect("one payload");
+        return vec![f(0, 0, items, p)];
+    }
+    let mut out = Vec::with_capacity(chunks);
+    thread::scope(|s| {
+        let mut rest = items;
+        let handles: Vec<_> = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(ci, payload)| {
+                let (chunk, tail) =
+                    std::mem::take(&mut rest).split_at_mut(bounds[ci + 1] - bounds[ci]);
+                rest = tail;
+                let f = &f;
+                s.spawn(move || f(ci, bounds[ci], chunk, payload))
+            })
+            .collect();
+        for handle in handles {
+            out.push(handle.join().expect("epoch worker panicked"));
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +341,60 @@ mod tests {
         let mut a = [1u8; 3];
         let mut b = [1u8; 4];
         zip_for_each_mut(&mut a, &mut b, 2, |_, _, _| {});
+    }
+
+    #[test]
+    fn map_chunks_mut_partitions_disjointly_in_order() {
+        let mut items: Vec<u64> = (0..100).collect();
+        let bounds = [0usize, 17, 17, 60, 100];
+        let got = map_chunks_mut(&mut items, &bounds, |ci, base, chunk| {
+            for (j, item) in chunk.iter_mut().enumerate() {
+                assert_eq!(*item, (base + j) as u64, "chunk {ci} sees its own range");
+                *item += 1000;
+            }
+            (ci, base, chunk.len())
+        });
+        assert_eq!(got, vec![(0, 0, 17), (1, 17, 0), (2, 17, 43), (3, 60, 40)]);
+        assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 + 1000));
+        // Single chunk runs inline and still reports its result.
+        let whole = map_chunks_mut(&mut items, &[0, 100], |ci, base, chunk| {
+            (ci, base, chunk.len())
+        });
+        assert_eq!(whole, vec![(0, 0, 100)]);
+    }
+
+    #[test]
+    fn map_chunks_mut_with_moves_one_payload_per_chunk() {
+        let mut items: Vec<u64> = (0..10).collect();
+        let bounds = [0usize, 4, 10];
+        // Payloads are owned (non-Copy) and consumed by their worker.
+        let payloads = vec![vec![1u64], vec![2, 3]];
+        let got = map_chunks_mut_with(&mut items, &bounds, payloads, |ci, base, chunk, p| {
+            (ci, base, chunk.len(), p.iter().sum::<u64>())
+        });
+        assert_eq!(got, vec![(0, 0, 4, 1), (1, 4, 6, 5)]);
+        // Single chunk runs inline.
+        let got = map_chunks_mut_with(
+            &mut items,
+            &[0, 10],
+            vec![String::from("x")],
+            |_, _, c, p| (c.len(), p),
+        );
+        assert_eq!(got, vec![(10, String::from("x"))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one payload per chunk")]
+    fn map_chunks_mut_with_rejects_payload_mismatch() {
+        let mut items = [1u8; 4];
+        map_chunks_mut_with(&mut items, &[0, 2, 4], vec![()], |_, _, _, ()| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must ascend")]
+    fn map_chunks_mut_rejects_bad_bounds() {
+        let mut items = [1u8; 4];
+        map_chunks_mut(&mut items, &[0, 3], |_, _, _| ());
     }
 
     #[test]

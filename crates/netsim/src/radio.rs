@@ -56,6 +56,91 @@ impl fmt::Display for Technology {
     }
 }
 
+/// An inline set of [`Technology`] values — one bit per radio.
+///
+/// Device descriptions carry their radio equipment everywhere (discovery
+/// events, neighbor tables, daemon configs). A `Vec<Technology>` there costs
+/// a heap allocation per copy, which at crowd scale is millions of 32-byte
+/// allocations holding three one-byte values; this one-byte bitmask is the
+/// same set with no allocation. Iteration is always in [`Technology::ALL`]
+/// (= `Ord`) order, so it is drop-in deterministic wherever a sorted,
+/// deduplicated `Vec<Technology>` was used before.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash)]
+pub struct TechSet(u8);
+
+impl TechSet {
+    /// The empty set.
+    pub const EMPTY: TechSet = TechSet(0);
+
+    fn bit(tech: Technology) -> u8 {
+        match tech {
+            Technology::Bluetooth => 1,
+            Technology::Wlan => 2,
+            Technology::Gprs => 4,
+        }
+    }
+
+    /// Adds `tech` to the set.
+    pub fn insert(&mut self, tech: Technology) {
+        self.0 |= Self::bit(tech);
+    }
+
+    /// Removes `tech` from the set.
+    pub fn remove(&mut self, tech: Technology) {
+        self.0 &= !Self::bit(tech);
+    }
+
+    /// Whether `tech` is in the set.
+    pub fn contains(self, tech: Technology) -> bool {
+        self.0 & Self::bit(tech) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of technologies in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Members in [`Technology::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = Technology> {
+        Technology::ALL
+            .into_iter()
+            .filter(move |&tech| self.contains(tech))
+    }
+}
+
+impl FromIterator<Technology> for TechSet {
+    fn from_iter<I: IntoIterator<Item = Technology>>(iter: I) -> Self {
+        let mut set = TechSet::EMPTY;
+        for tech in iter {
+            set.insert(tech);
+        }
+        set
+    }
+}
+
+impl IntoIterator for TechSet {
+    type Item = Technology;
+    type IntoIter =
+        std::iter::Filter<std::array::IntoIter<Technology, 3>, Box<dyn FnMut(&Technology) -> bool>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Technology::ALL
+            .into_iter()
+            .filter(Box::new(move |&tech| self.contains(tech)))
+    }
+}
+
+impl fmt::Debug for TechSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
 /// Timing and capacity parameters of one wireless technology.
 ///
 /// A profile is plain data: experiments may clone and tweak it (e.g. the
@@ -71,6 +156,15 @@ pub struct TechnologyProfile {
     /// Devices answer a discovery round uniformly within this window from
     /// its start.
     pub response_window: Duration,
+    /// Granularity of the listen grid inside the response window: a response
+    /// sampled anywhere in a slot is reported at the *end* of that slot,
+    /// because the seeker only observes answers when its scan window opens
+    /// (Bluetooth inquiry scan recurs every 1.28 s with an 11.25 ms window;
+    /// WLAN ad-hoc nodes align to the 102.4 ms beacon interval; GPRS proxy
+    /// lookups poll on a coarse timer). `Duration::ZERO` disables
+    /// quantization. Slot alignment also lets the epoch engine batch
+    /// co-slotted responses into one parallel timestamp batch.
+    pub response_slot: Duration,
     /// Probability that an in-range device is missed by one discovery round
     /// (Bluetooth inquiry is probabilistic; IP broadcast effectively is not).
     pub discovery_miss_prob: f64,
@@ -94,6 +188,8 @@ pub static BLUETOOTH: TechnologyProfile = TechnologyProfile {
     // The standard inquiry length of the era: 4 × 2.56 s trains.
     inquiry_duration: Duration::from_millis(10_240),
     response_window: Duration::from_millis(10_240),
+    // Inquiry-scan window of the 1.x spec: 11.25 ms every 1.28 s.
+    response_slot: Duration::from_micros(11_250),
     discovery_miss_prob: 0.05,
     connect_setup: Duration::from_millis(950),
     connect_jitter: Duration::from_millis(350),
@@ -108,6 +204,8 @@ pub static WLAN: TechnologyProfile = TechnologyProfile {
     range_m: 80.0,
     inquiry_duration: Duration::from_millis(2_200),
     response_window: Duration::from_millis(2_000),
+    // 100 TU beacon interval of 802.11 ad-hoc mode.
+    response_slot: Duration::from_micros(102_400),
     discovery_miss_prob: 0.01,
     connect_setup: Duration::from_millis(180),
     connect_jitter: Duration::from_millis(60),
@@ -121,6 +219,8 @@ pub static GPRS: TechnologyProfile = TechnologyProfile {
     range_m: f64::INFINITY,
     inquiry_duration: Duration::from_millis(2_500),
     response_window: Duration::from_millis(2_000),
+    // Operator-proxy lookups answer on a 250 ms poll tick.
+    response_slot: Duration::from_millis(250),
     discovery_miss_prob: 0.0,
     connect_setup: Duration::from_millis(1_400),
     connect_jitter: Duration::from_millis(500),
@@ -220,6 +320,7 @@ impl Wire for TechnologyProfile {
         self.range_m.encode_to(out);
         self.inquiry_duration.encode_to(out);
         self.response_window.encode_to(out);
+        self.response_slot.encode_to(out);
         self.discovery_miss_prob.encode_to(out);
         self.connect_setup.encode_to(out);
         self.connect_jitter.encode_to(out);
@@ -233,6 +334,7 @@ impl Wire for TechnologyProfile {
             range_m: f64::decode(input)?,
             inquiry_duration: std::time::Duration::decode(input)?,
             response_window: std::time::Duration::decode(input)?,
+            response_slot: std::time::Duration::decode(input)?,
             discovery_miss_prob: f64::decode(input)?,
             connect_setup: std::time::Duration::decode(input)?,
             connect_jitter: std::time::Duration::decode(input)?,
@@ -258,9 +360,17 @@ impl TechnologyProfile {
     }
 
     /// Samples the offset within a discovery round at which a responding
-    /// device is found.
+    /// device is found: uniform within the response window, then rounded
+    /// *up* to the seeker's next listen-slot boundary (see
+    /// [`TechnologyProfile::response_slot`]) and clamped to the window.
     pub fn response_offset(&self, rng: &mut SimRng) -> Duration {
-        rng.duration_up_to(self.response_window)
+        let raw = rng.duration_up_to(self.response_window);
+        let slot = self.response_slot.as_nanos();
+        if slot == 0 {
+            return raw;
+        }
+        let quantized = raw.as_nanos().div_ceil(slot) * slot;
+        Duration::from_nanos(quantized.min(self.response_window.as_nanos()) as u64)
     }
 
     /// Whether a single discovery round misses an in-range device.
@@ -346,6 +456,43 @@ mod tests {
             let off = BLUETOOTH.response_offset(&mut rng);
             assert!(off <= BLUETOOTH.response_window);
         }
+    }
+
+    #[test]
+    fn response_offset_lands_on_listen_slots() {
+        let mut rng = SimRng::from_seed(5);
+        for tech in Technology::ALL {
+            let p = RadioEnv::default().profile(tech).clone();
+            let slot = p.response_slot.as_nanos();
+            assert!(slot > 0, "{tech}: default profiles define a listen slot");
+            for _ in 0..200 {
+                let off = p.response_offset(&mut rng);
+                assert!(off <= p.response_window, "{tech}: {off:?}");
+                let on_grid = off.as_nanos() % slot == 0;
+                assert!(
+                    on_grid || off == p.response_window,
+                    "{tech}: {off:?} not on the {slot} ns grid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_slot_disables_quantization() {
+        let mut cont = BLUETOOTH.clone();
+        cont.response_slot = Duration::ZERO;
+        let mut rng = SimRng::from_seed(6);
+        let mut off_grid = 0;
+        for _ in 0..100 {
+            let off = cont.response_offset(&mut rng);
+            if !off
+                .as_nanos()
+                .is_multiple_of(BLUETOOTH.response_slot.as_nanos())
+            {
+                off_grid += 1;
+            }
+        }
+        assert!(off_grid > 90, "unquantized draws should miss the grid");
     }
 
     #[test]

@@ -421,6 +421,72 @@ mod tests {
         assert_eq!(q.len(), 1);
     }
 
+    /// Lookahead-safety property: a drained batch is a *closed set*.
+    /// Whatever a handler schedules while the batch executes — even at the
+    /// very timestamp being drained — lands in a strictly later batch, so
+    /// an epoch worker can never observe an event spawned by a
+    /// concurrently-executing lane of its own window. The batched stream
+    /// must still equal the serial single-pop stream with identical
+    /// feedback.
+    #[test]
+    fn drained_batches_never_admit_feedback_from_their_own_window() {
+        // Deterministic feedback: every third event spawns a child, half of
+        // them at the *same* timestamp the parent was delivered at.
+        let child_delay = |id: u32| id.is_multiple_of(3).then(|| u64::from(id % 2) * 250);
+        for lane_count in [1usize, 3, 8, 32] {
+            let mut rng = SimRng::from_seed(9000 + lane_count as u64);
+            let mut sharded = RegionLanes::new(lane_count);
+            let mut serial = EventQueue::new();
+            for id in 0..300u32 {
+                let at = SimTime::from_micros(rng.range_u64(0..15) * 250);
+                let lane = rng.range_u64(0..lane_count as u64) as usize;
+                sharded.schedule(lane, at, id);
+                serial.schedule(at, id);
+            }
+            let deadline = SimTime::from_secs(60);
+            let mut batch = Vec::new();
+            let mut batch_order = Vec::new();
+            let mut born_in_batch = std::collections::HashMap::new();
+            let mut spawn_id = 10_000u32;
+            let mut batch_idx = 0usize;
+            let mut last_t = SimTime::ZERO;
+            while let Some(t) = sharded.drain_batch(deadline, &mut batch) {
+                assert!(
+                    t >= last_t,
+                    "batch time went backwards (lanes={lane_count})"
+                );
+                last_t = t;
+                for &id in &batch {
+                    if let Some(&born) = born_in_batch.get(&id) {
+                        assert!(
+                            born < batch_idx,
+                            "event {id} delivered inside the window that spawned it \
+                             (lanes={lane_count}, batch={batch_idx})"
+                        );
+                    }
+                    batch_order.push((t, id));
+                    if let Some(d) = child_delay(id) {
+                        let lane = (id as usize).wrapping_mul(31) % lane_count;
+                        sharded.schedule(lane, t + Duration::from_micros(d), spawn_id);
+                        born_in_batch.insert(spawn_id, batch_idx);
+                        spawn_id += 1;
+                    }
+                }
+                batch_idx += 1;
+            }
+            let mut serial_order = Vec::new();
+            let mut spawn_id = 10_000u32;
+            while let Some((t, id)) = serial.pop() {
+                serial_order.push((t, id));
+                if let Some(d) = child_delay(id) {
+                    serial.schedule(t + Duration::from_micros(d), spawn_id);
+                    spawn_id += 1;
+                }
+            }
+            assert_eq!(batch_order, serial_order, "lanes={lane_count}");
+        }
+    }
+
     #[test]
     fn mixed_pop_and_drain_batch_agree_with_serial() {
         let mut serial = EventQueue::new();

@@ -183,6 +183,36 @@ pub struct TraceStats {
 }
 
 impl TraceStats {
+    /// Adds another stats block counter-wise. Every field is a monotone sum,
+    /// so folding per-worker deltas in *any* order reproduces the serial
+    /// totals exactly — the property the parallel epoch engine's outbox
+    /// commit relies on. Callers merging worker deltas must leave
+    /// `events_recorded`/`events_dropped`/`messages`/`local_events` at zero
+    /// in the delta: those four are owned by the trace-record replay.
+    pub fn add(&mut self, d: &TraceStats) {
+        self.events_recorded += d.events_recorded;
+        self.events_dropped += d.events_dropped;
+        self.messages += d.messages;
+        self.local_events += d.local_events;
+        self.frames_sent += d.frames_sent;
+        self.frames_delivered += d.frames_delivered;
+        self.frames_dropped += d.frames_dropped;
+        self.bytes_sent += d.bytes_sent;
+        self.bytes_delivered += d.bytes_delivered;
+        self.inquiries += d.inquiries;
+        self.inquiry_responses += d.inquiry_responses;
+        self.connects_attempted += d.connects_attempted;
+        self.connects_ok += d.connects_ok;
+        self.connects_failed += d.connects_failed;
+        self.handovers += d.handovers;
+        self.service_queries += d.service_queries;
+        self.connects_lost_setup += d.connects_lost_setup;
+        self.retries += d.retries;
+        self.timeouts += d.timeouts;
+        self.gave_up += d.gave_up;
+        self.resumed += d.resumed;
+    }
+
     /// Folds every counter into a deterministic FNV-1a digest, used by the
     /// determinism tests alongside [`Trace::digest`].
     pub fn digest(&self) -> u64 {
@@ -305,6 +335,10 @@ impl StrPool {
         &self.strings[id as usize]
     }
 
+    fn lookup(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
     /// Heap bytes held by the pool (string payloads; map overhead estimated
     /// as one extra copy of the payload plus a fixed per-entry cost).
     fn approx_mem_bytes(&self) -> usize {
@@ -413,6 +447,18 @@ impl Trace {
     /// Interns a message label, returning a stable handle.
     pub fn intern_label(&mut self, label: &str) -> LabelId {
         LabelId(self.pool.intern(label))
+    }
+
+    /// Looks up an actor handle *without* interning: the read-only fast path
+    /// for concurrent workers that buffer records against a frozen pool and
+    /// fall back to owned strings on a miss.
+    pub fn lookup_actor(&self, name: &str) -> Option<ActorId> {
+        self.pool.lookup(name).map(ActorId)
+    }
+
+    /// Looks up a label handle without interning (see [`Trace::lookup_actor`]).
+    pub fn lookup_label(&self, label: &str) -> Option<LabelId> {
+        self.pool.lookup(label).map(LabelId)
     }
 
     /// The string behind an actor handle.
@@ -812,6 +858,43 @@ mod tests {
         b.record(SimTime::from_secs(1), "alice", "bob", "PING");
         assert_eq!(a, b);
         assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn lookup_is_read_only() {
+        let mut t = Trace::new();
+        let a = t.intern_actor("alice");
+        let l = t.intern_label("PING");
+        assert_eq!(t.lookup_actor("alice"), Some(a));
+        assert_eq!(t.lookup_label("PING"), Some(l));
+        assert_eq!(t.lookup_actor("bob"), None);
+        assert_eq!(t.lookup_label("PONG"), None);
+        // A miss must not have interned anything.
+        assert_eq!(t.lookup_actor("bob"), None);
+    }
+
+    #[test]
+    fn stats_add_is_field_wise_and_commutative() {
+        let mut a = TraceStats {
+            frames_sent: 3,
+            inquiries: 1,
+            retries: 2,
+            ..TraceStats::default()
+        };
+        let b = TraceStats {
+            frames_sent: 4,
+            handovers: 5,
+            resumed: 1,
+            ..TraceStats::default()
+        };
+        let mut ba = b;
+        ba.add(&a);
+        a.add(&b);
+        assert_eq!(a, ba);
+        assert_eq!(a.frames_sent, 7);
+        assert_eq!(a.handovers, 5);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.resumed, 1);
     }
 
     #[test]

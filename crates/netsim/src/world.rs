@@ -18,10 +18,15 @@
 //!
 //! Positions are **lazy**: a node's mobility model is only evaluated when a
 //! query actually needs that node (per-node memoized by query time), so idle
-//! nodes cost O(1) memory and no per-timestep work. GPRS is
-//! range-independent and answered from a per-technology membership list
-//! without touching the index at all. The pre-index all-pairs
-//! implementations are kept as `*_naive` methods for differential testing.
+//! nodes cost O(1) memory and no per-timestep work. Each node's mobility
+//! model and memoized position live behind a per-node mutex
+//! ([`MotionCell`]), so range queries work from `&World` — the parallel
+//! epoch engine hands one [`EpochView`] to all of its workers and each
+//! samples lazily; the serial paths go through `Mutex::get_mut`, which is
+//! lock-free. GPRS is range-independent and answered from a per-technology
+//! membership list without touching the index at all. The pre-index
+//! all-pairs implementations are kept as `*_naive` methods for differential
+//! testing.
 //!
 //! The world itself has no event loop; drivers combine it with an
 //! [`EventQueue`](crate::EventQueue) or the region-sharded
@@ -29,6 +34,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::geometry::Point2;
@@ -161,7 +167,7 @@ fn region_of_point(p: Point2, edge: f64) -> (i64, i64) {
 /// Collects into `out` every bucketed node whose *snapshot* region a disc of
 /// radius `r` around `p` could touch, plus all speed-unbounded nodes,
 /// ascending by index. Shared by the serial queries and the parallel
-/// [`RegionView`] so their candidate sets cannot diverge.
+/// [`EpochView`] so their candidate sets cannot diverge.
 fn gather_regions(
     buckets: &HashMap<(i64, i64), Vec<u32>>,
     unbounded: &[u32],
@@ -204,10 +210,6 @@ struct RegionIndex {
     /// Max finite [`Mobility::max_speed_mps`] across all nodes — bounds how
     /// far any bucketed node can drift from its snapshot region.
     max_speed_bound: f64,
-    /// Lazily sampled position of node `i`, valid iff `pos_t[i]` equals the
-    /// query time ([`SimTime::MAX`] = never sampled).
-    pos: Vec<Point2>,
-    pos_t: Vec<SimTime>,
     /// Scratch buffer reused across serial queries.
     scratch: Vec<u32>,
 }
@@ -227,6 +229,35 @@ impl RegionIndex {
     }
 }
 
+/// One node's mobility model together with its memoized position sample
+/// (valid iff `pos_t` equals the query time; [`SimTime::MAX`] = never
+/// sampled). Wrapped in a per-node [`Mutex`] so an [`EpochView`] can sample
+/// lazily from `&World` on any worker; serial `&mut World` paths reach the
+/// cell through `Mutex::get_mut` and never pay for the lock.
+#[derive(Debug)]
+struct MotionCell {
+    mobility: Box<dyn Mobility>,
+    pos: Point2,
+    pos_t: SimTime,
+}
+
+/// Samples (and memoizes) the cell's position at `t`. `zero_speed` is the
+/// node's speed bound being exactly zero: any prior sample then answers
+/// every time — this is what makes parked crowds free.
+fn sample_cell(cell: &mut MotionCell, zero_speed: bool, t: SimTime) -> Point2 {
+    if cell.pos_t == t {
+        return cell.pos;
+    }
+    let p = if zero_speed && cell.pos_t != SimTime::MAX {
+        cell.pos
+    } else {
+        cell.mobility.position(t)
+    };
+    cell.pos = p;
+    cell.pos_t = t;
+    p
+}
+
 /// The collection of simulated devices and the physics between them.
 ///
 /// Node state is structure-of-arrays: one column per attribute, indexed by
@@ -235,10 +266,9 @@ impl RegionIndex {
 #[derive(Debug)]
 pub struct World {
     names: Vec<String>,
-    mobility: Vec<Box<dyn Mobility>>,
-    /// Per-node radio bitmask (bit = [`tech_slot`]); lets range queries and
-    /// the lock-free [`RegionView`] test technologies without touching the
-    /// (non-`Sync`) mobility boxes.
+    motion: Vec<Mutex<MotionCell>>,
+    /// Per-node radio bitmask (bit = [`tech_slot`]); lets range queries
+    /// test technologies without touching the motion cells.
     tech_mask: Vec<u8>,
     /// Per-node speed bound, captured from the mobility model at insertion.
     max_speed: Vec<f64>,
@@ -254,7 +284,7 @@ impl Default for World {
     fn default() -> Self {
         World {
             names: Vec::new(),
-            mobility: Vec::new(),
+            motion: Vec::new(),
             tech_mask: Vec::new(),
             max_speed: Vec::new(),
             tech_members: [Vec::new(), Vec::new(), Vec::new()],
@@ -313,11 +343,9 @@ impl World {
     /// not rehash or reallocate per node.
     pub fn reserve_nodes(&mut self, n: usize) {
         self.names.reserve(n);
-        self.mobility.reserve(n);
+        self.motion.reserve(n);
         self.tech_mask.reserve(n);
         self.max_speed.reserve(n);
-        self.index.pos.reserve(n);
-        self.index.pos_t.reserve(n);
         self.index.home.reserve(n);
     }
 
@@ -336,11 +364,13 @@ impl World {
             self.index.unbounded.push(id.0);
         }
         self.names.push(builder.name);
-        self.mobility.push(builder.mobility);
+        self.motion.push(Mutex::new(MotionCell {
+            mobility: builder.mobility,
+            pos: Point2::ORIGIN,
+            pos_t: SimTime::MAX,
+        }));
         self.tech_mask.push(mask);
         self.max_speed.push(speed);
-        self.index.pos.push(Point2::ORIGIN);
-        self.index.pos_t.push(SimTime::MAX);
         self.index.home.push((0, 0));
         // The snapshot taken for the previous population is stale.
         self.index.bucket_t = None;
@@ -389,21 +419,23 @@ impl World {
         self.index.home[id.index()]
     }
 
-    /// The node's (memoized) position at time `t`.
+    /// The node's (memoized) position at time `t` — serial path, reaches the
+    /// motion cell through `Mutex::get_mut` (no lock).
     fn sample_pos(&mut self, i: usize, t: SimTime) -> Point2 {
-        if self.index.pos_t[i] == t {
-            return self.index.pos[i];
-        }
-        // A speed bound of zero means the position cannot change: any prior
-        // sample answers every time. This is what makes parked crowds free.
-        let p = if self.max_speed[i] == 0.0 && self.index.pos_t[i] != SimTime::MAX {
-            self.index.pos[i]
-        } else {
-            self.mobility[i].position(t)
-        };
-        self.index.pos[i] = p;
-        self.index.pos_t[i] = t;
-        p
+        let zero_speed = self.max_speed[i] == 0.0;
+        let cell = self.motion[i].get_mut().expect("motion cell poisoned");
+        sample_cell(cell, zero_speed, t)
+    }
+
+    /// The node's (memoized) position at time `t` from a shared reference —
+    /// the worker path, briefly locking the node's motion cell. Answers are
+    /// identical to [`World::sample_pos`]: memoization only caches the
+    /// deterministic `Mobility::position` function, and per-cell locking
+    /// keeps each memo update atomic.
+    fn sample_pos_shared(&self, i: usize, t: SimTime) -> Point2 {
+        let zero_speed = self.max_speed[i] == 0.0;
+        let mut cell = self.motion[i].lock().expect("motion cell poisoned");
+        sample_cell(&mut cell, zero_speed, t)
     }
 
     /// Samples every node at `t` and rebuckets the world. O(N) bucketing,
@@ -411,15 +443,14 @@ impl World {
     /// prior sample.
     fn rebucket(&mut self, t: SimTime) {
         let n = self.names.len();
-        for i in 0..n {
-            self.sample_pos(i, t);
-        }
         let idx = &mut self.index;
         for bucket in idx.buckets.values_mut() {
             bucket.clear();
         }
         for i in 0..n {
-            let coord = region_of_point(idx.pos[i], idx.edge);
+            let zero_speed = self.max_speed[i] == 0.0;
+            let cell = self.motion[i].get_mut().expect("motion cell poisoned");
+            let coord = region_of_point(sample_cell(cell, zero_speed, t), idx.edge);
             idx.home[i] = coord;
             // Unbounded nodes are gathered unconditionally, never bucketed.
             if self.max_speed[i].is_finite() {
@@ -443,30 +474,42 @@ impl World {
         }
     }
 
-    /// A read-only, `Sync` view over the snapshot and position columns,
-    /// valid for queries at the drift allowance captured in it.
-    fn view(&self, drift: f64) -> RegionView<'_> {
-        RegionView {
-            pos: &self.index.pos,
-            buckets: &self.index.buckets,
-            unbounded: &self.index.unbounded,
-            tech_mask: &self.tech_mask,
-            tech_members: &self.tech_members,
-            env: &self.env,
-            edge: self.index.edge,
-            drift,
+    /// Makes the region snapshot usable for queries at `t` and returns
+    /// nothing — the serial prologue the epoch engine runs before handing
+    /// an [`EpochView`] to its workers (snapshot rebuilds need `&mut`).
+    pub fn prepare_epoch(&mut self, t: SimTime) {
+        self.ensure_buckets(t);
+    }
+
+    /// A shared, `Sync` query view pinned to time `t`: workers call
+    /// [`EpochView::neighbors`] / [`EpochView::reachable`] /
+    /// [`EpochView::position`] concurrently, sampling positions lazily
+    /// through the per-node motion cells. Answers are bit-identical to the
+    /// serial `&mut self` queries at the same `t` (same gather, same exact
+    /// filter, same memoized samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region snapshot is missing or newer than `t` — call
+    /// [`World::prepare_epoch`] with this `t` first.
+    pub fn epoch_view(&self, t: SimTime) -> EpochView<'_> {
+        match self.index.bucket_t {
+            Some(bt) if bt <= t => {}
+            _ if self.names.is_empty() => {}
+            _ => panic!("epoch_view({t}): call prepare_epoch first"),
+        }
+        EpochView {
+            world: self,
+            t,
+            drift: self.index.drift_allowance(t),
         }
     }
 
     /// Computes `neighbors` for every `(seeker, technology)` query at `t`,
     /// returning results **in query order** — the deterministic merge the
-    /// region engine relies on.
-    ///
-    /// Two phases: a serial phase materializes every position the batch can
-    /// read (lazy samples, memoized per node), then the pure candidate
-    /// filter fans out across `threads` scoped workers (0 = auto) over the
-    /// `Sync` columns. Both the serial [`World::neighbors`] and the
-    /// parallel batch run the same [`RegionView`] filter, so their answers
+    /// region engine relies on. The pure candidate filter fans out across
+    /// `threads` scoped workers (0 = auto) over one [`EpochView`]; the
+    /// serial [`World::neighbors`] runs the same filter, so their answers
     /// cannot diverge — pinned by
     /// `neighbors_batch_matches_serial_for_any_thread_count`.
     pub fn neighbors_batch(
@@ -475,38 +518,8 @@ impl World {
         t: SimTime,
         threads: usize,
     ) -> Vec<Vec<NodeId>> {
-        self.ensure_buckets(t);
-        let drift = self.index.drift_allowance(t);
-        // Phase 1 (serial): sample the union of positions the filter reads.
-        let mut need: Vec<u32> = Vec::new();
-        let mut scratch = std::mem::take(&mut self.index.scratch);
-        for &(id, tech) in queries {
-            if !self.has_technology(id, tech) {
-                continue;
-            }
-            let range = self.env.profile(tech).range_m;
-            if range.is_infinite() {
-                continue; // membership list query: no positions involved
-            }
-            let p = self.sample_pos(id.index(), t);
-            gather_regions(
-                &self.index.buckets,
-                &self.index.unbounded,
-                self.index.edge,
-                p,
-                range + drift,
-                &mut scratch,
-            );
-            need.extend_from_slice(&scratch);
-        }
-        self.index.scratch = scratch;
-        need.sort_unstable();
-        need.dedup();
-        for &i in &need {
-            self.sample_pos(i as usize, t);
-        }
-        // Phase 2 (parallel): pure read-only filter, merged in query order.
-        let view = self.view(drift);
+        self.prepare_epoch(t);
+        let view = self.epoch_view(t);
         crate::par::map_indexed_with(queries.len(), threads, Vec::new, |scratch, qi| {
             let (id, tech) = queries[qi];
             view.neighbors(id, tech, scratch)
@@ -560,8 +573,16 @@ impl World {
             return true;
         }
         let d = {
-            let pa = self.mobility[a.index()].position(t);
-            let pb = self.mobility[b.index()].position(t);
+            let pa = self.motion[a.index()]
+                .get_mut()
+                .unwrap()
+                .mobility
+                .position(t);
+            let pb = self.motion[b.index()]
+                .get_mut()
+                .unwrap()
+                .mobility
+                .position(t);
             pa.distance(pb)
         };
         self.env.profile(tech).in_range(d)
@@ -573,8 +594,7 @@ impl World {
         if !self.has_technology(id, tech) {
             return Vec::new();
         }
-        let range = self.env.profile(tech).range_m;
-        if range.is_infinite() {
+        if self.env.profile(tech).range_m.is_infinite() {
             // Range-independent: answered from membership lists without
             // touching the region index.
             return self.tech_members[tech_slot(tech)]
@@ -585,21 +605,8 @@ impl World {
                 .collect();
         }
         self.ensure_buckets(t);
-        let drift = self.index.drift_allowance(t);
-        let p = self.sample_pos(id.index(), t);
         let mut scratch = std::mem::take(&mut self.index.scratch);
-        gather_regions(
-            &self.index.buckets,
-            &self.index.unbounded,
-            self.index.edge,
-            p,
-            range + drift,
-            &mut scratch,
-        );
-        for &raw in &scratch {
-            self.sample_pos(raw as usize, t);
-        }
-        let out = self.view(drift).neighbors(id, tech, &mut scratch);
+        let out = self.epoch_view(t).neighbors(id, tech, &mut scratch);
         self.index.scratch = scratch;
         out
     }
@@ -710,49 +717,74 @@ impl World {
     }
 }
 
-/// A read-only view of the region snapshot and position columns.
+/// A shared query view over one [`World`], pinned to a single query time.
 ///
-/// Borrowing only `Sync` data (positions, region buckets, radio bitmasks,
-/// membership lists — *not* the mobility boxes), the view is shared across
-/// the batch filter's worker threads. Positions it reads must have been
-/// materialized for the query time by the serial phase.
+/// The view is `Copy`, `Sync`, and answers exactly like the serial `&mut`
+/// queries at the same time: candidate gathering uses the same snapshot
+/// buckets and drift allowance, the per-candidate filter uses the same
+/// *exact* positions (sampled lazily through the per-node motion cells).
+/// Obtained from [`World::epoch_view`] after [`World::prepare_epoch`]; the
+/// parallel epoch engine hands one view to all workers of a timestamp
+/// batch.
 #[derive(Debug, Clone, Copy)]
-struct RegionView<'a> {
-    pos: &'a [Point2],
-    buckets: &'a HashMap<(i64, i64), Vec<u32>>,
-    unbounded: &'a [u32],
-    tech_mask: &'a [u8],
-    tech_members: &'a [Vec<u32>; 3],
-    env: &'a RadioEnv,
-    edge: f64,
+pub struct EpochView<'a> {
+    world: &'a World,
+    t: SimTime,
     drift: f64,
 }
 
-impl RegionView<'_> {
+impl EpochView<'_> {
+    /// The query time this view is pinned to.
+    pub fn time(&self) -> SimTime {
+        self.t
+    }
+
     fn has_technology(&self, id: NodeId, tech: Technology) -> bool {
-        self.tech_mask[id.index()] & tech_bit(tech) != 0
+        self.world.tech_mask[id.index()] & tech_bit(tech) != 0
+    }
+
+    /// The node's position at the view's time (lazily sampled, memoized).
+    pub fn position(&self, id: NodeId) -> Point2 {
+        self.world.sample_pos_shared(id.index(), self.t)
+    }
+
+    /// Whether `a` can reach `b` over `tech` at the view's time. Mirrors
+    /// [`World::reachable`] exactly.
+    pub fn reachable(&self, a: NodeId, b: NodeId, tech: Technology) -> bool {
+        if a == b {
+            return false;
+        }
+        if !self.has_technology(a, tech) || !self.has_technology(b, tech) {
+            return false;
+        }
+        let profile = self.world.env.profile(tech);
+        if profile.range_m.is_infinite() {
+            return true;
+        }
+        profile.in_range(self.position(a).distance(self.position(b)))
     }
 
     /// All nodes reachable from `id` over `tech`, ascending by id.
-    /// `scratch` is a caller-owned gather buffer (per-worker in the batch).
-    fn neighbors(&self, id: NodeId, tech: Technology, scratch: &mut Vec<u32>) -> Vec<NodeId> {
+    /// `scratch` is a caller-owned gather buffer (per-worker in a batch).
+    pub fn neighbors(&self, id: NodeId, tech: Technology, scratch: &mut Vec<u32>) -> Vec<NodeId> {
         if !self.has_technology(id, tech) {
             return Vec::new();
         }
-        let profile = self.env.profile(tech);
+        let profile = self.world.env.profile(tech);
         if profile.range_m.is_infinite() {
-            return self.tech_members[tech_slot(tech)]
+            return self.world.tech_members[tech_slot(tech)]
                 .iter()
                 .copied()
                 .filter(|&i| i != id.0)
                 .map(NodeId)
                 .collect();
         }
-        let p = self.pos[id.index()];
+        let idx = &self.world.index;
+        let p = self.position(id);
         gather_regions(
-            self.buckets,
-            self.unbounded,
-            self.edge,
+            &idx.buckets,
+            &idx.unbounded,
+            idx.edge,
             p,
             profile.range_m + self.drift,
             scratch,
@@ -763,7 +795,8 @@ impl RegionView<'_> {
             .filter(|&i| {
                 i != id.0
                     && self.has_technology(NodeId(i), tech)
-                    && profile.in_range(p.distance(self.pos[i as usize]))
+                    && profile
+                        .in_range(p.distance(self.world.sample_pos_shared(i as usize, self.t)))
             })
             .map(NodeId)
             .collect()

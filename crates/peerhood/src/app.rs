@@ -7,10 +7,89 @@
 
 use std::time::Duration;
 
-use netsim::{SimTime, Trace};
+use netsim::{ActorId, LabelId, SimTime, Trace};
 
 use crate::api::AppEvent;
 use crate::library::Library;
+
+/// An actor reference inside a [`PendingRecord`]: an interned handle when the
+/// frozen pool already knew the string at buffering time, the owned string
+/// otherwise (resolved by interning at replay).
+#[derive(Clone, Debug)]
+pub enum PendingActor {
+    /// Handle valid against the trace the record was buffered for.
+    Id(ActorId),
+    /// String unknown to the frozen pool; interned at replay.
+    Raw(String),
+}
+
+/// A label reference inside a [`PendingRecord`] (see [`PendingActor`]).
+#[derive(Clone, Debug)]
+pub enum PendingLabel {
+    /// Handle valid against the trace the record was buffered for.
+    Id(LabelId),
+    /// String unknown to the frozen pool; interned at replay.
+    Raw(String),
+}
+
+/// One trace record buffered by a parallel worker, to be replayed into the
+/// live [`Trace`] later in canonical (serial) order.
+///
+/// Replaying buffered records in the exact order a serial run would have
+/// called [`Trace::record`] reproduces the serial pool intern order, ring
+/// eviction and counters bit-for-bit: `Id` variants resolve to the same
+/// handles a serial run reused, and `Raw` strings are interned at the same
+/// canonical position a serial run would have interned them (interning is
+/// idempotent, so repeats within a batch collapse to the first occurrence).
+#[derive(Clone, Debug)]
+pub struct PendingRecord {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Originating actor (always pre-interned: the node's own actor handle).
+    pub from: ActorId,
+    /// Receiving actor.
+    pub to: PendingActor,
+    /// Message label.
+    pub label: PendingLabel,
+}
+
+impl PendingRecord {
+    /// Appends this record to `trace`, interning any `Raw` strings.
+    pub fn replay(self, trace: &mut Trace) {
+        let to = match self.to {
+            PendingActor::Id(id) => id,
+            PendingActor::Raw(s) => trace.intern_actor(&s),
+        };
+        let label = match self.label {
+            PendingLabel::Id(id) => id,
+            PendingLabel::Raw(s) => trace.intern_label(&s),
+        };
+        trace.record_ids(self.at, self.from, to, label);
+    }
+}
+
+/// Where an [`AppCtx`]'s trace calls go.
+///
+/// `Live` writes straight into the run's [`Trace`] (the serial path).
+/// `Buffer` is the concurrent-worker path: the trace is borrowed read-only
+/// (shared with other workers), so records are buffered as
+/// [`PendingRecord`]s — resolving actor/label strings against the frozen
+/// pool where possible — and replayed serially at commit time.
+pub enum TraceSink<'a> {
+    /// Discard all records.
+    None,
+    /// Record directly into the live trace.
+    Live(&'a mut Trace),
+    /// Buffer records against a frozen trace for canonical-order replay.
+    Buffer {
+        /// The run's trace, frozen for the duration of the parallel epoch.
+        trace: &'a Trace,
+        /// The owning node's pre-interned actor handle.
+        actor_id: ActorId,
+        /// Destination buffer, drained by the commit phase.
+        out: &'a mut Vec<PendingRecord>,
+    },
+}
 
 /// Execution context passed into every [`Application`] callback.
 pub struct AppCtx<'a> {
@@ -18,7 +97,7 @@ pub struct AppCtx<'a> {
     actor: &'a str,
     lib: &'a mut Library,
     timers: &'a mut Vec<(SimTime, u64)>,
-    trace: Option<&'a mut Trace>,
+    sink: TraceSink<'a>,
 }
 
 impl<'a> AppCtx<'a> {
@@ -35,7 +114,28 @@ impl<'a> AppCtx<'a> {
             actor,
             lib,
             timers,
-            trace,
+            sink: match trace {
+                Some(t) => TraceSink::Live(t),
+                None => TraceSink::None,
+            },
+        }
+    }
+
+    /// Builds a context with an explicit [`TraceSink`] (the parallel epoch
+    /// engine uses this with [`TraceSink::Buffer`]).
+    pub fn with_sink(
+        now: SimTime,
+        actor: &'a str,
+        lib: &'a mut Library,
+        timers: &'a mut Vec<(SimTime, u64)>,
+        sink: TraceSink<'a>,
+    ) -> Self {
+        AppCtx {
+            now,
+            actor,
+            lib,
+            timers,
+            sink,
         }
     }
 
@@ -63,16 +163,47 @@ impl<'a> AppCtx<'a> {
     /// Records a protocol message from this application to `to` in the run's
     /// message-sequence trace (no-op when the driver attached none).
     pub fn trace(&mut self, to: &str, label: &str) {
-        if let Some(trace) = self.trace.as_deref_mut() {
-            trace.record(self.now, self.actor, to, label);
+        match &mut self.sink {
+            TraceSink::None => {}
+            TraceSink::Live(trace) => trace.record(self.now, self.actor, to, label),
+            TraceSink::Buffer {
+                trace,
+                actor_id,
+                out,
+            } => out.push(PendingRecord {
+                at: self.now,
+                from: *actor_id,
+                to: match trace.lookup_actor(to) {
+                    Some(id) => PendingActor::Id(id),
+                    None => PendingActor::Raw(to.to_owned()),
+                },
+                label: match trace.lookup_label(label) {
+                    Some(id) => PendingLabel::Id(id),
+                    None => PendingLabel::Raw(label.to_owned()),
+                },
+            }),
         }
     }
 
     /// Records a local action (self-directed trace event), e.g. the MSC
     /// figures' "display list" steps.
     pub fn trace_local(&mut self, label: &str) {
-        if let Some(trace) = self.trace.as_deref_mut() {
-            trace.record(self.now, self.actor, self.actor, label);
+        match &mut self.sink {
+            TraceSink::None => {}
+            TraceSink::Live(trace) => trace.record(self.now, self.actor, self.actor, label),
+            TraceSink::Buffer {
+                trace,
+                actor_id,
+                out,
+            } => out.push(PendingRecord {
+                at: self.now,
+                from: *actor_id,
+                to: PendingActor::Id(*actor_id),
+                label: match trace.lookup_label(label) {
+                    Some(id) => PendingLabel::Id(id),
+                    None => PendingLabel::Raw(label.to_owned()),
+                },
+            }),
         }
     }
 }
@@ -125,6 +256,61 @@ mod tests {
         assert_eq!(timers, vec![(SimTime::from_secs(5), 9)]);
         assert_eq!(trace.labels(), vec!["PING", "DISPLAY"]);
         assert_eq!(trace.events()[1].to, "alice");
+    }
+
+    #[test]
+    fn buffered_sink_replays_identically_to_live() {
+        // Serial reference: record directly.
+        let mut live = Trace::new();
+        live.intern_actor("alice"); // add_node interns every actor up front
+        {
+            let mut lib = Library::new();
+            let mut timers = Vec::new();
+            let mut ctx = AppCtx::new(
+                SimTime::from_secs(1),
+                "alice",
+                &mut lib,
+                &mut timers,
+                Some(&mut live),
+            );
+            ctx.trace("bob", "PING");
+            ctx.trace_local("DISPLAY");
+            ctx.trace("bob", "PING"); // repeat: must reuse pool entries
+        }
+        // Buffered path: same calls against a frozen trace, then replay.
+        let mut buffered = Trace::new();
+        let alice = buffered.intern_actor("alice");
+        let mut out = Vec::new();
+        {
+            let mut lib = Library::new();
+            let mut timers = Vec::new();
+            let mut ctx = AppCtx::with_sink(
+                SimTime::from_secs(1),
+                "alice",
+                &mut lib,
+                &mut timers,
+                TraceSink::Buffer {
+                    trace: &buffered,
+                    actor_id: alice,
+                    out: &mut out,
+                },
+            );
+            ctx.trace("bob", "PING");
+            ctx.trace_local("DISPLAY");
+            ctx.trace("bob", "PING");
+        }
+        assert_eq!(out.len(), 3);
+        // "bob"/"PING" were unknown to the frozen pool → Raw both times;
+        // replay interns them once at the canonical first occurrence.
+        assert!(matches!(out[0].to, PendingActor::Raw(_)));
+        assert!(matches!(out[1].to, PendingActor::Id(id) if id == alice));
+        for r in out {
+            r.replay(&mut buffered);
+        }
+        assert_eq!(live, buffered);
+        assert_eq!(live.digest(), buffered.digest());
+        assert_eq!(live.stats().messages, buffered.stats().messages);
+        assert_eq!(live.stats().local_events, buffered.stats().local_events);
     }
 
     #[test]

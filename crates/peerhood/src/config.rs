@@ -1,10 +1,10 @@
 //! Daemon configuration.
 
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 use netsim::Technology;
 
+use crate::techmap::TechMap;
 use crate::types::DeviceInfo;
 
 /// Configuration of one PeerHood daemon instance.
@@ -29,7 +29,7 @@ pub struct DaemonConfig {
     /// How often to start a discovery round, per technology. A new round is
     /// started this long after the *start* of the previous one (and never
     /// while one is still running).
-    pub inquiry_interval: BTreeMap<Technology, Duration>,
+    pub inquiry_interval: TechMap<Duration>,
     /// How long a neighbor stays in the table without answering discovery
     /// before it is declared gone.
     pub neighbor_ttl: Duration,
@@ -104,7 +104,7 @@ impl DaemonConfig {
     /// neighbor TTL 2.5 × the slowest interval, auto service discovery and
     /// seamless connectivity on.
     pub fn new(device: DeviceInfo) -> Self {
-        let mut inquiry_interval = BTreeMap::new();
+        let mut inquiry_interval = TechMap::new();
         inquiry_interval.insert(Technology::Bluetooth, Duration::from_secs(15));
         inquiry_interval.insert(Technology::Wlan, Duration::from_secs(5));
         inquiry_interval.insert(Technology::Gprs, Duration::from_secs(30));
@@ -153,10 +153,10 @@ impl DaemonConfig {
     /// The inquiry interval for `tech`, if the local device has that radio
     /// and an interval is configured.
     pub fn interval_for(&self, tech: Technology) -> Option<Duration> {
-        if !self.device.technologies.contains(&tech) {
+        if !self.device.technologies.contains(tech) {
             return None;
         }
-        self.inquiry_interval.get(&tech).copied()
+        self.inquiry_interval.get(tech).copied()
     }
 }
 

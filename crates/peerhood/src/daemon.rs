@@ -34,6 +34,7 @@ use crate::error::PeerHoodError;
 use crate::neighbor::{NeighborTable, SightingOutcome};
 use crate::plugin::{PluginCommand, PluginEvent};
 use crate::service::ServiceRegistry;
+use crate::techmap::TechMap;
 use crate::types::{AttemptId, CloseReason, ConnId, DeviceId, LinkId, ResumeToken};
 
 /// How long the responder side of a broken connection waits for the
@@ -148,7 +149,7 @@ pub struct Daemon {
     services: ServiceRegistry,
     neighbors: NeighborTable,
     monitors: BTreeSet<DeviceId>,
-    inquiries: BTreeMap<Technology, InquiryState>,
+    inquiries: TechMap<InquiryState>,
     conns: BTreeMap<ConnId, Conn>,
     link_index: BTreeMap<LinkId, ConnId>,
     attempts: BTreeMap<AttemptId, Attempt>,
@@ -171,10 +172,10 @@ impl Daemon {
         let inquiries = config
             .inquiry_interval
             .iter()
-            .filter(|(tech, _)| config.device.technologies.contains(tech))
+            .filter(|(tech, _)| config.device.technologies.contains(*tech))
             .map(|(tech, interval)| {
                 (
-                    *tech,
+                    tech,
                     InquiryState {
                         running: false,
                         next_start: SimTime::ZERO,
@@ -316,7 +317,7 @@ impl Daemon {
                 st.running = true;
                 st.next_start = now + st.interval;
                 out.push(DaemonOutput::Plugin(PluginCommand::StartInquiry {
-                    technology: *tech,
+                    technology: tech,
                 }));
             }
         }
@@ -753,7 +754,7 @@ impl Daemon {
                 self.record_device(device, technology, now, out);
             }
             PluginEvent::InquiryComplete { technology } => {
-                if let Some(st) = self.inquiries.get_mut(&technology) {
+                if let Some(st) = self.inquiries.get_mut(technology) {
                     st.running = false;
                     st.next_start = st.next_start.max(now);
                 }
@@ -1379,7 +1380,7 @@ mod tests {
         match app_events(&out)[0] {
             AppEvent::DeviceList(list) => {
                 assert_eq!(list.len(), 1);
-                assert_eq!(list[0].name, "remote");
+                assert_eq!(&*list[0].name, "remote");
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -35,7 +35,7 @@
 //! impl Application for Watcher {
 //!     fn on_event(&mut self, event: AppEvent, _ctx: &mut AppCtx<'_>) {
 //!         if let AppEvent::DeviceAppeared(info) = event {
-//!             self.seen.push(info.name);
+//!             self.seen.push(info.name.to_string());
 //!         }
 //!     }
 //! }
@@ -63,10 +63,11 @@ pub mod neighbor;
 pub mod plugin;
 pub mod service;
 pub mod sim;
+pub mod techmap;
 pub mod types;
 
 pub use api::{AppEvent, AppRequest};
-pub use app::{AppCtx, Application};
+pub use app::{AppCtx, Application, PendingRecord, TraceSink};
 pub use config::{DaemonConfig, RecoveryPolicy};
 pub use daemon::{Daemon, DaemonInput, DaemonOutput, RecoveryStats};
 pub use error::{ErrorKind, PeerHoodError};

@@ -5,13 +5,70 @@
 //! module is that store: per-device, per-technology freshness tracking plus a
 //! cache of the remote device's registered services.
 
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 use netsim::{SimTime, Technology};
 
 use crate::service::ServiceInfo;
 use crate::types::{DeviceId, DeviceInfo};
+
+/// Per-technology sighting times — a fixed map indexed by
+/// [`Technology::ALL`] order. At crowd scale there is one of these per
+/// neighbor entry, so it is an inline 3-slot array: the `BTreeMap` it
+/// replaced cost a B-tree node allocation per entry, which dominated the
+/// million-node heap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SightingTimes([Option<SimTime>; 3]);
+
+impl SightingTimes {
+    fn slot(tech: Technology) -> usize {
+        match tech {
+            Technology::Bluetooth => 0,
+            Technology::Wlan => 1,
+            Technology::Gprs => 2,
+        }
+    }
+
+    /// When the device last answered discovery over `tech`, if it has.
+    pub fn get(&self, tech: Technology) -> Option<SimTime> {
+        self.0[Self::slot(tech)]
+    }
+
+    /// Whether the device has been sighted over `tech` at all.
+    pub fn contains(&self, tech: Technology) -> bool {
+        self.get(tech).is_some()
+    }
+
+    /// Records a sighting over `tech`.
+    pub fn insert(&mut self, tech: Technology, at: SimTime) {
+        self.0[Self::slot(tech)] = Some(at);
+    }
+
+    /// Whether no technology has a recorded sighting.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(Option::is_none)
+    }
+
+    /// Recorded sightings as `(technology, time)`, in [`Technology::ALL`]
+    /// priority order.
+    pub fn iter(&self) -> impl Iterator<Item = (Technology, SimTime)> + '_ {
+        Technology::ALL
+            .into_iter()
+            .zip(self.0)
+            .filter_map(|(tech, seen)| seen.map(|at| (tech, at)))
+    }
+
+    /// Drops every sighting for which `keep` returns false.
+    fn retain(&mut self, mut keep: impl FnMut(SimTime) -> bool) {
+        for slot in &mut self.0 {
+            if let Some(at) = slot {
+                if !keep(*at) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+}
 
 /// Everything the daemon currently knows about one neighbor device.
 #[derive(Clone, Debug, PartialEq)]
@@ -20,7 +77,7 @@ pub struct NeighborEntry {
     pub info: DeviceInfo,
     /// When the device last answered discovery, per technology it was seen
     /// on.
-    pub last_seen: BTreeMap<Technology, SimTime>,
+    pub last_seen: SightingTimes,
     /// Cached remote service list, with the time it was fetched.
     pub services: Option<(SimTime, Vec<ServiceInfo>)>,
 }
@@ -29,28 +86,33 @@ impl NeighborEntry {
     /// Technologies the device is currently visible on, in
     /// [`Technology::ALL`] priority order.
     pub fn visible_technologies(&self) -> Vec<Technology> {
-        Technology::ALL
-            .into_iter()
-            .filter(|t| self.last_seen.contains_key(t))
-            .collect()
+        self.last_seen.iter().map(|(tech, _)| tech).collect()
     }
 
     /// The preferred (cheapest) technology the device is currently visible
     /// on.
     pub fn preferred_technology(&self) -> Option<Technology> {
-        self.visible_technologies().into_iter().next()
+        self.last_seen.iter().map(|(tech, _)| tech).next()
     }
 
     /// The most recent sighting over any technology.
     pub fn freshest_sighting(&self) -> Option<SimTime> {
-        self.last_seen.values().copied().max()
+        self.last_seen.iter().map(|(_, at)| at).max()
     }
 }
 
 /// The set of currently known neighbors.
+///
+/// Stored as a vector sorted by device id. Crowd-scale profiling showed a
+/// `BTreeMap` here allocates an 11-slot root node per *table* — about
+/// 1.6 KB for the typical 2–3 resident neighbors — which at a million
+/// daemons was the single largest heap consumer. The sorted vec holds only
+/// what it contains; lookups binary-search and inserts shift, both cheap at
+/// neighborhood sizes.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NeighborTable {
-    entries: BTreeMap<DeviceId, NeighborEntry>,
+    /// Sorted ascending by `info.id`, unique.
+    entries: Vec<NeighborEntry>,
 }
 
 /// The outcome of recording a sighting, so the daemon knows which
@@ -71,6 +133,11 @@ impl NeighborTable {
         NeighborTable::default()
     }
 
+    /// Where `device` is, or where it would be inserted.
+    fn position(&self, device: DeviceId) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&device, |e| e.info.id)
+    }
+
     /// Records that `info` answered discovery over `tech` at `now`.
     pub fn record_sighting(
         &mut self,
@@ -78,10 +145,11 @@ impl NeighborTable {
         tech: Technology,
         now: SimTime,
     ) -> SightingOutcome {
-        match self.entries.get_mut(&info.id) {
-            Some(entry) => {
+        match self.position(info.id) {
+            Ok(at) => {
+                let entry = &mut self.entries[at];
                 entry.info = info;
-                let fresh_tech = !entry.last_seen.contains_key(&tech);
+                let fresh_tech = !entry.last_seen.contains(tech);
                 entry.last_seen.insert(tech, now);
                 if fresh_tech {
                     SightingOutcome::NewTechnology
@@ -89,11 +157,11 @@ impl NeighborTable {
                     SightingOutcome::Refreshed
                 }
             }
-            None => {
-                let mut last_seen = BTreeMap::new();
+            Err(at) => {
+                let mut last_seen = SightingTimes::default();
                 last_seen.insert(tech, now);
                 self.entries.insert(
-                    info.id,
+                    at,
                     NeighborEntry {
                         info,
                         last_seen,
@@ -109,8 +177,8 @@ impl NeighborTable {
     ///
     /// Ignored if the device is no longer in the table.
     pub fn record_services(&mut self, device: DeviceId, services: Vec<ServiceInfo>, now: SimTime) {
-        if let Some(entry) = self.entries.get_mut(&device) {
-            entry.services = Some((now, services));
+        if let Ok(at) = self.position(device) {
+            self.entries[at].services = Some((now, services));
         }
     }
 
@@ -120,10 +188,10 @@ impl NeighborTable {
     /// reports, so a timer set from `next_expiry` is guaranteed to find work.
     pub fn expire(&mut self, now: SimTime, ttl: Duration) -> Vec<DeviceInfo> {
         let mut removed = Vec::new();
-        self.entries.retain(|_, entry| {
+        self.entries.retain_mut(|entry| {
             entry
                 .last_seen
-                .retain(|_, seen| now.saturating_since(*seen) < ttl);
+                .retain(|seen| now.saturating_since(seen) < ttl);
             if entry.last_seen.is_empty() {
                 removed.push(entry.info.clone());
                 false
@@ -138,30 +206,30 @@ impl NeighborTable {
     /// or trim something, given `ttl`; `None` when the table is empty.
     pub fn next_expiry(&self, ttl: Duration) -> Option<SimTime> {
         self.entries
-            .values()
-            .flat_map(|e| e.last_seen.values())
-            .map(|seen| *seen + ttl)
+            .iter()
+            .flat_map(|e| e.last_seen.iter())
+            .map(|(_, seen)| seen + ttl)
             .min()
     }
 
     /// Looks up one neighbor.
     pub fn get(&self, device: DeviceId) -> Option<&NeighborEntry> {
-        self.entries.get(&device)
+        self.position(device).ok().map(|at| &self.entries[at])
     }
 
     /// Whether the device is currently known.
     pub fn contains(&self, device: DeviceId) -> bool {
-        self.entries.contains_key(&device)
+        self.position(device).is_ok()
     }
 
     /// All neighbors in device-id order.
     pub fn iter(&self) -> impl Iterator<Item = &NeighborEntry> {
-        self.entries.values()
+        self.entries.iter()
     }
 
     /// Snapshot of all neighbor device infos.
     pub fn device_infos(&self) -> Vec<DeviceInfo> {
-        self.entries.values().map(|e| e.info.clone()).collect()
+        self.entries.iter().map(|e| e.info.clone()).collect()
     }
 
     /// Number of known neighbors.
@@ -177,7 +245,7 @@ impl NeighborTable {
     /// Removes one neighbor outright (used when a connection proves it
     /// gone).
     pub fn remove(&mut self, device: DeviceId) -> Option<NeighborEntry> {
-        self.entries.remove(&device)
+        self.position(device).ok().map(|at| self.entries.remove(at))
     }
 }
 

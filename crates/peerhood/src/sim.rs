@@ -13,17 +13,18 @@
 //! function of `(scenario, seed)`.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use codec::Bytes;
 
-use netsim::world::{NodeBuilder, NodeId};
+use netsim::world::{EpochView, NodeBuilder, NodeId};
 use netsim::{
-    BurstState, RadioEnv, RegionLanes, SimRng, SimTime, Technology, Trace, TraceStats, World,
+    ActorId, BurstState, RadioEnv, RegionLanes, SimRng, SimTime, Technology, Trace, TraceStats,
+    World,
 };
 
 use crate::api::AppEvent;
-use crate::app::{AppCtx, Application};
+use crate::app::{AppCtx, Application, PendingRecord, TraceSink};
 use crate::config::DaemonConfig;
 use crate::daemon::{Daemon, DaemonInput, DaemonOutput};
 use crate::library::Library;
@@ -51,6 +52,11 @@ const FAULT_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Default number of region event lanes (see [`Cluster::set_region_lanes`]).
 const DEFAULT_REGION_LANES: usize = 8;
+
+/// Minimum events per epoch-engine worker: below this, per-spawn overhead
+/// outweighs the fan-out, so small batches get fewer (or one) workers. A
+/// pure cost knob — worker count never affects results.
+const EPOCH_MIN_EVENTS_PER_WORKER: usize = 16;
 
 #[derive(Debug)]
 enum Ev {
@@ -154,27 +160,72 @@ impl Link {
     }
 }
 
+/// The set of pending `DaemonWake` timestamps for one node — a sorted `Vec`
+/// rather than a `BTreeSet`: a node rarely has more than a couple of wakes
+/// in flight, and at million-node scale the tree's per-node allocation
+/// dominated. Empty sets hold no heap at all.
+#[derive(Debug, Default)]
+struct WakeSet(Vec<SimTime>);
+
+impl WakeSet {
+    /// Inserts `t`, returning `false` if it was already pending.
+    fn insert(&mut self, t: SimTime) -> bool {
+        match self.0.binary_search(&t) {
+            Ok(_) => false,
+            Err(i) => {
+                self.0.insert(i, t);
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, t: SimTime) {
+        if let Ok(i) = self.0.binary_search(&t) {
+            self.0.remove(i);
+        }
+    }
+}
+
+/// Fault-decision state for one node, allocated lazily on the first draw
+/// that can actually fire. Fault-free runs (the common case) never pay for
+/// it: the lane derivation [`SimRng::lane`] is stateless, so creating the
+/// stream on first use yields exactly the sequence an eagerly-created one
+/// would have produced.
+#[derive(Debug)]
+struct FaultRt {
+    /// Dedicated fault-decision lane (see [`FAULT_STREAM_SALT`]): the
+    /// Gilbert channel and refusal draws charged to this node.
+    rng: SimRng,
+    /// Per-technology Gilbert channel state for frames *received* by this
+    /// node.
+    burst: [BurstState; 3],
+}
+
 struct NodeRt<A> {
-    name: String,
-    /// Prebuilt identity snapshot, cloned (not rebuilt) for every plugin
-    /// event that carries a `DeviceInfo`.
-    info: DeviceInfo,
     daemon: Daemon,
     app: A,
     lib: Library,
-    scheduled_wakes: BTreeSet<SimTime>,
+    wakes: WakeSet,
     /// This node's main randomness lane: `SimRng::lane(seed, id)`. Every
     /// protocol draw a node's activity causes (discovery misses, transfer
     /// jitter, connect timing) comes from the acting node's own lane, so a
     /// node's stream depends only on `(seed, id)` and its own activity —
     /// never on how many other nodes exist or which lane dispatched it.
     rng: SimRng,
-    /// Dedicated fault-decision lane (see [`FAULT_STREAM_SALT`]): the
-    /// Gilbert channel and refusal draws charged to this node.
-    fault_rng: SimRng,
-    /// Per-technology Gilbert channel state for frames *received* by this
-    /// node.
-    burst: [BurstState; 3],
+    /// Lazily-initialized fault state (see [`FaultRt`]).
+    fault: Option<Box<FaultRt>>,
+}
+
+impl<A> NodeRt<A> {
+    /// The node's fault state, deriving its lane on first use.
+    fn fault(&mut self, seed: u64, node: NodeId) -> &mut FaultRt {
+        self.fault.get_or_insert_with(|| {
+            Box::new(FaultRt {
+                rng: SimRng::lane(seed ^ FAULT_STREAM_SALT, node.index() as u64),
+                burst: [BurstState::default(); 3],
+            })
+        })
+    }
 }
 
 /// A deterministic simulation of many PeerHood devices and their
@@ -193,6 +244,15 @@ pub struct Cluster<A> {
     /// region-to-lane mapping produce a bit-identical run.
     queue: RegionLanes<Ev>,
     nodes: Vec<NodeRt<A>>,
+    /// Prebuilt identity snapshots, one per node, cloned (not rebuilt) for
+    /// every plugin event that carries a `DeviceInfo`. A shared column —
+    /// not a `NodeRt` field — because epoch workers need *cross-node* read
+    /// access (an inquiry response carries the found node's identity) while
+    /// holding only their own `&mut` node range.
+    infos: Vec<DeviceInfo>,
+    /// Each node's interned actor handle in `trace`, for the buffered
+    /// record path ([`TraceSink::Buffer`]).
+    actor_ids: Vec<ActorId>,
     links: BTreeMap<LinkId, Link>,
     next_link: u64,
     /// Scenario seed; per-node RNG lanes derive from it statelessly via
@@ -205,15 +265,49 @@ pub struct Cluster<A> {
     down: BTreeSet<NodeId>,
     trace: Trace,
     started: bool,
-    /// Worker count for the epoch engine (0 = auto, 1 = serial).
+    /// Worker count for the epoch engine (0 = auto, 1 = one worker).
     threads: usize,
-    /// Speculative neighbor snapshots computed in parallel at the start of
-    /// the current timestamp batch, consumed by `StartInquiry`. Only valid
-    /// while `now == epoch_neighbors_at`.
-    epoch_neighbors: BTreeMap<(NodeId, Technology), Vec<NodeId>>,
-    epoch_neighbors_at: SimTime,
     /// Reused batch buffer for [`RegionLanes::drain_batch`].
     batch_buf: Vec<Ev>,
+    /// Accumulated phase breakdown of [`Cluster::run_until`] (counters are
+    /// always cheap; wall-clock sampling only when enabled).
+    timing: EpochTiming,
+    /// Whether [`EpochTiming`] wall-clock fields are sampled.
+    collect_timing: bool,
+}
+
+/// Wall-clock phase breakdown of [`Cluster::run_until`], accumulated across
+/// calls. The event counters are always maintained; the `Duration` fields
+/// are sampled only when enabled via [`Cluster::set_collect_timing`] (they
+/// read the host clock, which costs a few ns per batch).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct EpochTiming {
+    /// Time spent draining timestamp batches from the region lanes.
+    pub drain: Duration,
+    /// Time spent partitioning parallel batches by home node.
+    pub gather: Duration,
+    /// Time spent executing events (worker fan-out for parallel batches,
+    /// inline dispatch for serial ones).
+    pub execute: Duration,
+    /// Time spent replaying worker outboxes in canonical order.
+    pub commit: Duration,
+    /// Timestamp batches executed through the parallel epoch engine.
+    pub par_batches: u64,
+    /// Events executed through the parallel epoch engine.
+    pub par_events: u64,
+    /// Timestamp batches dispatched serially (ineligible or tiny).
+    pub serial_batches: u64,
+    /// Events dispatched serially.
+    pub serial_events: u64,
+}
+
+/// Index of a technology in per-technology state arrays (burst channels).
+fn tech_slot(tech: Technology) -> usize {
+    match tech {
+        Technology::Bluetooth => 0,
+        Technology::Wlan => 1,
+        Technology::Gprs => 2,
+    }
 }
 
 /// The node an event is addressed to — the event's *owner* for lane
@@ -255,6 +349,8 @@ impl<A: Application> Cluster<A> {
             world: World::with_env(env.clone()),
             queue: RegionLanes::new(DEFAULT_REGION_LANES),
             nodes: Vec::new(),
+            infos: Vec::new(),
+            actor_ids: Vec::new(),
             links: BTreeMap::new(),
             next_link: 0,
             seed,
@@ -263,9 +359,9 @@ impl<A: Application> Cluster<A> {
             trace: Trace::new(),
             started: false,
             threads: 1,
-            epoch_neighbors: BTreeMap::new(),
-            epoch_neighbors_at: SimTime::ZERO,
             batch_buf: Vec::new(),
+            timing: EpochTiming::default(),
+            collect_timing: false,
         }
     }
 
@@ -300,6 +396,8 @@ impl<A: Application> Cluster<A> {
     pub fn reserve_nodes(&mut self, n: usize) {
         self.world.reserve_nodes(n);
         self.nodes.reserve(n);
+        self.infos.reserve(n);
+        self.actor_ids.reserve(n);
     }
 
     /// The radio environment this cluster runs in.
@@ -307,15 +405,15 @@ impl<A: Application> Cluster<A> {
         &self.env
     }
 
-    /// Sets the worker count for the parallel epoch engine: `1` (the
-    /// default) runs fully serially, `0` means "one worker per hardware
-    /// thread", anything else is taken literally.
+    /// Sets the worker count for the parallel lane-epoch engine: `1` (the
+    /// default) runs every epoch inline on one worker, `0` means "one
+    /// worker per hardware thread", anything else is taken literally.
     ///
-    /// The engine fans only *pure* per-node work (mobility position
-    /// sampling, spatial-grid neighbor queries) across workers and merges
-    /// results in node-id order before any RNG draw, daemon mutation, or
-    /// trace record, so the trace digest is bit-identical for every worker
-    /// count. `ph-harness` enforces this with digest-equality tests.
+    /// The engine executes node-local timestamp batches concurrently —
+    /// partitioned by home node, effects buffered per worker and committed
+    /// in canonical batch order — so the trace digest is bit-identical for
+    /// every worker count (see the engine comment below). `ph-harness`
+    /// enforces this with digest-equality tests and `ci.sh` gates on it.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads;
     }
@@ -346,18 +444,17 @@ impl<A: Application> Cluster<A> {
             self.world.technologies(id).iter().copied(),
         );
         let config = configure(DaemonConfig::new(info.clone()));
-        self.trace.intern_actor(self.world.name(id));
+        let actor_id = self.trace.intern_actor(self.world.name(id));
         let lane_seed = id.index() as u64;
+        self.infos.push(info);
+        self.actor_ids.push(actor_id);
         self.nodes.push(NodeRt {
-            name: self.world.name(id).to_owned(),
-            info,
             daemon: Daemon::new(config),
             app,
             lib: Library::new(),
-            scheduled_wakes: BTreeSet::new(),
+            wakes: WakeSet::default(),
             rng: SimRng::lane(self.seed, lane_seed),
-            fault_rng: SimRng::lane(self.seed ^ FAULT_STREAM_SALT, lane_seed),
-            burst: [BurstState::default(); 3],
+            fault: None,
         });
         if self.started {
             let now = self.queue.now();
@@ -416,7 +513,7 @@ impl<A: Application> Cluster<A> {
 
     /// The device name of a node.
     pub fn name(&self, node: NodeId) -> &str {
-        &self.nodes[node.index()].name
+        &self.infos[node.index()].name
     }
 
     /// The [`DeviceId`] of a node (stable mapping from the world index).
@@ -466,93 +563,28 @@ impl<A: Application> Cluster<A> {
         } else {
             Trace::with_capacity(cap)
         };
-        for rt in &self.nodes {
-            self.trace.intern_actor(&rt.name);
+        // Re-interning in node order reassigns the same handles, but refresh
+        // the stored ids anyway so they can never drift from the pool.
+        for (info, slot) in self.infos.iter().zip(self.actor_ids.iter_mut()) {
+            *slot = self.trace.intern_actor(&info.name);
         }
     }
 
-    /// Processes events until the queue is exhausted or the next event is
-    /// after `deadline`; the clock then stands at `deadline`.
-    ///
-    /// Events are drained one timestamp batch at a time. With more than one
-    /// worker configured ([`Cluster::set_threads`]) each batch becomes an
-    /// *epoch*: the per-node pure work the batch will need — mobility
-    /// position sampling and grid neighbor queries for woken daemons — is
-    /// fanned across scoped workers and merged in node-id order *before*
-    /// any event is dispatched. Dispatch itself (RNG draws, daemon state,
-    /// trace records, scheduling) stays serial in `(time, seq)` order, so
-    /// the run is bit-identical to a serial one.
-    pub fn run_until(&mut self, deadline: SimTime) {
-        let mut batch = std::mem::take(&mut self.batch_buf);
-        while let Some(t) = self.queue.drain_batch(deadline, &mut batch) {
-            self.prepare_epoch_batch(t, &batch);
-            for ev in batch.drain(..) {
-                self.dispatch(ev);
-            }
-        }
-        self.batch_buf = batch;
-        self.queue.advance_to(deadline);
+    /// The accumulated [`run_until`](Cluster::run_until) phase breakdown.
+    pub fn timing(&self) -> &EpochTiming {
+        &self.timing
     }
 
-    /// Parallel phase of one timestamp batch: speculatively answers the
-    /// neighbor queries that daemons woken in this batch will issue from
-    /// `StartInquiry`, fanning the region-grid filter across workers. Pure
-    /// world reads only — results are merged in query order, and
-    /// `StartInquiry` consumes them via [`Cluster::take_epoch_neighbors`].
-    /// Serial runs (`threads <= 1`) skip this entirely and compute
-    /// everything lazily; the answers are exact either way (the world's
-    /// drift-margin gather is snapshot-independent), so both paths are
-    /// bit-identical.
-    fn prepare_epoch_batch(&mut self, t: SimTime, batch: &[Ev]) {
-        if netsim::par::effective_threads(self.threads) <= 1 {
-            return;
-        }
-        // Only wake/start batches run discovery scans (`StartInquiry` →
-        // region query). Anything else — in-flight frames, inquiry
-        // responses — does pairwise checks only, which sample lazily per
-        // node; batching those would be work the serial engine doesn't do.
-        let mut queries: Vec<(NodeId, Technology)> = Vec::new();
-        for ev in batch {
-            if let Ev::Start(node) | Ev::DaemonWake(node) = ev {
-                for &tech in self.world.technologies(*node) {
-                    queries.push((*node, tech));
-                }
-            }
-        }
-        if queries.is_empty() {
-            return;
-        }
-        queries.sort_unstable();
-        queries.dedup();
-        let results = self.world.neighbors_batch(&queries, t, self.threads);
-        self.epoch_neighbors.clear();
-        self.epoch_neighbors_at = t;
-        for (q, r) in queries.into_iter().zip(results) {
-            self.epoch_neighbors.insert(q, r);
-        }
+    /// Enables (or disables) wall-clock sampling for [`EpochTiming`]. Off
+    /// by default; the batch/event counters are maintained regardless.
+    pub fn set_collect_timing(&mut self, on: bool) {
+        self.collect_timing = on;
     }
 
-    /// Consumes the speculative neighbor snapshot for `(node, tech)` if one
-    /// was computed for the current instant. `None` means the caller must
-    /// fall back to [`World::neighbors`] — both paths run the exact same
-    /// query implementation, so the answer is identical either way.
-    fn take_epoch_neighbors(
-        &mut self,
-        node: NodeId,
-        tech: Technology,
-        now: SimTime,
-    ) -> Option<Vec<NodeId>> {
-        if self.epoch_neighbors_at == now {
-            self.epoch_neighbors.remove(&(node, tech))
-        } else {
-            None
-        }
-    }
-
-    /// Runs for `d` of virtual time from the current instant.
-    pub fn run_for(&mut self, d: Duration) {
-        let deadline = self.now() + d;
-        self.run_until(deadline);
+    /// Number of scheduled events not yet delivered — the queue's live
+    /// footprint, reported so scale benches can watch memory pressure.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Processes events until `stop` returns `true` (checked after each
@@ -587,7 +619,7 @@ impl<A: Application> Cluster<A> {
             let rt = &mut self.nodes[node.index()];
             let mut ctx = AppCtx::new(
                 now,
-                &rt.name,
+                &self.infos[node.index()].name,
                 &mut rt.lib,
                 &mut timers,
                 Some(&mut self.trace),
@@ -608,34 +640,35 @@ impl<A: Application> Cluster<A> {
     // bit-for-bit. Attribution: frame loss and link kills charge the
     // *receiver*, connection refusals charge the *initiator*.
 
-    fn tech_slot(tech: Technology) -> usize {
-        match tech {
-            Technology::Bluetooth => 0,
-            Technology::Wlan => 1,
-            Technology::Gprs => 2,
-        }
-    }
-
     /// Advances the receiving node's per-technology Gilbert channel and
-    /// samples one frame.
+    /// samples one frame. An inert profile draws nothing, so it also skips
+    /// materializing the node's lazy fault state.
     fn frame_lost(&mut self, to: NodeId, tech: Technology) -> bool {
         let profile = *self.env.faults().profile(tech);
-        let rt = &mut self.nodes[to.index()];
-        profile.frame_lost(&mut rt.burst[Self::tech_slot(tech)], &mut rt.fault_rng)
+        if profile.is_inert() {
+            return false;
+        }
+        let f = self.nodes[to.index()].fault(self.seed, to);
+        profile.frame_lost(&mut f.burst[tech_slot(tech)], &mut f.rng)
     }
 
     /// Samples whether the whole link dies under this frame (charged to the
     /// receiver's fault lane).
     fn link_killed(&mut self, to: NodeId, tech: Technology) -> bool {
         let p = self.env.faults().profile(tech).link_kill;
-        self.nodes[to.index()].fault_rng.chance(p)
+        // `chance(0)` draws nothing — don't materialize fault state for it.
+        p > 0.0 && self.nodes[to.index()].fault(self.seed, to).rng.chance(p)
     }
 
     /// Samples whether a connection attempt is refused outright (charged to
     /// the initiator's fault lane).
     fn connect_refused(&mut self, initiator: NodeId, tech: Technology) -> bool {
         let p = self.env.faults().profile(tech).connect_refuse;
-        self.nodes[initiator.index()].fault_rng.chance(p)
+        p > 0.0
+            && self.nodes[initiator.index()]
+                .fault(self.seed, initiator)
+                .rng
+                .chance(p)
     }
 
     // ------------------------------------------------------------------
@@ -651,7 +684,7 @@ impl<A: Application> Cluster<A> {
                     let rt = &mut self.nodes[node.index()];
                     let mut ctx = AppCtx::new(
                         now,
-                        &rt.name,
+                        &self.infos[node.index()].name,
                         &mut rt.lib,
                         &mut timers,
                         Some(&mut self.trace),
@@ -663,7 +696,7 @@ impl<A: Application> Cluster<A> {
             }
             Ev::DaemonWake(node) => {
                 let now = self.queue.now();
-                self.nodes[node.index()].scheduled_wakes.remove(&now);
+                self.nodes[node.index()].wakes.remove(now);
                 self.feed_daemon(node, DaemonInput::Tick);
             }
             Ev::AppTimer(node, token) => {
@@ -673,7 +706,7 @@ impl<A: Application> Cluster<A> {
                     let rt = &mut self.nodes[node.index()];
                     let mut ctx = AppCtx::new(
                         now,
-                        &rt.name,
+                        &self.infos[node.index()].name,
                         &mut rt.lib,
                         &mut timers,
                         Some(&mut self.trace),
@@ -955,7 +988,7 @@ impl<A: Application> Cluster<A> {
             let rt = &mut self.nodes[node.index()];
             let mut ctx = AppCtx::new(
                 now,
-                &rt.name,
+                &self.infos[node.index()].name,
                 &mut rt.lib,
                 &mut timers,
                 Some(&mut self.trace),
@@ -972,7 +1005,7 @@ impl<A: Application> Cluster<A> {
 
     fn schedule_wake(&mut self, node: NodeId, at: SimTime) {
         let at = at.max(self.queue.now());
-        if self.nodes[node.index()].scheduled_wakes.insert(at) {
+        if self.nodes[node.index()].wakes.insert(at) {
             self.schedule_ev(at, Ev::DaemonWake(node));
         }
     }
@@ -988,10 +1021,7 @@ impl<A: Application> Cluster<A> {
                 self.trace.stats_mut().inquiries += 1;
                 // One batched snapshot from the spatial index; every
                 // responder is then scheduled off this single range query.
-                // An epoch may have answered it already, in parallel.
-                let neighbors = self
-                    .take_epoch_neighbors(node, technology, now)
-                    .unwrap_or_else(|| self.world.neighbors(node, technology, now));
+                let neighbors = self.world.neighbors(node, technology, now);
                 // Every event below targets the seeker, so its home lane is
                 // computed once; all draws come from the seeker's own lane.
                 let lane = self.home_lane(node);
@@ -1233,11 +1263,632 @@ impl<A: Application> Cluster<A> {
     }
 
     fn device_info(&self, node: NodeId) -> DeviceInfo {
-        self.nodes[node.index()].info.clone()
+        self.infos[node.index()].clone()
     }
 
     fn device_id_of(&self, node: NodeId) -> DeviceId {
         self.device_id(node)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The parallel lane-epoch engine
+// ----------------------------------------------------------------------
+//
+// One timestamp batch from `RegionLanes::drain_batch` is one *epoch*: every
+// event in it was already pending when the batch was staged, so nothing a
+// handler does during the epoch can inject work into it (same-timestamp
+// reschedules land in a *later* batch by global sequence number — the
+// queue's documented contract). That boundary is the entire lookahead-safety
+// argument: within an epoch, handlers only read frozen shared state (world
+// positions pinned by `EpochView`, the `down` set, identity snapshots, the
+// trace's string pool) and mutate *their own node's* state, so nodes can
+// execute concurrently.
+//
+// The engine partitions the batch by home node, hands each scoped worker a
+// disjoint `&mut` range of per-node runtimes plus that range's events (in
+// batch order, so per-node RNG/daemon streams evolve exactly as serial),
+// and buffers every externally-visible effect — event schedules, trace
+// records, stat bumps — in a per-worker outbox. The commit phase replays
+// outboxes serially in canonical `(time, seq)` batch order, reproducing the
+// exact global sequence numbers, pool intern order, ring eviction and
+// counters a serial run produces. The trace digest is therefore
+// bit-identical for any worker count, lane count and fault plan; `ci.sh`
+// and the differential tests below enforce that.
+//
+// Only batches whose every event is node-local *under an empty link table*
+// are eligible (discovery, timers, service discovery). Link-touching events
+// — connects completing, frames, teardowns, crash windows — mutate shared
+// tables and fall back to serial dispatch, which is bit-identical by
+// construction.
+
+/// Buffered effects of one epoch worker, replayed serially at commit.
+#[derive(Default)]
+struct EpochOutbox {
+    /// Events to schedule, in execution order. Consumed back-to-front after
+    /// a `reverse()` at commit.
+    schedules: Vec<(SimTime, Ev)>,
+    /// Trace records against the frozen pool, in execution order.
+    records: Vec<PendingRecord>,
+    /// One entry per executed event: `(batch_idx, schedules-end,
+    /// records-end)` — cumulative ends delimiting that event's effects.
+    spans: Vec<(u32, u32, u32)>,
+    /// Commutative counter deltas. The record-owned counters
+    /// (`events_recorded`/`events_dropped`/`messages`/`local_events`) stay
+    /// zero here — the record replay accounts them.
+    stats: TraceStats,
+}
+
+/// One worker's execution context: a disjoint `&mut` range of node
+/// runtimes, shared frozen state, and the outbox collecting effects.
+struct EpochWorker<'a, A> {
+    view: EpochView<'a>,
+    env: &'a RadioEnv,
+    down: &'a BTreeSet<NodeId>,
+    infos: &'a [DeviceInfo],
+    actor_ids: &'a [ActorId],
+    trace: &'a Trace,
+    seed: u64,
+    now: SimTime,
+    /// First node index of this worker's chunk.
+    base: usize,
+    nodes: &'a mut [NodeRt<A>],
+    out: EpochOutbox,
+    /// Reused gather buffer for [`EpochView::neighbors`].
+    scratch: Vec<u32>,
+}
+
+impl<'a, A: Application> EpochWorker<'a, A> {
+    fn rt(&mut self, node: NodeId) -> &mut NodeRt<A> {
+        &mut self.nodes[node.index() - self.base]
+    }
+
+    /// Executes one eligible event and closes its effect span.
+    fn run_ev(&mut self, batch_idx: u32, ev: Ev) {
+        match ev {
+            Ev::Start(node) => {
+                self.app_callback(node, |app, ctx| app.on_start(ctx));
+                self.feed_daemon(node, DaemonInput::Tick);
+            }
+            Ev::DaemonWake(node) => {
+                let now = self.now;
+                self.rt(node).wakes.remove(now);
+                self.feed_daemon(node, DaemonInput::Tick);
+            }
+            Ev::AppTimer(node, token) => {
+                self.app_callback(node, |app, ctx| app.on_timer(token, ctx));
+            }
+            Ev::InquiryFound {
+                seeker,
+                tech,
+                found,
+            } => {
+                if self.view.reachable(seeker, found, tech) {
+                    self.out.stats.inquiry_responses += 1;
+                    let device = self.infos[found.index()].clone();
+                    self.feed_daemon(
+                        seeker,
+                        DaemonInput::Plugin(PluginEvent::InquiryResponse {
+                            technology: tech,
+                            device,
+                        }),
+                    );
+                }
+            }
+            Ev::InquiryDone { node, tech } => {
+                self.feed_daemon(
+                    node,
+                    DaemonInput::Plugin(PluginEvent::InquiryComplete { technology: tech }),
+                );
+            }
+            Ev::ServiceQueryArrive { to, from, tech } => {
+                if self.frame_lost(to, tech) {
+                    self.out.stats.frames_dropped += 1;
+                } else {
+                    let device = DeviceId::new(from.index() as u64);
+                    self.feed_daemon(
+                        to,
+                        DaemonInput::Plugin(PluginEvent::ServiceQuery { device }),
+                    );
+                }
+            }
+            Ev::ServiceReplyArrive {
+                to,
+                from,
+                services,
+                tech,
+            } => {
+                if tech.is_some_and(|tech| self.frame_lost(to, tech)) {
+                    self.out.stats.frames_dropped += 1;
+                } else {
+                    let device = DeviceId::new(from.index() as u64);
+                    self.feed_daemon(
+                        to,
+                        DaemonInput::Plugin(PluginEvent::ServiceReply { device, services }),
+                    );
+                }
+            }
+            _ => unreachable!("ineligible event reached the epoch engine"),
+        }
+        self.out.spans.push((
+            batch_idx,
+            self.out.schedules.len() as u32,
+            self.out.records.len() as u32,
+        ));
+    }
+
+    /// Runs an application callback with a buffered trace sink, then
+    /// processes its timers and queued requests (mirrors the serial
+    /// `Start`/`AppTimer` arms).
+    fn app_callback(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut AppCtx<'_>)) {
+        let mut timers = Vec::new();
+        {
+            let rt = &mut self.nodes[node.index() - self.base];
+            let mut ctx = AppCtx::with_sink(
+                self.now,
+                &self.infos[node.index()].name,
+                &mut rt.lib,
+                &mut timers,
+                TraceSink::Buffer {
+                    trace: self.trace,
+                    actor_id: self.actor_ids[node.index()],
+                    out: &mut self.out.records,
+                },
+            );
+            f(&mut rt.app, &mut ctx);
+        }
+        self.after_app_callback(node, timers);
+    }
+
+    fn after_app_callback(&mut self, node: NodeId, timers: Vec<(SimTime, u64)>) {
+        for (at, token) in timers {
+            self.out.schedules.push((at, Ev::AppTimer(node, token)));
+        }
+        let requests = self.rt(node).lib.drain();
+        for req in requests {
+            self.feed_daemon(node, DaemonInput::App(req));
+        }
+    }
+
+    fn feed_daemon(&mut self, node: NodeId, input: DaemonInput) {
+        let mut work: VecDeque<(NodeId, DaemonInput)> = VecDeque::new();
+        work.push_back((node, input));
+        while let Some((n, input)) = work.pop_front() {
+            if self.down.contains(&n) {
+                continue;
+            }
+            let mut outs = Vec::new();
+            let now = self.now;
+            let rt = &mut self.nodes[n.index() - self.base];
+            let before = *rt.daemon.recovery_stats();
+            rt.daemon.handle(now, input, &mut outs);
+            let after = *rt.daemon.recovery_stats();
+            if after != before {
+                let stats = &mut self.out.stats;
+                stats.retries += after.retries - before.retries;
+                stats.timeouts += after.timeouts - before.timeouts;
+                stats.gave_up += after.gave_up - before.gave_up;
+                stats.resumed += after.resumed - before.resumed;
+            }
+            for out in outs {
+                match out {
+                    DaemonOutput::Plugin(cmd) => self.exec_command(n, cmd),
+                    DaemonOutput::App(ev) => self.deliver_app_event(n, ev, &mut work),
+                    DaemonOutput::WakeAt(t) => self.schedule_wake(n, t),
+                }
+            }
+        }
+    }
+
+    fn deliver_app_event(
+        &mut self,
+        node: NodeId,
+        event: AppEvent,
+        work: &mut VecDeque<(NodeId, DaemonInput)>,
+    ) {
+        if matches!(event, AppEvent::Handover { .. }) {
+            self.out.stats.handovers += 1;
+        }
+        let mut timers = Vec::new();
+        {
+            let rt = &mut self.nodes[node.index() - self.base];
+            let mut ctx = AppCtx::with_sink(
+                self.now,
+                &self.infos[node.index()].name,
+                &mut rt.lib,
+                &mut timers,
+                TraceSink::Buffer {
+                    trace: self.trace,
+                    actor_id: self.actor_ids[node.index()],
+                    out: &mut self.out.records,
+                },
+            );
+            rt.app.on_event(event, &mut ctx);
+        }
+        for (at, token) in timers {
+            self.out.schedules.push((at, Ev::AppTimer(node, token)));
+        }
+        for req in self.rt(node).lib.drain() {
+            work.push_back((node, DaemonInput::App(req)));
+        }
+    }
+
+    fn schedule_wake(&mut self, node: NodeId, at: SimTime) {
+        let at = at.max(self.now);
+        if self.rt(node).wakes.insert(at) {
+            self.out.schedules.push((at, Ev::DaemonWake(node)));
+        }
+    }
+
+    fn frame_lost(&mut self, to: NodeId, tech: Technology) -> bool {
+        let profile = *self.env.faults().profile(tech);
+        if profile.is_inert() {
+            return false;
+        }
+        let seed = self.seed;
+        let f = self.rt(to).fault(seed, to);
+        profile.frame_lost(&mut f.burst[tech_slot(tech)], &mut f.rng)
+    }
+
+    fn connect_refused(&mut self, initiator: NodeId, tech: Technology) -> bool {
+        let p = self.env.faults().profile(tech).connect_refuse;
+        let seed = self.seed;
+        p > 0.0 && self.rt(initiator).fault(seed, initiator).rng.chance(p)
+    }
+
+    /// Worker-side plugin execution for the eligible command subset. The
+    /// link-table commands (`Accept`/`Reject`/`SendFrame`/`CloseLink`) are
+    /// provable no-ops here: the eligibility gate guarantees the link table
+    /// is empty and no eligible event can create a link, so the serial arms
+    /// would fall through their `links.get(..)` misses without any effect.
+    fn exec_command(&mut self, node: NodeId, cmd: PluginCommand) {
+        let now = self.now;
+        match cmd {
+            PluginCommand::StartInquiry { technology } => {
+                self.out.stats.inquiries += 1;
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let neighbors = self.view.neighbors(node, technology, &mut scratch);
+                self.scratch = scratch;
+                let profile = self.env.profile(technology);
+                for nb in neighbors {
+                    let rng = &mut self.rt(node).rng;
+                    if profile.discovery_misses(rng) {
+                        continue;
+                    }
+                    let offset = profile.response_offset(rng);
+                    self.out.schedules.push((
+                        now + offset,
+                        Ev::InquiryFound {
+                            seeker: node,
+                            tech: technology,
+                            found: nb,
+                        },
+                    ));
+                }
+                self.out.schedules.push((
+                    now + profile.inquiry_duration,
+                    Ev::InquiryDone {
+                        node,
+                        tech: technology,
+                    },
+                ));
+            }
+            PluginCommand::QueryServices { device, technology } => {
+                self.out.stats.service_queries += 1;
+                let target = NodeId::from_index(device.raw() as usize);
+                if self.view.reachable(node, target, technology) {
+                    let delay = self
+                        .env
+                        .profile(technology)
+                        .transfer_time(SDP_QUERY_BYTES, &mut self.rt(node).rng);
+                    self.out.schedules.push((
+                        now + delay,
+                        Ev::ServiceQueryArrive {
+                            to: target,
+                            from: node,
+                            tech: technology,
+                        },
+                    ));
+                } else {
+                    self.out.schedules.push((
+                        now + SDP_TIMEOUT,
+                        Ev::ServiceReplyArrive {
+                            to: node,
+                            from: target,
+                            services: Vec::new(),
+                            tech: None,
+                        },
+                    ));
+                }
+            }
+            PluginCommand::ServiceQueryReply { device, services } => {
+                let target = NodeId::from_index(device.raw() as usize);
+                let tech = Technology::ALL
+                    .into_iter()
+                    .find(|&t| self.view.reachable(node, target, t));
+                if let Some(tech) = tech {
+                    let bytes = SDP_QUERY_BYTES + SDP_RECORD_BYTES * services.len();
+                    let delay = self
+                        .env
+                        .profile(tech)
+                        .transfer_time(bytes, &mut self.rt(node).rng);
+                    self.out.schedules.push((
+                        now + delay,
+                        Ev::ServiceReplyArrive {
+                            to: target,
+                            from: node,
+                            services,
+                            tech: Some(tech),
+                        },
+                    ));
+                }
+            }
+            PluginCommand::OpenConnection {
+                attempt,
+                device,
+                service,
+                technology,
+                resume,
+            } => {
+                self.out.stats.connects_attempted += 1;
+                let target = NodeId::from_index(device.raw() as usize);
+                // Setup delay drawn from the main stream *before* the
+                // refusal decision, exactly as the serial arm does.
+                let delay = self
+                    .env
+                    .profile(technology)
+                    .connect_time(&mut self.rt(node).rng);
+                if self.connect_refused(node, technology) {
+                    self.out.schedules.push((
+                        now + delay,
+                        Ev::ConnectResultArrive {
+                            to: node,
+                            attempt,
+                            result: Err(format!("{technology} connection refused")),
+                        },
+                    ));
+                } else if self.view.reachable(node, target, technology) {
+                    self.out.schedules.push((
+                        now + delay,
+                        Ev::ConnectSetupDone {
+                            initiator: node,
+                            attempt,
+                            target,
+                            service,
+                            tech: technology,
+                            resume,
+                        },
+                    ));
+                } else {
+                    self.out.schedules.push((
+                        now + delay,
+                        Ev::ConnectResultArrive {
+                            to: node,
+                            attempt,
+                            result: Err(format!("{technology} peer out of range")),
+                        },
+                    ));
+                }
+            }
+            PluginCommand::AcceptConnection { .. }
+            | PluginCommand::RejectConnection { .. }
+            | PluginCommand::SendFrame { .. }
+            | PluginCommand::CloseLink { .. } => {
+                // Empty link table (eligibility invariant): the serial arms
+                // are no-ops for unknown links.
+            }
+        }
+    }
+}
+
+impl<A: Application + Send> Cluster<A> {
+    /// Processes events until the queue is exhausted or the next event is
+    /// after `deadline`; the clock then stands at `deadline`.
+    ///
+    /// Events are drained one timestamp batch at a time. Batches whose
+    /// events are all node-local (see the engine comment above) execute
+    /// through the parallel lane-epoch engine — with one worker they run
+    /// inline on the same code path — and everything else dispatches
+    /// serially. Both paths produce bit-identical traces, so the digest is
+    /// independent of [`Cluster::set_threads`].
+    pub fn run_until(&mut self, deadline: SimTime) {
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        loop {
+            let t0 = self.collect_timing.then(Instant::now);
+            let drained = self.queue.drain_batch(deadline, &mut batch);
+            if let Some(t0) = t0 {
+                self.timing.drain += t0.elapsed();
+            }
+            let Some(t) = drained else {
+                break;
+            };
+            if batch.len() >= 2 && self.batch_eligible(&batch) {
+                self.run_epoch(t, &mut batch);
+            } else {
+                self.timing.serial_batches += 1;
+                self.timing.serial_events += batch.len() as u64;
+                let t0 = self.collect_timing.then(Instant::now);
+                for ev in batch.drain(..) {
+                    self.dispatch(ev);
+                }
+                if let Some(t0) = t0 {
+                    self.timing.execute += t0.elapsed();
+                }
+            }
+        }
+        self.batch_buf = batch;
+        self.queue.advance_to(deadline);
+    }
+
+    /// Runs for `d` of virtual time from the current instant.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Whether every event in the batch is node-local under an empty link
+    /// table — the precondition for concurrent execution.
+    fn batch_eligible(&self, batch: &[Ev]) -> bool {
+        self.links.is_empty()
+            && batch.iter().all(|ev| {
+                matches!(
+                    ev,
+                    Ev::Start(_)
+                        | Ev::DaemonWake(_)
+                        | Ev::AppTimer(..)
+                        | Ev::InquiryFound { .. }
+                        | Ev::InquiryDone { .. }
+                        | Ev::ServiceQueryArrive { .. }
+                        | Ev::ServiceReplyArrive { .. }
+                )
+            })
+    }
+
+    /// Executes one eligible timestamp batch through the lane-epoch engine:
+    /// partition by home node → concurrent lane-local execution → serial
+    /// outbox commit in canonical batch order.
+    fn run_epoch(&mut self, t: SimTime, batch: &mut Vec<Ev>) {
+        self.timing.par_batches += 1;
+        self.timing.par_events += batch.len() as u64;
+
+        // ---- gather: partition the batch by home node ----
+        let tg = self.collect_timing.then(Instant::now);
+        self.world.prepare_epoch(t);
+        // Tag each event with (home node, batch position); sorting by that
+        // key groups events per node while preserving per-node batch order,
+        // which is what keeps each node's RNG/daemon stream serial-exact.
+        let mut tagged: Vec<(u32, u32, Ev)> = batch
+            .drain(..)
+            .enumerate()
+            .map(|(i, ev)| (ev_target(&ev).index() as u32, i as u32, ev))
+            .collect();
+        tagged.sort_unstable_by_key(|e| (e.0, e.1));
+        let threads = netsim::par::effective_threads(self.threads);
+        let workers = threads
+            .min(tagged.len().div_ceil(EPOCH_MIN_EVENTS_PER_WORKER))
+            .max(1);
+        // Node-aligned cuts balancing the event count per worker. `bounds`
+        // partitions the node table, `ev_cuts` the tagged event list.
+        let mut bounds: Vec<usize> = vec![0];
+        let mut ev_cuts: Vec<usize> = vec![0];
+        let per = tagged.len().div_ceil(workers);
+        let mut next_cut = per;
+        for j in 1..tagged.len() {
+            if j >= next_cut && tagged[j].0 != tagged[j - 1].0 && bounds.len() < workers {
+                bounds.push(tagged[j].0 as usize);
+                ev_cuts.push(j);
+                next_cut = j + per;
+            }
+        }
+        bounds.push(self.nodes.len());
+        ev_cuts.push(tagged.len());
+        // Split the tagged events into per-worker owned parts (the events
+        // must move — their payloads are consumed by the handlers).
+        let mut parts: Vec<Vec<(u32, u32, Ev)>> = Vec::with_capacity(bounds.len() - 1);
+        for w in (1..ev_cuts.len() - 1).rev() {
+            parts.push(tagged.split_off(ev_cuts[w]));
+        }
+        parts.push(tagged);
+        parts.reverse();
+        if let Some(tg) = tg {
+            self.timing.gather += tg.elapsed();
+        }
+
+        // ---- execute: one scoped worker per node range ----
+        let te = self.collect_timing.then(Instant::now);
+        let view = self.world.epoch_view(t);
+        let env = &self.env;
+        let down = &self.down;
+        let infos = &self.infos;
+        let actor_ids = &self.actor_ids;
+        let trace = &self.trace;
+        let seed = self.seed;
+        let mut boxes = netsim::par::map_chunks_mut_with(
+            &mut self.nodes,
+            &bounds,
+            parts,
+            |_ci, base, chunk, mut part| {
+                // Execute in original batch order, not the node-grouped
+                // order the partitioning sort left behind: batch indices
+                // are unique and per-node ascending, so this preserves
+                // every node's serial-exact stream while making the
+                // worker's outbox spans ascend in batch index — the
+                // invariant the commit merge below relies on.
+                part.sort_unstable_by_key(|e| e.1);
+                let mut w = EpochWorker {
+                    view,
+                    env,
+                    down,
+                    infos,
+                    actor_ids,
+                    trace,
+                    seed,
+                    now: t,
+                    base,
+                    nodes: chunk,
+                    out: EpochOutbox::default(),
+                    scratch: Vec::new(),
+                };
+                for (_, batch_idx, ev) in part {
+                    w.run_ev(batch_idx, ev);
+                }
+                w.out
+            },
+        );
+        if let Some(te) = te {
+            self.timing.execute += te.elapsed();
+        }
+
+        // ---- commit: replay outboxes in canonical batch order ----
+        // Each worker's spans carry ascending batch indices, so a k-way
+        // merge over the workers visits events in exactly the order the
+        // serial engine would have dispatched them. Replaying schedules
+        // reproduces the global sequence numbers; replaying records
+        // reproduces pool interning and ring eviction; the stat deltas are
+        // commutative sums folded at the end.
+        let tc = self.collect_timing.then(Instant::now);
+        for b in &mut boxes {
+            b.schedules.reverse();
+            b.records.reverse();
+        }
+        let mut span_cur = vec![0usize; boxes.len()];
+        let mut sched_done = vec![0u32; boxes.len()];
+        let mut rec_done = vec![0u32; boxes.len()];
+        loop {
+            let mut best: Option<(u32, usize)> = None;
+            for (w, &c) in span_cur.iter().enumerate() {
+                if c < boxes[w].spans.len() {
+                    let bi = boxes[w].spans[c].0;
+                    if best.is_none_or(|(bb, _)| bi < bb) {
+                        best = Some((bi, w));
+                    }
+                }
+            }
+            let Some((_, w)) = best else {
+                break;
+            };
+            let (_, s_end, r_end) = boxes[w].spans[span_cur[w]];
+            span_cur[w] += 1;
+            while sched_done[w] < s_end {
+                let (at, ev) = boxes[w].schedules.pop().expect("span bookkeeping");
+                self.schedule_ev(at, ev);
+                sched_done[w] += 1;
+            }
+            while rec_done[w] < r_end {
+                boxes[w]
+                    .records
+                    .pop()
+                    .expect("span bookkeeping")
+                    .replay(&mut self.trace);
+                rec_done[w] += 1;
+            }
+        }
+        for b in &boxes {
+            self.trace.stats_mut().add(&b.stats);
+        }
+        if let Some(tc) = tc {
+            self.timing.commit += tc.elapsed();
+        }
     }
 }
 
@@ -1271,8 +1922,8 @@ mod tests {
 
         fn on_event(&mut self, event: AppEvent, _ctx: &mut AppCtx<'_>) {
             match event {
-                AppEvent::DeviceAppeared(i) => self.appeared.push(i.name),
-                AppEvent::DeviceDisappeared(i) => self.disappeared.push(i.name),
+                AppEvent::DeviceAppeared(i) => self.appeared.push(i.name.to_string()),
+                AppEvent::DeviceDisappeared(i) => self.disappeared.push(i.name.to_string()),
                 AppEvent::ServiceList {
                     device, services, ..
                 } => self.service_lists.push((

@@ -1,0 +1,144 @@
+//! A tiny per-technology map.
+//!
+//! Several daemon structures key a handful of values by [`Technology`] —
+//! inquiry intervals, inquiry state, sighting times. A `BTreeMap` is the
+//! obvious shape, but its smallest node holds eleven slots: at crowd scale
+//! (a million daemons, each owning two such maps) those part-empty nodes
+//! were among the largest heap consumers in the whole simulation. This
+//! inline three-slot array stores the same mapping with zero allocations.
+//!
+//! Iteration order is [`Technology::ALL`] order, which equals `Technology`'s
+//! `Ord` order — so replacing a `BTreeMap` with a [`TechMap`] preserves every
+//! observable iteration sequence bit-for-bit.
+
+use netsim::Technology;
+
+/// An inline map from [`Technology`] to `V` (at most one value per
+/// technology; see the module docs for why this exists).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TechMap<V>([Option<V>; 3]);
+
+fn slot(tech: Technology) -> usize {
+    match tech {
+        Technology::Bluetooth => 0,
+        Technology::Wlan => 1,
+        Technology::Gprs => 2,
+    }
+}
+
+impl<V> TechMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        TechMap([None, None, None])
+    }
+
+    /// The value for `tech`, if set.
+    pub fn get(&self, tech: Technology) -> Option<&V> {
+        self.0[slot(tech)].as_ref()
+    }
+
+    /// Mutable access to the value for `tech`, if set.
+    pub fn get_mut(&mut self, tech: Technology) -> Option<&mut V> {
+        self.0[slot(tech)].as_mut()
+    }
+
+    /// Sets the value for `tech`, returning the previous one if any.
+    pub fn insert(&mut self, tech: Technology, value: V) -> Option<V> {
+        self.0[slot(tech)].replace(value)
+    }
+
+    /// Removes the value for `tech`, returning it if it was set.
+    pub fn remove(&mut self, tech: Technology) -> Option<V> {
+        self.0[slot(tech)].take()
+    }
+
+    /// Whether `tech` has a value.
+    pub fn contains(&self, tech: Technology) -> bool {
+        self.0[slot(tech)].is_some()
+    }
+
+    /// Whether no technology has a value.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(Option::is_none)
+    }
+
+    /// Number of technologies with a value.
+    pub fn len(&self) -> usize {
+        self.0.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Entries in [`Technology::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Technology, &V)> {
+        Technology::ALL
+            .into_iter()
+            .zip(self.0.iter())
+            .filter_map(|(tech, v)| v.as_ref().map(|v| (tech, v)))
+    }
+
+    /// Mutable entries in [`Technology::ALL`] order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Technology, &mut V)> {
+        Technology::ALL
+            .into_iter()
+            .zip(self.0.iter_mut())
+            .filter_map(|(tech, v)| v.as_mut().map(|v| (tech, v)))
+    }
+
+    /// Values in [`Technology::ALL`] order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.0.iter().filter_map(Option::as_ref)
+    }
+
+    /// Mutable values in [`Technology::ALL`] order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.0.iter_mut().filter_map(Option::as_mut)
+    }
+}
+
+impl<V> FromIterator<(Technology, V)> for TechMap<V> {
+    fn from_iter<I: IntoIterator<Item = (Technology, V)>>(iter: I) -> Self {
+        let mut map = TechMap::new();
+        for (tech, v) in iter {
+            map.insert(tech, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = TechMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(Technology::Wlan, 5), None);
+        assert_eq!(m.insert(Technology::Wlan, 7), Some(5));
+        assert_eq!(m.get(Technology::Wlan), Some(&7));
+        assert!(m.contains(Technology::Wlan));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(Technology::Wlan), Some(7));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_all_order() {
+        let m: TechMap<u32> = [(Technology::Gprs, 3), (Technology::Bluetooth, 1)]
+            .into_iter()
+            .collect();
+        let order: Vec<_> = m.iter().map(|(t, v)| (t, *v)).collect();
+        assert_eq!(
+            order,
+            vec![(Technology::Bluetooth, 1), (Technology::Gprs, 3)]
+        );
+    }
+
+    #[test]
+    fn iter_mut_edits_in_place() {
+        let mut m: TechMap<u32> = [(Technology::Bluetooth, 1)].into_iter().collect();
+        for (_, v) in m.iter_mut() {
+            *v += 10;
+        }
+        assert_eq!(m.get(Technology::Bluetooth), Some(&11));
+    }
+}

@@ -2,8 +2,9 @@
 
 use codec::{DecodeError, Wire};
 use std::fmt;
+use std::sync::Arc;
 
-use netsim::Technology;
+use netsim::{TechSet, Technology};
 
 /// Globally unique identifier of a personal trusted device (PTD).
 ///
@@ -42,26 +43,27 @@ impl fmt::Display for DeviceId {
 pub struct DeviceInfo {
     /// Unique identifier.
     pub id: DeviceId,
-    /// Human-readable device name (the PTD owner's device name).
-    pub name: String,
+    /// Human-readable device name (the PTD owner's device name). Stored
+    /// interned (`Arc<str>`): device descriptions are cloned into neighbor
+    /// tables, discovery events and daemon configs by the million at crowd
+    /// scale, and sharing one allocation per device keeps those clones
+    /// heap-free.
+    pub name: Arc<str>,
     /// Technologies the device is equipped with.
-    pub technologies: Vec<Technology>,
+    pub technologies: TechSet,
 }
 
 impl DeviceInfo {
     /// Creates device info.
     pub fn new(
         id: DeviceId,
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         technologies: impl IntoIterator<Item = Technology>,
     ) -> Self {
-        let mut technologies: Vec<Technology> = technologies.into_iter().collect();
-        technologies.sort();
-        technologies.dedup();
         DeviceInfo {
             id,
             name: name.into(),
-            technologies,
+            technologies: technologies.into_iter().collect(),
         }
     }
 }
@@ -194,20 +196,22 @@ impl Wire for ResumeToken {
 impl Wire for DeviceInfo {
     fn encode_to(&self, out: &mut Vec<u8>) {
         self.id.encode_to(out);
-        self.name.encode_to(out);
+        // Same wire format as a `String` field: length-prefixed UTF-8.
+        (self.name.len() as u32).encode_to(out);
+        out.extend_from_slice(self.name.as_bytes());
         (self.technologies.len() as u32).encode_to(out);
-        for t in &self.technologies {
+        for t in self.technologies.iter() {
             t.encode_to(out);
         }
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         let id = DeviceId::decode(input)?;
-        let name = String::decode(input)?;
+        let name = String::decode(input)?.into();
         let n = codec::read_len(input)?;
-        let mut technologies = Vec::with_capacity(n.min(input.len()));
+        let mut technologies = TechSet::EMPTY;
         for _ in 0..n {
-            technologies.push(netsim::Technology::decode(input)?);
+            technologies.insert(netsim::Technology::decode(input)?);
         }
         Ok(DeviceInfo {
             id,
@@ -264,7 +268,7 @@ mod tests {
             [Technology::Wlan, Technology::Bluetooth, Technology::Wlan],
         );
         assert_eq!(
-            info.technologies,
+            info.technologies.iter().collect::<Vec<_>>(),
             vec![Technology::Bluetooth, Technology::Wlan]
         );
     }

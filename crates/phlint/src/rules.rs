@@ -450,11 +450,15 @@ fn raw_thread_spawn(f: &SourceFile, out: &mut Vec<Finding>) {
         if f.test_mask[i] {
             continue;
         }
+        // `thread::spawn` and `thread::scope` both count: a scope is a
+        // thread factory even when the `.spawn` calls hide inside a helper
+        // that borrows the scope, so epoch/outbox workers must go through
+        // the `netsim::par` fork/join helpers instead.
         let path_spawn = is_ident(&toks[i], "thread")
             && i + 3 < toks.len()
             && is_punct(&toks[i + 1], ":")
             && is_punct(&toks[i + 2], ":")
-            && is_ident(&toks[i + 3], "spawn");
+            && (is_ident(&toks[i + 3], "spawn") || is_ident(&toks[i + 3], "scope"));
         let method_spawn = is_punct(&toks[i], ".")
             && toks.get(i + 1).is_some_and(|n| is_ident(n, "spawn"))
             && toks.get(i + 2).is_some_and(|n| is_punct(n, "("));
@@ -803,9 +807,19 @@ mod tests {
         let f = run_one("crates/harness/src/x.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, RAW_THREAD_SPAWN);
-        // …and scope spawns too:
+        // …and scope spawns too (the scope itself plus the `.spawn`):
         let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
-        assert_eq!(run_one("crates/core/src/x.rs", src).len(), 1);
+        assert_eq!(run_one("crates/core/src/x.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn thread_scope_flagged_even_when_spawns_hide_in_a_helper() {
+        // A scope handed to a helper spawns threads without any visible
+        // `.spawn` at the call site — the scope alone must trip the rule.
+        let src = "fn f() { std::thread::scope(|s| fan_out(s)); }";
+        let f = run_one("crates/peerhood/src/sim.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RAW_THREAD_SPAWN);
     }
 
     #[test]
