@@ -9,12 +9,77 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 
 # Static analysis: determinism & robustness rules over every workspace
-# .rs file (DESIGN.md §9). Exits 1 on any finding not covered by the
-# committed lint.allow baseline, 2 on I/O or parse trouble — either way
-# `set -e` stops the gate. The JSON report is committed alongside
-# BENCH_scale.json so finding drift shows up in review.
+# .rs file (DESIGN.md §9 and §14). Exits 1 on any finding not covered by
+# the committed lint.allow baseline, 2 on I/O or parse trouble or an
+# ambiguous baseline — either way `set -e` stops the gate. The JSON
+# report is committed alongside BENCH_scale.json so finding drift shows
+# up in review; regenerating it must be a no-op against the checkout.
 cargo run --release --offline -p ph-lint -- --workspace --format json > LINT.json
 cat LINT.json
+git diff --exit-code -- LINT.json
+
+# The lint's own golden corpus, call-graph, and lexer-fuzz suites (also
+# covered by the workspace test run above; named here so a corpus break
+# reads as a lint failure, not a generic test failure).
+cargo test -q --offline -p ph-lint --test golden --test graph_reachability --test lexer_prop
+
+# Lint self-test: inject one violation of each syntax-aware rule family
+# into real source, assert the prebuilt binary catches it (nonzero exit),
+# restore. The canaries are only lexed, never compiled.
+restore_lint_canaries() {
+    for f in crates/peerhood/src/sim.rs crates/netsim/src/trace.rs crates/codec/src/wire.rs; do
+        if [ -f "$f.lintbak" ]; then mv "$f.lintbak" "$f"; fi
+    done
+}
+trap restore_lint_canaries EXIT
+
+expect_lint_failure() {
+    if target/release/ph-lint --workspace > /dev/null 2>&1; then
+        echo "lint self-test: injected $1 violation was NOT caught"
+        exit 1
+    fi
+    restore_lint_canaries
+    echo "lint self-test: $1 caught"
+}
+
+# digest-taint: a wall-clock read inside the digest root itself.
+cp crates/peerhood/src/sim.rs crates/peerhood/src/sim.rs.lintbak
+sed -i '0,/let t0 = self.collect_timing.then(Instant::now);/s//&\n        let _canary = Instant::now();/' \
+    crates/peerhood/src/sim.rs
+expect_lint_failure digest-taint
+
+# epoch-frozen-mutation: a mutable borrow of the frozen epoch view.
+cp crates/peerhood/src/sim.rs crates/peerhood/src/sim.rs.lintbak
+cat >> crates/peerhood/src/sim.rs <<'EOF'
+impl EpochWorker {
+    fn lint_canary(&mut self) {
+        let _grab = &mut self.view;
+    }
+}
+EOF
+expect_lint_failure epoch-frozen-mutation
+
+# outbox-commutativity: a non-additive merge on the outbox stats type.
+cp crates/netsim/src/trace.rs crates/netsim/src/trace.rs.lintbak
+cat >> crates/netsim/src/trace.rs <<'EOF'
+impl TraceStats {
+    fn absorb(&mut self, other: &TraceStats) {
+        self.events_recorded = other.events_recorded;
+    }
+}
+EOF
+expect_lint_failure outbox-commutativity
+
+# unbounded-decode-allocation: an allocation sized by a raw wire length.
+cp crates/codec/src/wire.rs crates/codec/src/wire.rs.lintbak
+cat >> crates/codec/src/wire.rs <<'EOF'
+fn lint_canary(input: &[u8]) {
+    let claim = u32::from_be_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    let _buf: Vec<u8> = Vec::with_capacity(claim);
+}
+EOF
+expect_lint_failure unbounded-decode-allocation
+trap - EXIT
 
 # Scale smoke: the 100- and 1000-node crowds run twice — pure serial, then
 # through the parallel epoch engine (`--threads 4 --selfcheck`, which also

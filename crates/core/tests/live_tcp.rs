@@ -127,7 +127,7 @@ impl ThinClient {
             .set_read_timeout(Some(Duration::from_millis(50)))
             .ok();
         loop {
-            if let Some(f) = self.frames.pop() {
+            if let Ok(Some(f)) = self.frames.pop() {
                 return Some(f);
             }
             if Instant::now() >= deadline {
@@ -135,12 +135,12 @@ impl ThinClient {
             }
             let mut buf = [0u8; 16 * 1024];
             match self.stream.read(&mut buf) {
-                Ok(0) => return self.frames.pop(),
+                Ok(0) => return self.frames.pop().ok().flatten(),
                 Ok(n) => self.frames.extend(&buf[..n]),
                 Err(e)
                     if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
                 }
-                Err(_) => return self.frames.pop(),
+                Err(_) => return self.frames.pop().ok().flatten(),
             }
         }
     }
@@ -213,7 +213,7 @@ impl StalledClient {
                 }
                 Err(_) => eof = true,
             }
-            while let Some(f) = frames.pop() {
+            while let Ok(Some(f)) = frames.pop() {
                 if let Some(kind) = parse_farewell(&f) {
                     return Some(kind);
                 }

@@ -419,14 +419,21 @@ fn run_worker(
                         c.state = ClientState::Dead;
                         continue;
                     }
-                    if let Some(f) = c.inbuf.pop() {
-                        if f.first() == Some(&VERDICT_ACCEPT) {
-                            c.state = ClientState::Idle;
-                        } else {
+                    match c.inbuf.pop() {
+                        Ok(Some(f)) => {
+                            if f.first() == Some(&VERDICT_ACCEPT) {
+                                c.state = ClientState::Idle;
+                            } else {
+                                result.errors += 1;
+                                c.state = ClientState::Dead;
+                            }
+                            activity = true;
+                        }
+                        Ok(None) => {}
+                        Err(_) => {
                             result.errors += 1;
                             c.state = ClientState::Dead;
                         }
-                        activity = true;
                     }
                 } else if c.sent < stalled_requests {
                     if c.out.is_empty() {
@@ -451,7 +458,16 @@ fn run_worker(
                 c.state = ClientState::Dead;
                 continue;
             }
-            while let Some(f) = c.inbuf.pop() {
+            loop {
+                let f = match c.inbuf.pop() {
+                    Ok(Some(f)) => f,
+                    Ok(None) => break,
+                    Err(_) => {
+                        result.errors += 1;
+                        c.state = ClientState::Dead;
+                        break;
+                    }
+                };
                 activity = true;
                 match &c.state {
                     ClientState::AwaitVerdict => {
@@ -521,10 +537,16 @@ fn run_worker(
         let t0 = Instant::now();
         'drain: while t0.elapsed() < Duration::from_millis(800) {
             let alive = c.pump();
-            while let Some(f) = c.inbuf.pop() {
-                if parse_farewell(&f) == Some(ErrorKind::Overloaded) {
-                    result.shed_observed += 1;
-                    break 'drain;
+            loop {
+                match c.inbuf.pop() {
+                    Ok(Some(f)) => {
+                        if parse_farewell(&f) == Some(ErrorKind::Overloaded) {
+                            result.shed_observed += 1;
+                            break 'drain;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => break 'drain,
                 }
             }
             if !alive {

@@ -51,8 +51,12 @@ impl Sock {
     }
 
     /// Pops one complete length-prefixed frame from the buffer, if present.
-    fn pop_frame(&mut self) -> Option<Vec<u8>> {
-        self.buf.pop()
+    /// A hostile length header surfaces as `InvalidData` — the link must
+    /// be dropped, same as any other socket error.
+    fn pop_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        self.buf
+            .pop()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
     /// Writes one length-prefixed frame, spinning briefly on `WouldBlock`
@@ -348,31 +352,36 @@ impl<A: Application> LiveNet<A> {
             let mut still_greeting = Vec::new();
             for mut sock in greeting.drain(..) {
                 if let Ok(eof) = sock.pump() {
-                    if let Some(frame) = sock.pop_frame() {
-                        if let Ok(hs) = Handshake::decode_exact(&frame) {
-                            let link = self.nodes[i].alloc_link();
-                            let device = DeviceInfo::new(
-                                hs.from,
-                                self.nodes
-                                    .get(hs.from.raw() as usize)
-                                    .map(|n| n.name.clone())
-                                    .unwrap_or_else(|| hs.from.to_string()),
-                                [Technology::Wlan],
-                            );
-                            self.nodes[i].pending_in.insert(link, sock);
-                            work.push_back((
-                                i,
-                                DaemonInput::Plugin(PluginEvent::IncomingConnection {
-                                    link,
-                                    device,
-                                    service: hs.service,
-                                    technology: Technology::Wlan,
-                                    resume: hs.resume,
-                                }),
-                            ));
+                    // An Err from pop_frame (oversized length claim) falls
+                    // through to the drop: the socket is neither
+                    // handshaken nor kept for another round.
+                    match sock.pop_frame() {
+                        Ok(Some(frame)) => {
+                            if let Ok(hs) = Handshake::decode_exact(&frame) {
+                                let link = self.nodes[i].alloc_link();
+                                let device = DeviceInfo::new(
+                                    hs.from,
+                                    self.nodes
+                                        .get(hs.from.raw() as usize)
+                                        .map(|n| n.name.clone())
+                                        .unwrap_or_else(|| hs.from.to_string()),
+                                    [Technology::Wlan],
+                                );
+                                self.nodes[i].pending_in.insert(link, sock);
+                                work.push_back((
+                                    i,
+                                    DaemonInput::Plugin(PluginEvent::IncomingConnection {
+                                        link,
+                                        device,
+                                        service: hs.service,
+                                        technology: Technology::Wlan,
+                                        resume: hs.resume,
+                                    }),
+                                ));
+                            }
                         }
-                    } else if !eof {
-                        still_greeting.push(sock);
+                        Ok(None) if !eof => still_greeting.push(sock),
+                        Ok(None) | Err(_) => {}
                     }
                 }
             }
@@ -385,8 +394,8 @@ impl<A: Application> LiveNet<A> {
                     continue;
                 };
                 match p.sock.pump() {
-                    Ok(eof) => {
-                        if let Some(frame) = p.sock.pop_frame() {
+                    Ok(eof) => match p.sock.pop_frame() {
+                        Ok(Some(frame)) => {
                             let p = self.nodes[i].pending_out.remove(&link).expect("present");
                             if frame.first() == Some(&VERDICT_ACCEPT) {
                                 self.nodes[i].links.insert(link, p.sock);
@@ -408,7 +417,8 @@ impl<A: Application> LiveNet<A> {
                                     }),
                                 ));
                             }
-                        } else if eof {
+                        }
+                        Ok(None) if eof => {
                             let p = self.nodes[i].pending_out.remove(&link).expect("present");
                             work.push_back((
                                 i,
@@ -418,7 +428,18 @@ impl<A: Application> LiveNet<A> {
                                 }),
                             ));
                         }
-                    }
+                        Ok(None) => {}
+                        Err(e) => {
+                            let p = self.nodes[i].pending_out.remove(&link).expect("present");
+                            work.push_back((
+                                i,
+                                DaemonInput::Plugin(PluginEvent::ConnectResult {
+                                    attempt: p.attempt,
+                                    result: Err(e.to_string()),
+                                }),
+                            ));
+                        }
+                    },
                     Err(_) => {
                         let p = self.nodes[i].pending_out.remove(&link).expect("present");
                         work.push_back((
@@ -440,16 +461,30 @@ impl<A: Application> LiveNet<A> {
                 };
                 match sock.pump() {
                     Ok(eof) => {
-                        while let Some(frame) = sock.pop_frame() {
+                        let mut framing_err = false;
+                        loop {
+                            match sock.pop_frame() {
+                                Ok(Some(frame)) => work.push_back((
+                                    i,
+                                    DaemonInput::Plugin(PluginEvent::Frame {
+                                        link,
+                                        payload: Bytes::from(frame),
+                                    }),
+                                )),
+                                Ok(None) => break,
+                                Err(_) => {
+                                    framing_err = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if framing_err {
+                            self.nodes[i].links.remove(&link);
                             work.push_back((
                                 i,
-                                DaemonInput::Plugin(PluginEvent::Frame {
-                                    link,
-                                    payload: Bytes::from(frame),
-                                }),
+                                DaemonInput::Plugin(PluginEvent::LinkDown { link }),
                             ));
-                        }
-                        if eof {
+                        } else if eof {
                             self.nodes[i].links.remove(&link);
                             work.push_back((
                                 i,

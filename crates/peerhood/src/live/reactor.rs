@@ -386,7 +386,7 @@ impl Shard {
                         loop {
                             match c.state {
                                 ConnState::Greeting => match c.inbuf.pop() {
-                                    Some(f) => match Handshake::decode_exact(&f) {
+                                    Ok(Some(f)) => match Handshake::decode_exact(&f) {
                                         Ok(hs) => {
                                             c.state = ConnState::AwaitingVerdict;
                                             msgs.push(CoreMsg::Hello { conn: id, hs });
@@ -399,12 +399,20 @@ impl Shard {
                                             break;
                                         }
                                     },
-                                    None => break,
+                                    Ok(None) => break,
+                                    // Oversized length claim before the
+                                    // handshake even parsed: hostile peer.
+                                    Err(_) => {
+                                        Counters::bump(&counters.handshake_failures);
+                                        drop_it = true;
+                                        active = true;
+                                        break;
+                                    }
                                 },
                                 // Early frames stay buffered until the verdict.
                                 ConnState::AwaitingVerdict => break,
                                 ConnState::Established => match c.inbuf.pop() {
-                                    Some(f) => {
+                                    Ok(Some(f)) => {
                                         Counters::bump(&counters.frames_in);
                                         msgs.push(CoreMsg::Frame {
                                             conn: id,
@@ -412,7 +420,21 @@ impl Shard {
                                         });
                                         active = true;
                                     }
-                                    None => break,
+                                    Ok(None) => break,
+                                    // A framing violation mid-session: the
+                                    // stream offset is unrecoverable, so the
+                                    // connection goes down as an error.
+                                    Err(_) => {
+                                        if c.announced() {
+                                            msgs.push(CoreMsg::Gone {
+                                                conn: id,
+                                                cause: GoneCause::Error,
+                                            });
+                                        }
+                                        drop_it = true;
+                                        active = true;
+                                        break;
+                                    }
                                 },
                                 ConnState::Dying { .. } => break,
                             }
@@ -1027,14 +1049,14 @@ mod tests {
             let t0 = Instant::now();
             let mut tmp = [0u8; 4096];
             loop {
-                if let Some(f) = self.buf.pop() {
+                if let Ok(Some(f)) = self.buf.pop() {
                     return Some(f);
                 }
                 if t0.elapsed() > deadline {
                     return None;
                 }
                 match self.stream.read(&mut tmp) {
-                    Ok(0) => return self.buf.pop(),
+                    Ok(0) => return self.buf.pop().ok().flatten(),
                     Ok(n) => self.buf.extend(&tmp[..n]),
                     Err(e)
                         if e.kind() == io::ErrorKind::WouldBlock

@@ -80,6 +80,35 @@ pub fn parse_farewell(payload: &[u8]) -> Option<ErrorKind> {
     }
 }
 
+/// Largest payload a frame header may claim (1 MiB). Community requests
+/// and responses are orders of magnitude smaller; anything bigger is a
+/// hostile or corrupt header, and honoring it would let a 4-byte header
+/// commit the receiver to a multi-gigabyte buffer.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// A hostile or corrupt length header: the connection must be dropped.
+///
+/// This is a *hard* protocol violation, distinct from the "not enough
+/// bytes yet" case ([`FrameBuf::pop`] returning `Ok(None)`): waiting for
+/// more bytes cannot fix a claim that exceeds [`MAX_FRAME_LEN`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameError {
+    /// The payload length the 4-byte header claimed.
+    pub claimed: usize,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame header claims {} bytes (max {MAX_FRAME_LEN})",
+            self.claimed
+        )
+    }
+}
+
+impl std::error::Error for FrameError {}
+
 /// An incremental length-prefixed frame parser over a growing byte buffer.
 #[derive(Debug, Default)]
 pub struct FrameBuf {
@@ -97,18 +126,29 @@ impl FrameBuf {
         self.buf.extend_from_slice(bytes);
     }
 
-    /// Pops one complete frame payload, if buffered.
-    pub fn pop(&mut self) -> Option<Vec<u8>> {
+    /// Pops one complete frame payload. `Ok(None)` means "not enough
+    /// bytes yet" — feed more and retry.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] when the header claims more than [`MAX_FRAME_LEN`]
+    /// bytes. The claim is rejected *before* any buffering or allocation
+    /// is sized by it; the caller must drop the connection (the stream
+    /// offset is unrecoverable after a bad header).
+    pub fn pop(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
         if self.buf.len() < 4 {
-            return None;
+            return Ok(None);
         }
         let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError { claimed: len });
+        }
         if self.buf.len() < 4 + len {
-            return None;
+            return Ok(None);
         }
         let frame = self.buf[4..4 + len].to_vec();
         self.buf.drain(..4 + len);
-        Some(frame)
+        Ok(Some(frame))
     }
 
     /// Bytes currently buffered (incomplete frame tail included).
@@ -161,12 +201,53 @@ mod tests {
         let mut got = Vec::new();
         for byte in stream {
             fb.extend(&[byte]);
-            while let Some(f) = fb.pop() {
+            while let Some(f) = fb.pop().unwrap() {
                 got.push(f);
             }
         }
         assert_eq!(got, vec![b"hello".to_vec(), Vec::new()]);
         assert!(fb.is_empty());
+    }
+
+    #[test]
+    fn hostile_length_header_is_rejected_not_buffered() {
+        // A 4-byte header claiming ~4 GiB: the old parser would sit
+        // waiting (and let the peer feed it 4 GiB one segment at a time);
+        // the claim must be rejected the moment the header is readable.
+        let mut fb = FrameBuf::new();
+        fb.extend(&u32::MAX.to_be_bytes());
+        assert_eq!(
+            fb.pop(),
+            Err(FrameError {
+                claimed: u32::MAX as usize
+            })
+        );
+        // The error is sticky until the caller drops the connection —
+        // the stream offset is unrecoverable.
+        fb.extend(b"more bytes");
+        assert!(fb.pop().is_err());
+
+        // One byte over the cap: rejected; at the cap: accepted.
+        let mut fb = FrameBuf::new();
+        fb.extend(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes());
+        assert_eq!(
+            fb.pop(),
+            Err(FrameError {
+                claimed: MAX_FRAME_LEN + 1
+            })
+        );
+        let mut fb = FrameBuf::new();
+        let payload = vec![0xAB; MAX_FRAME_LEN];
+        fb.extend(&frame(&payload));
+        assert_eq!(fb.pop(), Ok(Some(payload)));
+    }
+
+    #[test]
+    fn frame_error_display_names_the_claim_and_the_cap() {
+        let e = FrameError { claimed: 1 << 30 };
+        let msg = e.to_string();
+        assert!(msg.contains(&(1usize << 30).to_string()), "{msg}");
+        assert!(msg.contains(&MAX_FRAME_LEN.to_string()), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! An intra-workspace call graph with reachability from declared roots.
+//!
+//! Built from the item trees of every non-test source file, the graph gives
+//! rules a *transitive* view: "is this fn reachable from the trace-digest
+//! roots?" replaces "does this file look like simulation code?". Resolution
+//! is name-based and deliberately over-approximate — when a method call
+//! `.foo(…)` could hit several workspace methods named `foo`, the graph
+//! records an edge to all of them. Over-approximation fails *safe* for the
+//! rules built on top (a taint rule may flag a hair too much, never too
+//! little), and every ambiguity can be silenced precisely in `lint.allow`.
+//!
+//! Three call forms resolve:
+//!
+//! * **method calls** `recv.foo(…)` → every workspace method named `foo`;
+//! * **path calls** `Type::foo(…)` (UFCS) → methods of `Type` after
+//!   rewriting `Type` through the file's `use`-aliases (`use x::Real as
+//!   Type`) and `Self` to the enclosing impl type; `module::foo(…)` falls
+//!   back to free fns named `foo` preferring files matching the module
+//!   (`par::go` → `…/par.rs`);
+//! * **plain calls** `foo(…)` → free fns named `foo` in the same file,
+//!   else the same crate (cross-crate calls are always path-qualified).
+//!
+//! Bare path *references* (`map(Type::helper)`) resolve through the method
+//! table too, so fn-pointer plumbing like `.then(Instant::now)` does not
+//! hide an edge.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::parse::{walk_items, Item, ItemKind};
+use crate::rules::SourceFile;
+
+/// One fn in the workspace.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Index of the defining file in the slice passed to [`CallGraph::build`].
+    pub file: usize,
+    /// Workspace-relative path of that file.
+    pub path: String,
+    /// Enclosing impl/trait type, if any.
+    pub self_type: Option<String>,
+    /// Bare fn name.
+    pub name: String,
+    /// Qualified name: `Type::name` for methods, `name` for free fns.
+    pub qname: String,
+    /// 1-based line of the fn head.
+    pub line: u32,
+    /// Token indices of the body braces in the defining file (`None` for
+    /// signature-only trait methods).
+    pub body: Option<(usize, usize)>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every fn, in deterministic (file, declaration) order.
+    pub fns: Vec<FnNode>,
+    /// `calls[i]` — sorted, deduped callee indices of fn `i`.
+    pub calls: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over every non-test file. Test files and
+    /// `#[cfg(test)]` items are excluded so fixture/test helpers can never
+    /// pollute production reachability.
+    #[must_use]
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut g = CallGraph::default();
+        // Pass 1: collect fns.
+        for (fi, f) in files.iter().enumerate() {
+            if f.is_test_file() {
+                continue;
+            }
+            collect_fns(&f.items, f, fi, None, &mut g.fns);
+        }
+        // Indexes (BTreeMap: iteration order deterministic).
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_type: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (id, n) in g.fns.iter().enumerate() {
+            match &n.self_type {
+                Some(ty) => {
+                    methods_by_name.entry(&n.name).or_default().push(id);
+                    methods_by_type
+                        .entry((ty.as_str(), &n.name))
+                        .or_default()
+                        .push(id);
+                }
+                None => free_by_name.entry(&n.name).or_default().push(id),
+            }
+        }
+        // Pass 2: resolve call sites per fn body.
+        g.calls = g
+            .fns
+            .iter()
+            .map(|node| {
+                let f = &files[node.file];
+                let Some((open, close)) = node.body else {
+                    return Vec::new();
+                };
+                let mut out = resolve_calls(
+                    f,
+                    open + 1,
+                    close,
+                    node.self_type.as_deref(),
+                    &methods_by_name,
+                    &methods_by_type,
+                    &free_by_name,
+                    &g.fns,
+                );
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        g
+    }
+
+    /// Ids of fns whose defining file is `path` and qualified name is
+    /// `qname` (several on re-declaration, e.g. cfg-gated twins).
+    #[must_use]
+    pub fn find(&self, path: &str, qname: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.path == path && n.qname == qname)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// BFS reachability from `roots`; `result[id]` holds the index of the
+    /// root that first reached fn `id` (roots reach themselves).
+    #[must_use]
+    pub fn reachable_from(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut reached: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if r < reached.len() && reached[r].is_none() {
+                reached[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(at) = queue.pop_front() {
+            let via = reached[at];
+            for &next in &self.calls[at] {
+                if reached[next].is_none() {
+                    reached[next] = via;
+                    queue.push_back(next);
+                }
+            }
+        }
+        reached
+    }
+}
+
+fn collect_fns(
+    items: &[Item],
+    f: &SourceFile,
+    fi: usize,
+    self_type: Option<&str>,
+    out: &mut Vec<FnNode>,
+) {
+    for item in items {
+        // Skip test-masked items entirely (cfg(test) mods, #[test] fns).
+        if f.test_mask.get(item.span.0).copied().unwrap_or(false) {
+            continue;
+        }
+        match &item.kind {
+            ItemKind::Fn => {
+                if item.name.is_empty() {
+                    continue;
+                }
+                let qname = match self_type {
+                    Some(ty) => format!("{ty}::{}", item.name),
+                    None => item.name.clone(),
+                };
+                out.push(FnNode {
+                    file: fi,
+                    path: f.path.clone(),
+                    self_type: self_type.map(str::to_owned),
+                    name: item.name.clone(),
+                    qname,
+                    line: item.line,
+                    body: item.body,
+                });
+            }
+            ItemKind::Impl { .. } | ItemKind::Trait => {
+                collect_fns(&item.children, f, fi, Some(&item.name), out);
+            }
+            ItemKind::Mod => collect_fns(&item.children, f, fi, self_type, out),
+            _ => {}
+        }
+    }
+}
+
+/// The file's `use`-alias map: local binding → final path segment.
+fn alias_map(f: &SourceFile) -> BTreeMap<&str, &str> {
+    let mut map = BTreeMap::new();
+    walk_items(&f.items, &mut |item| {
+        if let ItemKind::Use { target } = &item.kind {
+            let real = target.rsplit("::").next().unwrap_or(target);
+            map.insert(item.name.as_str(), real);
+        }
+    });
+    map
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_calls(
+    f: &SourceFile,
+    start: usize,
+    end: usize,
+    self_type: Option<&str>,
+    methods_by_name: &BTreeMap<&str, Vec<usize>>,
+    methods_by_type: &BTreeMap<(&str, &str), Vec<usize>>,
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    fns: &[FnNode],
+) -> Vec<usize> {
+    let aliases = alias_map(f);
+    let toks = &f.toks;
+    let crate_prefix = {
+        let mut parts = f.path.split('/');
+        match (parts.next(), parts.next()) {
+            (Some("crates"), Some(name)) => format!("crates/{name}/"),
+            _ => String::new(),
+        }
+    };
+    let mut out = Vec::new();
+    let is_p = |k: usize, s: &str| {
+        toks.get(k)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    };
+    let ident_at = |k: usize| -> Option<&str> {
+        toks.get(k)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    };
+    let mut k = start;
+    while k < end {
+        // Method call `recv.name(…)`.
+        if is_p(k, ".") {
+            if let Some(name) = ident_at(k + 1) {
+                if is_p(k + 2, "(") {
+                    if let Some(ids) = methods_by_name.get(name) {
+                        out.extend_from_slice(ids);
+                    }
+                    k += 3;
+                    continue;
+                }
+            }
+        }
+        // Path call or path reference `Seg::name`.
+        if let Some(seg) = ident_at(k) {
+            if is_p(k + 1, ":") && is_p(k + 2, ":") {
+                if let Some(name) = ident_at(k + 3) {
+                    // Only the last two path segments matter; skip when this
+                    // pair is mid-path (`a::b::c` at `a::b`).
+                    if !(is_p(k + 4, ":") && is_p(k + 5, ":")) {
+                        let called = is_p(k + 4, "(");
+                        let resolved = if seg == "Self" {
+                            self_type.unwrap_or(seg)
+                        } else {
+                            aliases.get(seg).copied().unwrap_or(seg)
+                        };
+                        if let Some(ids) = methods_by_type.get(&(resolved, name)) {
+                            out.extend_from_slice(ids);
+                        } else if called {
+                            // `module::fn(…)`: free fns, preferring files
+                            // that actually look like that module.
+                            if let Some(ids) = free_by_name.get(name) {
+                                let modfile = format!("/{resolved}.rs");
+                                let moddir = format!("/{resolved}/");
+                                let matching: Vec<usize> = ids
+                                    .iter()
+                                    .copied()
+                                    .filter(|&id| {
+                                        fns[id].path.ends_with(&modfile)
+                                            || fns[id].path.contains(&moddir)
+                                    })
+                                    .collect();
+                                if matching.is_empty() {
+                                    out.extend_from_slice(ids);
+                                } else {
+                                    out.extend(matching);
+                                }
+                            }
+                        }
+                        k += 4;
+                        continue;
+                    }
+                }
+            }
+        }
+        // Plain call `name(…)` — not preceded by `.`/`::`/`fn`.
+        if let Some(name) = ident_at(k) {
+            if is_p(k + 1, "(") {
+                let prev_blocks = k > 0
+                    && (is_p(k - 1, ".")
+                        || is_p(k - 1, ":")
+                        || toks
+                            .get(k - 1)
+                            .is_some_and(|t| t.kind == TokKind::Ident && t.text == "fn"));
+                if !prev_blocks {
+                    if let Some(ids) = free_by_name.get(name) {
+                        let same_file: Vec<usize> = ids
+                            .iter()
+                            .copied()
+                            .filter(|&id| fns[id].path == f.path)
+                            .collect();
+                        if !same_file.is_empty() {
+                            out.extend(same_file);
+                        } else if !crate_prefix.is_empty() {
+                            out.extend(
+                                ids.iter()
+                                    .copied()
+                                    .filter(|&id| fns[id].path.starts_with(&crate_prefix)),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, src).unwrap()
+    }
+
+    fn qnames(g: &CallGraph, ids: &[usize]) -> Vec<String> {
+        let mut v: Vec<String> = ids.iter().map(|&i| g.fns[i].qname.clone()).collect();
+        v.sort();
+        v
+    }
+
+    fn callees(g: &CallGraph, path: &str, qname: &str) -> Vec<String> {
+        let ids = g.find(path, qname);
+        assert_eq!(ids.len(), 1, "{qname} not found exactly once");
+        qnames(g, &g.calls[ids[0]])
+    }
+
+    #[test]
+    fn plain_calls_resolve_same_file_then_same_crate() {
+        let a = file(
+            "crates/x/src/a.rs",
+            "pub fn entry() { helper(); }\npub fn helper() {}",
+        );
+        let b = file("crates/x/src/b.rs", "pub fn cross() { helper(); }");
+        let c = file("crates/y/src/c.rs", "pub fn other_crate() { helper(); }");
+        let g = CallGraph::build(&[a, b, c]);
+        assert_eq!(callees(&g, "crates/x/src/a.rs", "entry"), vec!["helper"]);
+        // Same crate, different file: still resolves.
+        assert_eq!(callees(&g, "crates/x/src/b.rs", "cross"), vec!["helper"]);
+        // Cross-crate plain calls never resolve (they'd be path-qualified).
+        assert_eq!(
+            callees(&g, "crates/y/src/c.rs", "other_crate"),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name_across_types() {
+        let src = "struct A; impl A { fn go(&self) {} }\n\
+                   struct B; impl B { fn go(&self) {} fn run(&self, a: &A) { a.go(); } }";
+        let g = CallGraph::build(&[file("crates/x/src/m.rs", src)]);
+        // Name-based: both `go`s are candidate callees (over-approximation).
+        assert_eq!(
+            callees(&g, "crates/x/src/m.rs", "B::run"),
+            vec!["A::go", "B::go"]
+        );
+    }
+
+    #[test]
+    fn ufcs_calls_resolve_through_use_aliases_and_self() {
+        let util = file(
+            "crates/x/src/util.rs",
+            "pub struct Real;\nimpl Real { pub fn make() {} }",
+        );
+        let user = file(
+            "crates/x/src/user.rs",
+            "use crate::util::Real as Alias;\n\
+             struct S;\n\
+             impl S {\n\
+               fn a(&self) { Alias::make(); }\n\
+               fn b(&self) { Self::c(); }\n\
+               fn c(&self) {}\n\
+             }",
+        );
+        let g = CallGraph::build(&[util, user]);
+        assert_eq!(
+            callees(&g, "crates/x/src/user.rs", "S::a"),
+            vec!["Real::make"]
+        );
+        assert_eq!(callees(&g, "crates/x/src/user.rs", "S::b"), vec!["S::c"]);
+    }
+
+    #[test]
+    fn module_qualified_free_fns_prefer_the_module_file() {
+        let par = file("crates/x/src/par.rs", "pub fn go() {}");
+        let decoy = file("crates/x/src/other.rs", "pub fn go() {}");
+        let caller = file("crates/x/src/main_mod.rs", "pub fn run() { par::go(); }");
+        let g = CallGraph::build(&[par, decoy, caller]);
+        let ids = g.find("crates/x/src/main_mod.rs", "run");
+        let callee_paths: Vec<&str> = g.calls[ids[0]]
+            .iter()
+            .map(|&i| g.fns[i].path.as_str())
+            .collect();
+        assert_eq!(callee_paths, vec!["crates/x/src/par.rs"]);
+    }
+
+    #[test]
+    fn bare_path_references_count_as_edges() {
+        let src = "struct T; impl T { fn helper() {} }\n\
+                   fn f() { let _ = Some(1).map(|_| T::helper); }";
+        let g = CallGraph::build(&[file("crates/x/src/r.rs", src)]);
+        assert_eq!(callees(&g, "crates/x/src/r.rs", "f"), vec!["T::helper"]);
+    }
+
+    #[test]
+    fn test_files_and_test_items_are_outside_the_graph() {
+        let prod = file(
+            "crates/x/src/a.rs",
+            "pub fn entry() {}\n#[cfg(test)] mod tests { fn shadow() { entry(); } }",
+        );
+        let test = file("crates/x/tests/t.rs", "fn in_test() { entry(); }");
+        let g = CallGraph::build(&[prod, test]);
+        let names: Vec<&str> = g.fns.iter().map(|n| n.qname.as_str()).collect();
+        assert_eq!(names, vec!["entry"]);
+    }
+
+    #[test]
+    fn reachability_reports_the_root_that_reached() {
+        let src = "fn root_a() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}";
+        let g = CallGraph::build(&[file("crates/x/src/a.rs", src)]);
+        let root = g.find("crates/x/src/a.rs", "root_a");
+        let reach = g.reachable_from(&root);
+        let leaf = g.find("crates/x/src/a.rs", "leaf")[0];
+        let island = g.find("crates/x/src/a.rs", "island")[0];
+        assert_eq!(reach[leaf], Some(root[0]));
+        assert_eq!(reach[island], None);
+    }
+}

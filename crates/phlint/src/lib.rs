@@ -7,13 +7,17 @@
 //! catalogue and the `lint.allow` baseline policy.
 //!
 //! Pipeline: [`lexer`] turns each `.rs` file into tokens (raw strings,
-//! nested comments, lifetimes all handled), [`rules`] walks the streams,
+//! nested comments, lifetimes all handled), [`parse`] builds a
+//! brace-matched item tree per file, [`graph`] links the trees into an
+//! intra-workspace call graph, [`rules`] walks tokens/items/reachability,
 //! [`allow`] subtracts the committed baseline, [`report`] renders text or
 //! JSON. The binary in `main.rs` maps the outcome to exit codes:
 //! `0` clean, `1` new findings, `2` I/O or parse error.
 
 pub mod allow;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 
@@ -64,7 +68,10 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), FatalError> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            // `fixtures` directories hold the golden-test corpus: files
+            // full of *intentional* violations, exercised by the golden
+            // tests themselves, never by a workspace run.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             walk(&path, out)?;
@@ -98,13 +105,65 @@ pub fn lint_files(
         sources.push(sf);
     }
     let findings = rules::run_all(&sources);
-    let allowed = findings.iter().map(|f| allowlist.matches(f)).collect();
+    let allowed = allowlist.assign(&findings).map_err(FatalError)?;
     Ok(Report {
         findings,
         allowed,
         allowlist,
         files_scanned: sources.len(),
     })
+}
+
+/// Runs the rules and rewrites `lint.allow` in place: matched entries are
+/// re-anchored to their finding's current line (needle and reason
+/// preserved), stale entries dropped. Findings not covered by any entry
+/// are untouched — `--update-baseline` refreshes the baseline, it never
+/// grows it. Returns a human-readable summary of what changed.
+///
+/// # Errors
+///
+/// Returns [`FatalError`] on I/O failures, lexer errors, or an ambiguous
+/// baseline (see [`allow::Allowlist::assign`]).
+pub fn update_baseline(
+    root: &Path,
+    files: &[PathBuf],
+    allow_path: &Path,
+) -> Result<String, FatalError> {
+    let allowlist = load_allowlist(allow_path)?;
+    let previous = if allow_path.exists() {
+        std::fs::read_to_string(allow_path)
+            .map_err(|e| FatalError(format!("reading {}: {e}", allow_path.display())))?
+    } else {
+        String::new()
+    };
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = relative_path(root, path);
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| FatalError(format!("reading {}: {e}", path.display())))?;
+        let sf = SourceFile::parse(rel.clone(), &text)
+            .map_err(|e| FatalError(format!("{rel}: lex error: {e}")))?;
+        sources.push(sf);
+    }
+    let findings = rules::run_all(&sources);
+    let (text, stale) = allowlist
+        .render_updated(&previous, &findings)
+        .map_err(FatalError)?;
+    std::fs::write(allow_path, &text)
+        .map_err(|e| FatalError(format!("writing {}: {e}", allow_path.display())))?;
+    let kept = allowlist.entries.len() - stale.len();
+    let mut summary = format!(
+        "updated {}: {kept} entries re-anchored, {} stale entries dropped\n",
+        allow_path.display(),
+        stale.len()
+    );
+    for e in stale {
+        summary.push_str(&format!(
+            "  dropped lint.allow:{} ({} | {} | {})\n",
+            e.line, e.rule, e.path, e.needle
+        ));
+    }
+    Ok(summary)
 }
 
 /// Loads `lint.allow` from `path`; a missing file is an empty baseline.

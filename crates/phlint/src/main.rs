@@ -3,7 +3,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use phlint::{collect_workspace_files, lint_files, load_allowlist, FatalError};
+use phlint::rules::{rule_doc, ALL_RULES, RULE_DOCS};
+use phlint::{collect_workspace_files, lint_files, load_allowlist, update_baseline, FatalError};
 
 const USAGE: &str = "\
 ph-lint — determinism & robustness static analysis for this workspace
@@ -11,23 +12,31 @@ ph-lint — determinism & robustness static analysis for this workspace
 USAGE:
     ph-lint --workspace [OPTIONS]
     ph-lint [OPTIONS] FILE...
+    ph-lint --explain RULE
+    ph-lint --update-baseline [--workspace] [OPTIONS]
 
 OPTIONS:
     --workspace        Lint every .rs file under the workspace root
     --root DIR         Workspace root (default: current directory)
     --format FMT       Output format: text (default) or json
     --allow FILE       Allowlist path (default: <root>/lint.allow)
+    --explain RULE     Print the catalog entry for RULE (or `all`) and exit
+    --update-baseline  Rewrite lint.allow: re-anchor matched entries to
+                       their current lines, drop stale entries; reasons
+                       are preserved and new findings are never added
     -h, --help         Print this help
 
 EXIT CODES:
     0    clean (no findings beyond the lint.allow baseline, no stale entries)
     1    new findings, or stale lint.allow entries that matched nothing
-    2    I/O error, lex error, or malformed lint.allow
+    2    I/O error, lex error, malformed or ambiguous lint.allow
 
 RULES:
-    nondeterministic-iteration, wall-clock-in-sim, panic-in-dispatch,
-    raw-thread-spawn, relaxed-ordering, wire-exhaustiveness
-    (documented in DESIGN.md §9)
+    nondeterministic-iteration, panic-in-dispatch, raw-thread-spawn,
+    relaxed-ordering, wire-exhaustiveness, digest-taint,
+    epoch-frozen-mutation, outbox-commutativity,
+    unbounded-decode-allocation
+    (run `ph-lint --explain <rule>`; documented in DESIGN.md §9 and §14)
 ";
 
 struct Cli {
@@ -35,6 +44,8 @@ struct Cli {
     root: PathBuf,
     json: bool,
     allow: Option<PathBuf>,
+    explain: Option<String>,
+    update_baseline: bool,
     files: Vec<PathBuf>,
 }
 
@@ -44,6 +55,8 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, FatalError> {
         root: PathBuf::from("."),
         json: false,
         allow: None,
+        explain: None,
+        update_baseline: false,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -77,13 +90,20 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, FatalError> {
                     .ok_or_else(|| FatalError("--allow needs a value".into()))?;
                 cli.allow = Some(PathBuf::from(v));
             }
+            "--explain" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| FatalError("--explain needs a rule name (or `all`)".into()))?;
+                cli.explain = Some(v.clone());
+            }
+            "--update-baseline" => cli.update_baseline = true,
             other if other.starts_with('-') => {
                 return Err(FatalError(format!("unknown option `{other}`")));
             }
             file => cli.files.push(PathBuf::from(file)),
         }
     }
-    if !cli.workspace && cli.files.is_empty() {
+    if !cli.workspace && cli.files.is_empty() && cli.explain.is_none() {
         return Err(FatalError(
             "nothing to lint: pass --workspace or explicit files (see --help)".into(),
         ));
@@ -91,21 +111,55 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, FatalError> {
     Ok(Some(cli))
 }
 
+/// Renders one rule-catalog entry for `--explain`.
+fn explain_one(name: &str) -> Result<String, FatalError> {
+    let Some(doc) = rule_doc(name) else {
+        return Err(FatalError(format!(
+            "unknown rule `{name}` (known rules: {})",
+            ALL_RULES.join(", ")
+        )));
+    };
+    Ok(format!(
+        "{}\n{}\n\n  {}\n\nwhy\n  {}\n\nbad\n  {}\n\ngood\n  {}\n",
+        doc.name,
+        "=".repeat(doc.name.len()),
+        doc.summary,
+        doc.why,
+        doc.bad,
+        doc.good
+    ))
+}
+
 fn run(args: &[String]) -> Result<ExitCode, FatalError> {
     let Some(cli) = parse_args(args)? else {
         print!("{USAGE}");
         return Ok(ExitCode::SUCCESS);
     };
+    if let Some(rule) = &cli.explain {
+        if rule == "all" {
+            for doc in &RULE_DOCS {
+                println!("{}", explain_one(doc.name)?);
+            }
+        } else {
+            print!("{}", explain_one(rule)?);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
     let allow_path = cli
         .allow
         .clone()
         .unwrap_or_else(|| cli.root.join("lint.allow"));
-    let allowlist = load_allowlist(&allow_path)?;
     let files = if cli.workspace {
         collect_workspace_files(&cli.root)?
     } else {
         cli.files.clone()
     };
+    if cli.update_baseline {
+        let summary = update_baseline(&cli.root, &files, &allow_path)?;
+        print!("{summary}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let allowlist = load_allowlist(&allow_path)?;
     let report = lint_files(&cli.root, &files, allowlist)?;
     if cli.json {
         print!("{}", report.render_json());

@@ -1,0 +1,786 @@
+//! A brace-matched item tree over the token stream.
+//!
+//! The lexer gives the rules a flat token stream; this module recovers just
+//! enough structure for scope-aware rules: which tokens belong to which
+//! `fn`, which `impl` a method lives in, what `use` declarations rebind,
+//! and which attributes annotate an item. It is *not* a Rust parser — no
+//! expressions, no types, no patterns — only the item skeleton:
+//!
+//! * `mod name { … }` / `mod name;` (children parsed recursively),
+//! * `fn name(…) { … }` (with `pub`/`const`/`unsafe`/`async`/`extern`
+//!   qualifier runs handled, signature-only trait methods included),
+//! * `impl Type { … }` / `impl Trait for Type { … }` (methods become
+//!   children; the self-type name is recovered from the path),
+//! * `struct` / `enum` / `trait` (trait bodies parsed for default methods),
+//! * `use a::b::{C, D as E};` expanded into one leaf per binding,
+//! * everything else (`const`, `static`, `type`, macro invocations,
+//!   `extern` blocks) skipped as [`ItemKind::Other`] with balanced braces.
+//!
+//! Spans are token indices into the file's token vector, so rules can scan
+//! exactly the tokens of one fn body. Unbalanced input never loops or
+//! panics: bracket matching is bounded by the token range and degrades to
+//! "rest of file".
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of item a node is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` or `mod name;`.
+    Mod,
+    /// A free fn, method, or trait-method signature.
+    Fn,
+    /// `impl Type` / `impl Trait for Type`; `name` holds the self type.
+    Impl {
+        /// Trait name for `impl Trait for Type`, `None` for inherent impls.
+        trait_name: Option<String>,
+    },
+    /// `struct name …`.
+    Struct,
+    /// `enum name { … }`.
+    Enum,
+    /// `trait name { … }` (children hold its methods).
+    Trait,
+    /// One binding introduced by a `use` declaration; `name` is the local
+    /// binding (alias or last segment), `target` the full `::`-joined path.
+    Use {
+        /// Full source path, e.g. `std::time::Instant`.
+        target: String,
+    },
+    /// Anything else: `const`, `static`, `type`, macros, extern blocks.
+    Other,
+}
+
+/// One node of the item tree.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// Item kind (and kind-specific payload).
+    pub kind: ItemKind,
+    /// Declared name (self type for impls, local binding for uses; may be
+    /// empty for anonymous `Other` items like macro invocations).
+    pub name: String,
+    /// 1-based line of the item head.
+    pub line: u32,
+    /// Outer attributes as space-joined ident lists (`#[cfg(test)]` →
+    /// `"cfg test"`), in source order.
+    pub attrs: Vec<String>,
+    /// Token range `[start, end)` of the whole item including attributes.
+    pub span: (usize, usize),
+    /// Token indices of the `{` and matching `}` of the body, if braced.
+    pub body: Option<(usize, usize)>,
+    /// Nested items (mod/impl/trait bodies).
+    pub children: Vec<Item>,
+}
+
+impl Item {
+    /// Depth-first walk over this item and all descendants.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Item)) {
+        visit(self);
+        for c in &self.children {
+            c.walk(visit);
+        }
+    }
+}
+
+/// Parses a whole file's token stream into a top-level item list.
+#[must_use]
+pub fn parse_items(toks: &[Tok]) -> Vec<Item> {
+    let mut out = Vec::new();
+    parse_range(toks, 0, toks.len(), &mut out);
+    out
+}
+
+/// Depth-first walk over a whole item forest.
+pub fn walk_items<'a>(items: &'a [Item], visit: &mut impl FnMut(&'a Item)) {
+    for item in items {
+        item.walk(visit);
+    }
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Index of the token closing the bracket opened at `open`, clamped to
+/// `end - 1` when unbalanced (so callers always make forward progress).
+fn matching_in(toks: &[Tok], open: usize, open_text: &str, close_text: &str, end: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(end).skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == open_text {
+                depth += 1;
+            } else if t.text == close_text {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    end.saturating_sub(1).max(open)
+}
+
+/// Fn qualifiers that may precede the `fn` keyword.
+fn is_fn_qualifier(t: &Tok) -> bool {
+    t.kind == TokKind::Str // the ABI string of `extern "C" fn`
+        || (t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "pub" | "const" | "unsafe" | "async" | "default" | "extern"
+            ))
+}
+
+fn parse_range(toks: &[Tok], start: usize, end: usize, out: &mut Vec<Item>) {
+    let mut i = start;
+    while i < end {
+        // Inner attribute `#![…]`: file/module metadata, not an item.
+        if is_punct(&toks[i], "#")
+            && i + 2 < end
+            && is_punct(&toks[i + 1], "!")
+            && is_punct(&toks[i + 2], "[")
+        {
+            i = matching_in(toks, i + 2, "[", "]", end) + 1;
+            continue;
+        }
+        let item_start = i;
+        // Outer attributes `#[…]`, collected as flattened ident lists.
+        let mut attrs = Vec::new();
+        while i + 1 < end && is_punct(&toks[i], "#") && is_punct(&toks[i + 1], "[") {
+            let close = matching_in(toks, i + 1, "[", "]", end);
+            attrs.push(
+                toks[i + 2..close.min(end)]
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+            i = close + 1;
+        }
+        if i >= end {
+            break;
+        }
+        // Visibility.
+        let mut h = i;
+        if is_ident(&toks[h], "pub") {
+            h += 1;
+            if h < end && is_punct(&toks[h], "(") {
+                h = matching_in(toks, h, "(", ")", end) + 1;
+            }
+        }
+        if h >= end {
+            break;
+        }
+        // Resolve the head keyword, skipping fn-qualifier runs when (and
+        // only when) an actual `fn` follows: `const unsafe extern "C" fn f`
+        // is a fn; `const X: u32 = …;` is not.
+        let mut head = h;
+        if toks[head].kind == TokKind::Ident
+            && matches!(
+                toks[head].text.as_str(),
+                "const" | "unsafe" | "async" | "default" | "extern"
+            )
+        {
+            let mut k = head;
+            while k < end && is_fn_qualifier(&toks[k]) {
+                k += 1;
+            }
+            if k < end && is_ident(&toks[k], "fn") {
+                head = k;
+            }
+        }
+        let t = &toks[head];
+        let line = t.line;
+        let next_name = |at: usize| -> String {
+            toks.get(at)
+                .filter(|n| n.kind == TokKind::Ident)
+                .map(|n| n.text.clone())
+                .unwrap_or_default()
+        };
+        if is_ident(t, "mod") {
+            let name = next_name(head + 1);
+            let (body, item_end) = braced_or_semi(toks, head + 2, end);
+            let mut children = Vec::new();
+            if let Some((open, close)) = body {
+                parse_range(toks, open + 1, close, &mut children);
+            }
+            out.push(Item {
+                kind: ItemKind::Mod,
+                name,
+                line,
+                attrs,
+                span: (item_start, item_end),
+                body,
+                children,
+            });
+            i = item_end;
+        } else if is_ident(t, "fn") {
+            let name = next_name(head + 1);
+            let (body, item_end) = braced_or_semi(toks, head + 2, end);
+            out.push(Item {
+                kind: ItemKind::Fn,
+                name,
+                line,
+                attrs,
+                span: (item_start, item_end),
+                body,
+                children: Vec::new(),
+            });
+            i = item_end;
+        } else if is_ident(t, "impl") {
+            let (self_type, trait_name, body_open) = parse_impl_head(toks, head + 1, end);
+            let (body, item_end) = match body_open {
+                Some(open) => {
+                    let close = matching_in(toks, open, "{", "}", end);
+                    (Some((open, close)), close + 1)
+                }
+                None => (None, skip_unknown(toks, head + 1, end)),
+            };
+            let mut children = Vec::new();
+            if let Some((open, close)) = body {
+                parse_range(toks, open + 1, close, &mut children);
+            }
+            out.push(Item {
+                kind: ItemKind::Impl { trait_name },
+                name: self_type,
+                line,
+                attrs,
+                span: (item_start, item_end),
+                body,
+                children,
+            });
+            i = item_end;
+        } else if is_ident(t, "struct")
+            || is_ident(t, "enum")
+            || is_ident(t, "trait")
+            || is_ident(t, "union")
+        {
+            let kind = match t.text.as_str() {
+                "struct" | "union" => ItemKind::Struct,
+                "enum" => ItemKind::Enum,
+                _ => ItemKind::Trait,
+            };
+            let name = next_name(head + 1);
+            let (body, item_end) = braced_or_semi(toks, head + 2, end);
+            let mut children = Vec::new();
+            // Only trait bodies hold nested items (default methods); struct
+            // and enum bodies are fields/variants, not items.
+            if kind == ItemKind::Trait {
+                if let Some((open, close)) = body {
+                    parse_range(toks, open + 1, close, &mut children);
+                }
+            }
+            out.push(Item {
+                kind,
+                name,
+                line,
+                attrs,
+                span: (item_start, item_end),
+                body,
+                children,
+            });
+            i = item_end;
+        } else if is_ident(t, "use") {
+            // Collect the declaration up to `;` and expand its bindings.
+            let mut semi = head + 1;
+            let mut depth = 0i32;
+            while semi < end {
+                let u = &toks[semi];
+                if u.kind == TokKind::Punct {
+                    match u.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                semi += 1;
+            }
+            expand_use(
+                toks,
+                head + 1,
+                semi,
+                &mut Vec::new(),
+                line,
+                (item_start, (semi + 1).min(end)),
+                &attrs,
+                out,
+            );
+            i = semi + 1;
+        } else {
+            // `const`/`static`/`type`/macros/extern blocks: record the span
+            // (named when a name is recoverable) and move past it.
+            let name = next_name(head + 1);
+            let item_end = skip_unknown(toks, head, end);
+            out.push(Item {
+                kind: ItemKind::Other,
+                name,
+                line,
+                attrs,
+                span: (item_start, item_end),
+                body: None,
+                children: Vec::new(),
+            });
+            i = item_end.max(i + 1);
+        }
+    }
+}
+
+/// From `from`, finds either a `{…}` body or a terminating `;` at bracket
+/// depth 0 (parens/brackets tracked, so default args and array types do not
+/// confuse the scan). Returns `(body_span, index_past_item)`.
+fn braced_or_semi(toks: &[Tok], from: usize, end: usize) -> (Option<(usize, usize)>, usize) {
+    let mut depth = 0i32;
+    let mut k = from;
+    while k < end {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    let close = matching_in(toks, k, "{", "}", end);
+                    return (Some((k, close)), close + 1);
+                }
+                ";" if depth == 0 => return (None, k + 1),
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    (None, end)
+}
+
+/// Skips an unrecognized item: everything up to a `;` at brace depth 0, or
+/// through one balanced `{…}` group (macro bodies, extern blocks).
+fn skip_unknown(toks: &[Tok], from: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = from;
+    while k < end {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    return matching_in(toks, k, "{", "}", end) + 1;
+                }
+                ";" if depth == 0 => return k + 1,
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    end
+}
+
+/// Parses an impl head starting just past the `impl` keyword: skips the
+/// generic parameter list, then reads `Type` or `Trait for Type`, returning
+/// `(self_type, trait_name, body_open_index)`.
+fn parse_impl_head(
+    toks: &[Tok],
+    from: usize,
+    end: usize,
+) -> (String, Option<String>, Option<usize>) {
+    let mut k = from;
+    // Generic parameters `impl<…>`: angle depth tracked by hand. `->` never
+    // decrements (`Fn(&T) -> bool` bounds), checked via the previous token.
+    if k < end && is_punct(&toks[k], "<") {
+        let mut depth = 0i32;
+        while k < end {
+            let t = &toks[k];
+            if is_punct(t, "<") {
+                depth += 1;
+            } else if is_punct(t, ">") && !(k > 0 && is_punct(&toks[k - 1], "-")) {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+    }
+    // First path (the self type, or the trait when `for` follows).
+    let (first, after_first) = read_type_path(toks, k, end);
+    if after_first < end && is_ident(&toks[after_first], "for") {
+        let (second, after_second) = read_type_path(toks, after_first + 1, end);
+        let body = find_body_open(toks, after_second, end);
+        (second, Some(first), body)
+    } else {
+        let body = find_body_open(toks, after_first, end);
+        (first, None, body)
+    }
+}
+
+/// Reads one type path (`a::b::Name<…>`, possibly `&`/`mut`-prefixed) and
+/// returns the final type name plus the index just past the path.
+fn read_type_path(toks: &[Tok], from: usize, end: usize) -> (String, usize) {
+    let mut k = from;
+    // Reference/pointer noise before the path.
+    while k < end
+        && (is_punct(&toks[k], "&")
+            || is_punct(&toks[k], "*")
+            || toks[k].kind == TokKind::Lifetime
+            || is_ident(&toks[k], "mut")
+            || is_ident(&toks[k], "dyn"))
+    {
+        k += 1;
+    }
+    let mut name = String::new();
+    while k < end {
+        let t = &toks[k];
+        if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "for" | "where") {
+            name = t.text.clone();
+            k += 1;
+            if k + 1 < end && is_punct(&toks[k], ":") && is_punct(&toks[k + 1], ":") {
+                k += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    // Trailing generic arguments `<…>` belong to the path but not the name.
+    if k < end && is_punct(&toks[k], "<") {
+        let mut depth = 0i32;
+        while k < end {
+            let t = &toks[k];
+            if is_punct(t, "<") {
+                depth += 1;
+            } else if is_punct(t, ">") && !(k > 0 && is_punct(&toks[k - 1], "-")) {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+    }
+    (name, k)
+}
+
+/// Index of the body `{` after an impl head, skipping a `where` clause.
+fn find_body_open(toks: &[Tok], from: usize, end: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().take(end).skip(from) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => return Some(k),
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Expands one `use` declaration (tokens `[from, semi)`) into leaf items,
+/// one per binding: `use a::{B, C as D};` yields `B → a::B`, `D → a::C`.
+#[allow(clippy::too_many_arguments)]
+fn expand_use(
+    toks: &[Tok],
+    from: usize,
+    semi: usize,
+    prefix: &mut Vec<String>,
+    line: u32,
+    span: (usize, usize),
+    attrs: &[String],
+    out: &mut Vec<Item>,
+) {
+    let emit = |segs: &[String], alias: Option<String>, out: &mut Vec<Item>| {
+        let mut segs = segs.to_vec();
+        // `use x::{self}` binds the parent name.
+        if segs.last().is_some_and(|s| s == "self") {
+            segs.pop();
+        }
+        let Some(last) = segs.last().cloned() else {
+            return;
+        };
+        out.push(Item {
+            kind: ItemKind::Use {
+                target: segs.join("::"),
+            },
+            name: alias.unwrap_or(last),
+            line,
+            attrs: attrs.to_vec(),
+            span,
+            body: None,
+            children: Vec::new(),
+        });
+    };
+    let depth_before = prefix.len();
+    let mut k = from;
+    while k < semi {
+        let t = &toks[k];
+        if t.kind == TokKind::Ident && t.text == "as" {
+            let alias = toks
+                .get(k + 1)
+                .filter(|n| n.kind == TokKind::Ident)
+                .map(|n| n.text.clone());
+            emit(prefix, alias, out);
+            prefix.truncate(depth_before);
+            return;
+        }
+        if t.kind == TokKind::Ident {
+            prefix.push(t.text.clone());
+            k += 1;
+            if k + 1 < semi && is_punct(&toks[k], ":") && is_punct(&toks[k + 1], ":") {
+                k += 2;
+                continue;
+            }
+            if k < semi && toks[k].kind == TokKind::Ident && toks[k].text == "as" {
+                continue; // `path as Alias` — the loop head binds the alias
+            }
+            // Path ended on an identifier: a plain binding.
+            emit(prefix, None, out);
+            prefix.truncate(depth_before);
+            return;
+        }
+        if is_punct(t, "{") {
+            let close = matching_in(toks, k, "{", "}", semi);
+            // Split the group on top-level commas and recurse per element.
+            let mut elem_start = k + 1;
+            let mut depth = 0i32;
+            let mut j = k + 1;
+            while j <= close {
+                let u = &toks[j];
+                let elem_ends = j == close || (depth == 0 && is_punct(u, ","));
+                if elem_ends {
+                    if elem_start < j {
+                        expand_use(toks, elem_start, j, prefix, line, span, attrs, out);
+                    }
+                    elem_start = j + 1;
+                } else if u.kind == TokKind::Punct {
+                    match u.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            prefix.truncate(depth_before);
+            return;
+        }
+        if is_punct(t, "*") {
+            // Glob imports introduce no nameable binding.
+            prefix.truncate(depth_before);
+            return;
+        }
+        k += 1;
+    }
+    prefix.truncate(depth_before);
+}
+
+/// Extracts `(field_name, type_tokens)` pairs from a struct item's body.
+/// Tuple and unit structs yield an empty list.
+#[must_use]
+pub fn struct_fields(toks: &[Tok], item: &Item) -> Vec<(String, Vec<String>)> {
+    let Some((open, close)) = item.body else {
+        return Vec::new();
+    };
+    let mut fields = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        // Skip field attributes and visibility.
+        while k + 1 < close && is_punct(&toks[k], "#") && is_punct(&toks[k + 1], "[") {
+            k = matching_in(toks, k + 1, "[", "]", close) + 1;
+        }
+        if k < close && is_ident(&toks[k], "pub") {
+            k += 1;
+            if k < close && is_punct(&toks[k], "(") {
+                k = matching_in(toks, k, "(", ")", close) + 1;
+            }
+        }
+        if k + 1 < close && toks[k].kind == TokKind::Ident && is_punct(&toks[k + 1], ":") {
+            let name = toks[k].text.clone();
+            let mut ty = Vec::new();
+            let mut depth = 0i32;
+            let mut j = k + 2;
+            while j < close {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "<" => depth += 1,
+                        ">" if !is_punct(&toks[j - 1], "-") => depth -= 1,
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                ty.push(t.text.clone());
+                j += 1;
+            }
+            fields.push((name, ty));
+            k = j + 1;
+        } else {
+            k += 1;
+        }
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&lex(src).unwrap())
+    }
+
+    fn names(items: &[Item]) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        walk_items(items, &mut |i| {
+            let kind = match &i.kind {
+                ItemKind::Mod => "mod",
+                ItemKind::Fn => "fn",
+                ItemKind::Impl { .. } => "impl",
+                ItemKind::Struct => "struct",
+                ItemKind::Enum => "enum",
+                ItemKind::Trait => "trait",
+                ItemKind::Use { .. } => "use",
+                ItemKind::Other => "other",
+            };
+            out.push((kind.to_owned(), i.name.clone()));
+        });
+        out
+    }
+
+    #[test]
+    fn items_nest_under_mods_and_impls() {
+        let src = "mod outer {\n\
+                     pub struct S { pub x: u32 }\n\
+                     impl S { pub fn m(&self) -> u32 { self.x } }\n\
+                     pub fn free() {}\n\
+                   }";
+        let items = parse(src);
+        let got = names(&items);
+        assert_eq!(
+            got,
+            vec![
+                ("mod".into(), "outer".into()),
+                ("struct".into(), "S".into()),
+                ("impl".into(), "S".into()),
+                ("fn".into(), "m".into()),
+                ("fn".into(), "free".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn qualifier_runs_still_find_the_fn() {
+        let items = parse(
+            "pub const unsafe extern \"C\" fn weird() {}\n\
+             const NOT_A_FN: u32 = 3;\n\
+             async fn later() {}",
+        );
+        let got = names(&items);
+        assert_eq!(
+            got,
+            vec![
+                ("fn".into(), "weird".into()),
+                ("other".into(), "NOT_A_FN".into()),
+                ("fn".into(), "later".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_impls_recover_both_names() {
+        let items =
+            parse("impl<'a, T: Clone> fmt::Display for Wrapper<'a, T> { fn fmt(&self) {} }");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "Wrapper");
+        assert_eq!(
+            items[0].kind,
+            ItemKind::Impl {
+                trait_name: Some("Display".into())
+            }
+        );
+        assert_eq!(items[0].children.len(), 1);
+        assert_eq!(items[0].children[0].name, "fmt");
+    }
+
+    #[test]
+    fn use_declarations_expand_groups_and_aliases() {
+        let items = parse("use std::time::{Duration, Instant as Clock};\nuse a::b::{self, c};");
+        let uses: Vec<(String, String)> = items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Use { target } => Some((i.name.clone(), target.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            uses,
+            vec![
+                ("Duration".into(), "std::time::Duration".into()),
+                ("Clock".into(), "std::time::Instant".into()),
+                ("b".into(), "a::b".into()),
+                ("c".into(), "a::b::c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn attrs_are_attached_and_flattened() {
+        let items = parse("#[cfg(test)]\n#[derive(Debug, Clone)]\nstruct S;");
+        assert_eq!(items[0].attrs, vec!["cfg test", "derive Debug Clone"]);
+    }
+
+    #[test]
+    fn fn_bodies_span_the_right_tokens() {
+        let src = "fn a() { inner_a(); }\nfn b() { inner_b(); }";
+        let toks = lex(src).unwrap();
+        let items = parse_items(&toks);
+        assert_eq!(items.len(), 2);
+        let (open, close) = items[0].body.unwrap();
+        let body_texts: Vec<&str> = toks[open + 1..close]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body_texts, vec!["inner_a", "(", ")", ";"]);
+        assert!(items[1].body.is_some());
+    }
+
+    #[test]
+    fn struct_fields_recover_names_and_types() {
+        let src =
+            "struct W<'a> { view: EpochView<'a>, env: &'a Env, nodes: &'a mut [Node], n: u32 }";
+        let toks = lex(src).unwrap();
+        let items = parse_items(&toks);
+        let fields = struct_fields(&toks, &items[0]);
+        let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["view", "env", "nodes", "n"]);
+        assert_eq!(fields[0].1[0], "EpochView");
+        assert_eq!(fields[1].1[0], "&");
+        assert!(fields[2].1.contains(&"mut".to_owned()));
+    }
+
+    #[test]
+    fn macros_extern_blocks_and_statics_do_not_derail_parsing() {
+        let src = "thread_local! { static X: u32 = 0; }\n\
+                   extern \"C\" { fn c_side(); }\n\
+                   static COUNT: u32 = 0;\n\
+                   fn after() {}";
+        let items = parse(src);
+        assert_eq!(names(&items).last().unwrap().1, "after");
+    }
+
+    #[test]
+    fn unbalanced_input_terminates() {
+        // Garbage in, bounded walk out — never hangs or panics.
+        for src in ["fn f() {", "impl {{{", "use a::{b", "mod m { fn g("] {
+            let _ = parse(src);
+        }
+    }
+}

@@ -160,31 +160,31 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{Finding, WALL_CLOCK_IN_SIM};
+    use crate::rules::{Finding, DIGEST_TAINT};
 
     fn report() -> Report {
         let allowlist = Allowlist::parse(
-            "wall-clock-in-sim | a.rs | Instant::now | timing the bench itself\n\
-             wall-clock-in-sim | gone.rs | whatever | stale entry\n",
+            "digest-taint | a.rs | Instant::now | timing the bench itself\n\
+             digest-taint | gone.rs | whatever | stale entry\n",
         )
         .unwrap();
         let findings = vec![
             Finding {
-                rule: WALL_CLOCK_IN_SIM,
+                rule: DIGEST_TAINT,
                 path: "a.rs".into(),
                 line: 3,
                 snippet: "let t = Instant::now();".into(),
                 message: "wall clock".into(),
             },
             Finding {
-                rule: WALL_CLOCK_IN_SIM,
+                rule: DIGEST_TAINT,
                 path: "b.rs".into(),
                 line: 9,
                 snippet: "SystemTime::now()".into(),
                 message: "wall \"clock\"".into(),
             },
         ];
-        let allowed = findings.iter().map(|f| allowlist.matches(f)).collect();
+        let allowed = allowlist.assign(&findings).unwrap();
         Report {
             findings,
             allowed,
@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn text_report_shows_new_findings_and_stale_entries() {
         let text = report().render_text();
-        assert!(text.contains("b.rs:9: wall-clock-in-sim"));
+        assert!(text.contains("b.rs:9: digest-taint"));
         assert!(!text.contains("a.rs:3")); // allowlisted — not shown
         assert!(text.contains("error: stale lint.allow entry"));
         assert!(
@@ -217,8 +217,7 @@ mod tests {
     #[test]
     fn stale_entries_alone_fail_the_run() {
         let allowlist =
-            Allowlist::parse("wall-clock-in-sim | gone.rs | whatever | outlived its code\n")
-                .unwrap();
+            Allowlist::parse("digest-taint | gone.rs | whatever | outlived its code\n").unwrap();
         let r = Report {
             findings: Vec::new(),
             allowed: Vec::new(),

@@ -1,0 +1,59 @@
+// Golden fixture: digest-taint.
+//
+// Each `//@file:` marker opens a virtual source file at the given
+// workspace-relative path; the golden runner preserves *this* file's line
+// numbers, so the `.expected` lines point straight back here.
+//
+// The rule walks the call graph from the declared digest roots
+// (`Cluster::run_until` / `run_until_condition` in peerhood::sim) and
+// flags wall-clock, core-count, thread-id, and pointer-to-int reads in
+// reachable fns of the digest crates. Mere *presence* of a forbidden
+// call is not enough — it must be reachable — and the harness, the live
+// serving path, and bench code are out of scope even when reachable
+// (name-based call resolution over-approximates; all three `clock`
+// modules below resolve from `step_epoch`).
+
+//@file: crates/peerhood/src/sim.rs
+pub struct Cluster;
+
+impl Cluster {
+    pub fn run_until(&mut self) {
+        self.step_epoch();
+    }
+
+    pub fn run_until_condition(&mut self) {
+        self.step_epoch();
+    }
+
+    fn step_epoch(&mut self) {
+        clock::advance_clock();
+    }
+
+    fn unreached_profiler(&self) {
+        // NOT flagged: nothing on the path from the digest roots calls
+        // this, so its wall-clock read cannot taint the digest.
+        let _t = std::time::Instant::now();
+    }
+}
+
+//@file: crates/netsim/src/clock.rs
+pub fn advance_clock() {
+    let _t0 = Instant::now();
+    let _cores = available_parallelism();
+    let _who = thread::current();
+    let block = [0u8; 4];
+    let _addr = block.as_ptr() as usize;
+}
+
+//@file: crates/harness/src/clock.rs
+pub fn advance_clock() {
+    // NOT flagged: the harness cannot feed the trace digest, and the
+    // name-based call resolution must not leak across that boundary.
+    let _t0 = Instant::now();
+}
+
+//@file: crates/peerhood/src/live/clock.rs
+pub fn advance_clock() {
+    // NOT flagged: the live serving path is wall-clock by nature.
+    let _t0 = Instant::now();
+}

@@ -1,0 +1,58 @@
+// Golden fixture: epoch-frozen-mutation.
+//
+// A struct holding an `EpochView` field is an epoch worker; the view and
+// every shared-reference field are frozen for the whole epoch. Worker
+// methods may read them freely, but every write must go through the
+// worker's own outbox — mutable borrows, mutator-method calls, and
+// assignments against frozen fields are all flagged.
+
+//@file: crates/peerhood/src/epoch_fixture.rs
+pub struct EpochView;
+
+pub struct Outbox {
+    pub queued: Vec<u32>,
+}
+
+pub struct Worker {
+    view: EpochView,
+    infos: &'static [u32],
+    nodes: &'static mut [u32; 8],
+    out: Outbox,
+}
+
+impl Worker {
+    fn bad_borrow(&mut self) {
+        let _v = &mut self.view;
+    }
+
+    fn bad_mutator_call(&mut self) {
+        self.view.insert(1);
+    }
+
+    fn bad_assign_to_shared_ref(&mut self) {
+        self.infos = &[];
+    }
+
+    fn good_reads_and_outbox_writes(&mut self) {
+        // Reads of frozen state are fine; `len` is not a mutator.
+        let _n = self.view.len();
+        let _first = self.infos.first();
+        // `nodes` is `&mut` — explicitly writable, not frozen.
+        self.nodes[0] = 1;
+        // The outbox is exactly where buffered effects belong.
+        self.out.queued.push(2);
+    }
+}
+
+//@file: crates/peerhood/src/not_a_worker.rs
+pub struct Courier {
+    seen: &'static [u32],
+}
+
+impl Courier {
+    fn rebind(&mut self) {
+        // NOT flagged: no `EpochView` field, so `Courier` is not an
+        // epoch worker and its shared refs are not epoch-frozen.
+        self.seen = &[];
+    }
+}

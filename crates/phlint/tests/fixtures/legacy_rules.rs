@@ -1,0 +1,92 @@
+// Golden fixture: the five original rule families.
+//
+// nondeterministic-iteration, panic-in-dispatch, raw-thread-spawn,
+// relaxed-ordering, and wire-exhaustiveness predate the syntax-aware
+// analyzer; this corpus pins their behavior (and their scoping
+// exemptions) under the new pipeline.
+
+//@file: crates/core/src/protocol.rs
+pub enum Request {
+    GetProfile,
+    Shout,
+}
+
+pub enum Response {
+    Ok,
+}
+
+pub fn codec_arms() {
+    // Two non-test refs stand in for the encode + decode arms.
+    let _a = Request::GetProfile;
+    let _b = Request::GetProfile;
+    // `Shout` has only one: missing a codec arm, a dispatch arm, and a
+    // round-trip fixture.
+    let _c = Request::Shout;
+    let _d = Response::Ok;
+    let _e = Response::Ok;
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn round_trip() {
+        let _a = Request::GetProfile;
+        let _b = Response::Ok;
+    }
+}
+
+//@file: crates/core/src/server.rs
+pub fn dispatch(req: u32, table: &HashMap<u32, u32>) -> u32 {
+    let _get = Request::GetProfile;
+    let _ok = Response::Ok;
+    let v = table.get(&req).unwrap();
+    if *v == 0 {
+        panic!("boom");
+    }
+    table[&req]
+}
+
+//@file: crates/netsim/src/world_fixture.rs
+pub struct World {
+    buckets: HashMap<u32, u32>,
+}
+
+impl World {
+    fn bad_iteration(&mut self) {
+        for b in &self.buckets {
+            let _ = b;
+        }
+        self.buckets.retain(|_, v| *v > 0);
+    }
+
+    fn good_keyed_access(&self) {
+        // NOT flagged: keyed lookups and size probes don't observe
+        // iteration order.
+        let _v = self.buckets.get(&1);
+        let _n = self.buckets.len();
+    }
+}
+
+//@file: crates/harness/src/report_fixture.rs
+pub fn tally(m: &HashMap<u32, u32>) {
+    // NOT flagged: the harness is not a digest-affecting crate.
+    for v in m.values() {
+        let _ = v;
+    }
+}
+
+//@file: crates/netsim/src/helpers_fixture.rs
+pub fn bad_spawn() {
+    std::thread::spawn(|| {});
+}
+
+//@file: crates/netsim/src/par.rs
+pub fn allowed_here() {
+    // NOT flagged: netsim::par owns the deterministic fork/join helpers.
+    std::thread::spawn(|| {});
+}
+
+//@file: crates/netsim/src/counter_fixture.rs
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::SeqCst);
+}

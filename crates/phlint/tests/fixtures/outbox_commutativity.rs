@@ -1,0 +1,52 @@
+// Golden fixture: outbox-commutativity.
+//
+// Lane workers accumulate per-epoch stat deltas into an `EpochOutbox`;
+// the commit loop folds those deltas together. Serial runs fold into ONE
+// outbox while parallel runs fold one per lane, so the fold must be
+// add-only: plain assignment, shrink operators, and `.max(…)`-style
+// combining all make the serial and parallel totals diverge.
+
+//@file: crates/peerhood/src/outbox_fixture.rs
+pub struct TraceStats {
+    pub delivered: u64,
+    pub peak_queue: u64,
+}
+
+impl TraceStats {
+    pub fn add(&mut self, o: &TraceStats) {
+        self.delivered += o.delivered;
+        self.peak_queue = self.peak_queue.max(o.peak_queue);
+    }
+
+    pub fn reset(&mut self) {
+        // NOT flagged: `reset` is not a merge fn; zeroing between
+        // epochs is the commit loop's business.
+        self.delivered = 0;
+    }
+}
+
+pub struct EpochOutbox {
+    pub stats: TraceStats,
+}
+
+impl EpochOutbox {
+    pub fn commit(&mut self, agg: &mut TraceStats) {
+        agg.add(&self.stats);
+        self.stats.delivered += 1;
+        self.stats.peak_queue = 9;
+        self.stats.delivered -= 1;
+        self.stats = TraceStats {
+            delivered: 0,
+            peak_queue: 0,
+        };
+    }
+}
+
+fn local_stats_are_not_the_outbox() {
+    // NOT flagged: fresh local bindings named `stats` are not writes
+    // into the outbox.
+    let stats = 5;
+    let mut stats = stats + 1;
+    stats += 1;
+    let _ = stats;
+}

@@ -1,0 +1,63 @@
+// Golden fixture: unbounded-decode-allocation.
+//
+// In the untrusted-input surfaces (the codec crate and the live frame
+// paths), a length decoded off the wire must be clamped — against the
+// remaining input or a protocol MAX — before it sizes an allocation or
+// drives a slice. A `len()` comparison that merely waits for more bytes
+// is NOT a guard: that is exactly the hostile-header bug where a 4-byte
+// claim commits the receiver to buffering gigabytes.
+
+//@file: crates/codec/src/decode_fixture.rs
+pub fn bad_capacity(input: &[u8]) -> Vec<u8> {
+    let n = u32::from_be_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    let v = Vec::with_capacity(n);
+    v
+}
+
+pub fn bad_vec_and_slice(input: &[u8]) {
+    let len = u16::from_le_bytes([input[0], input[1]]) as usize;
+    let _z = vec![0u8; len];
+    let _s = &input[..len];
+}
+
+pub fn bad_inline_decode(input: &mut &[u8]) {
+    let _v: Vec<u8> = Vec::with_capacity(u32::decode(input).unwrap() as usize);
+}
+
+pub fn bad_wait_for_more(buf: &[u8]) -> Option<Vec<u8>> {
+    let claim = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if buf.len() < 4 + claim {
+        return None;
+    }
+    Some(buf[4..4 + claim].to_vec())
+}
+
+pub fn good_min_clamp(input: &[u8]) -> Vec<u8> {
+    let n = u32::from_be_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    let m = n.min(input.len());
+    Vec::with_capacity(m)
+}
+
+pub fn good_max_reject(input: &[u8]) -> Result<Vec<u8>, ()> {
+    let n = u32::from_be_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    if n > MAX_ITEMS {
+        return Err(());
+    }
+    Ok(Vec::with_capacity(n))
+}
+
+pub fn good_len_reject(input: &[u8]) -> Result<Vec<u8>, ()> {
+    let n = u32::from_be_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    if n > input.len() {
+        return Err(());
+    }
+    Ok(Vec::with_capacity(n))
+}
+
+//@file: crates/harness/src/load_fixture.rs
+pub fn outside_the_untrusted_surface(input: &[u8]) {
+    // NOT flagged: the harness feeds itself, not wire bytes; the rule is
+    // scoped to the codec crate and the live frame paths.
+    let n = u32::from_be_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    let _v = Vec::with_capacity(n);
+}

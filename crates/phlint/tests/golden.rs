@@ -1,0 +1,127 @@
+//! Clippy-UI-style golden tests over the fixture corpus.
+//!
+//! Each `tests/fixtures/<name>.rs` holds one or more *virtual* source
+//! files introduced by `//@file: <workspace-relative-path>` marker lines;
+//! the expected findings live next to it in `tests/fixtures/<name>.expected`
+//! as `path:line: rule` lines (sorted, one per finding). Virtual file
+//! contents are padded so finding line numbers match the fixture file
+//! itself — an `.expected` line points straight at the offending fixture
+//! line.
+//!
+//! To regenerate after a deliberate rule change:
+//!
+//! ```sh
+//! PHLINT_BLESS=1 cargo test -p ph-lint --test golden
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use phlint::rules::{run_all, SourceFile};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Splits a fixture into `(virtual_path, padded_source)` pairs. Padding
+/// with blank lines keeps every token's line number identical to its line
+/// in the fixture file.
+fn virtual_files(text: &str) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if let Some(path) = line.trim().strip_prefix("//@file:") {
+            out.push((path.trim().to_owned(), "\n".repeat(idx + 1)));
+        } else if let Some((_, content)) = out.last_mut() {
+            content.push_str(line);
+            content.push('\n');
+        }
+    }
+    assert!(!out.is_empty(), "fixture has no //@file: markers");
+    out
+}
+
+fn findings_for(fixture: &Path) -> String {
+    let text = fs::read_to_string(fixture).expect("read fixture");
+    let sources: Vec<SourceFile> = virtual_files(&text)
+        .into_iter()
+        .map(|(path, src)| {
+            SourceFile::parse(path.clone(), &src)
+                .unwrap_or_else(|e| panic!("{path}: lex error: {e}"))
+        })
+        .collect();
+    run_all(&sources)
+        .iter()
+        .map(|f| format!("{}:{}: {}\n", f.path, f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn fixtures_match_expected() {
+    let dir = fixture_dir();
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(!fixtures.is_empty(), "no fixtures in {}", dir.display());
+
+    let bless = std::env::var_os("PHLINT_BLESS").is_some();
+    let mut failures = Vec::new();
+    for fixture in &fixtures {
+        let got = findings_for(fixture);
+        let expected_path = fixture.with_extension("expected");
+        if bless {
+            fs::write(&expected_path, &got).expect("write .expected");
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!(
+                "missing {} — run with PHLINT_BLESS=1 to create it",
+                expected_path.display()
+            )
+        });
+        if got != expected {
+            failures.push(format!(
+                "{}:\n--- expected ---\n{expected}--- got ---\n{got}",
+                fixture.display()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatch (rerun with PHLINT_BLESS=1 after a deliberate rule change):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_new_family_has_positive_and_negative_coverage() {
+    // The corpus must keep exercising each rule family in both
+    // directions: at least one finding (positive) and at least one
+    // fixture virtual file that stays clean (the `NOT flagged` comments).
+    let families = [
+        ("digest_taint.rs", "digest-taint"),
+        ("epoch_frozen.rs", "epoch-frozen-mutation"),
+        ("outbox_commutativity.rs", "outbox-commutativity"),
+        ("unbounded_decode.rs", "unbounded-decode-allocation"),
+        ("legacy_rules.rs", "nondeterministic-iteration"),
+        ("legacy_rules.rs", "panic-in-dispatch"),
+        ("legacy_rules.rs", "raw-thread-spawn"),
+        ("legacy_rules.rs", "relaxed-ordering"),
+        ("legacy_rules.rs", "wire-exhaustiveness"),
+    ];
+    for (fixture, rule) in families {
+        let path = fixture_dir().join(fixture);
+        let got = findings_for(&path);
+        assert!(
+            got.lines().any(|l| l.ends_with(rule)),
+            "{fixture}: no positive {rule} finding:\n{got}"
+        );
+        let text = fs::read_to_string(&path).expect("read fixture");
+        assert!(
+            text.contains("NOT flagged"),
+            "{fixture}: no documented negative case"
+        );
+    }
+}

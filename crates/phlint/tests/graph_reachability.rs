@@ -1,0 +1,148 @@
+//! Call-graph integration tests: reachability over the golden fixture
+//! corpus must match hand-computed sets, and the resolution forms the
+//! graph promises (use-alias, method, UFCS, module-qualified free fns)
+//! must hold over multi-file inputs. Complements the unit tests inside
+//! `src/graph.rs`, which work on single constructs.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use phlint::graph::CallGraph;
+use phlint::rules::SourceFile;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Same `//@file:` splitter as the golden runner (line padding included,
+/// though only paths matter here).
+fn load_virtual(path: &Path) -> Vec<SourceFile> {
+    let text = fs::read_to_string(path).expect("read fixture");
+    let mut out: Vec<(String, String)> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if let Some(p) = line.trim().strip_prefix("//@file:") {
+            out.push((p.trim().to_owned(), "\n".repeat(idx + 1)));
+        } else if let Some((_, content)) = out.last_mut() {
+            content.push_str(line);
+            content.push('\n');
+        }
+    }
+    out.into_iter()
+        .map(|(p, src)| SourceFile::parse(p, &src).expect("fixture lexes"))
+        .collect()
+}
+
+fn reached_qnames(g: &CallGraph, roots: &[usize]) -> BTreeSet<String> {
+    g.reachable_from(roots)
+        .iter()
+        .enumerate()
+        .filter(|(_, via)| via.is_some())
+        .map(|(id, _)| format!("{}::{}", g.fns[id].path, g.fns[id].qname))
+        .collect()
+}
+
+#[test]
+fn digest_fixture_reachability_matches_hand_computed_set() {
+    let files = load_virtual(&fixture("digest_taint.rs"));
+    let g = CallGraph::build(&files);
+
+    let mut roots = g.find("crates/peerhood/src/sim.rs", "Cluster::run_until");
+    roots.extend(g.find("crates/peerhood/src/sim.rs", "Cluster::run_until_condition"));
+    assert_eq!(roots.len(), 2, "both digest roots must be found");
+
+    // Hand-computed: the two roots, the shared `step_epoch` step, and the
+    // three name-resolved `clock::advance_clock` twins. `unreached_profiler`
+    // must stay out — that is the precision the digest-taint rule buys.
+    let expected: BTreeSet<String> = [
+        "crates/peerhood/src/sim.rs::Cluster::run_until",
+        "crates/peerhood/src/sim.rs::Cluster::run_until_condition",
+        "crates/peerhood/src/sim.rs::Cluster::step_epoch",
+        "crates/netsim/src/clock.rs::advance_clock",
+        "crates/harness/src/clock.rs::advance_clock",
+        "crates/peerhood/src/live/clock.rs::advance_clock",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect();
+    assert_eq!(reached_qnames(&g, &roots), expected);
+
+    // Every reached fn reports which root claimed it first.
+    let reach = g.reachable_from(&roots);
+    for via in reach.iter().flatten() {
+        assert!(roots.contains(via), "via must be one of the roots");
+    }
+}
+
+#[test]
+fn epoch_fixture_impl_methods_are_collected_per_type() {
+    let files = load_virtual(&fixture("epoch_frozen.rs"));
+    let g = CallGraph::build(&files);
+    let path = "crates/peerhood/src/epoch_fixture.rs";
+    for m in [
+        "Worker::bad_borrow",
+        "Worker::bad_mutator_call",
+        "Worker::bad_assign_to_shared_ref",
+        "Worker::good_reads_and_outbox_writes",
+    ] {
+        assert_eq!(g.find(path, m).len(), 1, "{m} collected exactly once");
+    }
+    assert_eq!(
+        g.find("crates/peerhood/src/not_a_worker.rs", "Courier::rebind")
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn alias_method_and_ufcs_calls_resolve_across_files() {
+    let hub = SourceFile::parse(
+        "crates/x/src/hub.rs",
+        "use crate::real::Engine as Motor;\n\
+         pub struct Hub { e: u32 }\n\
+         impl Hub {\n\
+             pub fn drive(&self) {\n\
+                 Motor::start();\n\
+                 self.relay();\n\
+                 Engine::stop();\n\
+             }\n\
+             fn relay(&self) { Self::spin_up(); spin(); }\n\
+             fn spin_up(&self) {}\n\
+         }\n\
+         fn spin() {}\n",
+    )
+    .unwrap();
+    let real = SourceFile::parse(
+        "crates/x/src/real.rs",
+        "pub struct Engine;\n\
+         impl Engine {\n\
+             pub fn start() {}\n\
+             pub fn stop() {}\n\
+         }\n\
+         pub fn unrelated() {}\n",
+    )
+    .unwrap();
+    let g = CallGraph::build(&[hub, real]);
+
+    let roots = g.find("crates/x/src/hub.rs", "Hub::drive");
+    assert_eq!(roots.len(), 1);
+    let expected: BTreeSet<String> = [
+        // the root itself
+        "crates/x/src/hub.rs::Hub::drive",
+        // method call on self
+        "crates/x/src/hub.rs::Hub::relay",
+        // `Self::…` UFCS from relay
+        "crates/x/src/hub.rs::Hub::spin_up",
+        // plain same-file free call from relay
+        "crates/x/src/hub.rs::spin",
+        // use-alias path call and direct type-qualified call, across files
+        "crates/x/src/real.rs::Engine::start",
+        "crates/x/src/real.rs::Engine::stop",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect();
+    assert_eq!(reached_qnames(&g, &roots), expected);
+}

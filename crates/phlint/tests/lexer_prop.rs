@@ -1,0 +1,122 @@
+//! Property tests for the ph-lint lexer (and the parser above it).
+//!
+//! Uses the workspace's own deterministic shrinking harness
+//! (`ph_codec::prop`) — the one dependency carve-out in this crate, and
+//! dev-only. Failures print a `PH_PROP_SEED`; shrunk seeds worth keeping
+//! go into `tests/lexer_prop.regressions` as `cc <hex>` lines, which are
+//! replayed before the random cases on every run.
+//!
+//! The properties: on *arbitrary* input the lexer never panics and is
+//! deterministic (same bytes, same tokens, same error); on input it
+//! accepts, every reported line number is in range, no token is empty,
+//! and the downstream item parser and test-mask builder hold up too.
+
+use codec::prop::{check, Config, Gen};
+use phlint::lexer::{lex, test_mask};
+use phlint::parse::parse_items;
+
+fn config() -> Config {
+    Config::default().with_regressions_file(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/lexer_prop.regressions"
+    ))
+}
+
+/// Arbitrary (mostly hostile) input: raw bytes forced into UTF-8.
+fn arbitrary_text(g: &mut Gen) -> String {
+    String::from_utf8_lossy(&g.bytes(256)).into_owned()
+}
+
+/// Rust-shaped input: fragments that exercise the tricky lexer states —
+/// raw strings, nested comments, lifetimes, char literals vs lifetimes,
+/// `r#`-prefixed identifiers — glued in random order.
+fn rust_shaped_text(g: &mut Gen) -> String {
+    const FRAGMENTS: &[&str] = &[
+        "fn f() {}",
+        "let s = \"str with \\\" escape\";",
+        "let r = r#\"raw \" string\"#;",
+        "let c = 'x';",
+        "let l: &'a str = s;",
+        "/* nested /* comment */ still */",
+        "// line comment\n",
+        "let n = 0xFF_u32;",
+        "let r#match = 1;",
+        "b\"bytes\"",
+        "'\\n'",
+        "#[cfg(test)] mod t { }",
+        "::",
+        "..=",
+        "{",
+        "}",
+        "\"",
+        "r#\"",
+        "/*",
+        "'",
+    ];
+    let n = g.usize(12);
+    let mut out = String::new();
+    for _ in 0..n {
+        out.push_str(FRAGMENTS[g.usize(FRAGMENTS.len())]);
+        out.push(' ');
+    }
+    out
+}
+
+fn never_panics_and_deterministic(src: &str) {
+    let first = lex(src);
+    let second = lex(src);
+    assert_eq!(first, second, "lexing is not deterministic");
+    if let Ok(toks) = first {
+        let lines = src.lines().count().max(1) as u32;
+        for t in &toks {
+            assert!(
+                t.line >= 1 && t.line <= lines,
+                "line {} out of range",
+                t.line
+            );
+        }
+        let mask = test_mask(&toks);
+        assert_eq!(mask.len(), toks.len());
+        // The item parser must also survive whatever the lexer accepts.
+        let _items = parse_items(&toks);
+    }
+}
+
+#[test]
+fn lexer_survives_arbitrary_bytes() {
+    check(
+        &config(),
+        "lexer survives arbitrary bytes",
+        arbitrary_text,
+        |s: &String| never_panics_and_deterministic(s),
+    );
+}
+
+#[test]
+fn lexer_survives_rust_shaped_fragments() {
+    check(
+        &config(),
+        "lexer survives rust-shaped fragments",
+        rust_shaped_text,
+        |s: &String| never_panics_and_deterministic(s),
+    );
+}
+
+#[test]
+fn lexer_token_text_is_never_empty_on_valid_rust() {
+    check(
+        &config(),
+        "tokens are non-empty on valid rust",
+        |g: &mut Gen| {
+            let name: String = (0..g.usize_in(1, 8))
+                .map(|_| char::from(b'a' + g.u64(26) as u8))
+                .collect();
+            let body = g.usize(3);
+            format!("pub fn {name}() -> u32 {{ {body} }}\n")
+        },
+        |src| {
+            let toks = lex(src).expect("valid rust must lex");
+            assert!(toks.iter().all(|t| !t.text.is_empty()));
+        },
+    );
+}
