@@ -176,6 +176,37 @@ grep -m1 -o '"frames_dropped": [0-9]*' BENCH_scale_faulted_serial.tmp.json \
     | awk -F': ' '{ if ($2 + 0 == 0) { print "lossy profile dropped no frames"; exit 1 }
                     print "faulted run dropped " $2 " frames" }'
 
+# Gossip smoke: 3 disjoint radio bubbles bridged by 2 ferries. The
+# epidemic layer must deliver the bubble-0 blob to at least 95% of the
+# members in the fault-free run (the deterministic default reaches 1.0,
+# full membership convergence included), and the trace digest — which
+# folds the gossip eager/lazy/graft/prune/duplicate counters — must be
+# bit-identical serial vs `--threads 4`, with and without the lossy
+# fault profile.
+cargo run --release --offline -p ph-harness --bin repro -- \
+    bubbles --json > BENCH_bubbles_serial.tmp.json
+cargo run --release --offline -p ph-harness --bin repro -- \
+    bubbles --threads 4 --json > BENCH_bubbles_threads4.tmp.json
+cargo run --release --offline -p ph-harness --bin repro -- \
+    bubbles --faults lossy --json > BENCH_bubbles_lossy.tmp.json
+cargo run --release --offline -p ph-harness --bin repro -- \
+    bubbles --faults lossy --threads 4 --json > BENCH_bubbles_lossy_threads4.tmp.json
+
+d_bserial=$(grep -o '"digest": "[0-9a-f]*"' BENCH_bubbles_serial.tmp.json)
+d_bpar=$(grep -o '"digest": "[0-9a-f]*"' BENCH_bubbles_threads4.tmp.json)
+test "$d_bserial" = "$d_bpar"
+d_blserial=$(grep -o '"digest": "[0-9a-f]*"' BENCH_bubbles_lossy.tmp.json)
+d_blpar=$(grep -o '"digest": "[0-9a-f]*"' BENCH_bubbles_lossy_threads4.tmp.json)
+test "$d_blserial" = "$d_blpar"
+rm -f BENCH_bubbles_lossy_threads4.tmp.json
+
+grep -m1 -o '"delivery_ratio": [0-9.]*' BENCH_bubbles_serial.tmp.json \
+    | awk -F': ' '{ if ($2 + 0 < 0.95) { print "bubbles delivery ratio " $2 " below 0.95"; exit 1 }
+                    print "bubbles delivery ratio " $2 " ok (floor 0.95)" }'
+grep -m1 -o '"convergence_ratio": [0-9.]*' BENCH_bubbles_serial.tmp.json \
+    | awk -F': ' '{ if ($2 + 0 < 0.999) { print "bubbles convergence " $2 " below 1.0"; exit 1 }
+                    print "bubbles convergence " $2 " ok" }'
+
 # Live-serving smoke: a few hundred real TCP clients against the reactor
 # (DESIGN.md §11). Short on purpose — seconds, not minutes. At this load
 # the server must shed nobody and keep p99 under a generous 2s ceiling
@@ -217,9 +248,17 @@ cat BENCH_live.json
     cat BENCH_scale_faulted_serial.tmp.json
     printf ',\n"faulted_threads4": '
     cat BENCH_scale_faulted_threads4.tmp.json
+    printf ',\n"bubbles_serial": '
+    cat BENCH_bubbles_serial.tmp.json
+    printf ',\n"bubbles_threads4": '
+    cat BENCH_bubbles_threads4.tmp.json
+    printf ',\n"bubbles_lossy": '
+    cat BENCH_bubbles_lossy.tmp.json
     printf '}\n'
 } > BENCH_scale.json
 rm -f BENCH_scale_serial.tmp.json BENCH_scale_threads4.tmp.json \
     BENCH_scale_100k_serial.tmp.json BENCH_scale_100k_threads4.tmp.json \
-    BENCH_scale_faulted_serial.tmp.json BENCH_scale_faulted_threads4.tmp.json
+    BENCH_scale_faulted_serial.tmp.json BENCH_scale_faulted_threads4.tmp.json \
+    BENCH_bubbles_serial.tmp.json BENCH_bubbles_threads4.tmp.json \
+    BENCH_bubbles_lossy.tmp.json
 cat BENCH_scale.json

@@ -3,7 +3,7 @@
 
 use ph_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use community::discovery::discover_groups;
+use community::discovery::Discovery;
 use community::semantics::MatchPolicy;
 use community::Interest;
 
@@ -26,7 +26,7 @@ fn bench_neighbor_scaling(c: &mut Criterion) {
     for n in [4usize, 16, 64, 256] {
         let neighbors = make_neighbors(n, 8);
         group.bench_with_input(BenchmarkId::from_parameter(n), &neighbors, |b, nb| {
-            b.iter(|| discover_groups("me", &own, nb, &MatchPolicy::Exact))
+            b.iter(|| Discovery::new("me", &MatchPolicy::Exact).groups(&own, nb))
         });
     }
     group.finish();
@@ -40,7 +40,7 @@ fn bench_interest_scaling(c: &mut Criterion) {
             .collect();
         let neighbors = make_neighbors(32, k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &neighbors, |b, nb| {
-            b.iter(|| discover_groups("me", &own, nb, &MatchPolicy::Exact))
+            b.iter(|| Discovery::new("me", &MatchPolicy::Exact).groups(&own, nb))
         });
     }
     group.finish();
@@ -53,7 +53,7 @@ fn bench_semantic_vs_exact(c: &mut Criterion) {
         .collect();
     let neighbors = make_neighbors(64, 8);
     group.bench_function("exact", |b| {
-        b.iter(|| discover_groups("me", &own, &neighbors, &MatchPolicy::Exact))
+        b.iter(|| Discovery::new("me", &MatchPolicy::Exact).groups(&own, &neighbors))
     });
     let mut taught = MatchPolicy::Exact;
     for j in 0..8 {
@@ -63,7 +63,7 @@ fn bench_semantic_vs_exact(c: &mut Criterion) {
         );
     }
     group.bench_function("semantic", |b| {
-        b.iter(|| discover_groups("me", &own, &neighbors, &taught))
+        b.iter(|| Discovery::new("me", &taught).groups(&own, &neighbors))
     });
     group.finish();
 }

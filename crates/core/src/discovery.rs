@@ -8,12 +8,20 @@
 //! > are listed in same interest group. Similarly, each interest is compared
 //! > with the personal interests of all the found nearby members ..."
 //!
-//! [`discover_groups`] is that algorithm as a pure function; the
-//! [`crate::node::CommunityApp`] re-runs it whenever the neighborhood or an
-//! interest list changes, which is what makes the groups *dynamic*.
+//! [`Discovery`] is that algorithm as an entry point bound to the local
+//! member and matching policy. [`Discovery::groups`] is the pure Figure 6
+//! computation; [`Discovery::update`] runs it *through* a
+//! [`GroupRegistry`](crate::groups::GroupRegistry) and returns the resulting
+//! [`GroupEvent`](crate::groups::GroupEvent)s — the same event vocabulary
+//! multi-hop gossip deliveries use, so local-encounter and epidemic
+//! discovery share one API and one trace vocabulary. The
+//! [`crate::node::CommunityApp`] re-runs it whenever the neighborhood, an
+//! interest list, or the gossip-learned membership changes, which is what
+//! makes the groups *dynamic*.
 
 use std::collections::BTreeMap;
 
+use crate::groups::{GroupEvent, GroupRegistry};
 use crate::interest::Interest;
 use crate::semantics::MatchPolicy;
 
@@ -40,43 +48,82 @@ impl Group {
 /// canonical interest.
 pub type GroupSet = BTreeMap<String, Group>;
 
-/// Runs dynamic group discovery for `me` (with interests `own`) against the
-/// currently known `neighbors` (`(member name, their interests)` pairs).
+/// The dynamic group discovery entry point: the Figure 6 algorithm bound to
+/// the local member name and a [`MatchPolicy`].
 ///
-/// A group forms for each of the user's own interests that at least one
-/// neighbor shares (under `policy`); the group contains the local user plus
-/// every matching neighbor. This is exactly the per-interest loop of
-/// Figure 6 — neighbors' interests the local user does *not* hold form no
-/// group (the user can still join such groups manually at the
-/// [`crate::groups::GroupRegistry`] level).
-pub fn discover_groups(
-    me: &str,
-    own: &[Interest],
-    neighbors: &[(String, Vec<Interest>)],
-    policy: &MatchPolicy,
-) -> GroupSet {
-    let mut groups = GroupSet::new();
-    for interest in own {
-        let key = policy.group_key(interest);
-        for (name, their) in neighbors {
-            let matches = their.iter().any(|t| policy.matches(interest, t));
-            if matches {
-                let group = groups.entry(key.clone()).or_insert_with(|| Group {
-                    key: key.clone(),
-                    label: interest.display().to_owned(),
-                    members: vec![me.to_owned()],
-                });
-                if !group.contains(name) {
-                    group.members.push(name.clone());
+/// Borrow-built per run (both fields are references), so recomputing after
+/// every neighborhood change costs nothing beyond the algorithm itself:
+///
+/// ```
+/// use ph_community::discovery::Discovery;
+/// use ph_community::interest::Interest;
+/// use ph_community::semantics::MatchPolicy;
+///
+/// let policy = MatchPolicy::Exact;
+/// let own = [Interest::new("football")];
+/// let neighbors = vec![("bob".to_owned(), vec![Interest::new("Football")])];
+/// let groups = Discovery::new("me", &policy).groups(&own, &neighbors);
+/// assert_eq!(groups["football"].members, vec!["bob", "me"]);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Discovery<'a> {
+    me: &'a str,
+    policy: &'a MatchPolicy,
+}
+
+impl<'a> Discovery<'a> {
+    /// Binds the algorithm to the local member `me` under `policy`.
+    pub fn new(me: &'a str, policy: &'a MatchPolicy) -> Self {
+        Discovery { me, policy }
+    }
+
+    /// Runs dynamic group discovery against the currently known `neighbors`
+    /// (`(member name, their interests)` pairs — radio encounters and
+    /// gossip-learned members alike).
+    ///
+    /// A group forms for each of the user's own interests that at least one
+    /// neighbor shares (under the policy); the group contains the local
+    /// user plus every matching neighbor. This is exactly the per-interest
+    /// loop of Figure 6 — neighbors' interests the local user does *not*
+    /// hold form no group (the user can still join such groups manually at
+    /// the [`crate::groups::GroupRegistry`] level).
+    pub fn groups(&self, own: &[Interest], neighbors: &[(String, Vec<Interest>)]) -> GroupSet {
+        let mut groups = GroupSet::new();
+        for interest in own {
+            let key = self.policy.group_key(interest);
+            for (name, their) in neighbors {
+                let matches = their.iter().any(|t| self.policy.matches(interest, t));
+                if matches {
+                    let group = groups.entry(key.clone()).or_insert_with(|| Group {
+                        key: key.clone(),
+                        label: interest.display().to_owned(),
+                        members: vec![self.me.to_owned()],
+                    });
+                    if !group.contains(name) {
+                        group.members.push(name.clone());
+                    }
                 }
             }
         }
+        for group in groups.values_mut() {
+            group.members.sort();
+            group.members.dedup();
+        }
+        groups
     }
-    for group in groups.values_mut() {
-        group.members.sort();
-        group.members.dedup();
+
+    /// Runs [`Discovery::groups`] and feeds the fresh set through
+    /// `registry`, returning the [`GroupEvent`]s the transition produced —
+    /// the single path both local-encounter recomputes and gossip-delivered
+    /// membership walk, so every caller sees the same event stream.
+    pub fn update(
+        &self,
+        registry: &mut GroupRegistry,
+        own: &[Interest],
+        neighbors: &[(String, Vec<Interest>)],
+    ) -> Vec<GroupEvent> {
+        registry.update(self.groups(own, neighbors))
     }
-    groups
 }
 
 #[cfg(test)]
@@ -94,15 +141,24 @@ mod tests {
             .collect()
     }
 
+    fn discover(
+        me: &str,
+        own: &[Interest],
+        nbs: &[(String, Vec<Interest>)],
+        policy: &MatchPolicy,
+    ) -> GroupSet {
+        Discovery::new(me, policy).groups(own, nbs)
+    }
+
     #[test]
     fn no_neighbors_no_groups() {
-        let g = discover_groups("me", &interests(&["football"]), &[], &MatchPolicy::Exact);
+        let g = discover("me", &interests(&["football"]), &[], &MatchPolicy::Exact);
         assert!(g.is_empty());
     }
 
     #[test]
     fn matching_interest_forms_group_with_both_members() {
-        let g = discover_groups(
+        let g = discover(
             "me",
             &interests(&["Football"]),
             &neighbors(&[("bob", &["football", "chess"])]),
@@ -118,7 +174,7 @@ mod tests {
     fn unshared_neighbor_interests_form_no_group() {
         // Bob's chess interest doesn't concern me: per Figure 6, groups are
         // driven by the *active user's* interests.
-        let g = discover_groups(
+        let g = discover(
             "me",
             &interests(&["football"]),
             &neighbors(&[("bob", &["chess"])]),
@@ -129,7 +185,7 @@ mod tests {
 
     #[test]
     fn each_own_interest_gets_its_own_group() {
-        let g = discover_groups(
+        let g = discover(
             "me",
             &interests(&["football", "chess", "sauna"]),
             &neighbors(&[
@@ -148,7 +204,7 @@ mod tests {
     #[test]
     fn exact_policy_fragments_synonyms_like_the_thesis_describes() {
         // The §5.2.6 limitation: biking and cycling end up apart.
-        let g = discover_groups(
+        let g = discover(
             "me",
             &interests(&["biking"]),
             &neighbors(&[("bob", &["cycling"])]),
@@ -161,7 +217,7 @@ mod tests {
     fn semantic_policy_merges_taught_synonyms() {
         let mut policy = MatchPolicy::Exact;
         policy.teach(&Interest::new("biking"), &Interest::new("cycling"));
-        let g = discover_groups(
+        let g = discover(
             "me",
             &interests(&["biking"]),
             &neighbors(&[("bob", &["cycling"]), ("carol", &["Biking"])]),
@@ -174,7 +230,7 @@ mod tests {
 
     #[test]
     fn duplicate_neighbor_interests_do_not_duplicate_members() {
-        let g = discover_groups(
+        let g = discover(
             "me",
             &interests(&["a"]),
             &neighbors(&[("bob", &["a", "A", " a "])]),
@@ -186,7 +242,34 @@ mod tests {
     #[test]
     fn algorithm_is_deterministic_in_member_order() {
         let n = neighbors(&[("zed", &["x"]), ("ann", &["x"])]);
-        let g = discover_groups("me", &interests(&["x"]), &n, &MatchPolicy::Exact);
+        let g = discover("me", &interests(&["x"]), &n, &MatchPolicy::Exact);
         assert_eq!(g["x"].members, vec!["ann", "me", "zed"]);
+    }
+
+    #[test]
+    fn update_returns_events_through_the_registry() {
+        let policy = MatchPolicy::Exact;
+        let discovery = Discovery::new("me", &policy);
+        let own = interests(&["football"]);
+        let mut registry = GroupRegistry::new("me");
+        let events = discovery.update(&mut registry, &own, &neighbors(&[("bob", &["football"])]));
+        assert!(matches!(
+            events.as_slice(),
+            [GroupEvent::GroupFormed { key, .. }] if key == "football"
+        ));
+        let events = discovery.update(
+            &mut registry,
+            &own,
+            &neighbors(&[("bob", &["football"]), ("carol", &["football"])]),
+        );
+        assert!(matches!(
+            events.as_slice(),
+            [GroupEvent::MemberJoined { member, .. }] if member == "carol"
+        ));
+        let events = discovery.update(&mut registry, &own, &[]);
+        assert!(matches!(
+            events.as_slice(),
+            [GroupEvent::GroupDissolved { .. }]
+        ));
     }
 }

@@ -1,0 +1,484 @@
+//! Epidemic payloads and the node-side gossip runtime.
+//!
+//! The peerhood [`Gossip`] state machine is payload-agnostic; this module
+//! defines what the community application actually disseminates
+//! ([`GossipContent`]) and wraps the state machine in a [`GossipRuntime`]
+//! that owns the node-facing bookkeeping:
+//!
+//! * idempotent link-up/link-down tracking (radio events can repeat);
+//! * per-origin sequence numbers feeding [`message_id`];
+//! * the gossip-learned membership table ([`GossipRuntime::remote_members`])
+//!   that [`crate::discovery::Discovery`] merges with radio neighbors, so
+//!   multi-hop members join groups through the very same path
+//!   single-hop encounters use;
+//! * a log of received shared-content blobs with hop counts and receipt
+//!   times, which the harnesses turn into delivery-ratio and latency
+//!   metrics.
+//!
+//! Nothing here performs IO either: [`crate::node::CommunityApp`] drains
+//! [`GossipRuntime::take_outbox`] into `PS_GOSSIP` wire frames.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use codec::{decode_seq, encode_seq, Bytes, DecodeError, Wire};
+use netsim::SimTime;
+use peerhood::gossip::{message_id, Gossip, GossipConfig, GossipMsg, GossipStats};
+
+use crate::groups::GroupEvent;
+use crate::interest::Interest;
+
+/// What one gossip payload carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GossipContent {
+    /// Membership announcement: a member's name and interests, flooded so
+    /// devices that never meet the member directly can still group with
+    /// them.
+    Member {
+        /// The announcing member's name.
+        member: String,
+        /// Their interests at announcement time.
+        interests: Vec<Interest>,
+    },
+    /// Group news from a remote node's recompute (notification only — the
+    /// receiver traces it but derives its own groups from membership).
+    Group {
+        /// The node whose recompute produced the event.
+        origin: String,
+        /// The event itself.
+        event: GroupEvent,
+    },
+    /// Shared content, disseminated whole.
+    Blob {
+        /// The publishing member's name.
+        origin: String,
+        /// A human-readable content name.
+        name: String,
+        /// The content bytes.
+        data: Bytes,
+    },
+}
+
+mod tag {
+    pub const MEMBER: u8 = 1;
+    pub const GROUP: u8 = 2;
+    pub const BLOB: u8 = 3;
+}
+
+impl Wire for GossipContent {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            GossipContent::Member { member, interests } => {
+                out.push(tag::MEMBER);
+                member.encode_to(out);
+                encode_seq(interests, out);
+            }
+            GossipContent::Group { origin, event } => {
+                out.push(tag::GROUP);
+                origin.encode_to(out);
+                event.encode_to(out);
+            }
+            GossipContent::Blob { origin, name, data } => {
+                out.push(tag::BLOB);
+                origin.encode_to(out);
+                name.encode_to(out);
+                data.encode_to(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            tag::MEMBER => Ok(GossipContent::Member {
+                member: String::decode(input)?,
+                interests: decode_seq::<Interest>(input)?,
+            }),
+            tag::GROUP => Ok(GossipContent::Group {
+                origin: String::decode(input)?,
+                event: GroupEvent::decode(input)?,
+            }),
+            tag::BLOB => Ok(GossipContent::Blob {
+                origin: String::decode(input)?,
+                name: String::decode(input)?,
+                data: Bytes::decode(input)?,
+            }),
+            t => Err(DecodeError::BadTag {
+                what: "GossipContent",
+                tag: t,
+            }),
+        }
+    }
+}
+
+/// One shared-content blob that reached this node, with the metrics the
+/// harnesses aggregate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlobDelivery {
+    /// Receipt time (publication time at the origin itself).
+    pub at: SimTime,
+    /// The publishing member.
+    pub origin: String,
+    /// The content name.
+    pub name: String,
+    /// Radio hops from the origin (0 at the origin).
+    pub hops: u8,
+    /// Payload size in bytes.
+    pub size: usize,
+}
+
+/// Decoded gossip news for the node to act on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GossipNews {
+    /// A (possibly multi-hop) member announcement arrived or changed.
+    Member {
+        /// The member's name.
+        member: String,
+        /// Hops from the announcing node.
+        hops: u8,
+    },
+    /// Remote group news to surface in the trace.
+    Group {
+        /// The node whose recompute produced the event.
+        origin: String,
+        /// The event.
+        event: GroupEvent,
+        /// Hops from the origin.
+        hops: u8,
+    },
+    /// A shared-content blob arrived (already logged in the runtime).
+    Blob(BlobDelivery),
+}
+
+/// The node-side gossip runtime: the [`Gossip`] state machine plus the
+/// community-specific bookkeeping listed in the module docs.
+#[derive(Clone, Debug)]
+pub struct GossipRuntime {
+    gossip: Gossip,
+    next_seq: u64,
+    /// Interests of members learned through gossip, by member name.
+    remote: BTreeMap<String, Vec<Interest>>,
+    blob_log: Vec<BlobDelivery>,
+    /// Peers with a live radio link (dedups repeated up/down events).
+    links: BTreeSet<String>,
+    /// The last `(member, interests)` announcement published, to re-announce
+    /// only on change.
+    announced: Option<(String, Vec<Interest>)>,
+}
+
+impl GossipRuntime {
+    /// Creates the runtime for device `me` under `config`.
+    pub fn new(me: impl Into<String>, config: GossipConfig) -> Self {
+        GossipRuntime {
+            gossip: Gossip::new(me, config),
+            next_seq: 0,
+            remote: BTreeMap::new(),
+            blob_log: Vec::new(),
+            links: BTreeSet::new(),
+            announced: None,
+        }
+    }
+
+    /// The underlying state machine (views, cache, stats).
+    #[must_use]
+    pub fn gossip(&self) -> &Gossip {
+        &self.gossip
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &GossipConfig {
+        self.gossip.config()
+    }
+
+    /// Broadcast-layer counters so far.
+    #[must_use]
+    pub fn stats(&self) -> GossipStats {
+        self.gossip.stats()
+    }
+
+    /// A radio link to `peer` is usable. Returns whether this was a
+    /// transition (repeat notifications are ignored).
+    pub fn link_up(&mut self, peer: &str, now: SimTime) -> bool {
+        if !self.links.insert(peer.to_string()) {
+            return false;
+        }
+        self.gossip.neighbor_up(peer, now);
+        true
+    }
+
+    /// The radio link to `peer` is gone. Returns whether this was a
+    /// transition.
+    pub fn link_down(&mut self, peer: &str, now: SimTime) -> bool {
+        if !self.links.remove(peer) {
+            return false;
+        }
+        self.gossip.neighbor_down(peer, now);
+        true
+    }
+
+    /// Whether a live link to `peer` is currently tracked.
+    #[must_use]
+    pub fn is_linked(&self, peer: &str) -> bool {
+        self.links.contains(peer)
+    }
+
+    /// Publishes a membership announcement if `(member, interests)` differs
+    /// from the last one published. Returns whether anything was published.
+    pub fn announce_member(&mut self, member: &str, interests: &[Interest], now: SimTime) -> bool {
+        let current = (member.to_string(), interests.to_vec());
+        if self.announced.as_ref() == Some(&current) {
+            return false;
+        }
+        self.publish(
+            GossipContent::Member {
+                member: current.0.clone(),
+                interests: current.1.clone(),
+            },
+            now,
+        );
+        self.announced = Some(current);
+        true
+    }
+
+    /// Publishes group news from a local recompute.
+    pub fn publish_group(&mut self, event: &GroupEvent, now: SimTime) {
+        self.publish(
+            GossipContent::Group {
+                origin: self.gossip.me().to_string(),
+                event: event.clone(),
+            },
+            now,
+        );
+    }
+
+    /// Publishes a shared-content blob and logs it locally (the origin
+    /// counts as a delivery at hop 0). Returns the message id.
+    pub fn publish_blob(&mut self, origin: &str, name: &str, data: Bytes, now: SimTime) -> u64 {
+        self.blob_log.push(BlobDelivery {
+            at: now,
+            origin: origin.to_string(),
+            name: name.to_string(),
+            hops: 0,
+            size: data.as_slice().len(),
+        });
+        self.publish(
+            GossipContent::Blob {
+                origin: origin.to_string(),
+                name: name.to_string(),
+                data,
+            },
+            now,
+        )
+    }
+
+    fn publish(&mut self, content: GossipContent, now: SimTime) -> u64 {
+        let id = message_id(self.gossip.me(), self.next_seq);
+        self.next_seq += 1;
+        self.gossip.publish(id, Bytes::from(content.encode()), now);
+        id
+    }
+
+    /// Feeds one incoming `PS_GOSSIP` batch from `peer` through the state
+    /// machine, decoding first-time deliveries into [`GossipNews`].
+    /// Undecodable payloads are dropped (they still count as delivered for
+    /// dedup purposes).
+    pub fn handle_batch(
+        &mut self,
+        peer: &str,
+        msgs: Vec<GossipMsg>,
+        now: SimTime,
+    ) -> Vec<GossipNews> {
+        // A batch proves the link is alive even if the connect event raced.
+        self.link_up(peer, now);
+        let mut news = Vec::new();
+        for msg in msgs {
+            for delivery in self.gossip.on_msg(peer, msg, now) {
+                let Ok(content) = GossipContent::decode_exact(delivery.payload.as_slice()) else {
+                    continue;
+                };
+                match content {
+                    GossipContent::Member { member, interests } => {
+                        if member == self.gossip.me() {
+                            continue;
+                        }
+                        self.remote.insert(member.clone(), interests);
+                        news.push(GossipNews::Member {
+                            member,
+                            hops: delivery.hops,
+                        });
+                    }
+                    GossipContent::Group { origin, event } => {
+                        news.push(GossipNews::Group {
+                            origin,
+                            event,
+                            hops: delivery.hops,
+                        });
+                    }
+                    GossipContent::Blob { origin, name, data } => {
+                        let record = BlobDelivery {
+                            at: now,
+                            origin,
+                            name,
+                            hops: delivery.hops,
+                            size: data.as_slice().len(),
+                        };
+                        self.blob_log.push(record.clone());
+                        news.push(GossipNews::Blob(record));
+                    }
+                }
+            }
+        }
+        news
+    }
+
+    /// Periodic housekeeping; call once per
+    /// [`GossipConfig::tick_interval`](peerhood::gossip::GossipConfig::tick_interval).
+    pub fn on_tick(&mut self, now: SimTime) {
+        self.gossip.on_tick(now);
+    }
+
+    /// Drains queued `(destination, message)` pairs for the transport.
+    pub fn take_outbox(&mut self) -> Vec<(String, GossipMsg)> {
+        self.gossip.take_outbox()
+    }
+
+    /// Members learned through gossip, with their announced interests —
+    /// merged into [`crate::discovery::Discovery`]'s neighbor list (direct
+    /// radio knowledge wins on conflict).
+    #[must_use]
+    pub fn remote_members(&self) -> &BTreeMap<String, Vec<Interest>> {
+        &self.remote
+    }
+
+    /// Every blob that reached this node (origin's own publishes included,
+    /// at hop 0), in receipt order.
+    #[must_use]
+    pub fn blob_log(&self) -> &[BlobDelivery] {
+        &self.blob_log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GossipConfig {
+        GossipConfig::default().rng_salt(11)
+    }
+
+    fn interests(items: &[&str]) -> Vec<Interest> {
+        items.iter().map(Interest::new).collect()
+    }
+
+    #[test]
+    fn content_wire_round_trips_every_variant() {
+        let contents = [
+            GossipContent::Member {
+                member: "alice".into(),
+                interests: interests(&["Football", "Chess"]),
+            },
+            GossipContent::Group {
+                origin: "alice-phone".into(),
+                event: GroupEvent::GroupFormed {
+                    key: "football".into(),
+                    members: vec!["alice".into(), "bob".into()],
+                },
+            },
+            GossipContent::Blob {
+                origin: "alice".into(),
+                name: "photo.jpg".into(),
+                data: Bytes::from(vec![1, 2, 3]),
+            },
+        ];
+        for content in &contents {
+            let back = GossipContent::decode_exact(&content.encode()).expect("round trip");
+            assert_eq!(&back, content);
+        }
+        assert!(matches!(
+            GossipContent::decode_exact(&[0x4f]),
+            Err(DecodeError::BadTag {
+                what: "GossipContent",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn link_transitions_are_idempotent() {
+        let t = SimTime::ZERO;
+        let mut rt = GossipRuntime::new("a", cfg());
+        assert!(rt.link_up("b", t));
+        assert!(!rt.link_up("b", t));
+        assert!(rt.is_linked("b"));
+        assert!(rt.link_down("b", t));
+        assert!(!rt.link_down("b", t));
+        assert!(!rt.is_linked("b"));
+    }
+
+    #[test]
+    fn member_announcements_flow_between_runtimes() {
+        let t = SimTime::ZERO;
+        let mut a = GossipRuntime::new("a", cfg());
+        let mut b = GossipRuntime::new("b", cfg());
+        a.link_up("b", t);
+        b.link_up("a", t);
+        a.take_outbox();
+        b.take_outbox();
+        assert!(a.announce_member("alice", &interests(&["football"]), t));
+        // Unchanged announcement is suppressed.
+        assert!(!a.announce_member("alice", &interests(&["football"]), t));
+        let batch: Vec<GossipMsg> = a
+            .take_outbox()
+            .into_iter()
+            .filter(|(dest, _)| dest == "b")
+            .map(|(_, m)| m)
+            .collect();
+        assert!(!batch.is_empty());
+        let news = b.handle_batch("a", batch, t);
+        assert!(matches!(
+            news.as_slice(),
+            [GossipNews::Member { member, hops: 1 }] if member == "alice"
+        ));
+        assert_eq!(b.remote_members()["alice"], interests(&["football"]),);
+        // Changed interests re-announce.
+        assert!(a.announce_member("alice", &interests(&["football", "chess"]), t));
+    }
+
+    #[test]
+    fn blob_publish_logs_at_origin_and_at_receiver() {
+        let t = SimTime::from_secs(30);
+        let mut a = GossipRuntime::new("a", cfg());
+        let mut b = GossipRuntime::new("b", cfg());
+        a.link_up("b", t);
+        b.link_up("a", t);
+        a.take_outbox();
+        b.take_outbox();
+        let id = a.publish_blob("alice", "song.mp3", Bytes::from(vec![9; 16]), t);
+        assert!(a.gossip().has_seen(id));
+        assert_eq!(a.blob_log().len(), 1);
+        assert_eq!(a.blob_log()[0].hops, 0);
+        let batch: Vec<GossipMsg> = a.take_outbox().into_iter().map(|(_, m)| m).collect();
+        let news = b.handle_batch("a", batch, t + std::time::Duration::from_secs(2));
+        assert!(matches!(news.as_slice(), [GossipNews::Blob(d)] if d.hops == 1 && d.size == 16));
+        assert_eq!(b.blob_log().len(), 1);
+        assert_eq!(b.blob_log()[0].origin, "alice");
+    }
+
+    #[test]
+    fn own_member_announcement_is_not_recorded_as_remote() {
+        let t = SimTime::ZERO;
+        let mut a = GossipRuntime::new("a", cfg());
+        let mut b = GossipRuntime::new("b", cfg());
+        a.link_up("b", t);
+        b.link_up("a", t);
+        a.take_outbox();
+        b.take_outbox();
+        // b's own user is "bob" but suppose a relays an announcement whose
+        // member name happens to be the *device* name "b" — the runtime keys
+        // suppression on the gossip node name.
+        a.announce_member("b", &interests(&["x"]), t);
+        let batch: Vec<GossipMsg> = a.take_outbox().into_iter().map(|(_, m)| m).collect();
+        let news = b.handle_batch("a", batch, t);
+        assert!(news.is_empty());
+        assert!(b.remote_members().is_empty());
+    }
+}

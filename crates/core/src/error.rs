@@ -31,6 +31,9 @@ pub enum CommunityError {
     MemberNotConnected(String),
     /// An operation was attempted with no connected members at all.
     NoConnectedMembers,
+    /// The operation needs the gossip layer, which is not enabled on this
+    /// node (see `DaemonConfig::with_gossip`).
+    GossipDisabled,
 }
 
 impl CommunityError {
@@ -50,7 +53,9 @@ impl CommunityError {
             CommunityError::Decode(_) => ErrorKind::InvalidRequest,
             CommunityError::Persistence(_) | CommunityError::NoActiveAccount => ErrorKind::Internal,
             CommunityError::MemberNotConnected(_) => ErrorKind::Unreachable,
-            CommunityError::NoConnectedMembers => ErrorKind::Unavailable,
+            CommunityError::NoConnectedMembers | CommunityError::GossipDisabled => {
+                ErrorKind::Unavailable
+            }
         }
     }
 }
@@ -72,6 +77,9 @@ impl fmt::Display for CommunityError {
                 write!(f, "member {m:?} is not connected")
             }
             CommunityError::NoConnectedMembers => write!(f, "no members are connected"),
+            CommunityError::GossipDisabled => {
+                write!(f, "the gossip layer is not enabled on this node")
+            }
         }
     }
 }

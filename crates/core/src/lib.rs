@@ -50,6 +50,7 @@
 
 pub mod content;
 pub mod discovery;
+pub mod epidemic;
 pub mod error;
 pub mod groups;
 pub mod interest;
@@ -63,7 +64,8 @@ pub mod semantics;
 pub mod server;
 pub mod store;
 
-pub use discovery::{discover_groups, Group, GroupSet};
+pub use discovery::{Discovery, Group, GroupSet};
+pub use epidemic::{BlobDelivery, GossipContent, GossipNews, GossipRuntime};
 pub use error::CommunityError;
 pub use groups::{GroupEvent, GroupRegistry};
 pub use interest::{Interest, InterestSet};

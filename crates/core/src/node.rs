@@ -37,8 +37,11 @@ use peerhood::app::{AppCtx, Application};
 use peerhood::service::ServiceInfo;
 use peerhood::types::{ConnId, DeviceId};
 
+use peerhood::gossip::GossipConfig;
+
 use crate::content::ContentInfo;
-use crate::discovery::discover_groups;
+use crate::discovery::Discovery;
+use crate::epidemic::{GossipNews, GossipRuntime};
 use crate::error::CommunityError;
 use crate::groups::{GroupEvent, GroupRegistry};
 use crate::interest::Interest;
@@ -53,6 +56,10 @@ pub const SERVICE_NAME: &str = "PeerHoodCommunity";
 
 /// Timer token for the periodic peer refresh.
 const REFRESH_TIMER: u64 = 1;
+
+/// Timer token for the gossip housekeeping tick (graft retries, shuffles,
+/// membership re-announcements).
+const GOSSIP_TIMER: u64 = 2;
 
 /// Timer-token base for deferred operation starts (fresh-inquiry mode);
 /// the operation id is added to it.
@@ -206,6 +213,8 @@ enum Pending {
     AutoMemberName,
     /// Automatic interest fetch (persistent mode).
     AutoInterests,
+    /// A gossip batch; the response piggybacks the peer's queued batch.
+    Gossip,
     /// Part of an operation.
     Op(OpId),
 }
@@ -365,6 +374,14 @@ pub struct CommunityApp {
     /// Always on: it only ever acts when a client sends the envelope, so
     /// fault-free runs are byte-identical with or without it.
     replay: ReplayCache,
+    /// Gossip configuration requested via the builder, consumed at start.
+    gossip_cfg: Option<GossipConfig>,
+    /// The gossip layer, present once enabled (builder or daemon config).
+    gossip: Option<GossipRuntime>,
+    /// Gossip messages queued per destination device name, waiting for a
+    /// usable client connection (or for the peer to poll us, in which case
+    /// they piggyback on the `GOSSIP_REPLY`).
+    gossip_queues: BTreeMap<String, Vec<peerhood::gossip::GossipMsg>>,
 }
 
 impl CommunityApp {
@@ -395,6 +412,9 @@ impl CommunityApp {
             retry_timers: BTreeMap::new(),
             next_req_seq: 0,
             replay: ReplayCache::new(1024),
+            gossip_cfg: None,
+            gossip: None,
+            gossip_queues: BTreeMap::new(),
         }
     }
 
@@ -436,6 +456,16 @@ impl CommunityApp {
     /// around mutating requests. See [`RetryPolicy`].
     pub fn with_fault_tolerance(mut self, policy: RetryPolicy) -> Self {
         self.fault_tolerance = Some(policy);
+        self
+    }
+
+    /// Enables the epidemic gossip layer (builder style): bounded partial
+    /// views over the radio neighborhood plus eager-push/lazy-pull
+    /// dissemination of membership, group events, and shared content. The
+    /// same layer is enabled automatically when the node runs under a
+    /// [`peerhood::DaemonConfig`] built with `with_gossip`.
+    pub fn with_gossip(mut self, config: GossipConfig) -> Self {
+        self.gossip_cfg = Some(config);
         self
     }
 
@@ -633,6 +663,44 @@ impl CommunityApp {
             .collect();
         names.sort();
         names
+    }
+
+    // ------------------------------------------------------------------
+    // Gossip access
+    // ------------------------------------------------------------------
+
+    /// The gossip runtime, once the layer is enabled (views, stats, blob
+    /// log).
+    pub fn gossip(&self) -> Option<&GossipRuntime> {
+        self.gossip.as_ref()
+    }
+
+    /// Publishes a content blob into the gossip layer for epidemic
+    /// dissemination to every reachable member, multi-hop. Returns the
+    /// gossip message id.
+    ///
+    /// # Errors
+    ///
+    /// [`CommunityError::NotLoggedIn`] without a session;
+    /// [`CommunityError::GossipDisabled`] when the layer is off.
+    pub fn publish_blob(
+        &mut self,
+        name: &str,
+        data: Bytes,
+        ctx: &mut AppCtx<'_>,
+    ) -> Result<u64, CommunityError> {
+        let member = self
+            .store
+            .active_member()
+            .ok_or(CommunityError::NotLoggedIn)?
+            .to_owned();
+        let Some(rt) = self.gossip.as_mut() else {
+            return Err(CommunityError::GossipDisabled);
+        };
+        ctx.trace_local(&format!("BLOB_PUBLISH {name}"));
+        let id = rt.publish_blob(&member, name, data, ctx.now());
+        self.flush_gossip(ctx);
+        Ok(id)
     }
 
     // ------------------------------------------------------------------
@@ -1037,18 +1105,211 @@ impl CommunityApp {
             .values()
             .filter_map(|p| p.member.clone().map(|m| (m, p.interests.clone())))
             .collect();
-        let fresh = discover_groups(&me, &own, &neighbors, &self.policy);
-        let events = self.registry.update(fresh);
+        let mut neighbors = neighbors;
+        // Members learned through multi-hop gossip count as neighbors for
+        // discovery; direct radio knowledge wins when both exist.
+        if let Some(rt) = &self.gossip {
+            for (member, interests) in rt.remote_members() {
+                if *member == me || neighbors.iter().any(|(n, _)| n == member) {
+                    continue;
+                }
+                neighbors.push((member.clone(), interests.clone()));
+            }
+        }
+        let events = Discovery::new(&me, &self.policy).update(&mut self.registry, &own, &neighbors);
         let now = ctx.now();
         for ev in events {
-            if let GroupEvent::GroupFormed { key, .. } = &ev {
-                ctx.trace_local(&format!("GROUP_FORMED {key}"));
+            match &ev {
+                GroupEvent::GroupFormed { key, .. } | GroupEvent::GroupDissolved { key } => {
+                    ctx.trace_local(&format!("{} {key}", ev.label()));
+                }
+                GroupEvent::MemberJoined { key, member }
+                | GroupEvent::MemberLeft { key, member } => {
+                    ctx.trace_local(&format!("{} {key} {member}", ev.label()));
+                }
+            }
+            if let Some(rt) = self.gossip.as_mut() {
+                rt.publish_group(&ev, now);
             }
             self.group_events.push((now, ev));
         }
         if self.first_group_at.is_none() && !self.registry.my_groups().is_empty() {
             self.first_group_at = Some(now);
         }
+        self.flush_gossip(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Gossip machinery
+    // ------------------------------------------------------------------
+
+    /// Brings the gossip layer up (idempotent) and starts its tick timer.
+    fn enable_gossip(&mut self, config: GossipConfig, ctx: &mut AppCtx<'_>) {
+        if self.gossip.is_some() {
+            return;
+        }
+        let tick = config.tick_interval();
+        self.gossip = Some(GossipRuntime::new(ctx.actor(), config));
+        ctx.trace_local("GOSSIP_ENABLED");
+        ctx.set_timer(tick, GOSSIP_TIMER);
+    }
+
+    /// Whether any usable connection (client or server side) to the device
+    /// named `name` remains.
+    fn has_conn_to(&self, name: &str) -> bool {
+        self.peers
+            .values()
+            .any(|p| p.device_name == name && p.ready_conn().is_some())
+            || self.server_conns.values().any(|n| n == name)
+    }
+
+    /// A connection to `name` appeared; tell the gossip layer (idempotent).
+    fn gossip_link_up(&mut self, name: &str, ctx: &mut AppCtx<'_>) {
+        let now = ctx.now();
+        if let Some(rt) = self.gossip.as_mut() {
+            if rt.link_up(name, now) {
+                self.flush_gossip(ctx);
+            }
+        }
+    }
+
+    /// A connection to `name` vanished; if it was the last one, tell the
+    /// gossip layer and drop any queued batches for it.
+    fn gossip_link_maybe_down(&mut self, name: &str, ctx: &mut AppCtx<'_>) {
+        if self.has_conn_to(name) {
+            return;
+        }
+        let now = ctx.now();
+        if let Some(rt) = self.gossip.as_mut() {
+            if rt.link_down(name, now) {
+                self.gossip_queues.remove(name);
+                self.flush_gossip(ctx);
+            }
+        }
+    }
+
+    /// Moves the runtime's outbox into the per-destination queues and sends
+    /// every queue that has a usable client connection as one `PS_GOSSIP`
+    /// batch. Queues without a connection wait — the peer collects them as
+    /// a `GOSSIP_REPLY` piggyback the next time it gossips to us.
+    fn flush_gossip(&mut self, ctx: &mut AppCtx<'_>) {
+        let Some(rt) = self.gossip.as_mut() else {
+            return;
+        };
+        for (dest, msg) in rt.take_outbox() {
+            self.gossip_queues.entry(dest).or_default().push(msg);
+        }
+        let deliverable: Vec<(String, DeviceId, ConnId)> = self
+            .peers
+            .iter()
+            .filter_map(|(device, peer)| {
+                // A standing connection if there is one, otherwise any live
+                // per-operation client connection to the same device.
+                let conn = peer.ready_conn().or_else(|| {
+                    self.conn_to_peer
+                        .iter()
+                        .find_map(|(c, d)| (d == device).then_some(*c))
+                })?;
+                let queued = self
+                    .gossip_queues
+                    .get(&peer.device_name)
+                    .is_some_and(|q| !q.is_empty());
+                queued.then(|| (peer.device_name.clone(), *device, conn))
+            })
+            .collect();
+        for (name, device, conn) in deliverable {
+            let Some(msgs) = self.gossip_queues.remove(&name) else {
+                continue;
+            };
+            self.send_on(
+                ctx,
+                device,
+                conn,
+                &Request::Gossip { msgs },
+                Pending::Gossip,
+            );
+        }
+    }
+
+    /// Feeds an incoming gossip batch from `peer` through the runtime and
+    /// reacts to the news it decoded.
+    fn on_gossip_batch(
+        &mut self,
+        peer: &str,
+        msgs: Vec<peerhood::gossip::GossipMsg>,
+        ctx: &mut AppCtx<'_>,
+    ) {
+        let Some(rt) = self.gossip.as_mut() else {
+            return;
+        };
+        let news = rt.handle_batch(peer, msgs, ctx.now());
+        let mut membership_changed = false;
+        for item in news {
+            match item {
+                GossipNews::Member { member, hops } => {
+                    ctx.trace_local(&format!("GOSSIP_MEMBER {member} hops={hops}"));
+                    membership_changed = true;
+                }
+                GossipNews::Group { origin, event, .. } => {
+                    // Remote recomputes are notifications only; our own
+                    // groups derive from membership, so no registry feedback
+                    // (and therefore no event loops).
+                    ctx.trace_local(&format!(
+                        "GOSSIP {} {} from={origin}",
+                        event.label(),
+                        event.key()
+                    ));
+                }
+                GossipNews::Blob(delivery) => {
+                    ctx.trace_local(&format!(
+                        "BLOB_RECV {} hops={}",
+                        delivery.name, delivery.hops
+                    ));
+                }
+            }
+        }
+        if membership_changed {
+            self.recompute_groups(ctx);
+        }
+        self.flush_gossip(ctx);
+    }
+
+    /// Server side of `PS_GOSSIP`: absorb the batch, then reply with
+    /// whatever is queued for that peer (the piggyback path that lets two
+    /// nodes gossip even when only one direction managed to connect).
+    fn on_gossip_request(
+        &mut self,
+        client_name: &str,
+        msgs: Vec<peerhood::gossip::GossipMsg>,
+        ctx: &mut AppCtx<'_>,
+    ) -> Response {
+        if self.gossip.is_none() {
+            return Response::Gossip(Vec::new());
+        }
+        self.on_gossip_batch(client_name, msgs, ctx);
+        let reply = self.gossip_queues.remove(client_name).unwrap_or_default();
+        Response::Gossip(reply)
+    }
+
+    /// The gossip housekeeping tick: (re-)announce the local membership,
+    /// run graft-retry/shuffle timers, flush, re-arm.
+    fn on_gossip_tick(&mut self, ctx: &mut AppCtx<'_>) {
+        let Some(rt) = self.gossip.as_mut() else {
+            return;
+        };
+        let now = ctx.now();
+        if let Some(member) = self.store.active_member().map(str::to_owned) {
+            let interests: Vec<Interest> = self
+                .store
+                .active_account()
+                .map(|a| a.profile().interests.to_vec())
+                .unwrap_or_default();
+            rt.announce_member(&member, &interests, now);
+        }
+        rt.on_tick(now);
+        let tick = rt.config().tick_interval();
+        ctx.set_timer(tick, GOSSIP_TIMER);
+        self.flush_gossip(ctx);
     }
 
     /// Per-operation mode: probe all community devices for member names and
@@ -1140,6 +1401,13 @@ impl CommunityApp {
                         peer.interests = items.iter().map(Interest::new).collect();
                     }
                     self.recompute_groups(ctx);
+                }
+            }
+            Some(Pending::Gossip) => {
+                if let Response::Gossip(msgs) = resp {
+                    if !msgs.is_empty() {
+                        self.on_gossip_batch(&peer_name, msgs, ctx);
+                    }
                 }
             }
             Some(Pending::Op(id)) => {
@@ -1334,21 +1602,26 @@ impl CommunityApp {
 
     /// A connection we depended on vanished; clean up ops and peer state.
     fn on_conn_gone(&mut self, conn: ConnId, ctx: &mut AppCtx<'_>) {
-        self.server_conns.remove(&conn);
+        let server_name = self.server_conns.remove(&conn);
         self.conn_pending.remove(&conn);
         self.purge_conn_retries(conn);
+        let mut client_name = None;
         if let Some(device) = self.conn_to_peer.remove(&conn) {
             if let Some(peer) = self.peers.get_mut(&device) {
                 // Only a lost *persistent* connection invalidates what we
                 // know about the peer; per-operation connections come and
                 // go by design.
                 if peer.ready_conn() == Some(conn) {
+                    client_name = Some(peer.device_name.clone());
                     peer.conn = ConnState::Disconnected;
                     peer.member = None;
                     peer.interests.clear();
                     self.recompute_groups(ctx);
                 }
             }
+        }
+        for name in [server_name, client_name].into_iter().flatten() {
+            self.gossip_link_maybe_down(&name, ctx);
         }
         let ids: Vec<OpId> = self.ops.keys().copied().collect();
         for id in ids {
@@ -1419,6 +1692,12 @@ impl CommunityApp {
                         op.expect(conn);
                     }
                 }
+                // Per-operation connections are a gossip opportunity too:
+                // batches pipeline behind the op requests on the same
+                // connection and the link drops again when the op closes it.
+                if let Some(name) = self.peers.get(&device).map(|p| p.device_name.clone()) {
+                    self.gossip_link_up(&name, ctx);
+                }
             }
             None => {
                 // Connect failed: skip this device.
@@ -1448,6 +1727,9 @@ impl Application for CommunityApp {
         ctx.peerhood()
             .register_service(ServiceInfo::new(SERVICE_NAME).with_attribute("version", "0.2"));
         ctx.set_timer(self.refresh_interval, REFRESH_TIMER);
+        if let Some(config) = self.gossip_cfg.take() {
+            self.enable_gossip(config, ctx);
+        }
     }
 
     fn on_event(&mut self, event: AppEvent, ctx: &mut AppCtx<'_>) {
@@ -1487,6 +1769,7 @@ impl Application for CommunityApp {
                     return;
                 }
                 if let Some(peer) = self.peers.get_mut(&device) {
+                    let peer_name = peer.device_name.clone();
                     peer.conn = ConnState::Ready(conn);
                     self.conn_to_peer.insert(conn, device);
                     // Automatic probes on the standing connection: who is
@@ -1505,6 +1788,7 @@ impl Application for CommunityApp {
                         &Request::GetInterestList,
                         Pending::AutoInterests,
                     );
+                    self.gossip_link_up(&peer_name, ctx);
                 }
             }
             AppEvent::ConnectFailed { device, .. } => {
@@ -1528,7 +1812,8 @@ impl Application for CommunityApp {
                     .get(&device)
                     .map(|p| p.device_name.clone())
                     .unwrap_or_else(|| device.to_string());
-                self.server_conns.insert(conn, name);
+                self.server_conns.insert(conn, name.clone());
+                self.gossip_link_up(&name, ctx);
             }
             AppEvent::Data { conn, payload } => {
                 if let Some(client_name) = self.server_conns.get(&conn).cloned() {
@@ -1536,6 +1821,15 @@ impl Application for CommunityApp {
                     let Ok(req) = Request::decode(&payload) else {
                         return;
                     };
+                    // Gossip batches never touch the member store: they are
+                    // absorbed by the gossip layer and answered with the
+                    // piggyback batch queued for this peer.
+                    if let Request::Gossip { msgs } = &req {
+                        let resp = self.on_gossip_request(&client_name, msgs.clone(), ctx);
+                        ctx.trace(&client_name, resp.label());
+                        ctx.peerhood().send(conn, Bytes::from(resp.encode()));
+                        return;
+                    }
                     let resp = handle_request_cached(
                         &mut self.store,
                         &self.policy,
@@ -1563,8 +1857,12 @@ impl Application for CommunityApp {
                         self.purge_conn_retries(conn);
                         ctx.peerhood().close(conn);
                     }
+                    self.gossip_link_maybe_down(&peer.device_name, ctx);
                 }
                 self.recompute_groups(ctx);
+            }
+            AppEvent::GossipEnabled { config } => {
+                self.enable_gossip(config, ctx);
             }
             AppEvent::Handover { .. }
             | AppEvent::MonitorAlert { .. }
@@ -1581,6 +1879,10 @@ impl Application for CommunityApp {
         }
         if let Some(id) = self.deferred_ops.remove(&token) {
             self.advance_plan(id, ctx);
+            return;
+        }
+        if token == GOSSIP_TIMER {
+            self.on_gossip_tick(ctx);
             return;
         }
         if token != REFRESH_TIMER {

@@ -19,6 +19,7 @@
 //! version.
 
 use codec::{decode_seq, encode_seq, Bytes, DecodeError, Wire};
+use peerhood::gossip::GossipMsg;
 
 use crate::content::ContentInfo;
 use crate::error::CommunityError;
@@ -133,6 +134,16 @@ pub enum Request {
         /// The wrapped request.
         inner: Box<Request>,
     },
+    /// `PS_GOSSIP` — a batch of epidemic gossip messages (membership
+    /// shuffles plus eager/lazy broadcast traffic) piggybacked on the
+    /// community protocol. The answering side returns its own batch in
+    /// [`Response::Gossip`], so gossip always flows as client request →
+    /// server response and never as an unsolicited push.
+    Gossip {
+        /// The batched gossip messages; the sender is the connection's
+        /// client side.
+        msgs: Vec<GossipMsg>,
+    },
 }
 
 impl Request {
@@ -152,6 +163,7 @@ impl Request {
             Request::FetchContent { .. } => "PS_FETCHCONTENT",
             // The envelope is transparent in traces: show the wrapped op.
             Request::Idempotent { inner, .. } => inner.label(),
+            Request::Gossip { .. } => "PS_GOSSIP",
         }
     }
 
@@ -213,6 +225,9 @@ pub enum Response {
     },
     /// A server-side error description.
     Error(String),
+    /// The gossip batch answering a [`Request::Gossip`] (possibly empty
+    /// when the receiver has nothing queued for the requesting peer).
+    Gossip(Vec<GossipMsg>),
 }
 
 impl Response {
@@ -234,6 +249,7 @@ impl Response {
             Response::Trusted => "TRUSTED_OK",
             Response::Content { .. } => "CONTENT",
             Response::Error(_) => "ERROR",
+            Response::Gossip(_) => "GOSSIP_REPLY",
         }
     }
 }
@@ -256,6 +272,7 @@ mod op {
     pub const CHECK_TRUSTED: u8 = 0x0A;
     pub const FETCH_CONTENT: u8 = 0x0B;
     pub const IDEMPOTENT: u8 = 0x0C;
+    pub const GOSSIP: u8 = 0x0D;
 
     pub const MEMBER_LIST: u8 = 0x81;
     pub const INTEREST_LIST: u8 = 0x82;
@@ -272,6 +289,7 @@ mod op {
     pub const TRUSTED: u8 = 0x8D;
     pub const CONTENT: u8 = 0x8E;
     pub const ERROR: u8 = 0x8F;
+    pub const GOSSIP_REPLY: u8 = 0x90;
 }
 
 impl Wire for Request {
@@ -347,6 +365,10 @@ impl Wire for Request {
                 // same code path that handles bare requests.
                 inner.encode_to(out);
             }
+            Request::Gossip { msgs } => {
+                out.push(op::GOSSIP);
+                encode_seq(msgs, out);
+            }
         }
     }
 
@@ -407,6 +429,9 @@ impl Wire for Request {
                     inner: Box::new(inner),
                 }
             }
+            op::GOSSIP => Request::Gossip {
+                msgs: decode_seq::<GossipMsg>(input)?,
+            },
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "request opcode",
@@ -482,6 +507,10 @@ impl Wire for Response {
                 out.push(op::ERROR);
                 msg.encode_to(out);
             }
+            Response::Gossip(msgs) => {
+                out.push(op::GOSSIP_REPLY);
+                encode_seq(msgs, out);
+            }
         }
     }
 
@@ -507,6 +536,7 @@ impl Wire for Response {
                 data: Bytes::decode(input)?,
             },
             op::ERROR => Response::Error(String::decode(input)?),
+            op::GOSSIP_REPLY => Response::Gossip(decode_seq::<GossipMsg>(input)?),
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "response opcode",
@@ -589,6 +619,24 @@ mod tests {
                     comment: "hello again".into(),
                 }),
             },
+            Request::Gossip {
+                msgs: vec![
+                    GossipMsg::Push {
+                        id: 0xfeed,
+                        hops: 2,
+                        payload: vec![1, 2, 3].into(),
+                    },
+                    GossipMsg::IHave { ids: vec![1, 2] },
+                    GossipMsg::Graft { id: 0xfeed },
+                    GossipMsg::Prune,
+                    GossipMsg::Shuffle {
+                        peers: vec!["bob-phone".into()],
+                    },
+                    GossipMsg::ShuffleReply {
+                        peers: vec!["carol-pda".into()],
+                    },
+                ],
+            },
         ]
     }
 
@@ -626,6 +674,7 @@ mod tests {
                 data: vec![0, 1, 2, 255].into(),
             },
             Response::Error("boom".into()),
+            Response::Gossip(vec![GossipMsg::IHave { ids: vec![0xfeed] }]),
         ]
     }
 

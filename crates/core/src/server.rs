@@ -279,6 +279,11 @@ pub fn try_handle_request(
         // is transparent: the wrapped operation runs exactly as if bare.
         // Nesting is impossible — the decoder rejects it.
         Request::Idempotent { inner, .. } => return try_handle_request(store, policy, inner, now),
+        // Gossip-aware applications intercept `PS_GOSSIP` before the store
+        // dispatch (the batch belongs to the node's `Gossip` state machine,
+        // not to any member account); a bare store answers with an empty
+        // batch so gossip-enabled peers can talk to gossip-free servers.
+        Request::Gossip { .. } => Response::Gossip(Vec::new()),
     })
 }
 

@@ -29,7 +29,7 @@ use peerhood::service::ServiceInfo;
 use peerhood::sim::Cluster;
 use peerhood::types::{CloseReason, ConnId};
 
-use community::discovery::discover_groups;
+use community::discovery::Discovery;
 use community::node::{CommunityApp, OpMode};
 use community::profile::Profile;
 use community::semantics::MatchPolicy;
@@ -241,7 +241,7 @@ pub fn semantics(members: usize, families: usize, spellings: usize, seed: u64) -
         })
         .collect();
 
-    let exact = discover_groups("me", &own, &neighbors, &MatchPolicy::Exact);
+    let exact = Discovery::new("me", &MatchPolicy::Exact).groups(&own, &neighbors);
 
     let mut taught = MatchPolicy::Exact;
     for f in 0..families {
@@ -252,7 +252,7 @@ pub fn semantics(members: usize, families: usize, spellings: usize, seed: u64) -
             );
         }
     }
-    let semantic = discover_groups("me", &own, &neighbors, &taught);
+    let semantic = Discovery::new("me", &taught).groups(&own, &neighbors);
 
     // Every member holds one spelling of every family, so under taught
     // matching each family group captures all `members`; under exact

@@ -5,7 +5,7 @@
 
 use std::process::ExitCode;
 
-use ph_harness::{ablations, crowd, functionality, live, msc, table8};
+use ph_harness::{ablations, bubbles, crowd, functionality, live, msc, scenario, table8};
 
 /// Counts heap allocations so `repro crowd` can prove the interned trace
 /// path allocates nothing in steady state (see
@@ -74,6 +74,50 @@ fn main() -> ExitCode {
                 println!();
             }
         }
+        "lab" => {
+            let faults = flag_str(&args, "--faults").unwrap_or_else(|| "none".to_owned());
+            let Some(plan) = scenario::fault_profile(&faults) else {
+                eprintln!("unknown fault profile {faults:?}; known profiles: none, lossy");
+                return ExitCode::FAILURE;
+            };
+            let peers = flag_value(&args, "--peers").unwrap_or(3) as usize;
+            let horizon = flag_value(&args, "--horizon").unwrap_or(120);
+            let gossip = args.iter().any(|a| a == "--gossip");
+            run_lab(seed, peers, horizon, plan, gossip);
+        }
+        "bubbles" => {
+            let faults = flag_str(&args, "--faults").unwrap_or_else(|| "none".to_owned());
+            let Some(plan) = scenario::fault_profile(&faults) else {
+                eprintln!("unknown fault profile {faults:?}; known profiles: none, lossy");
+                return ExitCode::FAILURE;
+            };
+            let config = bubbles::BubblesConfig {
+                seed,
+                bubbles: flag_value(&args, "--bubbles").unwrap_or(3) as usize,
+                nodes_per_bubble: flag_value(&args, "--per-bubble").unwrap_or(4) as usize,
+                ferries: flag_value(&args, "--ferries").unwrap_or(2) as usize,
+                horizon: std::time::Duration::from_secs(
+                    flag_value(&args, "--horizon").unwrap_or(600),
+                ),
+                threads: flag_value(&args, "--threads").unwrap_or(1) as usize,
+                region_lanes: flag_value(&args, "--regions").unwrap_or(0) as usize,
+                faults: plan,
+                ..bubbles::BubblesConfig::default()
+            };
+            match bubbles::run(&config) {
+                Ok(report) => {
+                    if args.iter().any(|a| a == "--json") {
+                        println!("{}", report.to_json().to_string_pretty());
+                    } else {
+                        print!("{}", report.render());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("bubbles config rejected: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         "crowd" => {
             let sizes: Vec<usize> = flag_str(&args, "--nodes")
                 .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect())
@@ -89,7 +133,7 @@ fn main() -> ExitCode {
                 .map(|s| s.parse::<f64>().unwrap_or(-1.0))
                 .unwrap_or(0.0);
             let faults = flag_str(&args, "--faults").unwrap_or_else(|| "none".to_owned());
-            if crowd::fault_profile(&faults).is_none() {
+            if scenario::fault_profile(&faults).is_none() {
                 eprintln!("unknown fault profile {faults:?}; known profiles: none, lossy");
                 return ExitCode::FAILURE;
             }
@@ -214,7 +258,7 @@ fn run_tables_static() {
 }
 
 fn run_fig6() {
-    use community::discovery::discover_groups;
+    use community::discovery::Discovery;
     use community::semantics::MatchPolicy;
     use community::Interest;
 
@@ -239,7 +283,7 @@ fn run_fig6() {
         println!("  nearby member {name}: {interests:?}");
     }
     println!("  comparing each personal interest with each nearby member's interests...");
-    let groups = discover_groups("bishal", &own, &neighbors, &MatchPolicy::Exact);
+    let groups = Discovery::new("bishal", &MatchPolicy::Exact).groups(&own, &neighbors);
     for group in groups.values() {
         println!(
             "  -> group {:?} formed with members {:?}",
@@ -285,6 +329,51 @@ fn run_ablation_churn(seed: u64) {
     println!("{}", ablations::render_churn(&rows));
 }
 
+fn run_lab(seed: u64, peers: usize, horizon_secs: u64, faults: netsim::FaultPlan, gossip: bool) {
+    use netsim::SimTime;
+    use peerhood::gossip::GossipConfig;
+
+    let mut s = scenario::lab(&scenario::LabConfig {
+        seed,
+        peer_count: peers,
+        faults,
+        gossip: gossip.then(|| GossipConfig::default().rng_salt(seed)),
+        ..scenario::LabConfig::default()
+    });
+    s.cluster.run_until(SimTime::from_secs(horizon_secs));
+    let groups = s.cluster.app(s.observer).groups();
+    if gossip {
+        // Same node-order fold as `harness::bubbles::run`: the digest and
+        // the printed stats then cover the epidemic traffic.
+        let mut sum = peerhood::gossip::GossipStats::default();
+        for &id in std::iter::once(&s.observer).chain(&s.peers) {
+            if let Some(rt) = s.cluster.app(id).gossip() {
+                let st = rt.stats();
+                sum.eager += st.eager;
+                sum.lazy += st.lazy;
+                sum.graft += st.graft;
+                sum.prune += st.prune;
+                sum.duplicate += st.duplicate;
+            }
+        }
+        let stats = s.cluster.trace_mut().stats_mut();
+        stats.gossip_eager += sum.eager;
+        stats.gossip_lazy += sum.lazy;
+        stats.gossip_graft += sum.graft;
+        stats.gossip_prune += sum.prune;
+        stats.gossip_duplicate += sum.duplicate;
+    }
+    println!(
+        "Lab scenario — {peers} peers, {horizon_secs}s horizon, gossip {}",
+        if gossip { "on" } else { "off" }
+    );
+    for g in &groups {
+        println!("  group {:?}: {:?}", g.key, g.members);
+    }
+    println!("  trace digest {:016x}", s.cluster.trace().digest());
+    println!("  {}", s.cluster.stats());
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_crowd(
     sizes: &[usize],
@@ -305,7 +394,7 @@ fn run_crowd(
         threads,
         region_lanes: regions,
         region_edge_m: region_edge,
-        faults: crowd::fault_profile(faults).expect("profile validated by the caller"),
+        faults: scenario::fault_profile(faults).expect("profile validated by the caller"),
         ..crowd::CrowdConfig::default()
     };
     let reports = match crowd::sweep(&base, sizes) {
@@ -452,6 +541,18 @@ fn print_help() {
            ablation-semantics  group fragmentation vs taught synonyms\n\
            ablation-handover   seamless connectivity on/off under mobility\n\
            ablation-churn      group-view accuracy with wandering members\n\
+         \n\
+         scenarios (beyond the thesis):\n\
+           lab                 the ComLab-room scenario as a directly runnable\n\
+                               experiment [--peers N] [--horizon SECS]\n\
+                               [--faults none|lossy] [--gossip]\n\
+           bubbles             k disjoint radio bubbles bridged by ferry nodes;\n\
+                               epidemic gossip carries membership and a blob\n\
+                               across all bubbles; reports delivery ratio, hop\n\
+                               and latency distributions, duplicate overhead\n\
+                               [--bubbles K] [--per-bubble N] [--ferries F]\n\
+                               [--horizon SECS] [--threads N] [--regions N]\n\
+                               [--faults none|lossy] [--json]\n\
          \n\
          scale (beyond the thesis):\n\
            crowd               random-waypoint campus crowd; reports wall-clock,\n\

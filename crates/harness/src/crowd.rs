@@ -21,15 +21,18 @@
 use std::time::{Duration, Instant};
 
 use codec::json::Json;
-use community::discovery::discover_groups;
+use community::discovery::Discovery;
 use community::semantics::MatchPolicy;
 use community::Interest;
 use netsim::geometry::{Point2, Rect};
 use netsim::mobility::RandomWaypoint;
 use netsim::world::NodeBuilder;
-use netsim::{FaultPlan, FaultProfile, RadioEnv, SimRng, SimTime, Technology, Trace, TraceStats};
+use netsim::{FaultPlan, RadioEnv, SimRng, SimTime, Technology, Trace, TraceStats};
+use peerhood::gossip::GossipConfig;
 use peerhood::sim::{Cluster, EpochTiming};
 use peerhood::{AppCtx, AppEvent, Application, RecoveryPolicy};
+
+pub use crate::scenario::fault_profile;
 
 /// Pedestrian speed range (m/s) for the campus walk.
 const SPEED_MPS: (f64, f64) = (0.5, 2.0);
@@ -165,6 +168,13 @@ pub struct CrowdConfig {
     /// round is kept on (so frame loss has traffic to act on) and every
     /// daemon runs with the default [`RecoveryPolicy`].
     pub faults: FaultPlan,
+    /// When set, every daemon is configured with the epidemic gossip
+    /// layer (see [`GossipConfig`]). The watch-only [`CrowdApp`] ignores
+    /// the daemon's `GossipEnabled` announcement — the knob exists so
+    /// crowd-scale configs share the same vocabulary as
+    /// [`crate::scenario::LabConfig`] and
+    /// [`crate::bubbles::BubblesConfig`], whose apps do speak gossip.
+    pub gossip: Option<GossipConfig>,
 }
 
 impl Default for CrowdConfig {
@@ -183,6 +193,7 @@ impl Default for CrowdConfig {
             region_lanes: 0,
             region_edge_m: 0.0,
             faults: FaultPlan::none(),
+            gossip: None,
         }
     }
 }
@@ -234,29 +245,6 @@ impl CrowdConfig {
             });
         }
         Ok(())
-    }
-}
-
-/// Resolves a named fault profile as accepted by `repro crowd --faults`.
-///
-/// * `"none"` — the inert plan (the default).
-/// * `"lossy"` — the thesis's hostile-radio conditions: 10% independent
-///   Bluetooth frame loss plus Gilbert burst episodes (enter 0.02, exit
-///   0.25, loss 0.60 while bursting).
-pub fn fault_profile(name: &str) -> Option<FaultPlan> {
-    match name {
-        "none" => Some(FaultPlan::none()),
-        "lossy" => Some(FaultPlan::none().with_profile(
-            Technology::Bluetooth,
-            FaultProfile {
-                frame_loss: 0.10,
-                burst_enter: 0.02,
-                burst_exit: 0.25,
-                burst_loss: 0.60,
-                ..FaultProfile::NONE
-            },
-        )),
-        _ => None,
     }
 }
 
@@ -499,10 +487,14 @@ pub fn build(config: &CrowdConfig) -> Result<CrowdScenario, CrowdError> {
             builder,
             |c| {
                 let c = c.with_auto_service_discovery(faulted);
-                if faulted {
+                let c = if faulted {
                     c.with_recovery(RecoveryPolicy::default())
                 } else {
                     c
+                };
+                match &config.gossip {
+                    Some(g) => c.with_gossip(g.clone()),
+                    None => c,
                 }
             },
             CrowdApp::default(),
@@ -567,12 +559,8 @@ pub fn run(config: &CrowdConfig) -> Result<CrowdReport, CrowdError> {
                 (entry.info.name.to_string(), s.interests[idx].clone())
             })
             .collect();
-        let groups = discover_groups(
-            &me,
-            &s.interests[id.index()],
-            &neighbors,
-            &MatchPolicy::Exact,
-        );
+        let groups =
+            Discovery::new(&me, &MatchPolicy::Exact).groups(&s.interests[id.index()], &neighbors);
         if !groups.is_empty() {
             grouped_nodes += 1;
         }
@@ -702,6 +690,7 @@ pub fn trace_alloc_burst(alloc_count: &dyn Fn() -> u64) -> (u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim::FaultProfile;
 
     fn small(nodes: usize, seed: u64) -> CrowdConfig {
         CrowdConfig {
@@ -871,16 +860,6 @@ mod tests {
             (serial.appeared, serial.disappeared),
             (par.appeared, par.disappeared)
         );
-    }
-
-    #[test]
-    fn named_fault_profiles_resolve() {
-        assert!(fault_profile("none").expect("known").is_inert());
-        let lossy = fault_profile("lossy").expect("known");
-        assert!(!lossy.is_inert());
-        assert_eq!(lossy.profile(Technology::Bluetooth).frame_loss, 0.10);
-        assert!(lossy.profile(Technology::Wlan).is_inert());
-        assert!(fault_profile("chaos-monkey").is_none());
     }
 
     #[test]

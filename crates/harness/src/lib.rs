@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bubbles;
 pub mod crowd;
 pub mod functionality;
 pub mod live;
@@ -18,6 +19,7 @@ pub mod scenario;
 pub mod table8;
 pub mod user;
 
+pub use bubbles::{BubblesConfig, BubblesReport};
 pub use report::TextTable;
-pub use scenario::{lab, LabConfig, LabScenario};
+pub use scenario::{fault_profile, lab, LabConfig, LabScenario};
 pub use table8::Table8Report;

@@ -7,12 +7,39 @@
 
 use netsim::geometry::Point2;
 use netsim::world::{NodeBuilder, NodeId};
-use netsim::{FaultPlan, RadioEnv};
+use netsim::{FaultPlan, FaultProfile, RadioEnv, Technology};
+use peerhood::gossip::GossipConfig;
 use peerhood::sim::Cluster;
 use peerhood::RecoveryPolicy;
 
 use community::node::{CommunityApp, OpMode, RetryPolicy};
 use community::profile::Profile;
+
+/// Resolves a named fault profile — the shared `--faults <name>`
+/// vocabulary of `repro lab`, `repro crowd` and `repro bubbles`, and the
+/// presets [`LabConfig`], [`crate::crowd::CrowdConfig`] and
+/// [`crate::bubbles::BubblesConfig`] accept as a [`FaultPlan`].
+///
+/// * `"none"` — the inert plan (the default).
+/// * `"lossy"` — the thesis's hostile-radio conditions: 10% independent
+///   Bluetooth frame loss plus Gilbert burst episodes (enter 0.02, exit
+///   0.25, loss 0.60 while bursting).
+pub fn fault_profile(name: &str) -> Option<FaultPlan> {
+    match name {
+        "none" => Some(FaultPlan::none()),
+        "lossy" => Some(FaultPlan::none().with_profile(
+            Technology::Bluetooth,
+            FaultProfile {
+                frame_loss: 0.10,
+                burst_enter: 0.02,
+                burst_exit: 0.25,
+                burst_loss: 0.60,
+                ..FaultProfile::NONE
+            },
+        )),
+        _ => None,
+    }
+}
 
 /// A built lab scenario: one observer device plus peer devices, all within
 /// Bluetooth range.
@@ -52,6 +79,10 @@ pub struct LabConfig {
     /// requests); an inert plan reproduces the fault-free run
     /// bit-for-bit.
     pub faults: FaultPlan,
+    /// When set, every app runs the epidemic gossip layer with this
+    /// configuration (see [`GossipConfig`]); `None` reproduces the
+    /// gossip-free lab bit-for-bit.
+    pub gossip: Option<GossipConfig>,
 }
 
 impl Default for LabConfig {
@@ -65,6 +96,7 @@ impl Default for LabConfig {
             extra_interests_per_peer: 2,
             observer_interests: 1,
             faults: FaultPlan::none(),
+            gossip: None,
         }
     }
 }
@@ -80,6 +112,10 @@ pub fn lab(config: &LabConfig) -> LabScenario {
         RadioEnv::default().with_faults(config.faults.clone()),
     );
     let add = |cluster: &mut Cluster<CommunityApp>, builder, app: CommunityApp| {
+        let app = match &config.gossip {
+            Some(g) => app.with_gossip(g.clone()),
+            None => app,
+        };
         if faulted {
             cluster.add_node_with(
                 builder,
@@ -150,6 +186,36 @@ mod tests {
         assert_eq!(groups.len(), 1, "{groups:?}");
         assert_eq!(groups[0].key, "football");
         assert_eq!(groups[0].members.len(), 3);
+    }
+
+    #[test]
+    fn named_fault_profiles_resolve() {
+        assert!(fault_profile("none").expect("known").is_inert());
+        let lossy = fault_profile("lossy").expect("known");
+        assert!(!lossy.is_inert());
+        assert_eq!(lossy.profile(Technology::Bluetooth).frame_loss, 0.10);
+        assert!(lossy.profile(Technology::Wlan).is_inert());
+        assert!(fault_profile("chaos-monkey").is_none());
+    }
+
+    #[test]
+    fn lab_scenario_runs_with_gossip_enabled() {
+        let mut s = lab(&LabConfig {
+            seed: 5,
+            peer_count: 2,
+            gossip: Some(GossipConfig::default().rng_salt(5)),
+            ..LabConfig::default()
+        });
+        s.cluster.run_until(SimTime::from_secs(60));
+        // The shared group still forms, and every node actually runs the
+        // gossip layer (in one radio cell it is pure overhead, but the
+        // runtime must be live and announcing members).
+        assert_eq!(s.cluster.app(s.observer).groups().len(), 1);
+        let rt = s.cluster.app(s.observer).gossip().expect("gossip enabled");
+        assert!(
+            !rt.remote_members().is_empty() || rt.stats().eager > 0,
+            "gossip layer produced no traffic at all"
+        );
     }
 
     #[test]

@@ -180,6 +180,16 @@ pub struct TraceStats {
     /// Recovery: connections successfully resumed (make-before-break
     /// handover rebinds after link death).
     pub resumed: u64,
+    /// Gossip: full payloads pushed eagerly along the broadcast tree.
+    pub gossip_eager: u64,
+    /// Gossip: lazy `IHAVE` id announcements sent.
+    pub gossip_lazy: u64,
+    /// Gossip: `GRAFT` repair requests sent for missing payloads.
+    pub gossip_graft: u64,
+    /// Gossip: `PRUNE` demotions sent on duplicate pushes.
+    pub gossip_prune: u64,
+    /// Gossip: duplicate pushes received (dissemination overhead).
+    pub gossip_duplicate: u64,
 }
 
 impl TraceStats {
@@ -211,6 +221,11 @@ impl TraceStats {
         self.timeouts += d.timeouts;
         self.gave_up += d.gave_up;
         self.resumed += d.resumed;
+        self.gossip_eager += d.gossip_eager;
+        self.gossip_lazy += d.gossip_lazy;
+        self.gossip_graft += d.gossip_graft;
+        self.gossip_prune += d.gossip_prune;
+        self.gossip_duplicate += d.gossip_duplicate;
     }
 
     /// Folds every counter into a deterministic FNV-1a digest, used by the
@@ -252,6 +267,20 @@ impl TraceStats {
                 h.write_u64(v);
             }
         }
+        // Same late-joiner rule for the gossip counters: gossip-free runs
+        // keep their pre-gossip digests bit-for-bit.
+        let gossip = [
+            self.gossip_eager,
+            self.gossip_lazy,
+            self.gossip_graft,
+            self.gossip_prune,
+            self.gossip_duplicate,
+        ];
+        if gossip.iter().any(|&v| v != 0) {
+            for v in gossip {
+                h.write_u64(v);
+            }
+        }
         h.finish()
     }
 }
@@ -263,7 +292,8 @@ impl fmt::Display for TraceStats {
             "events={} (dropped {}), messages={}, local={}, frames sent/delivered/dropped={}/{}/{}, \
              bytes sent/delivered={}/{}, inquiries={} (responses {}), \
              connects ok/failed={}/{} (refused {}, lost mid-setup {}), handovers={}, \
-             service queries={}, retries={}, timeouts={}, gave up={}, resumed={}",
+             service queries={}, retries={}, timeouts={}, gave up={}, resumed={}, \
+             gossip eager/lazy/graft/prune/dup={}/{}/{}/{}/{}",
             self.events_recorded,
             self.events_dropped,
             self.messages,
@@ -285,6 +315,11 @@ impl fmt::Display for TraceStats {
             self.timeouts,
             self.gave_up,
             self.resumed,
+            self.gossip_eager,
+            self.gossip_lazy,
+            self.gossip_graft,
+            self.gossip_prune,
+            self.gossip_duplicate,
         )
     }
 }

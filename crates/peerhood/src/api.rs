@@ -9,6 +9,7 @@
 use codec::Bytes;
 
 use crate::error::PeerHoodError;
+use crate::gossip::GossipConfig;
 use crate::service::ServiceInfo;
 use crate::types::{CloseReason, ConnId, DeviceId, DeviceInfo};
 use netsim::Technology;
@@ -161,6 +162,15 @@ pub enum AppEvent {
         device: DeviceInfo,
         /// `true` when it (re)appeared, `false` when it vanished.
         appeared: bool,
+    },
+    /// The daemon was configured with [`DaemonConfig::with_gossip`]
+    /// (`crate::config::DaemonConfig::with_gossip`); emitted exactly once,
+    /// on the daemon's first input, so the application can instantiate its
+    /// [`Gossip`](crate::gossip::Gossip) state machine with the same knobs
+    /// in sim, crowd, and live serving.
+    GossipEnabled {
+        /// The tuning the daemon was configured with.
+        config: GossipConfig,
     },
 }
 

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use netsim::Technology;
 
+use crate::gossip::GossipConfig;
 use crate::techmap::TechMap;
 use crate::types::DeviceInfo;
 
@@ -45,6 +46,12 @@ pub struct DaemonConfig {
     /// `None` (the default) keeps the daemon's original fire-and-forget
     /// behavior and is bit-identical to pre-recovery builds.
     pub recovery: Option<RecoveryPolicy>,
+    /// Optional epidemic membership + dissemination layer. `None` (the
+    /// default) keeps the daemon gossip-free and bit-identical to
+    /// pre-gossip builds; `Some` makes the daemon announce the config to
+    /// its application via [`AppEvent::GossipEnabled`]
+    /// (`crate::api::AppEvent::GossipEnabled`) on its first input.
+    pub gossip: Option<GossipConfig>,
 }
 
 /// Timeout, retry and backoff policy used when a daemon runs with fault
@@ -115,6 +122,7 @@ impl DaemonConfig {
             auto_service_discovery: true,
             seamless_connectivity: true,
             recovery: None,
+            gossip: None,
         }
     }
 
@@ -122,6 +130,30 @@ impl DaemonConfig {
     /// (builder style).
     pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = Some(policy);
+        self
+    }
+
+    /// Enables the epidemic gossip layer with the given tuning (builder
+    /// style):
+    ///
+    /// ```rust
+    /// # use ph_peerhood::config::DaemonConfig;
+    /// # use ph_peerhood::gossip::GossipConfig;
+    /// # use ph_peerhood::types::{DeviceId, DeviceInfo};
+    /// # use netsim::Technology;
+    /// use std::time::Duration;
+    ///
+    /// let cfg = DaemonConfig::new(DeviceInfo::new(DeviceId::new(1), "alice", Technology::ALL))
+    ///     .with_gossip(
+    ///         GossipConfig::default()
+    ///             .active_view(5)
+    ///             .passive_view(30)
+    ///             .shuffle_every(Duration::from_secs(30)),
+    ///     );
+    /// assert!(cfg.gossip.is_some());
+    /// ```
+    pub fn with_gossip(mut self, gossip: GossipConfig) -> Self {
+        self.gossip = Some(gossip);
         self
     }
 

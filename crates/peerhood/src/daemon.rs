@@ -162,6 +162,9 @@ pub struct Daemon {
     /// Give-up instants for outstanding service queries (recovery only).
     query_deadlines: BTreeMap<DeviceId, QueryDeadline>,
     recovery_stats: RecoveryStats,
+    /// Whether the one-shot [`AppEvent::GossipEnabled`] announcement has
+    /// been emitted (only relevant when the config carries a gossip layer).
+    gossip_announced: bool,
     next_conn: u64,
     next_attempt: u64,
 }
@@ -199,6 +202,7 @@ impl Daemon {
             pending_retries: BTreeMap::new(),
             query_deadlines: BTreeMap::new(),
             recovery_stats: RecoveryStats::default(),
+            gossip_announced: false,
             next_conn: 0,
             next_attempt: 0,
         }
@@ -272,6 +276,14 @@ impl Daemon {
     /// work; drivers must deliver a [`DaemonInput::Tick`] at (or after) that
     /// time.
     pub fn handle(&mut self, now: SimTime, input: DaemonInput, out: &mut Vec<DaemonOutput>) {
+        if !self.gossip_announced {
+            self.gossip_announced = true;
+            if let Some(gossip) = self.config.gossip.clone() {
+                out.push(DaemonOutput::App(AppEvent::GossipEnabled {
+                    config: gossip,
+                }));
+            }
+        }
         match input {
             DaemonInput::Tick => self.run_due_work(now, out),
             DaemonInput::App(req) => self.handle_app(now, req, out),

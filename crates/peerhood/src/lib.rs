@@ -57,6 +57,7 @@ pub mod app;
 pub mod config;
 pub mod daemon;
 pub mod error;
+pub mod gossip;
 pub mod library;
 pub mod live;
 pub mod neighbor;
@@ -71,6 +72,7 @@ pub use app::{AppCtx, Application, PendingRecord, TraceSink};
 pub use config::{DaemonConfig, RecoveryPolicy};
 pub use daemon::{Daemon, DaemonInput, DaemonOutput, RecoveryStats};
 pub use error::{ErrorKind, PeerHoodError};
+pub use gossip::{Gossip, GossipConfig, GossipMsg, GossipStats};
 pub use library::Library;
 pub use service::{ServiceInfo, ServiceRegistry};
 pub use types::{CloseReason, ConnId, DeviceId, DeviceInfo};

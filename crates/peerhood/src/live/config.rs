@@ -5,6 +5,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::config::RecoveryPolicy;
+use crate::gossip::GossipConfig;
 
 /// Configuration of a live TCP driver, shared by the in-process demo
 /// network ([`LiveNet`](super::LiveNet)) and the production serving reactor
@@ -68,6 +69,11 @@ pub struct LiveConfig {
     /// Optional daemon timeout/retry/backoff policy, forwarded to
     /// [`DaemonConfig::with_recovery`](crate::config::DaemonConfig::with_recovery).
     pub recovery: Option<RecoveryPolicy>,
+    /// Optional epidemic gossip layer, forwarded to
+    /// [`DaemonConfig::with_gossip`](crate::config::DaemonConfig::with_gossip)
+    /// so live serving runs the same membership/dissemination knobs as the
+    /// sim and crowd harnesses.
+    pub gossip: Option<GossipConfig>,
     /// Journal file for persistent store snapshots with incremental
     /// append ([`LiveServer`](super::LiveServer) only; drivers pass it to
     /// the persistence hook's owner).
@@ -91,6 +97,7 @@ impl Default for LiveConfig {
             neighbor_ttl: Duration::from_secs(5),
             auto_service_discovery: true,
             recovery: None,
+            gossip: None,
             snapshot_path: None,
             snapshot_cadence: Duration::from_secs(30),
         }
@@ -157,6 +164,14 @@ impl LiveConfig {
         self.idle_timeout = policy.connect_timeout;
         self.handshake_timeout = policy.connect_timeout;
         self.recovery = Some(policy);
+        self
+    }
+
+    /// Enables the epidemic gossip layer, forwarded verbatim to each
+    /// node's [`DaemonConfig`](crate::config::DaemonConfig) (builder
+    /// style).
+    pub fn with_gossip(mut self, gossip: GossipConfig) -> Self {
+        self.gossip = Some(gossip);
         self
     }
 

@@ -166,6 +166,9 @@ impl<A: Application> LiveNet<A> {
         if let Some(policy) = self.config.recovery {
             config = config.with_recovery(policy);
         }
+        if let Some(gossip) = self.config.gossip.clone() {
+            config = config.with_gossip(gossip);
+        }
         self.nodes.push(LiveNode {
             name,
             daemon: Daemon::new(config),

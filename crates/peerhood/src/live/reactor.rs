@@ -938,6 +938,9 @@ impl<A: Application + Send + 'static> LiveServer<A> {
         if let Some(policy) = config.recovery {
             daemon_config = daemon_config.with_recovery(policy);
         }
+        if let Some(gossip) = config.gossip.clone() {
+            daemon_config = daemon_config.with_gossip(gossip);
+        }
 
         let core = Core {
             daemon: Daemon::new(daemon_config),

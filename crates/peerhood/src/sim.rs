@@ -542,6 +542,13 @@ impl<A: Application> Cluster<A> {
         &self.trace
     }
 
+    /// Mutable access to the trace, so harnesses can fold app-level
+    /// counters (e.g. per-node gossip stats) into [`TraceStats`] before
+    /// computing the run digest.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
     /// The always-on run counters (trace events, frames, inquiries,
     /// connects, handovers).
     pub fn stats(&self) -> &TraceStats {

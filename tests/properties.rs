@@ -9,7 +9,7 @@
 use codec::prop::{check, Config, Gen};
 
 use community::content::ContentInfo;
-use community::discovery::discover_groups;
+use community::discovery::Discovery;
 use community::protocol::WIRE_VERSION;
 use community::semantics::{MatchPolicy, SynonymTable};
 use community::{Interest, InterestSet, ProfileView, Request, Response};
@@ -336,7 +336,7 @@ fn groups_always_contain_me_and_only_known_members() {
         "groups_always_contain_me_and_only_known_members",
         |g| (gen_interests(g), gen_neighbors(g)),
         |(own, neighbors)| {
-            let groups = discover_groups("me", own, neighbors, &MatchPolicy::Exact);
+            let groups = Discovery::new("me", &MatchPolicy::Exact).groups(own, neighbors);
             let known: Vec<&str> = neighbors.iter().map(|(n, _)| n.as_str()).collect();
             for group in groups.values() {
                 assert!(group.contains("me"), "group {:?}", group.key);
@@ -363,10 +363,10 @@ fn adding_a_neighbor_never_shrinks_groups() {
         "adding_a_neighbor_never_shrinks_groups",
         |g| (gen_interests(g), gen_neighbors(g), gen_interests(g)),
         |(own, neighbors, extra)| {
-            let before = discover_groups("me", own, neighbors, &MatchPolicy::Exact);
+            let before = Discovery::new("me", &MatchPolicy::Exact).groups(own, neighbors);
             let mut more = neighbors.clone();
             more.push(("newcomer".to_owned(), extra.clone()));
-            let after = discover_groups("me", own, &more, &MatchPolicy::Exact);
+            let after = Discovery::new("me", &MatchPolicy::Exact).groups(own, &more);
             for (key, group) in &before {
                 let bigger = after.get(key).expect("existing groups persist");
                 for m in &group.members {
@@ -384,12 +384,12 @@ fn assert_semantic_only_merges(
     neighbors: &[(String, Vec<Interest>)],
     taught: &[(String, String)],
 ) {
-    let exact = discover_groups("me", own, neighbors, &MatchPolicy::Exact);
+    let exact = Discovery::new("me", &MatchPolicy::Exact).groups(own, neighbors);
     let mut policy = MatchPolicy::Exact;
     for (a, b) in taught {
         policy.teach(&Interest::new(a), &Interest::new(b));
     }
-    let semantic = discover_groups("me", own, neighbors, &policy);
+    let semantic = Discovery::new("me", &policy).groups(own, neighbors);
     // Teaching synonyms can create matches that exact matching lacked
     // (that is its purpose) — but it never *loses* anything: every exact
     // group folds, member-complete, into the semantic group of its
